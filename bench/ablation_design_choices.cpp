@@ -1,0 +1,154 @@
+// Ablation benches for the design choices DESIGN.md calls out (beyond the
+// paper's own tables):
+//
+//  1. Solver validation: exact MRGP steady state vs our discrete-event
+//     simulator for every Table V configuration.
+//  2. Victim-selection weights of the proactive mechanism (Table I weights
+//     vs the Section VII-A 2/3 rule vs never-prioritise-compromised), on
+//     the analytic model.
+//  3. Server semantics: TimeNET-default single-server vs infinite-server
+//     compromise/failure clocks.
+//  4. Voting scheme in the driving case study: majority (rules R.1-R.3) vs
+//     unanimity, with --av to include the (slower) simulation part.
+
+#include <cstdio>
+
+#include "av_common.hpp"
+#include "bench_util.hpp"
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/simulate.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/util/table.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+void solver_validation(const reliability::Params& params,
+                       const reliability::TimingParams& timing) {
+    bench::print_header("Ablation 1: exact MRGP vs discrete-event simulation");
+    util::TextTable table({"Configuration", "Exact", "Simulated mean", "95% CI",
+                           "Exact inside CI"});
+    for (int n = 1; n <= 3; ++n) {
+        for (bool proactive : {false, true}) {
+            core::DspnConfig cfg;
+            cfg.modules = n;
+            cfg.proactive = proactive;
+            cfg.timing = timing;
+            const double exact = core::steady_state_reliability(cfg, params);
+            auto model = core::build_multiversion_dspn(cfg);
+            dspn::SimulationOptions opt;
+            opt.horizon = 1.5e6;
+            opt.warmup = 5.0e4;
+            opt.batches = 16;
+            opt.seed = 11 + static_cast<std::uint64_t>(n);
+            const auto est = dspn::simulate_steady_state_reward(
+                model.net,
+                [&](const dspn::Marking& m) {
+                    return reliability::state_reliability(
+                        model.healthy(m), model.compromised(m), model.nonfunctional(m),
+                        params);
+                },
+                opt);
+            const bool inside = est.ci.lower <= exact && exact <= est.ci.upper;
+            table.add_row({std::to_string(n) + "v " + (proactive ? "w/ rej" : "w/o rej"),
+                           util::fmt(exact, 6), util::fmt(est.mean, 6),
+                           "[" + util::fmt(est.ci.lower, 6) + ", " +
+                               util::fmt(est.ci.upper, 6) + "]",
+                           inside ? "yes" : "NO"});
+        }
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\n");
+}
+
+void victim_weights(const reliability::Params& params,
+                    const reliability::TimingParams& timing) {
+    bench::print_header("Ablation 2: proactive victim-selection weights (3v, analytic)");
+    util::TextTable table({"Weights", "E[R]"});
+    const std::pair<const char*, core::VictimWeights> options[] = {
+        {"Table I (uniform over functional)", core::VictimWeights::table1},
+        {"2/3 prioritise compromised", core::VictimWeights::two_thirds},
+        {"never prioritise compromised", core::VictimWeights::healthy_only},
+    };
+    for (const auto& [name, weights] : options) {
+        core::DspnConfig cfg;
+        cfg.timing = timing;
+        cfg.victim_weights = weights;
+        table.add_row({name, util::fmt(core::steady_state_reliability(cfg, params), 6)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\n");
+}
+
+void server_semantics(const reliability::Params& params,
+                      const reliability::TimingParams& timing) {
+    bench::print_header("Ablation 3: single-server vs infinite-server fault clocks");
+    util::TextTable table({"Configuration", "single-server", "infinite-server"});
+    for (int n = 1; n <= 3; ++n) {
+        for (bool proactive : {false, true}) {
+            core::DspnConfig cfg;
+            cfg.modules = n;
+            cfg.proactive = proactive;
+            cfg.timing = timing;
+            const double single = core::steady_state_reliability(cfg, params);
+            cfg.compromise_semantics = core::ServerSemantics::infinite;
+            cfg.failure_semantics = core::ServerSemantics::infinite;
+            const double infinite = core::steady_state_reliability(cfg, params);
+            table.add_row({std::to_string(n) + "v " + (proactive ? "w/ rej" : "w/o rej"),
+                           util::fmt(single, 6), util::fmt(infinite, 6)});
+        }
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("(single-server reproduces the paper's Table V)\n\n");
+}
+
+void voting_scheme(const util::Args& args) {
+    bench::print_header("Ablation 4: majority vs unanimity voting (driving case study)");
+    av::SensorConfig sensor;
+    const auto detectors = bench::prepare_case_study_detectors(args, sensor);
+    const auto towns = av::make_towns();
+    const int runs = args.get("runs", 10);
+    util::TextTable table({"Voting", "Coll. runs", "Coll. rate", "Skip rate"});
+    for (const auto& [name, scheme] :
+         {std::pair{"majority (R.1-R.3)", core::VotingScheme::majority},
+          std::pair{"unanimity", core::VotingScheme::unanimity}}) {
+        int collided = 0;
+        double rate = 0.0;
+        double skip = 0.0;
+        int total = 0;
+        for (std::size_t r = 0; r < towns.size(); ++r) {
+            const auto& route = towns[r].routes[0];
+            for (int run = 0; run < runs; ++run) {
+                av::ScenarioConfig cfg;
+                cfg.voting = scheme;
+                cfg.seed = 500 + 100 * r + static_cast<std::uint64_t>(run);
+                const auto m = av::run_scenario(route, detectors, cfg);
+                collided += m.collided() ? 1 : 0;
+                rate += m.collision_rate();
+                skip += m.skip_rate();
+                ++total;
+            }
+        }
+        table.add_row({name, std::to_string(collided) + "/" + std::to_string(total),
+                       util::fmt_pct(rate / total), util::fmt_pct(skip / total)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("(unanimity trades availability -- more skipped frames -- for fewer "
+                "wrongly decided frames)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const auto params = bench::params_from_args(args);
+    const auto timing = bench::timing_from_args(args);
+
+    solver_validation(params, timing);
+    victim_weights(params, timing);
+    server_semantics(params, timing);
+    if (args.has("av")) voting_scheme(args);
+    else std::printf("(pass --av to run the driving-simulation voting ablation)\n");
+    return 0;
+}

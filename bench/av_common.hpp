@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared setup for the Section VII (CARLA case study) benchmarks: detector
+// preparation with disk caching and aggregation helpers over repeated runs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mvreju/av/simulation.hpp"
+#include "mvreju/num/stats.hpp"
+#include "mvreju/util/args.hpp"
+
+namespace mvreju::bench {
+
+/// Train or load the three detector versions (and their compromised twins).
+inline av::DetectorSet prepare_case_study_detectors(const util::Args& args,
+                                                    const av::SensorConfig& sensor) {
+    av::DetectorTrainOptions opts;
+    opts.cache_dir = args.get("cache", std::string(".mvreju_cache"));
+    const av::DetectorSet set = av::prepare_detectors(sensor, opts);
+    std::printf("detector versions (YOLOv5 stand-ins):\n");
+    for (std::size_t m = 0; m < set.healthy.size(); ++m) {
+        std::printf("  %-10s healthy accuracy %.3f;", set.healthy[m].name().c_str(),
+                    set.healthy_accuracy[m]);
+        for (const auto& v : set.compromised[m])
+            std::printf(" compromised %.3f (layer %zu, seed %llu)", v.accuracy,
+                        v.injection_layer,
+                        static_cast<unsigned long long>(v.injection_seed));
+        std::printf("\n");
+    }
+    return set;
+}
+
+/// Aggregate collision metrics over several runs of one configuration.
+struct RouteAggregate {
+    int runs = 0;
+    int collided_runs = 0;
+    double mean_first_collision = 0.0;  ///< over colliding runs; <0 if none
+    double mean_total_frames = 0.0;
+    double mean_collision_rate = 0.0;
+    double mean_skip_rate = 0.0;
+};
+
+inline RouteAggregate aggregate_runs(const av::Route& route,
+                                     const av::DetectorSet& detectors,
+                                     av::ScenarioConfig config, int runs,
+                                     std::uint64_t seed_base) {
+    RouteAggregate agg;
+    agg.runs = runs;
+    double first_sum = 0.0;
+    for (int run = 0; run < runs; ++run) {
+        config.seed = seed_base + static_cast<std::uint64_t>(run);
+        const av::RunMetrics m = av::run_scenario(route, detectors, config);
+        agg.mean_total_frames += m.total_frames;
+        agg.mean_collision_rate += m.collision_rate();
+        agg.mean_skip_rate += m.skip_rate();
+        if (m.collided()) {
+            ++agg.collided_runs;
+            first_sum += m.first_collision_frame;
+        }
+    }
+    agg.mean_total_frames /= runs;
+    agg.mean_collision_rate /= runs;
+    agg.mean_skip_rate /= runs;
+    agg.mean_first_collision =
+        agg.collided_runs > 0 ? first_sum / agg.collided_runs : -1.0;
+    return agg;
+}
+
+}  // namespace mvreju::bench

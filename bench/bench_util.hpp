@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures.
+
+#include <cstdio>
+#include <string>
+
+#include "mvreju/reliability/functions.hpp"
+#include "mvreju/util/args.hpp"
+
+namespace mvreju::bench {
+
+/// Reliability-model parameters from the command line, defaulting to the
+/// paper's fitted constants (Section VI-A).
+inline reliability::Params params_from_args(const util::Args& args) {
+    const auto base = reliability::paper_params();
+    return {args.get("p", base.p), args.get("pprime", base.p_prime),
+            args.get("alpha", base.alpha)};
+}
+
+/// Table IV timing parameters from the command line.
+inline reliability::TimingParams timing_from_args(const util::Args& args) {
+    reliability::TimingParams t;
+    t.mttc = args.get("mttc", t.mttc);
+    t.mttf = args.get("mttf", t.mttf);
+    t.reactive_duration = args.get("mu", t.reactive_duration);
+    t.proactive_duration = args.get("mur", t.proactive_duration);
+    t.rejuvenation_interval = args.get("gamma-inv", t.rejuvenation_interval);
+    return t;
+}
+
+inline void print_header(const std::string& title) {
+    std::printf("==== %s ====\n", title.c_str());
+}
+
+}  // namespace mvreju::bench

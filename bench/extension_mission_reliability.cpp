@@ -1,0 +1,103 @@
+// Extension beyond the paper's evaluation: *mission-time* reliability R(t).
+// The paper reports steady-state reliability (Table V); a vehicle, however,
+// starts every trip with freshly loaded (healthy) modules. This bench
+// computes the expected output reliability at mission times t for all six
+// configurations: exactly (uniformization) for the purely exponential
+// no-rejuvenation models (Fig. 2), and by ensemble simulation with 95% CIs
+// for the DSPN rejuvenation models (Fig. 3).
+//
+// Reading: rejuvenation does not only raise the steady-state plateau -- it
+// also delays the decay from the fresh-start reliability towards it.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/simulate.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mvreju;
+    const util::Args args(argc, argv);
+    const auto params = bench::params_from_args(args);
+    const auto timing = bench::timing_from_args(args);
+    const auto replications = static_cast<std::size_t>(args.get("replications", 800));
+
+    bench::print_header("Extension: mission-time reliability R(t)");
+    util::TextTable table({"t (s)", "1v-NR (exact)", "1v-R (sim)", "2v-NR (exact)",
+                           "2v-R (sim)", "3v-NR (exact)", "3v-R (sim)"});
+
+    // Sampling instants deliberately avoid multiples of the 300 s
+    // rejuvenation interval: the deterministic clock makes R(t) *periodic*
+    // (see the phase study below), and on-phase samples catch the module
+    // fleet mid-rejuvenation.
+    for (double t : {0.0, 60.0, 350.0, 950.0, 1850.0, 3650.0, 10850.0}) {
+        std::vector<std::string> row{util::fmt(t, 0)};
+        for (int n = 1; n <= 3; ++n) {
+            core::DspnConfig cfg;
+            cfg.modules = n;
+            cfg.timing = timing;
+
+            cfg.proactive = false;
+            const auto nr_model = core::build_multiversion_dspn(cfg);
+            const dspn::ReachabilityGraph nr_graph(nr_model.net);
+            auto nr_reward = [&](const dspn::Marking& m) {
+                return reliability::state_reliability(nr_model.healthy(m),
+                                                      nr_model.compromised(m),
+                                                      nr_model.nonfunctional(m), params);
+            };
+            row.push_back(util::fmt(
+                dspn::expected_reward(
+                    nr_graph, dspn::spn_transient_distribution(nr_graph, t), nr_reward),
+                6));
+
+            cfg.proactive = true;
+            const auto r_model = core::build_multiversion_dspn(cfg);
+            auto r_reward = [&](const dspn::Marking& m) {
+                return reliability::state_reliability(r_model.healthy(m),
+                                                      r_model.compromised(m),
+                                                      r_model.nonfunctional(m), params);
+            };
+            const auto est = dspn::simulate_transient_reward(r_model.net, r_reward, t,
+                                                             replications, 23);
+            row.push_back(util::fmt(est.mean, 4) + "±" +
+                          util::fmt(est.ci.half_width(), 4));
+        }
+        table.add_row(std::move(row));
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\nSteady-state limits for reference (Table V): 0.848/0.920, "
+                "0.944/0.969, 0.903/0.954.\n");
+
+    // Phase study: because the rejuvenation clock is deterministic and never
+    // disturbed, every replica of the fleet triggers at the same instants
+    // k/gamma. Pointwise reliability R(t) therefore oscillates within each
+    // interval -- dipping right after the trigger while a module reloads.
+    // This effect is invisible in steady-state (time-averaged) analyses and
+    // argues for *staggering* rejuvenation clocks across vehicles.
+    bench::print_header("Extension: trigger-phase oscillation of R(t), 1-version");
+    core::DspnConfig phase_cfg;
+    phase_cfg.modules = 1;
+    phase_cfg.proactive = true;
+    phase_cfg.timing = timing;
+    const auto phase_model = core::build_multiversion_dspn(phase_cfg);
+    auto phase_reward = [&](const dspn::Marking& m) {
+        return reliability::state_reliability(phase_model.healthy(m),
+                                              phase_model.compromised(m),
+                                              phase_model.nonfunctional(m), params);
+    };
+    const double base = 10.0 * timing.rejuvenation_interval;
+    util::TextTable phase({"t - 10/gamma (s)", "R(t) [CI]"});
+    for (double offset : {0.1, 0.3, 1.0, 3.0, 30.0, 150.0, 299.0}) {
+        const auto est = dspn::simulate_transient_reward(
+            phase_model.net, phase_reward, base + offset, replications, 29);
+        phase.add_row({util::fmt(offset, 1), util::fmt(est.mean, 4) + " ± " +
+                                                 util::fmt(est.ci.half_width(), 4)});
+    }
+    std::fputs(phase.str().c_str(), stdout);
+    std::printf("(right after the trigger the lone module is reloading with high\n"
+                "probability -- R collapses -- and recovers within ~1/mu_r = %.1f s)\n",
+                timing.proactive_duration);
+    return 0;
+}

@@ -1,0 +1,22 @@
+// Regenerates Fig. 5 of the paper: the four evaluation towns and their eight
+// routes, rendered as ASCII sketches ('o' start, '*' destination).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mvreju/av/route.hpp"
+
+int main() {
+    using namespace mvreju;
+    bench::print_header("Fig. 5: evaluation towns and routes");
+    const auto towns = av::make_towns();
+    int route_number = 1;
+    for (const auto& town : towns) {
+        for (const auto& route : town.routes) {
+            std::printf("Route #%d  ", route_number++);
+            std::fputs(av::render_ascii(route).c_str(), stdout);
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

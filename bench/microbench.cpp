@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks for the performance-critical primitives:
+// detector inference, voting, DSPN reachability + steady-state solving, the
+// discrete-event health engine and sign rendering. These guard against
+// performance regressions; they do not correspond to a paper table.
+
+#include <benchmark/benchmark.h>
+
+#include "mvreju/av/perception.hpp"
+#include "mvreju/av/sensor.hpp"
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/core/health.hpp"
+#include "mvreju/core/voter.hpp"
+#include "mvreju/data/signs.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+void BM_RngUniform(benchmark::State& state) {
+    util::Rng rng(1);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RenderSign(benchmark::State& state) {
+    data::SignPose pose;
+    pose.noise_sigma = 0.1;
+    for (auto _ : state) benchmark::DoNotOptimize(data::render_sign(5, 16, pose));
+}
+BENCHMARK(BM_RenderSign);
+
+void BM_DetectorInference(benchmark::State& state) {
+    av::SensorConfig sensor;
+    const ml::Sequential model = av::make_detector_s(sensor, 1);
+    util::Rng rng(2);
+    const ml::Tensor grid =
+        av::render_grid({{0.0, 0.0}, 2.25, 0.95, 0.0}, {}, sensor, rng);
+    for (auto _ : state) benchmark::DoNotOptimize(model.predict(grid));
+}
+BENCHMARK(BM_DetectorInference);
+
+void BM_SignClassifierInference(benchmark::State& state) {
+    const ml::Sequential model = ml::make_tiny_lenet(3, 16, data::kSignClasses, 1);
+    const ml::Tensor img = data::render_sign(3, 16, {});
+    for (auto _ : state) benchmark::DoNotOptimize(model.predict(img));
+}
+BENCHMARK(BM_SignClassifierInference);
+
+void BM_MajorityVote(benchmark::State& state) {
+    core::Voter<int> voter;
+    const std::vector<std::optional<int>> proposals{3, 4, 3};
+    for (auto _ : state) benchmark::DoNotOptimize(voter.vote(proposals));
+}
+BENCHMARK(BM_MajorityVote);
+
+void BM_ReachabilityGraph(benchmark::State& state) {
+    core::DspnConfig cfg;
+    const auto model = core::build_multiversion_dspn(cfg);
+    for (auto _ : state) {
+        dspn::ReachabilityGraph graph(model.net);
+        benchmark::DoNotOptimize(graph.state_count());
+    }
+}
+BENCHMARK(BM_ReachabilityGraph);
+
+void BM_DspnSteadyState(benchmark::State& state) {
+    core::DspnConfig cfg;
+    const auto model = core::build_multiversion_dspn(cfg);
+    const dspn::ReachabilityGraph graph(model.net);
+    for (auto _ : state) benchmark::DoNotOptimize(dspn::dspn_steady_state(graph));
+}
+BENCHMARK(BM_DspnSteadyState);
+
+void BM_HealthEngineSecond(benchmark::State& state) {
+    core::HealthEngineConfig cfg;
+    cfg.timing.mttc = 8.0;
+    cfg.timing.mttf = 16.0;
+    cfg.timing.rejuvenation_interval = 3.0;
+    core::HealthEngine engine(cfg);
+    double t = 0.0;
+    for (auto _ : state) {
+        t += 1.0;
+        engine.advance_to(t);
+        benchmark::DoNotOptimize(engine.counts());
+    }
+}
+BENCHMARK(BM_HealthEngineSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Regenerates Table VIII of the paper: overhead comparison of the
+// single-version, three-version, and three-version-with-rejuvenation
+// perception configurations on route #1: perception throughput (FPS),
+// process CPU utilisation, and -- in place of the paper's GPU%, which has no
+// counterpart on a CPU-only substrate -- the inference load (average model
+// invocations per frame). Three runs per configuration with 95% CIs, as in
+// the paper.
+//
+// Expected shape: the single version has the highest FPS and lowest load;
+// the three-version variants cost more; rejuvenation does not add
+// statistically visible overhead on top of the three-version system.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "av_common.hpp"
+#include "bench_util.hpp"
+#include "mvreju/util/table.hpp"
+
+namespace {
+
+double process_cpu_seconds() {
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    auto to_seconds = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+}
+
+std::string ci_string(const mvreju::num::ConfidenceInterval& ci, int digits) {
+    return mvreju::util::fmt(ci.mean, digits) + " [" + mvreju::util::fmt(ci.lower, digits) +
+           ", " + mvreju::util::fmt(ci.upper, digits) + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace mvreju;
+    const util::Args args(argc, argv);
+    const int runs = args.get("runs", 3);
+
+    av::SensorConfig sensor;
+    const auto detectors = bench::prepare_case_study_detectors(args, sensor);
+    const auto towns = av::make_towns();
+    const auto& route = towns[0].routes[0];
+
+    bench::print_header("Table VIII: overhead comparison (route #1)");
+    util::TextTable table({"System", "Perception FPS [CI]", "CPU-% [CI]",
+                           "Inference load [CI]"});
+
+    struct Config {
+        const char* name;
+        int versions;
+        bool rejuvenation;
+    };
+    for (const Config& config : {Config{"Single-v", 1, false},
+                                 Config{"Three-v", 3, false},
+                                 Config{"Three-v w/rej", 3, true}}) {
+        std::vector<double> fps;
+        std::vector<double> cpu;
+        std::vector<double> load;
+        for (int run = 0; run < runs; ++run) {
+            av::ScenarioConfig cfg;
+            cfg.versions = config.versions;
+            cfg.rejuvenation = config.rejuvenation;
+            cfg.mttc = config.versions == 1 ? 1e9 : cfg.mttc;  // keep 1v comparable
+            cfg.seed = 300 + static_cast<std::uint64_t>(run);
+
+            const double cpu_before = process_cpu_seconds();
+            const auto wall_before = std::chrono::steady_clock::now();
+            const av::RunMetrics m = av::run_scenario(route, detectors, cfg);
+            const double wall =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              wall_before)
+                    .count();
+            const double cpu_used = process_cpu_seconds() - cpu_before;
+
+            fps.push_back(m.total_frames / m.perception_wall_seconds);
+            cpu.push_back(100.0 * cpu_used / wall);
+            load.push_back(static_cast<double>(m.inferences) / m.total_frames);
+        }
+        table.add_row({config.name, ci_string(num::mean_ci95(fps), 1),
+                       ci_string(num::mean_ci95(cpu), 1),
+                       ci_string(num::mean_ci95(load), 2)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf(
+        "\nNotes: FPS counts only the perception stage (inference + voting), like the\n"
+        "paper's measurement of the perception process. CPU-%% is process CPU over wall\n"
+        "time (the paper's 3-4%% is of a 10-core machine under a GPU workload; ours is\n"
+        "CPU-bound, so expect ~100%%). Inference load is the documented stand-in for\n"
+        "GPU-%% (DESIGN.md substitution 5).\n"
+        "Paper values (Table VIII): FPS 5.85 / 4.27 / 4.20; CPU 3.62 / 3.97 / 3.76;\n"
+        "GPU 28 / 35 / 33 -- the single version is cheapest, rejuvenation adds no\n"
+        "statistically significant cost over the three-version system.\n");
+    return 0;
+}

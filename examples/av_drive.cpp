@@ -1,0 +1,64 @@
+// Autonomous-drive demo: one closed-loop run of the Section VII case study
+// on a chosen route, with an ASCII map of the route and a post-drive report
+// (collisions, voter outcomes, perception throughput, health events).
+//
+//   ./build/examples/av_drive [--route 1..8] [--no-rejuvenation] [--seed N]
+
+#include <cstdio>
+
+#include "mvreju/av/simulation.hpp"
+#include "mvreju/util/args.hpp"
+
+using namespace mvreju;
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const int route_number = args.get("route", 1);
+    const bool rejuvenation = !args.has("no-rejuvenation");
+
+    const auto towns = av::make_towns();
+    const auto refs = av::evaluation_routes(towns);
+    if (route_number < 1 || route_number > static_cast<int>(refs.size())) {
+        std::printf("route must be 1..%zu\n", refs.size());
+        return 1;
+    }
+    const auto& ref = refs[static_cast<std::size_t>(route_number - 1)];
+    const auto& route = towns[ref.town].routes[ref.route];
+
+    std::printf("preparing detectors (cached after the first run)...\n");
+    av::SensorConfig sensor;
+    av::DetectorTrainOptions opts;
+    opts.cache_dir = ".mvreju_cache";
+    const auto detectors = av::prepare_detectors(sensor, opts);
+
+    std::printf("route %s (%0.f m), rejuvenation %s\n", route.name().c_str(),
+                route.length(), rejuvenation ? "ON (3 s interval)" : "OFF");
+    std::fputs(av::render_ascii(route).c_str(), stdout);
+
+    av::ScenarioConfig cfg;
+    cfg.rejuvenation = rejuvenation;
+    cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1));
+
+    const av::RunMetrics m = av::run_scenario(route, detectors, cfg);
+
+    std::printf("\n%28s: %d (%.1f s at 20 FPS)\n", "total frames", m.total_frames,
+                m.total_frames * cfg.dt);
+    std::printf("%28s: %.1f%%\n", "route completed", 100.0 * m.route_completed);
+    std::printf("%28s: %d (%.2f%% of frames)\n", "collision frames", m.collision_frames,
+                100.0 * m.collision_rate());
+    std::printf("%28s: %s\n", "first collision",
+                m.collided() ? std::to_string(m.first_collision_frame).c_str() : "none");
+    std::printf("%28s: %d decided, %d skipped, %d without any proposal\n",
+                "voter outcomes", m.decided_frames, m.skipped_frames,
+                m.no_output_frames);
+    std::printf("%28s: %zu model invocations, %.1f perception FPS\n", "perception",
+                m.inferences, m.total_frames / m.perception_wall_seconds);
+    std::printf("%28s: %zu compromises, %zu crashes, %zu reactive + %zu proactive "
+                "rejuvenations\n",
+                "health events", m.health_stats.compromises, m.health_stats.failures,
+                m.health_stats.reactive_rejuvenations,
+                m.health_stats.proactive_rejuvenations);
+    std::printf("\nTry the same route with --no-rejuvenation to see the collision "
+                "rate climb.\n");
+    return 0;
+}

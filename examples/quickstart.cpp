@@ -1,0 +1,103 @@
+// Quickstart: build a three-version ML system with a trusted voter, break
+// one version with a fault injection, and watch the majority mask it.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "mvreju/core/system.hpp"
+#include "mvreju/data/image_io.hpp"
+#include "mvreju/data/signs.hpp"
+#include "mvreju/fi/inject.hpp"
+#include "mvreju/ml/model.hpp"
+
+using namespace mvreju;
+
+int main() {
+    // 1. A small traffic-sign dataset (procedural GTSRB stand-in).
+    data::SignDatasetConfig data_cfg;
+    data_cfg.train_count = 2400;
+    data_cfg.test_count = 320;
+    const auto dataset = data::make_traffic_signs(data_cfg);
+
+    // Drop a few rendered samples next to the binary for visual inspection.
+    for (int i = 0; i < 3; ++i) {
+        const std::string file = "sign_sample_" + std::to_string(i) + ".ppm";
+        data::write_ppm(dataset.test.images[static_cast<std::size_t>(i)], file);
+        std::printf("wrote %s (%s)\n", file.c_str(),
+                    data::sign_class_name(dataset.test.labels[static_cast<std::size_t>(i)])
+                        .c_str());
+    }
+
+    // 2. Three diverse versions: different architectures, same task.
+    std::printf("training three diverse classifiers (~30 s)...\n");
+    std::vector<ml::Sequential> versions;
+    versions.push_back(ml::make_tiny_lenet(3, 16, data::kSignClasses, 38));
+    versions.push_back(ml::make_mini_alexnet(3, 16, data::kSignClasses, 39));
+    versions.push_back(ml::make_micro_resnet(3, 16, data::kSignClasses, 40));
+    for (auto& model : versions) {
+        ml::TrainConfig tc;
+        tc.epochs = 10;
+        tc.learning_rate = 0.025f;
+        tc.lr_decay = 0.88f;
+        model.train(dataset.train, tc);
+        std::printf("  %-12s accuracy %.3f\n", model.name().c_str(),
+                    model.evaluate(dataset.test).accuracy);
+    }
+
+    // 3. Compromise one version: a single corrupted weight, PyTorchFI-style.
+    std::vector<ml::Sequential> compromised;
+    for (std::size_t m = 0; m < versions.size(); ++m) {
+        ml::Sequential copy = versions[m];
+        (void)fi::random_weight_inj(copy, 0, -10.0f, 30.0f, 100 + m);
+        compromised.push_back(std::move(copy));
+    }
+
+    // 4. Wire the multi-version system: versions + voter + health process.
+    std::vector<core::VersionSpec<ml::Tensor, int>> specs;
+    for (std::size_t m = 0; m < versions.size(); ++m) {
+        core::VersionSpec<ml::Tensor, int> spec;
+        spec.healthy = [model = versions[m]](const ml::Tensor& x) {
+            return model.predict(x);
+        };
+        spec.compromised = [model = compromised[m]](const ml::Tensor& x) {
+            return model.predict(x);
+        };
+        specs.push_back(std::move(spec));
+    }
+    core::HealthEngineConfig health_cfg;  // Table IV defaults, frozen clocks:
+    health_cfg.timing.mttc = 1e12;        // we drive the health by hand below
+    core::MultiVersionSystem<ml::Tensor, int> system(std::move(specs),
+                                                     core::Voter<int>{},
+                                                     core::HealthEngine{health_cfg});
+
+    // 5. Classify with a healthy majority, then compromise a module.
+    auto accuracy = [&](double at_time) {
+        std::size_t correct = 0;
+        std::size_t decided = 0;
+        for (std::size_t i = 0; i < dataset.test.size(); ++i) {
+            const auto frame = system.process(at_time, dataset.test.images[i]);
+            if (!frame.vote.decided()) continue;
+            ++decided;
+            if (*frame.vote.value == dataset.test.labels[i]) ++correct;
+        }
+        std::printf("  decided outputs: %zu/%zu (%.1f%% safely skipped), "
+                    "accuracy of decided outputs %.3f\n",
+                    decided, dataset.test.size(),
+                    100.0 * (dataset.test.size() - decided) / dataset.test.size(),
+                    decided ? static_cast<double>(correct) / decided : 0.0);
+    };
+
+    std::printf("all three versions healthy:\n");
+    accuracy(1.0);
+
+    std::printf("version 0 compromised (weight fault) -- the majority masks it:\n");
+    system.health().force_compromise(0);
+    accuracy(2.0);
+
+    std::printf("versions 0 and 1 compromised -- divergence now causes safe skips:\n");
+    system.health().force_compromise(1);
+    accuracy(3.0);
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Resilient inference service: the threaded active-replication runtime.
+// Three classifier versions run on their own worker threads behind the
+// trusted voter with a per-frame response deadline. We then attack the
+// replicas one by one -- corrupt a weight, wedge a worker -- and rejuvenate
+// them back to health while the service keeps answering.
+//
+//   ./build/examples/resilient_service
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "mvreju/core/runtime.hpp"
+#include "mvreju/data/signs.hpp"
+#include "mvreju/fi/inject.hpp"
+#include "mvreju/ml/model.hpp"
+
+using namespace mvreju;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// Serve `count` classifications and report the outcome mix.
+void serve(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& test,
+           int count, const char* label) {
+    int decided = 0;
+    int correct = 0;
+    int skipped = 0;
+    int silent = 0;
+    for (int i = 0; i < count; ++i) {
+        const std::size_t k = static_cast<std::size_t>(i) % test.size();
+        const auto vote = service.process(test.images[k]);
+        switch (vote.kind) {
+            case core::VoteKind::decided:
+                ++decided;
+                correct += (*vote.value == test.labels[k]);
+                break;
+            case core::VoteKind::skipped: ++skipped; break;
+            case core::VoteKind::no_output: ++silent; break;
+        }
+    }
+    std::printf("%-34s %3d decided (%.2f correct), %d skipped, %d silent\n", label,
+                decided, decided ? static_cast<double>(correct) / decided : 0.0,
+                skipped, silent);
+}
+
+}  // namespace
+
+int main() {
+    data::SignDatasetConfig data_cfg;
+    data_cfg.train_count = 1600;
+    data_cfg.test_count = 200;
+    const auto dataset = data::make_traffic_signs(data_cfg);
+
+    std::printf("training three diverse classifiers (~20 s)...\n");
+    std::vector<ml::Sequential> models;
+    models.push_back(ml::make_tiny_lenet(3, 16, data::kSignClasses, 38));
+    models.push_back(ml::make_mini_alexnet(3, 16, data::kSignClasses, 39));
+    models.push_back(ml::make_micro_resnet(3, 16, data::kSignClasses, 40));
+    for (auto& model : models) {
+        ml::TrainConfig tc;
+        tc.epochs = 8;
+        tc.learning_rate = 0.025f;
+        tc.lr_decay = 0.9f;
+        model.train(dataset.train, tc);
+    }
+
+    // Module behaviours capture copies so rejuvenation can always reload a
+    // pristine version "from safe storage".
+    auto version_fn = [](ml::Sequential model) {
+        return [model = std::move(model)](const ml::Tensor& x) {
+            return model.predict(x);
+        };
+    };
+
+    core::RuntimeSystem<ml::Tensor, int>::Options options;
+    options.deadline = 100ms;
+    core::RuntimeSystem<ml::Tensor, int> service(
+        {version_fn(models[0]), version_fn(models[1]), version_fn(models[2])},
+        core::Voter<int>{}, options);
+
+    serve(service, dataset.test, 200, "all replicas healthy:");
+
+    // Attack 1: corrupt a weight of replica 0 (it keeps answering, wrongly).
+    ml::Sequential corrupted = models[0];
+    (void)fi::random_weight_inj(corrupted, 0, -10.0f, 30.0f, 7);
+    service.rejuvenate(0, version_fn(std::move(corrupted)));  // "attack" swap
+    serve(service, dataset.test, 200, "replica 0 compromised:");
+
+    // Attack 2: wedge replica 1 entirely (never answers again).
+    service.rejuvenate(1, [](const ml::Tensor& x) -> int {
+        std::this_thread::sleep_for(3600s);
+        return static_cast<int>(x.size());  // unreachable
+    });
+    serve(service, dataset.test, 100, "replica 1 wedged as well:");
+    std::printf("  replica 1 deadline misses so far: %zu\n", service.timeouts(1));
+
+    // Rejuvenation: reload both from pristine storage.
+    service.rejuvenate(0, version_fn(models[0]));
+    service.rejuvenate(1, version_fn(models[1]));
+    serve(service, dataset.test, 200, "after rejuvenation:");
+
+    std::printf("total rejuvenations performed: %zu\n", service.rejuvenations());
+    return 0;
+}

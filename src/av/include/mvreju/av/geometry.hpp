@@ -1,0 +1,52 @@
+#pragma once
+
+// 2-D geometry primitives for the driving simulator: vectors, oriented
+// bounding boxes, and the separating-axis overlap test used for collision
+// checking.
+
+#include <cmath>
+
+namespace mvreju::av {
+
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double k) const noexcept { return {x * k, y * k}; }
+    [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+    [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+    [[nodiscard]] Vec2 normalized() const noexcept {
+        const double n = norm();
+        return n > 0.0 ? Vec2{x / n, y / n} : Vec2{1.0, 0.0};
+    }
+    /// Perpendicular (rotated +90 degrees).
+    [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+    friend constexpr bool operator==(Vec2, Vec2) = default;
+};
+
+/// Unit direction for a heading angle (radians, 0 = +x, CCW positive).
+[[nodiscard]] inline Vec2 heading_dir(double heading) noexcept {
+    return {std::cos(heading), std::sin(heading)};
+}
+
+/// Wrap an angle to (-pi, pi].
+[[nodiscard]] double wrap_angle(double angle) noexcept;
+
+/// Oriented bounding box: centre, half-extents (along local x = heading,
+/// local y = lateral) and heading.
+struct Obb {
+    Vec2 center;
+    double half_length = 2.25;  ///< typical car: 4.5 m long
+    double half_width = 0.95;   ///< 1.9 m wide
+    double heading = 0.0;
+};
+
+/// Separating-axis overlap test for two OBBs.
+[[nodiscard]] bool overlaps(const Obb& a, const Obb& b) noexcept;
+
+/// Transform a world point into the frame of an OBB (x forward, y left).
+[[nodiscard]] Vec2 to_local(const Obb& frame, Vec2 world) noexcept;
+
+}  // namespace mvreju::av

@@ -1,0 +1,61 @@
+#pragma once
+
+// Localization substrate — the GNSS + dead-reckoning half of the OpenCDA
+// perception/localization pipeline the paper builds on (Section VII-A lists
+// GNSS among the sensors). A noisy satellite fix arrives at a low rate (and
+// occasionally drops out); between fixes the ego's pose is propagated by the
+// kinematic bicycle model, and a complementary filter blends the two.
+
+#include <cstdint>
+
+#include "mvreju/av/geometry.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::av {
+
+struct GnssConfig {
+    double position_sigma = 0.8;  ///< metres, per axis
+    double heading_sigma = 0.03;  ///< radians
+    double dropout_probability = 0.05;  ///< chance a fix is unavailable
+};
+
+struct GnssFix {
+    Vec2 position;
+    double heading = 0.0;
+    bool valid = false;
+};
+
+/// Sample a (noisy, possibly missing) GNSS fix for a true pose.
+[[nodiscard]] GnssFix sample_gnss(Vec2 true_position, double true_heading,
+                                  const GnssConfig& config, util::Rng& rng);
+
+/// Complementary filter: dead reckoning with the bicycle model, blended
+/// towards GNSS fixes with gain `blend` per correction.
+class Localizer {
+public:
+    Localizer(Vec2 initial_position, double initial_heading, double blend = 0.2,
+              double wheelbase = 2.8);
+
+    /// Propagate the estimate by one control step (same inputs the vehicle
+    /// received: commanded speed after integration, steering angle).
+    void predict(double speed, double steer, double dt);
+
+    /// Blend a GNSS fix into the estimate; invalid fixes are ignored.
+    void correct(const GnssFix& fix);
+
+    [[nodiscard]] Vec2 position() const noexcept { return position_; }
+    [[nodiscard]] double heading() const noexcept { return heading_; }
+
+    /// Estimation error against a reference pose (for tests/telemetry).
+    [[nodiscard]] double position_error(Vec2 reference) const noexcept {
+        return (position_ - reference).norm();
+    }
+
+private:
+    Vec2 position_;
+    double heading_;
+    double blend_;
+    double wheelbase_;
+};
+
+}  // namespace mvreju::av

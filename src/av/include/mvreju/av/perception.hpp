@@ -1,0 +1,100 @@
+#pragma once
+
+// Perception versions for the AV case study: three diverse detector
+// networks (stand-ins for the YOLOv5s6/m6/l6 variants of Section VII-A)
+// classifying the sensor grid into distance buckets, plus their compromised
+// (weight-fault-injected) twins, with disk caching so the benchmarks do not
+// retrain on every run.
+
+#include <filesystem>
+#include <optional>
+
+#include "mvreju/av/sensor.hpp"
+#include "mvreju/ml/model.hpp"
+
+namespace mvreju::av {
+
+/// A perception proposal: the distance bucket of the nearest in-lane
+/// vehicle (see sensor.hpp for the bucket space).
+struct Detection {
+    int bucket = 0;
+    friend bool operator==(Detection, Detection) = default;
+};
+
+/// Approximate agreement for the voter: adjacent buckets agree (the
+/// approximate-voting option the paper cites from Dolev et al.).
+struct DetectionNear {
+    [[nodiscard]] bool operator()(Detection a, Detection b) const noexcept {
+        const int diff = a.bucket - b.bucket;
+        return diff >= -1 && diff <= 1;
+    }
+};
+
+/// The detector architectures (nano..xlarge, mirroring the YOLOv5 family).
+[[nodiscard]] ml::Sequential make_detector_n(const SensorConfig& config,
+                                             std::uint64_t seed);
+[[nodiscard]] ml::Sequential make_detector_s(const SensorConfig& config,
+                                             std::uint64_t seed);
+[[nodiscard]] ml::Sequential make_detector_m(const SensorConfig& config,
+                                             std::uint64_t seed);
+[[nodiscard]] ml::Sequential make_detector_l(const SensorConfig& config,
+                                             std::uint64_t seed);
+[[nodiscard]] ml::Sequential make_detector_x(const SensorConfig& config,
+                                             std::uint64_t seed);
+
+/// One corrupted variant of a detector version.
+struct CompromisedVariant {
+    ml::Sequential model;
+    double accuracy = 0.0;
+    double optimism = 0.0;  ///< optimistic rate on hazard scenes
+    std::uint64_t injection_seed = 0;
+    std::size_t injection_layer = 0;
+};
+
+/// Healthy detectors plus pools of compromised variants. Each compromise
+/// event at runtime draws a fresh variant (PyTorchFI-style runtime
+/// perturbation): a module corrupted twice does not fail identically.
+struct DetectorSet {
+    std::vector<ml::Sequential> healthy;
+    std::vector<std::vector<CompromisedVariant>> compromised;  ///< [version][variant]
+    std::vector<double> healthy_accuracy;
+};
+
+struct DetectorTrainOptions {
+    std::size_t train_samples = 4000;
+    std::size_t eval_samples = 800;
+    int epochs = 8;
+    float learning_rate = 0.02f;
+    float lr_decay = 0.9f;
+    std::uint64_t seed = 38;
+    /// PyTorchFI-style weight corruption range used in the paper (Section
+    /// VII-A): random_weight_inj with (-100, 300).
+    float inject_min = -100.0f;
+    float inject_max = 300.0f;
+    /// Accept an injection seed when the compromised model is *optimistic*:
+    /// on scenes with a vehicle within 27 m (truth bucket >= 3) it reports a
+    /// bucket at least two steps farther than reality at this rate or more.
+    /// This mirrors the dominant failure mode of a weight-corrupted object
+    /// detector: missed/underestimated detections.
+    double min_optimistic_rate = 0.5;
+    /// Variants collected per version. Within a version's pool, variants are
+    /// deduplicated by their hazard-scene prediction signature so the pool
+    /// spans distinct failure modes (collapse-to-clear, collapse-to-far,
+    /// mixed garbage, ...).
+    std::size_t variants_per_version = 1;
+    /// Number of diverse versions to prepare (3 for the paper's case study,
+    /// up to 5 for the N>3 extension experiments).
+    std::size_t versions = 3;
+    /// Cache directory for trained parameters ("" disables caching).
+    std::filesystem::path cache_dir;
+};
+
+/// Train (or load from cache) the three detector versions and produce the
+/// compromised twins by deterministic fault-injection seed scanning.
+[[nodiscard]] DetectorSet prepare_detectors(const SensorConfig& config,
+                                            const DetectorTrainOptions& options);
+
+/// Run one detector on a sensor grid.
+[[nodiscard]] Detection detect(const ml::Sequential& model, const ml::Tensor& grid);
+
+}  // namespace mvreju::av

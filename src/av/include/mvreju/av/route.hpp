@@ -1,0 +1,69 @@
+#pragma once
+
+// Routes and towns. A route is an arc-length parameterised polyline with a
+// speed limit; towns bundle the eight evaluation routes of Section VII-A
+// (two per town, mirroring the paper's Town02-Town05 selection in CARLA).
+
+#include <string>
+#include <vector>
+
+#include "mvreju/av/geometry.hpp"
+
+namespace mvreju::av {
+
+/// Arc-length parameterised polyline path.
+class Route {
+public:
+    Route(std::string name, std::vector<Vec2> waypoints, double speed_limit);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] double length() const noexcept { return cumulative_.back(); }
+    [[nodiscard]] double speed_limit() const noexcept { return speed_limit_; }
+    [[nodiscard]] const std::vector<Vec2>& waypoints() const noexcept { return waypoints_; }
+
+    /// World point at arc length s (clamped to [0, length]).
+    [[nodiscard]] Vec2 point_at(double s) const;
+
+    /// Tangent heading (radians) at arc length s.
+    [[nodiscard]] double heading_at(double s) const;
+
+    /// Unsigned curvature (1/m) at arc length s, estimated by the heading
+    /// change over a +-3 m window.
+    [[nodiscard]] double curvature_at(double s) const;
+
+    /// Arc length of the point on the route closest to `p`, searched within
+    /// [hint - window, hint + window] (local tracking; the ego never jumps).
+    [[nodiscard]] double project(Vec2 p, double hint, double window = 30.0) const;
+
+private:
+    [[nodiscard]] std::size_t segment_of(double s) const;
+
+    std::string name_;
+    std::vector<Vec2> waypoints_;
+    std::vector<double> cumulative_;  // cumulative_[i] = arc length at waypoint i
+    double speed_limit_;
+};
+
+/// A named map with its evaluation routes.
+struct Town {
+    std::string name;
+    std::vector<Route> routes;
+};
+
+/// The four evaluation towns (2 routes each, 8 routes total, Fig. 5).
+/// Town02: city grid with right-angle turns. Town03: ring road with chords.
+/// Town04: highway figure-eight. Town05: suburban S-curves.
+[[nodiscard]] std::vector<Town> make_towns();
+
+/// Flat list of the eight evaluation routes as (town index, route index).
+struct RouteRef {
+    std::size_t town = 0;
+    std::size_t route = 0;
+};
+[[nodiscard]] std::vector<RouteRef> evaluation_routes(const std::vector<Town>& towns);
+
+/// ASCII sketch of a route within its town (Fig. 5 rendering): 'o' start,
+/// '*' end, '#' path.
+[[nodiscard]] std::string render_ascii(const Route& route, int width = 56, int height = 20);
+
+}  // namespace mvreju::av

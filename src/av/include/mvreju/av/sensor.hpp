@@ -1,0 +1,51 @@
+#pragma once
+
+// Sensor model: an ego-frame occupancy grid rendered from the vehicles
+// around the ego (the LiDAR/camera stand-in), the distance-bucket output
+// space of the detectors, and the scene generator used to train them.
+
+#include <span>
+
+#include "mvreju/av/geometry.hpp"
+#include "mvreju/ml/model.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::av {
+
+/// Detector output space: bucket 0 = no vehicle ahead within range; buckets
+/// 1..7 = decreasing distance (7 = imminent). This discretisation plays the
+/// role of YOLO's bounding-box distance estimate in the OpenCDA pipeline.
+inline constexpr int kDistanceBuckets = 8;
+
+/// Bucket for a forward distance in metres.
+[[nodiscard]] int distance_to_bucket(double distance) noexcept;
+
+/// Conservative (bucket lower-edge) distance in metres for planning;
+/// bucket 0 maps to +inf.
+[[nodiscard]] double bucket_to_distance(int bucket);
+
+struct SensorConfig {
+    std::size_t grid = 12;      ///< cells per side
+    double range = 48.0;        ///< forward coverage in metres
+    double lateral = 12.0;      ///< half lateral coverage in metres
+    double corridor = 2.6;      ///< half-width of the ego lane corridor
+    double noise_sigma = 0.06;  ///< additive sensor noise
+};
+
+/// Render the (2, grid, grid) sensor tensor for the ego pose: channel 0 is
+/// vehicle occupancy, channel 1 a fixed forward-distance ramp that gives the
+/// (translation-invariant) convolutions an absolute position reference.
+[[nodiscard]] ml::Tensor render_grid(const Obb& ego, std::span<const Obb> vehicles,
+                                     const SensorConfig& config, util::Rng& rng);
+
+/// Ground-truth forward distance to the nearest vehicle inside the ego-lane
+/// corridor (bumper to bumper); +inf when none within range.
+[[nodiscard]] double ground_truth_distance(const Obb& ego, std::span<const Obb> vehicles,
+                                           const SensorConfig& config);
+
+/// Labelled dataset of synthetic sensor scenes for detector training.
+[[nodiscard]] ml::Dataset make_detector_dataset(std::size_t count,
+                                                const SensorConfig& config,
+                                                std::uint64_t seed);
+
+}  // namespace mvreju::av

@@ -1,0 +1,73 @@
+#pragma once
+
+// Vehicles: the ego uses a kinematic bicycle model driven by the controller;
+// NPC traffic follows a route with a scripted stop-and-go speed profile —
+// the rear-end hazard the perception system must detect in time.
+
+#include <cstdint>
+
+#include "mvreju/av/geometry.hpp"
+#include "mvreju/av/route.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::av {
+
+/// Kinematic bicycle model.
+class EgoVehicle {
+public:
+    EgoVehicle(Vec2 position, double heading, double wheelbase = 2.8);
+
+    /// Integrate one step with commanded acceleration (m/s^2) and steering
+    /// angle (rad). Speed never goes negative (no reverse).
+    void step(double accel, double steer, double dt);
+
+    [[nodiscard]] Vec2 position() const noexcept { return position_; }
+    [[nodiscard]] double heading() const noexcept { return heading_; }
+    [[nodiscard]] double speed() const noexcept { return speed_; }
+    void set_speed(double speed) noexcept { speed_ = speed < 0.0 ? 0.0 : speed; }
+
+    [[nodiscard]] Obb obb() const noexcept {
+        return {position_, 2.25, 0.95, heading_};
+    }
+
+private:
+    Vec2 position_;
+    double heading_;
+    double speed_ = 0.0;
+    double wheelbase_;
+};
+
+/// Stop-and-go profile parameters for an NPC.
+struct NpcProfile {
+    double cruise_speed = 7.0;   ///< m/s when moving
+    double cruise_time = 6.0;    ///< seconds between braking episodes
+    double stop_time = 3.0;      ///< dwell at standstill
+    double brake = 3.0;          ///< m/s^2
+    double accel = 2.0;          ///< m/s^2
+};
+
+/// Route-following lead vehicle with a periodic stop-and-go cycle.
+class NpcVehicle {
+public:
+    NpcVehicle(const Route& route, double initial_s, NpcProfile profile,
+               std::uint64_t seed);
+
+    void step(double dt);
+
+    [[nodiscard]] double s() const noexcept { return s_; }
+    [[nodiscard]] double speed() const noexcept { return speed_; }
+    [[nodiscard]] Obb obb() const;
+
+private:
+    enum class Phase { cruise, braking, stopped, accelerating };
+
+    const Route* route_;
+    double s_;
+    double speed_;
+    NpcProfile profile_;
+    Phase phase_ = Phase::cruise;
+    double phase_left_;
+    util::Rng rng_;
+};
+
+}  // namespace mvreju::av

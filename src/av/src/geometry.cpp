@@ -1,0 +1,60 @@
+#include "mvreju/av/geometry.hpp"
+
+#include <array>
+
+namespace mvreju::av {
+
+double wrap_angle(double angle) noexcept {
+    constexpr double two_pi = 6.283185307179586;
+    while (angle > 3.141592653589793) angle -= two_pi;
+    while (angle <= -3.141592653589793) angle += two_pi;
+    return angle;
+}
+
+namespace {
+
+std::array<Vec2, 4> corners(const Obb& box) noexcept {
+    const Vec2 fwd = heading_dir(box.heading);
+    const Vec2 left = fwd.perp();
+    const Vec2 dl = fwd * box.half_length;
+    const Vec2 dw = left * box.half_width;
+    return {box.center + dl + dw, box.center + dl - dw, box.center - dl + dw,
+            box.center - dl - dw};
+}
+
+/// Projection interval of a box onto an axis.
+void project(const std::array<Vec2, 4>& pts, Vec2 axis, double& lo, double& hi) noexcept {
+    lo = hi = pts[0].dot(axis);
+    for (std::size_t i = 1; i < 4; ++i) {
+        const double v = pts[i].dot(axis);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+}
+
+}  // namespace
+
+bool overlaps(const Obb& a, const Obb& b) noexcept {
+    const auto pa = corners(a);
+    const auto pb = corners(b);
+    const std::array<Vec2, 4> axes = {heading_dir(a.heading), heading_dir(a.heading).perp(),
+                                      heading_dir(b.heading), heading_dir(b.heading).perp()};
+    for (Vec2 axis : axes) {
+        double alo;
+        double ahi;
+        double blo;
+        double bhi;
+        project(pa, axis, alo, ahi);
+        project(pb, axis, blo, bhi);
+        if (ahi < blo || bhi < alo) return false;  // separating axis found
+    }
+    return true;
+}
+
+Vec2 to_local(const Obb& frame, Vec2 world) noexcept {
+    const Vec2 d = world - frame.center;
+    const Vec2 fwd = heading_dir(frame.heading);
+    return {d.dot(fwd), d.dot(fwd.perp())};
+}
+
+}  // namespace mvreju::av

@@ -1,0 +1,41 @@
+#include "mvreju/av/localization.hpp"
+
+#include <stdexcept>
+
+namespace mvreju::av {
+
+GnssFix sample_gnss(Vec2 true_position, double true_heading, const GnssConfig& config,
+                    util::Rng& rng) {
+    GnssFix fix;
+    if (rng.bernoulli(config.dropout_probability)) return fix;  // no fix this cycle
+    fix.position = {true_position.x + rng.normal(0.0, config.position_sigma),
+                    true_position.y + rng.normal(0.0, config.position_sigma)};
+    fix.heading = wrap_angle(true_heading + rng.normal(0.0, config.heading_sigma));
+    fix.valid = true;
+    return fix;
+}
+
+Localizer::Localizer(Vec2 initial_position, double initial_heading, double blend,
+                     double wheelbase)
+    : position_(initial_position),
+      heading_(initial_heading),
+      blend_(blend),
+      wheelbase_(wheelbase) {
+    if (blend <= 0.0 || blend > 1.0)
+        throw std::invalid_argument("Localizer: blend must be in (0, 1]");
+    if (wheelbase <= 0.0) throw std::invalid_argument("Localizer: wheelbase <= 0");
+}
+
+void Localizer::predict(double speed, double steer, double dt) {
+    if (dt <= 0.0) throw std::invalid_argument("Localizer::predict: dt <= 0");
+    heading_ = wrap_angle(heading_ + speed / wheelbase_ * std::tan(steer) * dt);
+    position_ = position_ + heading_dir(heading_) * (speed * dt);
+}
+
+void Localizer::correct(const GnssFix& fix) {
+    if (!fix.valid) return;
+    position_ = position_ + (fix.position - position_) * blend_;
+    heading_ = wrap_angle(heading_ + wrap_angle(fix.heading - heading_) * blend_);
+}
+
+}  // namespace mvreju::av

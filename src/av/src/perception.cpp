@@ -1,0 +1,231 @@
+#include "mvreju/av/perception.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "mvreju/fi/inject.hpp"
+
+namespace mvreju::av {
+
+namespace {
+constexpr std::size_t kChannels = 2;
+}
+
+ml::Sequential make_detector_n(const SensorConfig& config, std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t side = config.grid;
+    const std::size_t s1 = side / 2;
+    ml::Sequential model("DetectorN");
+    model.add(std::make_unique<ml::Conv2D>(kChannels, 5, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::MaxPool2D>())
+        .add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(5 * s1 * s1, 24, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Dense>(24, kDistanceBuckets, rng));
+    return model;
+}
+
+ml::Sequential make_detector_x(const SensorConfig& config, std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t side = config.grid;
+    const std::size_t s1 = side / 2;
+    ml::Sequential model("DetectorX");
+    model.add(std::make_unique<ml::Conv2D>(kChannels, 10, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Conv2D>(10, 10, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::MaxPool2D>())
+        .add(std::make_unique<ml::ResidualBlock>(10, 3, rng))
+        .add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(10 * s1 * s1, 56, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Dense>(56, kDistanceBuckets, rng));
+    return model;
+}
+
+ml::Sequential make_detector_s(const SensorConfig& config, std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t side = config.grid;
+    const std::size_t s2 = side / 2 / 2;
+    ml::Sequential model("DetectorS");
+    model.add(std::make_unique<ml::Conv2D>(kChannels, 6, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::MaxPool2D>())
+        .add(std::make_unique<ml::Conv2D>(6, 12, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::MaxPool2D>())
+        .add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(12 * s2 * s2, 32, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Dense>(32, kDistanceBuckets, rng));
+    return model;
+}
+
+ml::Sequential make_detector_m(const SensorConfig& config, std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t side = config.grid;
+    const std::size_t s1 = side / 2;
+    ml::Sequential model("DetectorM");
+    model.add(std::make_unique<ml::Conv2D>(kChannels, 8, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Conv2D>(8, 8, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::MaxPool2D>())
+        .add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(8 * s1 * s1, 48, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Dense>(48, kDistanceBuckets, rng));
+    return model;
+}
+
+ml::Sequential make_detector_l(const SensorConfig& config, std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t side = config.grid;
+    const std::size_t s1 = side / 2;
+    ml::Sequential model("DetectorL");
+    model.add(std::make_unique<ml::Conv2D>(kChannels, 8, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::MaxPool2D>())
+        .add(std::make_unique<ml::ResidualBlock>(8, 3, rng))
+        .add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(8 * s1 * s1, 40, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Dense>(40, kDistanceBuckets, rng));
+    return model;
+}
+
+Detection detect(const ml::Sequential& model, const ml::Tensor& grid) {
+    return {model.predict(grid)};
+}
+
+DetectorSet prepare_detectors(const SensorConfig& config,
+                              const DetectorTrainOptions& options) {
+    namespace fs = std::filesystem;
+    if (options.versions < 1 || options.versions > 5)
+        throw std::invalid_argument("prepare_detectors: versions must be 1..5");
+    DetectorSet set;
+    set.healthy.push_back(make_detector_s(config, options.seed));
+    if (options.versions >= 2) set.healthy.push_back(make_detector_m(config, options.seed + 1));
+    if (options.versions >= 3) set.healthy.push_back(make_detector_l(config, options.seed + 2));
+    if (options.versions >= 4) set.healthy.push_back(make_detector_n(config, options.seed + 3));
+    if (options.versions >= 5) set.healthy.push_back(make_detector_x(config, options.seed + 4));
+
+    const ml::Dataset eval_set =
+        make_detector_dataset(options.eval_samples, config, options.seed + 101);
+
+    ml::Dataset train_set;  // built lazily only if some model needs training
+    for (auto& model : set.healthy) {
+        fs::path cache_file;
+        if (!options.cache_dir.empty()) {
+            fs::create_directories(options.cache_dir);
+            cache_file = options.cache_dir / (model.name() + ".params");
+        }
+        bool loaded = false;
+        if (!cache_file.empty() && fs::exists(cache_file)) {
+            model.load_parameters(cache_file);
+            loaded = true;
+        }
+        if (!loaded) {
+            if (train_set.size() == 0)
+                train_set = make_detector_dataset(options.train_samples, config,
+                                                  options.seed + 100);
+            ml::TrainConfig tc;
+            tc.epochs = options.epochs;
+            tc.learning_rate = options.learning_rate;
+            tc.lr_decay = options.lr_decay;
+            tc.shuffle_seed = options.seed;
+            model.train(train_set, tc);
+            if (!cache_file.empty()) model.save_parameters(cache_file);
+        }
+        set.healthy_accuracy.push_back(model.evaluate(eval_set).accuracy);
+    }
+
+    // Compromised variant pools: scan injection (layer, seed) pairs per
+    // version and keep optimistic variants with pairwise-distinct failure
+    // signatures. Each runtime compromise event later draws one variant.
+    std::vector<std::size_t> hazard_scenes;
+    for (std::size_t i = 0; i < eval_set.size(); ++i)
+        if (eval_set.labels[i] >= 3) hazard_scenes.push_back(i);
+
+    auto hazard_predictions = [&](const ml::Sequential& model) {
+        std::vector<int> preds;
+        preds.reserve(hazard_scenes.size());
+        for (std::size_t i : hazard_scenes) preds.push_back(model.predict(eval_set.images[i]));
+        return preds;
+    };
+    auto optimistic_rate = [&](const std::vector<int>& preds) {
+        std::size_t optimistic = 0;
+        for (std::size_t k = 0; k < preds.size(); ++k)
+            if (preds[k] <= eval_set.labels[hazard_scenes[k]] - 2) ++optimistic;
+        return hazard_scenes.empty()
+                   ? 0.0
+                   : static_cast<double>(optimistic) / hazard_scenes.size();
+    };
+    auto pairwise_agreement = [&](const std::vector<int>& a, const std::vector<int>& b) {
+        std::size_t agree = 0;
+        for (std::size_t k = 0; k < a.size(); ++k)
+            if (std::abs(a[k] - b[k]) <= 1) ++agree;
+        return a.empty() ? 0.0 : static_cast<double>(agree) / a.size();
+    };
+
+    // Each pool is filled slot-by-slot so that the failure modes span the
+    // spectrum a corrupted detector exhibits: slot 0 collapses towards
+    // "clear" (missed detections -- the dangerous mode), slots 1-2 collapse
+    // towards mid/near buckets (pessimistic garbage), slot 3 is mixed
+    // garbage with no dominant output. Two simultaneously compromised
+    // modules therefore only rarely agree on "clear".
+    constexpr std::size_t kSlots = 4;
+    auto slot_of = [](const std::vector<int>& preds, double accuracy) -> int {
+        if (preds.empty()) return -1;
+        std::array<std::size_t, kDistanceBuckets> hist{};
+        for (int p : preds) ++hist[static_cast<std::size_t>(p)];
+        const std::size_t modal = static_cast<std::size_t>(
+            std::max_element(hist.begin(), hist.end()) - hist.begin());
+        const double share =
+            static_cast<double>(hist[modal]) / static_cast<double>(preds.size());
+        if (share < 0.6) return accuracy <= 0.6 ? 3 : -1;  // mixed garbage
+        if (modal <= 1) return 0;                          // collapse to clear
+        if (modal <= 3) return 1;                          // collapse to mid
+        return 2;                                          // collapse to near
+    };
+
+    set.compromised.resize(set.healthy.size());
+    for (std::size_t m = 0; m < set.healthy.size(); ++m) {
+        const std::size_t layers = fi::injectable_layer_count(set.healthy[m]);
+        std::array<bool, kSlots> filled{};
+        std::size_t filled_count = 0;
+        for (std::uint64_t attempt = 0;
+             attempt < 250 * layers && filled_count < options.variants_per_version;
+             ++attempt) {
+            ml::Sequential candidate = set.healthy[m];
+            const std::uint64_t inj_seed = options.seed * 1000 + m * 211 + attempt % 250;
+            const std::size_t layer = attempt / 250;  // scan layer by layer
+            (void)fi::random_weight_inj(candidate, layer, options.inject_min,
+                                        options.inject_max, inj_seed);
+            const double accuracy = candidate.evaluate(eval_set).accuracy;
+            const auto preds = hazard_predictions(candidate);
+            const int slot = slot_of(preds, accuracy);
+            if (slot < 0 || filled[static_cast<std::size_t>(slot)]) continue;
+            if (slot == 0 && optimistic_rate(preds) < options.min_optimistic_rate)
+                continue;
+            CompromisedVariant variant{std::move(candidate), accuracy,
+                                       optimistic_rate(preds), inj_seed, layer};
+            set.compromised[m].push_back(std::move(variant));
+            filled[static_cast<std::size_t>(slot)] = true;
+            ++filled_count;
+        }
+        (void)pairwise_agreement;
+        const std::size_t required = std::min<std::size_t>(2, options.variants_per_version);
+        if (set.compromised[m].size() < required)
+            throw std::runtime_error(
+                "prepare_detectors: not enough distinct failure modes found for " +
+                set.healthy[m].name());
+    }
+    return set;
+}
+
+}  // namespace mvreju::av

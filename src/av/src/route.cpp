@@ -1,0 +1,231 @@
+#include "mvreju/av/route.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mvreju::av {
+
+Route::Route(std::string name, std::vector<Vec2> waypoints, double speed_limit)
+    : name_(std::move(name)), waypoints_(std::move(waypoints)), speed_limit_(speed_limit) {
+    if (waypoints_.size() < 2) throw std::invalid_argument("Route: need >= 2 waypoints");
+    if (speed_limit_ <= 0.0) throw std::invalid_argument("Route: non-positive speed limit");
+    cumulative_.resize(waypoints_.size());
+    cumulative_[0] = 0.0;
+    for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+        const double seg = (waypoints_[i] - waypoints_[i - 1]).norm();
+        if (seg <= 0.0) throw std::invalid_argument("Route: duplicate waypoints");
+        cumulative_[i] = cumulative_[i - 1] + seg;
+    }
+}
+
+std::size_t Route::segment_of(double s) const {
+    const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+    const std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+    if (idx == 0) return 0;
+    return std::min(idx - 1, waypoints_.size() - 2);
+}
+
+Vec2 Route::point_at(double s) const {
+    s = std::clamp(s, 0.0, length());
+    const std::size_t i = segment_of(s);
+    const double seg_len = cumulative_[i + 1] - cumulative_[i];
+    const double t = (s - cumulative_[i]) / seg_len;
+    return waypoints_[i] + (waypoints_[i + 1] - waypoints_[i]) * t;
+}
+
+double Route::heading_at(double s) const {
+    s = std::clamp(s, 0.0, length());
+    const std::size_t i = segment_of(s);
+    const Vec2 d = waypoints_[i + 1] - waypoints_[i];
+    return std::atan2(d.y, d.x);
+}
+
+double Route::curvature_at(double s) const {
+    constexpr double h = 3.0;
+    const double s0 = std::clamp(s - h, 0.0, length());
+    const double s1 = std::clamp(s + h, 0.0, length());
+    if (s1 - s0 < 1e-6) return 0.0;
+    const double dh = wrap_angle(heading_at(s1) - heading_at(s0));
+    return std::fabs(dh) / (s1 - s0);
+}
+
+double Route::project(Vec2 p, double hint, double window) const {
+    const double lo = std::clamp(hint - window, 0.0, length());
+    const double hi = std::clamp(hint + window, 0.0, length());
+    const std::size_t first = segment_of(lo);
+    const std::size_t last = segment_of(hi);
+
+    double best_s = lo;
+    double best_d2 = (point_at(lo) - p).dot(point_at(lo) - p);
+    for (std::size_t i = first; i <= last; ++i) {
+        const Vec2 a = waypoints_[i];
+        const Vec2 b = waypoints_[i + 1];
+        const Vec2 ab = b - a;
+        const double seg_len2 = ab.dot(ab);
+        double t = seg_len2 > 0.0 ? (p - a).dot(ab) / seg_len2 : 0.0;
+        t = std::clamp(t, 0.0, 1.0);
+        const Vec2 q = a + ab * t;
+        const double d2 = (q - p).dot(q - p);
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best_s = cumulative_[i] + std::sqrt(seg_len2) * t;
+        }
+    }
+    return std::clamp(best_s, lo, hi);
+}
+
+namespace {
+
+constexpr double kStep = 3.0;  ///< waypoint spacing in metres
+
+void append_straight(std::vector<Vec2>& pts, Vec2 to) {
+    const Vec2 from = pts.back();
+    const double len = (to - from).norm();
+    const int n = std::max(1, static_cast<int>(len / kStep));
+    for (int i = 1; i <= n; ++i) pts.push_back(from + (to - from) * (double(i) / n));
+}
+
+/// Append a circular arc around `center` from angle a0 to a1 (radians,
+/// signed sweep), radius r. The first point of the arc is assumed to match
+/// pts.back().
+void append_arc(std::vector<Vec2>& pts, Vec2 center, double r, double a0, double a1) {
+    const double sweep = a1 - a0;
+    const int n = std::max(2, static_cast<int>(std::fabs(sweep) * r / kStep));
+    for (int i = 1; i <= n; ++i) {
+        const double a = a0 + sweep * (double(i) / n);
+        pts.push_back(center + Vec2{std::cos(a), std::sin(a)} * r);
+    }
+}
+
+Town make_town02() {
+    // City grid: right-angle corners joined by r=12 arcs.
+    Town town{"Town02", {}};
+    {
+        std::vector<Vec2> pts{{0.0, 0.0}};
+        append_straight(pts, {128.0, 0.0});
+        append_arc(pts, {128.0, 12.0}, 12.0, -1.5707963, 0.0);
+        append_straight(pts, {140.0, 140.0});
+        town.routes.emplace_back("Town02#1", std::move(pts), 9.0);
+    }
+    {
+        std::vector<Vec2> pts{{0.0, 60.0}};
+        append_straight(pts, {80.0, 60.0});
+        append_arc(pts, {80.0, 48.0}, 12.0, 1.5707963, 0.0);
+        append_straight(pts, {92.0, -40.0});
+        append_arc(pts, {104.0, -40.0}, 12.0, 3.1415926, 4.7123889);
+        append_straight(pts, {200.0, -52.0});
+        town.routes.emplace_back("Town02#2", std::move(pts), 9.0);
+    }
+    return town;
+}
+
+Town make_town03() {
+    // Ring road with chords.
+    Town town{"Town03", {}};
+    {
+        std::vector<Vec2> pts{{60.0, 0.0}};
+        append_arc(pts, {0.0, 0.0}, 60.0, 0.0, 3.1415926);  // half ring
+        append_straight(pts, {-60.0, -90.0});
+        town.routes.emplace_back("Town03#1", std::move(pts), 10.0);
+    }
+    {
+        std::vector<Vec2> pts{{0.0, -60.0}};
+        append_arc(pts, {0.0, 0.0}, 60.0, -1.5707963, 1.8);  // ~3/4 ring
+        const Vec2 exit = pts.back();
+        append_straight(pts, exit + heading_dir(1.8 + 1.5707963) * 80.0);
+        town.routes.emplace_back("Town03#2", std::move(pts), 10.0);
+    }
+    return town;
+}
+
+Town make_town04() {
+    // Highway figure-eight: two opposing sweeping arcs.
+    Town town{"Town04", {}};
+    {
+        std::vector<Vec2> pts{{0.0, 0.0}};
+        append_straight(pts, {60.0, 0.0});
+        append_arc(pts, {60.0, 80.0}, 80.0, -1.5707963, 0.3);
+        const Vec2 exit = pts.back();
+        append_straight(pts, exit + heading_dir(0.3 + 1.5707963) * 60.0);
+        town.routes.emplace_back("Town04#1", std::move(pts), 11.0);
+    }
+    {
+        std::vector<Vec2> pts{{0.0, 40.0}};
+        append_arc(pts, {0.0, 120.0}, 80.0, -1.5707963, -0.2);
+        Vec2 exit = pts.back();
+        append_straight(pts, exit + heading_dir(-0.2 + 1.5707963) * 40.0);
+        exit = pts.back();
+        append_arc(pts, exit + heading_dir(-0.2) * 70.0, 70.0,
+                   3.1415926 - 0.2, 1.2);
+        town.routes.emplace_back("Town04#2", std::move(pts), 11.0);
+    }
+    return town;
+}
+
+Town make_town05() {
+    // Suburban S-curves: sinusoidal centreline.
+    Town town{"Town05", {}};
+    auto sine_route = [](const char* name, double amplitude, double wavelength,
+                         double total, double phase) {
+        std::vector<Vec2> pts;
+        const int n = static_cast<int>(total / kStep);
+        for (int i = 0; i <= n; ++i) {
+            const double x = total * (double(i) / n);
+            pts.push_back(
+                {x, amplitude * std::sin(6.283185307 * x / wavelength + phase)});
+        }
+        return Route(name, std::move(pts), 8.5);
+    };
+    town.routes.push_back(sine_route("Town05#1", 18.0, 160.0, 300.0, 0.0));
+    town.routes.push_back(sine_route("Town05#2", 24.0, 210.0, 300.0, 1.2));
+    return town;
+}
+
+}  // namespace
+
+std::vector<Town> make_towns() {
+    return {make_town02(), make_town03(), make_town04(), make_town05()};
+}
+
+std::vector<RouteRef> evaluation_routes(const std::vector<Town>& towns) {
+    std::vector<RouteRef> refs;
+    for (std::size_t t = 0; t < towns.size(); ++t)
+        for (std::size_t r = 0; r < towns[t].routes.size(); ++r) refs.push_back({t, r});
+    return refs;
+}
+
+std::string render_ascii(const Route& route, int width, int height) {
+    if (width < 8 || height < 4) throw std::invalid_argument("render_ascii: too small");
+    double min_x = route.waypoints()[0].x;
+    double max_x = min_x;
+    double min_y = route.waypoints()[0].y;
+    double max_y = min_y;
+    for (const Vec2& p : route.waypoints()) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    const double span_x = std::max(max_x - min_x, 1.0);
+    const double span_y = std::max(max_y - min_y, 1.0);
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+    auto plot = [&](Vec2 p, char c) {
+        const int gx = static_cast<int>((p.x - min_x) / span_x * (width - 1));
+        const int gy = static_cast<int>((max_y - p.y) / span_y * (height - 1));
+        grid[static_cast<std::size_t>(gy)][static_cast<std::size_t>(gx)] = c;
+    };
+    for (double s = 0.0; s <= route.length(); s += route.length() / (width * 4))
+        plot(route.point_at(s), '#');
+    plot(route.waypoints().front(), 'o');
+    plot(route.waypoints().back(), '*');
+
+    std::ostringstream out;
+    out << route.name() << "  (" << static_cast<int>(route.length()) << " m)\n";
+    for (const auto& row : grid) out << row << "\n";
+    return out.str();
+}
+
+}  // namespace mvreju::av

@@ -1,0 +1,133 @@
+#include "mvreju/av/sensor.hpp"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace mvreju::av {
+
+namespace {
+// Distances at/above this are "clear" (bucket 0; matches the default sensor
+// range). Buckets 1..7 cover [36,48), [27,36), [20,27), [14,20), [9,14),
+// [5,9) and [0,5); kBucketEdges holds the lower edge of each.
+constexpr double kClearDistance = 48.0;
+constexpr std::array<double, 7> kBucketEdges = {36.0, 27.0, 20.0, 14.0, 9.0, 5.0, 0.0};
+// Conservative (lower-edge) distance per bucket: planning against the
+// nearest distance consistent with the observation tolerates the voter's
+// one-bucket agreement window.
+constexpr std::array<double, 8> kBucketConservative = {
+    std::numeric_limits<double>::infinity(), 36.0, 27.0, 20.0, 14.0, 9.0, 5.0, 0.0};
+}  // namespace
+
+int distance_to_bucket(double distance) noexcept {
+    if (distance >= kClearDistance) return 0;
+    for (std::size_t k = 0; k < kBucketEdges.size(); ++k)
+        if (distance >= kBucketEdges[k]) return static_cast<int>(k) + 1;
+    return kDistanceBuckets - 1;  // negative distance: already overlapping
+}
+
+double bucket_to_distance(int bucket) {
+    if (bucket < 0 || bucket >= kDistanceBuckets)
+        throw std::out_of_range("bucket_to_distance: bad bucket");
+    return kBucketConservative[static_cast<std::size_t>(bucket)];
+}
+
+ml::Tensor render_grid(const Obb& ego, std::span<const Obb> vehicles,
+                       const SensorConfig& config, util::Rng& rng) {
+    const std::size_t n = config.grid;
+    ml::Tensor grid({2, n, n});
+    const double cell_depth = config.range / static_cast<double>(n);
+    const double cell_width = 2.0 * config.lateral / static_cast<double>(n);
+
+    for (std::size_t row = 0; row < n; ++row) {
+        // Row 0 is the farthest; encode a distance ramp in channel 1.
+        const double ramp = 1.0 - static_cast<double>(row) / static_cast<double>(n);
+        for (std::size_t col = 0; col < n; ++col)
+            grid.at3(1, row, col) = static_cast<float>(ramp);
+    }
+
+    for (const Obb& vehicle : vehicles) {
+        const Vec2 local = to_local(ego, vehicle.center);
+        // Rasterise the vehicle footprint as a local-frame axis-aligned
+        // rectangle (heading differences are small for same-lane traffic).
+        const double fwd_min = local.x - vehicle.half_length;
+        const double fwd_max = local.x + vehicle.half_length;
+        const double lat_min = local.y - vehicle.half_width;
+        const double lat_max = local.y + vehicle.half_width;
+        if (fwd_max < 0.0 || fwd_min > config.range) continue;
+        if (lat_max < -config.lateral || lat_min > config.lateral) continue;
+
+        for (std::size_t row = 0; row < n; ++row) {
+            const double cell_far = config.range - static_cast<double>(row) * cell_depth;
+            const double cell_near = cell_far - cell_depth;
+            if (fwd_max < cell_near || fwd_min > cell_far) continue;
+            for (std::size_t col = 0; col < n; ++col) {
+                const double cell_left = -config.lateral + static_cast<double>(col) * cell_width;
+                const double cell_right = cell_left + cell_width;
+                if (lat_max < cell_left || lat_min > cell_right) continue;
+                grid.at3(0, row, col) = 1.0f;
+            }
+        }
+    }
+
+    if (config.noise_sigma > 0.0) {
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            float v = grid[i] + static_cast<float>(rng.normal(0.0, config.noise_sigma));
+            grid[i] = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+        }
+    }
+    return grid;
+}
+
+double ground_truth_distance(const Obb& ego, std::span<const Obb> vehicles,
+                             const SensorConfig& config) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Obb& vehicle : vehicles) {
+        const Vec2 local = to_local(ego, vehicle.center);
+        if (std::fabs(local.y) > config.corridor) continue;
+        // Bumper-to-bumper gap.
+        const double gap = local.x - vehicle.half_length - ego.half_length;
+        if (gap < -2.0 * ego.half_length || gap > config.range) continue;
+        best = std::min(best, std::max(0.0, gap));
+    }
+    return best;
+}
+
+ml::Dataset make_detector_dataset(std::size_t count, const SensorConfig& config,
+                                  std::uint64_t seed) {
+    if (count == 0) throw std::invalid_argument("make_detector_dataset: empty");
+    util::Rng rng(seed);
+    ml::Dataset out;
+    out.num_classes = kDistanceBuckets;
+    out.images.reserve(count);
+    out.labels.reserve(count);
+
+    const Obb ego{{0.0, 0.0}, 2.25, 0.95, 0.0};
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<Obb> vehicles;
+        // 25% clear scenes; otherwise a lead vehicle at a random gap.
+        if (!rng.bernoulli(0.25)) {
+            const double gap = rng.uniform(0.0, config.range + 6.0);
+            Obb lead{{ego.half_length + 2.25 + gap, rng.uniform(-1.0, 1.0)},
+                     2.25,
+                     0.95,
+                     rng.uniform(-0.12, 0.12)};
+            vehicles.push_back(lead);
+        }
+        // Occasional off-corridor distractor (oncoming / parked).
+        if (rng.bernoulli(0.35)) {
+            vehicles.push_back({{rng.uniform(4.0, config.range),
+                                 rng.bernoulli(0.5) ? rng.uniform(4.0, 10.0)
+                                                    : rng.uniform(-10.0, -4.0)},
+                                2.25,
+                                0.95,
+                                rng.uniform(-0.3, 0.3)});
+        }
+        const double truth = ground_truth_distance(ego, vehicles, config);
+        out.labels.push_back(distance_to_bucket(truth));
+        out.images.push_back(render_grid(ego, vehicles, config, rng));
+    }
+    return out;
+}
+
+}  // namespace mvreju::av

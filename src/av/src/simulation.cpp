@@ -1,0 +1,175 @@
+#include "mvreju/av/simulation.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "mvreju/core/system.hpp"
+
+namespace mvreju::av {
+
+RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
+                        const ScenarioConfig& config) {
+    if (config.versions != 1 && config.versions != 3 && config.versions != 5)
+        throw std::invalid_argument("run_scenario: versions must be 1, 3 or 5");
+    if (detectors.healthy.size() < static_cast<std::size_t>(config.versions) ||
+        detectors.compromised.size() < static_cast<std::size_t>(config.versions))
+        throw std::invalid_argument("run_scenario: not enough detector versions");
+    for (int m = 0; m < config.versions; ++m)
+        if (detectors.compromised[static_cast<std::size_t>(m)].empty())
+            throw std::invalid_argument("run_scenario: empty compromised variant pool");
+    if (config.dt <= 0.0 || config.horizon <= config.dt)
+        throw std::invalid_argument("run_scenario: bad time parameters");
+
+    util::Rng root(config.seed);
+    util::Rng sensor_rng = root.split(1);
+
+    // Health process (Section VII-A parameters, 2/3-prioritise policy).
+    core::HealthEngineConfig health_cfg;
+    health_cfg.modules = config.versions;
+    health_cfg.proactive = config.rejuvenation;
+    health_cfg.policy = config.victim_policy;
+    health_cfg.timing.mttc = config.mttc;
+    health_cfg.timing.mttf = config.mttf;
+    health_cfg.timing.reactive_duration = config.reactive_duration;
+    health_cfg.timing.proactive_duration = config.proactive_duration;
+    health_cfg.timing.rejuvenation_interval = config.rejuvenation_interval;
+    health_cfg.seed = root.split(2)();
+    core::HealthEngine health(health_cfg);
+
+    // Traffic: stop-and-go lead vehicles spaced along the route.
+    std::vector<NpcVehicle> npcs;
+    util::Rng npc_rng = root.split(3);
+    for (int i = 0; i < config.npc_count; ++i) {
+        NpcProfile profile;
+        profile.cruise_speed = npc_rng.uniform(6.0, 8.0);
+        profile.cruise_time = npc_rng.uniform(7.0, 12.0);
+        profile.stop_time = npc_rng.uniform(2.0, 3.5);
+        const double s0 = 40.0 + 55.0 * i + npc_rng.uniform(-5.0, 5.0);
+        npcs.emplace_back(route, std::min(s0, route.length() - 10.0), profile,
+                          npc_rng());
+    }
+
+    // Active corrupted variant per module; re-drawn on each compromise event
+    // (PyTorchFI runtime perturbation: every attack corrupts differently).
+    util::Rng variant_rng = root.split(4);
+    std::vector<std::size_t> active_variant(static_cast<std::size_t>(config.versions), 0);
+    std::vector<core::ModuleState> previous_state(
+        static_cast<std::size_t>(config.versions), core::ModuleState::healthy);
+
+    EgoVehicle ego(route.point_at(0.0), route.heading_at(0.0));
+    Localizer localizer(ego.position(), ego.heading());
+    util::Rng gnss_rng = root.split(5);
+    double next_gnss = 0.0;
+    Planner planner(config.planner);
+    core::Voter<Detection, DetectionNear> voter(config.voting);
+    double s_hint = 0.0;
+
+    RunMetrics metrics;
+    using Clock = std::chrono::steady_clock;
+
+    const int max_frames = static_cast<int>(config.horizon / config.dt);
+    for (int frame = 0; frame < max_frames; ++frame) {
+        const double now = frame * config.dt;
+        health.advance_to(now);
+
+        // --- Sense ---
+        std::vector<Obb> vehicle_boxes;
+        vehicle_boxes.reserve(npcs.size());
+        for (const NpcVehicle& npc : npcs) vehicle_boxes.push_back(npc.obb());
+        const ml::Tensor grid =
+            render_grid(ego.obb(), vehicle_boxes, config.sensor, sensor_rng);
+
+        // --- Perceive (N versions) and vote ---
+        const auto t0 = Clock::now();
+        std::vector<std::optional<Detection>> proposals;
+        proposals.reserve(static_cast<std::size_t>(config.versions));
+        for (int m = 0; m < config.versions; ++m) {
+            const auto mu = static_cast<std::size_t>(m);
+            const core::ModuleState state = health.state(m);
+            if (state == core::ModuleState::compromised &&
+                previous_state[mu] != core::ModuleState::compromised) {
+                // Fresh compromise: draw which corruption this attack causes.
+                active_variant[mu] =
+                    variant_rng.uniform_int(detectors.compromised[mu].size());
+            }
+            previous_state[mu] = state;
+            if (!core::is_functional(state)) {
+                proposals.emplace_back(std::nullopt);
+                continue;
+            }
+            const auto& model =
+                (state == core::ModuleState::healthy)
+                    ? detectors.healthy[mu]
+                    : detectors.compromised[mu][active_variant[mu]].model;
+            proposals.emplace_back(detect(model, grid));
+            ++metrics.inferences;
+        }
+        const auto vote = voter.vote(proposals);
+        metrics.perception_wall_seconds +=
+            std::chrono::duration<double>(Clock::now() - t0).count();
+
+        switch (vote.kind) {
+            case core::VoteKind::decided: {
+                ++metrics.decided_frames;
+                const int truth_bucket = distance_to_bucket(
+                    ground_truth_distance(ego.obb(), vehicle_boxes, config.sensor));
+                if (vote.value->bucket <= truth_bucket - 2)
+                    ++metrics.unsafe_decided_frames;
+                planner.update_perception(vote.value->bucket);
+                break;
+            }
+            case core::VoteKind::skipped:
+                ++metrics.skipped_frames;
+                planner.update_perception(std::nullopt);
+                break;
+            case core::VoteKind::no_output:
+                ++metrics.no_output_frames;
+                planner.update_perception(std::nullopt);
+                break;
+        }
+
+        // --- Plan and act ---
+        const double limit = curvature_limited_speed(route, s_hint, config.planner);
+        const double accel = planner.accel_command(ego.speed(), limit);
+        const double steer =
+            config.use_localization
+                ? pure_pursuit_steer(localizer.position(), localizer.heading(),
+                                     ego.speed(), route, s_hint, config.planner)
+                : pure_pursuit_steer(ego, route, s_hint, config.planner);
+        ego.step(accel, steer, config.dt);
+        if (config.use_localization) {
+            localizer.predict(ego.speed(), steer, config.dt);
+            if (now >= next_gnss) {
+                localizer.correct(
+                    sample_gnss(ego.position(), ego.heading(), config.gnss, gnss_rng));
+                next_gnss += config.gnss_period;
+            }
+        }
+        for (NpcVehicle& npc : npcs) npc.step(config.dt);
+
+        // --- Collision accounting ---
+        bool colliding = false;
+        for (const NpcVehicle& npc : npcs) {
+            if (overlaps(ego.obb(), npc.obb())) {
+                colliding = true;
+                // Push contact: the ego cannot move faster than the vehicle
+                // it is jammed against, so contact persists until it brakes.
+                if (ego.speed() > npc.speed()) ego.set_speed(npc.speed());
+            }
+        }
+        ++metrics.total_frames;
+        if (colliding) {
+            ++metrics.collision_frames;
+            if (metrics.first_collision_frame < 0)
+                metrics.first_collision_frame = frame;
+        }
+
+        if (s_hint >= route.length() - 6.0) break;  // reached the destination
+    }
+
+    metrics.route_completed = s_hint / route.length();
+    metrics.health_stats = health.stats();
+    return metrics;
+}
+
+}  // namespace mvreju::av

@@ -1,0 +1,67 @@
+#include "mvreju/av/vehicle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvreju::av {
+
+EgoVehicle::EgoVehicle(Vec2 position, double heading, double wheelbase)
+    : position_(position), heading_(heading), wheelbase_(wheelbase) {
+    if (wheelbase <= 0.0) throw std::invalid_argument("EgoVehicle: wheelbase <= 0");
+}
+
+void EgoVehicle::step(double accel, double steer, double dt) {
+    if (dt <= 0.0) throw std::invalid_argument("EgoVehicle::step: dt <= 0");
+    speed_ = std::max(0.0, speed_ + accel * dt);
+    heading_ = wrap_angle(heading_ + speed_ / wheelbase_ * std::tan(steer) * dt);
+    position_ = position_ + heading_dir(heading_) * (speed_ * dt);
+}
+
+NpcVehicle::NpcVehicle(const Route& route, double initial_s, NpcProfile profile,
+                       std::uint64_t seed)
+    : route_(&route),
+      s_(initial_s),
+      speed_(profile.cruise_speed),
+      profile_(profile),
+      phase_left_(profile.cruise_time),
+      rng_(seed) {
+    if (initial_s < 0.0 || initial_s > route.length())
+        throw std::invalid_argument("NpcVehicle: initial arc length outside route");
+    // Desynchronise the first braking episode across NPCs.
+    phase_left_ = rng_.uniform(0.3, 1.0) * profile.cruise_time;
+}
+
+void NpcVehicle::step(double dt) {
+    switch (phase_) {
+        case Phase::cruise:
+            speed_ = profile_.cruise_speed;
+            phase_left_ -= dt;
+            if (phase_left_ <= 0.0) phase_ = Phase::braking;
+            break;
+        case Phase::braking:
+            speed_ = std::max(0.0, speed_ - profile_.brake * dt);
+            if (speed_ == 0.0) {
+                phase_ = Phase::stopped;
+                phase_left_ = rng_.uniform(0.6, 1.4) * profile_.stop_time;
+            }
+            break;
+        case Phase::stopped:
+            phase_left_ -= dt;
+            if (phase_left_ <= 0.0) phase_ = Phase::accelerating;
+            break;
+        case Phase::accelerating:
+            speed_ = std::min(profile_.cruise_speed, speed_ + profile_.accel * dt);
+            if (speed_ >= profile_.cruise_speed) {
+                phase_ = Phase::cruise;
+                phase_left_ = rng_.uniform(0.6, 1.4) * profile_.cruise_time;
+            }
+            break;
+    }
+    s_ = std::min(route_->length(), s_ + speed_ * dt);
+}
+
+Obb NpcVehicle::obb() const {
+    return {route_->point_at(s_), 2.25, 0.95, route_->heading_at(s_)};
+}
+
+}  // namespace mvreju::av

@@ -1,0 +1,93 @@
+#pragma once
+
+// Builders for the paper's DSPN models (Fig. 2 and Fig. 3) and the
+// steady-state reliability analysis that produces Table V and Fig. 4.
+//
+// Net transcription (see DESIGN.md section 4 for the full rationale):
+//   Pmh --Tc(exp)--> Pmc --Tf(exp)--> Pmf --Tr(exp)--> Pmh       (Fig. 2)
+// plus, with proactive rejuvenation (Fig. 3):
+//   Prc --Trc(det 1/gamma)--> Ptr
+//   Tac (immediate): latch a trigger token into Pac while none pending
+//   Trt (immediate): Ptr -> Prc, restarting the clock
+//   Trj1 (immediate, weight w1): Pac + Pmc -> Pmr   (rejuvenate compromised)
+//   Trj2 (immediate, weight w2): Pac + Pmh -> Pmr   (rejuvenate healthy)
+//   Trj (exp, rate mu_r): Pmr -> Pmh
+// Guard g2 (#Pmf + #Pmr < 1) gives reactive rejuvenation precedence; the
+// Pac token waits until no module is non-functional.
+
+#include "mvreju/dspn/net.hpp"
+#include "mvreju/dspn/reachability.hpp"
+#include "mvreju/reliability/functions.hpp"
+
+namespace mvreju::core {
+
+/// Weight family for the proactive victim choice (Trj1 vs Trj2).
+enum class VictimWeights {
+    table1,      ///< w1 = #Pmc/(#Pmc+#Pmh): uniform over functional modules
+    two_thirds,  ///< w1 = 2/3 whenever a compromised module exists (Sec. VII-A)
+    healthy_only ///< w1 ~ 0: never prioritise compromised (ablation)
+};
+
+/// How transition rates scale with enabling tokens.
+enum class ServerSemantics {
+    single,   ///< constant rate while enabled (TimeNET default)
+    infinite  ///< rate proportional to the token count (one clock per module)
+};
+
+/// Configuration of a multi-version ML DSPN instance.
+struct DspnConfig {
+    int modules = 3;                  ///< 1, 2 or 3 ML modules
+    bool proactive = true;            ///< include the Fig. 3 rejuvenation clock
+    reliability::TimingParams timing; ///< Table IV timing defaults
+    // Single-server (constant-rate) semantics is the TimeNET default and
+    // reproduces the paper's Table V no-rejuvenation column to 1e-6.
+    ServerSemantics compromise_semantics = ServerSemantics::single;
+    ServerSemantics failure_semantics = ServerSemantics::single;
+    VictimWeights victim_weights = VictimWeights::table1;  ///< Table I default
+    // Reactive/proactive rejuvenation are one-module-at-a-time by design.
+};
+
+/// A built net plus the place handles needed for rewards and guards.
+struct MultiVersionDspn {
+    dspn::PetriNet net;
+    dspn::PlaceId pmh{};  ///< healthy modules
+    dspn::PlaceId pmc{};  ///< compromised modules
+    dspn::PlaceId pmf{};  ///< non-functional modules
+    // Proactive-only places (valid when `proactive`):
+    dspn::PlaceId pmr{};  ///< module under proactive rejuvenation
+    dspn::PlaceId prc{};  ///< rejuvenation clock armed
+    dspn::PlaceId ptr{};  ///< rejuvenation triggered
+    dspn::PlaceId pac{};  ///< rejuvenation action pending
+    dspn::TransitionId trc{};  ///< the deterministic clock transition
+    bool proactive = false;
+    int modules = 0;
+
+    /// (i, j, k) of a marking: healthy, compromised, non-functional counts.
+    /// A module under proactive rejuvenation counts as non-functional.
+    [[nodiscard]] int healthy(const dspn::Marking& m) const { return tokens(m, pmh); }
+    [[nodiscard]] int compromised(const dspn::Marking& m) const { return tokens(m, pmc); }
+    [[nodiscard]] int nonfunctional(const dspn::Marking& m) const {
+        int k = tokens(m, pmf);
+        if (proactive) k += tokens(m, pmr);
+        return k;
+    }
+};
+
+/// Build the DSPN of Fig. 2 (reactive only) or Fig. 3 (with the proactive
+/// time-triggered rejuvenation clock) for 1-3 modules.
+[[nodiscard]] MultiVersionDspn build_multiversion_dspn(const DspnConfig& config);
+
+/// Expected steady-state output reliability E[R_sys] (Eq. 3): solves the
+/// DSPN exactly and weights each state with the Section V-B reliability of
+/// its (i, j, k) configuration.
+[[nodiscard]] double steady_state_reliability(const DspnConfig& config,
+                                              const reliability::Params& params);
+
+/// As above but reusing an already built model/graph (for parameter sweeps
+/// that only vary the reward parameters).
+[[nodiscard]] double steady_state_reliability(const MultiVersionDspn& model,
+                                              const dspn::ReachabilityGraph& graph,
+                                              const std::vector<double>& pi,
+                                              const reliability::Params& params);
+
+}  // namespace mvreju::core

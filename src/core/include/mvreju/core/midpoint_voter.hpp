@@ -1,0 +1,66 @@
+#pragma once
+
+// Fault-tolerant midpoint voting for continuous outputs — the approximate-
+// agreement primitive of Dolev et al. that the paper cites as an
+// alternative voting scheme (Section IV). For scalar proposals (steering
+// angles, speed setpoints, distances) exact equality is meaningless;
+// instead, the f largest and f smallest proposals are discarded and the
+// midpoint of the surviving range is output. With n >= 2f + 1 functional
+// proposals, the result is guaranteed to lie within the range spanned by
+// the correct modules' values, no matter what up to f faulty modules
+// propose.
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "mvreju/core/voter.hpp"
+
+namespace mvreju::core {
+
+/// Fault-tolerant midpoint voter over scalar proposals.
+class MidpointVoter {
+public:
+    /// `max_faulty` is f: how many arbitrarily faulty proposals to tolerate.
+    explicit MidpointVoter(std::size_t max_faulty = 1) : max_faulty_(max_faulty) {}
+
+    [[nodiscard]] std::size_t max_faulty() const noexcept { return max_faulty_; }
+
+    /// Vote over optional scalar proposals (std::nullopt = non-functional
+    /// module). Requires at least 2f+1 functional proposals to mask f
+    /// faults; with fewer (but at least one) the vote degrades gracefully:
+    /// it discards as many extremes per side as the pool affords and is
+    /// flagged `degraded`.
+    struct Result {
+        VoteKind kind = VoteKind::no_output;
+        double value = 0.0;
+        bool degraded = false;  ///< fewer than 2f+1 proposals were available
+    };
+
+    [[nodiscard]] Result vote(const std::vector<std::optional<double>>& proposals) const {
+        std::vector<double> active;
+        active.reserve(proposals.size());
+        for (const auto& p : proposals)
+            if (p.has_value()) active.push_back(*p);
+
+        Result result;
+        if (active.empty()) return result;
+
+        std::sort(active.begin(), active.end());
+        // Discard up to f per side, but always keep at least one value.
+        const std::size_t affordable =
+            std::min(max_faulty_, (active.size() - 1) / 2);
+        result.degraded = active.size() < 2 * max_faulty_ + 1;
+        const double low = active[affordable];
+        const double high = active[active.size() - 1 - affordable];
+        result.value = low + (high - low) / 2.0;
+        result.kind = VoteKind::decided;
+        return result;
+    }
+
+private:
+    std::size_t max_faulty_;
+};
+
+}  // namespace mvreju::core

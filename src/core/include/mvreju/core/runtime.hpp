@@ -1,0 +1,258 @@
+#pragma once
+
+// Threaded active-replication runtime for the multi-version architecture.
+//
+// The DSPN/HealthEngine models *when* modules degrade; this runtime is the
+// execution-level counterpart of the paper's detection assumption: "failure
+// to respond [by its deadline] triggers detection and reactive recovery"
+// (Section IV). Each version runs on its own worker thread (standing in for
+// the isolated OS partitions of the paper's fault model); the voter
+// broadcasts each input, collects proposals until a deadline, treats
+// non-responding modules as non-functional for that frame, and supports
+// rejuvenating a module by swapping in a fresh (possibly diversified)
+// behaviour — even while the old one is wedged.
+//
+// Concurrency notes: every request carries a shared ownership token
+// (PendingVote), so a straggler that finishes after its deadline writes into
+// a closed, still-alive vote object and is discarded — never into a dangling
+// frame. A wedged worker thread cannot be killed portably; rejuvenation
+// therefore detaches it (it parks on its own Shared block, which it owns via
+// shared_ptr) and starts a fresh worker.
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mvreju/core/voter.hpp"
+
+namespace mvreju::core {
+
+template <typename Input, typename Output>
+class RuntimeSystem {
+public:
+    using ModuleFn = std::function<Output(const Input&)>;
+
+    struct Options {
+        std::chrono::milliseconds deadline{50};  ///< per-frame response deadline
+    };
+
+    RuntimeSystem(std::vector<ModuleFn> modules, Voter<Output> voter,
+                  Options options = {})
+        : voter_(std::move(voter)), options_(options) {
+        if (modules.empty())
+            throw std::invalid_argument("RuntimeSystem: no modules");
+        workers_.reserve(modules.size());
+        timeouts_.assign(modules.size(), 0);
+        for (auto& fn : modules) {
+            if (!fn) throw std::invalid_argument("RuntimeSystem: null module");
+            workers_.push_back(Worker::start(std::move(fn)));
+        }
+    }
+
+    RuntimeSystem(const RuntimeSystem&) = delete;
+    RuntimeSystem& operator=(const RuntimeSystem&) = delete;
+
+    ~RuntimeSystem() {
+        for (auto& worker : workers_) worker->stop();
+    }
+
+    [[nodiscard]] std::size_t module_count() const noexcept { return workers_.size(); }
+
+    /// Broadcast `input` to all responsive workers, wait until the deadline,
+    /// and vote over the proposals that arrived in time. Modules that are
+    /// still busy with an earlier frame, or that miss the deadline, submit
+    /// no proposal and have their timeout counter bumped.
+    [[nodiscard]] VoteResult<Output> process(const Input& input) {
+        auto pending = std::make_shared<PendingVote>();
+        pending->proposals.assign(workers_.size(), std::nullopt);
+
+        std::size_t posted = 0;
+        std::vector<bool> was_posted(workers_.size(), false);
+        for (std::size_t m = 0; m < workers_.size(); ++m) {
+            if (workers_[m]->post(input, pending, m)) {
+                was_posted[m] = true;
+                ++posted;
+            } else {
+                ++timeouts_[m];  // wedged since an earlier frame
+            }
+        }
+
+        std::unique_lock lock(pending->mu);
+        pending->cv.wait_for(lock, options_.deadline,
+                             [&] { return pending->responded == posted; });
+        pending->closed = true;
+        for (std::size_t m = 0; m < workers_.size(); ++m)
+            if (was_posted[m] && !pending->proposals[m].has_value()) ++timeouts_[m];
+        return voter_.vote(pending->proposals);
+    }
+
+    /// Replace module `m`'s behaviour with a fresh (possibly diversified)
+    /// version. If the old worker is wedged mid-request it is detached and a
+    /// new worker thread takes over — exactly what the paper's rejuvenation
+    /// mechanism does by reloading a module from safe storage.
+    void rejuvenate(std::size_t module, ModuleFn fresh) {
+        if (module >= workers_.size())
+            throw std::out_of_range("RuntimeSystem::rejuvenate: bad module index");
+        if (!fresh) throw std::invalid_argument("RuntimeSystem::rejuvenate: null module");
+        if (!workers_[module]->replace_fn_if_idle(fresh)) {
+            workers_[module]->abandon();
+            workers_[module] = Worker::start(std::move(fresh));
+        }
+        ++rejuvenations_;
+    }
+
+    /// Frames in which module m failed to respond by its deadline.
+    [[nodiscard]] std::size_t timeouts(std::size_t module) const {
+        return timeouts_.at(module);
+    }
+    [[nodiscard]] std::size_t rejuvenations() const noexcept { return rejuvenations_; }
+
+private:
+    /// Shared per-frame collection point; stragglers write into it (guarded
+    /// by `closed`) even after process() returned.
+    struct PendingVote {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::vector<std::optional<Output>> proposals;
+        std::size_t responded = 0;
+        bool closed = false;
+    };
+
+    class Worker {
+    public:
+        static std::unique_ptr<Worker> start(ModuleFn fn) {
+            auto worker = std::unique_ptr<Worker>(new Worker());
+            worker->shared_->fn = std::move(fn);
+            worker->thread_ = std::thread(&Worker::run, worker->shared_);
+            return worker;
+        }
+
+        ~Worker() { stop(); }
+
+        /// Returns false when the worker is still busy with an earlier frame.
+        bool post(const Input& input, std::shared_ptr<PendingVote> pending,
+                  std::size_t slot) {
+            std::lock_guard lock(shared_->mu);
+            if (shared_->busy || shared_->shutdown) return false;
+            shared_->input = input;  // copy: the worker must not alias the frame
+            shared_->pending = std::move(pending);
+            shared_->slot = slot;
+            shared_->busy = true;
+            shared_->has_request = true;
+            shared_->cv.notify_one();
+            return true;
+        }
+
+        /// Fast-path rejuvenation: swap the behaviour in place when idle.
+        bool replace_fn_if_idle(const ModuleFn& fn) {
+            std::lock_guard lock(shared_->mu);
+            if (shared_->busy) return false;
+            shared_->fn = fn;
+            return true;
+        }
+
+        /// Give up on a wedged worker: it keeps ownership of its state via
+        /// shared_ptr and exits when its current call finally returns.
+        void abandon() {
+            {
+                std::lock_guard lock(shared_->mu);
+                shared_->shutdown = true;
+                shared_->cv.notify_one();
+            }
+            if (thread_.joinable()) thread_.detach();
+        }
+
+        void stop() {
+            if (!thread_.joinable()) return;
+            bool busy;
+            {
+                std::lock_guard lock(shared_->mu);
+                shared_->shutdown = true;
+                busy = shared_->busy;
+                shared_->cv.notify_one();
+            }
+            // A wedged worker would block join() forever; detach it instead
+            // (it only touches its own shared block, which it co-owns).
+            if (busy) thread_.detach();
+            else thread_.join();
+        }
+
+    private:
+        Worker() : shared_(std::make_shared<Shared>()) {}
+
+        struct Shared {
+            std::mutex mu;
+            std::condition_variable cv;
+            ModuleFn fn;
+            std::optional<Input> input;
+            std::shared_ptr<PendingVote> pending;
+            std::size_t slot = 0;
+            bool has_request = false;
+            bool busy = false;
+            bool shutdown = false;
+        };
+
+        static void run(std::shared_ptr<Shared> shared) {
+            for (;;) {
+                Input input{};
+                std::shared_ptr<PendingVote> pending;
+                std::size_t slot = 0;
+                ModuleFn fn;
+                {
+                    std::unique_lock lock(shared->mu);
+                    shared->cv.wait(
+                        lock, [&] { return shared->has_request || shared->shutdown; });
+                    if (shared->shutdown && !shared->has_request) return;
+                    shared->has_request = false;
+                    input = std::move(*shared->input);
+                    shared->input.reset();
+                    pending = std::move(shared->pending);
+                    slot = shared->slot;
+                    fn = shared->fn;
+                }
+
+                std::optional<Output> output;
+                try {
+                    output = fn(input);
+                } catch (...) {
+                    // A crashing module simply submits nothing this frame.
+                }
+
+                // Become idle *before* signalling the vote: the caller wakes
+                // on the last proposal and may immediately post the next
+                // frame, which must not see this worker as busy.
+                bool shutting_down;
+                {
+                    std::lock_guard lock(shared->mu);
+                    shared->busy = false;
+                    shutting_down = shared->shutdown;
+                }
+                {
+                    std::lock_guard lock(pending->mu);
+                    if (!pending->closed && output.has_value()) {
+                        pending->proposals[slot] = std::move(*output);
+                        ++pending->responded;
+                        pending->cv.notify_all();
+                    }
+                }
+                if (shutting_down) return;
+            }
+        }
+
+        std::shared_ptr<Shared> shared_;
+        std::thread thread_;
+    };
+
+    Voter<Output> voter_;
+    Options options_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::size_t> timeouts_;
+    std::size_t rejuvenations_ = 0;
+};
+
+}  // namespace mvreju::core

@@ -1,0 +1,81 @@
+#pragma once
+
+// MultiVersionSystem: the paper's architecture (Fig. 1) as a reusable
+// component. N diverse ML modules process each input; a module's behaviour
+// depends on its health state (pristine inference when healthy, the
+// fault-injected variant when compromised, silence when non-functional or
+// under rejuvenation); the trusted voter merges proposals under rules
+// R.1-R.3; reactive and time-triggered proactive rejuvenation keep the
+// module pool healthy.
+
+#include <functional>
+
+#include "mvreju/core/health.hpp"
+#include "mvreju/core/voter.hpp"
+
+namespace mvreju::core {
+
+/// One diverse version: its healthy behaviour and its behaviour after being
+/// compromised (e.g. the same network with injected weight faults).
+template <typename Input, typename Output>
+struct VersionSpec {
+    std::function<Output(const Input&)> healthy;
+    std::function<Output(const Input&)> compromised;
+};
+
+/// Outcome of one processed frame, including which modules contributed.
+template <typename Output>
+struct FrameResult {
+    VoteResult<Output> vote;
+    int functional_modules = 0;
+};
+
+/// The multi-version ML system with rejuvenation.
+template <typename Input, typename Output, typename Agree = std::equal_to<Output>>
+class MultiVersionSystem {
+public:
+    MultiVersionSystem(std::vector<VersionSpec<Input, Output>> versions,
+                       Voter<Output, Agree> voter, HealthEngine health)
+        : versions_(std::move(versions)),
+          voter_(std::move(voter)),
+          health_(std::move(health)) {
+        if (versions_.size() != static_cast<std::size_t>(health_.module_count()))
+            throw std::invalid_argument(
+                "MultiVersionSystem: version count does not match health engine");
+        for (const auto& v : versions_)
+            if (!v.healthy || !v.compromised)
+                throw std::invalid_argument("MultiVersionSystem: missing version behaviour");
+    }
+
+    /// Advance the health process to `time` and run one perception frame.
+    [[nodiscard]] FrameResult<Output> process(double time, const Input& input) {
+        health_.advance_to(time);
+        std::vector<std::optional<Output>> proposals;
+        proposals.reserve(versions_.size());
+        FrameResult<Output> frame;
+        for (std::size_t m = 0; m < versions_.size(); ++m) {
+            const ModuleState s = health_.state(static_cast<int>(m));
+            if (!is_functional(s)) {
+                proposals.emplace_back(std::nullopt);
+                continue;
+            }
+            ++frame.functional_modules;
+            const auto& fn = (s == ModuleState::healthy) ? versions_[m].healthy
+                                                         : versions_[m].compromised;
+            proposals.emplace_back(fn(input));
+        }
+        frame.vote = voter_.vote(proposals);
+        return frame;
+    }
+
+    [[nodiscard]] const HealthEngine& health() const noexcept { return health_; }
+    [[nodiscard]] HealthEngine& health() noexcept { return health_; }
+    [[nodiscard]] std::size_t version_count() const noexcept { return versions_.size(); }
+
+private:
+    std::vector<VersionSpec<Input, Output>> versions_;
+    Voter<Output, Agree> voter_;
+    HealthEngine health_;
+};
+
+}  // namespace mvreju::core

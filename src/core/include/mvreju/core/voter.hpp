@@ -1,0 +1,108 @@
+#pragma once
+
+// The trusted voter of the multi-version ML architecture (Section IV).
+//
+// Voting rules (paper, Section IV):
+//   R.1  three operational modules: 2-out-of-3 agreement required; if no two
+//        proposals agree the decision is safely skipped;
+//   R.2  two operational modules: 2-out-of-2; disagreement -> safe skip;
+//   R.3  one operational module: its proposal is accepted.
+//
+// Non-functional modules submit no proposal (std::nullopt). An `unanimity`
+// scheme (3-out-of-3, as in PolygraphMR) is provided for the voting-rule
+// ablation. Agreement is a configurable predicate so that approximate
+// agreement (e.g. detections within a distance tolerance) plugs in directly.
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace mvreju::core {
+
+enum class VoteKind {
+    decided,    ///< enough agreeing proposals: output produced
+    skipped,    ///< functional modules disagree: safely skip (R.1/R.2)
+    no_output,  ///< no functional module proposed anything
+};
+
+template <typename Output>
+struct VoteResult {
+    VoteKind kind = VoteKind::no_output;
+    std::optional<Output> value;  ///< set iff kind == decided
+
+    [[nodiscard]] bool decided() const noexcept { return kind == VoteKind::decided; }
+};
+
+enum class VotingScheme {
+    majority,         ///< rules R.1-R.3: two agreeing proposals suffice
+    strict_majority,  ///< more than half of the functional proposals must agree
+    unanimity,        ///< all functional proposals must agree (skip otherwise)
+};
+
+/// Trusted voter. `Agree` is a symmetric binary predicate over outputs.
+template <typename Output, typename Agree = std::equal_to<Output>>
+class Voter {
+public:
+    explicit Voter(VotingScheme scheme = VotingScheme::majority, Agree agree = Agree{})
+        : scheme_(scheme), agree_(std::move(agree)) {}
+
+    [[nodiscard]] VotingScheme scheme() const noexcept { return scheme_; }
+
+    /// Decide on a frame given one optional proposal per module.
+    [[nodiscard]] VoteResult<Output> vote(
+        const std::vector<std::optional<Output>>& proposals) const {
+        std::vector<const Output*> active;
+        active.reserve(proposals.size());
+        for (const auto& proposal : proposals)
+            if (proposal.has_value()) active.push_back(&*proposal);
+
+        VoteResult<Output> result;
+        if (active.empty()) {
+            result.kind = VoteKind::no_output;
+            return result;
+        }
+        if (active.size() == 1) {  // R.3
+            result.kind = VoteKind::decided;
+            result.value = *active.front();
+            return result;
+        }
+
+        if (scheme_ == VotingScheme::unanimity) {
+            for (std::size_t i = 1; i < active.size(); ++i) {
+                if (!agree_(*active[0], *active[i])) {
+                    result.kind = VoteKind::skipped;
+                    return result;
+                }
+            }
+            result.kind = VoteKind::decided;
+            result.value = *active.front();
+            return result;
+        }
+
+        // Paper majority (R.1/R.2): two agreeing proposals suffice.
+        // Strict majority (the natural rule for N > 3 versions): more than
+        // half of the functional proposals must agree.
+        const std::size_t needed = scheme_ == VotingScheme::strict_majority
+                                       ? active.size() / 2 + 1
+                                       : 2;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            std::size_t supporters = 1;
+            for (std::size_t j = 0; j < active.size(); ++j)
+                if (j != i && agree_(*active[i], *active[j])) ++supporters;
+            if (supporters >= needed) {
+                result.kind = VoteKind::decided;
+                result.value = *active[i];
+                return result;
+            }
+        }
+        result.kind = VoteKind::skipped;  // R.1/R.2 divergence
+        return result;
+    }
+
+private:
+    VotingScheme scheme_;
+    Agree agree_;
+};
+
+}  // namespace mvreju::core

@@ -1,0 +1,170 @@
+#include "mvreju/core/dspn_models.hpp"
+
+#include <stdexcept>
+
+#include "mvreju/dspn/solver.hpp"
+
+namespace mvreju::core {
+
+using dspn::Marking;
+using dspn::PetriNet;
+using dspn::tokens;
+
+MultiVersionDspn build_multiversion_dspn(const DspnConfig& config) {
+    if (config.modules < 1 || config.modules > 3)
+        throw std::invalid_argument("build_multiversion_dspn: modules must be 1..3");
+    const auto& t = config.timing;
+    if (t.mttc <= 0 || t.mttf <= 0 || t.reactive_duration <= 0 ||
+        t.proactive_duration <= 0 || t.rejuvenation_interval <= 0)
+        throw std::invalid_argument("build_multiversion_dspn: non-positive timing");
+
+    MultiVersionDspn model;
+    model.proactive = config.proactive;
+    model.modules = config.modules;
+    PetriNet& net = model.net;
+
+    model.pmh = net.add_place("Pmh", config.modules);
+    model.pmc = net.add_place("Pmc");
+    model.pmf = net.add_place("Pmf");
+
+    const double lambda_c = 1.0 / t.mttc;
+    const double lambda = 1.0 / t.mttf;
+    const double mu = 1.0 / t.reactive_duration;
+
+    // Tc: healthy -> compromised (attack / degradation).
+    const auto pmh = model.pmh;
+    const auto pmc = model.pmc;
+    const auto pmf = model.pmf;
+    auto tc = (config.compromise_semantics == ServerSemantics::infinite)
+                  ? net.add_exponential("Tc", [pmh, lambda_c](const Marking& m) {
+                        return lambda_c * tokens(m, pmh);
+                    })
+                  : net.add_exponential("Tc", lambda_c);
+    net.add_input_arc(tc, model.pmh);
+    net.add_output_arc(tc, model.pmc);
+
+    // Tf: compromised -> non-functional (crash / detected corruption).
+    auto tf = (config.failure_semantics == ServerSemantics::infinite)
+                  ? net.add_exponential("Tf", [pmc, lambda](const Marking& m) {
+                        return lambda * tokens(m, pmc);
+                    })
+                  : net.add_exponential("Tf", lambda);
+    net.add_input_arc(tf, model.pmc);
+    net.add_output_arc(tf, model.pmf);
+
+    // Tr: reactive rejuvenation, one module at a time (single server).
+    auto tr = net.add_exponential("Tr", mu);
+    net.add_input_arc(tr, model.pmf);
+    net.add_output_arc(tr, model.pmh);
+
+    if (!config.proactive) return model;
+
+    // --- Fig. 3 proactive time-triggered rejuvenation ---
+    model.pmr = net.add_place("Pmr");
+    model.prc = net.add_place("Prc", 1);
+    model.ptr = net.add_place("Ptr");
+    model.pac = net.add_place("Pac");
+    const auto pmr = model.pmr;
+    const auto ptr = model.ptr;
+    const auto pac = model.pac;
+
+    // Trc: the rejuvenation clock, fires every 1/gamma.
+    model.trc = net.add_deterministic("Trc", t.rejuvenation_interval);
+    net.add_input_arc(model.trc, model.prc);
+    net.add_output_arc(model.trc, model.ptr);
+
+    // Tac: latch the trigger into Pac (guard g1 plus no-pending-action terms
+    // that keep immediate firing finite; see DESIGN.md section 4).
+    auto tac = net.add_immediate("Tac", 1.0, /*priority=*/2);
+    net.set_guard(tac, [ptr, pac, pmr](const Marking& m) {
+        return tokens(m, ptr) >= 1 && tokens(m, pac) == 0 && tokens(m, pmr) == 0;
+    });
+    net.add_output_arc(tac, model.pac);
+
+    // Trt: restart the clock once an action is pending or running (g3).
+    auto trt = net.add_immediate("Trt", 1.0, /*priority=*/1);
+    net.set_guard(trt, [pac, pmr](const Marking& m) {
+        return tokens(m, pac) + tokens(m, pmr) > 0;
+    });
+    net.add_input_arc(trt, model.ptr);
+    net.add_output_arc(trt, model.prc);
+
+    // Victim selection: Trj1 takes a compromised module, Trj2 a healthy one,
+    // with the Table I weights. Guard g2 defers to reactive rejuvenation.
+    auto g2 = [pmf, pmr](const Marking& m) {
+        return tokens(m, pmf) + tokens(m, pmr) < 1;
+    };
+    dspn::MarkingFn w1;
+    dspn::MarkingFn w2;
+    switch (config.victim_weights) {
+        case VictimWeights::table1:
+            // Table I: pick a compromised module with probability #C/(#C+#H)
+            // -- i.e. uniformly over the functional modules.
+            w1 = [pmh, pmc](const Marking& m) {
+                const int c = tokens(m, pmc);
+                const int h = tokens(m, pmh);
+                return c == 0 ? 0.00001
+                              : static_cast<double>(c) / static_cast<double>(c + h);
+            };
+            w2 = [pmh, pmc](const Marking& m) {
+                const int c = tokens(m, pmc);
+                const int h = tokens(m, pmh);
+                return h == 0 ? 0.00001
+                              : static_cast<double>(h) / static_cast<double>(c + h);
+            };
+            break;
+        case VictimWeights::two_thirds:
+            w1 = [pmc](const Marking& m) {
+                return tokens(m, pmc) == 0 ? 0.00001 : 2.0 / 3.0;
+            };
+            w2 = [pmh](const Marking& m) {
+                return tokens(m, pmh) == 0 ? 0.00001 : 1.0 / 3.0;
+            };
+            break;
+        case VictimWeights::healthy_only:
+            w1 = [](const Marking&) { return 0.00001; };
+            w2 = [pmh](const Marking& m) {
+                return tokens(m, pmh) == 0 ? 0.00001 : 1.0;
+            };
+            break;
+    }
+
+    auto trj1 = net.add_immediate("Trj1", dspn::MarkingFn(w1), /*priority=*/1);
+    net.set_guard(trj1, g2);
+    net.add_input_arc(trj1, model.pac);
+    net.add_input_arc(trj1, model.pmc);
+    net.add_output_arc(trj1, model.pmr);
+
+    auto trj2 = net.add_immediate("Trj2", dspn::MarkingFn(w2), /*priority=*/1);
+    net.set_guard(trj2, g2);
+    net.add_input_arc(trj2, model.pac);
+    net.add_input_arc(trj2, model.pmh);
+    net.add_output_arc(trj2, model.pmr);
+
+    // Trj: the proactive rejuvenation itself.
+    auto trj = net.add_exponential("Trj", 1.0 / t.proactive_duration);
+    net.add_input_arc(trj, model.pmr);
+    net.add_output_arc(trj, model.pmh);
+
+    return model;
+}
+
+double steady_state_reliability(const MultiVersionDspn& model,
+                                const dspn::ReachabilityGraph& graph,
+                                const std::vector<double>& pi,
+                                const reliability::Params& params) {
+    return dspn::expected_reward(graph, pi, [&](const Marking& m) {
+        return reliability::state_reliability(model.healthy(m), model.compromised(m),
+                                              model.nonfunctional(m), params);
+    });
+}
+
+double steady_state_reliability(const DspnConfig& config,
+                                const reliability::Params& params) {
+    const MultiVersionDspn model = build_multiversion_dspn(config);
+    const dspn::ReachabilityGraph graph(model.net);
+    const std::vector<double> pi = dspn::dspn_steady_state(graph);
+    return steady_state_reliability(model, graph, pi, params);
+}
+
+}  // namespace mvreju::core

@@ -1,0 +1,22 @@
+#pragma once
+
+// Minimal NetPBM image I/O so generated datasets and sensor grids can be
+// inspected visually (every image viewer opens PPM/PGM).
+
+#include <filesystem>
+
+#include "mvreju/ml/tensor.hpp"
+
+namespace mvreju::data {
+
+/// Write a (3, H, W) tensor with values in [0, 1] as a binary PPM (P6).
+/// Values outside [0, 1] are clamped.
+void write_ppm(const ml::Tensor& image, const std::filesystem::path& path);
+
+/// Write a (1, H, W) tensor as a binary PGM (P5).
+void write_pgm(const ml::Tensor& image, const std::filesystem::path& path);
+
+/// Read a binary PPM written by write_ppm back into a (3, H, W) tensor.
+[[nodiscard]] ml::Tensor read_ppm(const std::filesystem::path& path);
+
+}  // namespace mvreju::data

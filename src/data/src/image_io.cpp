@@ -1,0 +1,79 @@
+#include "mvreju/data/image_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace mvreju::data {
+
+namespace {
+
+unsigned char to_byte(float v) {
+    if (v < 0.0f) v = 0.0f;
+    if (v > 1.0f) v = 1.0f;
+    return static_cast<unsigned char>(v * 255.0f + 0.5f);
+}
+
+void check_shape(const ml::Tensor& image, std::size_t channels, const char* what) {
+    if (image.rank() != 3 || image.shape()[0] != channels)
+        throw std::invalid_argument(std::string(what) + ": expected (" +
+                                    std::to_string(channels) + ", H, W) tensor");
+}
+
+}  // namespace
+
+void write_ppm(const ml::Tensor& image, const std::filesystem::path& path) {
+    check_shape(image, 3, "write_ppm");
+    const std::size_t h = image.shape()[1];
+    const std::size_t w = image.shape()[2];
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_ppm: cannot open " + path.string());
+    out << "P6\n" << w << " " << h << "\n255\n";
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            for (std::size_t c = 0; c < 3; ++c)
+                out.put(static_cast<char>(to_byte(image.at3(c, y, x))));
+        }
+    }
+    if (!out) throw std::runtime_error("write_ppm: write failed for " + path.string());
+}
+
+void write_pgm(const ml::Tensor& image, const std::filesystem::path& path) {
+    check_shape(image, 1, "write_pgm");
+    const std::size_t h = image.shape()[1];
+    const std::size_t w = image.shape()[2];
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_pgm: cannot open " + path.string());
+    out << "P5\n" << w << " " << h << "\n255\n";
+    for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x)
+            out.put(static_cast<char>(to_byte(image.at3(0, y, x))));
+    if (!out) throw std::runtime_error("write_pgm: write failed for " + path.string());
+}
+
+ml::Tensor read_ppm(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_ppm: cannot open " + path.string());
+    std::string magic;
+    std::size_t w = 0;
+    std::size_t h = 0;
+    int maxval = 0;
+    in >> magic >> w >> h >> maxval;
+    if (magic != "P6" || maxval != 255 || w == 0 || h == 0)
+        throw std::runtime_error("read_ppm: unsupported PPM header in " + path.string());
+    in.get();  // single whitespace after the header
+
+    ml::Tensor image({3, h, w});
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            for (std::size_t c = 0; c < 3; ++c) {
+                const int byte = in.get();
+                if (byte < 0) throw std::runtime_error("read_ppm: truncated file");
+                image.at3(c, y, x) = static_cast<float>(byte) / 255.0f;
+            }
+        }
+    }
+    return image;
+}
+
+}  // namespace mvreju::data

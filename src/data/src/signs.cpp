@@ -1,0 +1,183 @@
+#include "mvreju/data/signs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::data {
+
+namespace {
+
+struct Rgb {
+    float r, g, b;
+};
+
+/// Per-shape colour scheme: border colour and fill colour.
+struct Scheme {
+    Rgb border;
+    Rgb fill;
+};
+
+Scheme scheme_for(SignShape shape) {
+    switch (shape) {
+        case SignShape::circle:         // prohibition: red ring, white fill
+            return {{0.85f, 0.10f, 0.12f}, {0.95f, 0.95f, 0.95f}};
+        case SignShape::triangle_up:    // warning: red border, pale fill
+            return {{0.85f, 0.10f, 0.12f}, {0.98f, 0.92f, 0.75f}};
+        case SignShape::triangle_down:  // yield: red border, white fill
+            return {{0.80f, 0.08f, 0.10f}, {0.97f, 0.97f, 0.97f}};
+        case SignShape::diamond:        // priority: yellow fill, white border
+            return {{0.97f, 0.97f, 0.92f}, {0.95f, 0.75f, 0.15f}};
+    }
+    throw std::logic_error("scheme_for: bad shape");
+}
+
+/// Signed distance to the sign outline; negative inside. Coordinates are
+/// already centred, rotated, and scaled so the nominal outline is at 1.
+double shape_distance(SignShape shape, double x, double y) {
+    switch (shape) {
+        case SignShape::circle:
+            return std::sqrt(x * x + y * y) - 1.0;
+        case SignShape::triangle_up: {
+            // Equilateral triangle pointing up, inscribed in the unit circle.
+            const double k = std::sqrt(3.0);
+            // Three half-planes.
+            const double d1 = -y - 0.5;                    // bottom edge (y up)
+            const double d2 = (k * x + y) / 2.0 - 0.5;     // right edge
+            const double d3 = (-k * x + y) / 2.0 - 0.5;    // left edge
+            return std::max({d1, d2, d3});
+        }
+        case SignShape::triangle_down:
+            return shape_distance(SignShape::triangle_up, x, -y);
+        case SignShape::diamond:
+            return (std::abs(x) + std::abs(y)) / 1.2 - 1.0;
+    }
+    throw std::logic_error("shape_distance: bad shape");
+}
+
+/// True when (x, y) (unit coordinates) falls on the inner glyph.
+bool on_glyph(SignGlyph glyph, double x, double y) {
+    switch (glyph) {
+        case SignGlyph::bar_vertical:
+            return std::abs(x) < 0.16 && std::abs(y) < 0.52;
+        case SignGlyph::bar_horizontal:
+            return std::abs(y) < 0.16 && std::abs(x) < 0.52;
+        case SignGlyph::dot:
+            return x * x + y * y < 0.30 * 0.30 * 3.0;
+        case SignGlyph::cross:
+            return (std::abs(x - y) < 0.20 || std::abs(x + y) < 0.20) &&
+                   std::abs(x) < 0.5 && std::abs(y) < 0.5;
+    }
+    throw std::logic_error("on_glyph: bad glyph");
+}
+
+float clamp01(double v) {
+    return static_cast<float>(v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v));
+}
+
+}  // namespace
+
+std::string sign_class_name(int label) {
+    if (label < 0 || label >= kSignClasses)
+        throw std::out_of_range("sign_class_name: bad label");
+    static constexpr const char* shapes[] = {"circle", "triangle-up", "triangle-down",
+                                             "diamond"};
+    static constexpr const char* glyphs[] = {"vbar", "hbar", "dot", "cross"};
+    return std::string(shapes[label / 4]) + "/" + glyphs[label % 4];
+}
+
+ml::Tensor render_sign(int label, std::size_t side, const SignPose& pose) {
+    if (label < 0 || label >= kSignClasses)
+        throw std::out_of_range("render_sign: bad label");
+    if (side < 8) throw std::invalid_argument("render_sign: side too small");
+    const auto shape = static_cast<SignShape>(label / 4);
+    const auto glyph = static_cast<SignGlyph>(label % 4);
+    const Scheme scheme = scheme_for(shape);
+
+    util::Rng noise(pose.noise_seed);
+    // Slightly varied background (asphalt/sky-ish grey).
+    const float bg_base = static_cast<float>(noise.uniform(0.25, 0.55));
+    const float bg_tint = static_cast<float>(noise.uniform(-0.05, 0.10));
+
+    ml::Tensor img({3, side, side});
+    const double cos_r = std::cos(pose.rotation);
+    const double sin_r = std::sin(pose.rotation);
+    // Border thickness and glyph scale in unit coordinates. Triangles have a
+    // much smaller incircle than circles/diamonds, so their border is thinner
+    // and the glyph is shrunk to fit the interior.
+    const bool is_triangle =
+        shape == SignShape::triangle_up || shape == SignShape::triangle_down;
+    const double border = is_triangle ? 0.16 : 0.28;
+    const double glyph_scale = is_triangle ? 0.55 : 1.0;
+
+    for (std::size_t py = 0; py < side; ++py) {
+        for (std::size_t px = 0; px < side; ++px) {
+            // Pixel centre in unit sign coordinates (y grows upward).
+            const double dx = (static_cast<double>(px) + 0.5 - pose.center_x);
+            const double dy = (pose.center_y - (static_cast<double>(py) + 0.5));
+            const double ux = (cos_r * dx + sin_r * dy) / pose.radius;
+            const double uy = (-sin_r * dx + cos_r * dy) / pose.radius;
+
+            Rgb colour{bg_base, bg_base, bg_base + bg_tint};
+            const double dist = shape_distance(shape, ux, uy);
+            if (dist < 0.0) {
+                colour = (dist > -border) ? scheme.border : scheme.fill;
+                if (dist <= -border &&
+                    on_glyph(glyph, ux / glyph_scale, uy / glyph_scale))
+                    colour = {0.08f, 0.08f, 0.10f};
+            }
+
+            const float n_r = static_cast<float>(noise.normal(0.0, pose.noise_sigma));
+            const float n_g = static_cast<float>(noise.normal(0.0, pose.noise_sigma));
+            const float n_b = static_cast<float>(noise.normal(0.0, pose.noise_sigma));
+            const auto bright = static_cast<float>(pose.brightness);
+            img.at3(0, py, px) = clamp01(colour.r * bright + n_r);
+            img.at3(1, py, px) = clamp01(colour.g * bright + n_g);
+            img.at3(2, py, px) = clamp01(colour.b * bright + n_b);
+        }
+    }
+    return img;
+}
+
+namespace {
+
+ml::Dataset generate_split(const SignDatasetConfig& config, std::size_t count,
+                           util::Rng rng) {
+    ml::Dataset out;
+    out.num_classes = kSignClasses;
+    out.images.reserve(count);
+    out.labels.reserve(count);
+    const double half = static_cast<double>(config.side) / 2.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const int label = static_cast<int>(i % kSignClasses);
+        SignPose pose;
+        pose.center_x = half + rng.uniform(-1.6, 1.6);
+        pose.center_y = half + rng.uniform(-1.6, 1.6);
+        pose.radius = rng.uniform(0.33, 0.45) * static_cast<double>(config.side);
+        pose.rotation = rng.uniform(-0.2, 0.2);
+        pose.brightness = rng.uniform(0.55, 1.25);
+        pose.noise_sigma = rng.uniform(config.noise_min, config.noise_max);
+        pose.noise_seed = rng();
+        out.images.push_back(render_sign(label, config.side, pose));
+        out.labels.push_back(label);
+    }
+    return out;
+}
+
+}  // namespace
+
+SignDataset make_traffic_signs(const SignDatasetConfig& config) {
+    if (config.train_count == 0 || config.test_count == 0)
+        throw std::invalid_argument("make_traffic_signs: empty split");
+    if (config.noise_min > config.noise_max || config.noise_min < 0.0)
+        throw std::invalid_argument("make_traffic_signs: bad noise range");
+    util::Rng root(config.seed);
+    SignDataset out;
+    out.train = generate_split(config, config.train_count, root.split(1));
+    out.test = generate_split(config, config.test_count, root.split(2));
+    return out;
+}
+
+}  // namespace mvreju::data

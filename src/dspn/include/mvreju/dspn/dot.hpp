@@ -1,0 +1,21 @@
+#pragma once
+
+// Graphviz export of a Petri net (structure) and of a tangible reachability
+// graph, for documentation and model debugging.
+
+#include <string>
+
+#include "mvreju/dspn/net.hpp"
+#include "mvreju/dspn/reachability.hpp"
+
+namespace mvreju::dspn {
+
+/// Render the net structure (places, transitions, arcs) as Graphviz dot.
+/// Immediate transitions are thin bars, exponential ones open boxes,
+/// deterministic ones filled boxes — mirroring the paper's DSPN notation.
+[[nodiscard]] std::string to_dot(const PetriNet& net);
+
+/// Render the tangible reachability graph with markings as node labels.
+[[nodiscard]] std::string to_dot(const ReachabilityGraph& graph);
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,165 @@
+#pragma once
+
+// Deterministic and Stochastic Petri Net (DSPN) core representation.
+//
+// Supported net class (matching what the paper's TimeNET models use):
+//   - places with non-negative integer markings;
+//   - immediate transitions with priorities and marking-dependent weights;
+//   - exponential transitions with marking-dependent rates;
+//   - deterministic transitions with fixed delays;
+//   - input, output and inhibitor arcs with multiplicities;
+//   - boolean guard functions over the current marking.
+//
+// Semantics follow Marsan & Chiola: immediate transitions fire in zero time
+// (markings enabling them are "vanishing"); enabled deterministic transitions
+// keep their clock across exponential firings that leave them enabled and
+// lose it when disabled (enabling restart).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvreju::dspn {
+
+/// A marking assigns a token count to every place, indexed by PlaceId.
+using Marking = std::vector<int>;
+
+/// Marking-dependent scalar (rate, weight or delay).
+using MarkingFn = std::function<double(const Marking&)>;
+/// Marking-dependent enabling predicate.
+using GuardFn = std::function<bool(const Marking&)>;
+
+/// Strongly typed handle to a place.
+struct PlaceId {
+    std::size_t index = 0;
+    friend bool operator==(PlaceId, PlaceId) = default;
+};
+
+/// Strongly typed handle to a transition.
+struct TransitionId {
+    std::size_t index = 0;
+    friend bool operator==(TransitionId, TransitionId) = default;
+};
+
+enum class TransitionKind { immediate, exponential, deterministic };
+
+/// Number of tokens in `place` under `marking`.
+[[nodiscard]] inline int tokens(const Marking& marking, PlaceId place) {
+    return marking.at(place.index);
+}
+
+/// A Petri net under construction / inspection. Building is append-only;
+/// analysis classes take a const reference and never mutate the net.
+class PetriNet {
+public:
+    PlaceId add_place(std::string name, int initial_tokens = 0);
+
+    /// Immediate transition with constant weight. Higher priority fires first.
+    TransitionId add_immediate(std::string name, double weight = 1.0, int priority = 1);
+    /// Immediate transition with marking-dependent weight.
+    TransitionId add_immediate(std::string name, MarkingFn weight, int priority = 1);
+
+    /// Exponential transition with constant rate (must be > 0 when enabled).
+    TransitionId add_exponential(std::string name, double rate);
+    /// Exponential transition with marking-dependent rate. A rate <= 0
+    /// disables the transition in that marking.
+    TransitionId add_exponential(std::string name, MarkingFn rate);
+
+    /// Deterministic transition with a fixed firing delay > 0.
+    TransitionId add_deterministic(std::string name, double delay);
+
+    void add_input_arc(TransitionId t, PlaceId p, int multiplicity = 1);
+    void add_output_arc(TransitionId t, PlaceId p, int multiplicity = 1);
+    /// Inhibitor: t is disabled while p holds >= threshold tokens.
+    void add_inhibitor_arc(TransitionId t, PlaceId p, int threshold = 1);
+
+    /// Attach an extra enabling predicate to a transition.
+    void set_guard(TransitionId t, GuardFn guard);
+
+    /// Change the firing delay of a deterministic transition (used by
+    /// parameter sweeps so the net need not be rebuilt per sweep point).
+    void set_deterministic_delay(TransitionId t, double delay);
+
+    [[nodiscard]] std::size_t place_count() const noexcept { return places_.size(); }
+    [[nodiscard]] std::size_t transition_count() const noexcept { return transitions_.size(); }
+    [[nodiscard]] const std::string& place_name(PlaceId p) const;
+    [[nodiscard]] const std::string& transition_name(TransitionId t) const;
+    [[nodiscard]] TransitionKind kind(TransitionId t) const;
+    [[nodiscard]] int priority(TransitionId t) const;
+
+    [[nodiscard]] Marking initial_marking() const;
+
+    /// Structural + guard + rate enabling check.
+    [[nodiscard]] bool enabled(TransitionId t, const Marking& marking) const;
+
+    /// Fire an enabled transition; returns the successor marking.
+    /// Precondition: enabled(t, marking).
+    [[nodiscard]] Marking fire(TransitionId t, const Marking& marking) const;
+
+    /// Rate of an exponential transition in a marking (0 if disabled).
+    [[nodiscard]] double rate(TransitionId t, const Marking& marking) const;
+    /// Weight of an immediate transition in a marking.
+    [[nodiscard]] double weight(TransitionId t, const Marking& marking) const;
+    /// Delay of a deterministic transition.
+    [[nodiscard]] double delay(TransitionId t) const;
+
+    /// True if any enabled transition in `marking` is immediate.
+    [[nodiscard]] bool is_vanishing(const Marking& marking) const;
+
+    /// All transitions of a given kind enabled in `marking`.
+    [[nodiscard]] std::vector<TransitionId> enabled_of_kind(const Marking& marking,
+                                                            TransitionKind kind) const;
+
+    /// Enabled immediate transitions restricted to the highest enabled
+    /// priority class (the only ones allowed to fire by DSPN semantics).
+    [[nodiscard]] std::vector<TransitionId> firable_immediates(const Marking& marking) const;
+
+    /// Constant rate/weight of a transition, when it was built from a
+    /// constant (std::nullopt for marking-dependent functions). Used by the
+    /// textual serializer, which cannot express code.
+    [[nodiscard]] std::optional<double> constant_value(TransitionId t) const;
+    /// True when a guard function is attached to the transition.
+    [[nodiscard]] bool has_guard(TransitionId t) const;
+
+    /// Read-only arc view for structural inspection/export.
+    struct ArcView {
+        PlaceId place{};
+        int multiplicity = 1;
+    };
+    [[nodiscard]] std::vector<ArcView> input_arcs(TransitionId t) const;
+    [[nodiscard]] std::vector<ArcView> output_arcs(TransitionId t) const;
+    [[nodiscard]] std::vector<ArcView> inhibitor_arcs(TransitionId t) const;
+
+private:
+    struct Arc {
+        std::size_t place = 0;
+        int multiplicity = 1;
+    };
+
+    struct Place {
+        std::string name;
+        int initial = 0;
+    };
+
+    struct Transition {
+        std::string name;
+        TransitionKind kind = TransitionKind::immediate;
+        MarkingFn value;        // rate (exponential) or weight (immediate)
+        std::optional<double> constant;  // set when built from a constant
+        double delay = 0.0;     // deterministic only
+        int priority = 1;       // immediate only
+        GuardFn guard;          // optional
+        std::vector<Arc> inputs;
+        std::vector<Arc> outputs;
+        std::vector<Arc> inhibitors;
+    };
+
+    void check_place(PlaceId p) const;
+    void check_transition(TransitionId t) const;
+
+    std::vector<Place> places_;
+    std::vector<Transition> transitions_;
+};
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,83 @@
+#pragma once
+
+// Tangible reachability graph construction with vanishing-marking
+// elimination. Vanishing markings (those enabling immediate transitions) are
+// resolved on the fly into probability distributions over tangible markings,
+// firing only the highest enabled priority class and branching by weight.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mvreju/dspn/net.hpp"
+
+namespace mvreju::dspn {
+
+/// Probability-weighted pointer to a tangible state.
+struct Branch {
+    std::size_t target = 0;
+    double probability = 0.0;
+};
+
+/// An exponential edge of the tangible graph. `rate` already folds in the
+/// branching probability of any vanishing chain crossed after the firing
+/// (effective rate = transition rate x resolution probability).
+struct ExpEdge {
+    std::size_t target = 0;
+    double rate = 0.0;
+    TransitionId via{};
+};
+
+/// Explicit tangible state space of a (D)SPN.
+class ReachabilityGraph {
+public:
+    /// Build the graph by exhaustive exploration from the initial marking.
+    /// Throws if more than `max_states` tangible markings are reachable or a
+    /// cycle of immediate transitions is encountered.
+    explicit ReachabilityGraph(const PetriNet& net, std::size_t max_states = 200'000);
+
+    [[nodiscard]] const PetriNet& net() const noexcept { return net_; }
+    [[nodiscard]] std::size_t state_count() const noexcept { return markings_.size(); }
+    [[nodiscard]] const Marking& marking(std::size_t state) const;
+
+    /// Index of a tangible marking, if reachable.
+    [[nodiscard]] std::optional<std::size_t> find(const Marking& marking) const;
+
+    /// Distribution over tangible states equivalent to the initial marking
+    /// (a single branch unless the initial marking is vanishing).
+    [[nodiscard]] const std::vector<Branch>& initial_distribution() const noexcept {
+        return initial_;
+    }
+
+    [[nodiscard]] const std::vector<ExpEdge>& exponential_edges(std::size_t state) const;
+
+    /// Deterministic transitions enabled in a tangible state.
+    [[nodiscard]] const std::vector<TransitionId>& deterministic_enabled(
+        std::size_t state) const;
+
+    /// Tangible branching distribution caused by firing deterministic
+    /// transition `t` in `state`. Precondition: t is enabled in state.
+    [[nodiscard]] const std::vector<Branch>& deterministic_branches(std::size_t state,
+                                                                    TransitionId t) const;
+
+    /// True if any reachable tangible state enables a deterministic transition.
+    [[nodiscard]] bool has_deterministic() const noexcept { return has_deterministic_; }
+
+private:
+    std::size_t intern(const Marking& marking);
+    std::vector<Branch> resolve(const Marking& marking, std::vector<Marking>& path);
+
+    const PetriNet& net_;
+    std::size_t max_states_;
+    std::vector<Marking> markings_;
+    std::map<Marking, std::size_t> index_;
+    std::vector<Branch> initial_;
+    std::vector<std::vector<ExpEdge>> exp_edges_;
+    std::vector<std::vector<TransitionId>> det_enabled_;
+    // (state, deterministic transition) -> branches
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<Branch>> det_branches_;
+    bool has_deterministic_ = false;
+};
+
+}  // namespace mvreju::dspn

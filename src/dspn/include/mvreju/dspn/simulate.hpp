@@ -1,0 +1,60 @@
+#pragma once
+
+// Discrete-event Monte-Carlo simulation of DSPNs. Used to cross-validate the
+// exact MRGP solver (and mirroring how the paper obtained its TimeNET
+// numbers, which are simulation-based). Steady-state rewards are estimated
+// with the batch-means method: after a warm-up period the horizon is split
+// into batches whose means are treated as approximately independent samples.
+
+#include <cstdint>
+
+#include "mvreju/dspn/net.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/num/stats.hpp"
+
+namespace mvreju::dspn {
+
+struct SimulationOptions {
+    double horizon = 1.0e6;      ///< total simulated time
+    double warmup = 1.0e4;       ///< discarded initial transient
+    std::size_t batches = 20;    ///< batch-means batches
+    std::uint64_t seed = 42;     ///< RNG seed (deterministic reproduction)
+};
+
+struct SimulationEstimate {
+    num::ConfidenceInterval ci;  ///< 95% batch-means confidence interval
+    double mean = 0.0;           ///< time-averaged reward over all batches
+};
+
+/// Simulate the net and estimate the steady-state expected reward
+/// E[reward(marking)] (time average). Deterministic transitions follow the
+/// enabling-restart policy: the clock persists across firings that keep the
+/// transition enabled and is discarded when it gets disabled.
+[[nodiscard]] SimulationEstimate simulate_steady_state_reward(const PetriNet& net,
+                                                              const RewardFn& reward,
+                                                              const SimulationOptions& options);
+
+/// Ensemble transient estimate: E[reward(marking at time t)] over
+/// `replications` independent runs from the initial marking, with a 95%
+/// replication-level confidence interval. Works for full DSPNs (the exact
+/// transient solver only covers purely exponential nets).
+[[nodiscard]] SimulationEstimate simulate_transient_reward(const PetriNet& net,
+                                                           const RewardFn& reward,
+                                                           double t,
+                                                           std::size_t replications,
+                                                           std::uint64_t seed);
+
+/// Ensemble first-passage estimate: mean time until `predicate` first holds
+/// (sampled over `replications` runs, each censored at `max_time`; censored
+/// runs contribute max_time, so the estimate is a lower bound when censoring
+/// occurs — the result reports how many runs were censored).
+struct FirstPassageEstimate {
+    num::ConfidenceInterval ci;
+    double mean = 0.0;
+    std::size_t censored = 0;
+};
+[[nodiscard]] FirstPassageEstimate simulate_mean_time_to(
+    const PetriNet& net, const std::function<bool(const Marking&)>& predicate,
+    double max_time, std::size_t replications, std::uint64_t seed);
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,67 @@
+#pragma once
+
+// Exact steady-state solvers over the tangible reachability graph:
+//
+//  - spn_steady_state: the net must contain no reachable deterministic
+//    transition; the tangible graph is then a CTMC, solved directly.
+//
+//  - dspn_steady_state: Markov-regenerative (MRGP) method for DSPNs in which
+//    at most one deterministic transition is enabled in any tangible marking
+//    (the standard DSPN solvability class, and the class of the paper's
+//    models). Regeneration points are deterministic firings/disablings and
+//    every exponential firing in purely-exponential states. The embedded
+//    Markov chain is built with subordinated-CTMC transient analysis
+//    (uniformization) over each deterministic enabling interval.
+//
+// Both return the steady-state probability of each tangible state, from
+// which expected rewards (Eq. 3 of the paper) are evaluated.
+
+#include <functional>
+#include <vector>
+
+#include "mvreju/dspn/reachability.hpp"
+
+namespace mvreju::dspn {
+
+/// Reward assigned to a tangible marking (e.g. the state reliability R_ijk).
+using RewardFn = std::function<double(const Marking&)>;
+
+/// Steady-state distribution over the tangible states of `graph`.
+/// Requires the net to have no reachable deterministic transitions.
+[[nodiscard]] std::vector<double> spn_steady_state(const ReachabilityGraph& graph);
+
+/// Steady-state distribution via the MRGP method. Also handles the purely
+/// exponential case (falls back to spn_steady_state). Requires at most one
+/// deterministic transition enabled per tangible marking.
+[[nodiscard]] std::vector<double> dspn_steady_state(const ReachabilityGraph& graph);
+
+/// Expected steady-state reward: sum_m pi(m) * reward(m)   (paper Eq. 3).
+[[nodiscard]] double expected_reward(const ReachabilityGraph& graph,
+                                     const std::vector<double>& pi, const RewardFn& reward);
+
+/// Steady-state probability that `predicate` holds.
+[[nodiscard]] double probability(const ReachabilityGraph& graph,
+                                 const std::vector<double>& pi,
+                                 const std::function<bool(const Marking&)>& predicate);
+
+/// Exact transient distribution at time t (uniformization), starting from
+/// the net's initial marking. Requires a purely exponential net (no
+/// deterministic transitions) — use simulate_transient_reward for DSPNs.
+[[nodiscard]] std::vector<double> spn_transient_distribution(
+    const ReachabilityGraph& graph, double t);
+
+/// Steady-state firing rate (throughput) of an exponential transition:
+/// sum over markings of pi(m) * rate(t, m). Reports, e.g., how often the
+/// rejuvenation transition Trj actually completes per unit time.
+[[nodiscard]] double expected_firing_rate(const ReachabilityGraph& graph,
+                                          const std::vector<double>& pi, TransitionId t);
+
+/// Exact mean first-passage time from the initial marking into the set of
+/// tangible states satisfying `predicate` (expected hitting time of the
+/// underlying CTMC). Requires a purely exponential net; throws when the
+/// predicate holds initially with probability one is fine (returns 0) but
+/// the predicate set must be reachable from every transient state.
+[[nodiscard]] double spn_mean_time_to(const ReachabilityGraph& graph,
+                                      const std::function<bool(const Marking&)>& predicate);
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,39 @@
+#pragma once
+
+// Textual DSPN interchange format — the repository's analogue of the
+// TimeNET model files the paper publishes on Zenodo. A net is a sequence of
+// line-oriented declarations:
+//
+//   # comment (also after declarations)
+//   place <name> [initial_tokens]
+//   exponential <name> rate=<double>
+//   deterministic <name> delay=<double>
+//   immediate <name> [weight=<double>] [priority=<int>]
+//   arc <place> -> <transition> [multiplicity]
+//   arc <transition> -> <place> [multiplicity]
+//   inhibitor <place> -o <transition> [threshold]
+//
+// Names may contain any non-whitespace characters and must be unique within
+// their kind. Marking-dependent rates/weights and guard functions are code
+// and cannot be expressed; serializing a net containing them throws.
+
+#include <iosfwd>
+#include <string>
+
+#include "mvreju/dspn/net.hpp"
+
+namespace mvreju::dspn {
+
+/// Render a net in the textual format. Throws std::invalid_argument when the
+/// net uses marking-dependent rates/weights or guards.
+[[nodiscard]] std::string to_text(const PetriNet& net);
+
+/// Parse a net from the textual format. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+[[nodiscard]] PetriNet from_text(const std::string& text);
+
+/// Stream variants of the above.
+void save_net(const PetriNet& net, std::ostream& out);
+[[nodiscard]] PetriNet load_net(std::istream& in);
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,74 @@
+#include "mvreju/dspn/dot.hpp"
+
+#include <sstream>
+
+namespace mvreju::dspn {
+
+std::string to_dot(const PetriNet& net) {
+    std::ostringstream out;
+    out << "digraph dspn {\n  rankdir=LR;\n";
+    const Marking m0 = net.initial_marking();
+    for (std::size_t p = 0; p < net.place_count(); ++p) {
+        out << "  p" << p << " [shape=circle,label=\"" << net.place_name({p});
+        if (m0[p] > 0) out << "\\n(" << m0[p] << ")";
+        out << "\"];\n";
+    }
+    for (std::size_t t = 0; t < net.transition_count(); ++t) {
+        const TransitionId id{t};
+        const char* style = nullptr;
+        switch (net.kind(id)) {
+            case TransitionKind::immediate:
+                style = "shape=box,height=0.1,style=filled,fillcolor=black,fontcolor=white";
+                break;
+            case TransitionKind::exponential:
+                style = "shape=box,style=\"\"";
+                break;
+            case TransitionKind::deterministic:
+                style = "shape=box,style=filled,fillcolor=gray30,fontcolor=white";
+                break;
+        }
+        out << "  t" << t << " [" << style << ",label=\"" << net.transition_name(id)
+            << "\"];\n";
+    }
+    auto mult_label = [](int mult) {
+        return mult == 1 ? std::string{} : " [label=\"" + std::to_string(mult) + "\"]";
+    };
+    for (std::size_t t = 0; t < net.transition_count(); ++t) {
+        const TransitionId id{t};
+        for (const auto& arc : net.input_arcs(id))
+            out << "  p" << arc.place.index << " -> t" << t << mult_label(arc.multiplicity)
+                << ";\n";
+        for (const auto& arc : net.output_arcs(id))
+            out << "  t" << t << " -> p" << arc.place.index << mult_label(arc.multiplicity)
+                << ";\n";
+        for (const auto& arc : net.inhibitor_arcs(id))
+            out << "  p" << arc.place.index << " -> t" << t
+                << " [arrowhead=odot,style=dotted];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::string to_dot(const ReachabilityGraph& graph) {
+    std::ostringstream out;
+    out << "digraph tangible {\n";
+    for (std::size_t s = 0; s < graph.state_count(); ++s) {
+        out << "  s" << s << " [shape=ellipse,label=\"";
+        const Marking& m = graph.marking(s);
+        for (std::size_t p = 0; p < m.size(); ++p) out << (p ? "," : "") << m[p];
+        out << "\"];\n";
+    }
+    for (std::size_t s = 0; s < graph.state_count(); ++s) {
+        for (const ExpEdge& e : graph.exponential_edges(s))
+            out << "  s" << s << " -> s" << e.target << " [label=\""
+                << graph.net().transition_name(e.via) << "\"];\n";
+        for (TransitionId t : graph.deterministic_enabled(s))
+            for (const Branch& b : graph.deterministic_branches(s, t))
+                out << "  s" << s << " -> s" << b.target << " [style=dashed,label=\""
+                    << graph.net().transition_name(t) << "\"];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace mvreju::dspn

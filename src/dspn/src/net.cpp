@@ -1,0 +1,233 @@
+#include "mvreju/dspn/net.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvreju::dspn {
+
+PlaceId PetriNet::add_place(std::string name, int initial_tokens) {
+    if (initial_tokens < 0) throw std::invalid_argument("add_place: negative tokens");
+    places_.push_back({std::move(name), initial_tokens});
+    return {places_.size() - 1};
+}
+
+TransitionId PetriNet::add_immediate(std::string name, double weight, int priority) {
+    if (weight <= 0.0) throw std::invalid_argument("add_immediate: weight must be > 0");
+    const TransitionId id = add_immediate(
+        std::move(name), [weight](const Marking&) { return weight; }, priority);
+    transitions_[id.index].constant = weight;
+    return id;
+}
+
+TransitionId PetriNet::add_immediate(std::string name, MarkingFn weight, int priority) {
+    Transition t;
+    t.name = std::move(name);
+    t.kind = TransitionKind::immediate;
+    t.value = std::move(weight);
+    t.priority = priority;
+    transitions_.push_back(std::move(t));
+    return {transitions_.size() - 1};
+}
+
+TransitionId PetriNet::add_exponential(std::string name, double rate) {
+    if (rate <= 0.0) throw std::invalid_argument("add_exponential: rate must be > 0");
+    const TransitionId id =
+        add_exponential(std::move(name), [rate](const Marking&) { return rate; });
+    transitions_[id.index].constant = rate;
+    return id;
+}
+
+TransitionId PetriNet::add_exponential(std::string name, MarkingFn rate) {
+    Transition t;
+    t.name = std::move(name);
+    t.kind = TransitionKind::exponential;
+    t.value = std::move(rate);
+    transitions_.push_back(std::move(t));
+    return {transitions_.size() - 1};
+}
+
+TransitionId PetriNet::add_deterministic(std::string name, double delay) {
+    if (delay <= 0.0) throw std::invalid_argument("add_deterministic: delay must be > 0");
+    Transition t;
+    t.name = std::move(name);
+    t.kind = TransitionKind::deterministic;
+    t.delay = delay;
+    transitions_.push_back(std::move(t));
+    return {transitions_.size() - 1};
+}
+
+void PetriNet::add_input_arc(TransitionId t, PlaceId p, int multiplicity) {
+    check_transition(t);
+    check_place(p);
+    if (multiplicity < 1) throw std::invalid_argument("add_input_arc: multiplicity < 1");
+    transitions_[t.index].inputs.push_back({p.index, multiplicity});
+}
+
+void PetriNet::add_output_arc(TransitionId t, PlaceId p, int multiplicity) {
+    check_transition(t);
+    check_place(p);
+    if (multiplicity < 1) throw std::invalid_argument("add_output_arc: multiplicity < 1");
+    transitions_[t.index].outputs.push_back({p.index, multiplicity});
+}
+
+void PetriNet::add_inhibitor_arc(TransitionId t, PlaceId p, int threshold) {
+    check_transition(t);
+    check_place(p);
+    if (threshold < 1) throw std::invalid_argument("add_inhibitor_arc: threshold < 1");
+    transitions_[t.index].inhibitors.push_back({p.index, threshold});
+}
+
+void PetriNet::set_guard(TransitionId t, GuardFn guard) {
+    check_transition(t);
+    transitions_[t.index].guard = std::move(guard);
+}
+
+void PetriNet::set_deterministic_delay(TransitionId t, double delay) {
+    check_transition(t);
+    if (transitions_[t.index].kind != TransitionKind::deterministic)
+        throw std::invalid_argument("set_deterministic_delay: not a deterministic transition");
+    if (delay <= 0.0) throw std::invalid_argument("set_deterministic_delay: delay <= 0");
+    transitions_[t.index].delay = delay;
+}
+
+const std::string& PetriNet::place_name(PlaceId p) const {
+    check_place(p);
+    return places_[p.index].name;
+}
+
+const std::string& PetriNet::transition_name(TransitionId t) const {
+    check_transition(t);
+    return transitions_[t.index].name;
+}
+
+TransitionKind PetriNet::kind(TransitionId t) const {
+    check_transition(t);
+    return transitions_[t.index].kind;
+}
+
+int PetriNet::priority(TransitionId t) const {
+    check_transition(t);
+    return transitions_[t.index].priority;
+}
+
+Marking PetriNet::initial_marking() const {
+    Marking m(places_.size());
+    for (std::size_t i = 0; i < places_.size(); ++i) m[i] = places_[i].initial;
+    return m;
+}
+
+bool PetriNet::enabled(TransitionId t, const Marking& marking) const {
+    check_transition(t);
+    const Transition& tr = transitions_[t.index];
+    for (const Arc& arc : tr.inputs)
+        if (marking[arc.place] < arc.multiplicity) return false;
+    for (const Arc& arc : tr.inhibitors)
+        if (marking[arc.place] >= arc.multiplicity) return false;
+    if (tr.guard && !tr.guard(marking)) return false;
+    // A non-positive marking-dependent rate/weight also disables the
+    // transition (e.g. Tc with rate lambda_c * #Pmh when Pmh is empty).
+    if (tr.kind != TransitionKind::deterministic && tr.value(marking) <= 0.0) return false;
+    return true;
+}
+
+Marking PetriNet::fire(TransitionId t, const Marking& marking) const {
+    if (!enabled(t, marking)) throw std::logic_error("fire: transition not enabled");
+    const Transition& tr = transitions_[t.index];
+    Marking next = marking;
+    for (const Arc& arc : tr.inputs) next[arc.place] -= arc.multiplicity;
+    for (const Arc& arc : tr.outputs) next[arc.place] += arc.multiplicity;
+    return next;
+}
+
+double PetriNet::rate(TransitionId t, const Marking& marking) const {
+    check_transition(t);
+    const Transition& tr = transitions_[t.index];
+    if (tr.kind != TransitionKind::exponential)
+        throw std::invalid_argument("rate: not an exponential transition");
+    return enabled(t, marking) ? tr.value(marking) : 0.0;
+}
+
+double PetriNet::weight(TransitionId t, const Marking& marking) const {
+    check_transition(t);
+    const Transition& tr = transitions_[t.index];
+    if (tr.kind != TransitionKind::immediate)
+        throw std::invalid_argument("weight: not an immediate transition");
+    return tr.value(marking);
+}
+
+double PetriNet::delay(TransitionId t) const {
+    check_transition(t);
+    const Transition& tr = transitions_[t.index];
+    if (tr.kind != TransitionKind::deterministic)
+        throw std::invalid_argument("delay: not a deterministic transition");
+    return tr.delay;
+}
+
+bool PetriNet::is_vanishing(const Marking& marking) const {
+    for (std::size_t i = 0; i < transitions_.size(); ++i)
+        if (transitions_[i].kind == TransitionKind::immediate && enabled({i}, marking))
+            return true;
+    return false;
+}
+
+std::vector<TransitionId> PetriNet::enabled_of_kind(const Marking& marking,
+                                                    TransitionKind wanted) const {
+    std::vector<TransitionId> out;
+    for (std::size_t i = 0; i < transitions_.size(); ++i)
+        if (transitions_[i].kind == wanted && enabled({i}, marking)) out.push_back({i});
+    return out;
+}
+
+std::vector<TransitionId> PetriNet::firable_immediates(const Marking& marking) const {
+    auto enabled_imm = enabled_of_kind(marking, TransitionKind::immediate);
+    if (enabled_imm.empty()) return enabled_imm;
+    int top = transitions_[enabled_imm.front().index].priority;
+    for (TransitionId t : enabled_imm) top = std::max(top, transitions_[t.index].priority);
+    std::erase_if(enabled_imm,
+                  [&](TransitionId t) { return transitions_[t.index].priority != top; });
+    return enabled_imm;
+}
+
+namespace {
+std::vector<PetriNet::ArcView> to_views(const auto& arcs) {
+    std::vector<PetriNet::ArcView> out;
+    out.reserve(arcs.size());
+    for (const auto& arc : arcs) out.push_back({{arc.place}, arc.multiplicity});
+    return out;
+}
+}  // namespace
+
+std::optional<double> PetriNet::constant_value(TransitionId t) const {
+    check_transition(t);
+    return transitions_[t.index].constant;
+}
+
+bool PetriNet::has_guard(TransitionId t) const {
+    check_transition(t);
+    return static_cast<bool>(transitions_[t.index].guard);
+}
+
+std::vector<PetriNet::ArcView> PetriNet::input_arcs(TransitionId t) const {
+    check_transition(t);
+    return to_views(transitions_[t.index].inputs);
+}
+
+std::vector<PetriNet::ArcView> PetriNet::output_arcs(TransitionId t) const {
+    check_transition(t);
+    return to_views(transitions_[t.index].outputs);
+}
+
+std::vector<PetriNet::ArcView> PetriNet::inhibitor_arcs(TransitionId t) const {
+    check_transition(t);
+    return to_views(transitions_[t.index].inhibitors);
+}
+
+void PetriNet::check_place(PlaceId p) const {
+    if (p.index >= places_.size()) throw std::out_of_range("invalid PlaceId");
+}
+
+void PetriNet::check_transition(TransitionId t) const {
+    if (t.index >= transitions_.size()) throw std::out_of_range("invalid TransitionId");
+}
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,106 @@
+#include "mvreju/dspn/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace mvreju::dspn {
+
+ReachabilityGraph::ReachabilityGraph(const PetriNet& net, std::size_t max_states)
+    : net_(net), max_states_(max_states) {
+    std::vector<Marking> path;
+    initial_ = resolve(net_.initial_marking(), path);
+
+    // Exhaustive exploration. intern() appends new states to markings_, so a
+    // simple index-based sweep acts as the BFS worklist.
+    for (std::size_t state = 0; state < markings_.size(); ++state) {
+        const Marking current = markings_[state];  // copy: vectors may reallocate
+
+        for (TransitionId t : net_.enabled_of_kind(current, TransitionKind::exponential)) {
+            const double rate = net_.rate(t, current);
+            path.clear();
+            for (const Branch& b : resolve(net_.fire(t, current), path)) {
+                exp_edges_[state].push_back({b.target, rate * b.probability, t});
+            }
+        }
+
+        for (TransitionId t :
+             net_.enabled_of_kind(current, TransitionKind::deterministic)) {
+            has_deterministic_ = true;
+            det_enabled_[state].push_back(t);
+            path.clear();
+            det_branches_[{state, t.index}] = resolve(net_.fire(t, current), path);
+        }
+    }
+}
+
+const Marking& ReachabilityGraph::marking(std::size_t state) const {
+    return markings_.at(state);
+}
+
+std::optional<std::size_t> ReachabilityGraph::find(const Marking& marking) const {
+    auto it = index_.find(marking);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+}
+
+const std::vector<ExpEdge>& ReachabilityGraph::exponential_edges(std::size_t state) const {
+    return exp_edges_.at(state);
+}
+
+const std::vector<TransitionId>& ReachabilityGraph::deterministic_enabled(
+    std::size_t state) const {
+    return det_enabled_.at(state);
+}
+
+const std::vector<Branch>& ReachabilityGraph::deterministic_branches(
+    std::size_t state, TransitionId t) const {
+    auto it = det_branches_.find({state, t.index});
+    if (it == det_branches_.end())
+        throw std::invalid_argument("deterministic_branches: transition not enabled here");
+    return it->second;
+}
+
+std::size_t ReachabilityGraph::intern(const Marking& marking) {
+    auto [it, inserted] = index_.try_emplace(marking, markings_.size());
+    if (inserted) {
+        if (markings_.size() >= max_states_)
+            throw std::runtime_error("ReachabilityGraph: state-space limit exceeded");
+        markings_.push_back(marking);
+        exp_edges_.emplace_back();
+        det_enabled_.emplace_back();
+    }
+    return it->second;
+}
+
+std::vector<Branch> ReachabilityGraph::resolve(const Marking& marking,
+                                               std::vector<Marking>& path) {
+    if (!net_.is_vanishing(marking)) return {{intern(marking), 1.0}};
+
+    if (std::find(path.begin(), path.end(), marking) != path.end())
+        throw std::runtime_error("ReachabilityGraph: cycle of immediate transitions");
+    path.push_back(marking);
+
+    const auto firable = net_.firable_immediates(marking);
+    double total_weight = 0.0;
+    for (TransitionId t : firable) total_weight += net_.weight(t, marking);
+    if (total_weight <= 0.0)
+        throw std::runtime_error("ReachabilityGraph: non-positive immediate weights");
+
+    // Accumulate branches by target to keep distributions compact.
+    std::map<std::size_t, double> acc;
+    for (TransitionId t : firable) {
+        const double prob = net_.weight(t, marking) / total_weight;
+        for (const Branch& b : resolve(net_.fire(t, marking), path))
+            acc[b.target] += prob * b.probability;
+    }
+
+    path.pop_back();
+
+    std::vector<Branch> out;
+    out.reserve(acc.size());
+    for (const auto& [target, prob] : acc) out.push_back({target, prob});
+    return out;
+}
+
+}  // namespace mvreju::dspn

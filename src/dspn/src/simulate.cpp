@@ -1,0 +1,314 @@
+#include "mvreju/dspn/simulate.hpp"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::dspn {
+
+namespace {
+
+/// Resolve a (possibly vanishing) marking by sampling immediate firings.
+Marking sample_tangible(const PetriNet& net, Marking marking, util::Rng& rng) {
+    for (int steps = 0; net.is_vanishing(marking); ++steps) {
+        if (steps > 10'000)
+            throw std::runtime_error("simulate: cycle of immediate transitions");
+        const auto firable = net.firable_immediates(marking);
+        double total = 0.0;
+        for (TransitionId t : firable) total += net.weight(t, marking);
+        double pick = rng.uniform() * total;
+        TransitionId chosen = firable.back();
+        for (TransitionId t : firable) {
+            pick -= net.weight(t, marking);
+            if (pick <= 0.0) {
+                chosen = t;
+                break;
+            }
+        }
+        marking = net.fire(chosen, marking);
+    }
+    return marking;
+}
+
+/// One trajectory from the initial marking to time `horizon`; returns the
+/// tangible marking occupied at that instant.
+Marking simulate_until(const PetriNet& net, double horizon, util::Rng& rng) {
+    Marking marking = sample_tangible(net, net.initial_marking(), rng);
+    std::map<std::size_t, double> det_clock;
+    auto sync_det_clocks = [&](const Marking& tangible) {
+        for (std::size_t t = 0; t < net.transition_count(); ++t) {
+            const TransitionId id{t};
+            if (net.kind(id) != TransitionKind::deterministic) continue;
+            const bool is_enabled = net.enabled(id, tangible);
+            const bool tracked = det_clock.contains(t);
+            if (is_enabled && !tracked) det_clock[t] = net.delay(id);
+            if (!is_enabled && tracked) det_clock.erase(t);
+        }
+    };
+    sync_det_clocks(marking);
+
+    double now = 0.0;
+    while (now < horizon) {
+        const auto exp_enabled = net.enabled_of_kind(marking, TransitionKind::exponential);
+        double total_rate = 0.0;
+        for (TransitionId t : exp_enabled) total_rate += net.rate(t, marking);
+        double exp_dt = std::numeric_limits<double>::infinity();
+        if (total_rate > 0.0) exp_dt = rng.exponential(total_rate);
+
+        double det_dt = std::numeric_limits<double>::infinity();
+        std::size_t det_winner = 0;
+        for (const auto& [t, remaining] : det_clock) {
+            if (remaining < det_dt) {
+                det_dt = remaining;
+                det_winner = t;
+            }
+        }
+
+        const double dt = std::min(exp_dt, det_dt);
+        if (!std::isfinite(dt))
+            throw std::runtime_error("simulate: dead marking (no enabled transitions)");
+        if (now + dt >= horizon) break;  // marking persists through `horizon`
+        now += dt;
+        for (auto& [t, remaining] : det_clock) remaining -= dt;
+
+        TransitionId fired{};
+        if (det_dt <= exp_dt) {
+            fired = TransitionId{det_winner};
+            det_clock.erase(det_winner);
+        } else {
+            double pick = rng.uniform() * total_rate;
+            fired = exp_enabled.back();
+            for (TransitionId t : exp_enabled) {
+                pick -= net.rate(t, marking);
+                if (pick <= 0.0) {
+                    fired = t;
+                    break;
+                }
+            }
+        }
+        marking = sample_tangible(net, net.fire(fired, marking), rng);
+        sync_det_clocks(marking);
+    }
+    return marking;
+}
+
+}  // namespace
+
+FirstPassageEstimate simulate_mean_time_to(
+    const PetriNet& net, const std::function<bool(const Marking&)>& predicate,
+    double max_time, std::size_t replications, std::uint64_t seed) {
+    if (max_time <= 0.0)
+        throw std::invalid_argument("simulate_mean_time_to: non-positive max_time");
+    if (replications < 2)
+        throw std::invalid_argument("simulate_mean_time_to: need >= 2 replications");
+
+    util::Rng root(seed);
+    std::vector<double> samples;
+    samples.reserve(replications);
+    FirstPassageEstimate est;
+    for (std::size_t r = 0; r < replications; ++r) {
+        util::Rng rng = root.split(r + 1);
+        // Re-run the trajectory event by event, checking the predicate after
+        // every tangible transition.
+        Marking marking = sample_tangible(net, net.initial_marking(), rng);
+        std::map<std::size_t, double> det_clock;
+        auto sync = [&](const Marking& tangible) {
+            for (std::size_t t = 0; t < net.transition_count(); ++t) {
+                const TransitionId id{t};
+                if (net.kind(id) != TransitionKind::deterministic) continue;
+                const bool is_enabled = net.enabled(id, tangible);
+                const bool tracked = det_clock.contains(t);
+                if (is_enabled && !tracked) det_clock[t] = net.delay(id);
+                if (!is_enabled && tracked) det_clock.erase(t);
+            }
+        };
+        sync(marking);
+
+        double now = 0.0;
+        bool hit = predicate(marking);
+        while (!hit && now < max_time) {
+            const auto exp_enabled =
+                net.enabled_of_kind(marking, TransitionKind::exponential);
+            double total_rate = 0.0;
+            for (TransitionId t : exp_enabled) total_rate += net.rate(t, marking);
+            double exp_dt = std::numeric_limits<double>::infinity();
+            if (total_rate > 0.0) exp_dt = rng.exponential(total_rate);
+            double det_dt = std::numeric_limits<double>::infinity();
+            std::size_t det_winner = 0;
+            for (const auto& [t, remaining] : det_clock) {
+                if (remaining < det_dt) {
+                    det_dt = remaining;
+                    det_winner = t;
+                }
+            }
+            const double dt = std::min(exp_dt, det_dt);
+            if (!std::isfinite(dt))
+                throw std::runtime_error("simulate: dead marking (no enabled transitions)");
+            now += dt;
+            if (now >= max_time) break;
+            for (auto& [t, remaining] : det_clock) remaining -= dt;
+            TransitionId fired{};
+            if (det_dt <= exp_dt) {
+                fired = TransitionId{det_winner};
+                det_clock.erase(det_winner);
+            } else {
+                double pick = rng.uniform() * total_rate;
+                fired = exp_enabled.back();
+                for (TransitionId t : exp_enabled) {
+                    pick -= net.rate(t, marking);
+                    if (pick <= 0.0) {
+                        fired = t;
+                        break;
+                    }
+                }
+            }
+            marking = sample_tangible(net, net.fire(fired, marking), rng);
+            sync(marking);
+            hit = predicate(marking);
+        }
+        if (!hit) {
+            ++est.censored;
+            samples.push_back(max_time);
+        } else {
+            samples.push_back(now);
+        }
+    }
+    est.ci = num::mean_ci95(samples);
+    est.mean = est.ci.mean;
+    return est;
+}
+
+SimulationEstimate simulate_transient_reward(const PetriNet& net, const RewardFn& reward,
+                                             double t, std::size_t replications,
+                                             std::uint64_t seed) {
+    if (t < 0.0) throw std::invalid_argument("simulate_transient_reward: negative time");
+    if (replications < 2)
+        throw std::invalid_argument("simulate_transient_reward: need >= 2 replications");
+    util::Rng root(seed);
+    std::vector<double> samples;
+    samples.reserve(replications);
+    for (std::size_t r = 0; r < replications; ++r) {
+        util::Rng rng = root.split(r + 1);
+        samples.push_back(reward(simulate_until(net, t, rng)));
+    }
+    SimulationEstimate est;
+    est.ci = num::mean_ci95(samples);
+    est.mean = est.ci.mean;
+    return est;
+}
+
+SimulationEstimate simulate_steady_state_reward(const PetriNet& net, const RewardFn& reward,
+                                                const SimulationOptions& options) {
+    if (options.horizon <= options.warmup)
+        throw std::invalid_argument("simulate: horizon must exceed warmup");
+    if (options.batches < 2) throw std::invalid_argument("simulate: need >= 2 batches");
+
+    util::Rng rng(options.seed);
+    Marking marking = sample_tangible(net, net.initial_marking(), rng);
+
+    // Remaining-time clocks of currently enabled deterministic transitions.
+    std::map<std::size_t, double> det_clock;
+    auto sync_det_clocks = [&](const Marking& tangible) {
+        for (std::size_t t = 0; t < net.transition_count(); ++t) {
+            const TransitionId id{t};
+            if (net.kind(id) != TransitionKind::deterministic) continue;
+            const bool is_enabled = net.enabled(id, tangible);
+            const bool tracked = det_clock.contains(t);
+            if (is_enabled && !tracked) det_clock[t] = net.delay(id);
+            if (!is_enabled && tracked) det_clock.erase(t);
+        }
+    };
+    sync_det_clocks(marking);
+
+    const double batch_length =
+        (options.horizon - options.warmup) / static_cast<double>(options.batches);
+    std::vector<double> batch_means;
+    batch_means.reserve(options.batches);
+
+    double now = 0.0;
+    double batch_acc = 0.0;
+    double batch_end = options.warmup + batch_length;
+    bool warm = false;
+
+    auto accumulate = [&](double from, double to, double r) {
+        // Credit reward r over [from, to], split across warmup/batch borders.
+        if (to <= options.warmup) return;
+        from = std::max(from, options.warmup);
+        while (from < to) {
+            const double seg_end = std::min(to, batch_end);
+            batch_acc += r * (seg_end - from);
+            from = seg_end;
+            if (from >= batch_end && batch_means.size() < options.batches) {
+                batch_means.push_back(batch_acc / batch_length);
+                batch_acc = 0.0;
+                batch_end += batch_length;
+            }
+        }
+    };
+
+    while (now < options.horizon && batch_means.size() < options.batches) {
+        if (!warm && now >= options.warmup) warm = true;
+
+        // Competing exponential transitions: total-rate race.
+        const auto exp_enabled = net.enabled_of_kind(marking, TransitionKind::exponential);
+        double total_rate = 0.0;
+        for (TransitionId t : exp_enabled) total_rate += net.rate(t, marking);
+
+        double exp_dt = std::numeric_limits<double>::infinity();
+        if (total_rate > 0.0) exp_dt = rng.exponential(total_rate);
+
+        // Earliest deterministic firing.
+        double det_dt = std::numeric_limits<double>::infinity();
+        std::size_t det_winner = 0;
+        for (const auto& [t, remaining] : det_clock) {
+            if (remaining < det_dt) {
+                det_dt = remaining;
+                det_winner = t;
+            }
+        }
+
+        const double dt = std::min(exp_dt, det_dt);
+        if (!std::isfinite(dt))
+            throw std::runtime_error("simulate: dead marking (no enabled transitions)");
+
+        const double reward_here = reward(marking);
+        accumulate(now, std::min(now + dt, options.horizon), reward_here);
+        now += dt;
+        if (now >= options.horizon) break;
+
+        // Age deterministic clocks by the elapsed time.
+        for (auto& [t, remaining] : det_clock) remaining -= dt;
+
+        TransitionId fired{};
+        if (det_dt <= exp_dt) {
+            fired = TransitionId{det_winner};
+            det_clock.erase(det_winner);
+        } else {
+            double pick = rng.uniform() * total_rate;
+            fired = exp_enabled.back();
+            for (TransitionId t : exp_enabled) {
+                pick -= net.rate(t, marking);
+                if (pick <= 0.0) {
+                    fired = t;
+                    break;
+                }
+            }
+        }
+
+        marking = sample_tangible(net, net.fire(fired, marking), rng);
+        sync_det_clocks(marking);
+    }
+
+    // Floating-point segment splitting can leave the final batch unclosed.
+    if (batch_means.size() < options.batches) batch_means.push_back(batch_acc / batch_length);
+
+    SimulationEstimate est;
+    est.ci = num::mean_ci95(batch_means);
+    est.mean = est.ci.mean;
+    return est;
+}
+
+}  // namespace mvreju::dspn

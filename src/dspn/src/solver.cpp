@@ -1,0 +1,282 @@
+#include "mvreju/dspn/solver.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "mvreju/num/linalg.hpp"
+#include "mvreju/num/markov.hpp"
+#include "mvreju/num/matrix.hpp"
+
+namespace mvreju::dspn {
+
+namespace {
+
+using num::Matrix;
+
+/// Generator of the tangible CTMC (exponential edges only).
+Matrix build_generator(const ReachabilityGraph& graph) {
+    const std::size_t n = graph.state_count();
+    Matrix q(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const ExpEdge& edge : graph.exponential_edges(i)) {
+            q(i, edge.target) += edge.rate;
+            q(i, i) -= edge.rate;
+        }
+    }
+    return q;
+}
+
+/// Check both-way reachability of every state from state 0 in the combined
+/// (exponential + deterministic) tangible graph. Steady-state analysis of a
+/// reducible model is a modeling error we want to surface early.
+void check_irreducible(const ReachabilityGraph& graph) {
+    const std::size_t n = graph.state_count();
+    std::vector<std::vector<std::size_t>> fwd(n);
+    std::vector<std::vector<std::size_t>> bwd(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const ExpEdge& e : graph.exponential_edges(i)) {
+            fwd[i].push_back(e.target);
+            bwd[e.target].push_back(i);
+        }
+        for (TransitionId t : graph.deterministic_enabled(i)) {
+            for (const Branch& b : graph.deterministic_branches(i, t)) {
+                fwd[i].push_back(b.target);
+                bwd[b.target].push_back(i);
+            }
+        }
+    }
+    auto reach_all = [n](const std::vector<std::vector<std::size_t>>& adj) {
+        std::vector<char> seen(n, 0);
+        std::deque<std::size_t> queue{0};
+        seen[0] = 1;
+        std::size_t count = 1;
+        while (!queue.empty()) {
+            const std::size_t s = queue.front();
+            queue.pop_front();
+            for (std::size_t t : adj[s]) {
+                if (!seen[t]) {
+                    seen[t] = 1;
+                    ++count;
+                    queue.push_back(t);
+                }
+            }
+        }
+        return count == n;
+    };
+    if (!reach_all(fwd) || !reach_all(bwd))
+        throw std::runtime_error("steady state: tangible graph is not irreducible");
+}
+
+}  // namespace
+
+std::vector<double> spn_steady_state(const ReachabilityGraph& graph) {
+    if (graph.has_deterministic())
+        throw std::invalid_argument(
+            "spn_steady_state: net has deterministic transitions; use dspn_steady_state");
+    if (graph.state_count() == 0) return {};
+    if (graph.state_count() == 1) return {1.0};
+    check_irreducible(graph);
+    return num::ctmc_steady_state(build_generator(graph));
+}
+
+std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
+    if (!graph.has_deterministic()) return spn_steady_state(graph);
+    const std::size_t n = graph.state_count();
+    if (n == 1) return {1.0};
+    check_irreducible(graph);
+
+    // Embedded Markov chain P over tangible states (regeneration points) and
+    // conversion matrix C: C(i, m) = expected time spent in tangible marking
+    // m during one regeneration period started in i.
+    Matrix emc(n, n);
+    Matrix conv(n, n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& dets = graph.deterministic_enabled(i);
+        if (dets.size() > 1)
+            throw std::runtime_error(
+                "dspn_steady_state: more than one deterministic transition enabled");
+
+        if (dets.empty()) {
+            // Purely exponential state: regeneration at the first firing.
+            double total_rate = 0.0;
+            for (const ExpEdge& e : graph.exponential_edges(i)) total_rate += e.rate;
+            if (total_rate <= 0.0)
+                throw std::runtime_error("dspn_steady_state: dead tangible marking");
+            for (const ExpEdge& e : graph.exponential_edges(i))
+                emc(i, e.target) += e.rate / total_rate;
+            conv(i, i) = 1.0 / total_rate;
+            continue;
+        }
+
+        // Deterministic enabling period: subordinated CTMC analysis.
+        const TransitionId det = dets.front();
+        const double tau = graph.net().delay(det);
+
+        // Subordinated set: tangible states reachable from i through
+        // exponential firings while `det` stays enabled. States where det is
+        // disabled (or a different deterministic transition shows up) become
+        // absorbing regeneration targets.
+        std::vector<std::size_t> sub;          // transient states (det enabled)
+        std::vector<std::size_t> absorbing;    // det disabled on entry
+        std::vector<int> local(n, -1);         // global -> local index, -1 unknown
+        auto classify = [&](std::size_t s) {
+            if (local[s] != -1) return;
+            const auto& s_dets = graph.deterministic_enabled(s);
+            const bool has_det =
+                std::find(s_dets.begin(), s_dets.end(), det) != s_dets.end();
+            if (has_det && s_dets.size() > 1)
+                throw std::runtime_error(
+                    "dspn_steady_state: concurrent deterministic transitions enabled");
+            if (has_det) {
+                // det keeps its clock: part of the subordinated CTMC.
+                local[s] = static_cast<int>(sub.size());
+                sub.push_back(s);
+            } else {
+                // det was disabled by the firing that entered s: regeneration
+                // point (any other deterministic transition starts fresh).
+                local[s] = -2;  // absorbing; index assigned after the sweep
+                absorbing.push_back(s);
+            }
+        };
+
+        classify(i);
+        if (local[i] < 0)
+            throw std::logic_error("dspn_steady_state: seed state misclassified");
+        for (std::size_t k = 0; k < sub.size(); ++k) {
+            for (const ExpEdge& e : graph.exponential_edges(sub[k])) classify(e.target);
+        }
+        // Assign absorbing local indices after the transient block.
+        for (std::size_t a = 0; a < absorbing.size(); ++a)
+            local[absorbing[a]] = static_cast<int>(sub.size() + a);
+
+        const std::size_t m = sub.size() + absorbing.size();
+        Matrix q(m, m);
+        for (std::size_t k = 0; k < sub.size(); ++k) {
+            for (const ExpEdge& e : graph.exponential_edges(sub[k])) {
+                const auto to = static_cast<std::size_t>(local[e.target]);
+                q(k, to) += e.rate;
+                q(k, k) -= e.rate;
+            }
+        }
+        // Absorbing rows stay zero.
+
+        const num::TransientMatrices tm = num::uniformize(q, tau);
+        const std::size_t i_loc = static_cast<std::size_t>(local[i]);
+
+        // Survived to tau in subordinated state s: det fires there.
+        for (std::size_t k = 0; k < sub.size(); ++k) {
+            const double p_here = tm.omega(i_loc, k);
+            if (p_here <= 0.0) continue;
+            for (const Branch& b : graph.deterministic_branches(sub[k], det))
+                emc(i, b.target) += p_here * b.probability;
+        }
+        // Absorbed before tau: period ended at the disabling firing.
+        for (std::size_t a = 0; a < absorbing.size(); ++a)
+            emc(i, absorbing[a]) += tm.omega(i_loc, sub.size() + a);
+        // Time is accumulated only in transient (det-enabled) markings; the
+        // period ends on absorption.
+        for (std::size_t k = 0; k < sub.size(); ++k)
+            conv(i, sub[k]) += tm.psi(i_loc, k);
+    }
+
+    const std::vector<double> nu = num::dtmc_stationary(emc);
+
+    std::vector<double> pi(n, 0.0);
+    double total = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+        for (std::size_t i = 0; i < n; ++i) pi[m] += nu[i] * conv(i, m);
+        total += pi[m];
+    }
+    if (total <= 0.0) throw std::runtime_error("dspn_steady_state: zero total time");
+    for (double& v : pi) v /= total;
+    return pi;
+}
+
+double expected_reward(const ReachabilityGraph& graph, const std::vector<double>& pi,
+                       const RewardFn& reward) {
+    if (pi.size() != graph.state_count())
+        throw std::invalid_argument("expected_reward: distribution size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * reward(graph.marking(i));
+    return acc;
+}
+
+double probability(const ReachabilityGraph& graph, const std::vector<double>& pi,
+                   const std::function<bool(const Marking&)>& predicate) {
+    return expected_reward(graph, pi, [&](const Marking& m) {
+        return predicate(m) ? 1.0 : 0.0;
+    });
+}
+
+double expected_firing_rate(const ReachabilityGraph& graph, const std::vector<double>& pi,
+                            TransitionId t) {
+    if (pi.size() != graph.state_count())
+        throw std::invalid_argument("expected_firing_rate: distribution size mismatch");
+    if (graph.net().kind(t) != TransitionKind::exponential)
+        throw std::invalid_argument("expected_firing_rate: not an exponential transition");
+    double rate = 0.0;
+    for (std::size_t s = 0; s < pi.size(); ++s)
+        rate += pi[s] * graph.net().rate(t, graph.marking(s));
+    return rate;
+}
+
+double spn_mean_time_to(const ReachabilityGraph& graph,
+                        const std::function<bool(const Marking&)>& predicate) {
+    if (graph.has_deterministic())
+        throw std::invalid_argument(
+            "spn_mean_time_to: net has deterministic transitions; use the simulator");
+    const std::size_t n = graph.state_count();
+
+    // Transient states: those not satisfying the predicate.
+    std::vector<int> transient_index(n, -1);
+    std::vector<std::size_t> transient;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (!predicate(graph.marking(s))) {
+            transient_index[s] = static_cast<int>(transient.size());
+            transient.push_back(s);
+        }
+    }
+    if (transient.empty()) return 0.0;
+
+    // Expected hitting times m satisfy, for transient i:
+    //   sum_j Q(i, j) m_j = -1   with m_a = 0 on absorbing states,
+    // i.e. (Q restricted to transient states) m = -1.
+    const std::size_t k = transient.size();
+    num::Matrix a(k, k);
+    std::vector<double> b(k, -1.0);
+    for (std::size_t row = 0; row < k; ++row) {
+        const std::size_t i = transient[row];
+        for (const ExpEdge& e : graph.exponential_edges(i)) {
+            a(row, row) -= e.rate;
+            if (transient_index[e.target] >= 0)
+                a(row, static_cast<std::size_t>(transient_index[e.target])) += e.rate;
+        }
+        if (a(row, row) == 0.0)
+            throw std::runtime_error(
+                "spn_mean_time_to: target set unreachable from a transient state");
+    }
+    const std::vector<double> m = num::solve(std::move(a), std::move(b));
+
+    double expected = 0.0;
+    for (const Branch& init : graph.initial_distribution()) {
+        if (transient_index[init.target] < 0) continue;  // already inside: time 0
+        expected +=
+            init.probability * m[static_cast<std::size_t>(transient_index[init.target])];
+    }
+    return expected;
+}
+
+std::vector<double> spn_transient_distribution(const ReachabilityGraph& graph,
+                                               double t) {
+    if (graph.has_deterministic())
+        throw std::invalid_argument(
+            "spn_transient_distribution: net has deterministic transitions; use the "
+            "simulator");
+    std::vector<double> pi0(graph.state_count(), 0.0);
+    for (const Branch& b : graph.initial_distribution()) pi0[b.target] = b.probability;
+    return num::ctmc_transient(build_generator(graph), pi0, t);
+}
+
+}  // namespace mvreju::dspn

@@ -1,0 +1,213 @@
+#include "mvreju/dspn/text_format.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mvreju::dspn {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+    throw std::runtime_error("dspn text, line " + std::to_string(line) + ": " + message);
+}
+
+/// key=value token; throws on mismatch of the expected key.
+double parse_kv(const std::string& token, const std::string& key, std::size_t line) {
+    const std::string prefix = key + "=";
+    if (token.rfind(prefix, 0) != 0) fail(line, "expected " + prefix + "<value>");
+    try {
+        return std::stod(token.substr(prefix.size()));
+    } catch (const std::exception&) {
+        fail(line, "cannot parse number in '" + token + "'");
+    }
+}
+
+}  // namespace
+
+std::string to_text(const PetriNet& net) {
+    std::ostringstream out;
+    // max_digits10 keeps the round trip bit-exact for doubles.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "# mvreju DSPN text format\n";
+    const Marking m0 = net.initial_marking();
+    for (std::size_t p = 0; p < net.place_count(); ++p) {
+        out << "place " << net.place_name({p});
+        if (m0[p] > 0) out << " " << m0[p];
+        out << "\n";
+    }
+    for (std::size_t t = 0; t < net.transition_count(); ++t) {
+        const TransitionId id{t};
+        if (net.has_guard(id))
+            throw std::invalid_argument("to_text: transition '" +
+                                        net.transition_name(id) +
+                                        "' has a guard function (not expressible)");
+        switch (net.kind(id)) {
+            case TransitionKind::exponential: {
+                const auto rate = net.constant_value(id);
+                if (!rate)
+                    throw std::invalid_argument("to_text: transition '" +
+                                                net.transition_name(id) +
+                                                "' has a marking-dependent rate");
+                out << "exponential " << net.transition_name(id) << " rate=" << *rate
+                    << "\n";
+                break;
+            }
+            case TransitionKind::deterministic:
+                out << "deterministic " << net.transition_name(id)
+                    << " delay=" << net.delay(id) << "\n";
+                break;
+            case TransitionKind::immediate: {
+                const auto weight = net.constant_value(id);
+                if (!weight)
+                    throw std::invalid_argument("to_text: transition '" +
+                                                net.transition_name(id) +
+                                                "' has a marking-dependent weight");
+                out << "immediate " << net.transition_name(id) << " weight=" << *weight
+                    << " priority=" << net.priority(id) << "\n";
+                break;
+            }
+        }
+    }
+    for (std::size_t t = 0; t < net.transition_count(); ++t) {
+        const TransitionId id{t};
+        for (const auto& arc : net.input_arcs(id)) {
+            out << "arc " << net.place_name(arc.place) << " -> "
+                << net.transition_name(id);
+            if (arc.multiplicity != 1) out << " " << arc.multiplicity;
+            out << "\n";
+        }
+        for (const auto& arc : net.output_arcs(id)) {
+            out << "arc " << net.transition_name(id) << " -> "
+                << net.place_name(arc.place);
+            if (arc.multiplicity != 1) out << " " << arc.multiplicity;
+            out << "\n";
+        }
+        for (const auto& arc : net.inhibitor_arcs(id)) {
+            out << "inhibitor " << net.place_name(arc.place) << " -o "
+                << net.transition_name(id);
+            if (arc.multiplicity != 1) out << " " << arc.multiplicity;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+PetriNet from_text(const std::string& text) {
+    PetriNet net;
+    std::map<std::string, PlaceId> places;
+    std::map<std::string, TransitionId> transitions;
+
+    std::istringstream stream(text);
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos) raw.erase(hash);
+
+        std::istringstream line(raw);
+        std::vector<std::string> tokens;
+        for (std::string token; line >> token;) tokens.push_back(token);
+        if (tokens.empty()) continue;
+        const std::string& kind = tokens[0];
+
+        try {
+        if (kind == "place") {
+            if (tokens.size() < 2 || tokens.size() > 3) fail(line_no, "place <name> [tokens]");
+            if (places.contains(tokens[1])) fail(line_no, "duplicate place " + tokens[1]);
+            int initial = 0;
+            if (tokens.size() == 3) {
+                try {
+                    initial = std::stoi(tokens[2]);
+                } catch (const std::exception&) {
+                    fail(line_no, "bad token count '" + tokens[2] + "'");
+                }
+            }
+            places[tokens[1]] = net.add_place(tokens[1], initial);
+        } else if (kind == "exponential") {
+            if (tokens.size() != 3) fail(line_no, "exponential <name> rate=<r>");
+            if (transitions.contains(tokens[1]))
+                fail(line_no, "duplicate transition " + tokens[1]);
+            transitions[tokens[1]] =
+                net.add_exponential(tokens[1], parse_kv(tokens[2], "rate", line_no));
+        } else if (kind == "deterministic") {
+            if (tokens.size() != 3) fail(line_no, "deterministic <name> delay=<d>");
+            if (transitions.contains(tokens[1]))
+                fail(line_no, "duplicate transition " + tokens[1]);
+            transitions[tokens[1]] =
+                net.add_deterministic(tokens[1], parse_kv(tokens[2], "delay", line_no));
+        } else if (kind == "immediate") {
+            if (tokens.size() < 2 || tokens.size() > 4)
+                fail(line_no, "immediate <name> [weight=<w>] [priority=<p>]");
+            if (transitions.contains(tokens[1]))
+                fail(line_no, "duplicate transition " + tokens[1]);
+            double weight = 1.0;
+            int priority = 1;
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                if (tokens[i].rfind("weight=", 0) == 0)
+                    weight = parse_kv(tokens[i], "weight", line_no);
+                else if (tokens[i].rfind("priority=", 0) == 0)
+                    priority =
+                        static_cast<int>(parse_kv(tokens[i], "priority", line_no));
+                else
+                    fail(line_no, "unknown attribute '" + tokens[i] + "'");
+            }
+            transitions[tokens[1]] = net.add_immediate(tokens[1], weight, priority);
+        } else if (kind == "arc") {
+            if (tokens.size() < 4 || tokens.size() > 5 || tokens[2] != "->")
+                fail(line_no, "arc <from> -> <to> [multiplicity]");
+            int mult = 1;
+            if (tokens.size() == 5) {
+                try {
+                    mult = std::stoi(tokens[4]);
+                } catch (const std::exception&) {
+                    fail(line_no, "bad multiplicity '" + tokens[4] + "'");
+                }
+            }
+            const bool from_place = places.contains(tokens[1]);
+            const bool to_place = places.contains(tokens[3]);
+            if (from_place && transitions.contains(tokens[3]))
+                net.add_input_arc(transitions[tokens[3]], places[tokens[1]], mult);
+            else if (to_place && transitions.contains(tokens[1]))
+                net.add_output_arc(transitions[tokens[1]], places[tokens[3]], mult);
+            else
+                fail(line_no, "arc must connect a known place and transition");
+        } else if (kind == "inhibitor") {
+            if (tokens.size() < 4 || tokens.size() > 5 || tokens[2] != "-o")
+                fail(line_no, "inhibitor <place> -o <transition> [threshold]");
+            if (!places.contains(tokens[1]) || !transitions.contains(tokens[3]))
+                fail(line_no, "inhibitor must connect a known place and transition");
+            int threshold = 1;
+            if (tokens.size() == 5) {
+                try {
+                    threshold = std::stoi(tokens[4]);
+                } catch (const std::exception&) {
+                    fail(line_no, "bad threshold '" + tokens[4] + "'");
+                }
+            }
+            net.add_inhibitor_arc(transitions[tokens[3]], places[tokens[1]], threshold);
+        } else {
+            fail(line_no, "unknown declaration '" + kind + "'");
+        }
+        } catch (const std::invalid_argument& e) {
+            // Construction-level validation (e.g. non-positive delay) becomes
+            // a line-numbered parse error.
+            fail(line_no, e.what());
+        }
+    }
+    return net;
+}
+
+void save_net(const PetriNet& net, std::ostream& out) { out << to_text(net); }
+
+PetriNet load_net(std::istream& in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return from_text(buffer.str());
+}
+
+}  // namespace mvreju::dspn

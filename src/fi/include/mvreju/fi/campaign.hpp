@@ -1,0 +1,76 @@
+#pragma once
+
+// Systematic fault-injection campaigns, in the style of the dependability
+// studies the paper builds on (PyTorchFI et al.): sweep injection sites and
+// fault models over a trained network, measure the accuracy impact of each
+// single fault, and classify outcomes. Used to answer questions the paper's
+// single-fault experiments leave open — which layers are most sensitive,
+// and which bit positions of an IEEE-754 weight actually matter.
+
+#include <cstdint>
+#include <vector>
+
+#include "mvreju/fi/inject.hpp"
+#include "mvreju/ml/model.hpp"
+
+namespace mvreju::fi {
+
+/// Classification of one fault's end-to-end effect on accuracy.
+enum class FaultOutcome {
+    benign,    ///< accuracy drop below the degraded threshold
+    degraded,  ///< noticeable drop, model still mostly works
+    critical,  ///< drop at or beyond the critical threshold
+};
+
+struct CampaignConfig {
+    std::size_t injections_per_site = 40;  ///< faults sampled per layer / bit
+    float value_min = -10.0f;              ///< random_weight_inj value range
+    float value_max = 30.0f;
+    double degraded_threshold = 0.05;  ///< accuracy drop classifying `degraded`
+    double critical_threshold = 0.30;  ///< accuracy drop classifying `critical`
+    std::uint64_t seed = 1;
+};
+
+/// Outcome of a single fault classified against the thresholds.
+[[nodiscard]] FaultOutcome classify_outcome(double baseline_accuracy,
+                                            double faulty_accuracy,
+                                            const CampaignConfig& config);
+
+/// Aggregate over all injections into one site (a layer or a bit position).
+struct SiteReport {
+    std::size_t site = 0;        ///< layer index or bit position
+    std::size_t parameters = 0;  ///< layer size (0 for bit campaigns)
+    std::size_t benign = 0;
+    std::size_t degraded = 0;
+    std::size_t critical = 0;
+    double mean_accuracy_drop = 0.0;
+    double worst_accuracy_drop = 0.0;
+
+    [[nodiscard]] std::size_t injections() const noexcept {
+        return benign + degraded + critical;
+    }
+};
+
+struct CampaignReport {
+    double baseline_accuracy = 0.0;
+    std::vector<SiteReport> sites;
+};
+
+/// Per-layer campaign with the PyTorchFI value-corruption fault model
+/// (random_weight_inj): every parameterized layer receives
+/// `injections_per_site` single-weight faults; the model is restored after
+/// each. The model is returned unchanged.
+[[nodiscard]] CampaignReport run_weight_campaign(ml::Sequential& model,
+                                                 const ml::Dataset& eval,
+                                                 const CampaignConfig& config);
+
+/// Per-bit campaign with the transient bit-flip fault model on one layer:
+/// for every bit position 0..31, `injections_per_site` random weights get
+/// that bit flipped (one at a time). Shows the classic pattern: exponent
+/// bits are dangerous, mantissa bits are mostly benign.
+[[nodiscard]] CampaignReport run_bitflip_campaign(ml::Sequential& model,
+                                                  const ml::Dataset& eval,
+                                                  std::size_t layer,
+                                                  const CampaignConfig& config);
+
+}  // namespace mvreju::fi

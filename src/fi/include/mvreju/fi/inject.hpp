@@ -1,0 +1,65 @@
+#pragma once
+
+// Fault injection for mvreju::ml models — the PyTorchFI stand-in the paper
+// uses to produce "compromised" model versions (Sections VI-A and VII-A).
+//
+// Supported fault models (Section III of the paper):
+//  - random_weight_inj(layer, min, max): overwrite one random weight of a
+//    layer with a uniform value from [min, max] — the exact API shape of
+//    PyTorchFI's random_weight_inj used in the paper with (1, -10, 30) for
+//    the classifiers and (-100, 300) for the detectors;
+//  - bit_flip_weight: flip a single bit of the IEEE-754 representation of a
+//    random weight (transient fault model);
+//  - stuck_at: force a chosen weight to a fixed value (permanent fault);
+//  - burst_weight_inj: several random value corruptions at once.
+//
+// Every injection is recorded and reversible via restore(), which is what
+// the rejuvenation mechanism models: reloading pristine weights from a safe
+// memory location.
+
+#include <cstdint>
+#include <vector>
+
+#include "mvreju/ml/model.hpp"
+
+namespace mvreju::fi {
+
+/// Record of a single corrupted parameter, sufficient to undo it.
+struct Injection {
+    std::size_t span_index = 0;  ///< which parameter span (per layer, in order)
+    std::size_t offset = 0;      ///< element within the span
+    float old_value = 0.0f;
+    float new_value = 0.0f;
+};
+
+/// Number of parameter spans (injectable "layers") of a model.
+[[nodiscard]] std::size_t injectable_layer_count(ml::Sequential& model);
+
+/// Overwrite one random weight of span `layer` with uniform([min_value,
+/// max_value)). Deterministic under `seed`. Throws std::out_of_range for a
+/// bad layer index.
+Injection random_weight_inj(ml::Sequential& model, std::size_t layer, float min_value,
+                            float max_value, std::uint64_t seed);
+
+/// Flip bit `bit` (0 = LSB of the mantissa, 31 = sign) of one random weight
+/// of span `layer`.
+Injection bit_flip_weight(ml::Sequential& model, std::size_t layer, int bit,
+                          std::uint64_t seed);
+
+/// Force a specific weight to `value` (stuck-at / permanent fault).
+Injection stuck_at(ml::Sequential& model, std::size_t layer, std::size_t offset,
+                   float value);
+
+/// `count` independent random value corruptions within span `layer`.
+std::vector<Injection> burst_weight_inj(ml::Sequential& model, std::size_t layer,
+                                        std::size_t count, float min_value,
+                                        float max_value, std::uint64_t seed);
+
+/// Undo one injection (order matters when offsets collide: restore in
+/// reverse order of injection).
+void restore(ml::Sequential& model, const Injection& injection);
+
+/// Undo a batch of injections (applied in reverse).
+void restore_all(ml::Sequential& model, const std::vector<Injection>& injections);
+
+}  // namespace mvreju::fi

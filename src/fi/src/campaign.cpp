@@ -1,0 +1,91 @@
+#include "mvreju/fi/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::fi {
+
+FaultOutcome classify_outcome(double baseline_accuracy, double faulty_accuracy,
+                              const CampaignConfig& config) {
+    const double drop = baseline_accuracy - faulty_accuracy;
+    if (drop >= config.critical_threshold) return FaultOutcome::critical;
+    if (drop >= config.degraded_threshold) return FaultOutcome::degraded;
+    return FaultOutcome::benign;
+}
+
+namespace {
+
+void validate(const ml::Dataset& eval, const CampaignConfig& config) {
+    if (eval.size() == 0) throw std::invalid_argument("campaign: empty evaluation set");
+    if (config.injections_per_site == 0)
+        throw std::invalid_argument("campaign: zero injections per site");
+    if (config.degraded_threshold > config.critical_threshold)
+        throw std::invalid_argument("campaign: degraded threshold above critical");
+}
+
+void account(SiteReport& report, double baseline, double faulty,
+             const CampaignConfig& config) {
+    switch (classify_outcome(baseline, faulty, config)) {
+        case FaultOutcome::benign: ++report.benign; break;
+        case FaultOutcome::degraded: ++report.degraded; break;
+        case FaultOutcome::critical: ++report.critical; break;
+    }
+    const double drop = baseline - faulty;
+    report.mean_accuracy_drop += drop;
+    report.worst_accuracy_drop = std::max(report.worst_accuracy_drop, drop);
+}
+
+}  // namespace
+
+CampaignReport run_weight_campaign(ml::Sequential& model, const ml::Dataset& eval,
+                                   const CampaignConfig& config) {
+    validate(eval, config);
+    CampaignReport report;
+    report.baseline_accuracy = model.evaluate(eval).accuracy;
+
+    util::Rng rng(config.seed);
+    const std::size_t layers = injectable_layer_count(model);
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        SiteReport site;
+        site.site = layer;
+        site.parameters = model.parameter_spans()[layer].size();
+        for (std::size_t k = 0; k < config.injections_per_site; ++k) {
+            const Injection injection = random_weight_inj(
+                model, layer, config.value_min, config.value_max, rng());
+            const double faulty = model.evaluate(eval).accuracy;
+            restore(model, injection);
+            account(site, report.baseline_accuracy, faulty, config);
+        }
+        site.mean_accuracy_drop /= static_cast<double>(site.injections());
+        report.sites.push_back(site);
+    }
+    return report;
+}
+
+CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& eval,
+                                    std::size_t layer, const CampaignConfig& config) {
+    validate(eval, config);
+    if (layer >= injectable_layer_count(model))
+        throw std::out_of_range("run_bitflip_campaign: bad layer");
+    CampaignReport report;
+    report.baseline_accuracy = model.evaluate(eval).accuracy;
+
+    util::Rng rng(config.seed);
+    for (int bit = 0; bit < 32; ++bit) {
+        SiteReport site;
+        site.site = static_cast<std::size_t>(bit);
+        for (std::size_t k = 0; k < config.injections_per_site; ++k) {
+            const Injection injection = bit_flip_weight(model, layer, bit, rng());
+            const double faulty = model.evaluate(eval).accuracy;
+            restore(model, injection);
+            account(site, report.baseline_accuracy, faulty, config);
+        }
+        site.mean_accuracy_drop /= static_cast<double>(site.injections());
+        report.sites.push_back(site);
+    }
+    return report;
+}
+
+}  // namespace mvreju::fi

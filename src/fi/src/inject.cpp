@@ -1,0 +1,88 @@
+#include "mvreju/fi/inject.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::fi {
+
+namespace {
+
+std::span<float> span_of(ml::Sequential& model, std::size_t layer) {
+    auto spans = model.parameter_spans();
+    if (layer >= spans.size())
+        throw std::out_of_range("fault injection: layer index out of range");
+    return spans[layer];
+}
+
+}  // namespace
+
+std::size_t injectable_layer_count(ml::Sequential& model) {
+    return model.parameter_spans().size();
+}
+
+Injection random_weight_inj(ml::Sequential& model, std::size_t layer, float min_value,
+                            float max_value, std::uint64_t seed) {
+    if (!(min_value < max_value))
+        throw std::invalid_argument("random_weight_inj: empty value range");
+    auto span = span_of(model, layer);
+    util::Rng rng(seed);
+    Injection inj;
+    inj.span_index = layer;
+    inj.offset = rng.uniform_int(span.size());
+    inj.old_value = span[inj.offset];
+    inj.new_value = static_cast<float>(rng.uniform(min_value, max_value));
+    span[inj.offset] = inj.new_value;
+    return inj;
+}
+
+Injection bit_flip_weight(ml::Sequential& model, std::size_t layer, int bit,
+                          std::uint64_t seed) {
+    if (bit < 0 || bit > 31) throw std::invalid_argument("bit_flip_weight: bit 0..31");
+    auto span = span_of(model, layer);
+    util::Rng rng(seed);
+    Injection inj;
+    inj.span_index = layer;
+    inj.offset = rng.uniform_int(span.size());
+    inj.old_value = span[inj.offset];
+    const auto bits = std::bit_cast<std::uint32_t>(inj.old_value);
+    inj.new_value = std::bit_cast<float>(bits ^ (std::uint32_t{1} << bit));
+    span[inj.offset] = inj.new_value;
+    return inj;
+}
+
+Injection stuck_at(ml::Sequential& model, std::size_t layer, std::size_t offset,
+                   float value) {
+    auto span = span_of(model, layer);
+    if (offset >= span.size()) throw std::out_of_range("stuck_at: offset out of range");
+    Injection inj{layer, offset, span[offset], value};
+    span[offset] = value;
+    return inj;
+}
+
+std::vector<Injection> burst_weight_inj(ml::Sequential& model, std::size_t layer,
+                                        std::size_t count, float min_value,
+                                        float max_value, std::uint64_t seed) {
+    std::vector<Injection> out;
+    out.reserve(count);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(
+            random_weight_inj(model, layer, min_value, max_value, rng()));
+    return out;
+}
+
+void restore(ml::Sequential& model, const Injection& injection) {
+    auto span = span_of(model, injection.span_index);
+    if (injection.offset >= span.size())
+        throw std::out_of_range("restore: offset out of range");
+    span[injection.offset] = injection.old_value;
+}
+
+void restore_all(ml::Sequential& model, const std::vector<Injection>& injections) {
+    for (auto it = injections.rbegin(); it != injections.rend(); ++it)
+        restore(model, *it);
+}
+
+}  // namespace mvreju::fi

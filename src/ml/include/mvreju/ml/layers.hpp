@@ -1,0 +1,184 @@
+#pragma once
+
+// Neural-network layers with forward/backward passes and SGD-with-momentum
+// parameter updates. The library is intentionally small: it exists to train
+// the diverse classifier/detector versions the paper's architecture needs
+// (stand-ins for AlexNet/LeNet/ResNet50 and the YOLOv5 variants) and to give
+// the fault injector (mvreju::fi) direct access to raw weights.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "mvreju/ml/tensor.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::ml {
+
+/// Base class of all layers. A layer caches whatever it needs from the last
+/// forward() call so that backward() can run; gradients accumulate until
+/// apply_gradients()/zero_gradients().
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    /// Forward pass. When `training` is false, layers may skip caching.
+    virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+    /// Backward pass: receives dLoss/dOutput, returns dLoss/dInput and
+    /// accumulates parameter gradients. Must follow a training forward().
+    virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// SGD step with momentum over accumulated gradients (scaled by 1/count
+    /// by the caller via lr); resets nothing.
+    virtual void apply_gradients(float learning_rate, float momentum) {
+        (void)learning_rate;
+        (void)momentum;
+    }
+    virtual void zero_gradients() {}
+
+    /// Raw trainable parameters (weights followed by biases); empty span for
+    /// parameterless layers. Composite layers expose several spans via
+    /// collect_parameters(). Exposed for fault injection and serialization.
+    virtual std::span<float> parameters() { return {}; }
+
+    /// Append all parameter spans of this layer (composite layers append one
+    /// span per inner parameterized layer).
+    virtual void collect_parameters(std::vector<std::span<float>>& out) {
+        const auto span = parameters();
+        if (!span.empty()) out.push_back(span);
+    }
+
+    [[nodiscard]] virtual std::string kind() const = 0;
+    [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+/// Fully connected layer: output = W x + b.
+class Dense final : public Layer {
+public:
+    Dense(std::size_t inputs, std::size_t outputs, util::Rng& rng);
+
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void apply_gradients(float learning_rate, float momentum) override;
+    void zero_gradients() override;
+    std::span<float> parameters() override { return params_; }
+    [[nodiscard]] std::string kind() const override { return "dense"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Dense>(*this);
+    }
+
+    [[nodiscard]] std::size_t inputs() const noexcept { return inputs_; }
+    [[nodiscard]] std::size_t outputs() const noexcept { return outputs_; }
+
+private:
+    std::size_t inputs_;
+    std::size_t outputs_;
+    std::vector<float> params_;    // weights (outputs x inputs), then biases
+    std::vector<float> grads_;
+    std::vector<float> velocity_;
+    Tensor last_input_;
+};
+
+/// 2-D convolution, stride 1, zero padding `pad`, square kernels, on
+/// (C, H, W) tensors.
+class Conv2D final : public Layer {
+public:
+    Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+           std::size_t pad, util::Rng& rng);
+
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void apply_gradients(float learning_rate, float momentum) override;
+    void zero_gradients() override;
+    std::span<float> parameters() override { return params_; }
+    [[nodiscard]] std::string kind() const override { return "conv2d"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Conv2D>(*this);
+    }
+
+private:
+    [[nodiscard]] float& weight(std::size_t oc, std::size_t ic, std::size_t kh,
+                                std::size_t kw) {
+        return params_[((oc * in_channels_ + ic) * kernel_ + kh) * kernel_ + kw];
+    }
+
+    std::size_t in_channels_;
+    std::size_t out_channels_;
+    std::size_t kernel_;
+    std::size_t pad_;
+    std::vector<float> params_;  // weights, then out_channels biases
+    std::vector<float> grads_;
+    std::vector<float> velocity_;
+    Tensor last_input_;
+};
+
+/// Element-wise rectifier.
+class ReLU final : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "relu"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<ReLU>(*this);
+    }
+
+private:
+    Tensor last_input_;
+};
+
+/// 2x2 max pooling with stride 2 on (C, H, W) tensors (even H and W).
+class MaxPool2D final : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "maxpool"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<MaxPool2D>(*this);
+    }
+
+private:
+    std::vector<std::size_t> argmax_;  // flat input index per output element
+    std::vector<std::size_t> in_shape_;
+};
+
+/// Reshape (C, H, W) to a flat vector.
+class Flatten final : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "flatten"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Flatten>(*this);
+    }
+
+private:
+    std::vector<std::size_t> in_shape_;
+};
+
+/// Residual block: output = ReLU(conv2(ReLU(conv1(x))) + x). Channel count
+/// is preserved (the MicroResNet stand-in only needs identity skips).
+class ResidualBlock final : public Layer {
+public:
+    ResidualBlock(std::size_t channels, std::size_t kernel, util::Rng& rng);
+    ResidualBlock(const ResidualBlock& other);
+    ResidualBlock& operator=(const ResidualBlock&) = delete;
+
+    Tensor forward(const Tensor& input, bool training) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void apply_gradients(float learning_rate, float momentum) override;
+    void zero_gradients() override;
+    void collect_parameters(std::vector<std::span<float>>& out) override;
+    [[nodiscard]] std::string kind() const override { return "residual"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<ResidualBlock>(*this);
+    }
+
+private:
+    std::unique_ptr<Conv2D> conv1_;
+    std::unique_ptr<ReLU> relu1_;
+    std::unique_ptr<Conv2D> conv2_;
+    Tensor last_out_;  // post-sum, post-ReLU activation (for the final ReLU grad)
+};
+
+}  // namespace mvreju::ml

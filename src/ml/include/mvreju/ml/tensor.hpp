@@ -1,0 +1,62 @@
+#pragma once
+
+// Minimal dense float tensor for the from-scratch neural-network library.
+// Layout is row-major over the shape; images use (channels, height, width).
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mvreju::ml {
+
+/// Dense float tensor. Regular value type: copyable, movable, comparable by
+/// shape+contents (used by tests).
+class Tensor {
+public:
+    Tensor() = default;
+
+    explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f)
+        : shape_(std::move(shape)), data_(count(shape_), fill) {}
+
+    Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+        : shape_(std::move(shape)), data_(std::move(data)) {
+        if (data_.size() != count(shape_))
+            throw std::invalid_argument("Tensor: data size does not match shape");
+    }
+
+    [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+
+    [[nodiscard]] std::span<float> data() noexcept { return data_; }
+    [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /// 3-D accessor for (C, H, W) images.
+    float& at3(std::size_t c, std::size_t h, std::size_t w) {
+        return data_[(c * shape_[1] + h) * shape_[2] + w];
+    }
+    [[nodiscard]] float at3(std::size_t c, std::size_t h, std::size_t w) const {
+        return data_[(c * shape_[1] + h) * shape_[2] + w];
+    }
+
+    friend bool operator==(const Tensor&, const Tensor&) = default;
+
+    [[nodiscard]] static std::size_t count(const std::vector<std::size_t>& shape) {
+        return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                               std::multiplies<>());
+    }
+
+private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+/// Index of the maximum element (first on ties). Requires non-empty tensor.
+[[nodiscard]] std::size_t argmax(const Tensor& t);
+
+}  // namespace mvreju::ml

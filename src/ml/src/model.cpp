@@ -1,0 +1,269 @@
+#include "mvreju/ml/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+namespace mvreju::ml {
+
+Sequential::Sequential(const Sequential& other) : name_(other.name_) {
+    layers_.reserve(other.layers_.size());
+    for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+    if (this == &other) return *this;
+    Sequential copy(other);
+    *this = std::move(copy);
+    return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+    if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Tensor Sequential::logits(const Tensor& input) const {
+    if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+    Tensor x = input;
+    // Inference does not mutate logical state; the const_cast confines the
+    // caching non-constness of Layer::forward to this one place.
+    for (const auto& layer : layers_)
+        x = const_cast<Layer&>(*layer).forward(x, /*training=*/false);
+    return x;
+}
+
+int Sequential::predict(const Tensor& input) const {
+    return static_cast<int>(argmax(logits(input)));
+}
+
+std::vector<float> Sequential::probabilities(const Tensor& input) const {
+    const Tensor raw = logits(input);
+    std::vector<float> probs(raw.size());
+    float max_logit = raw[0];
+    for (std::size_t i = 1; i < raw.size(); ++i) max_logit = std::max(max_logit, raw[i]);
+    float total = 0.0f;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        probs[i] = std::exp(raw[i] - max_logit);
+        total += probs[i];
+    }
+    for (float& p : probs) p /= total;
+    return probs;
+}
+
+double cross_entropy_loss(const Tensor& logits, int target) {
+    if (target < 0 || static_cast<std::size_t>(target) >= logits.size())
+        throw std::invalid_argument("cross_entropy_loss: target out of range");
+    float max_logit = logits[0];
+    for (std::size_t i = 1; i < logits.size(); ++i)
+        max_logit = std::max(max_logit, logits[i]);
+    double log_sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        log_sum += std::exp(static_cast<double>(logits[i] - max_logit));
+    return std::log(log_sum) - (logits[static_cast<std::size_t>(target)] - max_logit);
+}
+
+Tensor cross_entropy_grad(const Tensor& logits, int target) {
+    if (target < 0 || static_cast<std::size_t>(target) >= logits.size())
+        throw std::invalid_argument("cross_entropy_grad: target out of range");
+    float max_logit = logits[0];
+    for (std::size_t i = 1; i < logits.size(); ++i)
+        max_logit = std::max(max_logit, logits[i]);
+    Tensor grad({logits.size()});
+    float total = 0.0f;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        grad[i] = std::exp(logits[i] - max_logit);
+        total += grad[i];
+    }
+    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] /= total;
+    grad[static_cast<std::size_t>(target)] -= 1.0f;
+    return grad;
+}
+
+std::vector<double> Sequential::train(const Dataset& data, const TrainConfig& config) {
+    if (data.size() == 0) throw std::invalid_argument("train: empty dataset");
+    if (data.images.size() != data.labels.size())
+        throw std::invalid_argument("train: image/label count mismatch");
+    if (config.batch_size == 0) throw std::invalid_argument("train: zero batch size");
+
+    util::Rng rng(config.shuffle_seed);
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<double> epoch_losses;
+    epoch_losses.reserve(static_cast<std::size_t>(config.epochs));
+
+    float epoch_lr = config.learning_rate;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        // Fisher-Yates with our deterministic RNG.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.uniform_int(i)]);
+
+        double loss_acc = 0.0;
+        std::size_t in_batch = 0;
+        for (auto& layer : layers_) layer->zero_gradients();
+
+        for (std::size_t idx : order) {
+            Tensor x = data.images[idx];
+            for (auto& layer : layers_) x = layer->forward(x, /*training=*/true);
+            loss_acc += cross_entropy_loss(x, data.labels[idx]);
+            Tensor grad = cross_entropy_grad(x, data.labels[idx]);
+            for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+                grad = (*it)->backward(grad);
+
+            if (++in_batch == config.batch_size) {
+                const float lr = epoch_lr / static_cast<float>(in_batch);
+                for (auto& layer : layers_) {
+                    layer->apply_gradients(lr, config.momentum);
+                    layer->zero_gradients();
+                }
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            const float lr = epoch_lr / static_cast<float>(in_batch);
+            for (auto& layer : layers_) {
+                layer->apply_gradients(lr, config.momentum);
+                layer->zero_gradients();
+            }
+        }
+        epoch_losses.push_back(loss_acc / static_cast<double>(data.size()));
+        epoch_lr *= config.lr_decay;
+    }
+    return epoch_losses;
+}
+
+Evaluation Sequential::evaluate(const Dataset& data) const {
+    if (data.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+    Evaluation eval;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (predict(data.images[i]) == data.labels[i]) {
+            ++correct;
+        } else {
+            eval.error_set.push_back(i);
+        }
+    }
+    eval.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+    return eval;
+}
+
+std::vector<std::span<float>> Sequential::parameter_spans() {
+    std::vector<std::span<float>> spans;
+    for (auto& layer : layers_) layer->collect_parameters(spans);
+    return spans;
+}
+
+std::size_t Sequential::parameter_count() {
+    std::size_t total = 0;
+    for (const auto& span : parameter_spans()) total += span.size();
+    return total;
+}
+
+void Sequential::save_parameters(const std::filesystem::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("save_parameters: cannot open " + path.string());
+    const auto spans = parameter_spans();
+    const std::uint64_t span_count = spans.size();
+    out.write(reinterpret_cast<const char*>(&span_count), sizeof span_count);
+    for (const auto& span : spans) {
+        const std::uint64_t n = span.size();
+        out.write(reinterpret_cast<const char*>(&n), sizeof n);
+        out.write(reinterpret_cast<const char*>(span.data()),
+                  static_cast<std::streamsize>(n * sizeof(float)));
+    }
+    if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void Sequential::load_parameters(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("load_parameters: cannot open " + path.string());
+    auto spans = parameter_spans();
+    std::uint64_t span_count = 0;
+    in.read(reinterpret_cast<char*>(&span_count), sizeof span_count);
+    if (span_count != spans.size())
+        throw std::runtime_error("load_parameters: architecture mismatch (span count)");
+    for (auto& span : spans) {
+        std::uint64_t n = 0;
+        in.read(reinterpret_cast<char*>(&n), sizeof n);
+        if (n != span.size())
+            throw std::runtime_error("load_parameters: architecture mismatch (span size)");
+        in.read(reinterpret_cast<char*>(span.data()),
+                static_cast<std::streamsize>(n * sizeof(float)));
+    }
+    if (!in) throw std::runtime_error("load_parameters: truncated file");
+}
+
+namespace {
+
+/// Spatial side length after `pools` halvings.
+std::size_t after_pools(std::size_t side, int pools) {
+    for (int i = 0; i < pools; ++i) {
+        if (side % 2 != 0) throw std::invalid_argument("architecture: side not divisible");
+        side /= 2;
+    }
+    return side;
+}
+
+}  // namespace
+
+Sequential make_tiny_lenet(std::size_t channels, std::size_t side, int classes,
+                           std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t s2 = after_pools(side, 2);
+    Sequential model("TinyLeNet");
+    model.add(std::make_unique<Conv2D>(channels, 6, 3, 1, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<MaxPool2D>())
+        .add(std::make_unique<Conv2D>(6, 12, 3, 1, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<MaxPool2D>())
+        .add(std::make_unique<Flatten>())
+        .add(std::make_unique<Dense>(12 * s2 * s2, 48, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<Dense>(48, static_cast<std::size_t>(classes), rng));
+    return model;
+}
+
+Sequential make_mini_alexnet(std::size_t channels, std::size_t side, int classes,
+                             std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t s2 = after_pools(side, 2);
+    Sequential model("MiniAlexNet");
+    model.add(std::make_unique<Conv2D>(channels, 10, 3, 1, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<MaxPool2D>())
+        .add(std::make_unique<Conv2D>(10, 16, 3, 1, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<Conv2D>(16, 16, 3, 1, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<MaxPool2D>())
+        .add(std::make_unique<Flatten>())
+        .add(std::make_unique<Dense>(16 * s2 * s2, 64, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<Dense>(64, static_cast<std::size_t>(classes), rng));
+    return model;
+}
+
+Sequential make_micro_resnet(std::size_t channels, std::size_t side, int classes,
+                             std::uint64_t seed) {
+    util::Rng rng(seed);
+    const std::size_t s2 = after_pools(side, 2);
+    Sequential model("MicroResNet");
+    model.add(std::make_unique<Conv2D>(channels, 12, 3, 1, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<MaxPool2D>())
+        .add(std::make_unique<ResidualBlock>(12, 3, rng))
+        .add(std::make_unique<MaxPool2D>())
+        .add(std::make_unique<ResidualBlock>(12, 3, rng))
+        .add(std::make_unique<Flatten>())
+        .add(std::make_unique<Dense>(12 * s2 * s2, 48, rng))
+        .add(std::make_unique<ReLU>())
+        .add(std::make_unique<Dense>(48, static_cast<std::size_t>(classes), rng));
+    return model;
+}
+
+}  // namespace mvreju::ml

@@ -1,0 +1,13 @@
+#include "mvreju/ml/tensor.hpp"
+
+namespace mvreju::ml {
+
+std::size_t argmax(const Tensor& t) {
+    if (t.size() == 0) throw std::invalid_argument("argmax: empty tensor");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+        if (t[i] > t[best]) best = i;
+    return best;
+}
+
+}  // namespace mvreju::ml

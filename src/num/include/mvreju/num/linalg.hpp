@@ -1,0 +1,20 @@
+#pragma once
+
+// Direct linear solvers on top of mvreju::num::Matrix.
+
+#include <vector>
+
+#include "mvreju/num/matrix.hpp"
+
+namespace mvreju::num {
+
+/// Solve A x = b by LU decomposition with partial pivoting.
+/// Throws std::runtime_error when A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Solve the singular stationary system pi Q = 0, sum(pi) = 1 for an
+/// irreducible generator/probability-difference matrix Q by replacing one
+/// column with the normalisation constraint. Q is n x n.
+[[nodiscard]] std::vector<double> solve_stationary(const Matrix& q);
+
+}  // namespace mvreju::num

@@ -1,0 +1,53 @@
+#pragma once
+
+// Continuous-time Markov chain (CTMC) and discrete-time Markov chain (DTMC)
+// analysis primitives. These back the DSPN solvers:
+//   - exact steady state of an SPN's underlying CTMC;
+//   - uniformization-based transient matrices e^{Q tau} and
+//     int_0^tau e^{Q t} dt, which the Markov-regenerative (MRGP) steady-state
+//     solver needs for deterministic transitions.
+
+#include <vector>
+
+#include "mvreju/num/matrix.hpp"
+
+namespace mvreju::num {
+
+/// Poisson probabilities pois(k; lambda) for k in [left, right], computed via
+/// the mode-anchored recurrence and renormalised (lightweight Fox-Glynn).
+struct PoissonWeights {
+    std::size_t left = 0;
+    std::vector<double> weights;  // weights[k - left] = P(N = k)
+};
+
+/// Compute Poisson weights covering all but `epsilon` of the mass.
+/// Requires lambda >= 0.
+[[nodiscard]] PoissonWeights poisson_weights(double lambda, double epsilon = 1e-12);
+
+/// Validate and normalise a CTMC generator: off-diagonals >= 0, rows sum to 0.
+/// Throws std::invalid_argument on violation beyond `tol`.
+void check_generator(const Matrix& q, double tol = 1e-9);
+
+/// Exact steady-state distribution of an irreducible CTMC with generator q.
+[[nodiscard]] std::vector<double> ctmc_steady_state(const Matrix& q);
+
+/// Stationary distribution of an irreducible DTMC with transition matrix p.
+[[nodiscard]] std::vector<double> dtmc_stationary(const Matrix& p);
+
+/// Result of uniformization over a fixed horizon tau.
+struct TransientMatrices {
+    Matrix omega;  ///< omega(i, j) = P(state at tau = j | state at 0 = i)
+    Matrix psi;    ///< psi(i, j)   = E[time spent in j during [0, tau] | start i]
+};
+
+/// Compute e^{Q tau} and int_0^tau e^{Q t} dt by uniformization.
+/// Rows of omega sum to 1; rows of psi sum to tau.
+[[nodiscard]] TransientMatrices uniformize(const Matrix& q, double tau,
+                                           double epsilon = 1e-12);
+
+/// Transient distribution pi0 * e^{Q t} for a single initial distribution.
+[[nodiscard]] std::vector<double> ctmc_transient(const Matrix& q,
+                                                 const std::vector<double>& pi0, double t,
+                                                 double epsilon = 1e-12);
+
+}  // namespace mvreju::num

@@ -1,0 +1,61 @@
+#pragma once
+
+// Small dense linear-algebra layer used by the DSPN/CTMC solvers. State
+// spaces of the paper's models are tiny (tens of markings), so a dense
+// row-major matrix with direct solvers is both sufficient and exact.
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace mvreju::num {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    /// Build from nested initializer lists; all rows must have equal length.
+    Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    [[nodiscard]] static Matrix identity(std::size_t n);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    double& at(std::size_t r, std::size_t c);
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+    Matrix& operator+=(const Matrix& rhs);
+    Matrix& operator-=(const Matrix& rhs);
+    Matrix& operator*=(double scalar);
+
+    [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+    [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+    [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+    [[nodiscard]] Matrix operator*(double scalar) const;
+
+    /// Matrix-vector product A x.
+    [[nodiscard]] std::vector<double> operator*(const std::vector<double>& x) const;
+
+    [[nodiscard]] Matrix transposed() const;
+
+    /// Maximum absolute entry (infinity norm of the flattened matrix).
+    [[nodiscard]] double max_abs() const noexcept;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Row-vector times matrix: (x^T A)^T. Used for DTMC stationary iterations.
+[[nodiscard]] std::vector<double> vec_mat(const std::vector<double>& x, const Matrix& a);
+
+}  // namespace mvreju::num

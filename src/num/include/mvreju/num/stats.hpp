@@ -1,0 +1,52 @@
+#pragma once
+
+// Streaming statistics and confidence intervals for the simulation harnesses
+// (batch-means CIs for the DSPN discrete-event simulator, run-level CIs for
+// the AV case-study tables).
+
+#include <cstddef>
+#include <vector>
+
+namespace mvreju::num {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    /// Standard error of the mean.
+    [[nodiscard]] double sem() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Two-sided Student-t critical value for 95% confidence with `dof` degrees
+/// of freedom (exact table for dof <= 30, normal approximation beyond).
+[[nodiscard]] double t_critical_95(std::size_t dof) noexcept;
+
+/// Symmetric confidence interval around a sample mean.
+struct ConfidenceInterval {
+    double mean = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+    [[nodiscard]] double half_width() const noexcept { return (upper - lower) / 2.0; }
+    /// True when the two intervals share any point (used when the paper says
+    /// "the CIs overlap, so there is no statistical difference").
+    [[nodiscard]] bool overlaps(const ConfidenceInterval& other) const noexcept {
+        return lower <= other.upper && other.lower <= upper;
+    }
+};
+
+/// 95% t-based CI from raw samples. With fewer than two samples the interval
+/// collapses onto the mean.
+[[nodiscard]] ConfidenceInterval mean_ci95(const std::vector<double>& samples);
+
+}  // namespace mvreju::num

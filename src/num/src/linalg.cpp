@@ -1,0 +1,74 @@
+#include "mvreju/num/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvreju::num {
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve: shape mismatch");
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: pick the largest remaining entry in this column.
+        std::size_t pivot = col;
+        double best = std::fabs(a(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) throw std::runtime_error("solve: singular matrix");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a(r, col) / a(col, col);
+            if (factor == 0.0) continue;
+            a(r, col) = 0.0;
+            for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+        x[i] = acc / a(i, i);
+    }
+    return x;
+}
+
+std::vector<double> solve_stationary(const Matrix& q) {
+    const std::size_t n = q.rows();
+    if (q.cols() != n) throw std::invalid_argument("solve_stationary: non-square");
+    if (n == 0) return {};
+    if (n == 1) return {1.0};
+
+    // pi Q = 0 is equivalent to Q^T pi^T = 0. Replace the last equation by
+    // the normalisation sum(pi) = 1 to remove the rank deficiency.
+    Matrix a = q.transposed();
+    std::vector<double> b(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+    b[n - 1] = 1.0;
+
+    auto pi = solve(std::move(a), std::move(b));
+    // Clamp tiny negative round-off and renormalise.
+    double total = 0.0;
+    for (double& v : pi) {
+        if (v < 0.0 && v > -1e-12) v = 0.0;
+        total += v;
+    }
+    if (total <= 0.0) throw std::runtime_error("solve_stationary: degenerate solution");
+    for (double& v : pi) v /= total;
+    return pi;
+}
+
+}  // namespace mvreju::num

@@ -1,0 +1,157 @@
+#include "mvreju/num/markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mvreju/num/linalg.hpp"
+
+namespace mvreju::num {
+
+PoissonWeights poisson_weights(double lambda, double epsilon) {
+    if (lambda < 0.0) throw std::invalid_argument("poisson_weights: negative lambda");
+    PoissonWeights out;
+    if (lambda == 0.0) {
+        out.left = 0;
+        out.weights = {1.0};
+        return out;
+    }
+
+    // Anchor at the mode with weight 1, extend left/right by the recurrence
+    // w(k+1) = w(k) * lambda / (k+1) until the unnormalised tail is
+    // negligible, then renormalise. This avoids under/overflow for large
+    // lambda without needing the full Fox-Glynn machinery.
+    const auto mode = static_cast<std::size_t>(lambda);
+    std::vector<double> right_side{1.0};  // weights for k = mode, mode+1, ...
+    double tail_cut = epsilon / 4.0;
+    for (std::size_t k = mode;; ++k) {
+        const double next = right_side.back() * lambda / static_cast<double>(k + 1);
+        if (next < tail_cut && k > mode + static_cast<std::size_t>(std::sqrt(lambda)))
+            break;
+        right_side.push_back(next);
+        if (right_side.size() > 40'000'000)
+            throw std::runtime_error("poisson_weights: truncation failure");
+    }
+    std::vector<double> left_side;  // weights for k = mode-1, mode-2, ...
+    double w = 1.0;
+    for (std::size_t k = mode; k > 0; --k) {
+        w *= static_cast<double>(k) / lambda;
+        if (w < tail_cut) break;
+        left_side.push_back(w);
+    }
+
+    out.left = mode - left_side.size();
+    out.weights.assign(left_side.rbegin(), left_side.rend());
+    out.weights.insert(out.weights.end(), right_side.begin(), right_side.end());
+
+    double total = 0.0;
+    for (double v : out.weights) total += v;
+    for (double& v : out.weights) v /= total;
+    return out;
+}
+
+void check_generator(const Matrix& q, double tol) {
+    const std::size_t n = q.rows();
+    if (q.cols() != n) throw std::invalid_argument("check_generator: non-square");
+    for (std::size_t i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i != j && q(i, j) < -tol)
+                throw std::invalid_argument("check_generator: negative off-diagonal rate");
+            row_sum += q(i, j);
+        }
+        if (std::fabs(row_sum) > tol)
+            throw std::invalid_argument("check_generator: row does not sum to zero");
+    }
+}
+
+std::vector<double> ctmc_steady_state(const Matrix& q) {
+    check_generator(q);
+    return solve_stationary(q);
+}
+
+std::vector<double> dtmc_stationary(const Matrix& p) {
+    const std::size_t n = p.rows();
+    if (p.cols() != n) throw std::invalid_argument("dtmc_stationary: non-square");
+    Matrix q = p;
+    for (std::size_t i = 0; i < n; ++i) q(i, i) -= 1.0;
+    return solve_stationary(q);
+}
+
+namespace {
+
+/// Uniformization rate: strictly larger than every exit rate so that the
+/// uniformized DTMC has positive self-loop probability (aperiodicity).
+double uniformization_rate(const Matrix& q) {
+    double max_exit = 0.0;
+    for (std::size_t i = 0; i < q.rows(); ++i) max_exit = std::max(max_exit, -q(i, i));
+    return max_exit > 0.0 ? max_exit * 1.02 : 1.0;
+}
+
+Matrix uniformized_dtmc(const Matrix& q, double lambda) {
+    Matrix p = q;
+    p *= 1.0 / lambda;
+    for (std::size_t i = 0; i < p.rows(); ++i) p(i, i) += 1.0;
+    return p;
+}
+
+}  // namespace
+
+TransientMatrices uniformize(const Matrix& q, double tau, double epsilon) {
+    check_generator(q);
+    if (tau < 0.0) throw std::invalid_argument("uniformize: negative horizon");
+    const std::size_t n = q.rows();
+
+    if (tau == 0.0) return {Matrix::identity(n), Matrix(n, n)};
+
+    const double lambda = uniformization_rate(q);
+    const Matrix p = uniformized_dtmc(q, lambda);
+    const PoissonWeights pw = poisson_weights(lambda * tau, epsilon);
+
+    // omega = sum_k pois(k) P^k
+    // psi   = (1/lambda) sum_k P^k * P(N > k)
+    Matrix omega(n, n);
+    Matrix psi(n, n);
+    Matrix pk = Matrix::identity(n);  // P^k, iterated
+
+    // Cumulative survival P(N > k) = 1 - sum_{j<=k} pois(j).
+    double cdf = 0.0;
+    const std::size_t k_max = pw.left + pw.weights.size() - 1;
+    for (std::size_t k = 0; k <= k_max; ++k) {
+        const double pois_k =
+            (k >= pw.left && k - pw.left < pw.weights.size()) ? pw.weights[k - pw.left] : 0.0;
+        cdf += pois_k;
+        const double survival = std::max(0.0, 1.0 - cdf);
+
+        if (pois_k > 0.0) omega += pk * pois_k;
+        if (survival > epsilon / 10.0) psi += pk * survival;
+
+        if (k < k_max) pk = pk * p;
+    }
+    psi *= 1.0 / lambda;
+    return {std::move(omega), std::move(psi)};
+}
+
+std::vector<double> ctmc_transient(const Matrix& q, const std::vector<double>& pi0,
+                                   double t, double epsilon) {
+    check_generator(q);
+    if (pi0.size() != q.rows()) throw std::invalid_argument("ctmc_transient: shape mismatch");
+    if (t == 0.0) return pi0;
+
+    const double lambda = uniformization_rate(q);
+    const Matrix p = uniformized_dtmc(q, lambda);
+    const PoissonWeights pw = poisson_weights(lambda * t, epsilon);
+
+    std::vector<double> acc(pi0.size(), 0.0);
+    std::vector<double> v = pi0;  // pi0 * P^k, iterated
+    const std::size_t k_max = pw.left + pw.weights.size() - 1;
+    for (std::size_t k = 0; k <= k_max; ++k) {
+        if (k >= pw.left) {
+            const double w = pw.weights[k - pw.left];
+            for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += w * v[j];
+        }
+        if (k < k_max) v = vec_mat(v, p);
+    }
+    return acc;
+}
+
+}  // namespace mvreju::num

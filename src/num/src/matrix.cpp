@@ -1,0 +1,115 @@
+#include "mvreju/num/matrix.hpp"
+
+#include <cmath>
+
+namespace mvreju::num {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+        if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return (*this)(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        throw std::invalid_argument("Matrix +=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        throw std::invalid_argument("Matrix -=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+    for (double& v : data_) v *= scalar;
+    return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+    Matrix out = *this;
+    out += rhs;
+    return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+    Matrix out = *this;
+    out -= rhs;
+    return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix *: shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += aik * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& x) const {
+    if (cols_ != x.size()) throw std::invalid_argument("Matrix * vec: shape mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j) out[i] += (*this)(i, j) * x[j];
+    return out;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+}
+
+double Matrix::max_abs() const noexcept {
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::vector<double> vec_mat(const std::vector<double>& x, const Matrix& a) {
+    if (x.size() != a.rows()) throw std::invalid_argument("vec_mat: shape mismatch");
+    std::vector<double> out(a.cols(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        for (std::size_t j = 0; j < a.cols(); ++j) out[j] += xi * a(i, j);
+    }
+    return out;
+}
+
+}  // namespace mvreju::num

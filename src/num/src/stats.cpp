@@ -1,0 +1,51 @@
+#include "mvreju/num/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace mvreju::num {
+
+void RunningStats::add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+    return n_ < 1 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double t_critical_95(std::size_t dof) noexcept {
+    // Two-sided 95% (upper 0.975 quantile) critical values.
+    static constexpr std::array<double, 31> table = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+        2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+    if (dof == 0) return table[1];  // degenerate; caller guards anyway
+    if (dof < table.size()) return table[dof];
+    return 1.960;
+}
+
+ConfidenceInterval mean_ci95(const std::vector<double>& samples) {
+    RunningStats stats;
+    for (double s : samples) stats.add(s);
+    ConfidenceInterval ci;
+    ci.mean = stats.mean();
+    if (stats.count() < 2) {
+        ci.lower = ci.upper = ci.mean;
+        return ci;
+    }
+    const double hw = t_critical_95(stats.count() - 1) * stats.sem();
+    ci.lower = ci.mean - hw;
+    ci.upper = ci.mean + hw;
+    return ci;
+}
+
+}  // namespace mvreju::num

@@ -1,0 +1,106 @@
+#pragma once
+
+// Output-reliability functions of Section V-B of the paper.
+//
+// A system state is (i, j, k): number of ML modules that are healthy (i),
+// compromised-but-functional (j) and non-functional (k). `p` is the output
+// failure probability of a healthy module, `p_prime` (> p) of a compromised
+// module, and `alpha` the error-probability dependency between modules
+// (Eq. 8-9). R_{i,j,k} follows the reliability matrices R_f2 (Eq. 4) and
+// R_f3 (Eq. 5); a state with fewer functional modules degrades to the
+// smaller system's function (e.g. R_{2,0,1} of the three-version system is
+// the two-version R_{2,0,0}).
+//
+// Note on Eq. (1) vs Eq. (5): the paper's Eq. (1) (after Ege et al.) reads
+// F = 3*alpha*p*(1-alpha) + alpha^2*p, while the matrix entries of Eq. (5)
+// use R_{3,0,0} = 1 - [3*alpha*p*(1-alpha) + alpha^2] * p. The two differ by
+// a factor p on the first term. We implement Eq. (5) as printed because it
+// reproduces every value of the paper's Table III to all nine published
+// decimal places (verified in tests/reliability_test.cpp).
+
+#include <cstddef>
+#include <vector>
+
+namespace mvreju::reliability {
+
+/// Model parameters fitted from module accuracies and error sets (Eq. 6-9).
+struct Params {
+    double p = 0.0;        ///< output failure probability, healthy state
+    double p_prime = 0.0;  ///< output failure probability, compromised state
+    double alpha = 0.0;    ///< error probability dependency between modules
+};
+
+/// The constants the paper fits on GTSRB (Section VI-A) and uses for
+/// Tables III-V and Fig. 4.
+[[nodiscard]] constexpr Params paper_params() noexcept {
+    return {0.062892584, 0.240406440, 0.369952542};
+}
+
+/// Timing parameters of the DSPN models (Table IV defaults).
+struct TimingParams {
+    double mttc = 1523.0;                ///< 1/lambda_c, mean time to compromise
+    double mttf = 1523.0;                ///< 1/lambda, compromised -> non-functional
+    double reactive_duration = 0.5;      ///< 1/mu, reactive rejuvenation time
+    double proactive_duration = 0.5;     ///< 1/mu_r, proactive rejuvenation time
+    double rejuvenation_interval = 300;  ///< 1/gamma, proactive trigger period
+};
+
+/// Basic sanity: 0 <= p <= p' <= 1 and 0 <= alpha <= 1.
+[[nodiscard]] bool params_sane(const Params& params) noexcept;
+
+/// Two-version boundary of Section V-B2: p * (2 - alpha) <= 1.
+[[nodiscard]] bool within_two_version_boundary(const Params& params) noexcept;
+
+/// Three-version boundary of Section V-B3: p * (3(1-alpha) + alpha^2) <= 1.
+[[nodiscard]] bool within_three_version_boundary(const Params& params) noexcept;
+
+/// Failure probability of a 3-version system with independent errors
+/// (Lyons & Vanderkulk): F = 3(1-p)p^2 + p^3.
+[[nodiscard]] double lyons_failure(double p) noexcept;
+
+/// Eq. (1) (Ege et al.): F = 3*alpha*p*(1-alpha) + alpha^2*p.
+[[nodiscard]] double ege_failure(double p, double alpha) noexcept;
+
+/// Eq. (2) (Wen & Machida): per-model error probabilities and pairwise
+/// dependencies. `p1`, `p2` are the error probabilities of models 1 and 2;
+/// a12/a13/a23 the pairwise error-set intersections.
+[[nodiscard]] double wen_machida_failure(double p1, double p2, double a12, double a13,
+                                         double a23) noexcept;
+
+/// Reliability of a state of the *single*-version system.
+/// Valid states: (1,0,0), (0,1,0), (0,0,1).
+[[nodiscard]] double r_single(int i, int j, int k, const Params& params);
+
+/// Reliability matrix R_f2 (Eq. 4) of the two-version system; i+j+k == 2.
+[[nodiscard]] double r_two(int i, int j, int k, const Params& params);
+
+/// Reliability matrix R_f3 (Eq. 5) of the three-version system; i+j+k == 3.
+[[nodiscard]] double r_three(int i, int j, int k, const Params& params);
+
+/// Dispatch on total module count n = i+j+k in {1, 2, 3}. States of a larger
+/// system with non-functional modules degrade to the smaller system's
+/// function, exactly as Eq. (4)/(5) encode.
+[[nodiscard]] double state_reliability(int i, int j, int k, const Params& params);
+
+/// --- Parameter fitting (Section VI-A) ---
+
+/// p = 1 - mean(healthy accuracies)               (Eq. 6)
+[[nodiscard]] double fit_p(const std::vector<double>& healthy_accuracies);
+
+/// p' = 1 - mean(compromised accuracies)          (Eq. 7)
+[[nodiscard]] double fit_p_prime(const std::vector<double>& compromised_accuracies);
+
+/// alpha_{i,j} = |E_i ^ E_j| / max(|E_i|, |E_j|)  (Eq. 8)
+/// Error sets are given as sorted-unique sample indices.
+[[nodiscard]] double alpha_pair(const std::vector<std::size_t>& errors_a,
+                                const std::vector<std::size_t>& errors_b);
+
+/// alpha = mean of the three pairwise alphas       (Eq. 9)
+[[nodiscard]] double fit_alpha(const std::vector<std::vector<std::size_t>>& error_sets);
+
+/// Convenience: full fit from accuracies + error sets.
+[[nodiscard]] Params fit_params(const std::vector<double>& healthy_accuracies,
+                                const std::vector<double>& compromised_accuracies,
+                                const std::vector<std::vector<std::size_t>>& error_sets);
+
+}  // namespace mvreju::reliability

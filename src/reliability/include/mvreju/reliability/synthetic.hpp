@@ -1,0 +1,46 @@
+#pragma once
+
+// Synthetic error-set construction and empirical voting evaluation.
+//
+// The paper's reliability functions are stated over error *sets*: E_i is the
+// set of inputs module i misclassifies, p_i = |E_i|/N, and the dependency
+// alpha_{i,j} = |E_i ^ E_j| / max(|E_i|, |E_j|) (Eq. 8). This module builds
+// concrete families of sets with prescribed sizes and intersections and
+// evaluates the voting rules on them by counting, which lets the tests check
+// the closed-form equations (Eq. 2, Eq. 4) against ground truth instead of
+// trusting the algebra.
+
+#include <cstddef>
+#include <vector>
+
+namespace mvreju::reliability {
+
+/// A family of error sets over the universe {0, ..., universe-1}, stored as
+/// sorted index vectors (the same representation Eq. 8 fitting consumes).
+struct ErrorSetFamily {
+    std::size_t universe = 0;
+    std::vector<std::vector<std::size_t>> sets;
+};
+
+/// Build two error sets with |E_1| = round(p1*N), |E_2| = round(p2*N) and
+/// |E_1 ^ E_2| = round(alpha * max(|E_1|, |E_2|)). Requires the sizes to fit
+/// into the universe. Throws std::invalid_argument otherwise.
+[[nodiscard]] ErrorSetFamily make_pair_family(std::size_t universe, double p1, double p2,
+                                              double alpha);
+
+/// Build three error sets with pairwise intersections
+/// |E_i ^ E_j| = round(alpha_ij * max(|E_i|, |E_j|)) and triple intersection
+/// |E_1 ^ E_2 ^ E_3| = round(alpha12 * alpha13 * |E_1|) — the inclusion
+/// structure under which the paper's Eq. (2) is exact.
+[[nodiscard]] ErrorSetFamily make_triple_family(std::size_t universe, double p1,
+                                                double p2, double p3, double alpha12,
+                                                double alpha13, double alpha23);
+
+/// Fraction of the universe on which at least `threshold` of the family's
+/// sets contain the sample — the empirical probability that `threshold` or
+/// more modules err simultaneously (system failure under majority voting
+/// when threshold == 2).
+[[nodiscard]] double empirical_failure(const ErrorSetFamily& family,
+                                       std::size_t threshold = 2);
+
+}  // namespace mvreju::reliability

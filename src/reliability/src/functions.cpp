@@ -1,0 +1,129 @@
+#include "mvreju/reliability/functions.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvreju::reliability {
+
+namespace {
+
+void check_state(int i, int j, int k, int n) {
+    if (i < 0 || j < 0 || k < 0 || i + j + k != n)
+        throw std::invalid_argument("state_reliability: invalid (i,j,k) state");
+}
+
+double mean(const std::vector<double>& values) {
+    if (values.empty()) throw std::invalid_argument("mean: empty input");
+    double acc = 0.0;
+    for (double v : values) acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+bool params_sane(const Params& params) noexcept {
+    return params.p >= 0.0 && params.p <= params.p_prime && params.p_prime <= 1.0 &&
+           params.alpha >= 0.0 && params.alpha <= 1.0;
+}
+
+bool within_two_version_boundary(const Params& params) noexcept {
+    return params.p * (2.0 - params.alpha) <= 1.0;
+}
+
+bool within_three_version_boundary(const Params& params) noexcept {
+    return params.p * (3.0 * (1.0 - params.alpha) + params.alpha * params.alpha) <= 1.0;
+}
+
+double lyons_failure(double p) noexcept {
+    return 3.0 * (1.0 - p) * p * p + p * p * p;
+}
+
+double ege_failure(double p, double alpha) noexcept {
+    return 3.0 * alpha * p * (1.0 - alpha) + alpha * alpha * p;
+}
+
+double wen_machida_failure(double p1, double p2, double a12, double a13,
+                           double a23) noexcept {
+    return a12 * p1 + a13 * p1 + a23 * p2 - 2.0 * a12 * a13 * p1;
+}
+
+double r_single(int i, int j, int k, const Params& params) {
+    check_state(i, j, k, 1);
+    if (i == 1) return 1.0 - params.p;         // R_{1,0,0}
+    if (j == 1) return 1.0 - params.p_prime;   // R_{0,1,0}
+    return 0.0;                                // R_{0,0,1}: no functional module
+}
+
+double r_two(int i, int j, int k, const Params& params) {
+    check_state(i, j, k, 2);
+    const auto [p, pp, a] = params;
+    if (k == 2) return 0.0;                     // R_{0,0,2}
+    if (k == 1) return r_single(i, j, 0, params);  // degraded to one module
+    // Two functional modules (Eq. 4).
+    if (i == 2) return 1.0 - a * p;                         // R_{2,0,0}
+    if (j == 2) return 1.0 - a * pp;                        // R_{0,2,0}
+    return 1.0 - ((p + pp) / 2.0) * a;                      // R_{1,1,0}
+}
+
+double r_three(int i, int j, int k, const Params& params) {
+    check_state(i, j, k, 3);
+    const auto [p, pp, a] = params;
+    if (k >= 1) return r_two(i, j, k - 1, params);  // degraded system
+    // Three functional modules (Eq. 5).
+    if (i == 3) return 1.0 - (3.0 * a * p * (1.0 - a) + a * a) * p;    // R_{3,0,0}
+    if (j == 3) return 1.0 - (3.0 * a * pp * (1.0 - a) + a * a) * pp;  // R_{0,3,0}
+    const double s = p + pp;
+    if (i == 2) return 1.0 - (a * p + a * s * (1.0 - s / 2.0));        // R_{2,1,0}
+    return 1.0 - (a * pp + a * s * (1.0 - s / 2.0));                   // R_{1,2,0}
+}
+
+double state_reliability(int i, int j, int k, const Params& params) {
+    switch (i + j + k) {
+        case 1: return r_single(i, j, k, params);
+        case 2: return r_two(i, j, k, params);
+        case 3: return r_three(i, j, k, params);
+        default:
+            throw std::invalid_argument("state_reliability: supported for n in {1,2,3}");
+    }
+}
+
+double fit_p(const std::vector<double>& healthy_accuracies) {
+    return 1.0 - mean(healthy_accuracies);
+}
+
+double fit_p_prime(const std::vector<double>& compromised_accuracies) {
+    return 1.0 - mean(compromised_accuracies);
+}
+
+double alpha_pair(const std::vector<std::size_t>& errors_a,
+                  const std::vector<std::size_t>& errors_b) {
+    const std::size_t larger = std::max(errors_a.size(), errors_b.size());
+    if (larger == 0) return 0.0;  // both error-free: no measurable dependency
+    std::vector<std::size_t> intersection;
+    std::set_intersection(errors_a.begin(), errors_a.end(), errors_b.begin(),
+                          errors_b.end(), std::back_inserter(intersection));
+    return static_cast<double>(intersection.size()) / static_cast<double>(larger);
+}
+
+double fit_alpha(const std::vector<std::vector<std::size_t>>& error_sets) {
+    if (error_sets.size() < 2)
+        throw std::invalid_argument("fit_alpha: need at least two error sets");
+    double acc = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < error_sets.size(); ++a) {
+        for (std::size_t b = a + 1; b < error_sets.size(); ++b) {
+            acc += alpha_pair(error_sets[a], error_sets[b]);
+            ++pairs;
+        }
+    }
+    return acc / static_cast<double>(pairs);
+}
+
+Params fit_params(const std::vector<double>& healthy_accuracies,
+                  const std::vector<double>& compromised_accuracies,
+                  const std::vector<std::vector<std::size_t>>& error_sets) {
+    return {fit_p(healthy_accuracies), fit_p_prime(compromised_accuracies),
+            fit_alpha(error_sets)};
+}
+
+}  // namespace mvreju::reliability

@@ -1,0 +1,107 @@
+#include "mvreju/reliability/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvreju::reliability {
+
+namespace {
+
+std::size_t scaled(double fraction, std::size_t base) {
+    return static_cast<std::size_t>(std::llround(fraction * static_cast<double>(base)));
+}
+
+void check_unit(double v, const char* name) {
+    if (v < 0.0 || v > 1.0)
+        throw std::invalid_argument(std::string("synthetic: ") + name + " outside [0,1]");
+}
+
+/// Append `count` fresh indices starting at *cursor to every set listed.
+void allocate(std::vector<std::vector<std::size_t>*> members, std::size_t count,
+              std::size_t& cursor, std::size_t universe) {
+    if (cursor + count > universe)
+        throw std::invalid_argument("synthetic: sets do not fit into the universe");
+    for (std::size_t k = 0; k < count; ++k) {
+        for (auto* set : members) set->push_back(cursor);
+        ++cursor;
+    }
+}
+
+}  // namespace
+
+ErrorSetFamily make_pair_family(std::size_t universe, double p1, double p2,
+                                double alpha) {
+    check_unit(p1, "p1");
+    check_unit(p2, "p2");
+    check_unit(alpha, "alpha");
+    const std::size_t n1 = scaled(p1, universe);
+    const std::size_t n2 = scaled(p2, universe);
+    const std::size_t shared = scaled(alpha, std::max(n1, n2));
+    if (shared > std::min(n1, n2))
+        throw std::invalid_argument("synthetic: intersection exceeds the smaller set");
+
+    ErrorSetFamily family;
+    family.universe = universe;
+    family.sets.resize(2);
+    std::size_t cursor = 0;
+    allocate({&family.sets[0], &family.sets[1]}, shared, cursor, universe);
+    allocate({&family.sets[0]}, n1 - shared, cursor, universe);
+    allocate({&family.sets[1]}, n2 - shared, cursor, universe);
+    return family;
+}
+
+ErrorSetFamily make_triple_family(std::size_t universe, double p1, double p2, double p3,
+                                  double alpha12, double alpha13, double alpha23) {
+    for (auto [v, name] : {std::pair{p1, "p1"}, {p2, "p2"}, {p3, "p3"},
+                           {alpha12, "alpha12"}, {alpha13, "alpha13"},
+                           {alpha23, "alpha23"}})
+        check_unit(v, name);
+
+    const std::size_t n1 = scaled(p1, universe);
+    const std::size_t n2 = scaled(p2, universe);
+    const std::size_t n3 = scaled(p3, universe);
+    const std::size_t i12 = scaled(alpha12, std::max(n1, n2));
+    const std::size_t i13 = scaled(alpha13, std::max(n1, n3));
+    const std::size_t i23 = scaled(alpha23, std::max(n2, n3));
+    // The triple-overlap convention under which Eq. (2) is exact.
+    const std::size_t triple = scaled(alpha12 * alpha13, n1);
+
+    if (triple > std::min({i12, i13, i23}))
+        throw std::invalid_argument("synthetic: triple overlap exceeds a pairwise one");
+    const std::size_t only12 = i12 - triple;
+    const std::size_t only13 = i13 - triple;
+    const std::size_t only23 = i23 - triple;
+    if (only12 + only13 + triple > n1 || only12 + only23 + triple > n2 ||
+        only13 + only23 + triple > n3)
+        throw std::invalid_argument("synthetic: intersections exceed a set size");
+
+    ErrorSetFamily family;
+    family.universe = universe;
+    family.sets.resize(3);
+    auto* e1 = &family.sets[0];
+    auto* e2 = &family.sets[1];
+    auto* e3 = &family.sets[2];
+    std::size_t cursor = 0;
+    allocate({e1, e2, e3}, triple, cursor, universe);
+    allocate({e1, e2}, only12, cursor, universe);
+    allocate({e1, e3}, only13, cursor, universe);
+    allocate({e2, e3}, only23, cursor, universe);
+    allocate({e1}, n1 - only12 - only13 - triple, cursor, universe);
+    allocate({e2}, n2 - only12 - only23 - triple, cursor, universe);
+    allocate({e3}, n3 - only13 - only23 - triple, cursor, universe);
+    return family;
+}
+
+double empirical_failure(const ErrorSetFamily& family, std::size_t threshold) {
+    if (family.universe == 0) throw std::invalid_argument("empirical_failure: empty");
+    std::vector<std::size_t> hits(family.universe, 0);
+    for (const auto& set : family.sets)
+        for (std::size_t sample : set) ++hits.at(sample);
+    std::size_t failures = 0;
+    for (std::size_t count : hits)
+        if (count >= threshold) ++failures;
+    return static_cast<double>(failures) / static_cast<double>(family.universe);
+}
+
+}  // namespace mvreju::reliability

@@ -1,0 +1,26 @@
+#pragma once
+
+// Minimal command-line argument parsing for the benchmark and example
+// binaries: `--key value` and `--flag` forms only.
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mvreju::util {
+
+/// Parsed `--key value` / `--flag` style arguments.
+class Args {
+public:
+    Args(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+    [[nodiscard]] double get(const std::string& key, double fallback) const;
+    [[nodiscard]] int get(const std::string& key, int fallback) const;
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace mvreju::util

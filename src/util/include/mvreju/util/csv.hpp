@@ -1,0 +1,34 @@
+#pragma once
+
+// Minimal CSV writer (RFC-4180 quoting) so the figure benches can export
+// their data series for external plotting (`--csv file`).
+
+#include <string>
+#include <vector>
+
+namespace mvreju::util {
+
+/// Accumulates rows and renders/writes RFC-4180 CSV. Fields containing
+/// commas, quotes or newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::string str() const;
+
+    /// Write to a file; throws std::runtime_error on I/O failure.
+    void write(const std::string& path) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escape one CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace mvreju::util

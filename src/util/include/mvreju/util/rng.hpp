@@ -1,0 +1,109 @@
+#pragma once
+
+// Deterministic random number generation for reproducible experiments.
+//
+// We implement xoshiro256++ (Blackman & Vigna) seeded via SplitMix64 rather
+// than relying on std::mt19937 so that every experiment in the repository is
+// bit-reproducible across standard-library implementations. `Rng::split`
+// derives statistically independent substreams, which the simulators use to
+// give each stochastic process (per-module compromise clocks, sensor noise,
+// NPC behaviour, ...) its own stream: adding one consumer never perturbs the
+// draws seen by another.
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace mvreju::util {
+
+/// SplitMix64: used for seeding and stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ pseudo-random generator with substream splitting.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+        std::uint64_t s = seed;
+        for (auto& word : state_) word = splitmix64(s);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Derive an independent substream identified by `stream_id`.
+    [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept {
+        std::uint64_t s = state_[0] ^ rotl(state_[3], 7) ^
+                          (stream_id * 0xda942042e4dd58b5ULL + 0x2545f4914f6cdd1dULL);
+        Rng child(splitmix64(s));
+        return child;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid bias.
+    std::uint64_t uniform_int(std::uint64_t n) noexcept {
+        const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+        for (;;) {
+            const std::uint64_t r = (*this)();
+            if (r >= threshold) return r % n;
+        }
+    }
+
+    /// Exponentially distributed sample with the given rate (mean 1/rate).
+    double exponential(double rate) noexcept {
+        // 1 - uniform() is in (0, 1], so the log argument is never zero.
+        return -std::log1p(-uniform()) / rate;
+    }
+
+    /// Standard normal via Box-Muller (polar-free variant; uses two uniforms).
+    double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+        // Draw u1 in (0,1] to keep the log finite.
+        const double u1 = 1.0 - uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+    }
+
+    /// Bernoulli trial with success probability prob.
+    bool bernoulli(double prob) noexcept { return uniform() < prob; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mvreju::util

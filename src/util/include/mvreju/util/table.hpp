@@ -1,0 +1,36 @@
+#pragma once
+
+// Plain-text table rendering used by the benchmark harnesses to print
+// paper-style result tables (Tables II-VIII).
+
+#include <string>
+#include <vector>
+
+namespace mvreju::util {
+
+/// Column-aligned text table. Rows are added as vectors of pre-formatted
+/// cells; `str()` renders with a header separator, matching how the paper's
+/// tables are reported in the benchmark output.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render the table. Every column is left-padded to its widest cell.
+    [[nodiscard]] std::string str() const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimal places.
+[[nodiscard]] std::string fmt(double value, int digits = 6);
+
+/// Format as a percentage with `digits` decimal places (input is a fraction).
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 2);
+
+}  // namespace mvreju::util

@@ -1,0 +1,41 @@
+#include "mvreju/util/args.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mvreju::util {
+
+Args::Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string_view token(argv[i]);
+        if (!token.starts_with("--")) continue;
+        std::string key(token.substr(2));
+        if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+            values_[key] = argv[++i];
+        } else {
+            values_[key] = "";  // bare flag
+        }
+    }
+}
+
+bool Args::has(const std::string& key) const { return values_.contains(key); }
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double Args::get(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback
+                                                     : std::strtod(it->second.c_str(), nullptr);
+}
+
+int Args::get(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() || it->second.empty()
+               ? fallback
+               : static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+}  // namespace mvreju::util

@@ -1,0 +1,52 @@
+#include "mvreju/util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mvreju::util {
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("CsvWriter: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << csv_escape(row[c]);
+            out << (c + 1 == row.size() ? "\n" : ",");
+        }
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
+    out << str();
+    if (!out) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace mvreju::util

@@ -1,0 +1,54 @@
+#include "mvreju/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mvreju::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("TextTable: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+            out << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+std::string fmt(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace mvreju::util

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "mvreju/av/geometry.hpp"
+#include "mvreju/av/route.hpp"
+
+namespace mvreju::av {
+namespace {
+
+TEST(Vec2, BasicAlgebra) {
+    Vec2 a{1.0, 2.0};
+    Vec2 b{3.0, -1.0};
+    EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+    EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+    EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+    EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+    EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+    EXPECT_EQ(a.perp(), (Vec2{-2.0, 1.0}));
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+    EXPECT_NEAR((Vec2{0.0, 5.0}).normalized().y, 1.0, 1e-12);
+    // Zero vector falls back to unit x rather than NaN.
+    EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{1.0, 0.0}));
+}
+
+TEST(WrapAngle, StaysInRange) {
+    for (double a : {-10.0, -3.2, 0.0, 3.2, 10.0, 100.0}) {
+        const double w = wrap_angle(a);
+        EXPECT_GT(w, -3.1415927);
+        EXPECT_LE(w, 3.1415927);
+        // Same angle modulo 2*pi.
+        EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+        EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+    }
+}
+
+TEST(Obb, OverlapObviousCases) {
+    Obb a{{0.0, 0.0}, 2.0, 1.0, 0.0};
+    Obb near{{1.0, 0.5}, 2.0, 1.0, 0.0};
+    Obb far{{10.0, 0.0}, 2.0, 1.0, 0.0};
+    EXPECT_TRUE(overlaps(a, near));
+    EXPECT_TRUE(overlaps(near, a));
+    EXPECT_FALSE(overlaps(a, far));
+}
+
+TEST(Obb, RotationMatters) {
+    // Two long thin boxes crossing at 90 degrees overlap at the origin...
+    Obb h{{0.0, 0.0}, 5.0, 0.5, 0.0};
+    Obb v{{0.0, 0.0}, 5.0, 0.5, 1.5707963};
+    EXPECT_TRUE(overlaps(h, v));
+    // ...and a 45-degree square whose axis-aligned bounding box reaches the
+    // unit square but whose actual footprint does not must NOT overlap
+    // (this is the case a naive AABB test gets wrong).
+    Obb square{{0.0, 0.0}, 1.0, 1.0, 0.0};
+    Obb diamond{{2.3, 2.3}, 1.0, 1.0, 0.7853981634};
+    EXPECT_FALSE(overlaps(square, diamond));
+    Obb diamond_close{{1.5, 1.5}, 1.0, 1.0, 0.7853981634};
+    EXPECT_TRUE(overlaps(square, diamond_close));
+}
+
+TEST(Obb, TouchingCountsAsOverlap) {
+    Obb a{{0.0, 0.0}, 1.0, 1.0, 0.0};
+    Obb b{{2.0, 0.0}, 1.0, 1.0, 0.0};  // shares the edge x = 1
+    EXPECT_TRUE(overlaps(a, b));
+    Obb c{{2.001, 0.0}, 1.0, 1.0, 0.0};
+    EXPECT_FALSE(overlaps(a, c));
+}
+
+TEST(ToLocal, TransformsIntoBoxFrame) {
+    Obb frame{{1.0, 2.0}, 2.0, 1.0, 1.5707963};  // facing +y
+    const Vec2 local = to_local(frame, {1.0, 5.0});
+    EXPECT_NEAR(local.x, 3.0, 1e-6);  // 3 ahead
+    EXPECT_NEAR(local.y, 0.0, 1e-6);
+}
+
+TEST(Route, ValidatesConstruction) {
+    EXPECT_THROW(Route("r", {{0.0, 0.0}}, 10.0), std::invalid_argument);
+    EXPECT_THROW(Route("r", {{0.0, 0.0}, {1.0, 0.0}}, 0.0), std::invalid_argument);
+    EXPECT_THROW(Route("r", {{0.0, 0.0}, {0.0, 0.0}}, 10.0), std::invalid_argument);
+}
+
+TEST(Route, ArcLengthParameterisation) {
+    Route route("r", {{0.0, 0.0}, {10.0, 0.0}, {10.0, 5.0}}, 10.0);
+    EXPECT_DOUBLE_EQ(route.length(), 15.0);
+    EXPECT_EQ(route.point_at(0.0), (Vec2{0.0, 0.0}));
+    EXPECT_EQ(route.point_at(10.0), (Vec2{10.0, 0.0}));
+    EXPECT_NEAR(route.point_at(12.5).y, 2.5, 1e-12);
+    // Clamping beyond both ends.
+    EXPECT_EQ(route.point_at(-5.0), (Vec2{0.0, 0.0}));
+    EXPECT_EQ(route.point_at(99.0), (Vec2{10.0, 5.0}));
+}
+
+TEST(Route, HeadingFollowsSegments) {
+    Route route("r", {{0.0, 0.0}, {10.0, 0.0}, {10.0, 5.0}}, 10.0);
+    EXPECT_NEAR(route.heading_at(5.0), 0.0, 1e-12);
+    EXPECT_NEAR(route.heading_at(12.0), 1.5707963, 1e-6);
+}
+
+TEST(Route, CurvatureZeroOnStraightPositiveOnArc) {
+    Route straight("s", {{0.0, 0.0}, {50.0, 0.0}, {100.0, 0.0}}, 10.0);
+    EXPECT_NEAR(straight.curvature_at(50.0), 0.0, 1e-9);
+
+    // Quarter circle of radius 20: curvature ~ 1/20.
+    std::vector<Vec2> arc;
+    for (int i = 0; i <= 20; ++i) {
+        const double a = 1.5707963 * i / 20.0;
+        arc.push_back({20.0 * std::cos(a), 20.0 * std::sin(a)});
+    }
+    Route curved("c", std::move(arc), 10.0);
+    // Polyline quantisation makes the estimate coarse; +-30% is fine here.
+    EXPECT_NEAR(curved.curvature_at(curved.length() / 2.0), 1.0 / 20.0, 0.015);
+}
+
+TEST(Route, ProjectFindsClosestPoint) {
+    Route route("r", {{0.0, 0.0}, {100.0, 0.0}}, 10.0);
+    EXPECT_NEAR(route.project({30.0, 5.0}, 25.0), 30.0, 1e-9);
+    // The search window is local: a far hint cannot see the global optimum.
+    EXPECT_NEAR(route.project({30.0, 5.0}, 90.0, 10.0), 80.0, 1e-9);
+}
+
+TEST(Towns, FourTownsEightRoutes) {
+    const auto towns = make_towns();
+    ASSERT_EQ(towns.size(), 4u);
+    const auto refs = evaluation_routes(towns);
+    EXPECT_EQ(refs.size(), 8u);
+    for (const auto& town : towns) {
+        EXPECT_EQ(town.routes.size(), 2u);
+        for (const auto& route : town.routes) {
+            // Long enough for a ~30 s drive behind traffic.
+            EXPECT_GT(route.length(), 150.0) << route.name();
+            EXPECT_GT(route.speed_limit(), 5.0);
+        }
+    }
+}
+
+TEST(Towns, RoutesHaveDistinctNames) {
+    const auto towns = make_towns();
+    std::vector<std::string> names;
+    for (const auto& town : towns)
+        for (const auto& route : town.routes) names.push_back(route.name());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(RenderAscii, ContainsMarkers) {
+    const auto towns = make_towns();
+    const std::string art = render_ascii(towns[0].routes[0]);
+    EXPECT_NE(art.find('o'), std::string::npos);  // start
+    EXPECT_NE(art.find('*'), std::string::npos);  // end
+    EXPECT_NE(art.find('#'), std::string::npos);  // path
+    EXPECT_NE(art.find("Town02#1"), std::string::npos);
+    EXPECT_THROW((void)render_ascii(towns[0].routes[0], 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mvreju::av

@@ -1,0 +1,129 @@
+#include "mvreju/av/localization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/av/simulation.hpp"
+#include "mvreju/av/vehicle.hpp"
+
+namespace mvreju::av {
+namespace {
+
+TEST(SampleGnss, NoiseStatisticsMatchConfig) {
+    GnssConfig cfg;
+    cfg.position_sigma = 0.5;
+    cfg.heading_sigma = 0.02;
+    cfg.dropout_probability = 0.1;
+    util::Rng rng(3);
+    int valid = 0;
+    double sq_err = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+        const GnssFix fix = sample_gnss({10.0, -4.0}, 0.7, cfg, rng);
+        if (!fix.valid) continue;
+        ++valid;
+        sq_err += (fix.position - Vec2{10.0, -4.0}).dot(fix.position - Vec2{10.0, -4.0});
+    }
+    EXPECT_NEAR(static_cast<double>(valid) / n, 0.9, 0.01);
+    // E[|err|^2] = 2 sigma^2 for two independent axes.
+    EXPECT_NEAR(sq_err / valid, 2.0 * 0.5 * 0.5, 0.02);
+}
+
+TEST(Localizer, Validation) {
+    EXPECT_THROW(Localizer({0, 0}, 0.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Localizer({0, 0}, 0.0, 1.5), std::invalid_argument);
+    EXPECT_THROW(Localizer({0, 0}, 0.0, 0.2, -1.0), std::invalid_argument);
+    Localizer loc({0, 0}, 0.0);
+    EXPECT_THROW(loc.predict(1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Localizer, DeadReckoningMatchesBicycleModel) {
+    // With perfect inputs and no corrections, the estimate tracks the
+    // vehicle exactly (same integration scheme).
+    EgoVehicle ego({2.0, 3.0}, 0.4);
+    Localizer loc(ego.position(), ego.heading());
+    for (int i = 0; i < 200; ++i) {
+        const double accel = (i < 100) ? 1.0 : 0.0;
+        const double steer = 0.1;
+        ego.step(accel, steer, 0.05);
+        loc.predict(ego.speed(), steer, 0.05);
+    }
+    EXPECT_NEAR(loc.position_error(ego.position()), 0.0, 1e-9);
+    EXPECT_NEAR(loc.heading(), ego.heading(), 1e-9);
+}
+
+TEST(Localizer, CorrectsTowardsFix) {
+    Localizer loc({0.0, 0.0}, 0.0, 0.5);
+    GnssFix fix;
+    fix.valid = true;
+    fix.position = {10.0, 0.0};
+    fix.heading = 0.2;
+    loc.correct(fix);
+    EXPECT_NEAR(loc.position().x, 5.0, 1e-12);  // blend 0.5
+    EXPECT_NEAR(loc.heading(), 0.1, 1e-12);
+    // Invalid fixes are ignored.
+    GnssFix invalid;
+    loc.correct(invalid);
+    EXPECT_NEAR(loc.position().x, 5.0, 1e-12);
+}
+
+TEST(Localizer, HeadingBlendWrapsCorrectly) {
+    // Estimate at +3.1, fix at -3.1: the short way crosses the pi boundary.
+    Localizer loc({0.0, 0.0}, 3.1, 0.5);
+    GnssFix fix;
+    fix.valid = true;
+    fix.heading = -3.1;
+    loc.correct(fix);
+    // Moving halfway along the short arc (length ~0.083) lands near +-pi,
+    // not near 0.
+    EXPECT_GT(std::fabs(loc.heading()), 3.0);
+}
+
+TEST(Localizer, BoundedErrorUnderNoisyFixes) {
+    // Drive a long curve with biased dead reckoning (slight steer error) and
+    // noisy fixes: the filter keeps the position error bounded, while pure
+    // dead reckoning diverges.
+    EgoVehicle ego({0.0, 0.0}, 0.0);
+    ego.set_speed(8.0);
+    Localizer filtered(ego.position(), ego.heading(), 0.25);
+    Localizer dead_reckoning(ego.position(), ego.heading(), 1e-9 + 0.0001);
+    GnssConfig cfg;
+    util::Rng rng(9);
+    double worst_filtered = 0.0;
+    for (int i = 0; i < 2000; ++i) {  // 100 s
+        const double steer = 0.05;
+        ego.step(0.0, steer, 0.05);
+        const double biased_steer = steer + 0.01;  // systematic gyro/odo bias
+        filtered.predict(ego.speed(), biased_steer, 0.05);
+        dead_reckoning.predict(ego.speed(), biased_steer, 0.05);
+        if (i % 20 == 0)
+            filtered.correct(sample_gnss(ego.position(), ego.heading(), cfg, rng));
+        worst_filtered = std::max(worst_filtered, filtered.position_error(ego.position()));
+    }
+    EXPECT_LT(worst_filtered, 6.0);
+    EXPECT_GT(dead_reckoning.position_error(ego.position()), 20.0);
+}
+
+TEST(Simulation, LocalizationDrivenRunStaysSafeWhenHealthy) {
+    // With healthy perception and GNSS-based steering the ego still follows
+    // the route without collisions (slightly sloppier tracking is fine).
+    const auto towns = make_towns();
+    SensorConfig sensor;
+    DetectorTrainOptions opts;
+    opts.train_samples = 1200;
+    opts.eval_samples = 400;
+    opts.epochs = 4;
+    opts.cache_dir = std::filesystem::temp_directory_path() / "mvreju_test_detectors";
+    const DetectorSet detectors = prepare_detectors(sensor, opts);
+
+    ScenarioConfig cfg;
+    cfg.mttc = 1e9;
+    cfg.rejuvenation = false;
+    cfg.use_localization = true;
+    cfg.seed = 12;
+    const RunMetrics m = run_scenario(towns[2].routes[0], detectors, cfg);
+    EXPECT_EQ(m.collision_frames, 0);
+    EXPECT_GT(m.route_completed, 0.3);
+}
+
+}  // namespace
+}  // namespace mvreju::av

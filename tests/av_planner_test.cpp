@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "mvreju/av/planner.hpp"
+#include "mvreju/av/sensor.hpp"
+
+namespace mvreju::av {
+namespace {
+
+TEST(Planner, ClearPerceptionAllowsRouteLimit) {
+    Planner planner;
+    planner.update_perception(0);
+    EXPECT_DOUBLE_EQ(planner.target_speed(10.0), 10.0);
+}
+
+TEST(Planner, CloserBucketsReduceTargetSpeed) {
+    Planner planner;
+    double previous = 1e9;
+    for (int bucket = 1; bucket < kDistanceBuckets; ++bucket) {
+        planner.update_perception(bucket);
+        const double target = planner.target_speed(20.0);
+        EXPECT_LE(target, previous) << "bucket " << bucket;
+        previous = target;
+    }
+    // Imminent bucket forces a stop.
+    planner.update_perception(7);
+    EXPECT_DOUBLE_EQ(planner.target_speed(20.0), 0.0);
+}
+
+TEST(Planner, SkipHoldsPerceptionAndCommand) {
+    Planner planner;
+    planner.update_perception(5);
+    const double before = planner.target_speed(15.0);
+    planner.update_perception(std::nullopt);
+    EXPECT_EQ(planner.perceived_bucket(), 5);
+    EXPECT_DOUBLE_EQ(planner.target_speed(15.0), before);
+    EXPECT_EQ(planner.consecutive_skips(), 1);
+    planner.update_perception(2);
+    EXPECT_EQ(planner.consecutive_skips(), 0);
+}
+
+TEST(Planner, HeldCommandIsPreviousAcceleration) {
+    Planner planner;
+    planner.update_perception(0);
+    const double fresh = planner.accel_command(2.0, 15.0);  // accelerating
+    EXPECT_GT(fresh, 0.0);
+    planner.update_perception(std::nullopt);
+    EXPECT_DOUBLE_EQ(planner.accel_command(5.0, 15.0), fresh);  // held verbatim
+}
+
+TEST(Planner, StaleHoldCannotAccelerate) {
+    PlannerConfig cfg;
+    cfg.skip_threshold = 3;
+    Planner planner(cfg);
+    planner.update_perception(0);
+    EXPECT_GT(planner.accel_command(1.0, 15.0), 0.0);
+    for (int i = 0; i < 3; ++i) planner.update_perception(std::nullopt);
+    EXPECT_TRUE(planner.perception_stale());
+    EXPECT_LE(planner.accel_command(1.0, 15.0), 0.0);
+}
+
+TEST(Planner, BrakingGainIsStrongerThanAcceleration) {
+    Planner planner;
+    planner.update_perception(0);
+    const double accel = planner.accel_command(8.0, 10.0);   // error +2
+    planner.update_perception(7);                            // must stop
+    const double brake = planner.accel_command(8.0, 10.0);
+    EXPECT_GT(accel, 0.0);
+    EXPECT_LT(brake, 0.0);
+    EXPECT_GT(-brake, accel);  // asymmetric ACC response
+    EXPECT_GE(brake, -planner.config().max_brake - 1e-12);
+}
+
+TEST(Planner, Validation) {
+    PlannerConfig bad;
+    bad.max_accel = 0.0;
+    EXPECT_THROW(Planner{bad}, std::invalid_argument);
+    Planner planner;
+    EXPECT_THROW(planner.update_perception(99), std::out_of_range);
+}
+
+TEST(CurvatureLimitedSpeed, SlowsForCorners) {
+    // Straight then a tight r = 12 arc.
+    std::vector<Vec2> pts;
+    for (int i = 0; i <= 20; ++i) pts.push_back({3.0 * i, 0.0});
+    for (int i = 1; i <= 12; ++i) {
+        const double a = -1.5707963 + 1.5707963 * i / 12.0;
+        pts.push_back({60.0 + 12.0 * std::cos(a), 12.0 + 12.0 * std::sin(a)});
+    }
+    Route route("corner", std::move(pts), 12.0);
+    PlannerConfig cfg;
+    // Far from the corner: full limit.
+    EXPECT_NEAR(curvature_limited_speed(route, 0.0, cfg), 12.0, 1e-9);
+    // Just before the corner: limited to sqrt(a_lat * r) ~ sqrt(2.2 * 12).
+    const double at_corner = curvature_limited_speed(route, 55.0, cfg);
+    EXPECT_LT(at_corner, 7.0);
+    EXPECT_GT(at_corner, 3.0);
+}
+
+TEST(PurePursuit, SteersTowardOffsetRoute) {
+    Route route("r", {{0.0, 5.0}, {100.0, 5.0}}, 10.0);
+    EgoVehicle ego({0.0, 0.0}, 0.0);  // 5 m right of the route
+    ego.set_speed(5.0);
+    double s_hint = 0.0;
+    const double steer = pure_pursuit_steer(ego, route, s_hint, PlannerConfig{});
+    EXPECT_GT(steer, 0.05);  // steer left (positive) toward the route
+}
+
+TEST(PurePursuit, ConvergesOntoStraightRoute) {
+    Route route("r", {{0.0, 3.0}, {400.0, 3.0}}, 10.0);
+    EgoVehicle ego({0.0, 0.0}, 0.0);
+    ego.set_speed(8.0);
+    double s_hint = 0.0;
+    for (int i = 0; i < 600; ++i) {
+        const double steer = pure_pursuit_steer(ego, route, s_hint, PlannerConfig{});
+        ego.step(0.0, steer, 0.05);
+    }
+    EXPECT_NEAR(ego.position().y, 3.0, 0.3);
+    EXPECT_NEAR(ego.heading(), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mvreju::av

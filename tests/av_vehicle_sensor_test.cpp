@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "mvreju/av/sensor.hpp"
+#include "mvreju/av/vehicle.hpp"
+
+namespace mvreju::av {
+namespace {
+
+TEST(EgoVehicle, StraightLineMotion) {
+    EgoVehicle ego({0.0, 0.0}, 0.0);
+    for (int i = 0; i < 100; ++i) ego.step(1.0, 0.0, 0.1);  // 10 s at 1 m/s^2
+    EXPECT_NEAR(ego.speed(), 10.0, 1e-9);
+    // x = a t^2 / 2 with forward-Euler discretisation error.
+    EXPECT_NEAR(ego.position().x, 50.0, 1.1);
+    EXPECT_NEAR(ego.position().y, 0.0, 1e-9);
+}
+
+TEST(EgoVehicle, SpeedNeverNegative) {
+    EgoVehicle ego({0.0, 0.0}, 0.0);
+    ego.step(-5.0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(ego.speed(), 0.0);
+    ego.set_speed(-3.0);
+    EXPECT_DOUBLE_EQ(ego.speed(), 0.0);
+}
+
+TEST(EgoVehicle, SteeringTurnsLeft) {
+    EgoVehicle ego({0.0, 0.0}, 0.0);
+    ego.set_speed(5.0);
+    for (int i = 0; i < 50; ++i) ego.step(0.0, 0.3, 0.05);
+    EXPECT_GT(ego.heading(), 0.2);
+    EXPECT_GT(ego.position().y, 0.0);
+}
+
+TEST(EgoVehicle, Validation) {
+    EXPECT_THROW(EgoVehicle({0.0, 0.0}, 0.0, 0.0), std::invalid_argument);
+    EgoVehicle ego({0.0, 0.0}, 0.0);
+    EXPECT_THROW(ego.step(0.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(NpcVehicle, FollowsStopAndGoCycle) {
+    Route route("r", {{0.0, 0.0}, {500.0, 0.0}}, 10.0);
+    NpcProfile profile;
+    profile.cruise_speed = 8.0;
+    profile.cruise_time = 2.0;
+    profile.stop_time = 1.0;
+    NpcVehicle npc(route, 0.0, profile, 7);
+    bool seen_stopped = false;
+    bool seen_cruise = false;
+    double prev_s = 0.0;
+    for (int i = 0; i < 600; ++i) {  // 30 s
+        npc.step(0.05);
+        EXPECT_GE(npc.s(), prev_s);  // never reverses
+        prev_s = npc.s();
+        if (npc.speed() == 0.0) seen_stopped = true;
+        if (npc.speed() == profile.cruise_speed) seen_cruise = true;
+    }
+    EXPECT_TRUE(seen_stopped);
+    EXPECT_TRUE(seen_cruise);
+    EXPECT_GT(npc.s(), 50.0);
+}
+
+TEST(NpcVehicle, RejectsBadStart) {
+    Route route("r", {{0.0, 0.0}, {100.0, 0.0}}, 10.0);
+    EXPECT_THROW(NpcVehicle(route, -1.0, {}, 1), std::invalid_argument);
+    EXPECT_THROW(NpcVehicle(route, 200.0, {}, 1), std::invalid_argument);
+}
+
+TEST(Buckets, RoundTripConsistency) {
+    EXPECT_EQ(distance_to_bucket(100.0), 0);
+    EXPECT_EQ(distance_to_bucket(36.0), 1);
+    EXPECT_EQ(distance_to_bucket(5.0), 6);
+    EXPECT_EQ(distance_to_bucket(0.0), 7);
+    EXPECT_EQ(distance_to_bucket(-1.0), 7);
+    // Conservative mapping: representative distance <= any distance in the
+    // bucket (safety property used by the planner).
+    for (double d : {0.5, 3.0, 7.0, 12.0, 17.0, 25.0, 30.0, 40.0}) {
+        const int bucket = distance_to_bucket(d);
+        if (bucket > 0) {
+            EXPECT_LE(bucket_to_distance(bucket), d) << d;
+        }
+    }
+    EXPECT_THROW((void)bucket_to_distance(-1), std::out_of_range);
+    EXPECT_THROW((void)bucket_to_distance(8), std::out_of_range);
+}
+
+TEST(Buckets, MonotoneInDistance) {
+    int prev = 8;
+    for (double d = 0.0; d < 60.0; d += 0.5) {
+        const int b = distance_to_bucket(d);
+        EXPECT_LE(b, prev);  // farther -> never a nearer bucket
+        prev = b;
+    }
+}
+
+TEST(SensorGrid, ShapeAndCleanScene) {
+    SensorConfig cfg;
+    cfg.noise_sigma = 0.0;
+    util::Rng rng(1);
+    const Obb ego{{0.0, 0.0}, 2.25, 0.95, 0.0};
+    ml::Tensor grid = render_grid(ego, {}, cfg, rng);
+    EXPECT_EQ(grid.shape(), (std::vector<std::size_t>{2, cfg.grid, cfg.grid}));
+    // Channel 0 empty, channel 1 is the distance ramp.
+    for (std::size_t r = 0; r < cfg.grid; ++r)
+        for (std::size_t c = 0; c < cfg.grid; ++c) EXPECT_EQ(grid.at3(0, r, c), 0.0f);
+    EXPECT_GT(grid.at3(1, 0, 0), grid.at3(1, cfg.grid - 1, 0));
+}
+
+TEST(SensorGrid, VehicleAppearsAtExpectedRow) {
+    SensorConfig cfg;
+    cfg.noise_sigma = 0.0;
+    util::Rng rng(2);
+    const Obb ego{{0.0, 0.0}, 2.25, 0.95, 0.0};
+    const Obb lead{{24.0, 0.0}, 2.25, 0.95, 0.0};  // centre 24 m ahead
+    ml::Tensor grid = render_grid(ego, {{lead}}, cfg, rng);
+    // 24 m ahead of a 48 m range with 12 rows: row index ~ (48-24)/4 = 6.
+    double occupancy_row6 = 0.0;
+    double occupancy_row0 = 0.0;
+    for (std::size_t c = 0; c < cfg.grid; ++c) {
+        occupancy_row6 += grid.at3(0, 6, c);
+        occupancy_row0 += grid.at3(0, 0, c);
+    }
+    EXPECT_GT(occupancy_row6, 0.0);
+    EXPECT_EQ(occupancy_row0, 0.0);
+}
+
+TEST(SensorGrid, BehindAndOutOfRangeInvisible) {
+    SensorConfig cfg;
+    cfg.noise_sigma = 0.0;
+    util::Rng rng(3);
+    const Obb ego{{0.0, 0.0}, 2.25, 0.95, 0.0};
+    for (const Obb& other :
+         {Obb{{-20.0, 0.0}, 2.25, 0.95, 0.0}, Obb{{80.0, 0.0}, 2.25, 0.95, 0.0},
+          Obb{{20.0, 30.0}, 2.25, 0.95, 0.0}}) {
+        ml::Tensor grid = render_grid(ego, {{other}}, cfg, rng);
+        double total = 0.0;
+        for (std::size_t r = 0; r < cfg.grid; ++r)
+            for (std::size_t c = 0; c < cfg.grid; ++c) total += grid.at3(0, r, c);
+        EXPECT_EQ(total, 0.0);
+    }
+}
+
+TEST(GroundTruth, BumperToBumperGap) {
+    SensorConfig cfg;
+    const Obb ego{{0.0, 0.0}, 2.25, 0.95, 0.0};
+    const Obb lead{{24.0, 0.0}, 2.25, 0.95, 0.0};
+    // Gap = 24 - 2.25 - 2.25 = 19.5.
+    EXPECT_NEAR(ground_truth_distance(ego, {{lead}}, cfg), 19.5, 1e-9);
+    // Off-corridor vehicle ignored.
+    const Obb side{{24.0, 6.0}, 2.25, 0.95, 0.0};
+    EXPECT_TRUE(std::isinf(ground_truth_distance(ego, {{side}}, cfg)));
+    // Nearest of several.
+    const Obb close{{10.0, 0.3}, 2.25, 0.95, 0.0};
+    EXPECT_NEAR(ground_truth_distance(ego, {{lead, close}}, cfg), 5.5, 1e-9);
+}
+
+TEST(DetectorDataset, LabelsMatchGroundTruthConstruction) {
+    SensorConfig cfg;
+    ml::Dataset ds = make_detector_dataset(400, cfg, 9);
+    EXPECT_EQ(ds.size(), 400u);
+    EXPECT_EQ(ds.num_classes, kDistanceBuckets);
+    int clear = 0;
+    for (int label : ds.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, kDistanceBuckets);
+        if (label == 0) ++clear;
+    }
+    // Mixture: some clear scenes, some hazards.
+    EXPECT_GT(clear, 40);
+    EXPECT_LT(clear, 360);
+    EXPECT_THROW((void)make_detector_dataset(0, cfg, 1), std::invalid_argument);
+}
+
+TEST(DetectorDataset, DeterministicUnderSeed) {
+    SensorConfig cfg;
+    ml::Dataset a = make_detector_dataset(20, cfg, 11);
+    ml::Dataset b = make_detector_dataset(20, cfg, 11);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.labels[i], b.labels[i]);
+        EXPECT_EQ(a.images[i], b.images[i]);
+    }
+}
+
+}  // namespace
+}  // namespace mvreju::av

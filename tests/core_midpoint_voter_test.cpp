@@ -1,0 +1,91 @@
+#include "mvreju/core/midpoint_voter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::core {
+namespace {
+
+using Proposals = std::vector<std::optional<double>>;
+
+TEST(MidpointVoter, NoProposalsNoOutput) {
+    MidpointVoter voter;
+    EXPECT_EQ(voter.vote({}).kind, VoteKind::no_output);
+    EXPECT_EQ(voter.vote({std::nullopt, std::nullopt}).kind, VoteKind::no_output);
+}
+
+TEST(MidpointVoter, AgreeingProposalsPassThrough) {
+    MidpointVoter voter(1);
+    const auto result = voter.vote({2.0, 2.0, 2.0});
+    ASSERT_EQ(result.kind, VoteKind::decided);
+    EXPECT_DOUBLE_EQ(result.value, 2.0);
+    EXPECT_FALSE(result.degraded);
+}
+
+TEST(MidpointVoter, OneOutlierIsDiscarded) {
+    MidpointVoter voter(1);
+    // Correct modules say ~10; one faulty module screams 1e6.
+    const auto high = voter.vote({10.0, 10.4, 1e6});
+    EXPECT_GE(high.value, 10.0);
+    EXPECT_LE(high.value, 10.4);
+    const auto low = voter.vote({-1e6, 10.0, 10.4});
+    EXPECT_GE(low.value, 10.0);
+    EXPECT_LE(low.value, 10.4);
+}
+
+TEST(MidpointVoter, ValueWithinCorrectRangeProperty) {
+    // Fuzz: with 2f+1 proposals of which f are arbitrary, the output always
+    // lies within [min, max] of the correct values.
+    util::Rng rng(5);
+    for (std::size_t f : {1u, 2u}) {
+        MidpointVoter voter(f);
+        for (int trial = 0; trial < 500; ++trial) {
+            Proposals proposals;
+            double lo = 1e18;
+            double hi = -1e18;
+            for (std::size_t i = 0; i < f + 1; ++i) {  // correct modules
+                const double v = rng.uniform(-5.0, 5.0);
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+                proposals.emplace_back(v);
+            }
+            for (std::size_t i = 0; i < f; ++i)  // Byzantine modules
+                proposals.emplace_back(rng.uniform(-1e9, 1e9));
+            const auto result = voter.vote(proposals);
+            ASSERT_EQ(result.kind, VoteKind::decided);
+            EXPECT_GE(result.value, lo);
+            EXPECT_LE(result.value, hi);
+            EXPECT_FALSE(result.degraded);
+        }
+    }
+}
+
+TEST(MidpointVoter, DegradedPoolFlagged) {
+    MidpointVoter voter(1);
+    const auto two = voter.vote({3.0, 5.0, std::nullopt});
+    EXPECT_TRUE(two.degraded);  // 2 < 2f+1 = 3
+    EXPECT_DOUBLE_EQ(two.value, 4.0);  // cannot discard: plain midpoint
+    const auto one = voter.vote({std::nullopt, 7.0});
+    EXPECT_TRUE(one.degraded);
+    EXPECT_DOUBLE_EQ(one.value, 7.0);
+}
+
+TEST(MidpointVoter, FaultToleranceScalesWithF) {
+    MidpointVoter voter(2);
+    // 5 proposals, 2 Byzantine extremes on the same side.
+    const auto result = voter.vote({1.0, 1.2, 1.4, 900.0, 901.0});
+    EXPECT_GE(result.value, 1.0);
+    EXPECT_LE(result.value, 1.4);
+}
+
+TEST(MidpointVoter, MidpointIsNotTheMedian) {
+    MidpointVoter voter(1);
+    // Survivors after discarding one per side: {1, 9} -> midpoint 5 (a
+    // median voter would answer 8 here; midpoint bounds the range instead).
+    const auto result = voter.vote({0.0, 1.0, 8.0, 9.0, 100.0});
+    EXPECT_DOUBLE_EQ(result.value, 5.0);
+}
+
+}  // namespace
+}  // namespace mvreju::core

@@ -1,0 +1,142 @@
+#include "mvreju/core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace mvreju::core {
+namespace {
+
+using namespace std::chrono_literals;
+using IntRuntime = RuntimeSystem<int, int>;
+
+IntRuntime::ModuleFn echo() {
+    return [](const int& x) { return x; };
+}
+
+IntRuntime::ModuleFn constant(int value) {
+    return [value](const int&) { return value; };
+}
+
+IntRuntime::ModuleFn hang(std::chrono::milliseconds duration) {
+    return [duration](const int& x) {
+        std::this_thread::sleep_for(duration);
+        return x;
+    };
+}
+
+TEST(RuntimeSystem, ValidatesConstruction) {
+    EXPECT_THROW(IntRuntime({}, Voter<int>{}), std::invalid_argument);
+    std::vector<IntRuntime::ModuleFn> with_null{echo(), nullptr};
+    EXPECT_THROW(IntRuntime(std::move(with_null), Voter<int>{}), std::invalid_argument);
+}
+
+TEST(RuntimeSystem, HealthyMajorityDecides) {
+    IntRuntime runtime({echo(), echo(), echo()}, Voter<int>{});
+    const auto result = runtime.process(42);
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 42);
+    for (std::size_t m = 0; m < 3; ++m) EXPECT_EQ(runtime.timeouts(m), 0u);
+}
+
+TEST(RuntimeSystem, FaultyModuleIsOutvoted) {
+    IntRuntime runtime({echo(), constant(-1), echo()}, Voter<int>{});
+    const auto result = runtime.process(7);
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 7);
+}
+
+TEST(RuntimeSystem, CrashingModuleSubmitsNothing) {
+    auto crash = [](const int&) -> int { throw std::runtime_error("boom"); };
+    IntRuntime runtime({echo(), crash, echo()}, Voter<int>{});
+    const auto result = runtime.process(5);
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 5);
+    EXPECT_EQ(runtime.timeouts(1), 1u);  // missed its deadline
+}
+
+TEST(RuntimeSystem, NonResponsiveModuleDetectedByDeadline) {
+    IntRuntime::Options opt;
+    opt.deadline = 40ms;
+    IntRuntime runtime({echo(), hang(400ms), echo()}, Voter<int>{}, opt);
+    const auto result = runtime.process(9);
+    ASSERT_TRUE(result.decided());  // the two healthy modules agree
+    EXPECT_EQ(*result.value, 9);
+    EXPECT_EQ(runtime.timeouts(1), 1u);
+    // A second frame while module 1 is still wedged: busy-drop counted too.
+    const auto again = runtime.process(10);
+    ASSERT_TRUE(again.decided());
+    EXPECT_EQ(runtime.timeouts(1), 2u);
+}
+
+TEST(RuntimeSystem, StragglerIsDiscardedNotCorrupting) {
+    IntRuntime::Options opt;
+    opt.deadline = 30ms;
+    IntRuntime runtime({echo(), hang(120ms), echo()}, Voter<int>{}, opt);
+    (void)runtime.process(1);
+    // Wait for the straggler to wake up and write into the closed frame.
+    std::this_thread::sleep_for(200ms);
+    // Its worker is idle again and the next frame works normally (module 1
+    // hangs afresh on every call, so it times out again -- but cleanly).
+    const auto result = runtime.process(2);
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 2);
+    EXPECT_EQ(runtime.timeouts(1), 2u);
+}
+
+TEST(RuntimeSystem, RejuvenationSwapsIdleModule) {
+    IntRuntime runtime({echo(), constant(-1), echo()}, Voter<int>{});
+    runtime.rejuvenate(1, echo());
+    EXPECT_EQ(runtime.rejuvenations(), 1u);
+    const auto result = runtime.process(3);
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 3);
+    EXPECT_THROW(runtime.rejuvenate(9, echo()), std::out_of_range);
+    EXPECT_THROW(runtime.rejuvenate(0, nullptr), std::invalid_argument);
+}
+
+TEST(RuntimeSystem, RejuvenationRecoversWedgedModule) {
+    IntRuntime::Options opt;
+    opt.deadline = 30ms;
+    IntRuntime runtime({echo(), hang(10s), echo()}, Voter<int>{}, opt);
+    (void)runtime.process(1);                 // module 1 wedges for 10 s
+    EXPECT_EQ(runtime.timeouts(1), 1u);
+    runtime.rejuvenate(1, echo());            // detach + fresh worker
+    const auto result = runtime.process(4);
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 4);
+    EXPECT_EQ(runtime.timeouts(1), 1u);       // fresh worker responds in time
+}
+
+TEST(RuntimeSystem, AllModulesDownGivesNoOutput) {
+    IntRuntime::Options opt;
+    opt.deadline = 20ms;
+    IntRuntime runtime({hang(300ms), hang(300ms)}, Voter<int>{}, opt);
+    const auto result = runtime.process(1);
+    EXPECT_EQ(result.kind, VoteKind::no_output);
+}
+
+TEST(RuntimeSystem, TwoModuleDisagreementSkips) {
+    IntRuntime runtime({constant(1), constant(2)}, Voter<int>{});
+    EXPECT_EQ(runtime.process(0).kind, VoteKind::skipped);
+}
+
+TEST(RuntimeSystem, ManySequentialFramesStayConsistent) {
+    std::atomic<int> calls{0};
+    auto counting = [&calls](const int& x) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return x * 2;
+    };
+    IntRuntime runtime({counting, counting, counting}, Voter<int>{});
+    for (int i = 0; i < 200; ++i) {
+        const auto result = runtime.process(i);
+        ASSERT_TRUE(result.decided());
+        EXPECT_EQ(*result.value, i * 2);
+    }
+    EXPECT_EQ(calls.load(), 600);
+}
+
+}  // namespace
+}  // namespace mvreju::core

@@ -1,0 +1,129 @@
+#include "mvreju/core/system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvreju::core {
+namespace {
+
+/// A version whose healthy behaviour returns the input and whose
+/// compromised behaviour returns a module-specific wrong answer.
+VersionSpec<int, int> echo_version(int wrong_answer) {
+    VersionSpec<int, int> spec;
+    spec.healthy = [](const int& x) { return x; };
+    spec.compromised = [wrong_answer](const int&) { return wrong_answer; };
+    return spec;
+}
+
+HealthEngineConfig slow_config(std::uint64_t seed) {
+    HealthEngineConfig cfg;
+    cfg.modules = 3;
+    cfg.seed = seed;
+    cfg.timing.mttc = 1e9;  // effectively frozen health unless forced
+    cfg.timing.mttf = 1e9;
+    return cfg;
+}
+
+MultiVersionSystem<int, int> make_system(std::uint64_t seed) {
+    std::vector<VersionSpec<int, int>> versions{echo_version(-1), echo_version(-2),
+                                                echo_version(-3)};
+    return {std::move(versions), Voter<int>{}, HealthEngine{slow_config(seed)}};
+}
+
+TEST(MultiVersionSystem, AllHealthyDecidesCorrectly) {
+    auto system = make_system(1);
+    const auto frame = system.process(1.0, 42);
+    EXPECT_TRUE(frame.vote.decided());
+    EXPECT_EQ(*frame.vote.value, 42);
+    EXPECT_EQ(frame.functional_modules, 3);
+}
+
+TEST(MultiVersionSystem, MasksOneCompromisedModule) {
+    auto system = make_system(2);
+    system.health().force_compromise(0);
+    const auto frame = system.process(1.0, 42);
+    EXPECT_TRUE(frame.vote.decided());
+    EXPECT_EQ(*frame.vote.value, 42);  // two healthy outvote the faulty one
+}
+
+TEST(MultiVersionSystem, TwoCompromisedDistinctOutputsSkip) {
+    auto system = make_system(3);
+    system.health().force_compromise(0);
+    system.health().force_compromise(1);
+    const auto frame = system.process(1.0, 42);
+    // Proposals: -1, -2, 42 -> all distinct -> safe skip.
+    EXPECT_EQ(frame.vote.kind, VoteKind::skipped);
+}
+
+TEST(MultiVersionSystem, DegradesToTwoVersionOnCrash) {
+    auto system = make_system(4);
+    system.health().force_failure(2);
+    const auto frame = system.process(0.1, 7);
+    EXPECT_EQ(frame.functional_modules, 2);
+    EXPECT_TRUE(frame.vote.decided());
+    EXPECT_EQ(*frame.vote.value, 7);
+}
+
+TEST(MultiVersionSystem, SingleSurvivorStillAnswers) {
+    auto system = make_system(5);
+    system.health().force_failure(0);
+    system.health().force_failure(1);
+    // Query immediately: reactive rejuvenation must not have completed yet.
+    const auto frame = system.process(1e-9, 9);
+    EXPECT_EQ(frame.functional_modules, 1);
+    EXPECT_TRUE(frame.vote.decided());
+    EXPECT_EQ(*frame.vote.value, 9);
+}
+
+TEST(MultiVersionSystem, NoFunctionalModulesNoOutput) {
+    auto system = make_system(6);
+    for (int m = 0; m < 3; ++m) system.health().force_failure(m);
+    const auto frame = system.process(0.0001, 1);
+    EXPECT_EQ(frame.vote.kind, VoteKind::no_output);
+    EXPECT_EQ(frame.functional_modules, 0);
+}
+
+TEST(MultiVersionSystem, CompromisedAgreementProducesWrongOutput) {
+    // Two compromised modules that happen to agree outvote the healthy one:
+    // exactly the failure mode the reliability analysis quantifies.
+    std::vector<VersionSpec<int, int>> versions{echo_version(-9), echo_version(-9),
+                                                echo_version(-3)};
+    MultiVersionSystem<int, int> system(std::move(versions), Voter<int>{},
+                                        HealthEngine{slow_config(7)});
+    system.health().force_compromise(0);
+    system.health().force_compromise(1);
+    const auto frame = system.process(1.0, 42);
+    ASSERT_TRUE(frame.vote.decided());
+    EXPECT_EQ(*frame.vote.value, -9);
+}
+
+TEST(MultiVersionSystem, ValidatesConstruction) {
+    std::vector<VersionSpec<int, int>> two{echo_version(-1), echo_version(-2)};
+    EXPECT_THROW((MultiVersionSystem<int, int>{std::move(two), Voter<int>{},
+                                               HealthEngine{slow_config(8)}}),
+                 std::invalid_argument);
+    std::vector<VersionSpec<int, int>> missing(3);
+    EXPECT_THROW((MultiVersionSystem<int, int>{std::move(missing), Voter<int>{},
+                                               HealthEngine{slow_config(9)}}),
+                 std::invalid_argument);
+}
+
+TEST(MultiVersionSystem, RejuvenationRestoresCorrectness) {
+    HealthEngineConfig cfg = slow_config(10);
+    cfg.timing.reactive_duration = 0.5;
+    std::vector<VersionSpec<int, int>> versions{echo_version(-9), echo_version(-9),
+                                                echo_version(-3)};
+    MultiVersionSystem<int, int> system(std::move(versions), Voter<int>{},
+                                        HealthEngine{cfg});
+    system.health().force_compromise(0);
+    system.health().force_compromise(1);
+    EXPECT_EQ(*system.process(0.1, 42).vote.value, -9);  // wrong output
+    // Crash both compromised modules: reactive rejuvenation heals them.
+    system.health().force_failure(0);
+    system.health().force_failure(1);
+    const auto later = system.process(100.0, 42);
+    ASSERT_TRUE(later.vote.decided());
+    EXPECT_EQ(*later.vote.value, 42);
+}
+
+}  // namespace
+}  // namespace mvreju::core

@@ -1,0 +1,163 @@
+#include "mvreju/core/voter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::core {
+namespace {
+
+using IntVoter = Voter<int>;
+using Proposals = std::vector<std::optional<int>>;
+
+TEST(Voter, NoProposalsGivesNoOutput) {
+    IntVoter voter;
+    EXPECT_EQ(voter.vote(Proposals{}).kind, VoteKind::no_output);
+    EXPECT_EQ(voter.vote(Proposals{std::nullopt, std::nullopt, std::nullopt}).kind,
+              VoteKind::no_output);
+}
+
+TEST(Voter, RuleR3SingleProposalAccepted) {
+    IntVoter voter;
+    const auto result = voter.vote({std::nullopt, 7, std::nullopt});
+    EXPECT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 7);
+}
+
+TEST(Voter, RuleR2AgreementAndSkip) {
+    IntVoter voter;
+    const auto agree = voter.vote({5, 5, std::nullopt});
+    EXPECT_TRUE(agree.decided());
+    EXPECT_EQ(*agree.value, 5);
+    const auto disagree = voter.vote({5, 6, std::nullopt});
+    EXPECT_EQ(disagree.kind, VoteKind::skipped);
+    EXPECT_FALSE(disagree.value.has_value());
+}
+
+TEST(Voter, RuleR1MajorityOutvotesFaultyModule) {
+    IntVoter voter;
+    const auto result = voter.vote({3, 9, 3});
+    EXPECT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 3);
+}
+
+TEST(Voter, RuleR1AllDifferentSkips) {
+    IntVoter voter;
+    EXPECT_EQ(voter.vote({1, 2, 3}).kind, VoteKind::skipped);
+}
+
+TEST(Voter, UnanimitySkipsOnAnyDisagreement) {
+    IntVoter voter(VotingScheme::unanimity);
+    EXPECT_TRUE(voter.vote({4, 4, 4}).decided());
+    EXPECT_EQ(voter.vote({4, 4, 5}).kind, VoteKind::skipped);
+    // Majority would have decided here:
+    IntVoter majority;
+    EXPECT_TRUE(majority.vote({4, 4, 5}).decided());
+    // Single proposal still accepted under unanimity (R.3 analogue).
+    EXPECT_TRUE(voter.vote({std::nullopt, 4, std::nullopt}).decided());
+}
+
+TEST(Voter, ApproximateAgreementPredicate) {
+    struct Near {
+        bool operator()(double a, double b) const { return std::fabs(a - b) < 0.5; }
+    };
+    Voter<double, Near> voter;
+    const auto result =
+        voter.vote(std::vector<std::optional<double>>{1.0, 1.3, 9.0});
+    EXPECT_TRUE(result.decided());
+    EXPECT_NEAR(*result.value, 1.0, 0.31);
+    EXPECT_EQ(voter.vote(std::vector<std::optional<double>>{1.0, 2.0, 9.0}).kind,
+              VoteKind::skipped);
+}
+
+TEST(Voter, MajorityValueIsASupportedProposal) {
+    IntVoter voter;
+    const auto result = voter.vote({8, 8, 1});
+    ASSERT_TRUE(result.decided());
+    EXPECT_EQ(*result.value, 8);
+}
+
+// Property sweep: with k identical correct proposals and 3-k distinct wrong
+// ones, the majority voter decides correctly iff k >= 2, and never outputs
+// a value nobody proposed.
+class VoterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VoterProperty, TwoAgreeingProposalsSuffice) {
+    const int k = GetParam();
+    Proposals proposals;
+    for (int i = 0; i < k; ++i) proposals.emplace_back(42);
+    for (int i = k; i < 3; ++i) proposals.emplace_back(100 + i);  // distinct wrong
+    IntVoter voter;
+    const auto result = voter.vote(proposals);
+    if (k >= 2) {
+        ASSERT_TRUE(result.decided());
+        EXPECT_EQ(*result.value, 42);
+    } else {
+        EXPECT_EQ(result.kind, VoteKind::skipped);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AgreementCounts, VoterProperty, ::testing::Values(0, 1, 2, 3));
+
+TEST(Voter, StrictMajorityNeedsMoreThanHalf) {
+    IntVoter strict(VotingScheme::strict_majority);
+    // 2 of 5 agreeing: paper-majority decides, strict does not.
+    Proposals two_of_five{9, 9, 1, 2, 3};
+    EXPECT_TRUE(IntVoter{}.vote(two_of_five).decided());
+    EXPECT_EQ(strict.vote(two_of_five).kind, VoteKind::skipped);
+    // 3 of 5 agreeing: strict majority decides.
+    const auto three_of_five = strict.vote({9, 9, 9, 1, 2});
+    ASSERT_TRUE(three_of_five.decided());
+    EXPECT_EQ(*three_of_five.value, 9);
+    // With 3 functional modules strict majority coincides with the paper's
+    // 2-agree rule.
+    EXPECT_TRUE(strict.vote({4, 4, 7}).decided());
+    EXPECT_EQ(strict.vote({4, 5, 7}).kind, VoteKind::skipped);
+    // Degraded pool: 2 functional -> both must agree; 1 -> accepted.
+    EXPECT_TRUE(strict.vote({4, 4, std::nullopt, std::nullopt, std::nullopt}).decided());
+    EXPECT_EQ(strict.vote({4, 5, std::nullopt, std::nullopt, std::nullopt}).kind,
+              VoteKind::skipped);
+    EXPECT_TRUE(strict.vote({std::nullopt, 4, std::nullopt, std::nullopt, std::nullopt})
+                    .decided());
+}
+
+// Property: a strict-majority decision is always also a paper-majority
+// decision (strictness only removes decisions, never adds them), and both
+// never output a value that fewer than the required supporters proposed.
+class StrictVsPaper : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrictVsPaper, StrictDecisionsAreSubset) {
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    IntVoter paper;
+    IntVoter strict(VotingScheme::strict_majority);
+    for (int trial = 0; trial < 200; ++trial) {
+        Proposals proposals;
+        const std::size_t n = 1 + rng.uniform_int(5);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rng.bernoulli(0.2)) proposals.emplace_back(std::nullopt);
+            else proposals.emplace_back(static_cast<int>(rng.uniform_int(3)));
+        }
+        const auto s = strict.vote(proposals);
+        const auto p = paper.vote(proposals);
+        if (s.decided()) {
+            EXPECT_TRUE(p.decided());
+            // The strict winner enjoys >half support.
+            std::size_t supporters = 0;
+            std::size_t active = 0;
+            for (const auto& proposal : proposals) {
+                if (!proposal) continue;
+                ++active;
+                if (*proposal == *s.value) ++supporters;
+            }
+            EXPECT_GT(2 * supporters, active);
+        }
+        EXPECT_EQ(s.kind == VoteKind::no_output, p.kind == VoteKind::no_output);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrictVsPaper, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace mvreju::core

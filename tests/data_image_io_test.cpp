@@ -1,0 +1,69 @@
+#include "mvreju/data/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "mvreju/data/signs.hpp"
+
+namespace mvreju::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ImageIo, PpmRoundTrip) {
+    const fs::path path = fs::temp_directory_path() / "mvreju_sign.ppm";
+    SignPose pose;
+    pose.noise_sigma = 0.05;
+    pose.noise_seed = 3;
+    const ml::Tensor original = render_sign(5, 16, pose);
+    write_ppm(original, path);
+    const ml::Tensor reloaded = read_ppm(path);
+    ASSERT_EQ(reloaded.shape(), original.shape());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_NEAR(reloaded[i], original[i], 1.0 / 255.0);  // 8-bit quantisation
+    fs::remove(path);
+}
+
+TEST(ImageIo, ClampsOutOfRangeValues) {
+    const fs::path path = fs::temp_directory_path() / "mvreju_clamp.ppm";
+    ml::Tensor image({3, 2, 2});
+    image[0] = -2.0f;
+    image[1] = 3.0f;
+    write_ppm(image, path);
+    const ml::Tensor reloaded = read_ppm(path);
+    EXPECT_EQ(reloaded[0], 0.0f);
+    EXPECT_EQ(reloaded[1], 1.0f);
+    fs::remove(path);
+}
+
+TEST(ImageIo, PgmWritesSingleChannel) {
+    const fs::path path = fs::temp_directory_path() / "mvreju_gray.pgm";
+    ml::Tensor image({1, 4, 4}, 0.5f);
+    write_pgm(image, path);
+    EXPECT_GT(fs::file_size(path), 10u);
+    fs::remove(path);
+}
+
+TEST(ImageIo, ValidatesShapes) {
+    ml::Tensor wrong({2, 4, 4});
+    EXPECT_THROW(write_ppm(wrong, "x.ppm"), std::invalid_argument);
+    EXPECT_THROW(write_pgm(wrong, "x.pgm"), std::invalid_argument);
+    EXPECT_THROW((void)read_ppm("/nonexistent_zz.ppm"), std::runtime_error);
+    ml::Tensor rgb({3, 2, 2});
+    EXPECT_THROW(write_ppm(rgb, "/nonexistent_dir_zz/x.ppm"), std::runtime_error);
+}
+
+TEST(ImageIo, RejectsForeignHeaders) {
+    const fs::path path = fs::temp_directory_path() / "mvreju_bad.ppm";
+    {
+        std::ofstream out(path);
+        out << "P3\n2 2\n255\n";  // ASCII PPM: unsupported
+    }
+    EXPECT_THROW((void)read_ppm(path), std::runtime_error);
+    fs::remove(path);
+}
+
+}  // namespace
+}  // namespace mvreju::data

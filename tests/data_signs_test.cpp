@@ -1,0 +1,152 @@
+#include "mvreju/data/signs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mvreju::data {
+namespace {
+
+TEST(Signs, LabelEncodingRoundTrip) {
+    std::set<int> labels;
+    for (int s = 0; s < 4; ++s)
+        for (int g = 0; g < 4; ++g)
+            labels.insert(sign_label(static_cast<SignShape>(s), static_cast<SignGlyph>(g)));
+    EXPECT_EQ(labels.size(), static_cast<std::size_t>(kSignClasses));
+    EXPECT_EQ(*labels.begin(), 0);
+    EXPECT_EQ(*labels.rbegin(), kSignClasses - 1);
+}
+
+TEST(Signs, ClassNamesAreDistinct) {
+    std::set<std::string> names;
+    for (int label = 0; label < kSignClasses; ++label)
+        names.insert(sign_class_name(label));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kSignClasses));
+    EXPECT_THROW((void)sign_class_name(-1), std::out_of_range);
+    EXPECT_THROW((void)sign_class_name(kSignClasses), std::out_of_range);
+}
+
+TEST(RenderSign, ShapeAndRange) {
+    SignPose pose;
+    ml::Tensor img = render_sign(0, 16, pose);
+    EXPECT_EQ(img.shape(), (std::vector<std::size_t>{3, 16, 16}));
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        EXPECT_GE(img[i], 0.0f);
+        EXPECT_LE(img[i], 1.0f);
+    }
+    EXPECT_THROW((void)render_sign(99, 16, pose), std::out_of_range);
+    EXPECT_THROW((void)render_sign(0, 4, pose), std::invalid_argument);
+}
+
+TEST(RenderSign, DeterministicUnderPose) {
+    SignPose pose;
+    pose.noise_sigma = 0.1;
+    pose.noise_seed = 77;
+    EXPECT_EQ(render_sign(3, 16, pose), render_sign(3, 16, pose));
+}
+
+TEST(RenderSign, DifferentClassesProduceDifferentImages) {
+    SignPose pose;  // no noise
+    for (int a = 0; a < kSignClasses; ++a) {
+        for (int b = a + 1; b < kSignClasses; ++b) {
+            EXPECT_NE(render_sign(a, 16, pose), render_sign(b, 16, pose))
+                << "classes " << a << " and " << b << " render identically";
+        }
+    }
+}
+
+TEST(RenderSign, CircleHasRedBorderPixels) {
+    SignPose pose;  // centred, radius 6, no noise
+    ml::Tensor img = render_sign(sign_label(SignShape::circle, SignGlyph::dot), 16, pose);
+    // A pixel on the ring (x = center + radius - 1) must be strongly red.
+    const float r = img.at3(0, 8, 13);
+    const float g = img.at3(1, 8, 13);
+    EXPECT_GT(r, 0.6f);
+    EXPECT_LT(g, 0.3f);
+    // The centre is glyph-dark.
+    EXPECT_LT(img.at3(0, 8, 8), 0.2f);
+}
+
+TEST(RenderSign, BrightnessScalesIntensity) {
+    SignPose dim;
+    dim.brightness = 0.5;
+    SignPose bright;
+    bright.brightness = 1.2;
+    ml::Tensor a = render_sign(0, 16, dim);
+    ml::Tensor b = render_sign(0, 16, bright);
+    double mean_a = 0.0;
+    double mean_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        mean_a += a[i];
+        mean_b += b[i];
+    }
+    EXPECT_LT(mean_a, mean_b);
+}
+
+TEST(Dataset, SplitSizesAndBalance) {
+    SignDatasetConfig cfg;
+    cfg.train_count = 160;
+    cfg.test_count = 64;
+    auto ds = make_traffic_signs(cfg);
+    EXPECT_EQ(ds.train.size(), 160u);
+    EXPECT_EQ(ds.test.size(), 64u);
+    EXPECT_EQ(ds.train.num_classes, kSignClasses);
+    std::vector<int> counts(kSignClasses, 0);
+    for (int label : ds.train.labels) ++counts[static_cast<std::size_t>(label)];
+    for (int c : counts) EXPECT_EQ(c, 10);  // balanced round-robin
+}
+
+TEST(Dataset, TestSplitIndependentOfTrainCount) {
+    SignDatasetConfig small;
+    small.train_count = 16;
+    small.test_count = 32;
+    SignDatasetConfig large = small;
+    large.train_count = 160;
+    auto a = make_traffic_signs(small);
+    auto b = make_traffic_signs(large);
+    ASSERT_EQ(a.test.size(), b.test.size());
+    for (std::size_t i = 0; i < a.test.size(); ++i)
+        EXPECT_EQ(a.test.images[i], b.test.images[i]) << "test image " << i;
+}
+
+TEST(Dataset, SeedChangesData) {
+    SignDatasetConfig a;
+    a.train_count = 16;
+    a.test_count = 16;
+    SignDatasetConfig b = a;
+    b.seed = 39;
+    EXPECT_NE(make_traffic_signs(a).train.images[0],
+              make_traffic_signs(b).train.images[0]);
+}
+
+TEST(Dataset, InvalidConfigsRejected) {
+    SignDatasetConfig cfg;
+    cfg.train_count = 0;
+    EXPECT_THROW((void)make_traffic_signs(cfg), std::invalid_argument);
+    cfg.train_count = 16;
+    cfg.noise_min = 0.5;
+    cfg.noise_max = 0.1;
+    EXPECT_THROW((void)make_traffic_signs(cfg), std::invalid_argument);
+}
+
+// Property sweep: every class renders with its glyph visible (a dark pixel
+// strictly inside the sign) across a range of poses.
+class GlyphVisibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlyphVisibility, DarkGlyphPixelExists) {
+    const int label = GetParam();
+    SignPose pose;
+    pose.radius = 6.5;
+    ml::Tensor img = render_sign(label, 16, pose);
+    bool found_dark = false;
+    for (std::size_t y = 4; y < 12 && !found_dark; ++y)
+        for (std::size_t x = 4; x < 12 && !found_dark; ++x)
+            if (img.at3(0, y, x) < 0.2f && img.at3(1, y, x) < 0.2f) found_dark = true;
+    EXPECT_TRUE(found_dark) << sign_class_name(label);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, GlyphVisibility,
+                         ::testing::Range(0, kSignClasses));
+
+}  // namespace
+}  // namespace mvreju::data

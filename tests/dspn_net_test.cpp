@@ -1,0 +1,185 @@
+#include "mvreju/dspn/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/dspn/dot.hpp"
+
+namespace mvreju::dspn {
+namespace {
+
+PetriNet simple_chain() {
+    // a --T--> b with one initial token in a.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto t = net.add_exponential("T", 2.0);
+    net.add_input_arc(t, a);
+    net.add_output_arc(t, b);
+    return net;
+}
+
+TEST(PetriNet, InitialMarkingReflectsPlaces) {
+    PetriNet net;
+    net.add_place("x", 3);
+    net.add_place("y");
+    const Marking m = net.initial_marking();
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0], 3);
+    EXPECT_EQ(m[1], 0);
+}
+
+TEST(PetriNet, EnablingRequiresTokens) {
+    PetriNet net = simple_chain();
+    const TransitionId t{0};
+    EXPECT_TRUE(net.enabled(t, {1, 0}));
+    EXPECT_FALSE(net.enabled(t, {0, 1}));
+}
+
+TEST(PetriNet, FireMovesTokens) {
+    PetriNet net = simple_chain();
+    const Marking next = net.fire(TransitionId{0}, {1, 0});
+    EXPECT_EQ(next[0], 0);
+    EXPECT_EQ(next[1], 1);
+}
+
+TEST(PetriNet, FireDisabledThrows) {
+    PetriNet net = simple_chain();
+    EXPECT_THROW((void)net.fire(TransitionId{0}, {0, 0}), std::logic_error);
+}
+
+TEST(PetriNet, MultiplicityEnabling) {
+    PetriNet net;
+    auto a = net.add_place("a", 3);
+    auto b = net.add_place("b");
+    auto t = net.add_exponential("T", 1.0);
+    net.add_input_arc(t, a, 2);
+    net.add_output_arc(t, b, 5);
+    EXPECT_FALSE(net.enabled(t, {1, 0}));
+    EXPECT_TRUE(net.enabled(t, {2, 0}));
+    const Marking next = net.fire(t, {3, 0});
+    EXPECT_EQ(next[0], 1);
+    EXPECT_EQ(next[1], 5);
+}
+
+TEST(PetriNet, InhibitorDisables) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto blocker = net.add_place("blocker");
+    auto t = net.add_exponential("T", 1.0);
+    net.add_input_arc(t, a);
+    net.add_inhibitor_arc(t, blocker, 2);
+    EXPECT_TRUE(net.enabled(t, {1, 0}));
+    EXPECT_TRUE(net.enabled(t, {1, 1}));   // below threshold
+    EXPECT_FALSE(net.enabled(t, {1, 2}));  // at threshold
+}
+
+TEST(PetriNet, GuardDisables) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto t = net.add_exponential("T", 1.0);
+    net.add_input_arc(t, a);
+    net.set_guard(t, [](const Marking& m) { return m[0] >= 1 && m.size() == 1; });
+    EXPECT_TRUE(net.enabled(t, {1}));
+    net.set_guard(t, [](const Marking&) { return false; });
+    EXPECT_FALSE(net.enabled(t, {1}));
+}
+
+TEST(PetriNet, MarkingDependentRateZeroDisables) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto t = net.add_exponential("T", [](const Marking& m) { return 0.5 * m[0]; });
+    net.add_input_arc(t, a);
+    EXPECT_TRUE(net.enabled(t, {2}));
+    EXPECT_DOUBLE_EQ(net.rate(t, {2}), 1.0);
+    EXPECT_FALSE(net.enabled(t, {0}));
+    EXPECT_DOUBLE_EQ(net.rate(t, {0}), 0.0);
+}
+
+TEST(PetriNet, VanishingDetection) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto t = net.add_immediate("I");
+    net.add_input_arc(t, a);
+    EXPECT_TRUE(net.is_vanishing({1}));
+    EXPECT_FALSE(net.is_vanishing({0}));
+}
+
+TEST(PetriNet, FirableImmediatesRespectPriority) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto low = net.add_immediate("low", 1.0, 1);
+    auto high = net.add_immediate("high", 1.0, 5);
+    net.add_input_arc(low, a);
+    net.add_input_arc(high, a);
+    auto firable = net.firable_immediates({1});
+    ASSERT_EQ(firable.size(), 1u);
+    EXPECT_EQ(firable[0], high);
+}
+
+TEST(PetriNet, KindAndNames) {
+    PetriNet net;
+    net.add_place("p");
+    auto i = net.add_immediate("imm");
+    auto e = net.add_exponential("exp", 1.0);
+    auto d = net.add_deterministic("det", 3.0);
+    EXPECT_EQ(net.kind(i), TransitionKind::immediate);
+    EXPECT_EQ(net.kind(e), TransitionKind::exponential);
+    EXPECT_EQ(net.kind(d), TransitionKind::deterministic);
+    EXPECT_EQ(net.transition_name(d), "det");
+    EXPECT_EQ(net.place_name(PlaceId{0}), "p");
+    EXPECT_DOUBLE_EQ(net.delay(d), 3.0);
+    EXPECT_THROW((void)net.delay(e), std::invalid_argument);
+    EXPECT_THROW((void)net.rate(d, {0}), std::invalid_argument);
+    EXPECT_THROW((void)net.weight(e, {0}), std::invalid_argument);
+}
+
+TEST(PetriNet, SetDeterministicDelay) {
+    PetriNet net;
+    auto d = net.add_deterministic("det", 3.0);
+    net.set_deterministic_delay(d, 7.5);
+    EXPECT_DOUBLE_EQ(net.delay(d), 7.5);
+    EXPECT_THROW(net.set_deterministic_delay(d, 0.0), std::invalid_argument);
+    auto e = net.add_exponential("exp", 1.0);
+    EXPECT_THROW(net.set_deterministic_delay(e, 1.0), std::invalid_argument);
+}
+
+TEST(PetriNet, ConstructionValidation) {
+    PetriNet net;
+    auto p = net.add_place("p");
+    EXPECT_THROW(net.add_place("neg", -1), std::invalid_argument);
+    EXPECT_THROW(net.add_exponential("bad", 0.0), std::invalid_argument);
+    EXPECT_THROW(net.add_deterministic("bad", -1.0), std::invalid_argument);
+    EXPECT_THROW(net.add_immediate("bad", 0.0), std::invalid_argument);
+    auto t = net.add_exponential("t", 1.0);
+    EXPECT_THROW(net.add_input_arc(t, p, 0), std::invalid_argument);
+    EXPECT_THROW(net.add_input_arc(t, PlaceId{99}), std::out_of_range);
+    EXPECT_THROW(net.add_input_arc(TransitionId{99}, p), std::out_of_range);
+}
+
+TEST(PetriNet, ArcViews) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto t = net.add_exponential("T", 1.0);
+    net.add_input_arc(t, a, 2);
+    net.add_output_arc(t, b, 3);
+    net.add_inhibitor_arc(t, b, 4);
+    ASSERT_EQ(net.input_arcs(t).size(), 1u);
+    EXPECT_EQ(net.input_arcs(t)[0].place, a);
+    EXPECT_EQ(net.input_arcs(t)[0].multiplicity, 2);
+    EXPECT_EQ(net.output_arcs(t)[0].multiplicity, 3);
+    EXPECT_EQ(net.inhibitor_arcs(t)[0].multiplicity, 4);
+}
+
+TEST(Dot, NetExportMentionsEverything) {
+    PetriNet net = simple_chain();
+    const std::string dot = to_dot(net);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("\"a"), std::string::npos);
+    EXPECT_NE(dot.find("\"T\""), std::string::npos);
+    EXPECT_NE(dot.find("p0 -> t0"), std::string::npos);
+    EXPECT_NE(dot.find("t0 -> p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvreju::dspn

@@ -1,0 +1,212 @@
+#include "mvreju/dspn/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvreju::dspn {
+namespace {
+
+TEST(Reachability, SimpleCycleHasAllMarkings) {
+    // a <-> b, one token.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto t1 = net.add_exponential("t1", 1.0);
+    net.add_input_arc(t1, a);
+    net.add_output_arc(t1, b);
+    auto t2 = net.add_exponential("t2", 2.0);
+    net.add_input_arc(t2, b);
+    net.add_output_arc(t2, a);
+
+    ReachabilityGraph graph(net);
+    EXPECT_EQ(graph.state_count(), 2u);
+    EXPECT_FALSE(graph.has_deterministic());
+    ASSERT_TRUE(graph.find({1, 0}).has_value());
+    ASSERT_TRUE(graph.find({0, 1}).has_value());
+    EXPECT_FALSE(graph.find({1, 1}).has_value());
+
+    const auto s0 = *graph.find({1, 0});
+    ASSERT_EQ(graph.exponential_edges(s0).size(), 1u);
+    EXPECT_DOUBLE_EQ(graph.exponential_edges(s0)[0].rate, 1.0);
+}
+
+TEST(Reachability, TokenCountGrowsStateSpace) {
+    // n tokens circulating in a 2-place cycle: n+1 tangible markings.
+    for (int n : {1, 2, 3, 5}) {
+        PetriNet net;
+        auto a = net.add_place("a", n);
+        auto b = net.add_place("b");
+        auto t1 = net.add_exponential("t1", 1.0);
+        net.add_input_arc(t1, a);
+        net.add_output_arc(t1, b);
+        auto t2 = net.add_exponential("t2", 2.0);
+        net.add_input_arc(t2, b);
+        net.add_output_arc(t2, a);
+        ReachabilityGraph graph(net);
+        EXPECT_EQ(graph.state_count(), static_cast<std::size_t>(n + 1));
+    }
+}
+
+TEST(Reachability, VanishingMarkingsAreEliminated) {
+    // a --exp--> v, v --imm--> b or c with weights 1 and 3.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto v = net.add_place("v");
+    auto b = net.add_place("b");
+    auto c = net.add_place("c");
+    auto te = net.add_exponential("te", 1.0);
+    net.add_input_arc(te, a);
+    net.add_output_arc(te, v);
+    auto ib = net.add_immediate("ib", 1.0);
+    net.add_input_arc(ib, v);
+    net.add_output_arc(ib, b);
+    auto ic = net.add_immediate("ic", 3.0);
+    net.add_input_arc(ic, v);
+    net.add_output_arc(ic, c);
+    // Return arcs so the chain is irreducible (not needed for this test but
+    // keeps the net meaningful).
+    auto rb = net.add_exponential("rb", 1.0);
+    net.add_input_arc(rb, b);
+    net.add_output_arc(rb, a);
+    auto rc = net.add_exponential("rc", 1.0);
+    net.add_input_arc(rc, c);
+    net.add_output_arc(rc, a);
+
+    ReachabilityGraph graph(net);
+    // Tangible markings: a, b, c — the v marking is vanishing.
+    EXPECT_EQ(graph.state_count(), 3u);
+    EXPECT_FALSE(graph.find({0, 1, 0, 0}).has_value());
+
+    const auto s_a = *graph.find({1, 0, 0, 0});
+    const auto& edges = graph.exponential_edges(s_a);
+    ASSERT_EQ(edges.size(), 2u);
+    double to_b = 0.0;
+    double to_c = 0.0;
+    for (const auto& e : edges) {
+        if (graph.marking(e.target)[2] == 1) to_b = e.rate;
+        if (graph.marking(e.target)[3] == 1) to_c = e.rate;
+    }
+    EXPECT_NEAR(to_b, 0.25, 1e-12);  // weight 1 of 4
+    EXPECT_NEAR(to_c, 0.75, 1e-12);  // weight 3 of 4
+}
+
+TEST(Reachability, VanishingInitialMarkingResolves) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto i = net.add_immediate("i");
+    net.add_input_arc(i, a);
+    net.add_output_arc(i, b);
+    auto back = net.add_exponential("back", 1.0);
+    net.add_input_arc(back, b);
+    net.add_output_arc(back, a);
+
+    ReachabilityGraph graph(net);
+    const auto& init = graph.initial_distribution();
+    ASSERT_EQ(init.size(), 1u);
+    EXPECT_DOUBLE_EQ(init[0].probability, 1.0);
+    EXPECT_EQ(graph.marking(init[0].target), (Marking{0, 1}));
+}
+
+TEST(Reachability, ChainedVanishingMarkings) {
+    // exp -> v1 -(imm)-> v2 -(imm)-> tangible; two vanishing hops.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto v1 = net.add_place("v1");
+    auto v2 = net.add_place("v2");
+    auto d = net.add_place("d");
+    auto te = net.add_exponential("te", 1.0);
+    net.add_input_arc(te, a);
+    net.add_output_arc(te, v1);
+    auto i1 = net.add_immediate("i1");
+    net.add_input_arc(i1, v1);
+    net.add_output_arc(i1, v2);
+    auto i2 = net.add_immediate("i2");
+    net.add_input_arc(i2, v2);
+    net.add_output_arc(i2, d);
+    auto back = net.add_exponential("back", 1.0);
+    net.add_input_arc(back, d);
+    net.add_output_arc(back, a);
+
+    ReachabilityGraph graph(net);
+    EXPECT_EQ(graph.state_count(), 2u);
+    const auto s_a = *graph.find({1, 0, 0, 0});
+    ASSERT_EQ(graph.exponential_edges(s_a).size(), 1u);
+    EXPECT_EQ(graph.marking(graph.exponential_edges(s_a)[0].target),
+              (Marking{0, 0, 0, 1}));
+}
+
+TEST(Reachability, ImmediateCycleThrows) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto i1 = net.add_immediate("i1");
+    net.add_input_arc(i1, a);
+    net.add_output_arc(i1, b);
+    auto i2 = net.add_immediate("i2");
+    net.add_input_arc(i2, b);
+    net.add_output_arc(i2, a);
+    EXPECT_THROW(ReachabilityGraph{net}, std::runtime_error);
+}
+
+TEST(Reachability, StateLimitEnforced) {
+    // Unbounded net: a source transition keeps adding tokens.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto t = net.add_exponential("t", 1.0);
+    net.add_input_arc(t, a);
+    net.add_output_arc(t, a, 2);
+    EXPECT_THROW(ReachabilityGraph(net, 50), std::runtime_error);
+}
+
+TEST(Reachability, DeterministicBranchesRecorded) {
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto d = net.add_deterministic("d", 5.0);
+    net.add_input_arc(d, a);
+    net.add_output_arc(d, b);
+    auto back = net.add_exponential("back", 1.0);
+    net.add_input_arc(back, b);
+    net.add_output_arc(back, a);
+
+    ReachabilityGraph graph(net);
+    EXPECT_TRUE(graph.has_deterministic());
+    const auto s_a = *graph.find({1, 0});
+    ASSERT_EQ(graph.deterministic_enabled(s_a).size(), 1u);
+    const auto branches = graph.deterministic_branches(s_a, d);
+    ASSERT_EQ(branches.size(), 1u);
+    EXPECT_EQ(graph.marking(branches[0].target), (Marking{0, 1}));
+    // Not enabled in the other state.
+    const auto s_b = *graph.find({0, 1});
+    EXPECT_TRUE(graph.deterministic_enabled(s_b).empty());
+    EXPECT_THROW((void)graph.deterministic_branches(s_b, d), std::invalid_argument);
+}
+
+TEST(Reachability, PriorityShadowsLowerImmediates) {
+    // v enables low- and high-priority immediates; only the high one fires.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto v = net.add_place("v");
+    auto b = net.add_place("b");
+    auto c = net.add_place("c");
+    auto te = net.add_exponential("te", 1.0);
+    net.add_input_arc(te, a);
+    net.add_output_arc(te, v);
+    auto low = net.add_immediate("low", 100.0, 1);
+    net.add_input_arc(low, v);
+    net.add_output_arc(low, b);
+    auto high = net.add_immediate("high", 1.0, 2);
+    net.add_input_arc(high, v);
+    net.add_output_arc(high, c);
+    auto rc = net.add_exponential("rc", 1.0);
+    net.add_input_arc(rc, c);
+    net.add_output_arc(rc, a);
+
+    ReachabilityGraph graph(net);
+    // b is never reached: the high-priority immediate always wins.
+    EXPECT_FALSE(graph.find({0, 0, 1, 0}).has_value());
+    EXPECT_TRUE(graph.find({0, 0, 0, 1}).has_value());
+}
+
+}  // namespace
+}  // namespace mvreju::dspn

@@ -1,0 +1,153 @@
+#include "mvreju/dspn/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mvreju/dspn/solver.hpp"
+
+namespace mvreju::dspn {
+namespace {
+
+/// Constant-rate variant of the paper's Fig. 2 net (single-server rates are
+/// constants, so the whole reactive model is expressible in text).
+PetriNet reactive_net() {
+    PetriNet net;
+    auto pmh = net.add_place("Pmh", 3);
+    auto pmc = net.add_place("Pmc");
+    auto pmf = net.add_place("Pmf");
+    auto tc = net.add_exponential("Tc", 1.0 / 1523.0);
+    net.add_input_arc(tc, pmh);
+    net.add_output_arc(tc, pmc);
+    auto tf = net.add_exponential("Tf", 1.0 / 1523.0);
+    net.add_input_arc(tf, pmc);
+    net.add_output_arc(tf, pmf);
+    auto tr = net.add_exponential("Tr", 2.0);
+    net.add_input_arc(tr, pmf);
+    net.add_output_arc(tr, pmh);
+    return net;
+}
+
+TEST(TextFormat, RoundTripPreservesStructure) {
+    const PetriNet original = reactive_net();
+    const std::string text = to_text(original);
+    const PetriNet reloaded = from_text(text);
+
+    EXPECT_EQ(reloaded.place_count(), original.place_count());
+    EXPECT_EQ(reloaded.transition_count(), original.transition_count());
+    EXPECT_EQ(reloaded.initial_marking(), original.initial_marking());
+    for (std::size_t t = 0; t < original.transition_count(); ++t) {
+        EXPECT_EQ(reloaded.transition_name({t}), original.transition_name({t}));
+        EXPECT_EQ(reloaded.kind({t}), original.kind({t}));
+        EXPECT_EQ(reloaded.constant_value({t}), original.constant_value({t}));
+    }
+    // Round-trip is idempotent.
+    EXPECT_EQ(to_text(reloaded), text);
+}
+
+TEST(TextFormat, RoundTripPreservesSemantics) {
+    const PetriNet original = reactive_net();
+    const PetriNet reloaded = from_text(to_text(original));
+    ReachabilityGraph g1(original);
+    ReachabilityGraph g2(reloaded);
+    ASSERT_EQ(g1.state_count(), g2.state_count());
+    const auto pi1 = spn_steady_state(g1);
+    const auto pi2 = spn_steady_state(g2);
+    for (std::size_t s = 0; s < pi1.size(); ++s) EXPECT_NEAR(pi1[s], pi2[s], 1e-12);
+}
+
+TEST(TextFormat, ParsesHandWrittenModel) {
+    const std::string text = R"(# a deterministic cycle with an inhibitor
+place armed 1
+place fired
+place blocker
+deterministic d delay=2.5
+exponential back rate=0.8
+immediate never weight=3 priority=2
+arc armed -> d
+arc d -> fired
+arc fired -> back
+arc back -> armed
+arc blocker -> never
+arc never -> blocker 2
+inhibitor blocker -o d 4
+)";
+    const PetriNet net = from_text(text);
+    EXPECT_EQ(net.place_count(), 3u);
+    EXPECT_EQ(net.transition_count(), 3u);
+    EXPECT_EQ(net.kind({0}), TransitionKind::deterministic);
+    EXPECT_DOUBLE_EQ(net.delay({0}), 2.5);
+    EXPECT_EQ(net.priority({2}), 2);
+    EXPECT_EQ(net.inhibitor_arcs({0}).size(), 1u);
+    EXPECT_EQ(net.inhibitor_arcs({0})[0].multiplicity, 4);
+    EXPECT_EQ(net.output_arcs({2})[0].multiplicity, 2);
+
+    // The parsed deterministic cycle solves to the renewal-theory value.
+    ReachabilityGraph graph(net);
+    const auto pi = dspn_steady_state(graph);
+    const auto armed = *graph.find({1, 0, 0});
+    EXPECT_NEAR(pi[armed], 2.5 / (2.5 + 1.0 / 0.8), 1e-9);
+}
+
+TEST(TextFormat, StreamHelpers) {
+    const PetriNet original = reactive_net();
+    std::stringstream stream;
+    save_net(original, stream);
+    const PetriNet reloaded = load_net(stream);
+    EXPECT_EQ(reloaded.place_count(), original.place_count());
+}
+
+TEST(TextFormat, SerializerRejectsCode) {
+    PetriNet net;
+    auto p = net.add_place("p", 1);
+    auto t = net.add_exponential("t", [](const Marking& m) { return 1.0 * m[0]; });
+    net.add_input_arc(t, p);
+    net.add_output_arc(t, p);
+    EXPECT_THROW((void)to_text(net), std::invalid_argument);
+
+    PetriNet guarded;
+    auto q = guarded.add_place("q", 1);
+    auto g = guarded.add_exponential("g", 1.0);
+    guarded.add_input_arc(g, q);
+    guarded.add_output_arc(g, q);
+    guarded.set_guard(g, [](const Marking&) { return true; });
+    EXPECT_THROW((void)to_text(guarded), std::invalid_argument);
+}
+
+struct BadInput {
+    const char* text;
+    const char* why;
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrors, RejectedWithLineNumber) {
+    EXPECT_THROW((void)from_text(GetParam().text), std::runtime_error)
+        << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        BadInput{"plaze p 1\n", "unknown declaration"},
+        BadInput{"place p 1\nplace p 2\n", "duplicate place"},
+        BadInput{"exponential t rate=1\nexponential t rate=2\n", "duplicate transition"},
+        BadInput{"exponential t speed=1\n", "wrong attribute key"},
+        BadInput{"exponential t rate=abc\n", "non-numeric rate"},
+        BadInput{"place p\nexponential t rate=1\narc p => t\n", "bad arrow"},
+        BadInput{"place p\narc p -> ghost\n", "unknown endpoint"},
+        BadInput{"place p\nexponential t rate=1\narc p -> t xy\n",
+                 "bad multiplicity"},
+        BadInput{"place p\nexponential t rate=1\ninhibitor ghost -o t\n",
+                 "unknown inhibitor place"},
+        BadInput{"immediate i weight=1 priority=2 extra=3\n", "extra attribute"},
+        BadInput{"deterministic d delay=0\n", "non-positive delay"}));
+
+TEST(TextFormat, CommentsAndBlankLinesIgnored) {
+    const PetriNet net = from_text("\n  \n# only comments\nplace p 2  # trailing\n");
+    EXPECT_EQ(net.place_count(), 1u);
+    EXPECT_EQ(net.initial_marking()[0], 2);
+}
+
+}  // namespace
+}  // namespace mvreju::dspn

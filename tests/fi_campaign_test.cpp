@@ -1,0 +1,143 @@
+#include "mvreju/fi/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvreju::fi {
+namespace {
+
+/// Tiny trained classifier on a separable task, shared across the suite.
+struct Fixture {
+    ml::Sequential model{"tiny"};
+    ml::Dataset eval;
+};
+
+Fixture make_fixture() {
+    util::Rng rng(3);
+    Fixture fx;
+    fx.model.add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(8, 6, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Dense>(6, 2, rng));
+
+    ml::Dataset train;
+    train.num_classes = 2;
+    util::Rng data_rng(4);
+    auto emit = [&](ml::Dataset& ds, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const int label = static_cast<int>(i % 2);
+            ml::Tensor img({1, 2, 4});
+            for (std::size_t k = 0; k < img.size(); ++k)
+                img[k] = static_cast<float>((label ? 0.8 : 0.2) +
+                                            data_rng.uniform(-0.1, 0.1));
+            ds.images.push_back(std::move(img));
+            ds.labels.push_back(label);
+        }
+        ds.num_classes = 2;
+    };
+    emit(train, 200);
+    emit(fx.eval, 80);
+    ml::TrainConfig tc;
+    tc.epochs = 5;
+    tc.learning_rate = 0.05f;
+    fx.model.train(train, tc);
+    return fx;
+}
+
+Fixture& fixture() {
+    static Fixture fx = make_fixture();
+    return fx;
+}
+
+TEST(ClassifyOutcome, ThresholdBands) {
+    CampaignConfig cfg;
+    cfg.degraded_threshold = 0.05;
+    cfg.critical_threshold = 0.30;
+    EXPECT_EQ(classify_outcome(0.9, 0.89, cfg), FaultOutcome::benign);
+    EXPECT_EQ(classify_outcome(0.9, 0.80, cfg), FaultOutcome::degraded);
+    EXPECT_EQ(classify_outcome(0.9, 0.50, cfg), FaultOutcome::critical);
+    EXPECT_EQ(classify_outcome(0.9, 0.95, cfg), FaultOutcome::benign);  // improvement
+}
+
+TEST(WeightCampaign, CoversEveryLayerAndRestoresModel) {
+    auto& fx = fixture();
+    const double baseline = fx.model.evaluate(fx.eval).accuracy;
+    ASSERT_GT(baseline, 0.9);
+
+    CampaignConfig cfg;
+    cfg.injections_per_site = 10;
+    const auto report = run_weight_campaign(fx.model, fx.eval, cfg);
+    EXPECT_DOUBLE_EQ(report.baseline_accuracy, baseline);
+    ASSERT_EQ(report.sites.size(), injectable_layer_count(fx.model));
+    for (const auto& site : report.sites) {
+        EXPECT_EQ(site.injections(), 10u);
+        EXPECT_GT(site.parameters, 0u);
+        EXPECT_GE(site.worst_accuracy_drop, site.mean_accuracy_drop - 1e-12);
+    }
+    // The campaign must leave the model exactly as it found it.
+    EXPECT_DOUBLE_EQ(fx.model.evaluate(fx.eval).accuracy, baseline);
+}
+
+TEST(WeightCampaign, LargeValueFaultsAreSometimesHarmful) {
+    auto& fx = fixture();
+    CampaignConfig cfg;
+    cfg.injections_per_site = 30;
+    cfg.value_min = 50.0f;  // massive corruptions
+    cfg.value_max = 200.0f;
+    const auto report = run_weight_campaign(fx.model, fx.eval, cfg);
+    std::size_t harmful = 0;
+    for (const auto& site : report.sites) harmful += site.degraded + site.critical;
+    EXPECT_GT(harmful, 0u);
+}
+
+TEST(WeightCampaign, DeterministicUnderSeed) {
+    auto& fx = fixture();
+    CampaignConfig cfg;
+    cfg.injections_per_site = 5;
+    const auto a = run_weight_campaign(fx.model, fx.eval, cfg);
+    const auto b = run_weight_campaign(fx.model, fx.eval, cfg);
+    for (std::size_t s = 0; s < a.sites.size(); ++s) {
+        EXPECT_EQ(a.sites[s].critical, b.sites[s].critical);
+        EXPECT_DOUBLE_EQ(a.sites[s].mean_accuracy_drop, b.sites[s].mean_accuracy_drop);
+    }
+}
+
+TEST(BitflipCampaign, ThirtyTwoSitesAndExponentSensitivity) {
+    auto& fx = fixture();
+    CampaignConfig cfg;
+    cfg.injections_per_site = 12;
+    const auto report = run_bitflip_campaign(fx.model, fx.eval, 0, cfg);
+    ASSERT_EQ(report.sites.size(), 32u);
+
+    // The classic result: high exponent bits (30) hurt far more than low
+    // mantissa bits (0-10).
+    double exponent_drop = report.sites[30].mean_accuracy_drop;
+    double mantissa_drop = 0.0;
+    for (int bit = 0; bit <= 10; ++bit)
+        mantissa_drop = std::max(mantissa_drop, report.sites[bit].mean_accuracy_drop);
+    EXPECT_GE(exponent_drop, mantissa_drop);
+    // Low mantissa flips are essentially benign.
+    EXPECT_LT(report.sites[0].mean_accuracy_drop, 0.02);
+    // Model restored.
+    EXPECT_DOUBLE_EQ(fx.model.evaluate(fx.eval).accuracy, report.baseline_accuracy);
+}
+
+TEST(Campaign, Validation) {
+    auto& fx = fixture();
+    CampaignConfig cfg;
+    EXPECT_THROW((void)run_weight_campaign(fx.model, ml::Dataset{}, cfg),
+                 std::invalid_argument);
+    cfg.injections_per_site = 0;
+    EXPECT_THROW((void)run_weight_campaign(fx.model, fx.eval, cfg),
+                 std::invalid_argument);
+    cfg.injections_per_site = 1;
+    cfg.degraded_threshold = 0.5;
+    cfg.critical_threshold = 0.1;
+    EXPECT_THROW((void)run_weight_campaign(fx.model, fx.eval, cfg),
+                 std::invalid_argument);
+    CampaignConfig ok;
+    EXPECT_THROW((void)run_bitflip_campaign(fx.model, fx.eval, 99, ok),
+                 std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mvreju::fi

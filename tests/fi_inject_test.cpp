@@ -1,0 +1,141 @@
+#include "mvreju/fi/inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace mvreju::fi {
+namespace {
+
+ml::Sequential small_model(std::uint64_t seed) {
+    util::Rng rng(seed);
+    ml::Sequential model("small");
+    model.add(std::make_unique<ml::Conv2D>(1, 2, 3, 1, rng))
+        .add(std::make_unique<ml::ReLU>())
+        .add(std::make_unique<ml::Flatten>())
+        .add(std::make_unique<ml::Dense>(2 * 4 * 4, 4, rng));
+    return model;
+}
+
+TEST(Inject, LayerCountMatchesParameterizedLayers) {
+    auto model = small_model(1);
+    EXPECT_EQ(injectable_layer_count(model), 2u);  // conv and dense
+}
+
+TEST(Inject, RandomWeightInjChangesExactlyOneWeight) {
+    auto model = small_model(2);
+    auto before = model;  // deep copy
+    const Injection inj = random_weight_inj(model, 0, -10.0f, 30.0f, 42);
+
+    auto spans_after = model.parameter_spans();
+    auto spans_before = before.parameter_spans();
+    std::size_t diffs = 0;
+    for (std::size_t s = 0; s < spans_after.size(); ++s)
+        for (std::size_t i = 0; i < spans_after[s].size(); ++i)
+            if (spans_after[s][i] != spans_before[s][i]) ++diffs;
+    EXPECT_EQ(diffs, 1u);
+    EXPECT_EQ(spans_after[inj.span_index][inj.offset], inj.new_value);
+    EXPECT_GE(inj.new_value, -10.0f);
+    EXPECT_LT(inj.new_value, 30.0f);
+}
+
+TEST(Inject, DeterministicUnderSeed) {
+    auto a = small_model(3);
+    auto b = small_model(3);
+    const Injection ia = random_weight_inj(a, 1, -5.0f, 5.0f, 7);
+    const Injection ib = random_weight_inj(b, 1, -5.0f, 5.0f, 7);
+    EXPECT_EQ(ia.offset, ib.offset);
+    EXPECT_EQ(ia.new_value, ib.new_value);
+}
+
+TEST(Inject, RestoreUndoesInjection) {
+    auto model = small_model(4);
+    auto pristine = model;
+    const Injection inj = random_weight_inj(model, 0, -10.0f, 30.0f, 9);
+    restore(model, inj);
+    auto spans = model.parameter_spans();
+    auto ref = pristine.parameter_spans();
+    for (std::size_t s = 0; s < spans.size(); ++s)
+        for (std::size_t i = 0; i < spans[s].size(); ++i)
+            EXPECT_EQ(spans[s][i], ref[s][i]);
+}
+
+TEST(Inject, BitFlipTogglesExactlyOneBit) {
+    auto model = small_model(5);
+    const Injection inj = bit_flip_weight(model, 0, 30, 11);  // exponent MSB
+    const auto before = std::bit_cast<std::uint32_t>(inj.old_value);
+    const auto after = std::bit_cast<std::uint32_t>(inj.new_value);
+    EXPECT_EQ(before ^ after, std::uint32_t{1} << 30);
+    EXPECT_THROW((void)bit_flip_weight(model, 0, 32, 1), std::invalid_argument);
+    EXPECT_THROW((void)bit_flip_weight(model, 0, -1, 1), std::invalid_argument);
+}
+
+TEST(Inject, SignBitFlipNegatesValue) {
+    auto model = small_model(6);
+    const Injection inj = bit_flip_weight(model, 1, 31, 3);
+    EXPECT_FLOAT_EQ(inj.new_value, -inj.old_value);
+}
+
+TEST(Inject, StuckAtForcesChosenWeight) {
+    auto model = small_model(7);
+    const Injection inj = stuck_at(model, 1, 5, 0.0f);
+    EXPECT_EQ(inj.offset, 5u);
+    EXPECT_EQ(model.parameter_spans()[1][5], 0.0f);
+    EXPECT_THROW((void)stuck_at(model, 1, 1'000'000, 0.0f), std::out_of_range);
+}
+
+TEST(Inject, BurstInjectionsAllRecordedAndReversible) {
+    auto model = small_model(8);
+    auto pristine = model;
+    auto injections = burst_weight_inj(model, 0, 5, -1.0f, 1.0f, 13);
+    EXPECT_EQ(injections.size(), 5u);
+    restore_all(model, injections);
+    auto spans = model.parameter_spans();
+    auto ref = pristine.parameter_spans();
+    for (std::size_t s = 0; s < spans.size(); ++s)
+        for (std::size_t i = 0; i < spans[s].size(); ++i)
+            EXPECT_EQ(spans[s][i], ref[s][i]) << "span " << s << " index " << i;
+}
+
+TEST(Inject, OverlappingBurstRestoresInReverseOrder) {
+    // Force two injections at the same offset; restore_all must end at the
+    // original value, which only works when undone in reverse.
+    auto model = small_model(9);
+    const float original = model.parameter_spans()[0][3];
+    std::vector<Injection> injections;
+    injections.push_back(stuck_at(model, 0, 3, 100.0f));
+    injections.push_back(stuck_at(model, 0, 3, -100.0f));
+    restore_all(model, injections);
+    EXPECT_EQ(model.parameter_spans()[0][3], original);
+}
+
+TEST(Inject, InvalidArgumentsThrow) {
+    auto model = small_model(10);
+    EXPECT_THROW((void)random_weight_inj(model, 99, 0.0f, 1.0f, 1), std::out_of_range);
+    EXPECT_THROW((void)random_weight_inj(model, 0, 1.0f, 1.0f, 1),
+                 std::invalid_argument);
+    Injection bogus;
+    bogus.span_index = 0;
+    bogus.offset = 1'000'000;
+    EXPECT_THROW(restore(model, bogus), std::out_of_range);
+}
+
+TEST(Inject, FaultDegradesClassifierBehaviour) {
+    // A huge weight in the first conv layer should change predictions on at
+    // least some inputs (sanity link between FI and model behaviour).
+    auto model = small_model(11);
+    auto pristine = model;
+    (void)stuck_at(model, 0, 0, 1000.0f);
+    util::Rng rng(12);
+    int changed = 0;
+    for (int i = 0; i < 20; ++i) {
+        ml::Tensor img({1, 4, 4});
+        for (std::size_t k = 0; k < img.size(); ++k)
+            img[k] = static_cast<float>(rng.uniform());
+        if (model.predict(img) != pristine.predict(img)) ++changed;
+    }
+    EXPECT_GT(changed, 0);
+}
+
+}  // namespace
+}  // namespace mvreju::fi

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mvreju/ml/layers.hpp"
+#include "mvreju/ml/tensor.hpp"
+
+namespace mvreju::ml {
+namespace {
+
+TEST(Tensor, ShapeAndFill) {
+    Tensor t({2, 3, 4}, 1.5f);
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.rank(), 3u);
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+    EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, At3Layout) {
+    Tensor t({2, 3, 4});
+    t.at3(1, 2, 3) = 7.0f;
+    EXPECT_FLOAT_EQ(t[(1 * 3 + 2) * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, Argmax) {
+    Tensor t({4}, std::vector<float>{0.1f, 3.0f, -2.0f, 3.0f});
+    EXPECT_EQ(argmax(t), 1u);  // first of the tied maxima
+    EXPECT_THROW((void)argmax(Tensor{}), std::invalid_argument);
+}
+
+/// Numerical gradient check of a layer via central differences on a scalar
+/// objective sum(w_out * output).
+double numeric_vs_analytic_max_error(Layer& layer, Tensor input,
+                                     const std::vector<float>& out_weights) {
+    // Analytic: backward of dL/dOut = out_weights.
+    Tensor out = layer.forward(input, true);
+    EXPECT_EQ(out.size(), out_weights.size());
+    Tensor grad_out(out.shape());
+    for (std::size_t i = 0; i < out.size(); ++i) grad_out[i] = out_weights[i];
+    Tensor grad_in = layer.backward(grad_out);
+
+    // Numeric: perturb each input element.
+    const float eps = 1e-3f;
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const float saved = input[i];
+        input[i] = saved + eps;
+        Tensor plus = layer.forward(input, false);
+        input[i] = saved - eps;
+        Tensor minus = layer.forward(input, false);
+        input[i] = saved;
+        double lp = 0.0;
+        double lm = 0.0;
+        for (std::size_t k = 0; k < plus.size(); ++k) {
+            lp += static_cast<double>(out_weights[k]) * plus[k];
+            lm += static_cast<double>(out_weights[k]) * minus[k];
+        }
+        const double numeric = (lp - lm) / (2.0 * eps);
+        max_err = std::max(max_err, std::fabs(numeric - grad_in[i]));
+    }
+    return max_err;
+}
+
+TEST(Dense, ForwardMatchesManualComputation) {
+    util::Rng rng(1);
+    Dense dense(2, 2, rng);
+    // Overwrite parameters with known values: W = [[1,2],[3,4]], b = [5,6].
+    auto params = dense.parameters();
+    const float values[] = {1, 2, 3, 4, 5, 6};
+    std::copy(std::begin(values), std::end(values), params.begin());
+    Tensor out = dense.forward(Tensor({2}, {1.0f, -1.0f}), false);
+    EXPECT_FLOAT_EQ(out[0], 1 - 2 + 5);
+    EXPECT_FLOAT_EQ(out[1], 3 - 4 + 6);
+}
+
+TEST(Dense, GradientCheck) {
+    util::Rng rng(2);
+    Dense dense(5, 3, rng);
+    Tensor input({5});
+    for (std::size_t i = 0; i < 5; ++i) input[i] = static_cast<float>(rng.normal());
+    EXPECT_LT(numeric_vs_analytic_max_error(dense, input, {0.3f, -1.0f, 0.7f}), 1e-2);
+}
+
+TEST(Dense, TrainingReducesLossOnLinearTask) {
+    util::Rng rng(3);
+    Dense dense(3, 1, rng);
+    // Learn y = 2 x0 - x1 + 0.5 x2 by plain SGD on squared error.
+    double first_loss = -1.0;
+    double last_loss = 0.0;
+    for (int step = 0; step < 400; ++step) {
+        Tensor x({3});
+        for (int i = 0; i < 3; ++i) x[i] = static_cast<float>(rng.normal());
+        const float target = 2 * x[0] - x[1] + 0.5f * x[2];
+        Tensor out = dense.forward(x, true);
+        const float err = out[0] - target;
+        last_loss = 0.5 * err * err;
+        if (first_loss < 0) first_loss = last_loss;
+        Tensor grad({1}, {err});
+        dense.zero_gradients();
+        (void)dense.backward(grad);
+        dense.apply_gradients(0.05f, 0.0f);
+    }
+    EXPECT_LT(last_loss, first_loss / 10.0);
+}
+
+TEST(Conv2D, IdentityKernelPreservesImage) {
+    util::Rng rng(4);
+    Conv2D conv(1, 1, 3, 1, rng);
+    auto params = conv.parameters();
+    std::fill(params.begin(), params.end(), 0.0f);
+    params[4] = 1.0f;  // centre of the 3x3 kernel
+    Tensor img({1, 4, 4});
+    for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+    Tensor out = conv.forward(img, false);
+    ASSERT_EQ(out.shape(), img.shape());
+    for (std::size_t i = 0; i < img.size(); ++i) EXPECT_FLOAT_EQ(out[i], img[i]);
+}
+
+TEST(Conv2D, OutputShapeWithoutPadding) {
+    util::Rng rng(5);
+    Conv2D conv(2, 3, 3, 0, rng);
+    Tensor out = conv.forward(Tensor({2, 8, 8}), false);
+    EXPECT_EQ(out.shape(), (std::vector<std::size_t>{3, 6, 6}));
+}
+
+TEST(Conv2D, GradientCheck) {
+    util::Rng rng(6);
+    Conv2D conv(2, 2, 3, 1, rng);
+    Tensor input({2, 4, 4});
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<float>(rng.normal());
+    std::vector<float> w(2 * 4 * 4);
+    for (float& v : w) v = static_cast<float>(rng.normal());
+    EXPECT_LT(numeric_vs_analytic_max_error(conv, input, w), 2e-2);
+}
+
+TEST(ReLU, ClampsAndGates) {
+    ReLU relu;
+    Tensor out = relu.forward(Tensor({3}, {-1.0f, 0.0f, 2.0f}), true);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[2], 2.0f);
+    Tensor grad = relu.backward(Tensor({3}, {1.0f, 1.0f, 1.0f}));
+    EXPECT_FLOAT_EQ(grad[0], 0.0f);
+    EXPECT_FLOAT_EQ(grad[1], 0.0f);  // gradient gated at exactly zero
+    EXPECT_FLOAT_EQ(grad[2], 1.0f);
+}
+
+TEST(MaxPool2D, PicksMaximaAndRoutesGradients) {
+    MaxPool2D pool;
+    Tensor img({1, 2, 2}, {1.0f, 5.0f, 3.0f, 2.0f});
+    Tensor out = pool.forward(img, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FLOAT_EQ(out[0], 5.0f);
+    Tensor grad = pool.backward(Tensor({1, 1, 1}, {2.5f}));
+    EXPECT_FLOAT_EQ(grad[1], 2.5f);  // the argmax position
+    EXPECT_FLOAT_EQ(grad[0], 0.0f);
+}
+
+TEST(MaxPool2D, OddSizeRejected) {
+    MaxPool2D pool;
+    EXPECT_THROW((void)pool.forward(Tensor({1, 3, 4}), false), std::invalid_argument);
+}
+
+TEST(Flatten, RoundTrip) {
+    Flatten flatten;
+    Tensor img({2, 3, 4});
+    for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+    Tensor flat = flatten.forward(img, true);
+    EXPECT_EQ(flat.shape(), (std::vector<std::size_t>{24}));
+    Tensor back = flatten.backward(flat);
+    EXPECT_EQ(back.shape(), img.shape());
+    EXPECT_EQ(back, img);
+}
+
+TEST(ResidualBlock, PreservesShapeAndSkipsGradient) {
+    util::Rng rng(7);
+    ResidualBlock block(3, 3, rng);
+    Tensor input({3, 4, 4});
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<float>(rng.normal() + 1.0);
+    Tensor out = block.forward(input, true);
+    EXPECT_EQ(out.shape(), input.shape());
+    std::vector<float> w(out.size());
+    for (float& v : w) v = static_cast<float>(rng.normal());
+    ResidualBlock block2(3, 3, rng);
+    EXPECT_LT(numeric_vs_analytic_max_error(block2, input, w), 2e-2);
+}
+
+TEST(ResidualBlock, ExposesTwoParameterSpans) {
+    util::Rng rng(8);
+    ResidualBlock block(3, 3, rng);
+    std::vector<std::span<float>> spans;
+    block.collect_parameters(spans);
+    EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST(Layers, BackwardBeforeForwardThrows) {
+    util::Rng rng(9);
+    Dense dense(2, 2, rng);
+    EXPECT_THROW((void)dense.backward(Tensor({2})), std::logic_error);
+    MaxPool2D pool;
+    EXPECT_THROW((void)pool.backward(Tensor({1, 1, 1})), std::logic_error);
+    Flatten flatten;
+    EXPECT_THROW((void)flatten.backward(Tensor({4})), std::logic_error);
+}
+
+TEST(Layers, CloneIsDeepCopy) {
+    util::Rng rng(10);
+    Dense dense(2, 2, rng);
+    auto copy = dense.clone();
+    auto* copy_dense = dynamic_cast<Dense*>(copy.get());
+    ASSERT_NE(copy_dense, nullptr);
+    copy_dense->parameters()[0] += 1.0f;
+    EXPECT_NE(copy_dense->parameters()[0], dense.parameters()[0]);
+}
+
+}  // namespace
+}  // namespace mvreju::ml

@@ -1,0 +1,160 @@
+#include "mvreju/num/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace mvreju::num {
+namespace {
+
+TEST(PoissonWeights, ZeroLambdaIsDegenerate) {
+    auto pw = poisson_weights(0.0);
+    EXPECT_EQ(pw.left, 0u);
+    ASSERT_EQ(pw.weights.size(), 1u);
+    EXPECT_DOUBLE_EQ(pw.weights[0], 1.0);
+}
+
+TEST(PoissonWeights, SmallLambdaMatchesClosedForm) {
+    const double lambda = 2.5;
+    auto pw = poisson_weights(lambda, 1e-14);
+    for (std::size_t k = pw.left; k - pw.left < pw.weights.size(); ++k) {
+        const double expected =
+            std::exp(-lambda + static_cast<double>(k) * std::log(lambda) -
+                     std::lgamma(static_cast<double>(k) + 1.0));
+        EXPECT_NEAR(pw.weights[k - pw.left], expected, 1e-10) << "k=" << k;
+    }
+}
+
+TEST(PoissonWeights, NormalisedForLargeLambda) {
+    auto pw = poisson_weights(1200.0);
+    const double sum = std::accumulate(pw.weights.begin(), pw.weights.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Mass concentrated near the mode (sigma = sqrt(1200) ~ 35; the window
+    // extends a few sigma each side, far from zero).
+    EXPECT_GT(pw.left, 800u);
+    EXPECT_LT(pw.left, 1200u);
+    EXPECT_LT(pw.weights.size(), 800u);
+}
+
+TEST(PoissonWeights, MeanMatchesLambda) {
+    const double lambda = 37.5;
+    auto pw = poisson_weights(lambda, 1e-14);
+    double mean = 0.0;
+    for (std::size_t k = 0; k < pw.weights.size(); ++k)
+        mean += static_cast<double>(pw.left + k) * pw.weights[k];
+    EXPECT_NEAR(mean, lambda, 1e-8);
+}
+
+TEST(PoissonWeights, NegativeLambdaThrows) {
+    EXPECT_THROW(poisson_weights(-1.0), std::invalid_argument);
+}
+
+TEST(CheckGenerator, AcceptsValidRejectsInvalid) {
+    Matrix good{{-1.0, 1.0}, {2.0, -2.0}};
+    EXPECT_NO_THROW(check_generator(good));
+    Matrix bad_row{{-1.0, 2.0}, {2.0, -2.0}};
+    EXPECT_THROW(check_generator(bad_row), std::invalid_argument);
+    Matrix bad_sign{{1.0, -1.0}, {2.0, -2.0}};
+    EXPECT_THROW(check_generator(bad_sign), std::invalid_argument);
+}
+
+TEST(CtmcSteadyState, TwoStates) {
+    Matrix q{{-2.0, 2.0}, {1.0, -1.0}};
+    auto pi = ctmc_steady_state(q);
+    EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(DtmcStationary, ThreeStateCycleIsUniform) {
+    Matrix p{{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}};
+    auto pi = dtmc_stationary(p);
+    for (double v : pi) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Uniformize, ZeroHorizonIsIdentity) {
+    Matrix q{{-1.0, 1.0}, {1.0, -1.0}};
+    auto tm = uniformize(q, 0.0);
+    EXPECT_DOUBLE_EQ(tm.omega(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(tm.omega(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(tm.psi(0, 0), 0.0);
+}
+
+TEST(Uniformize, TwoStateClosedForm) {
+    // Symmetric two-state chain with rate r: P00(t) = (1 + e^{-2rt}) / 2.
+    const double r = 0.7;
+    const double tau = 1.3;
+    Matrix q{{-r, r}, {r, -r}};
+    auto tm = uniformize(q, tau, 1e-14);
+    const double p00 = 0.5 * (1.0 + std::exp(-2.0 * r * tau));
+    EXPECT_NEAR(tm.omega(0, 0), p00, 1e-10);
+    EXPECT_NEAR(tm.omega(0, 1), 1.0 - p00, 1e-10);
+    // int_0^tau P00(t) dt = tau/2 + (1 - e^{-2 r tau}) / (4 r).
+    const double i00 = tau / 2.0 + (1.0 - std::exp(-2.0 * r * tau)) / (4.0 * r);
+    EXPECT_NEAR(tm.psi(0, 0), i00, 1e-9);
+    EXPECT_NEAR(tm.psi(0, 1), tau - i00, 1e-9);
+}
+
+TEST(Uniformize, RowsSumToOneAndTau) {
+    Matrix q{{-2.0, 1.5, 0.5}, {0.0, -1.0, 1.0}, {3.0, 0.0, -3.0}};
+    const double tau = 2.5;
+    auto tm = uniformize(q, tau, 1e-13);
+    for (std::size_t i = 0; i < 3; ++i) {
+        double omega_sum = 0.0;
+        double psi_sum = 0.0;
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_GE(tm.omega(i, j), -1e-12);
+            omega_sum += tm.omega(i, j);
+            psi_sum += tm.psi(i, j);
+        }
+        EXPECT_NEAR(omega_sum, 1.0, 1e-10);
+        EXPECT_NEAR(psi_sum, tau, 1e-8);
+    }
+}
+
+TEST(Uniformize, AbsorbingStateKeepsMass) {
+    // State 1 absorbing; from state 0 with rate r the survival in 0 is e^{-rt}.
+    const double r = 1.1;
+    const double tau = 0.9;
+    Matrix q{{-r, r}, {0.0, 0.0}};
+    auto tm = uniformize(q, tau, 1e-14);
+    EXPECT_NEAR(tm.omega(0, 0), std::exp(-r * tau), 1e-10);
+    EXPECT_NEAR(tm.omega(1, 1), 1.0, 1e-12);
+    // Expected time in 0 before absorption within [0,tau].
+    EXPECT_NEAR(tm.psi(0, 0), (1.0 - std::exp(-r * tau)) / r, 1e-9);
+}
+
+TEST(CtmcTransient, MatchesUniformizeRow) {
+    Matrix q{{-2.0, 1.5, 0.5}, {0.0, -1.0, 1.0}, {3.0, 0.0, -3.0}};
+    const double t = 1.7;
+    auto tm = uniformize(q, t, 1e-13);
+    auto pi = ctmc_transient(q, {1.0, 0.0, 0.0}, t, 1e-13);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(pi[j], tm.omega(0, j), 1e-10);
+}
+
+TEST(CtmcTransient, LongHorizonApproachesSteadyState) {
+    Matrix q{{-2.0, 2.0}, {1.0, -1.0}};
+    auto pi = ctmc_transient(q, {1.0, 0.0}, 200.0);
+    EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-8);
+    EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-8);
+}
+
+// Property: transient distribution stays a distribution across horizons.
+class TransientProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransientProperty, RemainsStochastic) {
+    Matrix q{{-0.002, 0.002, 0.0}, {0.0, -0.00065, 0.00065}, {2.0, 0.0, -2.0}};
+    auto pi = ctmc_transient(q, {1.0, 0.0, 0.0}, GetParam());
+    double sum = 0.0;
+    for (double v : pi) {
+        EXPECT_GE(v, -1e-12);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, TransientProperty,
+                         ::testing::Values(0.0, 0.1, 1.0, 10.0, 300.0, 3000.0));
+
+}  // namespace
+}  // namespace mvreju::num

@@ -1,0 +1,157 @@
+#include "mvreju/num/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/num/linalg.hpp"
+
+namespace mvreju::num {
+namespace {
+
+TEST(Matrix, ConstructsZeroFilled) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, InitializerListLayout) {
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m(0, 1), 2.0);
+    EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix product = a * Matrix::identity(2);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(product(r, c), a(r, c));
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation) {
+    Matrix a{{1.0, 2.0, 0.0}, {0.0, 1.0, -1.0}};
+    Matrix b{{2.0, 1.0}, {0.0, 3.0}, {4.0, 0.0}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), -4.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(a * b, std::invalid_argument);
+    EXPECT_THROW(a += Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    std::vector<double> x{1.0, -1.0};
+    auto y = a * x;
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, VecMatIsLeftMultiplication) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    auto y = vec_mat({1.0, 1.0}, a);
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MaxAbs) {
+    Matrix a{{1.0, -7.5}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(a.max_abs(), 7.5);
+}
+
+TEST(Matrix, AtChecksBounds) {
+    Matrix a(2, 2);
+    EXPECT_THROW((void)a.at(2, 0), std::out_of_range);
+    EXPECT_THROW((void)std::as_const(a).at(0, 2), std::out_of_range);
+}
+
+TEST(Solve, RecoverExactSolution) {
+    Matrix a{{2.0, 1.0, -1.0}, {-3.0, -1.0, 2.0}, {-2.0, 1.0, 2.0}};
+    auto x = solve(a, {8.0, -11.0, -3.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+    EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Solve, NeedsPivoting) {
+    // Zero on the initial pivot position; only works with row exchanges.
+    Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    auto x = solve(a, {3.0, 5.0});
+    EXPECT_NEAR(x[0], 5.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+    Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveStationary, TwoStateChain) {
+    // Rates: 0 -> 1 at 1.0, 1 -> 0 at 3.0. pi = (0.75, 0.25).
+    Matrix q{{-1.0, 1.0}, {3.0, -3.0}};
+    auto pi = solve_stationary(q);
+    EXPECT_NEAR(pi[0], 0.75, 1e-12);
+    EXPECT_NEAR(pi[1], 0.25, 1e-12);
+}
+
+TEST(SolveStationary, SingleState) {
+    Matrix q{{0.0}};
+    auto pi = solve_stationary(q);
+    ASSERT_EQ(pi.size(), 1u);
+    EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+// Property sweep: random birth-death generators must yield normalised,
+// non-negative stationary vectors satisfying pi Q = 0.
+class StationaryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StationaryProperty, BirthDeathBalances) {
+    const int n = 4;
+    const double mu = 1.0 + GetParam() * 0.37;
+    const double lam = 2.0 + GetParam() * 0.11;
+    Matrix q(n, n);
+    for (int i = 0; i < n; ++i) {
+        if (i + 1 < n) {
+            q(i, i + 1) = lam;
+            q(i, i) -= lam;
+        }
+        if (i > 0) {
+            q(i, i - 1) = mu;
+            q(i, i) -= mu;
+        }
+    }
+    auto pi = solve_stationary(q);
+    double sum = 0.0;
+    for (double v : pi) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    auto residual = vec_mat(pi, q);
+    for (double v : residual) EXPECT_NEAR(v, 0.0, 1e-10);
+    // Detailed balance for birth-death: pi[i] lam = pi[i+1] mu.
+    for (int i = 0; i + 1 < n; ++i) EXPECT_NEAR(pi[i] * lam, pi[i + 1] * mu, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, StationaryProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mvreju::num

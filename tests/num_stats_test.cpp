@@ -1,0 +1,94 @@
+#include "mvreju/num/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::num {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, ShiftInvarianceOfVariance) {
+    RunningStats a;
+    RunningStats b;
+    util::Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform();
+        a.add(x);
+        b.add(x + 1e6);
+    }
+    EXPECT_NEAR(a.variance(), b.variance(), 1e-6);
+}
+
+TEST(TCritical, KnownValues) {
+    EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+    EXPECT_NEAR(t_critical_95(2), 4.303, 1e-3);   // used by 3-run CIs (Table VIII)
+    EXPECT_NEAR(t_critical_95(10), 2.228, 1e-3);
+    EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+}
+
+TEST(MeanCi95, DegenerateCases) {
+    auto empty = mean_ci95({});
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+    auto single = mean_ci95({7.0});
+    EXPECT_DOUBLE_EQ(single.mean, 7.0);
+    EXPECT_DOUBLE_EQ(single.lower, 7.0);
+    EXPECT_DOUBLE_EQ(single.upper, 7.0);
+}
+
+TEST(MeanCi95, SymmetricAroundMean) {
+    auto ci = mean_ci95({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+    EXPECT_NEAR(ci.mean - ci.lower, ci.upper - ci.mean, 1e-12);
+    // sd = sqrt(2.5), sem = sqrt(0.5), t(4) = 2.776
+    EXPECT_NEAR(ci.half_width(), 2.776 * std::sqrt(0.5), 1e-3);
+}
+
+TEST(MeanCi95, CoversTrueMeanMostOfTheTime) {
+    // Frequentist coverage check: ~95% of CIs from N(0,1) samples contain 0.
+    util::Rng rng(99);
+    int covered = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> sample(10);
+        for (double& x : sample) x = rng.normal();
+        auto ci = mean_ci95(sample);
+        if (ci.lower <= 0.0 && 0.0 <= ci.upper) ++covered;
+    }
+    const double coverage = static_cast<double>(covered) / trials;
+    EXPECT_GT(coverage, 0.90);
+    EXPECT_LT(coverage, 0.99);
+}
+
+TEST(ConfidenceInterval, OverlapDetection) {
+    ConfidenceInterval a{1.0, 0.5, 1.5};
+    ConfidenceInterval b{1.4, 1.2, 1.6};
+    ConfidenceInterval c{3.0, 2.5, 3.5};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+}
+
+}  // namespace
+}  // namespace mvreju::num

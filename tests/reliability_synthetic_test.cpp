@@ -1,0 +1,114 @@
+#include "mvreju/reliability/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/reliability/functions.hpp"
+
+namespace mvreju::reliability {
+namespace {
+
+constexpr std::size_t kUniverse = 100'000;
+
+TEST(SyntheticPair, SizesAndOverlapAsRequested) {
+    const auto family = make_pair_family(kUniverse, 0.06, 0.10, 0.4);
+    ASSERT_EQ(family.sets.size(), 2u);
+    EXPECT_EQ(family.sets[0].size(), 6000u);
+    EXPECT_EQ(family.sets[1].size(), 10000u);
+    EXPECT_NEAR(alpha_pair(family.sets[0], family.sets[1]), 0.4, 1e-9);
+}
+
+TEST(SyntheticPair, RejectsImpossibleOverlap) {
+    // alpha * max = 0.9 * 10000 = 9000 > |E_1| = 1000.
+    EXPECT_THROW((void)make_pair_family(kUniverse, 0.01, 0.10, 0.9),
+                 std::invalid_argument);
+    // Sets larger than the universe.
+    EXPECT_THROW((void)make_pair_family(100, 0.9, 0.9, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)make_pair_family(kUniverse, 1.5, 0.1, 0.1),
+                 std::invalid_argument);
+}
+
+// Ground-truth check of the two-version reliability entry R_{2,0,0} = 1 -
+// alpha * p (Eq. 4): with equal-size error sets, the set of inputs on which
+// *both* modules err is exactly the pairwise intersection.
+class TwoVersionFormula : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TwoVersionFormula, MatchesEmpiricalVoting) {
+    const auto [p, alpha] = GetParam();
+    const auto family = make_pair_family(kUniverse, p, p, alpha);
+    const double empirical = empirical_failure(family, 2);
+    EXPECT_NEAR(empirical, alpha * p, 1e-4);  // F = 1 - R_{2,0,0}
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TwoVersionFormula,
+    ::testing::Combine(::testing::Values(0.02, 0.0629, 0.15, 0.3),
+                       ::testing::Values(0.0, 0.1, 0.37, 0.8, 1.0)));
+
+TEST(SyntheticTriple, PairwiseAndTripleStructure) {
+    const auto family =
+        make_triple_family(kUniverse, 0.10, 0.08, 0.06, 0.4, 0.3, 0.2);
+    ASSERT_EQ(family.sets.size(), 3u);
+    EXPECT_EQ(family.sets[0].size(), 10000u);
+    EXPECT_EQ(family.sets[1].size(), 8000u);
+    EXPECT_EQ(family.sets[2].size(), 6000u);
+    EXPECT_NEAR(alpha_pair(family.sets[0], family.sets[1]), 0.4, 1e-9);
+    EXPECT_NEAR(alpha_pair(family.sets[0], family.sets[2]), 0.3, 1e-9);
+    EXPECT_NEAR(alpha_pair(family.sets[1], family.sets[2]), 0.2, 1e-9);
+}
+
+// Ground-truth check of the paper's Eq. (2) (Wen & Machida): under the
+// triple-overlap convention |E1^E2^E3| = alpha12*alpha13*|E1|, the closed
+// form F = a12 p1 + a13 p1 + a23 p2 - 2 a12 a13 p1 equals the counted
+// fraction of inputs misclassified by >= 2 of 3 modules (p1 >= p2 >= p3).
+class WenMachidaFormula
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(WenMachidaFormula, MatchesEmpiricalVoting) {
+    const auto [a12, a13, a23] = GetParam();
+    const double p1 = 0.12;
+    const double p2 = 0.10;
+    const double p3 = 0.08;
+    const auto family = make_triple_family(kUniverse, p1, p2, p3, a12, a13, a23);
+    const double empirical = empirical_failure(family, 2);
+    const double formula = wen_machida_failure(p1, p2, a12, a13, a23);
+    EXPECT_NEAR(empirical, formula, 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WenMachidaFormula,
+                         ::testing::Values(std::tuple{0.3, 0.3, 0.3},
+                                           std::tuple{0.4, 0.2, 0.3},
+                                           std::tuple{0.5, 0.4, 0.45},
+                                           std::tuple{0.2, 0.15, 0.6},
+                                           std::tuple{0.0, 0.0, 0.0}));
+
+TEST(SyntheticTriple, Eq2ReducesToEq1UnderEqualParameters) {
+    // With p1 = p2 = p3 = p and all alphas equal, Eq. (2) collapses to
+    // Eq. (1), and both match the counted failure probability.
+    const double p = 0.1;
+    const double alpha = 0.35;
+    const auto family = make_triple_family(kUniverse, p, p, p, alpha, alpha, alpha);
+    const double empirical = empirical_failure(family, 2);
+    EXPECT_NEAR(empirical, ege_failure(p, alpha), 2e-4);
+}
+
+TEST(EmpiricalFailure, ThresholdSemantics) {
+    const auto family = make_triple_family(1000, 0.2, 0.2, 0.2, 0.5, 0.5, 0.5);
+    // Threshold 1: union of all sets; threshold 3: triple intersection.
+    const double any = empirical_failure(family, 1);
+    const double majority = empirical_failure(family, 2);
+    const double all = empirical_failure(family, 3);
+    EXPECT_GE(any, majority);
+    EXPECT_GE(majority, all);
+    EXPECT_NEAR(all, 0.5 * 0.5 * 0.2, 1e-9);  // alpha12*alpha13*p1
+    EXPECT_THROW((void)empirical_failure({}, 1), std::invalid_argument);
+}
+
+TEST(SyntheticTriple, FittedAlphaRoundTrips) {
+    // Eq. 9 fitting applied to a constructed family recovers the mean alpha.
+    const auto family =
+        make_triple_family(kUniverse, 0.1, 0.1, 0.1, 0.4, 0.3, 0.2);
+    EXPECT_NEAR(fit_alpha(family.sets), (0.4 + 0.3 + 0.2) / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mvreju::reliability

@@ -1,0 +1,167 @@
+#include "mvreju/reliability/functions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvreju::reliability {
+namespace {
+
+TEST(Params, PaperConstants) {
+    const Params params = paper_params();
+    EXPECT_NEAR(params.p, 0.062892584, 1e-12);
+    EXPECT_NEAR(params.p_prime, 0.240406440, 1e-12);
+    EXPECT_NEAR(params.alpha, 0.369952542, 1e-12);
+    EXPECT_TRUE(params_sane(params));
+    EXPECT_TRUE(within_two_version_boundary(params));
+    EXPECT_TRUE(within_three_version_boundary(params));
+}
+
+TEST(Params, SanityChecks) {
+    EXPECT_FALSE(params_sane({0.5, 0.2, 0.3}));   // p > p'
+    EXPECT_FALSE(params_sane({0.1, 1.2, 0.3}));   // p' > 1
+    EXPECT_FALSE(params_sane({0.1, 0.2, 1.3}));   // alpha > 1
+    EXPECT_FALSE(params_sane({-0.1, 0.2, 0.3}));  // negative p
+    EXPECT_TRUE(params_sane({0.1, 0.2, 0.3}));
+}
+
+TEST(Params, Boundaries) {
+    // p(2 - alpha) <= 1
+    EXPECT_TRUE(within_two_version_boundary({0.5, 0.6, 0.0}));
+    EXPECT_FALSE(within_two_version_boundary({0.6, 0.7, 0.0}));
+    // p(3(1-alpha) + alpha^2) <= 1
+    EXPECT_FALSE(within_three_version_boundary({0.4, 0.5, 0.0}));
+    EXPECT_TRUE(within_three_version_boundary({0.4, 0.5, 1.0}));
+}
+
+TEST(ClassicFailureModels, LyonsAndEge) {
+    EXPECT_DOUBLE_EQ(lyons_failure(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(lyons_failure(1.0), 1.0);
+    EXPECT_NEAR(lyons_failure(0.1), 3.0 * 0.9 * 0.01 + 0.001, 1e-15);
+    // Eq. (1): full dependency (alpha=1) collapses to p.
+    EXPECT_NEAR(ege_failure(0.1, 1.0), 0.1, 1e-15);
+    EXPECT_DOUBLE_EQ(ege_failure(0.1, 0.0), 0.0);
+}
+
+TEST(ClassicFailureModels, WenMachidaReducesToEge) {
+    // With equal p and alpha, Eq. (2) gives a*p + a*p + a*p - 2*a*a*p
+    // = 3*a*p - 2*a^2*p = 3*a*p*(1-a) + a^2*p = Eq. (1).
+    const double p = 0.07;
+    const double a = 0.3;
+    EXPECT_NEAR(wen_machida_failure(p, p, a, a, a), ege_failure(p, a), 1e-15);
+}
+
+// Table III of the paper: all nine reachable states, reproduced with the
+// paper's fitted constants to all published decimal places.
+struct TableIIIRow {
+    int i, j, k;
+    double reliability;
+};
+
+class TableIII : public ::testing::TestWithParam<TableIIIRow> {};
+
+TEST_P(TableIII, MatchesPublishedValue) {
+    const auto row = GetParam();
+    EXPECT_NEAR(state_reliability(row.i, row.j, row.k, paper_params()), row.reliability,
+                5e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperValues, TableIII,
+                         ::testing::Values(TableIIIRow{3, 0, 0, 0.988626295},
+                                           TableIIIRow{2, 0, 1, 0.976732729},
+                                           TableIIIRow{2, 1, 0, 0.881542506},
+                                           TableIIIRow{1, 0, 2, 0.937107416},
+                                           TableIIIRow{1, 1, 1, 0.943896878},
+                                           TableIIIRow{1, 2, 0, 0.815870804},
+                                           TableIIIRow{0, 3, 0, 0.926682718},
+                                           TableIIIRow{0, 2, 1, 0.911061026},
+                                           TableIIIRow{0, 1, 2, 0.759593560}));
+
+TEST(StateReliability, SingleVersionStates) {
+    const Params params{0.1, 0.3, 0.5};
+    EXPECT_DOUBLE_EQ(r_single(1, 0, 0, params), 0.9);
+    EXPECT_DOUBLE_EQ(r_single(0, 1, 0, params), 0.7);
+    EXPECT_DOUBLE_EQ(r_single(0, 0, 1, params), 0.0);
+    EXPECT_THROW((void)r_single(1, 1, 0, params), std::invalid_argument);
+}
+
+TEST(StateReliability, TwoVersionDegradation) {
+    const Params params{0.1, 0.3, 0.5};
+    // Degraded (k=1) states equal the single-version values.
+    EXPECT_DOUBLE_EQ(r_two(1, 0, 1, params), r_single(1, 0, 0, params));
+    EXPECT_DOUBLE_EQ(r_two(0, 1, 1, params), r_single(0, 1, 0, params));
+    EXPECT_DOUBLE_EQ(r_two(0, 0, 2, params), 0.0);
+    // Full states follow Eq. (4).
+    EXPECT_DOUBLE_EQ(r_two(2, 0, 0, params), 1.0 - 0.5 * 0.1);
+    EXPECT_DOUBLE_EQ(r_two(0, 2, 0, params), 1.0 - 0.5 * 0.3);
+    EXPECT_DOUBLE_EQ(r_two(1, 1, 0, params), 1.0 - 0.2 * 0.5);
+}
+
+TEST(StateReliability, ThreeVersionDegradation) {
+    const Params params{0.1, 0.3, 0.5};
+    EXPECT_DOUBLE_EQ(r_three(2, 0, 1, params), r_two(2, 0, 0, params));
+    EXPECT_DOUBLE_EQ(r_three(1, 1, 1, params), r_two(1, 1, 0, params));
+    EXPECT_DOUBLE_EQ(r_three(0, 1, 2, params), r_single(0, 1, 0, params));
+    EXPECT_DOUBLE_EQ(r_three(0, 0, 3, params), 0.0);
+}
+
+TEST(StateReliability, InvalidStatesThrow) {
+    const Params params = paper_params();
+    EXPECT_THROW((void)state_reliability(0, 0, 0, params), std::invalid_argument);
+    EXPECT_THROW((void)state_reliability(2, 2, 2, params), std::invalid_argument);
+    EXPECT_THROW((void)state_reliability(-1, 1, 1, params), std::invalid_argument);
+    EXPECT_THROW((void)state_reliability(4, 0, 0, params), std::invalid_argument);
+}
+
+// Property: reliability decreases (weakly) in p, p' and alpha, for every
+// fully functional state of every system size.
+class Monotonicity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Monotonicity, ReliabilityDecreasesWithWorseParameters) {
+    const auto [i, j] = GetParam();
+    const int n = i + j;
+    if (n < 1 || n > 3) GTEST_SKIP();
+    const Params base{0.05, 0.2, 0.4};
+    const double r0 = state_reliability(i, j, 0, base);
+    // Raising p, p' or alpha individually never increases reliability
+    // (p'-independence when j == 0 and alpha-independence when n == 1 show
+    // up as equality).
+    EXPECT_LE(state_reliability(i, j, 0, {0.10, 0.2, 0.4}), r0 + 1e-12);
+    EXPECT_LE(state_reliability(i, j, 0, {0.05, 0.4, 0.4}), r0 + 1e-12);
+    EXPECT_LE(state_reliability(i, j, 0, {0.05, 0.2, 0.8}), r0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(States, Monotonicity,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+TEST(Fitting, PFromAccuracies) {
+    // Paper Table II healthy accuracies -> p = 0.062892584.
+    EXPECT_NEAR(fit_p({0.960095012, 0.920981789, 0.930245447}), 0.062892584, 1e-9);
+    // Compromised accuracies -> p' = 0.240406440.
+    EXPECT_NEAR(fit_p_prime({0.755423595, 0.772050673, 0.751306413}), 0.240406440, 1e-9);
+}
+
+TEST(Fitting, AlphaPairBasics) {
+    EXPECT_DOUBLE_EQ(alpha_pair({1, 2, 3}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(alpha_pair({1, 2, 3}, {4, 5, 6}), 0.0);
+    EXPECT_DOUBLE_EQ(alpha_pair({1, 2, 3, 4}, {3, 4}), 0.5);  // 2 / max(4,2)
+    EXPECT_DOUBLE_EQ(alpha_pair({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(alpha_pair({1}, {}), 0.0);
+}
+
+TEST(Fitting, AlphaAveragesPairs) {
+    const std::vector<std::vector<std::size_t>> sets{{1, 2}, {2, 3}, {3, 4}};
+    // a12 = 1/2, a13 = 0, a23 = 1/2 -> mean = 1/3.
+    EXPECT_NEAR(fit_alpha(sets), 1.0 / 3.0, 1e-12);
+    EXPECT_THROW((void)fit_alpha({{1}}), std::invalid_argument);
+}
+
+TEST(Fitting, FullFitProducesSaneParams) {
+    const auto params = fit_params({0.96, 0.92, 0.93}, {0.75, 0.77, 0.75},
+                                   {{1, 2, 9}, {2, 3, 9}, {3, 4, 9}});
+    EXPECT_TRUE(params_sane(params));
+    EXPECT_GT(params.p_prime, params.p);
+    EXPECT_GT(params.alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace mvreju::reliability

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+
+#include <filesystem>
+
+#include "mvreju/util/args.hpp"
+#include "mvreju/util/csv.hpp"
+#include "mvreju/util/rng.hpp"
+#include "mvreju/util/table.hpp"
+
+namespace mvreju::util {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a() == b());
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentUse) {
+    Rng parent(7);
+    Rng child_before = parent.split(3);
+    (void)parent();  // consuming from the parent...
+    // ...does not change what an identically derived child would produce,
+    // because split() derives from the (immutable) observed state. Re-derive
+    // from a fresh identically seeded parent instead.
+    Rng parent2(7);
+    Rng child_again = parent2.split(3);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(child_before(), child_again());
+}
+
+TEST(Rng, SplitIdsGiveDistinctStreams) {
+    Rng parent(7);
+    Rng a = parent.split(0);
+    Rng b = parent.split(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a() == b());
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(5);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+    Rng rng(17);
+    std::map<std::uint64_t, int> counts;
+    const int n = 60'000;
+    for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(3)];
+    for (auto [value, count] : counts) {
+        EXPECT_LT(value, 3u);
+        EXPECT_NEAR(static_cast<double>(count) / n, 1.0 / 3.0, 0.01);
+    }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(21);
+    const double rate = 2.5;
+    double acc = 0.0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) acc += rng.exponential(rate);
+    EXPECT_NEAR(acc / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+    Rng rng(31);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(41);
+    int hits = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "2.5"});
+    const std::string rendered = t.str();
+    EXPECT_NE(rendered.find("name    value"), std::string::npos);
+    EXPECT_NE(rendered.find("longer  2.5"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Fmt, FormatsNumbers) {
+    EXPECT_EQ(fmt(1.23456789, 3), "1.235");
+    EXPECT_EQ(fmt_pct(0.33544, 2), "33.54%");
+}
+
+TEST(Args, ParsesKeysFlagsAndDefaults) {
+    const char* argv[] = {"prog", "--panel", "c", "--verbose", "--runs", "5"};
+    Args args(6, argv);
+    EXPECT_TRUE(args.has("panel"));
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.get("panel", std::string("a")), "c");
+    EXPECT_EQ(args.get("runs", 1), 5);
+    EXPECT_EQ(args.get("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.get("missing", 2.5), 2.5);
+}
+
+TEST(Csv, EscapingRules) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, RendersHeaderAndRows) {
+    CsvWriter csv({"x", "label"});
+    csv.add_row({"1", "simple"});
+    csv.add_row({"2", "with,comma"});
+    EXPECT_EQ(csv.str(), "x,label\n1,simple\n2,\"with,comma\"\n");
+    EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, ValidatesShape) {
+    EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+    namespace fs = std::filesystem;
+    const fs::path path = fs::temp_directory_path() / "mvreju_csv_test.csv";
+    CsvWriter csv({"k", "v"});
+    csv.add_row({"a", "1"});
+    csv.write(path.string());
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "k,v");
+    fs::remove(path);
+    EXPECT_THROW(csv.write("/nonexistent_dir_zz/x.csv"), std::runtime_error);
+}
+
+TEST(Args, FlagFollowedByFlag) {
+    const char* argv[] = {"prog", "--a", "--b", "x"};
+    Args args(4, argv);
+    EXPECT_TRUE(args.has("a"));
+    EXPECT_EQ(args.get("a", std::string("def")), "");
+    EXPECT_EQ(args.get("b", std::string("def")), "x");
+}
+
+}  // namespace
+}  // namespace mvreju::util
