@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cpp.o"
+  "CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cpp.o.d"
+  "ablation_design_choices"
+  "ablation_design_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fi_campaign.dir/extension_fi_campaign.cpp.o"
+  "CMakeFiles/extension_fi_campaign.dir/extension_fi_campaign.cpp.o.d"
+  "extension_fi_campaign"
+  "extension_fi_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fi_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_first_passage.dir/extension_first_passage.cpp.o"
+  "CMakeFiles/extension_first_passage.dir/extension_first_passage.cpp.o.d"
+  "extension_first_passage"
+  "extension_first_passage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_first_passage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

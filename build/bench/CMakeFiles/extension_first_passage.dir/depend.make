@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_first_passage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_five_versions.dir/extension_five_versions.cpp.o"
+  "CMakeFiles/extension_five_versions.dir/extension_five_versions.cpp.o.d"
+  "extension_five_versions"
+  "extension_five_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_five_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_mission_reliability.dir/extension_mission_reliability.cpp.o"
+  "CMakeFiles/extension_mission_reliability.dir/extension_mission_reliability.cpp.o.d"
+  "extension_mission_reliability"
+  "extension_mission_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_mission_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_mission_reliability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_parameter_study.dir/fig4_parameter_study.cpp.o"
+  "CMakeFiles/fig4_parameter_study.dir/fig4_parameter_study.cpp.o.d"
+  "fig4_parameter_study"
+  "fig4_parameter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_parameter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

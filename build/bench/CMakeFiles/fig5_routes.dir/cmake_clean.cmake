@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_routes.dir/fig5_routes.cpp.o"
+  "CMakeFiles/fig5_routes.dir/fig5_routes.cpp.o.d"
+  "fig5_routes"
+  "fig5_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

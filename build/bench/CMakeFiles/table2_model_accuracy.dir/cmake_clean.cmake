@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_model_accuracy.dir/table2_model_accuracy.cpp.o"
+  "CMakeFiles/table2_model_accuracy.dir/table2_model_accuracy.cpp.o.d"
+  "table2_model_accuracy"
+  "table2_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

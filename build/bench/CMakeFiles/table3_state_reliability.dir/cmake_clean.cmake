@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_state_reliability.dir/table3_state_reliability.cpp.o"
+  "CMakeFiles/table3_state_reliability.dir/table3_state_reliability.cpp.o.d"
+  "table3_state_reliability"
+  "table3_state_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_state_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dspn_reliability.dir/table5_dspn_reliability.cpp.o"
+  "CMakeFiles/table5_dspn_reliability.dir/table5_dspn_reliability.cpp.o.d"
+  "table5_dspn_reliability"
+  "table5_dspn_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dspn_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

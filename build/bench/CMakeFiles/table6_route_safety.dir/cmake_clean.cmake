@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_route_safety.dir/table6_route_safety.cpp.o"
+  "CMakeFiles/table6_route_safety.dir/table6_route_safety.cpp.o.d"
+  "table6_route_safety"
+  "table6_route_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_route_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

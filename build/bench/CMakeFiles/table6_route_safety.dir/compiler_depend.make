@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_route_safety.
+# This may be replaced when dependencies are built.

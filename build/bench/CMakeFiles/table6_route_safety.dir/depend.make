@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_route_safety.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_interval_safety.dir/table7_interval_safety.cpp.o"
+  "CMakeFiles/table7_interval_safety.dir/table7_interval_safety.cpp.o.d"
+  "table7_interval_safety"
+  "table7_interval_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_interval_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

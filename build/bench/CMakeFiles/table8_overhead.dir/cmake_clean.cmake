@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_overhead.dir/table8_overhead.cpp.o"
+  "CMakeFiles/table8_overhead.dir/table8_overhead.cpp.o.d"
+  "table8_overhead"
+  "table8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_drive.dir/av_drive.cpp.o"
+  "CMakeFiles/av_drive.dir/av_drive.cpp.o.d"
+  "av_drive"
+  "av_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_study.dir/dspn_study.cpp.o"
+  "CMakeFiles/dspn_study.dir/dspn_study.cpp.o.d"
+  "dspn_study"
+  "dspn_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_service.dir/resilient_service.cpp.o"
+  "CMakeFiles/resilient_service.dir/resilient_service.cpp.o.d"
+  "resilient_service"
+  "resilient_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for resilient_service.
+# This may be replaced when dependencies are built.

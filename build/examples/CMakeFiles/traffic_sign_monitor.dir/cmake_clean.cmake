@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sign_monitor.dir/traffic_sign_monitor.cpp.o"
+  "CMakeFiles/traffic_sign_monitor.dir/traffic_sign_monitor.cpp.o.d"
+  "traffic_sign_monitor"
+  "traffic_sign_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sign_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/av/src/geometry.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/geometry.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/geometry.cpp.o.d"
+  "/root/repo/src/av/src/localization.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/localization.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/localization.cpp.o.d"
+  "/root/repo/src/av/src/perception.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/perception.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/perception.cpp.o.d"
+  "/root/repo/src/av/src/planner.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/planner.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/planner.cpp.o.d"
+  "/root/repo/src/av/src/route.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/route.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/route.cpp.o.d"
+  "/root/repo/src/av/src/sensor.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/sensor.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/sensor.cpp.o.d"
+  "/root/repo/src/av/src/simulation.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/simulation.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/simulation.cpp.o.d"
+  "/root/repo/src/av/src/vehicle.cpp" "src/av/CMakeFiles/mvreju_av.dir/src/vehicle.cpp.o" "gcc" "src/av/CMakeFiles/mvreju_av.dir/src/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mvreju_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mvreju_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/mvreju_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvreju_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspn/CMakeFiles/mvreju_dspn.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/mvreju_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/mvreju_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

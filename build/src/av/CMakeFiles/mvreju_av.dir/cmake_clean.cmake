@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_av.dir/src/geometry.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/geometry.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/localization.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/localization.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/perception.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/perception.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/planner.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/planner.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/route.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/route.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/sensor.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/sensor.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/simulation.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/simulation.cpp.o.d"
+  "CMakeFiles/mvreju_av.dir/src/vehicle.cpp.o"
+  "CMakeFiles/mvreju_av.dir/src/vehicle.cpp.o.d"
+  "libmvreju_av.a"
+  "libmvreju_av.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_av.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_core.dir/src/dspn_models.cpp.o"
+  "CMakeFiles/mvreju_core.dir/src/dspn_models.cpp.o.d"
+  "CMakeFiles/mvreju_core.dir/src/health.cpp.o"
+  "CMakeFiles/mvreju_core.dir/src/health.cpp.o.d"
+  "libmvreju_core.a"
+  "libmvreju_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

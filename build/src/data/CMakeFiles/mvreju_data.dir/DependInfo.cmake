@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/src/image_io.cpp" "src/data/CMakeFiles/mvreju_data.dir/src/image_io.cpp.o" "gcc" "src/data/CMakeFiles/mvreju_data.dir/src/image_io.cpp.o.d"
+  "/root/repo/src/data/src/signs.cpp" "src/data/CMakeFiles/mvreju_data.dir/src/signs.cpp.o" "gcc" "src/data/CMakeFiles/mvreju_data.dir/src/signs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/mvreju_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvreju_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_data.dir/src/image_io.cpp.o"
+  "CMakeFiles/mvreju_data.dir/src/image_io.cpp.o.d"
+  "CMakeFiles/mvreju_data.dir/src/signs.cpp.o"
+  "CMakeFiles/mvreju_data.dir/src/signs.cpp.o.d"
+  "libmvreju_data.a"
+  "libmvreju_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dspn/src/dot.cpp" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/dot.cpp.o" "gcc" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/dot.cpp.o.d"
+  "/root/repo/src/dspn/src/net.cpp" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/net.cpp.o" "gcc" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/net.cpp.o.d"
+  "/root/repo/src/dspn/src/reachability.cpp" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/reachability.cpp.o" "gcc" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/reachability.cpp.o.d"
+  "/root/repo/src/dspn/src/simulate.cpp" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/simulate.cpp.o" "gcc" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/simulate.cpp.o.d"
+  "/root/repo/src/dspn/src/solver.cpp" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/solver.cpp.o" "gcc" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/solver.cpp.o.d"
+  "/root/repo/src/dspn/src/text_format.cpp" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/text_format.cpp.o" "gcc" "src/dspn/CMakeFiles/mvreju_dspn.dir/src/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/num/CMakeFiles/mvreju_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvreju_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

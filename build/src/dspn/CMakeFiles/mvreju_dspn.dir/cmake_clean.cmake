@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_dspn.dir/src/dot.cpp.o"
+  "CMakeFiles/mvreju_dspn.dir/src/dot.cpp.o.d"
+  "CMakeFiles/mvreju_dspn.dir/src/net.cpp.o"
+  "CMakeFiles/mvreju_dspn.dir/src/net.cpp.o.d"
+  "CMakeFiles/mvreju_dspn.dir/src/reachability.cpp.o"
+  "CMakeFiles/mvreju_dspn.dir/src/reachability.cpp.o.d"
+  "CMakeFiles/mvreju_dspn.dir/src/simulate.cpp.o"
+  "CMakeFiles/mvreju_dspn.dir/src/simulate.cpp.o.d"
+  "CMakeFiles/mvreju_dspn.dir/src/solver.cpp.o"
+  "CMakeFiles/mvreju_dspn.dir/src/solver.cpp.o.d"
+  "CMakeFiles/mvreju_dspn.dir/src/text_format.cpp.o"
+  "CMakeFiles/mvreju_dspn.dir/src/text_format.cpp.o.d"
+  "libmvreju_dspn.a"
+  "libmvreju_dspn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_dspn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

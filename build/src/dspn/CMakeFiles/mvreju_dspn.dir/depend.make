@@ -1,0 +1,2 @@
+# Empty dependencies file for mvreju_dspn.
+# This may be replaced when dependencies are built.

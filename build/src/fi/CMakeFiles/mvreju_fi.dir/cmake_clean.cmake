@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_fi.dir/src/campaign.cpp.o"
+  "CMakeFiles/mvreju_fi.dir/src/campaign.cpp.o.d"
+  "CMakeFiles/mvreju_fi.dir/src/inject.cpp.o"
+  "CMakeFiles/mvreju_fi.dir/src/inject.cpp.o.d"
+  "libmvreju_fi.a"
+  "libmvreju_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

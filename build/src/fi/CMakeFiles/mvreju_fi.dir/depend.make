@@ -1,0 +1,2 @@
+# Empty dependencies file for mvreju_fi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/layers.cpp" "src/ml/CMakeFiles/mvreju_ml.dir/src/layers.cpp.o" "gcc" "src/ml/CMakeFiles/mvreju_ml.dir/src/layers.cpp.o.d"
+  "/root/repo/src/ml/src/model.cpp" "src/ml/CMakeFiles/mvreju_ml.dir/src/model.cpp.o" "gcc" "src/ml/CMakeFiles/mvreju_ml.dir/src/model.cpp.o.d"
+  "/root/repo/src/ml/src/tensor.cpp" "src/ml/CMakeFiles/mvreju_ml.dir/src/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/mvreju_ml.dir/src/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvreju_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

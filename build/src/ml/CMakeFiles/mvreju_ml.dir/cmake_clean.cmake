@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_ml.dir/src/layers.cpp.o"
+  "CMakeFiles/mvreju_ml.dir/src/layers.cpp.o.d"
+  "CMakeFiles/mvreju_ml.dir/src/model.cpp.o"
+  "CMakeFiles/mvreju_ml.dir/src/model.cpp.o.d"
+  "CMakeFiles/mvreju_ml.dir/src/tensor.cpp.o"
+  "CMakeFiles/mvreju_ml.dir/src/tensor.cpp.o.d"
+  "libmvreju_ml.a"
+  "libmvreju_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/num/src/linalg.cpp" "src/num/CMakeFiles/mvreju_num.dir/src/linalg.cpp.o" "gcc" "src/num/CMakeFiles/mvreju_num.dir/src/linalg.cpp.o.d"
+  "/root/repo/src/num/src/markov.cpp" "src/num/CMakeFiles/mvreju_num.dir/src/markov.cpp.o" "gcc" "src/num/CMakeFiles/mvreju_num.dir/src/markov.cpp.o.d"
+  "/root/repo/src/num/src/matrix.cpp" "src/num/CMakeFiles/mvreju_num.dir/src/matrix.cpp.o" "gcc" "src/num/CMakeFiles/mvreju_num.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/num/src/stats.cpp" "src/num/CMakeFiles/mvreju_num.dir/src/stats.cpp.o" "gcc" "src/num/CMakeFiles/mvreju_num.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

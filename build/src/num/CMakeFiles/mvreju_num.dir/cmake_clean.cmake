@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_num.dir/src/linalg.cpp.o"
+  "CMakeFiles/mvreju_num.dir/src/linalg.cpp.o.d"
+  "CMakeFiles/mvreju_num.dir/src/markov.cpp.o"
+  "CMakeFiles/mvreju_num.dir/src/markov.cpp.o.d"
+  "CMakeFiles/mvreju_num.dir/src/matrix.cpp.o"
+  "CMakeFiles/mvreju_num.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/mvreju_num.dir/src/stats.cpp.o"
+  "CMakeFiles/mvreju_num.dir/src/stats.cpp.o.d"
+  "libmvreju_num.a"
+  "libmvreju_num.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

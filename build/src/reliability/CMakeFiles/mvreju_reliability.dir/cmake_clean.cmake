@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_reliability.dir/src/functions.cpp.o"
+  "CMakeFiles/mvreju_reliability.dir/src/functions.cpp.o.d"
+  "CMakeFiles/mvreju_reliability.dir/src/synthetic.cpp.o"
+  "CMakeFiles/mvreju_reliability.dir/src/synthetic.cpp.o.d"
+  "libmvreju_reliability.a"
+  "libmvreju_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

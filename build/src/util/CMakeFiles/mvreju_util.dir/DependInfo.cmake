@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/args.cpp" "src/util/CMakeFiles/mvreju_util.dir/src/args.cpp.o" "gcc" "src/util/CMakeFiles/mvreju_util.dir/src/args.cpp.o.d"
+  "/root/repo/src/util/src/csv.cpp" "src/util/CMakeFiles/mvreju_util.dir/src/csv.cpp.o" "gcc" "src/util/CMakeFiles/mvreju_util.dir/src/csv.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/mvreju_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/mvreju_util.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvreju_util.dir/src/args.cpp.o"
+  "CMakeFiles/mvreju_util.dir/src/args.cpp.o.d"
+  "CMakeFiles/mvreju_util.dir/src/csv.cpp.o"
+  "CMakeFiles/mvreju_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/mvreju_util.dir/src/table.cpp.o"
+  "CMakeFiles/mvreju_util.dir/src/table.cpp.o.d"
+  "libmvreju_util.a"
+  "libmvreju_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvreju_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvreju_util.a"
+)

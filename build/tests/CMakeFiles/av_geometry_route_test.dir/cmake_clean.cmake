@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_geometry_route_test.dir/av_geometry_route_test.cpp.o"
+  "CMakeFiles/av_geometry_route_test.dir/av_geometry_route_test.cpp.o.d"
+  "av_geometry_route_test"
+  "av_geometry_route_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_geometry_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

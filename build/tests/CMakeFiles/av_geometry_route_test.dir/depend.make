@@ -1,0 +1,2 @@
+# Empty dependencies file for av_geometry_route_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_localization_test.dir/av_localization_test.cpp.o"
+  "CMakeFiles/av_localization_test.dir/av_localization_test.cpp.o.d"
+  "av_localization_test"
+  "av_localization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_localization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_perception_simulation_test.dir/av_perception_simulation_test.cpp.o"
+  "CMakeFiles/av_perception_simulation_test.dir/av_perception_simulation_test.cpp.o.d"
+  "av_perception_simulation_test"
+  "av_perception_simulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_perception_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

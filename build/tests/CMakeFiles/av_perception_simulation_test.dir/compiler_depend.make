@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for av_perception_simulation_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for av_perception_simulation_test.
+# This may be replaced when dependencies are built.

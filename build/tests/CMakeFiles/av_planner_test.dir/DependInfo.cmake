@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/av_planner_test.cpp" "tests/CMakeFiles/av_planner_test.dir/av_planner_test.cpp.o" "gcc" "tests/CMakeFiles/av_planner_test.dir/av_planner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/av/CMakeFiles/mvreju_av.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mvreju_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/mvreju_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mvreju_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mvreju_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspn/CMakeFiles/mvreju_dspn.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/mvreju_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/mvreju_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvreju_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

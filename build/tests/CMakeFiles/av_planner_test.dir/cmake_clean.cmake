@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_planner_test.dir/av_planner_test.cpp.o"
+  "CMakeFiles/av_planner_test.dir/av_planner_test.cpp.o.d"
+  "av_planner_test"
+  "av_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_vehicle_sensor_test.dir/av_vehicle_sensor_test.cpp.o"
+  "CMakeFiles/av_vehicle_sensor_test.dir/av_vehicle_sensor_test.cpp.o.d"
+  "av_vehicle_sensor_test"
+  "av_vehicle_sensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_vehicle_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dspn_models_test.dir/core_dspn_models_test.cpp.o"
+  "CMakeFiles/core_dspn_models_test.dir/core_dspn_models_test.cpp.o.d"
+  "core_dspn_models_test"
+  "core_dspn_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dspn_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_health_test.dir/core_health_test.cpp.o"
+  "CMakeFiles/core_health_test.dir/core_health_test.cpp.o.d"
+  "core_health_test"
+  "core_health_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_health_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_runtime_test.dir/core_runtime_test.cpp.o"
+  "CMakeFiles/core_runtime_test.dir/core_runtime_test.cpp.o.d"
+  "core_runtime_test"
+  "core_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

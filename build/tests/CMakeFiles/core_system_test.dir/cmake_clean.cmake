@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_system_test.dir/core_system_test.cpp.o"
+  "CMakeFiles/core_system_test.dir/core_system_test.cpp.o.d"
+  "core_system_test"
+  "core_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_voter_test.dir/core_voter_test.cpp.o"
+  "CMakeFiles/core_voter_test.dir/core_voter_test.cpp.o.d"
+  "core_voter_test"
+  "core_voter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_voter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_image_io_test.dir/data_image_io_test.cpp.o"
+  "CMakeFiles/data_image_io_test.dir/data_image_io_test.cpp.o.d"
+  "data_image_io_test"
+  "data_image_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_image_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

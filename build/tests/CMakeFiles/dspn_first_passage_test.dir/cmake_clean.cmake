@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_first_passage_test.dir/dspn_first_passage_test.cpp.o"
+  "CMakeFiles/dspn_first_passage_test.dir/dspn_first_passage_test.cpp.o.d"
+  "dspn_first_passage_test"
+  "dspn_first_passage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_first_passage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

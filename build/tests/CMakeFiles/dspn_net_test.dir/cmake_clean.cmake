@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_net_test.dir/dspn_net_test.cpp.o"
+  "CMakeFiles/dspn_net_test.dir/dspn_net_test.cpp.o.d"
+  "dspn_net_test"
+  "dspn_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

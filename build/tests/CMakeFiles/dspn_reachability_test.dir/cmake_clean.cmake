@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_reachability_test.dir/dspn_reachability_test.cpp.o"
+  "CMakeFiles/dspn_reachability_test.dir/dspn_reachability_test.cpp.o.d"
+  "dspn_reachability_test"
+  "dspn_reachability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_reachability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_simulate_test.dir/dspn_simulate_test.cpp.o"
+  "CMakeFiles/dspn_simulate_test.dir/dspn_simulate_test.cpp.o.d"
+  "dspn_simulate_test"
+  "dspn_simulate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_simulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

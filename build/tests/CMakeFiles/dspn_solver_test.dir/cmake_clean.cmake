@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_solver_test.dir/dspn_solver_test.cpp.o"
+  "CMakeFiles/dspn_solver_test.dir/dspn_solver_test.cpp.o.d"
+  "dspn_solver_test"
+  "dspn_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

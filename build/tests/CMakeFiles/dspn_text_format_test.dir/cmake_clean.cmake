@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_text_format_test.dir/dspn_text_format_test.cpp.o"
+  "CMakeFiles/dspn_text_format_test.dir/dspn_text_format_test.cpp.o.d"
+  "dspn_text_format_test"
+  "dspn_text_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspn_transient_test.dir/dspn_transient_test.cpp.o"
+  "CMakeFiles/dspn_transient_test.dir/dspn_transient_test.cpp.o.d"
+  "dspn_transient_test"
+  "dspn_transient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspn_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_campaign_test.dir/fi_campaign_test.cpp.o"
+  "CMakeFiles/fi_campaign_test.dir/fi_campaign_test.cpp.o.d"
+  "fi_campaign_test"
+  "fi_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_inject_test.dir/fi_inject_test.cpp.o"
+  "CMakeFiles/fi_inject_test.dir/fi_inject_test.cpp.o.d"
+  "fi_inject_test"
+  "fi_inject_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_inject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

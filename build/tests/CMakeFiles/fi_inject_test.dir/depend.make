@@ -1,0 +1,2 @@
+# Empty dependencies file for fi_inject_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_model_test.dir/ml_model_test.cpp.o"
+  "CMakeFiles/ml_model_test.dir/ml_model_test.cpp.o.d"
+  "ml_model_test"
+  "ml_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tensor_layers_test.dir/ml_tensor_layers_test.cpp.o"
+  "CMakeFiles/ml_tensor_layers_test.dir/ml_tensor_layers_test.cpp.o.d"
+  "ml_tensor_layers_test"
+  "ml_tensor_layers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tensor_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

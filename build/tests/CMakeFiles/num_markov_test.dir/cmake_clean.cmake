@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/num_markov_test.dir/num_markov_test.cpp.o"
+  "CMakeFiles/num_markov_test.dir/num_markov_test.cpp.o.d"
+  "num_markov_test"
+  "num_markov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/num_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

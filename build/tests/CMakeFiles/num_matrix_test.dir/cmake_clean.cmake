@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/num_matrix_test.dir/num_matrix_test.cpp.o"
+  "CMakeFiles/num_matrix_test.dir/num_matrix_test.cpp.o.d"
+  "num_matrix_test"
+  "num_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/num_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

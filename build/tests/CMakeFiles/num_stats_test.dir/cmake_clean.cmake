@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/num_stats_test.dir/num_stats_test.cpp.o"
+  "CMakeFiles/num_stats_test.dir/num_stats_test.cpp.o.d"
+  "num_stats_test"
+  "num_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/num_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
