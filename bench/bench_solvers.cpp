@@ -1,0 +1,216 @@
+// Machine-readable solver benchmarks: dense LU vs the sparse Gauss-Seidel
+// steady-state core across state-space sizes, and serial vs parallel ensemble
+// transient simulation across thread counts. Emits BENCH_solvers.json.
+//
+// Two claims are checked, not just timed:
+//   * dense and sparse stationary vectors agree to 1e-10 wherever the dense
+//     path is feasible;
+//   * the parallel ensemble estimate is bit-identical to the serial one for
+//     every thread count (per-replication RNG substreams + output slots).
+//
+// Usage: bench_solvers [--out PATH]   (default BENCH_solvers.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/simulate.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/num/linalg.hpp"
+#include "mvreju/num/sparse_markov.hpp"
+#include "mvreju/util/parallel.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace {
+
+using namespace mvreju;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Best-of-`reps` wall time in milliseconds for `fn`.
+template <typename Fn>
+double time_best_ms(int reps, Fn&& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        fn();
+        best = std::min(best, ms_since(start));
+    }
+    return best;
+}
+
+/// Random irreducible CTMC generator with ~5 edges per state (a Hamiltonian
+/// cycle plus random shortcuts) — the sparsity profile of a tangible
+/// reachability graph.
+num::SparseMatrix random_ctmc(std::size_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<num::Triplet> triplets;
+    auto edge = [&](std::size_t from, std::size_t to, double rate) {
+        triplets.push_back({from, to, rate});
+        triplets.push_back({from, from, -rate});
+    };
+    for (std::size_t i = 0; i < n; ++i) edge(i, (i + 1) % n, rng.uniform(0.5, 2.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int k = 0; k < 4; ++k) {
+            const std::size_t to = rng.uniform_int(n);
+            if (to != i) edge(i, to, rng.uniform(0.1, 3.0));
+        }
+    }
+    return num::SparseMatrix::from_triplets(n, n, std::move(triplets));
+}
+
+struct SteadyStateRow {
+    std::size_t states = 0;
+    std::size_t nnz = 0;
+    double dense_ms = -1.0;  // -1: dense path not attempted at this size
+    double sparse_ms = 0.0;
+    double max_abs_diff = -1.0;
+};
+
+struct EnsembleRow {
+    std::size_t threads = 0;
+    double ms = 0.0;
+    double speedup = 0.0;
+    double mean = 0.0;
+    bool bit_identical_to_serial = false;
+};
+
+dspn::PetriNet rejuvenation_net() {
+    core::DspnConfig cfg;
+    cfg.timing.mttc = 8.0;
+    cfg.timing.mttf = 16.0;
+    cfg.timing.rejuvenation_interval = 3.0;
+    cfg.proactive = true;
+    return core::build_multiversion_dspn(cfg).net;
+}
+
+bool write_json(const std::string& path, const std::vector<SteadyStateRow>& steady,
+                const std::vector<EnsembleRow>& ensemble, bool all_identical) {
+    std::ofstream out(path);
+    out << std::setprecision(17);
+    out << "{\n";
+    out << "  \"bench\": \"solvers\",\n";
+    out << "  \"hardware_threads\": " << util::hardware_threads() << ",\n";
+    out << "  \"steady_state_dense_vs_sparse\": [\n";
+    for (std::size_t i = 0; i < steady.size(); ++i) {
+        const auto& r = steady[i];
+        out << "    {\"states\": " << r.states << ", \"nnz\": " << r.nnz
+            << ", \"dense_ms\": " << r.dense_ms << ", \"sparse_ms\": " << r.sparse_ms
+            << ", \"max_abs_diff\": " << r.max_abs_diff << "}"
+            << (i + 1 < steady.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    out << "  \"ensemble_transient\": [\n";
+    for (std::size_t i = 0; i < ensemble.size(); ++i) {
+        const auto& r = ensemble[i];
+        out << "    {\"threads\": " << r.threads << ", \"ms\": " << r.ms
+            << ", \"speedup\": " << r.speedup << ", \"mean\": " << r.mean
+            << ", \"bit_identical_to_serial\": "
+            << (r.bit_identical_to_serial ? "true" : "false") << "}"
+            << (i + 1 < ensemble.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    out << "  \"parallel_estimates_bit_identical\": " << (all_identical ? "true" : "false")
+        << "\n";
+    out << "}\n";
+    return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path = "BENCH_solvers.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--out" && i + 1 < argc) out_path = argv[++i];
+    }
+
+    // --- Dense vs sparse steady state -----------------------------------
+    std::vector<SteadyStateRow> steady;
+    for (std::size_t n : {std::size_t{64}, std::size_t{256}, std::size_t{512},
+                          std::size_t{1024}, std::size_t{2048}, std::size_t{8192}}) {
+        const num::SparseMatrix q = random_ctmc(n, 17);
+        SteadyStateRow row;
+        row.states = n;
+        row.nnz = q.nnz();
+
+        num::StationaryOptions opts;
+        opts.dense_cutoff = 0;  // always take the iterative path
+        std::vector<double> sparse_pi;
+        const int reps = n <= 1024 ? 3 : 1;
+        row.sparse_ms =
+            time_best_ms(reps, [&] { sparse_pi = num::ctmc_steady_state(q, opts); });
+
+        if (n <= 1024) {  // dense LU is O(n^3) time, O(n^2) memory
+            const num::Matrix qd = q.to_dense();
+            std::vector<double> dense_pi;
+            row.dense_ms = time_best_ms(reps, [&] { dense_pi = num::solve_stationary(qd); });
+            double diff = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                diff = std::max(diff, std::fabs(dense_pi[i] - sparse_pi[i]));
+            row.max_abs_diff = diff;
+        }
+        steady.push_back(row);
+        std::cout << "steady_state n=" << row.states << " nnz=" << row.nnz
+                  << " sparse_ms=" << row.sparse_ms << " dense_ms=" << row.dense_ms
+                  << " max_abs_diff=" << row.max_abs_diff << "\n";
+    }
+
+    // --- Serial vs parallel ensemble transient ---------------------------
+    const dspn::PetriNet net = rejuvenation_net();
+    const dspn::RewardFn reward = [](const dspn::Marking& m) {
+        return m[0] >= 1 ? 1.0 : 0.0;
+    };
+    constexpr std::size_t kReplications = 4000;
+    constexpr std::uint64_t kSeed = 11;
+    constexpr double kHorizon = 50.0;
+
+    std::vector<EnsembleRow> ensemble;
+    dspn::SimulationEstimate serial{};
+    bool all_identical = true;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+        dspn::SimulationEstimate est{};
+        const double ms = time_best_ms(2, [&] {
+            est = dspn::simulate_transient_reward(net, reward, kHorizon, kReplications,
+                                                  kSeed, threads);
+        });
+        if (threads == 1) serial = est;
+        EnsembleRow row;
+        row.threads = threads;
+        row.ms = ms;
+        row.speedup = ensemble.empty() ? 1.0 : ensemble.front().ms / ms;
+        row.mean = est.mean;
+        row.bit_identical_to_serial =
+            est.mean == serial.mean && est.ci.lower == serial.ci.lower &&
+            est.ci.upper == serial.ci.upper;
+        all_identical = all_identical && row.bit_identical_to_serial;
+        ensemble.push_back(row);
+        std::cout << "ensemble threads=" << threads << " ms=" << row.ms
+                  << " speedup=" << row.speedup << " mean=" << row.mean
+                  << " bit_identical=" << (row.bit_identical_to_serial ? "yes" : "no")
+                  << "\n";
+    }
+
+    if (!write_json(out_path, steady, ensemble, all_identical)) {
+        std::cerr << "ERROR: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    if (!all_identical) {
+        std::cerr << "ERROR: parallel estimate differs from serial\n";
+        return 1;
+    }
+    return 0;
+}

@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/util/csv.hpp"
+#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/table.hpp"
 
 namespace {
@@ -41,28 +42,47 @@ void run_panel(const Panel& panel, const reliability::Params& base_params,
     bench::print_header("Fig. 4 (" + std::string(1, panel.id) + "): " + panel.title);
     util::TextTable table({panel.x_label, "1v-NR", "1v-R", "2v-NR", "2v-R", "3v-NR",
                            "3v-R"});
-    for (double x : panel.xs) {
+
+    // The sweep grid is embarrassingly parallel: every (x, modules,
+    // proactive) cell is an independent DSPN solve. Evaluate the whole grid
+    // on the task pool (cell writes only its own slot -> deterministic
+    // output), then render the table and CSV serially.
+    struct Cell {
+        bool ok = false;
+        double value = 0.0;
+    };
+    constexpr std::size_t kConfigs = 6;  // 1v/2v/3v x NR/R
+    std::vector<Cell> cells(panel.xs.size() * kConfigs);
+    util::parallel_for(cells.size(), [&](std::size_t idx) {
+        const double x = panel.xs[idx / kConfigs];
+        const int n = 1 + static_cast<int>((idx % kConfigs) / 2);
+        const bool proactive = (idx % 2) == 1;
+        core::DspnConfig cfg;
+        cfg.modules = n;
+        cfg.proactive = proactive;
+        cfg.timing = base_timing;
+        reliability::Params params = base_params;
+        panel.apply(x, cfg, params);
+        Cell cell;
+        cell.ok = reliability::params_sane(params) &&
+                  (n < 2 || reliability::within_two_version_boundary(params)) &&
+                  (n < 3 || reliability::within_three_version_boundary(params));
+        if (cell.ok) cell.value = core::steady_state_reliability(cfg, params);
+        cells[idx] = cell;
+    });
+
+    for (std::size_t xi = 0; xi < panel.xs.size(); ++xi) {
+        const double x = panel.xs[xi];
         std::vector<std::string> row{util::fmt(x, 3)};
-        for (int n = 1; n <= 3; ++n) {
-            for (bool proactive : {false, true}) {
-                core::DspnConfig cfg;
-                cfg.modules = n;
-                cfg.proactive = proactive;
-                cfg.timing = base_timing;
-                reliability::Params params = base_params;
-                panel.apply(x, cfg, params);
-                double value = 0.0;
-                const bool ok =
-                    reliability::params_sane(params) &&
-                    (n < 2 || reliability::within_two_version_boundary(params)) &&
-                    (n < 3 || reliability::within_three_version_boundary(params));
-                if (ok) value = core::steady_state_reliability(cfg, params);
-                row.push_back(ok ? util::fmt(value, 6) : "n/a");
-                if (csv && ok)
-                    csv->add_row({std::string(1, panel.id), util::fmt(x, 6),
-                                  std::to_string(n) + (proactive ? "v-R" : "v-NR"),
-                                  util::fmt(value, 9)});
-            }
+        for (std::size_t c = 0; c < kConfigs; ++c) {
+            const Cell& cell = cells[xi * kConfigs + c];
+            const int n = 1 + static_cast<int>(c / 2);
+            const bool proactive = (c % 2) == 1;
+            row.push_back(cell.ok ? util::fmt(cell.value, 6) : "n/a");
+            if (csv && cell.ok)
+                csv->add_row({std::string(1, panel.id), util::fmt(x, 6),
+                              std::to_string(n) + (proactive ? "v-R" : "v-NR"),
+                              util::fmt(cell.value, 9)});
         }
         table.add_row(std::move(row));
     }

@@ -1,7 +1,10 @@
 // Google-benchmark microbenchmarks for the performance-critical primitives:
-// detector inference, voting, DSPN reachability + steady-state solving, the
-// discrete-event health engine and sign rendering. These guard against
-// performance regressions; they do not correspond to a paper table.
+// detector inference, voting, DSPN reachability + steady-state solving
+// (dense LU vs the sparse Gauss-Seidel core across state-space sizes),
+// serial vs parallel ensemble simulation, the discrete-event health engine
+// and sign rendering. These guard against performance regressions; they do
+// not correspond to a paper table. For the machine-readable solver numbers
+// (BENCH_solvers.json) run the bench_solvers binary.
 
 #include <benchmark/benchmark.h>
 
@@ -11,12 +14,35 @@
 #include "mvreju/core/health.hpp"
 #include "mvreju/core/voter.hpp"
 #include "mvreju/data/signs.hpp"
+#include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/num/linalg.hpp"
+#include "mvreju/num/sparse_markov.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace {
 
 using namespace mvreju;
+
+/// Random irreducible CTMC generator with ~5 edges per state (a cycle for
+/// irreducibility plus random shortcuts) — the shape of a tangible
+/// reachability graph.
+num::SparseMatrix random_ctmc(std::size_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<num::Triplet> triplets;
+    auto edge = [&](std::size_t from, std::size_t to, double rate) {
+        triplets.push_back({from, to, rate});
+        triplets.push_back({from, from, -rate});
+    };
+    for (std::size_t i = 0; i < n; ++i) edge(i, (i + 1) % n, rng.uniform(0.5, 2.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int k = 0; k < 4; ++k) {
+            const std::size_t to = rng.uniform_int(n);
+            if (to != i) edge(i, to, rng.uniform(0.1, 3.0));
+        }
+    }
+    return num::SparseMatrix::from_triplets(n, n, std::move(triplets));
+}
 
 void BM_RngUniform(benchmark::State& state) {
     util::Rng rng(1);
@@ -72,6 +98,39 @@ void BM_DspnSteadyState(benchmark::State& state) {
     for (auto _ : state) benchmark::DoNotOptimize(dspn::dspn_steady_state(graph));
 }
 BENCHMARK(BM_DspnSteadyState);
+
+void BM_DenseSteadyState(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const num::Matrix q = random_ctmc(n, 17).to_dense();
+    for (auto _ : state) benchmark::DoNotOptimize(num::solve_stationary(q));
+}
+BENCHMARK(BM_DenseSteadyState)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SparseSteadyState(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const num::SparseMatrix q = random_ctmc(n, 17);
+    num::StationaryOptions opts;
+    opts.dense_cutoff = 0;  // force the iterative path at every size
+    for (auto _ : state) benchmark::DoNotOptimize(num::ctmc_steady_state(q, opts));
+}
+BENCHMARK(BM_SparseSteadyState)->Arg(64)->Arg(256)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_EnsembleTransient(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    core::DspnConfig cfg;
+    cfg.timing.mttc = 8.0;
+    cfg.timing.mttf = 16.0;
+    cfg.timing.rejuvenation_interval = 3.0;
+    cfg.proactive = true;
+    const auto model = core::build_multiversion_dspn(cfg);
+    const dspn::RewardFn reward = [](const dspn::Marking& m) {
+        return m[0] >= 1 ? 1.0 : 0.0;
+    };
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dspn::simulate_transient_reward(model.net, reward, 50.0, 400, 11, threads));
+}
+BENCHMARK(BM_EnsembleTransient)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_HealthEngineSecond(benchmark::State& state) {
     core::HealthEngineConfig cfg;

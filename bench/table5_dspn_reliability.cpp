@@ -12,6 +12,7 @@
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -44,14 +45,25 @@ int main(int argc, char** argv) {
                              : std::vector<std::string>{"Configuration", "w/o rej.",
                                                         "w/ rej."});
     const char* names[] = {"Single-version (baseline)", "Two-version", "Three-version"};
+
+    // All six exact MRGP solves (3 configurations x with/without
+    // rejuvenation) are independent; run them on the task pool.
+    std::vector<double> exact(6, 0.0);
+    mvreju::util::parallel_for(6, [&](std::size_t idx) {
+        core::DspnConfig cfg;
+        cfg.modules = 1 + static_cast<int>(idx / 2);
+        cfg.timing = timing;
+        cfg.proactive = (idx % 2) == 1;
+        exact[idx] = core::steady_state_reliability(cfg, params);
+    });
+
     for (int n = 1; n <= 3; ++n) {
         core::DspnConfig cfg;
         cfg.modules = n;
         cfg.timing = timing;
-        cfg.proactive = false;
-        const double without = core::steady_state_reliability(cfg, params);
         cfg.proactive = true;
-        const double with = core::steady_state_reliability(cfg, params);
+        const double without = exact[static_cast<std::size_t>(n - 1) * 2];
+        const double with = exact[static_cast<std::size_t>(n - 1) * 2 + 1];
 
         std::vector<std::string> row{names[n - 1], util::fmt(without, 6),
                                      util::fmt(with, 6)};

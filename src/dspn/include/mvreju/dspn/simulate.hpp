@@ -37,17 +37,23 @@ struct SimulationEstimate {
 /// Ensemble transient estimate: E[reward(marking at time t)] over
 /// `replications` independent runs from the initial marking, with a 95%
 /// replication-level confidence interval. Works for full DSPNs (the exact
-/// transient solver only covers purely exponential nets).
+/// transient solver only covers purely exponential nets). Replications run
+/// on the shared task pool (`num_threads`; 0 = auto, 1 = serial); each
+/// replication draws from its own RNG substream keyed by its index, so the
+/// estimate is bit-identical for every thread count.
 [[nodiscard]] SimulationEstimate simulate_transient_reward(const PetriNet& net,
                                                            const RewardFn& reward,
                                                            double t,
                                                            std::size_t replications,
-                                                           std::uint64_t seed);
+                                                           std::uint64_t seed,
+                                                           std::size_t num_threads = 0);
 
 /// Ensemble first-passage estimate: mean time until `predicate` first holds
 /// (sampled over `replications` runs, each censored at `max_time`; censored
 /// runs contribute max_time, so the estimate is a lower bound when censoring
-/// occurs — the result reports how many runs were censored).
+/// occurs — the result reports how many runs were censored). Parallel over
+/// replications with the same determinism guarantee as
+/// simulate_transient_reward.
 struct FirstPassageEstimate {
     num::ConfidenceInterval ci;
     double mean = 0.0;
@@ -55,6 +61,7 @@ struct FirstPassageEstimate {
 };
 [[nodiscard]] FirstPassageEstimate simulate_mean_time_to(
     const PetriNet& net, const std::function<bool(const Marking&)>& predicate,
-    double max_time, std::size_t replications, std::uint64_t seed);
+    double max_time, std::size_t replications, std::uint64_t seed,
+    std::size_t num_threads = 0);
 
 }  // namespace mvreju::dspn

@@ -58,9 +58,12 @@ using RewardFn = std::function<double(const Marking&)>;
 
 /// Exact mean first-passage time from the initial marking into the set of
 /// tangible states satisfying `predicate` (expected hitting time of the
-/// underlying CTMC). Requires a purely exponential net; throws when the
-/// predicate holds initially with probability one is fine (returns 0) but
-/// the predicate set must be reachable from every transient state.
+/// underlying CTMC). Requires a purely exponential net (throws
+/// std::invalid_argument otherwise). Returns 0 when the predicate already
+/// holds in the initial marking. Throws std::invalid_argument when no
+/// reachable tangible marking satisfies the predicate, and
+/// std::runtime_error when some non-satisfying state cannot reach the
+/// predicate set (the mean first-passage time is infinite).
 [[nodiscard]] double spn_mean_time_to(const ReachabilityGraph& graph,
                                       const std::function<bool(const Marking&)>& predicate);
 

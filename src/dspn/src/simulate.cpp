@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace mvreju::dspn {
@@ -95,87 +96,105 @@ Marking simulate_until(const PetriNet& net, double horizon, util::Rng& rng) {
     return marking;
 }
 
+/// One first-passage trajectory, event by event, checking the predicate
+/// after every tangible transition. Returns the hitting time, or max_time
+/// with hit == false when the run is censored.
+struct FirstPassageSample {
+    double time = 0.0;
+    bool hit = false;
+};
+
+FirstPassageSample first_passage_trajectory(
+    const PetriNet& net, const std::function<bool(const Marking&)>& predicate,
+    double max_time, util::Rng& rng) {
+    Marking marking = sample_tangible(net, net.initial_marking(), rng);
+    std::map<std::size_t, double> det_clock;
+    auto sync = [&](const Marking& tangible) {
+        for (std::size_t t = 0; t < net.transition_count(); ++t) {
+            const TransitionId id{t};
+            if (net.kind(id) != TransitionKind::deterministic) continue;
+            const bool is_enabled = net.enabled(id, tangible);
+            const bool tracked = det_clock.contains(t);
+            if (is_enabled && !tracked) det_clock[t] = net.delay(id);
+            if (!is_enabled && tracked) det_clock.erase(t);
+        }
+    };
+    sync(marking);
+
+    double now = 0.0;
+    bool hit = predicate(marking);
+    while (!hit && now < max_time) {
+        const auto exp_enabled = net.enabled_of_kind(marking, TransitionKind::exponential);
+        double total_rate = 0.0;
+        for (TransitionId t : exp_enabled) total_rate += net.rate(t, marking);
+        double exp_dt = std::numeric_limits<double>::infinity();
+        if (total_rate > 0.0) exp_dt = rng.exponential(total_rate);
+        double det_dt = std::numeric_limits<double>::infinity();
+        std::size_t det_winner = 0;
+        for (const auto& [t, remaining] : det_clock) {
+            if (remaining < det_dt) {
+                det_dt = remaining;
+                det_winner = t;
+            }
+        }
+        const double dt = std::min(exp_dt, det_dt);
+        if (!std::isfinite(dt))
+            throw std::runtime_error("simulate: dead marking (no enabled transitions)");
+        now += dt;
+        if (now >= max_time) break;
+        for (auto& [t, remaining] : det_clock) remaining -= dt;
+        TransitionId fired{};
+        if (det_dt <= exp_dt) {
+            fired = TransitionId{det_winner};
+            det_clock.erase(det_winner);
+        } else {
+            double pick = rng.uniform() * total_rate;
+            fired = exp_enabled.back();
+            for (TransitionId t : exp_enabled) {
+                pick -= net.rate(t, marking);
+                if (pick <= 0.0) {
+                    fired = t;
+                    break;
+                }
+            }
+        }
+        marking = sample_tangible(net, net.fire(fired, marking), rng);
+        sync(marking);
+        hit = predicate(marking);
+    }
+    return {hit ? now : max_time, hit};
+}
+
 }  // namespace
 
 FirstPassageEstimate simulate_mean_time_to(
     const PetriNet& net, const std::function<bool(const Marking&)>& predicate,
-    double max_time, std::size_t replications, std::uint64_t seed) {
+    double max_time, std::size_t replications, std::uint64_t seed,
+    std::size_t num_threads) {
     if (max_time <= 0.0)
         throw std::invalid_argument("simulate_mean_time_to: non-positive max_time");
     if (replications < 2)
         throw std::invalid_argument("simulate_mean_time_to: need >= 2 replications");
 
-    util::Rng root(seed);
-    std::vector<double> samples;
-    samples.reserve(replications);
-    FirstPassageEstimate est;
-    for (std::size_t r = 0; r < replications; ++r) {
-        util::Rng rng = root.split(r + 1);
-        // Re-run the trajectory event by event, checking the predicate after
-        // every tangible transition.
-        Marking marking = sample_tangible(net, net.initial_marking(), rng);
-        std::map<std::size_t, double> det_clock;
-        auto sync = [&](const Marking& tangible) {
-            for (std::size_t t = 0; t < net.transition_count(); ++t) {
-                const TransitionId id{t};
-                if (net.kind(id) != TransitionKind::deterministic) continue;
-                const bool is_enabled = net.enabled(id, tangible);
-                const bool tracked = det_clock.contains(t);
-                if (is_enabled && !tracked) det_clock[t] = net.delay(id);
-                if (!is_enabled && tracked) det_clock.erase(t);
-            }
-        };
-        sync(marking);
+    // Replication r draws only from substream r + 1 and writes only slot r,
+    // so the fan-out is bit-identical for every thread count.
+    const util::Rng root(seed);
+    std::vector<double> samples(replications, 0.0);
+    std::vector<char> hits(replications, 0);
+    util::parallel_for(
+        replications,
+        [&](std::size_t r) {
+            util::Rng rng = root.split(r + 1);
+            const FirstPassageSample s =
+                first_passage_trajectory(net, predicate, max_time, rng);
+            samples[r] = s.time;
+            hits[r] = s.hit ? 1 : 0;
+        },
+        num_threads);
 
-        double now = 0.0;
-        bool hit = predicate(marking);
-        while (!hit && now < max_time) {
-            const auto exp_enabled =
-                net.enabled_of_kind(marking, TransitionKind::exponential);
-            double total_rate = 0.0;
-            for (TransitionId t : exp_enabled) total_rate += net.rate(t, marking);
-            double exp_dt = std::numeric_limits<double>::infinity();
-            if (total_rate > 0.0) exp_dt = rng.exponential(total_rate);
-            double det_dt = std::numeric_limits<double>::infinity();
-            std::size_t det_winner = 0;
-            for (const auto& [t, remaining] : det_clock) {
-                if (remaining < det_dt) {
-                    det_dt = remaining;
-                    det_winner = t;
-                }
-            }
-            const double dt = std::min(exp_dt, det_dt);
-            if (!std::isfinite(dt))
-                throw std::runtime_error("simulate: dead marking (no enabled transitions)");
-            now += dt;
-            if (now >= max_time) break;
-            for (auto& [t, remaining] : det_clock) remaining -= dt;
-            TransitionId fired{};
-            if (det_dt <= exp_dt) {
-                fired = TransitionId{det_winner};
-                det_clock.erase(det_winner);
-            } else {
-                double pick = rng.uniform() * total_rate;
-                fired = exp_enabled.back();
-                for (TransitionId t : exp_enabled) {
-                    pick -= net.rate(t, marking);
-                    if (pick <= 0.0) {
-                        fired = t;
-                        break;
-                    }
-                }
-            }
-            marking = sample_tangible(net, net.fire(fired, marking), rng);
-            sync(marking);
-            hit = predicate(marking);
-        }
-        if (!hit) {
-            ++est.censored;
-            samples.push_back(max_time);
-        } else {
-            samples.push_back(now);
-        }
-    }
+    FirstPassageEstimate est;
+    for (char h : hits)
+        if (!h) ++est.censored;
     est.ci = num::mean_ci95(samples);
     est.mean = est.ci.mean;
     return est;
@@ -183,17 +202,19 @@ FirstPassageEstimate simulate_mean_time_to(
 
 SimulationEstimate simulate_transient_reward(const PetriNet& net, const RewardFn& reward,
                                              double t, std::size_t replications,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed, std::size_t num_threads) {
     if (t < 0.0) throw std::invalid_argument("simulate_transient_reward: negative time");
     if (replications < 2)
         throw std::invalid_argument("simulate_transient_reward: need >= 2 replications");
-    util::Rng root(seed);
-    std::vector<double> samples;
-    samples.reserve(replications);
-    for (std::size_t r = 0; r < replications; ++r) {
-        util::Rng rng = root.split(r + 1);
-        samples.push_back(reward(simulate_until(net, t, rng)));
-    }
+    const util::Rng root(seed);
+    std::vector<double> samples(replications, 0.0);
+    util::parallel_for(
+        replications,
+        [&](std::size_t r) {
+            util::Rng rng = root.split(r + 1);
+            samples[r] = reward(simulate_until(net, t, rng));
+        },
+        num_threads);
     SimulationEstimate est;
     est.ci = num::mean_ci95(samples);
     est.mean = est.ci.mean;

@@ -4,27 +4,30 @@
 #include <deque>
 #include <stdexcept>
 
-#include "mvreju/num/linalg.hpp"
-#include "mvreju/num/markov.hpp"
-#include "mvreju/num/matrix.hpp"
+#include "mvreju/num/sparse.hpp"
+#include "mvreju/num/sparse_markov.hpp"
+#include "mvreju/util/parallel.hpp"
 
 namespace mvreju::dspn {
 
 namespace {
 
-using num::Matrix;
+using num::SparseMatrix;
+using num::Triplet;
 
-/// Generator of the tangible CTMC (exponential edges only).
-Matrix build_generator(const ReachabilityGraph& graph) {
+/// Generator of the tangible CTMC (exponential edges only), assembled
+/// directly in sparse form — tangible graphs have O(transitions) edges per
+/// state, so the generator is sparse by construction.
+SparseMatrix build_generator(const ReachabilityGraph& graph) {
     const std::size_t n = graph.state_count();
-    Matrix q(n, n);
+    std::vector<Triplet> triplets;
     for (std::size_t i = 0; i < n; ++i) {
         for (const ExpEdge& edge : graph.exponential_edges(i)) {
-            q(i, edge.target) += edge.rate;
-            q(i, i) -= edge.rate;
+            triplets.push_back({i, edge.target, edge.rate});
+            triplets.push_back({i, i, -edge.rate});
         }
     }
-    return q;
+    return SparseMatrix::from_triplets(n, n, std::move(triplets));
 }
 
 /// Check both-way reachability of every state from state 0 in the combined
@@ -68,6 +71,113 @@ void check_irreducible(const ReachabilityGraph& graph) {
         throw std::runtime_error("steady state: tangible graph is not irreducible");
 }
 
+/// One tangible state's contribution to the embedded Markov chain and the
+/// conversion matrix: EMC row i (regeneration-target probabilities) and
+/// conversion row i (expected time per tangible marking during the period).
+struct RegenerationRow {
+    std::vector<Triplet> emc;
+    std::vector<Triplet> conv;
+};
+
+RegenerationRow analyze_regeneration_period(const ReachabilityGraph& graph,
+                                            std::size_t i) {
+    RegenerationRow row;
+    const std::size_t n = graph.state_count();
+    const auto& dets = graph.deterministic_enabled(i);
+    if (dets.size() > 1)
+        throw std::runtime_error(
+            "dspn_steady_state: more than one deterministic transition enabled");
+
+    if (dets.empty()) {
+        // Purely exponential state: regeneration at the first firing.
+        double total_rate = 0.0;
+        for (const ExpEdge& e : graph.exponential_edges(i)) total_rate += e.rate;
+        if (total_rate <= 0.0)
+            throw std::runtime_error("dspn_steady_state: dead tangible marking");
+        for (const ExpEdge& e : graph.exponential_edges(i))
+            row.emc.push_back({i, e.target, e.rate / total_rate});
+        row.conv.push_back({i, i, 1.0 / total_rate});
+        return row;
+    }
+
+    // Deterministic enabling period: subordinated CTMC analysis.
+    const TransitionId det = dets.front();
+    const double tau = graph.net().delay(det);
+
+    // Subordinated set: tangible states reachable from i through exponential
+    // firings while `det` stays enabled. States where det is disabled (or a
+    // different deterministic transition shows up) become absorbing
+    // regeneration targets.
+    std::vector<std::size_t> sub;        // transient states (det enabled)
+    std::vector<std::size_t> absorbing;  // det disabled on entry
+    std::vector<int> local(n, -1);       // global -> local index, -1 unknown
+    auto classify = [&](std::size_t s) {
+        if (local[s] != -1) return;
+        const auto& s_dets = graph.deterministic_enabled(s);
+        const bool has_det = std::find(s_dets.begin(), s_dets.end(), det) != s_dets.end();
+        if (has_det && s_dets.size() > 1)
+            throw std::runtime_error(
+                "dspn_steady_state: concurrent deterministic transitions enabled");
+        if (has_det) {
+            // det keeps its clock: part of the subordinated CTMC.
+            local[s] = static_cast<int>(sub.size());
+            sub.push_back(s);
+        } else {
+            // det was disabled by the firing that entered s: regeneration
+            // point (any other deterministic transition starts fresh).
+            local[s] = -2;  // absorbing; index assigned after the sweep
+            absorbing.push_back(s);
+        }
+    };
+
+    classify(i);
+    if (local[i] < 0)
+        throw std::logic_error("dspn_steady_state: seed state misclassified");
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+        for (const ExpEdge& e : graph.exponential_edges(sub[k])) classify(e.target);
+    }
+    // Assign absorbing local indices after the transient block.
+    for (std::size_t a = 0; a < absorbing.size(); ++a)
+        local[absorbing[a]] = static_cast<int>(sub.size() + a);
+
+    const std::size_t m = sub.size() + absorbing.size();
+    std::vector<Triplet> q_triplets;
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+        for (const ExpEdge& e : graph.exponential_edges(sub[k])) {
+            const auto to = static_cast<std::size_t>(local[e.target]);
+            q_triplets.push_back({k, to, e.rate});
+            q_triplets.push_back({k, k, -e.rate});
+        }
+    }
+    // Absorbing rows stay zero.
+    const SparseMatrix q = SparseMatrix::from_triplets(m, m, std::move(q_triplets));
+
+    // Only the start state's omega/psi rows are ever read, so iterate a
+    // single row vector through the uniformized chain instead of computing
+    // the full e^{Q tau} matrix (O(nnz) per Poisson term, not O(n^3)).
+    const std::size_t i_loc = static_cast<std::size_t>(local[i]);
+    const num::TransientRow tr = num::transient_row(q, i_loc, tau);
+
+    // Survived to tau in subordinated state s: det fires there.
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+        const double p_here = tr.omega[k];
+        if (p_here <= 0.0) continue;
+        for (const Branch& b : graph.deterministic_branches(sub[k], det))
+            row.emc.push_back({i, b.target, p_here * b.probability});
+    }
+    // Absorbed before tau: period ended at the disabling firing.
+    for (std::size_t a = 0; a < absorbing.size(); ++a) {
+        const double p_abs = tr.omega[sub.size() + a];
+        if (p_abs > 0.0) row.emc.push_back({i, absorbing[a], p_abs});
+    }
+    // Time is accumulated only in transient (det-enabled) markings; the
+    // period ends on absorption.
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+        if (tr.psi[k] > 0.0) row.conv.push_back({i, sub[k], tr.psi[k]});
+    }
+    return row;
+}
+
 }  // namespace
 
 std::vector<double> spn_steady_state(const ReachabilityGraph& graph) {
@@ -88,107 +198,33 @@ std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
 
     // Embedded Markov chain P over tangible states (regeneration points) and
     // conversion matrix C: C(i, m) = expected time spent in tangible marking
-    // m during one regeneration period started in i.
-    Matrix emc(n, n);
-    Matrix conv(n, n);
+    // m during one regeneration period started in i. Periods are analysed
+    // independently per start state, so fan the rows out over the task pool;
+    // each index writes only its own slot, keeping the result deterministic.
+    // Small graphs stay serial: thread spawn would dominate, and callers
+    // (parameter sweeps) may already be running many solves concurrently.
+    std::vector<RegenerationRow> rows(n);
+    util::parallel_for(
+        n, [&](std::size_t i) { rows[i] = analyze_regeneration_period(graph, i); },
+        n >= 512 ? 0 : 1);
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto& dets = graph.deterministic_enabled(i);
-        if (dets.size() > 1)
-            throw std::runtime_error(
-                "dspn_steady_state: more than one deterministic transition enabled");
-
-        if (dets.empty()) {
-            // Purely exponential state: regeneration at the first firing.
-            double total_rate = 0.0;
-            for (const ExpEdge& e : graph.exponential_edges(i)) total_rate += e.rate;
-            if (total_rate <= 0.0)
-                throw std::runtime_error("dspn_steady_state: dead tangible marking");
-            for (const ExpEdge& e : graph.exponential_edges(i))
-                emc(i, e.target) += e.rate / total_rate;
-            conv(i, i) = 1.0 / total_rate;
-            continue;
-        }
-
-        // Deterministic enabling period: subordinated CTMC analysis.
-        const TransitionId det = dets.front();
-        const double tau = graph.net().delay(det);
-
-        // Subordinated set: tangible states reachable from i through
-        // exponential firings while `det` stays enabled. States where det is
-        // disabled (or a different deterministic transition shows up) become
-        // absorbing regeneration targets.
-        std::vector<std::size_t> sub;          // transient states (det enabled)
-        std::vector<std::size_t> absorbing;    // det disabled on entry
-        std::vector<int> local(n, -1);         // global -> local index, -1 unknown
-        auto classify = [&](std::size_t s) {
-            if (local[s] != -1) return;
-            const auto& s_dets = graph.deterministic_enabled(s);
-            const bool has_det =
-                std::find(s_dets.begin(), s_dets.end(), det) != s_dets.end();
-            if (has_det && s_dets.size() > 1)
-                throw std::runtime_error(
-                    "dspn_steady_state: concurrent deterministic transitions enabled");
-            if (has_det) {
-                // det keeps its clock: part of the subordinated CTMC.
-                local[s] = static_cast<int>(sub.size());
-                sub.push_back(s);
-            } else {
-                // det was disabled by the firing that entered s: regeneration
-                // point (any other deterministic transition starts fresh).
-                local[s] = -2;  // absorbing; index assigned after the sweep
-                absorbing.push_back(s);
-            }
-        };
-
-        classify(i);
-        if (local[i] < 0)
-            throw std::logic_error("dspn_steady_state: seed state misclassified");
-        for (std::size_t k = 0; k < sub.size(); ++k) {
-            for (const ExpEdge& e : graph.exponential_edges(sub[k])) classify(e.target);
-        }
-        // Assign absorbing local indices after the transient block.
-        for (std::size_t a = 0; a < absorbing.size(); ++a)
-            local[absorbing[a]] = static_cast<int>(sub.size() + a);
-
-        const std::size_t m = sub.size() + absorbing.size();
-        Matrix q(m, m);
-        for (std::size_t k = 0; k < sub.size(); ++k) {
-            for (const ExpEdge& e : graph.exponential_edges(sub[k])) {
-                const auto to = static_cast<std::size_t>(local[e.target]);
-                q(k, to) += e.rate;
-                q(k, k) -= e.rate;
-            }
-        }
-        // Absorbing rows stay zero.
-
-        const num::TransientMatrices tm = num::uniformize(q, tau);
-        const std::size_t i_loc = static_cast<std::size_t>(local[i]);
-
-        // Survived to tau in subordinated state s: det fires there.
-        for (std::size_t k = 0; k < sub.size(); ++k) {
-            const double p_here = tm.omega(i_loc, k);
-            if (p_here <= 0.0) continue;
-            for (const Branch& b : graph.deterministic_branches(sub[k], det))
-                emc(i, b.target) += p_here * b.probability;
-        }
-        // Absorbed before tau: period ended at the disabling firing.
-        for (std::size_t a = 0; a < absorbing.size(); ++a)
-            emc(i, absorbing[a]) += tm.omega(i_loc, sub.size() + a);
-        // Time is accumulated only in transient (det-enabled) markings; the
-        // period ends on absorption.
-        for (std::size_t k = 0; k < sub.size(); ++k)
-            conv(i, sub[k]) += tm.psi(i_loc, k);
+    std::vector<Triplet> emc_triplets;
+    std::vector<Triplet> conv_triplets;
+    for (RegenerationRow& row : rows) {
+        emc_triplets.insert(emc_triplets.end(), row.emc.begin(), row.emc.end());
+        conv_triplets.insert(conv_triplets.end(), row.conv.begin(), row.conv.end());
     }
+    const SparseMatrix emc = SparseMatrix::from_triplets(n, n, std::move(emc_triplets));
+    const SparseMatrix conv = SparseMatrix::from_triplets(n, n, std::move(conv_triplets));
 
     const std::vector<double> nu = num::dtmc_stationary(emc);
 
     std::vector<double> pi(n, 0.0);
     double total = 0.0;
-    for (std::size_t m = 0; m < n; ++m) {
-        for (std::size_t i = 0; i < n; ++i) pi[m] += nu[i] * conv(i, m);
-        total += pi[m];
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const SparseMatrix::Entry& e : conv.row(i)) pi[e.col] += nu[i] * e.value;
     }
+    for (double v : pi) total += v;
     if (total <= 0.0) throw std::runtime_error("dspn_steady_state: zero total time");
     for (double& v : pi) v /= total;
     return pi;
@@ -232,32 +268,69 @@ double spn_mean_time_to(const ReachabilityGraph& graph,
     // Transient states: those not satisfying the predicate.
     std::vector<int> transient_index(n, -1);
     std::vector<std::size_t> transient;
+    std::vector<char> is_target(n, 0);
     for (std::size_t s = 0; s < n; ++s) {
-        if (!predicate(graph.marking(s))) {
+        if (predicate(graph.marking(s))) {
+            is_target[s] = 1;
+        } else {
             transient_index[s] = static_cast<int>(transient.size());
             transient.push_back(s);
         }
     }
     if (transient.empty()) return 0.0;
+    if (transient.size() == n)
+        throw std::invalid_argument(
+            "spn_mean_time_to: no reachable tangible marking satisfies the predicate");
+
+    // The hitting-time system is only well-posed when every transient state
+    // can reach the target set; otherwise the mean is infinite. Detect that
+    // explicitly with a backward BFS from the target set.
+    {
+        std::vector<std::vector<std::size_t>> bwd(n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (const ExpEdge& e : graph.exponential_edges(i)) bwd[e.target].push_back(i);
+        std::vector<char> can_reach(n, 0);
+        std::deque<std::size_t> queue;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (is_target[s]) {
+                can_reach[s] = 1;
+                queue.push_back(s);
+            }
+        }
+        while (!queue.empty()) {
+            const std::size_t s = queue.front();
+            queue.pop_front();
+            for (std::size_t p : bwd[s]) {
+                if (!can_reach[p]) {
+                    can_reach[p] = 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for (std::size_t s : transient) {
+            if (!can_reach[s])
+                throw std::runtime_error(
+                    "spn_mean_time_to: predicate set unreachable from tangible state '" +
+                    std::to_string(s) + "' (mean first-passage time is infinite)");
+        }
+    }
 
     // Expected hitting times m satisfy, for transient i:
     //   sum_j Q(i, j) m_j = -1   with m_a = 0 on absorbing states,
     // i.e. (Q restricted to transient states) m = -1.
     const std::size_t k = transient.size();
-    num::Matrix a(k, k);
-    std::vector<double> b(k, -1.0);
+    std::vector<Triplet> a_triplets;
     for (std::size_t row = 0; row < k; ++row) {
         const std::size_t i = transient[row];
         for (const ExpEdge& e : graph.exponential_edges(i)) {
-            a(row, row) -= e.rate;
+            a_triplets.push_back({row, row, -e.rate});
             if (transient_index[e.target] >= 0)
-                a(row, static_cast<std::size_t>(transient_index[e.target])) += e.rate;
+                a_triplets.push_back(
+                    {row, static_cast<std::size_t>(transient_index[e.target]), e.rate});
         }
-        if (a(row, row) == 0.0)
-            throw std::runtime_error(
-                "spn_mean_time_to: target set unreachable from a transient state");
     }
-    const std::vector<double> m = num::solve(std::move(a), std::move(b));
+    const SparseMatrix a = SparseMatrix::from_triplets(k, k, std::move(a_triplets));
+    const std::vector<double> m = num::solve_absorbing(a, std::vector<double>(k, -1.0));
 
     double expected = 0.0;
     for (const Branch& init : graph.initial_distribution()) {

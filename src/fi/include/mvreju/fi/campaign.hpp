@@ -29,6 +29,10 @@ struct CampaignConfig {
     double degraded_threshold = 0.05;  ///< accuracy drop classifying `degraded`
     double critical_threshold = 0.30;  ///< accuracy drop classifying `critical`
     std::uint64_t seed = 1;
+    /// Worker threads for the per-site fan-out (0 = auto, 1 = serial). Each
+    /// site injects into its own copy of the model and draws from its own
+    /// RNG substream, so reports are identical for every thread count.
+    std::size_t num_threads = 0;
 };
 
 /// Outcome of a single fault classified against the thresholds.

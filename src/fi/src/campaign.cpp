@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace mvreju::fi {
@@ -45,22 +46,33 @@ CampaignReport run_weight_campaign(ml::Sequential& model, const ml::Dataset& eva
     CampaignReport report;
     report.baseline_accuracy = model.evaluate(eval).accuracy;
 
-    util::Rng rng(config.seed);
+    // Sites are independent, so fan them out over the task pool. Each site
+    // corrupts its own copy of the model and draws from substream site + 1;
+    // slot `site` of the report is written only by its own task, keeping the
+    // campaign deterministic for every thread count (and leaving the caller's
+    // model untouched throughout, not just restored at the end).
+    const util::Rng root(config.seed);
     const std::size_t layers = injectable_layer_count(model);
-    for (std::size_t layer = 0; layer < layers; ++layer) {
-        SiteReport site;
-        site.site = layer;
-        site.parameters = model.parameter_spans()[layer].size();
-        for (std::size_t k = 0; k < config.injections_per_site; ++k) {
-            const Injection injection = random_weight_inj(
-                model, layer, config.value_min, config.value_max, rng());
-            const double faulty = model.evaluate(eval).accuracy;
-            restore(model, injection);
-            account(site, report.baseline_accuracy, faulty, config);
-        }
-        site.mean_accuracy_drop /= static_cast<double>(site.injections());
-        report.sites.push_back(site);
-    }
+    report.sites.assign(layers, SiteReport{});
+    util::parallel_for(
+        layers,
+        [&](std::size_t layer) {
+            ml::Sequential worker = model;
+            util::Rng rng = root.split(layer + 1);
+            SiteReport site;
+            site.site = layer;
+            site.parameters = worker.parameter_spans()[layer].size();
+            for (std::size_t k = 0; k < config.injections_per_site; ++k) {
+                const Injection injection = random_weight_inj(
+                    worker, layer, config.value_min, config.value_max, rng());
+                const double faulty = worker.evaluate(eval).accuracy;
+                restore(worker, injection);
+                account(site, report.baseline_accuracy, faulty, config);
+            }
+            site.mean_accuracy_drop /= static_cast<double>(site.injections());
+            report.sites[layer] = site;
+        },
+        config.num_threads);
     return report;
 }
 
@@ -72,19 +84,26 @@ CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& ev
     CampaignReport report;
     report.baseline_accuracy = model.evaluate(eval).accuracy;
 
-    util::Rng rng(config.seed);
-    for (int bit = 0; bit < 32; ++bit) {
-        SiteReport site;
-        site.site = static_cast<std::size_t>(bit);
-        for (std::size_t k = 0; k < config.injections_per_site; ++k) {
-            const Injection injection = bit_flip_weight(model, layer, bit, rng());
-            const double faulty = model.evaluate(eval).accuracy;
-            restore(model, injection);
-            account(site, report.baseline_accuracy, faulty, config);
-        }
-        site.mean_accuracy_drop /= static_cast<double>(site.injections());
-        report.sites.push_back(site);
-    }
+    const util::Rng root(config.seed);
+    report.sites.assign(32, SiteReport{});
+    util::parallel_for(
+        32,
+        [&](std::size_t bit) {
+            ml::Sequential worker = model;
+            util::Rng rng = root.split(bit + 1);
+            SiteReport site;
+            site.site = bit;
+            for (std::size_t k = 0; k < config.injections_per_site; ++k) {
+                const Injection injection =
+                    bit_flip_weight(worker, layer, static_cast<int>(bit), rng());
+                const double faulty = worker.evaluate(eval).accuracy;
+                restore(worker, injection);
+                account(site, report.baseline_accuracy, faulty, config);
+            }
+            site.mean_accuracy_drop /= static_cast<double>(site.injections());
+            report.sites[bit] = site;
+        },
+        config.num_threads);
     return report;
 }
 

@@ -1,0 +1,86 @@
+#pragma once
+
+// Compressed-sparse-row (CSR) matrix for the CTMC/DSPN solvers. Tangible
+// reachability graphs have O(transitions) edges per state, so their
+// generators are sparse; storing them in CSR turns the O(n^2) storage and
+// O(n^3) dense solves into O(nnz) products and iterative solves, which is
+// what lets the solvers scale past a few hundred tangible states.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mvreju/num/matrix.hpp"
+
+namespace mvreju::num {
+
+/// One (row, col, value) coordinate entry used to assemble a SparseMatrix.
+struct Triplet {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+};
+
+/// Immutable CSR matrix of doubles. Assemble via from_triplets (duplicates
+/// are summed) or from_dense; structure is fixed after construction, only
+/// uniform scaling mutates values.
+class SparseMatrix {
+public:
+    /// One stored entry of a row: column index and value.
+    struct Entry {
+        std::size_t col = 0;
+        double value = 0.0;
+    };
+
+    SparseMatrix() = default;
+
+    /// Assemble from coordinate triplets; duplicate (row, col) pairs are
+    /// summed. Entries that sum to exactly zero are kept (structural zeros
+    /// are harmless and keeping them preserves determinism of assembly).
+    [[nodiscard]] static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                                    std::vector<Triplet> triplets);
+
+    /// Convert a dense matrix, dropping entries with |value| <= drop_tol.
+    [[nodiscard]] static SparseMatrix from_dense(const Matrix& dense,
+                                                 double drop_tol = 0.0);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+
+    /// Stored entries of row r (column-sorted).
+    [[nodiscard]] std::span<const Entry> row(std::size_t r) const;
+
+    /// Value at (r, c): stored entry or 0. O(log row_nnz) binary search.
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+    /// Matrix-vector product A x.
+    [[nodiscard]] std::vector<double> operator*(const std::vector<double>& x) const;
+
+    SparseMatrix& operator*=(double scalar);
+
+    [[nodiscard]] SparseMatrix transposed() const;
+
+    [[nodiscard]] Matrix to_dense() const;
+
+    /// Maximum absolute stored entry (0 for an empty matrix).
+    [[nodiscard]] double max_abs() const noexcept;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::size_t> row_start_;  // size rows_ + 1
+    std::vector<Entry> entries_;
+};
+
+/// Row-vector times matrix: (x^T A)^T. The workhorse of the iterative
+/// stationary and uniformization solvers.
+[[nodiscard]] std::vector<double> vec_mat(const std::vector<double>& x,
+                                          const SparseMatrix& a);
+
+/// In-place variant writing into `out` (resized to a.cols()); avoids one
+/// allocation per iteration in the solver inner loops.
+void vec_mat(const std::vector<double>& x, const SparseMatrix& a,
+             std::vector<double>& out);
+
+}  // namespace mvreju::num

@@ -1,0 +1,74 @@
+#pragma once
+
+// Sparse-aware Markov-chain analysis: iterative stationary solves and
+// row-targeted uniformization over num::SparseMatrix generators. These are
+// the scalable counterparts of the dense routines in markov.hpp — the DSPN
+// solvers assemble the tangible generator in CSR form and call these, so a
+// reachability graph with tens of thousands of states solves in O(nnz) per
+// iteration instead of O(n^3) once.
+
+#include <cstddef>
+#include <vector>
+
+#include "mvreju/num/sparse.hpp"
+
+namespace mvreju::num {
+
+/// Validate a CTMC generator in CSR form: off-diagonals >= 0, rows sum to 0.
+/// Throws std::invalid_argument on violation beyond `tol`.
+void check_generator(const SparseMatrix& q, double tol = 1e-9);
+
+/// Controls for the iterative stationary solvers.
+struct StationaryOptions {
+    /// Convergence threshold on the normalised residual ||pi Q||_inf /
+    /// max_rate. 1e-13 gives agreement with the dense LU path to ~1e-12.
+    double tolerance = 1e-13;
+    /// Hard cap on Gauss-Seidel sweeps before the solve is declared failed.
+    std::size_t max_sweeps = 100'000;
+    /// Problems at or below this order are forwarded to the dense LU
+    /// stationary solver: exact, and faster than iterating at small n.
+    std::size_t dense_cutoff = 64;
+};
+
+/// Steady-state distribution of an irreducible CTMC with sparse generator q.
+/// Gauss-Seidel on pi Q = 0 with per-sweep normalisation; falls back to the
+/// dense LU solver below options.dense_cutoff. Throws std::runtime_error if
+/// the iteration fails to reach the tolerance within max_sweeps.
+[[nodiscard]] std::vector<double> ctmc_steady_state(const SparseMatrix& q,
+                                                    const StationaryOptions& options = {});
+
+/// Stationary distribution of an irreducible DTMC with sparse transition
+/// matrix p (solves pi (P - I) = 0 with the same iteration).
+[[nodiscard]] std::vector<double> dtmc_stationary(const SparseMatrix& p,
+                                                  const StationaryOptions& options = {});
+
+/// One row of the uniformization result: starting from `start`,
+///   omega[j] = P(state at tau = j)   and
+///   psi[j]   = E[time spent in j during [0, tau]].
+/// Computed by iterating a single row vector through the uniformized DTMC —
+/// O(nnz) per Poisson term instead of the dense solver's O(n^3) total. This
+/// is exactly what the MRGP subordinated-CTMC step needs (it only ever reads
+/// the row of the regeneration-period start state).
+struct TransientRow {
+    std::vector<double> omega;
+    std::vector<double> psi;
+};
+[[nodiscard]] TransientRow transient_row(const SparseMatrix& q, std::size_t start,
+                                         double tau, double epsilon = 1e-12);
+
+/// Transient distribution pi0 e^{Q t} for a sparse generator.
+[[nodiscard]] std::vector<double> ctmc_transient(const SparseMatrix& q,
+                                                 const std::vector<double>& pi0, double t,
+                                                 double epsilon = 1e-12);
+
+/// Solve A m = b by Gauss-Seidel for the absorbing-chain hitting-time
+/// systems: A is the generator restricted to transient states (strictly
+/// negative diagonal, non-negative off-diagonals, weak row-sum dominance
+/// with strictness on rows that leak to the absorbing set). Falls back to
+/// dense LU below options.dense_cutoff; throws std::runtime_error when the
+/// diagonal vanishes or the iteration fails to converge.
+[[nodiscard]] std::vector<double> solve_absorbing(const SparseMatrix& a,
+                                                  const std::vector<double>& b,
+                                                  const StationaryOptions& options = {});
+
+}  // namespace mvreju::num

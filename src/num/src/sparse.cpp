@@ -1,0 +1,130 @@
+#include "mvreju/num/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvreju::num {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+    for (const Triplet& t : triplets) {
+        if (t.row >= rows || t.col >= cols)
+            throw std::out_of_range("SparseMatrix::from_triplets: index out of range");
+    }
+    std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+
+    SparseMatrix out;
+    out.rows_ = rows;
+    out.cols_ = cols;
+    out.row_start_.assign(rows + 1, 0);
+    out.entries_.reserve(triplets.size());
+    for (std::size_t k = 0; k < triplets.size(); ++k) {
+        const Triplet& t = triplets[k];
+        if (!out.entries_.empty() && k > 0 && triplets[k - 1].row == t.row &&
+            triplets[k - 1].col == t.col) {
+            out.entries_.back().value += t.value;  // merge duplicate coordinate
+        } else {
+            out.entries_.push_back({t.col, t.value});
+            ++out.row_start_[t.row + 1];
+        }
+    }
+    for (std::size_t r = 0; r < rows; ++r) out.row_start_[r + 1] += out.row_start_[r];
+    return out;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
+    SparseMatrix out;
+    out.rows_ = dense.rows();
+    out.cols_ = dense.cols();
+    out.row_start_.assign(out.rows_ + 1, 0);
+    for (std::size_t r = 0; r < out.rows_; ++r) {
+        for (std::size_t c = 0; c < out.cols_; ++c) {
+            const double v = dense(r, c);
+            if (std::fabs(v) > drop_tol) out.entries_.push_back({c, v});
+        }
+        out.row_start_[r + 1] = out.entries_.size();
+    }
+    return out;
+}
+
+std::span<const SparseMatrix::Entry> SparseMatrix::row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("SparseMatrix::row: index out of range");
+    return {entries_.data() + row_start_[r], row_start_[r + 1] - row_start_[r]};
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_)
+        throw std::out_of_range("SparseMatrix::at: index out of range");
+    const auto entries = row(r);
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), c,
+        [](const Entry& e, std::size_t col) { return e.col < col; });
+    return (it != entries.end() && it->col == c) ? it->value : 0.0;
+}
+
+std::vector<double> SparseMatrix::operator*(const std::vector<double>& x) const {
+    if (x.size() != cols_) throw std::invalid_argument("SparseMatrix: shape mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (const Entry& e : row(r)) acc += e.value * x[e.col];
+        y[r] = acc;
+    }
+    return y;
+}
+
+SparseMatrix& SparseMatrix::operator*=(double scalar) {
+    for (Entry& e : entries_) e.value *= scalar;
+    return *this;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+    // Counting sort by column: O(nnz), keeps rows of the result sorted.
+    SparseMatrix out;
+    out.rows_ = cols_;
+    out.cols_ = rows_;
+    out.row_start_.assign(cols_ + 1, 0);
+    for (const Entry& e : entries_) ++out.row_start_[e.col + 1];
+    for (std::size_t c = 0; c < cols_; ++c) out.row_start_[c + 1] += out.row_start_[c];
+    out.entries_.resize(entries_.size());
+    std::vector<std::size_t> cursor(out.row_start_.begin(), out.row_start_.end() - 1);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (const Entry& e : row(r)) out.entries_[cursor[e.col]++] = {r, e.value};
+    }
+    return out;
+}
+
+Matrix SparseMatrix::to_dense() const {
+    Matrix out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (const Entry& e : row(r)) out(r, e.col) += e.value;
+    return out;
+}
+
+double SparseMatrix::max_abs() const noexcept {
+    double best = 0.0;
+    for (const Entry& e : entries_) best = std::max(best, std::fabs(e.value));
+    return best;
+}
+
+std::vector<double> vec_mat(const std::vector<double>& x, const SparseMatrix& a) {
+    std::vector<double> y;
+    vec_mat(x, a, y);
+    return y;
+}
+
+void vec_mat(const std::vector<double>& x, const SparseMatrix& a,
+             std::vector<double>& out) {
+    if (x.size() != a.rows()) throw std::invalid_argument("vec_mat: shape mismatch");
+    out.assign(a.cols(), 0.0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const double xr = x[r];
+        if (xr == 0.0) continue;
+        for (const SparseMatrix::Entry& e : a.row(r)) out[e.col] += xr * e.value;
+    }
+}
+
+}  // namespace mvreju::num

@@ -1,0 +1,257 @@
+#include "mvreju/num/sparse_markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mvreju/num/linalg.hpp"
+#include "mvreju/num/markov.hpp"
+
+namespace mvreju::num {
+
+void check_generator(const SparseMatrix& q, double tol) {
+    const std::size_t n = q.rows();
+    if (q.cols() != n) throw std::invalid_argument("check_generator: non-square");
+    for (std::size_t i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (const SparseMatrix::Entry& e : q.row(i)) {
+            if (e.col != i && e.value < -tol)
+                throw std::invalid_argument("check_generator: negative off-diagonal rate");
+            row_sum += e.value;
+        }
+        if (std::fabs(row_sum) > tol)
+            throw std::invalid_argument("check_generator: row does not sum to zero");
+    }
+}
+
+namespace {
+
+/// Diagonal of a square CSR matrix as a vector.
+std::vector<double> diagonal(const SparseMatrix& a) {
+    std::vector<double> d(a.rows(), 0.0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (const SparseMatrix::Entry& e : a.row(r)) {
+            if (e.col == r) d[r] += e.value;
+        }
+    }
+    return d;
+}
+
+/// Gauss-Seidel for pi Q = 0, sum(pi) = 1, given qt = Q^T in CSR (row j of
+/// qt lists the incoming rates q(i, j)). The iteration
+///   pi_j <- sum_{i != j} pi_i q(i, j) / (-q(j, j))
+/// is a regular splitting of the singular M-matrix system; with per-sweep
+/// normalisation it converges for the irreducible chains the solvers feed us.
+std::vector<double> gauss_seidel_stationary(const SparseMatrix& qt,
+                                            const StationaryOptions& options) {
+    const std::size_t n = qt.rows();
+    const std::vector<double> diag = diagonal(qt);
+    double max_rate = 0.0;
+    for (double d : diag) {
+        if (d >= 0.0)
+            throw std::runtime_error(
+                "stationary solve: non-negative diagonal (absorbing or dead state)");
+        max_rate = std::max(max_rate, -d);
+    }
+
+    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (const SparseMatrix::Entry& e : qt.row(j)) {
+                if (e.col != j) acc += e.value * pi[e.col];
+            }
+            pi[j] = acc / -diag[j];
+        }
+        double total = 0.0;
+        for (double v : pi) total += v;
+        if (total <= 0.0)
+            throw std::runtime_error("stationary solve: iteration collapsed to zero");
+        for (double& v : pi) v /= total;
+
+        // Residual ||pi Q||_inf via the transposed rows, scaled by the
+        // fastest rate so the criterion is invariant to time rescaling.
+        double residual = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            double r = 0.0;
+            for (const SparseMatrix::Entry& e : qt.row(j)) r += e.value * pi[e.col];
+            residual = std::max(residual, std::fabs(r));
+        }
+        if (residual <= options.tolerance * max_rate) {
+            for (double& v : pi) {
+                if (v < 0.0 && v > -1e-12) v = 0.0;
+            }
+            return pi;
+        }
+    }
+    throw std::runtime_error("stationary solve: Gauss-Seidel did not converge");
+}
+
+/// Uniformized DTMC P = I + Q / lambda in CSR form, plus the rate lambda.
+struct Uniformized {
+    SparseMatrix p;
+    double lambda = 1.0;
+};
+
+Uniformized uniformized_dtmc(const SparseMatrix& q) {
+    const std::size_t n = q.rows();
+    double max_exit = 0.0;
+    for (double d : diagonal(q)) max_exit = std::max(max_exit, -d);
+    const double lambda = max_exit > 0.0 ? max_exit * 1.02 : 1.0;
+
+    std::vector<Triplet> triplets;
+    triplets.reserve(q.nnz() + n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (const SparseMatrix::Entry& e : q.row(r))
+            triplets.push_back({r, e.col, e.value / lambda});
+    for (std::size_t r = 0; r < n; ++r) triplets.push_back({r, r, 1.0});
+    return {SparseMatrix::from_triplets(n, n, std::move(triplets)), lambda};
+}
+
+}  // namespace
+
+std::vector<double> ctmc_steady_state(const SparseMatrix& q,
+                                      const StationaryOptions& options) {
+    check_generator(q);
+    const std::size_t n = q.rows();
+    if (n == 0) return {};
+    if (n == 1) return {1.0};
+    if (n <= options.dense_cutoff) return solve_stationary(q.to_dense());
+    return gauss_seidel_stationary(q.transposed(), options);
+}
+
+std::vector<double> dtmc_stationary(const SparseMatrix& p,
+                                    const StationaryOptions& options) {
+    const std::size_t n = p.rows();
+    if (p.cols() != n) throw std::invalid_argument("dtmc_stationary: non-square");
+    if (n == 0) return {};
+    if (n == 1) return {1.0};
+
+    // Stationary of P == steady state of the generator Q = P - I.
+    std::vector<Triplet> triplets;
+    triplets.reserve(p.nnz() + n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (const SparseMatrix::Entry& e : p.row(r))
+            triplets.push_back({r, e.col, e.value});
+    for (std::size_t r = 0; r < n; ++r) triplets.push_back({r, r, -1.0});
+    const SparseMatrix q = SparseMatrix::from_triplets(n, n, std::move(triplets));
+    if (n <= options.dense_cutoff) return solve_stationary(q.to_dense());
+    return gauss_seidel_stationary(q.transposed(), options);
+}
+
+TransientRow transient_row(const SparseMatrix& q, std::size_t start, double tau,
+                           double epsilon) {
+    check_generator(q);
+    if (tau < 0.0) throw std::invalid_argument("transient_row: negative horizon");
+    const std::size_t n = q.rows();
+    if (start >= n) throw std::out_of_range("transient_row: start out of range");
+
+    TransientRow out;
+    out.omega.assign(n, 0.0);
+    out.psi.assign(n, 0.0);
+    if (tau == 0.0) {
+        out.omega[start] = 1.0;
+        return out;
+    }
+
+    const Uniformized u = uniformized_dtmc(q);
+    const PoissonWeights pw = poisson_weights(u.lambda * tau, epsilon);
+
+    // omega = sum_k pois(k) e_start P^k ; psi = (1/lambda) sum_k e_start P^k
+    // P(N > k). Only row vectors are ever materialised.
+    std::vector<double> v(n, 0.0);
+    v[start] = 1.0;
+    std::vector<double> next;
+    double cdf = 0.0;
+    const std::size_t k_max = pw.left + pw.weights.size() - 1;
+    for (std::size_t k = 0; k <= k_max; ++k) {
+        const double pois_k =
+            (k >= pw.left && k - pw.left < pw.weights.size()) ? pw.weights[k - pw.left] : 0.0;
+        cdf += pois_k;
+        const double survival = std::max(0.0, 1.0 - cdf);
+
+        if (pois_k > 0.0)
+            for (std::size_t j = 0; j < n; ++j) out.omega[j] += pois_k * v[j];
+        if (survival > epsilon / 10.0)
+            for (std::size_t j = 0; j < n; ++j) out.psi[j] += survival * v[j];
+
+        if (k < k_max) {
+            vec_mat(v, u.p, next);
+            v.swap(next);
+        }
+    }
+    for (double& t : out.psi) t /= u.lambda;
+    return out;
+}
+
+std::vector<double> ctmc_transient(const SparseMatrix& q, const std::vector<double>& pi0,
+                                   double t, double epsilon) {
+    check_generator(q);
+    if (pi0.size() != q.rows())
+        throw std::invalid_argument("ctmc_transient: shape mismatch");
+    if (t == 0.0) return pi0;
+
+    const Uniformized u = uniformized_dtmc(q);
+    const PoissonWeights pw = poisson_weights(u.lambda * t, epsilon);
+
+    std::vector<double> acc(pi0.size(), 0.0);
+    std::vector<double> v = pi0;
+    std::vector<double> next;
+    const std::size_t k_max = pw.left + pw.weights.size() - 1;
+    for (std::size_t k = 0; k <= k_max; ++k) {
+        if (k >= pw.left) {
+            const double w = pw.weights[k - pw.left];
+            for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += w * v[j];
+        }
+        if (k < k_max) {
+            vec_mat(v, u.p, next);
+            v.swap(next);
+        }
+    }
+    return acc;
+}
+
+std::vector<double> solve_absorbing(const SparseMatrix& a, const std::vector<double>& b,
+                                    const StationaryOptions& options) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        throw std::invalid_argument("solve_absorbing: shape mismatch");
+    if (n == 0) return {};
+    if (n <= options.dense_cutoff) {
+        std::vector<double> rhs = b;
+        return solve(a.to_dense(), std::move(rhs));
+    }
+
+    const std::vector<double> diag = diagonal(a);
+    for (double d : diag) {
+        if (d == 0.0)
+            throw std::runtime_error("solve_absorbing: zero diagonal entry");
+    }
+    const double a_scale = a.max_abs();
+    double b_scale = 0.0;
+    for (double v : b) b_scale = std::max(b_scale, std::fabs(v));
+
+    std::vector<double> m(n, 0.0);
+    for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = b[i];
+            for (const SparseMatrix::Entry& e : a.row(i)) {
+                if (e.col != i) acc -= e.value * m[e.col];
+            }
+            m[i] = acc / diag[i];
+        }
+        // Backward-error residual ||A m - b||_inf against the problem scale.
+        double residual = 0.0;
+        double m_scale = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double r = -b[i];
+            for (const SparseMatrix::Entry& e : a.row(i)) r += e.value * m[e.col];
+            residual = std::max(residual, std::fabs(r));
+            m_scale = std::max(m_scale, std::fabs(m[i]));
+        }
+        if (residual <= options.tolerance * std::max(a_scale * m_scale + b_scale, 1e-300))
+            return m;
+    }
+    throw std::runtime_error("solve_absorbing: Gauss-Seidel did not converge");
+}
+
+}  // namespace mvreju::num

@@ -1,0 +1,34 @@
+#pragma once
+
+// Shared parallel execution layer for the embarrassingly-parallel hot paths
+// (Monte-Carlo replications, fault-injection sites, parameter-sweep grids,
+// per-state MRGP rows). Design rules that every caller relies on:
+//
+//  - Determinism: parallel_for runs fn(i) exactly once per index and each
+//    index writes only its own output slot. Any randomness must come from a
+//    per-index substream (util::Rng::split keyed by the index), never from a
+//    shared generator — then results are bit-identical for every thread
+//    count, including 1.
+//  - Exceptions: the first exception thrown by any index is rethrown on the
+//    calling thread after all workers have stopped.
+//  - Thread count: 0 means auto (hardware_threads(), overridable with the
+//    MVREJU_THREADS environment variable). Serial execution (n <= 1 or one
+//    thread) runs inline with zero scheduling overhead.
+
+#include <cstddef>
+#include <functional>
+
+namespace mvreju::util {
+
+/// Worker count used by parallel_for when num_threads == 0: the value of
+/// MVREJU_THREADS when set to a positive integer, else
+/// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] std::size_t hardware_threads();
+
+/// Run fn(i) for every i in [0, n), distributing indices over worker
+/// threads with a shared atomic cursor (dynamic load balancing; Monte-Carlo
+/// trajectory lengths vary widely, so static blocks would straggle).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads = 0);
+
+}  // namespace mvreju::util

@@ -1,0 +1,63 @@
+#include "mvreju/util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvreju::util {
+
+std::size_t hardware_threads() {
+    if (const char* env = std::getenv("MVREJU_THREADS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads) {
+    if (n == 0) return;
+    std::size_t workers = num_threads == 0 ? hardware_threads() : num_threads;
+    workers = std::min(workers, n);
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<bool> failed{false};
+
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_relaxed)) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(drain);
+    drain();  // the calling thread is worker 0
+    for (std::thread& t : pool) t.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mvreju::util

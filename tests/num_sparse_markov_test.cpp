@@ -1,0 +1,206 @@
+// Sparse-vs-dense cross-validation of the Markov solvers on randomized
+// CTMCs: the iterative sparse paths must agree with the dense LU paths to
+// 1e-10 across state-space sizes, including well above the dense-fallback
+// cutoff. The largest case runs sparse-only (dense would be too slow for a
+// unit test) and is checked through its stationary flow-balance residual.
+
+#include "mvreju/num/sparse_markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mvreju/num/linalg.hpp"
+#include "mvreju/num/markov.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::num {
+namespace {
+
+/// Random irreducible sparse CTMC generator: a Hamiltonian cycle
+/// 0 -> 1 -> ... -> n-1 -> 0 guarantees irreducibility, plus ~`extra`
+/// random edges per state.
+SparseMatrix random_generator(std::size_t n, std::size_t extra, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<Triplet> triplets;
+    auto add_edge = [&](std::size_t from, std::size_t to, double rate) {
+        triplets.push_back({from, to, rate});
+        triplets.push_back({from, from, -rate});
+    };
+    for (std::size_t i = 0; i < n; ++i) add_edge(i, (i + 1) % n, rng.uniform(0.5, 2.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < extra; ++k) {
+            const std::size_t to = rng.uniform_int(n);
+            if (to != i) add_edge(i, to, rng.uniform(0.1, 3.0));
+        }
+    }
+    return SparseMatrix::from_triplets(n, n, std::move(triplets));
+}
+
+TEST(SparseCheckGenerator, AcceptsValidRejectsInvalid) {
+    EXPECT_NO_THROW(check_generator(random_generator(20, 2, 1)));
+    const auto bad_sum = SparseMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+    EXPECT_THROW(check_generator(bad_sum), std::invalid_argument);
+    const auto bad_sign = SparseMatrix::from_triplets(
+        2, 2, {{0, 0, 1.0}, {0, 1, -1.0}, {1, 0, 1.0}, {1, 1, -1.0}});
+    EXPECT_THROW(check_generator(bad_sign), std::invalid_argument);
+}
+
+class RandomCtmcAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomCtmcAgreement, SteadyStateMatchesDenseLu) {
+    const std::size_t n = GetParam();
+    const SparseMatrix q = random_generator(n, 4, 1000 + n);
+    const auto sparse_pi = ctmc_steady_state(q);
+    const auto dense_pi = solve_stationary(q.to_dense());
+    ASSERT_EQ(sparse_pi.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(sparse_pi[i], dense_pi[i], 1e-10);
+}
+
+TEST_P(RandomCtmcAgreement, TransientMatchesDenseUniformization) {
+    const std::size_t n = GetParam();
+    const SparseMatrix q = random_generator(n, 3, 2000 + n);
+    std::vector<double> pi0(n, 0.0);
+    pi0[0] = 0.4;
+    pi0[n / 2] = 0.6;
+    const double t = 1.3;
+    const auto sparse_pi = ctmc_transient(q, pi0, t, 1e-13);
+    const auto dense_pi = ctmc_transient(q.to_dense(), pi0, t, 1e-13);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(sparse_pi[i], dense_pi[i], 1e-10);
+}
+
+// Sizes straddle the dense-fallback cutoff (64) on both sides.
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomCtmcAgreement,
+                         ::testing::Values(7, 40, 64, 65, 150, 400));
+
+TEST(SparseSteadyState, TwoThousandStatesSatisfiesFlowBalance) {
+    const std::size_t n = 2000;
+    const SparseMatrix q = random_generator(n, 4, 99);
+    const auto pi = ctmc_steady_state(q);
+    double total = 0.0;
+    for (double v : pi) {
+        EXPECT_GE(v, 0.0);
+        total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // ||pi Q||_inf below the solver tolerance times the fastest rate.
+    const auto residual = vec_mat(pi, q);
+    double max_residual = 0.0;
+    for (double r : residual) max_residual = std::max(max_residual, std::fabs(r));
+    EXPECT_LT(max_residual, 1e-10);
+}
+
+TEST(SparseSteadyState, MatchesClosedFormBirthDeath) {
+    // Birth-death chain with birth b, death d: pi_i ~ (b/d)^i.
+    const std::size_t n = 120;
+    const double b = 0.7;
+    const double d = 1.1;
+    std::vector<Triplet> triplets;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        triplets.push_back({i, i + 1, b});
+        triplets.push_back({i, i, -b});
+        triplets.push_back({i + 1, i, d});
+        triplets.push_back({i + 1, i + 1, -d});
+    }
+    const auto q = SparseMatrix::from_triplets(n, n, std::move(triplets));
+    const auto pi = ctmc_steady_state(q);
+    const double rho = b / d;
+    const double norm = (1.0 - rho) / (1.0 - std::pow(rho, static_cast<double>(n)));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(pi[i], norm * std::pow(rho, static_cast<double>(i)), 1e-11) << i;
+}
+
+TEST(SparseSteadyState, ReducibleChainThrows) {
+    // State 1 absorbing: diagonal vanishes, not a solvable stationary system.
+    const auto q = SparseMatrix::from_triplets(
+        70, 70, [] {
+            std::vector<Triplet> t;
+            for (std::size_t i = 0; i + 1 < 70; ++i) {
+                t.push_back({i, i + 1, 1.0});
+                t.push_back({i, i, -1.0});
+            }
+            return t;
+        }());
+    EXPECT_THROW((void)ctmc_steady_state(q), std::runtime_error);
+}
+
+TEST(SparseDtmcStationary, MatchesDenseOnRandomWalk) {
+    // Lazy random walk on a cycle of 150 nodes with asymmetric hops.
+    const std::size_t n = 150;
+    std::vector<Triplet> triplets;
+    for (std::size_t i = 0; i < n; ++i) {
+        triplets.push_back({i, i, 0.2});
+        triplets.push_back({i, (i + 1) % n, 0.5});
+        triplets.push_back({i, (i + n - 1) % n, 0.3});
+    }
+    const auto p = SparseMatrix::from_triplets(n, n, std::move(triplets));
+    const auto sparse_pi = dtmc_stationary(p);
+    const auto dense_pi = dtmc_stationary(p.to_dense());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(sparse_pi[i], dense_pi[i], 1e-10);
+}
+
+TEST(SparseDtmcStationary, PeriodicCycleIsUniform) {
+    const auto p = SparseMatrix::from_triplets(
+        3, 3, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+    const auto pi = dtmc_stationary(p);
+    for (double v : pi) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TransientRow, MatchesDenseUniformize) {
+    const std::size_t n = 90;
+    const SparseMatrix q = random_generator(n, 3, 5);
+    const double tau = 2.1;
+    const auto tr = transient_row(q, 7, tau, 1e-13);
+    const auto tm = uniformize(q.to_dense(), tau, 1e-13);
+    double omega_sum = 0.0;
+    double psi_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(tr.omega[j], tm.omega(7, j), 1e-10);
+        EXPECT_NEAR(tr.psi[j], tm.psi(7, j), 1e-9);
+        omega_sum += tr.omega[j];
+        psi_sum += tr.psi[j];
+    }
+    EXPECT_NEAR(omega_sum, 1.0, 1e-10);
+    EXPECT_NEAR(psi_sum, tau, 1e-8);
+}
+
+TEST(TransientRow, ZeroHorizonIsPointMass) {
+    const SparseMatrix q = random_generator(12, 2, 3);
+    const auto tr = transient_row(q, 4, 0.0);
+    for (std::size_t j = 0; j < 12; ++j) {
+        EXPECT_DOUBLE_EQ(tr.omega[j], j == 4 ? 1.0 : 0.0);
+        EXPECT_DOUBLE_EQ(tr.psi[j], 0.0);
+    }
+}
+
+TEST(SolveAbsorbing, MatchesDenseLuOnHittingTimes) {
+    // Hitting times of state n-1 on the random chain: restrict the
+    // generator to states 0..n-2 and solve A m = -1 both ways.
+    const std::size_t n = 180;
+    const SparseMatrix q = random_generator(n, 3, 77);
+    std::vector<Triplet> triplets;
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+        for (const SparseMatrix::Entry& e : q.row(r)) {
+            if (e.col + 1 < n) triplets.push_back({r, e.col, e.value});
+        }
+    }
+    const auto a = SparseMatrix::from_triplets(n - 1, n - 1, std::move(triplets));
+    const std::vector<double> b(n - 1, -1.0);
+    const auto sparse_m = solve_absorbing(a, b);
+    std::vector<double> rhs = b;
+    const auto dense_m = solve(a.to_dense(), std::move(rhs));
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        EXPECT_NEAR(sparse_m[i], dense_m[i], 1e-9 * (1.0 + std::fabs(dense_m[i])));
+}
+
+TEST(SolveAbsorbing, ZeroDiagonalThrows) {
+    std::vector<Triplet> triplets;
+    for (std::size_t i = 0; i < 70; ++i)
+        if (i != 3) triplets.push_back({i, i, -1.0});
+    const auto a = SparseMatrix::from_triplets(70, 70, std::move(triplets));
+    EXPECT_THROW((void)solve_absorbing(a, std::vector<double>(70, -1.0)),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mvreju::num

@@ -1,0 +1,94 @@
+#include "mvreju/num/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::num {
+namespace {
+
+TEST(SparseMatrix, FromTripletsMergesDuplicatesAndSorts) {
+    auto a = SparseMatrix::from_triplets(3, 3,
+                                         {{2, 1, 4.0},
+                                          {0, 2, 1.0},
+                                          {0, 0, -1.0},
+                                          {2, 1, -1.5},
+                                          {0, 2, 2.0}});
+    EXPECT_EQ(a.rows(), 3u);
+    EXPECT_EQ(a.cols(), 3u);
+    EXPECT_EQ(a.nnz(), 3u);  // (0,0), (0,2) merged, (2,1) merged
+    EXPECT_DOUBLE_EQ(a.at(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 2), 3.0);
+    EXPECT_DOUBLE_EQ(a.at(2, 1), 2.5);
+    EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+    // Rows are column-sorted.
+    const auto row0 = a.row(0);
+    ASSERT_EQ(row0.size(), 2u);
+    EXPECT_LT(row0[0].col, row0[1].col);
+}
+
+TEST(SparseMatrix, FromTripletsRejectsOutOfRange) {
+    EXPECT_THROW((void)SparseMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+                 std::out_of_range);
+    EXPECT_THROW((void)SparseMatrix::from_triplets(2, 2, {{0, 2, 1.0}}),
+                 std::out_of_range);
+}
+
+TEST(SparseMatrix, DenseRoundTrip) {
+    Matrix dense{{0.0, 2.0, 0.0}, {-1.0, 0.0, 0.5}};
+    const auto sparse = SparseMatrix::from_dense(dense);
+    EXPECT_EQ(sparse.nnz(), 3u);
+    const Matrix back = sparse.to_dense();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(back(r, c), dense(r, c));
+}
+
+TEST(SparseMatrix, MatVecMatchesDense) {
+    util::Rng rng(11);
+    const std::size_t n = 40;
+    Matrix dense(n, n);
+    for (std::size_t k = 0; k < 5 * n; ++k)
+        dense(rng.uniform_int(n), rng.uniform_int(n)) = rng.uniform(-2.0, 2.0);
+    const auto sparse = SparseMatrix::from_dense(dense);
+
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+    const auto dense_ax = dense * x;
+    const auto sparse_ax = sparse * x;
+    const auto dense_xa = vec_mat(x, dense);
+    const auto sparse_xa = vec_mat(x, sparse);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(sparse_ax[i], dense_ax[i], 1e-14);
+        EXPECT_NEAR(sparse_xa[i], dense_xa[i], 1e-14);
+    }
+}
+
+TEST(SparseMatrix, TransposeMatchesDense) {
+    auto a = SparseMatrix::from_triplets(2, 3, {{0, 1, 2.0}, {1, 0, -1.0}, {1, 2, 5.0}});
+    const auto t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(t.at(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 5.0);
+}
+
+TEST(SparseMatrix, ScaleAndMaxAbs) {
+    auto a = SparseMatrix::from_triplets(2, 2, {{0, 1, 3.0}, {1, 0, -4.0}});
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+    a *= 0.5;
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 1.5);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 2.0);
+}
+
+TEST(SparseMatrix, ShapeMismatchThrows) {
+    auto a = SparseMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+    EXPECT_THROW((void)(a * std::vector<double>(2, 1.0)), std::invalid_argument);
+    EXPECT_THROW((void)vec_mat(std::vector<double>(3, 1.0), a), std::invalid_argument);
+    EXPECT_THROW((void)a.row(2), std::out_of_range);
+    EXPECT_THROW((void)a.at(0, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mvreju::num

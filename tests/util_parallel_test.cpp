@@ -1,0 +1,93 @@
+#include "mvreju/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::util {
+namespace {
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+        std::vector<std::atomic<int>> counts(257);
+        parallel_for(257, [&](std::size_t i) { ++counts[i]; }, threads);
+        for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+    }
+}
+
+TEST(ParallelFor, ZeroAndSingleIndex) {
+    int calls = 0;
+    parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 0);
+    parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; }, 4);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PerIndexSlotsAreDeterministicAcrossThreadCounts) {
+    // The contract the simulators rely on: index-keyed RNG substreams plus
+    // per-index output slots give bit-identical results for any thread count.
+    const Rng root(123);
+    auto run = [&](std::size_t threads) {
+        std::vector<double> out(500);
+        parallel_for(
+            out.size(),
+            [&](std::size_t i) {
+                Rng rng = root.split(i + 1);
+                double acc = 0.0;
+                for (int k = 0; k < 100; ++k) acc += rng.uniform();
+                out[i] = acc;
+            },
+            threads);
+        return out;
+    };
+    const auto serial = run(1);
+    const auto two = run(2);
+    const auto eight = run(8);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], two[i]);  // bit-identical, not just close
+        EXPECT_EQ(serial[i], eight[i]);
+    }
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+    EXPECT_THROW(
+        parallel_for(
+            100,
+            [](std::size_t i) {
+                if (i == 37) throw std::runtime_error("boom");
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, SerialPathPropagatesException) {
+    EXPECT_THROW(
+        parallel_for(10, [](std::size_t) { throw std::logic_error("bad"); }, 1),
+        std::logic_error);
+}
+
+TEST(HardwareThreads, PositiveAndEnvOverridable) {
+    EXPECT_GE(hardware_threads(), 1u);
+    ASSERT_EQ(setenv("MVREJU_THREADS", "3", 1), 0);
+    EXPECT_EQ(hardware_threads(), 3u);
+    ASSERT_EQ(setenv("MVREJU_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(hardware_threads(), 1u);  // invalid values fall back to auto
+    unsetenv("MVREJU_THREADS");
+}
+
+TEST(ParallelFor, SumsLargeRange) {
+    std::vector<long> partial(10'000);
+    parallel_for(partial.size(), [&](std::size_t i) {
+        partial[i] = static_cast<long>(i);
+    });
+    const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+    EXPECT_EQ(total, 10'000L * 9'999L / 2);
+}
+
+}  // namespace
+}  // namespace mvreju::util
