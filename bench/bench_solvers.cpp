@@ -1,6 +1,9 @@
 // Machine-readable solver benchmarks: dense LU vs the sparse Gauss-Seidel
-// steady-state core across state-space sizes, and serial vs parallel ensemble
-// transient simulation across thread counts. Emits BENCH_solvers.json.
+// steady-state core across state-space sizes, a full DSPN pipeline solve
+// (reachability + MRGP steady state) of the paper's rejuvenation model, and
+// serial vs parallel ensemble transient simulation across thread counts.
+// Emits BENCH_solvers.json stamped with run metadata (git SHA, build type,
+// compiler).
 //
 // Two claims are checked, not just timed:
 //   * dense and sparse stationary vectors agree to 1e-10 wherever the dense
@@ -8,7 +11,10 @@
 //   * the parallel ensemble estimate is bit-identical to the serial one for
 //     every thread count (per-replication RNG substreams + output slots).
 //
-// Usage: bench_solvers [--out PATH]   (default BENCH_solvers.json)
+// Usage: bench_solvers [--out PATH] [--metrics PATH] [--trace PATH]
+//   --out      result table        (default BENCH_solvers.json)
+//   --metrics  metrics snapshot    (default BENCH_solvers.metrics.json)
+//   --trace    Chrome/Perfetto trace of the whole run (off unless given)
 
 #include <algorithm>
 #include <chrono>
@@ -23,10 +29,14 @@
 #include <vector>
 
 #include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/reachability.hpp"
 #include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
 #include "mvreju/num/linalg.hpp"
 #include "mvreju/num/sparse_markov.hpp"
+#include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/obs/session.hpp"
+#include "mvreju/util/args.hpp"
 #include "mvreju/util/parallel.hpp"
 #include "mvreju/util/rng.hpp"
 
@@ -96,12 +106,41 @@ dspn::PetriNet rejuvenation_net() {
     return core::build_multiversion_dspn(cfg).net;
 }
 
+/// End-to-end DSPN pipeline solve of the paper's rejuvenation model:
+/// reachability-graph construction plus the MRGP steady-state solve. This is
+/// the path the obs trace is expected to cover (dspn.reachability and
+/// dspn.steady_state spans).
+struct DspnPipelineRow {
+    std::size_t states = 0;
+    double reach_ms = 0.0;
+    double solve_ms = 0.0;
+    double probability_mass = 0.0;  // sanity: steady-state vector sums to 1
+};
+
+DspnPipelineRow bench_dspn_pipeline() {
+    const dspn::PetriNet net = rejuvenation_net();
+    DspnPipelineRow row;
+
+    auto start = Clock::now();
+    const dspn::ReachabilityGraph graph(net);
+    row.reach_ms = ms_since(start);
+    row.states = graph.state_count();
+
+    start = Clock::now();
+    const std::vector<double> pi = dspn::dspn_steady_state(graph);
+    row.solve_ms = ms_since(start);
+    for (double p : pi) row.probability_mass += p;
+    return row;
+}
+
 bool write_json(const std::string& path, const std::vector<SteadyStateRow>& steady,
-                const std::vector<EnsembleRow>& ensemble, bool all_identical) {
+                const DspnPipelineRow& pipeline, const std::vector<EnsembleRow>& ensemble,
+                bool all_identical) {
     std::ofstream out(path);
     out << std::setprecision(17);
     out << "{\n";
     out << "  \"bench\": \"solvers\",\n";
+    out << "  \"meta\": " << obs::run_metadata_json() << ",\n";
     out << "  \"hardware_threads\": " << util::hardware_threads() << ",\n";
     out << "  \"steady_state_dense_vs_sparse\": [\n";
     for (std::size_t i = 0; i < steady.size(); ++i) {
@@ -112,6 +151,10 @@ bool write_json(const std::string& path, const std::vector<SteadyStateRow>& stea
             << (i + 1 < steady.size() ? ",\n" : "\n");
     }
     out << "  ],\n";
+    out << "  \"dspn_pipeline\": {\"states\": " << pipeline.states
+        << ", \"reach_ms\": " << pipeline.reach_ms << ", \"solve_ms\": "
+        << pipeline.solve_ms << ", \"probability_mass\": " << pipeline.probability_mass
+        << "},\n";
     out << "  \"ensemble_transient\": [\n";
     for (std::size_t i = 0; i < ensemble.size(); ++i) {
         const auto& r = ensemble[i];
@@ -131,10 +174,11 @@ bool write_json(const std::string& path, const std::vector<SteadyStateRow>& stea
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string out_path = "BENCH_solvers.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--out" && i + 1 < argc) out_path = argv[++i];
-    }
+    const util::Args args(argc, argv);
+    const std::string out_path = args.get("out", std::string("BENCH_solvers.json"));
+    // Reference obs wiring: --metrics / --trace; a metrics blob is dropped
+    // next to the result table even when --metrics is absent.
+    obs::Session session(args, "BENCH_solvers.metrics.json");
 
     // --- Dense vs sparse steady state -----------------------------------
     std::vector<SteadyStateRow> steady;
@@ -166,6 +210,12 @@ int main(int argc, char** argv) {
                   << " sparse_ms=" << row.sparse_ms << " dense_ms=" << row.dense_ms
                   << " max_abs_diff=" << row.max_abs_diff << "\n";
     }
+
+    // --- Full DSPN pipeline (reachability + MRGP steady state) -----------
+    const DspnPipelineRow pipeline = bench_dspn_pipeline();
+    std::cout << "dspn_pipeline states=" << pipeline.states
+              << " reach_ms=" << pipeline.reach_ms << " solve_ms=" << pipeline.solve_ms
+              << " probability_mass=" << pipeline.probability_mass << "\n";
 
     // --- Serial vs parallel ensemble transient ---------------------------
     const dspn::PetriNet net = rejuvenation_net();
@@ -203,7 +253,7 @@ int main(int argc, char** argv) {
                   << "\n";
     }
 
-    if (!write_json(out_path, steady, ensemble, all_identical)) {
+    if (!write_json(out_path, steady, pipeline, ensemble, all_identical)) {
         std::cerr << "ERROR: cannot write " << out_path << "\n";
         return 1;
     }

@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "mvreju/core/dspn_models.hpp"
+#include "mvreju/obs/session.hpp"
 #include "mvreju/util/csv.hpp"
 #include "mvreju/util/parallel.hpp"
 #include "mvreju/util/table.hpp"
@@ -94,6 +95,7 @@ void run_panel(const Panel& panel, const reliability::Params& base_params,
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    mvreju::obs::Session session(args);
     const auto params = bench::params_from_args(args);
     const auto timing = bench::timing_from_args(args);
     const std::string which = args.get("panel", std::string(""));

@@ -12,12 +12,14 @@
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/obs/session.hpp"
 #include "mvreju/util/parallel.hpp"
 #include "mvreju/util/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace mvreju;
     const util::Args args(argc, argv);
+    obs::Session session(args);
     const auto params = bench::params_from_args(args);
     const auto timing = bench::timing_from_args(args);
     const bool simulate = args.has("simulate");

@@ -3,16 +3,23 @@
 // (collisions, voter outcomes, perception throughput, health events).
 //
 //   ./build/examples/av_drive [--route 1..8] [--no-rejuvenation] [--seed N]
+//                             [--trace FILE] [--metrics FILE]
+//
+// --trace writes a Chrome trace-event JSON of the whole drive (one av.frame
+// span per frame, av.perceive_vote inside it) — load it in
+// https://ui.perfetto.dev. --metrics writes the merged metrics snapshot.
 
 #include <cstdio>
 
 #include "mvreju/av/simulation.hpp"
+#include "mvreju/obs/session.hpp"
 #include "mvreju/util/args.hpp"
 
 using namespace mvreju;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    obs::Session session(args);
     const int route_number = args.get("route", 1);
     const bool rejuvenation = !args.has("no-rejuvenation");
 

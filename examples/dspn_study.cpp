@@ -4,6 +4,7 @@
 // TimeNET, scripted in ~80 lines of C++.
 //
 //   ./build/examples/dspn_study [--modules 3] [--dot model.dot]
+//                               [--trace FILE] [--metrics FILE]
 
 #include <cstdio>
 #include <fstream>
@@ -13,12 +14,14 @@
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/dspn/dot.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/obs/session.hpp"
 #include "mvreju/util/args.hpp"
 
 using namespace mvreju;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    obs::Session session(args);
 
     core::DspnConfig cfg;
     cfg.modules = args.get("modules", 3);

@@ -4,6 +4,38 @@
 #include <stdexcept>
 
 #include "mvreju/core/system.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
+
+namespace {
+
+/// Frame-loop telemetry; resolved once so the per-frame path is just
+/// relaxed atomic bumps on pre-registered cells.
+struct AvTelemetry {
+    mvreju::obs::Counter& frames;
+    mvreju::obs::Counter& inferences;
+    mvreju::obs::Counter& votes_decided;
+    mvreju::obs::Counter& votes_skipped;
+    mvreju::obs::Counter& votes_no_output;
+    mvreju::obs::Counter& collision_frames;
+    mvreju::obs::Histogram& perceive_ms;
+};
+
+AvTelemetry& av_telemetry() {
+    mvreju::obs::Registry& reg = mvreju::obs::metrics();
+    static AvTelemetry t{
+        reg.counter("av.frames"),
+        reg.counter("av.inferences"),
+        reg.counter("av.votes.decided"),
+        reg.counter("av.votes.skipped"),
+        reg.counter("av.votes.no_output"),
+        reg.counter("av.collision_frames"),
+        reg.histogram("av.perceive_vote.latency_ms",
+                      mvreju::obs::HistogramBounds::exponential(0.01, 2.0, 16))};
+    return t;
+}
+
+}  // namespace
 
 namespace mvreju::av {
 
@@ -66,9 +98,14 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
 
     RunMetrics metrics;
     using Clock = std::chrono::steady_clock;
+    MVREJU_OBS_SPAN(scenario_span, "av.run_scenario");
+    scenario_span.arg("versions", static_cast<double>(config.versions));
+    AvTelemetry& tel = av_telemetry();
 
     const int max_frames = static_cast<int>(config.horizon / config.dt);
     for (int frame = 0; frame < max_frames; ++frame) {
+        MVREJU_OBS_SPAN(frame_span, "av.frame");
+        frame_span.arg("frame", static_cast<double>(frame));
         const double now = frame * config.dt;
         health.advance_to(now);
 
@@ -80,6 +117,7 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
             render_grid(ego.obb(), vehicle_boxes, config.sensor, sensor_rng);
 
         // --- Perceive (N versions) and vote ---
+        MVREJU_OBS_SPAN(perceive_span, "av.perceive_vote");
         const auto t0 = Clock::now();
         std::vector<std::optional<Detection>> proposals;
         proposals.reserve(static_cast<std::size_t>(config.versions));
@@ -105,12 +143,22 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
             ++metrics.inferences;
         }
         const auto vote = voter.vote(proposals);
-        metrics.perception_wall_seconds +=
+        const double perceive_seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
+        metrics.perception_wall_seconds += perceive_seconds;
+        std::uint64_t frame_inferences = 0;
+        for (const auto& p : proposals)
+            if (p.has_value()) ++frame_inferences;
+        tel.inferences.add(frame_inferences);
+        tel.perceive_ms.record(perceive_seconds * 1e3);
+        perceive_span.arg("versions", static_cast<double>(config.versions));
+        perceive_span.arg("decided", vote.kind == core::VoteKind::decided ? 1.0 : 0.0);
+        perceive_span.end();
 
         switch (vote.kind) {
             case core::VoteKind::decided: {
                 ++metrics.decided_frames;
+                tel.votes_decided.add();
                 const int truth_bucket = distance_to_bucket(
                     ground_truth_distance(ego.obb(), vehicle_boxes, config.sensor));
                 if (vote.value->bucket <= truth_bucket - 2)
@@ -120,10 +168,12 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
             }
             case core::VoteKind::skipped:
                 ++metrics.skipped_frames;
+                tel.votes_skipped.add();
                 planner.update_perception(std::nullopt);
                 break;
             case core::VoteKind::no_output:
                 ++metrics.no_output_frames;
+                tel.votes_no_output.add();
                 planner.update_perception(std::nullopt);
                 break;
         }
@@ -158,8 +208,10 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
             }
         }
         ++metrics.total_frames;
+        tel.frames.add();
         if (colliding) {
             ++metrics.collision_frames;
+            tel.collision_frames.add();
             if (metrics.first_collision_frame < 0)
                 metrics.first_collision_frame = frame;
         }
@@ -169,6 +221,8 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
 
     metrics.route_completed = s_hint / route.length();
     metrics.health_stats = health.stats();
+    scenario_span.arg("frames", static_cast<double>(metrics.total_frames));
+    scenario_span.arg("route_completed", metrics.route_completed);
     return metrics;
 }
 

@@ -25,10 +25,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "mvreju/core/voter.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
 
 namespace mvreju::core {
 
@@ -46,11 +49,23 @@ public:
         : voter_(std::move(voter)), options_(options) {
         if (modules.empty())
             throw std::invalid_argument("RuntimeSystem: no modules");
+        obs::Registry& reg = obs::metrics();
+        deadline_misses_ = &reg.counter("core.runtime.deadline_misses");
+        rejuvenation_events_ = &reg.counter("core.runtime.rejuvenations");
+        votes_decided_ = &reg.counter("core.runtime.votes.decided");
+        votes_skipped_ = &reg.counter("core.runtime.votes.skipped");
+        votes_no_output_ = &reg.counter("core.runtime.votes.no_output");
         workers_.reserve(modules.size());
+        latency_ms_.reserve(modules.size());
         timeouts_.assign(modules.size(), 0);
         for (auto& fn : modules) {
             if (!fn) throw std::invalid_argument("RuntimeSystem: null module");
-            workers_.push_back(Worker::start(std::move(fn)));
+            // 0.05ms .. ~1.6s in geometric steps; module bodies range from
+            // microseconds (unit tests) to deliberately wedged stalls.
+            latency_ms_.push_back(&reg.histogram(
+                "core.runtime.m" + std::to_string(latency_ms_.size()) + ".latency_ms",
+                obs::HistogramBounds::exponential(0.05, 2.0, 15)));
+            workers_.push_back(Worker::start(std::move(fn), latency_ms_.back()));
         }
     }
 
@@ -68,6 +83,7 @@ public:
     /// still busy with an earlier frame, or that miss the deadline, submit
     /// no proposal and have their timeout counter bumped.
     [[nodiscard]] VoteResult<Output> process(const Input& input) {
+        MVREJU_OBS_SPAN(span, "core.runtime.process");
         auto pending = std::make_shared<PendingVote>();
         pending->proposals.assign(workers_.size(), std::nullopt);
 
@@ -79,6 +95,7 @@ public:
                 ++posted;
             } else {
                 ++timeouts_[m];  // wedged since an earlier frame
+                deadline_misses_->add();
             }
         }
 
@@ -86,9 +103,23 @@ public:
         pending->cv.wait_for(lock, options_.deadline,
                              [&] { return pending->responded == posted; });
         pending->closed = true;
-        for (std::size_t m = 0; m < workers_.size(); ++m)
-            if (was_posted[m] && !pending->proposals[m].has_value()) ++timeouts_[m];
-        return voter_.vote(pending->proposals);
+        const std::size_t responded = pending->responded;
+        for (std::size_t m = 0; m < workers_.size(); ++m) {
+            if (was_posted[m] && !pending->proposals[m].has_value()) {
+                ++timeouts_[m];
+                deadline_misses_->add();
+            }
+        }
+        VoteResult<Output> result = voter_.vote(pending->proposals);
+        switch (result.kind) {
+            case VoteKind::decided: votes_decided_->add(); break;
+            case VoteKind::skipped: votes_skipped_->add(); break;
+            case VoteKind::no_output: votes_no_output_->add(); break;
+        }
+        span.arg("posted", static_cast<double>(posted));
+        span.arg("responded", static_cast<double>(responded));
+        span.arg("decided", result.decided() ? 1.0 : 0.0);
+        return result;
     }
 
     /// Replace module `m`'s behaviour with a fresh (possibly diversified)
@@ -101,9 +132,10 @@ public:
         if (!fresh) throw std::invalid_argument("RuntimeSystem::rejuvenate: null module");
         if (!workers_[module]->replace_fn_if_idle(fresh)) {
             workers_[module]->abandon();
-            workers_[module] = Worker::start(std::move(fresh));
+            workers_[module] = Worker::start(std::move(fresh), latency_ms_[module]);
         }
         ++rejuvenations_;
+        rejuvenation_events_->add();
     }
 
     /// Frames in which module m failed to respond by its deadline.
@@ -125,9 +157,10 @@ private:
 
     class Worker {
     public:
-        static std::unique_ptr<Worker> start(ModuleFn fn) {
+        static std::unique_ptr<Worker> start(ModuleFn fn, obs::Histogram* latency_ms) {
             auto worker = std::unique_ptr<Worker>(new Worker());
             worker->shared_->fn = std::move(fn);
+            worker->shared_->latency_ms = latency_ms;
             worker->thread_ = std::thread(&Worker::run, worker->shared_);
             return worker;
         }
@@ -189,6 +222,7 @@ private:
             std::mutex mu;
             std::condition_variable cv;
             ModuleFn fn;
+            obs::Histogram* latency_ms = nullptr;  ///< set once before the thread starts
             std::optional<Input> input;
             std::shared_ptr<PendingVote> pending;
             std::size_t slot = 0;
@@ -217,10 +251,18 @@ private:
                 }
 
                 std::optional<Output> output;
+                const bool timing = obs::enabled();
+                const auto started = timing ? std::chrono::steady_clock::now()
+                                            : std::chrono::steady_clock::time_point{};
                 try {
                     output = fn(input);
                 } catch (...) {
                     // A crashing module simply submits nothing this frame.
+                }
+                if (timing && shared->latency_ms != nullptr) {
+                    const std::chrono::duration<double, std::milli> elapsed =
+                        std::chrono::steady_clock::now() - started;
+                    shared->latency_ms->record(elapsed.count());
                 }
 
                 // Become idle *before* signalling the vote: the caller wakes
@@ -251,8 +293,14 @@ private:
     Voter<Output> voter_;
     Options options_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<obs::Histogram*> latency_ms_;  ///< per-module, survives rejuvenation
     std::vector<std::size_t> timeouts_;
     std::size_t rejuvenations_ = 0;
+    obs::Counter* deadline_misses_ = nullptr;
+    obs::Counter* rejuvenation_events_ = nullptr;
+    obs::Counter* votes_decided_ = nullptr;
+    obs::Counter* votes_skipped_ = nullptr;
+    obs::Counter* votes_no_output_ = nullptr;
 };
 
 }  // namespace mvreju::core

@@ -4,10 +4,14 @@
 #include <deque>
 #include <stdexcept>
 
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
+
 namespace mvreju::dspn {
 
 ReachabilityGraph::ReachabilityGraph(const PetriNet& net, std::size_t max_states)
     : net_(net), max_states_(max_states) {
+    MVREJU_OBS_SPAN(span, "dspn.reachability");
     std::vector<Marking> path;
     initial_ = resolve(net_.initial_marking(), path);
 
@@ -32,6 +36,17 @@ ReachabilityGraph::ReachabilityGraph(const PetriNet& net, std::size_t max_states
             det_branches_[{state, t.index}] = resolve(net_.fire(t, current), path);
         }
     }
+
+    std::size_t exp_edge_count = 0;
+    for (const auto& edges : exp_edges_) exp_edge_count += edges.size();
+    span.arg("states", static_cast<double>(markings_.size()));
+    span.arg("exp_edges", static_cast<double>(exp_edge_count));
+    obs::Registry& reg = obs::metrics();
+    static obs::Counter& builds = reg.counter("dspn.reachability.builds");
+    static obs::Histogram& states_hist = reg.histogram(
+        "dspn.reachability.states", obs::HistogramBounds::exponential(1.0, 4.0, 12));
+    builds.add();
+    states_hist.record(static_cast<double>(markings_.size()));
 }
 
 const Marking& ReachabilityGraph::marking(std::size_t state) const {

@@ -5,12 +5,32 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
 #include "mvreju/util/parallel.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace mvreju::dspn {
 
 namespace {
+
+/// Batch/ensemble statistics of the Monte-Carlo harnesses. Recorded once
+/// per estimate (outside the parallel region) so instrumentation can never
+/// perturb the bit-identical-across-thread-counts guarantee.
+struct SimTelemetry {
+    obs::Counter& estimates;
+    obs::Counter& replications;
+    obs::Histogram& ci_half_width;
+};
+
+SimTelemetry& sim_telemetry() {
+    obs::Registry& reg = obs::metrics();
+    static SimTelemetry t{
+        reg.counter("dspn.sim.estimates"), reg.counter("dspn.sim.replications"),
+        reg.histogram("dspn.sim.ci_half_width",
+                      obs::HistogramBounds::exponential(1e-6, 10.0, 12))};
+    return t;
+}
 
 /// Resolve a (possibly vanishing) marking by sampling immediate firings.
 Marking sample_tangible(const PetriNet& net, Marking marking, util::Rng& rng) {
@@ -175,6 +195,8 @@ FirstPassageEstimate simulate_mean_time_to(
         throw std::invalid_argument("simulate_mean_time_to: non-positive max_time");
     if (replications < 2)
         throw std::invalid_argument("simulate_mean_time_to: need >= 2 replications");
+    MVREJU_OBS_SPAN(span, "dspn.simulate.first_passage");
+    span.arg("replications", static_cast<double>(replications));
 
     // Replication r draws only from substream r + 1 and writes only slot r,
     // so the fan-out is bit-identical for every thread count.
@@ -197,6 +219,16 @@ FirstPassageEstimate simulate_mean_time_to(
         if (!h) ++est.censored;
     est.ci = num::mean_ci95(samples);
     est.mean = est.ci.mean;
+
+    SimTelemetry& t = sim_telemetry();
+    t.estimates.add();
+    t.replications.add(replications);
+    t.ci_half_width.record(est.ci.half_width());
+    static obs::Counter& censored =
+        obs::metrics().counter("dspn.sim.first_passage_censored");
+    censored.add(est.censored);
+    span.arg("censored", static_cast<double>(est.censored));
+    span.arg("ci_half_width", est.ci.half_width());
     return est;
 }
 
@@ -206,6 +238,9 @@ SimulationEstimate simulate_transient_reward(const PetriNet& net, const RewardFn
     if (t < 0.0) throw std::invalid_argument("simulate_transient_reward: negative time");
     if (replications < 2)
         throw std::invalid_argument("simulate_transient_reward: need >= 2 replications");
+    MVREJU_OBS_SPAN(span, "dspn.simulate.transient");
+    span.arg("replications", static_cast<double>(replications));
+    span.arg("t", t);
     const util::Rng root(seed);
     std::vector<double> samples(replications, 0.0);
     util::parallel_for(
@@ -218,6 +253,12 @@ SimulationEstimate simulate_transient_reward(const PetriNet& net, const RewardFn
     SimulationEstimate est;
     est.ci = num::mean_ci95(samples);
     est.mean = est.ci.mean;
+
+    SimTelemetry& tel = sim_telemetry();
+    tel.estimates.add();
+    tel.replications.add(replications);
+    tel.ci_half_width.record(est.ci.half_width());
+    span.arg("ci_half_width", est.ci.half_width());
     return est;
 }
 
@@ -226,6 +267,9 @@ SimulationEstimate simulate_steady_state_reward(const PetriNet& net, const Rewar
     if (options.horizon <= options.warmup)
         throw std::invalid_argument("simulate: horizon must exceed warmup");
     if (options.batches < 2) throw std::invalid_argument("simulate: need >= 2 batches");
+    MVREJU_OBS_SPAN(span, "dspn.simulate.steady_state");
+    span.arg("batches", static_cast<double>(options.batches));
+    span.arg("horizon", options.horizon);
 
     util::Rng rng(options.seed);
     Marking marking = sample_tangible(net, net.initial_marking(), rng);
@@ -329,6 +373,14 @@ SimulationEstimate simulate_steady_state_reward(const PetriNet& net, const Rewar
     SimulationEstimate est;
     est.ci = num::mean_ci95(batch_means);
     est.mean = est.ci.mean;
+
+    SimTelemetry& tel = sim_telemetry();
+    tel.estimates.add();
+    tel.replications.add(batch_means.size());
+    tel.ci_half_width.record(est.ci.half_width());
+    static obs::Counter& batches = obs::metrics().counter("dspn.sim.batches");
+    batches.add(batch_means.size());
+    span.arg("ci_half_width", est.ci.half_width());
     return est;
 }
 

@@ -6,6 +6,8 @@
 
 #include "mvreju/num/sparse.hpp"
 #include "mvreju/num/sparse_markov.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
 #include "mvreju/util/parallel.hpp"
 
 namespace mvreju::dspn {
@@ -186,14 +188,22 @@ std::vector<double> spn_steady_state(const ReachabilityGraph& graph) {
             "spn_steady_state: net has deterministic transitions; use dspn_steady_state");
     if (graph.state_count() == 0) return {};
     if (graph.state_count() == 1) return {1.0};
+    MVREJU_OBS_SPAN(span, "dspn.steady_state");
     check_irreducible(graph);
-    return num::ctmc_steady_state(build_generator(graph));
+    const num::SparseMatrix q = build_generator(graph);
+    span.arg("states", static_cast<double>(graph.state_count()));
+    span.arg("nnz", static_cast<double>(q.nnz()));
+    static obs::Counter& solves = obs::metrics().counter("dspn.steady_state.solves");
+    solves.add();
+    return num::ctmc_steady_state(q);
 }
 
 std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
     if (!graph.has_deterministic()) return spn_steady_state(graph);
     const std::size_t n = graph.state_count();
     if (n == 1) return {1.0};
+    MVREJU_OBS_SPAN(span, "dspn.steady_state");
+    span.arg("states", static_cast<double>(n));
     check_irreducible(graph);
 
     // Embedded Markov chain P over tangible states (regeneration points) and
@@ -208,6 +218,21 @@ std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
         n, [&](std::size_t i) { rows[i] = analyze_regeneration_period(graph, i); },
         n >= 512 ? 0 : 1);
 
+    // Regeneration fan-out: how many EMC targets each regeneration period
+    // reaches — the width of the MRGP coupling and a direct driver of the
+    // embedded-chain solve cost.
+    {
+        obs::Registry& reg = obs::metrics();
+        static obs::Counter& solves = reg.counter("dspn.mrgp.solves");
+        static obs::Counter& periods = reg.counter("dspn.mrgp.regeneration_periods");
+        static obs::Histogram& fanout = reg.histogram(
+            "dspn.mrgp.regeneration_fanout", obs::HistogramBounds::exponential(1.0, 2.0, 12));
+        solves.add();
+        periods.add(n);
+        for (const RegenerationRow& row : rows)
+            fanout.record(static_cast<double>(row.emc.size()));
+    }
+
     std::vector<Triplet> emc_triplets;
     std::vector<Triplet> conv_triplets;
     for (RegenerationRow& row : rows) {
@@ -216,6 +241,8 @@ std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
     }
     const SparseMatrix emc = SparseMatrix::from_triplets(n, n, std::move(emc_triplets));
     const SparseMatrix conv = SparseMatrix::from_triplets(n, n, std::move(conv_triplets));
+    span.arg("emc_nnz", static_cast<double>(emc.nnz()));
+    span.arg("conv_nnz", static_cast<double>(conv.nnz()));
 
     const std::vector<double> nu = num::dtmc_stationary(emc);
 

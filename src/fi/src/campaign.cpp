@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
 #include "mvreju/util/parallel.hpp"
 #include "mvreju/util/rng.hpp"
 
@@ -38,11 +40,32 @@ void account(SiteReport& report, double baseline, double faulty,
     report.worst_accuracy_drop = std::max(report.worst_accuracy_drop, drop);
 }
 
+/// Publish campaign totals once, after the parallel region: the per-site
+/// tallies live in the report itself, so telemetry is a pure read that
+/// cannot disturb the deterministic fan-out.
+void publish_campaign_metrics(const CampaignReport& report) {
+    obs::Registry& reg = obs::metrics();
+    static obs::Counter& injections = reg.counter("fi.injections");
+    static obs::Counter& benign = reg.counter("fi.outcome.benign");
+    static obs::Counter& degraded = reg.counter("fi.outcome.degraded");
+    static obs::Counter& critical = reg.counter("fi.outcome.critical");
+    static obs::Histogram& worst_drop = reg.histogram(
+        "fi.worst_accuracy_drop", obs::HistogramBounds::linear(0.05, 0.05, 20));
+    for (const SiteReport& site : report.sites) {
+        injections.add(site.injections());
+        benign.add(site.benign);
+        degraded.add(site.degraded);
+        critical.add(site.critical);
+        worst_drop.record(site.worst_accuracy_drop);
+    }
+}
+
 }  // namespace
 
 CampaignReport run_weight_campaign(ml::Sequential& model, const ml::Dataset& eval,
                                    const CampaignConfig& config) {
     validate(eval, config);
+    MVREJU_OBS_SPAN(span, "fi.weight_campaign");
     CampaignReport report;
     report.baseline_accuracy = model.evaluate(eval).accuracy;
 
@@ -73,6 +96,9 @@ CampaignReport run_weight_campaign(ml::Sequential& model, const ml::Dataset& eva
             report.sites[layer] = site;
         },
         config.num_threads);
+    publish_campaign_metrics(report);
+    span.arg("sites", static_cast<double>(layers));
+    span.arg("injections_per_site", static_cast<double>(config.injections_per_site));
     return report;
 }
 
@@ -81,6 +107,8 @@ CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& ev
     validate(eval, config);
     if (layer >= injectable_layer_count(model))
         throw std::out_of_range("run_bitflip_campaign: bad layer");
+    MVREJU_OBS_SPAN(span, "fi.bitflip_campaign");
+    span.arg("layer", static_cast<double>(layer));
     CampaignReport report;
     report.baseline_accuracy = model.evaluate(eval).accuracy;
 
@@ -104,6 +132,8 @@ CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& ev
             report.sites[bit] = site;
         },
         config.num_threads);
+    publish_campaign_metrics(report);
+    span.arg("injections_per_site", static_cast<double>(config.injections_per_site));
     return report;
 }
 

@@ -5,6 +5,9 @@
 
 #include "mvreju/num/linalg.hpp"
 #include "mvreju/num/markov.hpp"
+#include "mvreju/obs/log.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
 
 namespace mvreju::num {
 
@@ -41,9 +44,51 @@ std::vector<double> diagonal(const SparseMatrix& a) {
 ///   pi_j <- sum_{i != j} pi_i q(i, j) / (-q(j, j))
 /// is a regular splitting of the singular M-matrix system; with per-sweep
 /// normalisation it converges for the irreducible chains the solvers feed us.
+/// Convergence telemetry shared by the two Gauss-Seidel kernels. Sweeps are
+/// counted locally and published once per solve, so the iteration itself
+/// pays nothing; the per-sweep residual trace is emitted only while the
+/// tracer is collecting.
+struct GsTelemetry {
+    obs::Counter& solves;
+    obs::Counter& sweeps;
+    obs::Histogram& sweeps_per_solve;
+    obs::Gauge& last_residual;
+};
+
+GsTelemetry& stationary_telemetry() {
+    obs::Registry& reg = obs::metrics();
+    static GsTelemetry t{
+        reg.counter("num.gs.solves"), reg.counter("num.gs.sweeps"),
+        reg.histogram("num.gs.sweeps_per_solve",
+                      obs::HistogramBounds::exponential(1.0, 2.0, 20)),
+        reg.gauge("num.gs.last_residual")};
+    return t;
+}
+
+GsTelemetry& absorbing_telemetry() {
+    obs::Registry& reg = obs::metrics();
+    static GsTelemetry t{
+        reg.counter("num.gs.absorbing_solves"), reg.counter("num.gs.absorbing_sweeps"),
+        reg.histogram("num.gs.absorbing_sweeps_per_solve",
+                      obs::HistogramBounds::exponential(1.0, 2.0, 20)),
+        reg.gauge("num.gs.absorbing_last_residual")};
+    return t;
+}
+
+/// Truncation telemetry of the uniformization routines: how many Poisson
+/// terms each call actually iterates (the cost driver of transient solves).
+obs::Histogram& uniformization_terms_histogram() {
+    static obs::Histogram& h = obs::metrics().histogram(
+        "num.unif.terms_per_call", obs::HistogramBounds::exponential(1.0, 2.0, 24));
+    return h;
+}
+
 std::vector<double> gauss_seidel_stationary(const SparseMatrix& qt,
                                             const StationaryOptions& options) {
     const std::size_t n = qt.rows();
+    MVREJU_OBS_SPAN(span, "num.gauss_seidel_stationary");
+    span.arg("states", static_cast<double>(n));
+    span.arg("nnz", static_cast<double>(qt.nnz()));
     const std::vector<double> diag = diagonal(qt);
     double max_rate = 0.0;
     for (double d : diag) {
@@ -52,6 +97,9 @@ std::vector<double> gauss_seidel_stationary(const SparseMatrix& qt,
                 "stationary solve: non-negative diagonal (absorbing or dead state)");
         max_rate = std::max(max_rate, -d);
     }
+
+    GsTelemetry& telemetry = stationary_telemetry();
+    obs::Tracer& tracer = obs::Tracer::global();
 
     std::vector<double> pi(n, 1.0 / static_cast<double>(n));
     for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
@@ -76,13 +124,23 @@ std::vector<double> gauss_seidel_stationary(const SparseMatrix& qt,
             for (const SparseMatrix::Entry& e : qt.row(j)) r += e.value * pi[e.col];
             residual = std::max(residual, std::fabs(r));
         }
+        if (tracer.enabled())
+            tracer.counter("num.gs.residual", tracer.now_us(), residual);
         if (residual <= options.tolerance * max_rate) {
             for (double& v : pi) {
                 if (v < 0.0 && v > -1e-12) v = 0.0;
             }
+            telemetry.solves.add();
+            telemetry.sweeps.add(sweep + 1);
+            telemetry.sweeps_per_solve.record(static_cast<double>(sweep + 1));
+            telemetry.last_residual.set(residual);
+            span.arg("sweeps", static_cast<double>(sweep + 1));
+            span.arg("residual", residual);
             return pi;
         }
     }
+    obs::log_warn("stationary solve: Gauss-Seidel hit the sweep cap (" +
+                  std::to_string(options.max_sweeps) + ") without converging");
     throw std::runtime_error("stationary solve: Gauss-Seidel did not converge");
 }
 
@@ -153,8 +211,14 @@ TransientRow transient_row(const SparseMatrix& q, std::size_t start, double tau,
         return out;
     }
 
+    MVREJU_OBS_SPAN(span, "num.transient_row");
     const Uniformized u = uniformized_dtmc(q);
     const PoissonWeights pw = poisson_weights(u.lambda * tau, epsilon);
+    uniformization_terms_histogram().record(
+        static_cast<double>(pw.left + pw.weights.size()));
+    span.arg("states", static_cast<double>(n));
+    span.arg("terms", static_cast<double>(pw.left + pw.weights.size()));
+    span.arg("lambda_tau", u.lambda * tau);
 
     // omega = sum_k pois(k) e_start P^k ; psi = (1/lambda) sum_k e_start P^k
     // P(N > k). Only row vectors are ever materialised.
@@ -190,8 +254,13 @@ std::vector<double> ctmc_transient(const SparseMatrix& q, const std::vector<doub
         throw std::invalid_argument("ctmc_transient: shape mismatch");
     if (t == 0.0) return pi0;
 
+    MVREJU_OBS_SPAN(span, "num.ctmc_transient");
     const Uniformized u = uniformized_dtmc(q);
     const PoissonWeights pw = poisson_weights(u.lambda * t, epsilon);
+    uniformization_terms_histogram().record(
+        static_cast<double>(pw.left + pw.weights.size()));
+    span.arg("states", static_cast<double>(q.rows()));
+    span.arg("terms", static_cast<double>(pw.left + pw.weights.size()));
 
     std::vector<double> acc(pi0.size(), 0.0);
     std::vector<double> v = pi0;
@@ -230,6 +299,11 @@ std::vector<double> solve_absorbing(const SparseMatrix& a, const std::vector<dou
     double b_scale = 0.0;
     for (double v : b) b_scale = std::max(b_scale, std::fabs(v));
 
+    MVREJU_OBS_SPAN(span, "num.solve_absorbing");
+    span.arg("states", static_cast<double>(n));
+    span.arg("nnz", static_cast<double>(a.nnz()));
+    GsTelemetry& telemetry = absorbing_telemetry();
+
     std::vector<double> m(n, 0.0);
     for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
         for (std::size_t i = 0; i < n; ++i) {
@@ -248,9 +322,17 @@ std::vector<double> solve_absorbing(const SparseMatrix& a, const std::vector<dou
             residual = std::max(residual, std::fabs(r));
             m_scale = std::max(m_scale, std::fabs(m[i]));
         }
-        if (residual <= options.tolerance * std::max(a_scale * m_scale + b_scale, 1e-300))
+        if (residual <= options.tolerance * std::max(a_scale * m_scale + b_scale, 1e-300)) {
+            telemetry.solves.add();
+            telemetry.sweeps.add(sweep + 1);
+            telemetry.sweeps_per_solve.record(static_cast<double>(sweep + 1));
+            telemetry.last_residual.set(residual);
+            span.arg("sweeps", static_cast<double>(sweep + 1));
             return m;
+        }
     }
+    obs::log_warn("solve_absorbing: Gauss-Seidel hit the sweep cap (" +
+                  std::to_string(options.max_sweeps) + ") without converging");
     throw std::runtime_error("solve_absorbing: Gauss-Seidel did not converge");
 }
 

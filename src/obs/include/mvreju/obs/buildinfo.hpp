@@ -1,0 +1,28 @@
+#pragma once
+
+// Run metadata so every metrics blob / bench JSON is attributable to a
+// configuration: a wall-clock number without the git SHA, build type and
+// compiler behind it cannot be compared across runs. The values are baked
+// in at configure time by src/obs/CMakeLists.txt (git SHA is therefore the
+// SHA of the last *configured* commit; CI always configures fresh).
+
+#include <cstddef>
+#include <string>
+
+namespace mvreju::obs {
+
+struct RunMetadata {
+    std::string git_sha;     ///< short SHA at configure time ("unknown" outside git)
+    std::string build_type;  ///< CMAKE_BUILD_TYPE
+    std::string compiler;    ///< compiler id + version
+    std::size_t hardware_threads = 0;  ///< util::hardware_threads() at runtime
+    bool obs_enabled = true;           ///< obs::enabled() at snapshot time
+};
+
+[[nodiscard]] RunMetadata run_metadata();
+
+/// The metadata as a JSON object, e.g.
+/// {"git_sha": "abc123", "build_type": "Release", ...}.
+[[nodiscard]] std::string run_metadata_json();
+
+}  // namespace mvreju::obs

@@ -1,0 +1,48 @@
+#pragma once
+
+// Leveled diagnostic logging for library code. Rules:
+//
+//  - Library code NEVER writes to stdout — stdout belongs to the caller
+//    (benches print tables there, examples print reports). Diagnostics go
+//    to stderr, prefixed and levelled, and are off below `warn` by default.
+//  - The threshold comes from the MVREJU_LOG environment variable
+//    ("off", "error", "warn", "info", "debug"; default "warn") and can be
+//    overridden programmatically with set_log_level().
+//  - Call sites guard expensive message construction with log_enabled().
+
+#include <string>
+#include <string_view>
+
+namespace mvreju::obs {
+
+enum class LogLevel : int {
+    off = 0,
+    error = 1,
+    warn = 2,
+    info = 3,
+    debug = 4,
+};
+
+/// Parse a MVREJU_LOG-style level name; returns `fallback` on anything
+/// unrecognised.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
+/// Current threshold (cached from MVREJU_LOG at first use).
+[[nodiscard]] LogLevel log_level();
+
+/// Programmatic override of the threshold (tests, embedding apps).
+void set_log_level(LogLevel level);
+
+/// True when a message at `level` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Emit "[mvreju][<level>] <message>\n" to stderr when the level passes the
+/// threshold.
+void log(LogLevel level, std::string_view message);
+
+inline void log_error(std::string_view message) { log(LogLevel::error, message); }
+inline void log_warn(std::string_view message) { log(LogLevel::warn, message); }
+inline void log_info(std::string_view message) { log(LogLevel::info, message); }
+inline void log_debug(std::string_view message) { log(LogLevel::debug, message); }
+
+}  // namespace mvreju::obs

@@ -1,0 +1,43 @@
+#pragma once
+
+// Global observability switch. The whole obs layer (metrics + tracing) obeys
+// one runtime kill switch — the MVREJU_OBS environment variable ("off", "0",
+// "false" or "no" disables collection entirely) — and one compile-time kill
+// switch, the MVREJU_OBS_DISABLED preprocessor define (CMake option
+// MVREJU_OBS=OFF), which turns the instrumentation macros below into empty
+// inline objects the optimizer deletes.
+//
+// Library code instruments through the MVREJU_OBS_SPAN macro and through
+// metric handles (obs::metrics().counter(...) etc.); both are no-ops when
+// collection is off, so the solvers and the runtime never pay for telemetry
+// nobody asked for.
+
+#include <atomic>
+
+namespace mvreju::obs {
+
+namespace detail {
+/// Backing flag for enabled(); initialised from MVREJU_OBS at first use.
+[[nodiscard]] std::atomic<int>& enabled_state();
+}  // namespace detail
+
+/// True when the obs layer collects data (default). Controlled by the
+/// MVREJU_OBS environment variable and set_enabled().
+[[nodiscard]] inline bool enabled() {
+    return detail::enabled_state().load(std::memory_order_relaxed) != 0;
+}
+
+/// Programmatic override of the MVREJU_OBS switch (tests, embedding apps).
+void set_enabled(bool on);
+
+}  // namespace mvreju::obs
+
+// Span instrumentation macro: declares a scoped RAII span object `var`
+// recording into the global tracer. Compiled down to an empty object (zero
+// code, zero data) when MVREJU_OBS_DISABLED is defined; a single relaxed
+// atomic load when tracing is not enabled at runtime.
+#ifdef MVREJU_OBS_DISABLED
+#define MVREJU_OBS_SPAN(var, name) ::mvreju::obs::NullSpan var{}
+#else
+#define MVREJU_OBS_SPAN(var, name) ::mvreju::obs::Span var(name)
+#endif

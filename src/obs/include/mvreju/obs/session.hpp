@@ -1,0 +1,52 @@
+#pragma once
+
+// CLI wiring for the obs layer: every bench/example binary constructs one
+// obs::Session from its parsed util::Args and the standard flag pair
+//
+//   --metrics <file>   write the merged metrics snapshot (+ run metadata)
+//                      as JSON on exit
+//   --trace <file>     enable the global tracer and write a Perfetto /
+//                      chrome://tracing loadable trace on exit
+//
+// does the rest. Reference usages: examples/av_drive.cpp and
+// bench/bench_solvers.cpp.
+
+#include <string>
+
+#include "mvreju/util/args.hpp"
+
+namespace mvreju::obs {
+
+class Session {
+public:
+    /// Reads --metrics / --trace from `args`; `default_metrics_path` (may be
+    /// empty) is used when --metrics is absent, so bench binaries can drop a
+    /// metrics blob next to their BENCH_*.json by default.
+    explicit Session(const util::Args& args, std::string default_metrics_path = "");
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Flushes on destruction (idempotent with flush()).
+    ~Session();
+
+    /// Write the requested outputs now. Safe to call once before heavy
+    /// teardown; subsequent destruction won't re-write.
+    void flush();
+
+    [[nodiscard]] const std::string& metrics_path() const noexcept {
+        return metrics_path_;
+    }
+    [[nodiscard]] const std::string& trace_path() const noexcept { return trace_path_; }
+
+private:
+    std::string metrics_path_;
+    std::string trace_path_;
+    bool flushed_ = false;
+};
+
+/// The metrics snapshot wrapped with run metadata:
+/// {"meta": {...}, "metrics": {"counters": ..., "gauges": ..., "histograms": ...}}.
+[[nodiscard]] std::string metrics_blob_json();
+
+}  // namespace mvreju::obs

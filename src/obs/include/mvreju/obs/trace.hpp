@@ -1,0 +1,132 @@
+#pragma once
+
+// Span-based structured tracing with a Chrome trace-event JSON exporter.
+// The produced file loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing, giving a timeline of solver phases, runtime frames and
+// per-module work.
+//
+// Design: recording is per-thread (each thread owns an event buffer; a
+// buffer mutex is taken per event, but it is uncontended because only the
+// owner writes and only flush reads), timestamps come from one steady-clock
+// epoch shared by all threads, and everything is inert unless the tracer
+// has been explicitly enabled (by --trace via obs::Session, or enable()).
+// A disabled span costs one relaxed atomic load; with MVREJU_OBS_DISABLED
+// the MVREJU_OBS_SPAN macro compiles to an empty object.
+//
+// Span names and arg keys must be string literals (or otherwise outlive the
+// tracer flush): events store the pointer, not a copy, so the hot path never
+// allocates.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mvreju/obs/obs.hpp"
+
+namespace mvreju::obs {
+
+/// One numeric key/value attached to a span (e.g. {"states", 1024}).
+struct TraceArg {
+    const char* key = nullptr;
+    double value = 0.0;
+};
+
+/// Collects trace events and renders Chrome trace-event JSON. The global
+/// instance is Tracer::global(); separate instances exist for tests.
+class Tracer {
+public:
+    Tracer();
+    ~Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    [[nodiscard]] static Tracer& global();
+
+    /// Start/stop collection. enable() is a no-op while obs::enabled() is
+    /// false (MVREJU_OBS=off wins over --trace).
+    void enable();
+    void disable();
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Microseconds since this tracer's epoch (steady clock).
+    [[nodiscard]] double now_us() const;
+
+    /// Record a completed span ('X' event) on the calling thread's track.
+    /// Low-level entry point — normal code uses obs::Span.
+    void complete(const char* name, double ts_us, double dur_us,
+                  const TraceArg* args = nullptr, std::size_t nargs = 0);
+
+    /// Record a counter sample ('C' event), e.g. a per-sweep residual.
+    void counter(const char* name, double ts_us, double value);
+
+    /// Drop all recorded events (thread tracks persist).
+    void clear();
+
+    /// Render {"traceEvents": [...]} with events sorted by timestamp.
+    [[nodiscard]] std::string chrome_json();
+
+    /// Write chrome_json() to a file; throws std::runtime_error on failure.
+    void write(const std::string& path);
+
+private:
+    struct Impl;
+    Impl* impl_;
+    std::atomic<bool> enabled_{false};
+};
+
+/// Scoped RAII span against the global tracer. Captures the start timestamp
+/// on construction and records a complete event on destruction; numeric args
+/// can be attached along the way (silently dropped beyond capacity).
+class Span {
+public:
+    explicit Span(const char* name)
+        : name_(name), active_(Tracer::global().enabled()) {
+        if (active_) start_us_ = Tracer::global().now_us();
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void arg(const char* key, double value) noexcept {
+        if (active_ && nargs_ < args_.size()) args_[nargs_++] = {key, value};
+    }
+
+    /// True when this span is actually recording (tracer enabled).
+    [[nodiscard]] bool active() const noexcept { return active_; }
+
+    /// Close the span before scope exit (e.g. a phase inside a longer
+    /// function). Idempotent; the destructor becomes a no-op afterwards.
+    void end() noexcept {
+        if (!active_) return;
+        active_ = false;
+        Tracer& tracer = Tracer::global();
+        tracer.complete(name_, start_us_, tracer.now_us() - start_us_, args_.data(),
+                        nargs_);
+    }
+
+    ~Span() { end(); }
+
+private:
+    const char* name_;
+    bool active_;
+    double start_us_ = 0.0;
+    std::array<TraceArg, 6> args_{};
+    std::size_t nargs_ = 0;
+};
+
+/// Compile-time stand-in for Span when MVREJU_OBS_DISABLED is defined: the
+/// same surface, every member a constexpr no-op.
+class NullSpan {
+public:
+    constexpr NullSpan() = default;
+    constexpr void arg(const char*, double) const noexcept {}
+    [[nodiscard]] constexpr bool active() const noexcept { return false; }
+    constexpr void end() const noexcept {}
+};
+
+}  // namespace mvreju::obs

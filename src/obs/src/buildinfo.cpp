@@ -1,0 +1,41 @@
+#include "mvreju/obs/buildinfo.hpp"
+
+#include "mvreju/obs/obs.hpp"
+#include "mvreju/util/parallel.hpp"
+
+#ifndef MVREJU_GIT_SHA
+#define MVREJU_GIT_SHA "unknown"
+#endif
+#ifndef MVREJU_BUILD_TYPE
+#define MVREJU_BUILD_TYPE "unknown"
+#endif
+#ifndef MVREJU_COMPILER
+#define MVREJU_COMPILER "unknown"
+#endif
+
+namespace mvreju::obs {
+
+RunMetadata run_metadata() {
+    RunMetadata meta;
+    meta.git_sha = MVREJU_GIT_SHA;
+    meta.build_type = MVREJU_BUILD_TYPE;
+    meta.compiler = MVREJU_COMPILER;
+    meta.hardware_threads = util::hardware_threads();
+    meta.obs_enabled = enabled();
+    return meta;
+}
+
+std::string run_metadata_json() {
+    const RunMetadata meta = run_metadata();
+    std::string out = "{";
+    out += "\"git_sha\": \"" + meta.git_sha + "\"";
+    out += ", \"build_type\": \"" + meta.build_type + "\"";
+    out += ", \"compiler\": \"" + meta.compiler + "\"";
+    out += ", \"hardware_threads\": " + std::to_string(meta.hardware_threads);
+    out += ", \"obs_enabled\": ";
+    out += meta.obs_enabled ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+}  // namespace mvreju::obs

@@ -1,0 +1,60 @@
+#include "mvreju/obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mvreju::obs {
+
+namespace {
+
+LogLevel env_level() {
+    const char* env = std::getenv("MVREJU_LOG");
+    return env != nullptr ? parse_log_level(env, LogLevel::warn) : LogLevel::warn;
+}
+
+std::atomic<int>& level_state() {
+    static std::atomic<int> state{static_cast<int>(env_level())};
+    return state;
+}
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::error: return "error";
+        case LogLevel::warn: return "warn";
+        case LogLevel::info: return "info";
+        case LogLevel::debug: return "debug";
+        default: return "off";
+    }
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+    if (text == "off" || text == "none" || text == "0") return LogLevel::off;
+    if (text == "error") return LogLevel::error;
+    if (text == "warn" || text == "warning") return LogLevel::warn;
+    if (text == "info") return LogLevel::info;
+    if (text == "debug") return LogLevel::debug;
+    return fallback;
+}
+
+LogLevel log_level() {
+    return static_cast<LogLevel>(level_state().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+    level_state().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+    return level != LogLevel::off && static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void log(LogLevel level, std::string_view message) {
+    if (!log_enabled(level)) return;
+    std::fprintf(stderr, "[mvreju][%s] %.*s\n", level_name(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mvreju::obs

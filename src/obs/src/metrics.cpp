@@ -1,0 +1,500 @@
+#include "mvreju/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "mvreju/util/csv.hpp"
+
+namespace mvreju::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One thread's private storage for one counter.
+struct CounterCell {
+    std::atomic<std::uint64_t> value{0};
+};
+
+/// One thread's private storage for one histogram. `bounds` points into the
+/// registry's stable deque of definitions.
+struct HistogramCell {
+    explicit HistogramCell(const HistogramBounds* b)
+        : bounds(b), buckets(b->upper.size() + 1) {}
+    const HistogramBounds* bounds;
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{kInf};
+    std::atomic<double> max{-kInf};
+};
+
+/// Per-thread shard. Cells are created lazily; the shard mutex guards the
+/// *structure* (vector growth) and snapshot reads — never the owner thread's
+/// atomic updates to existing cells.
+struct Shard {
+    std::mutex mu;
+    std::vector<std::unique_ptr<CounterCell>> counters;
+    std::vector<std::unique_ptr<HistogramCell>> histograms;
+};
+
+/// Merged (non-atomic) histogram state, used for retired shards and for
+/// snapshot accumulation.
+struct HistogramAccum {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = kInf;
+    double max = -kInf;
+    std::vector<std::uint64_t> buckets;
+
+    void add_cell(const HistogramCell& cell) {
+        if (buckets.size() < cell.buckets.size()) buckets.resize(cell.buckets.size(), 0);
+        for (std::size_t b = 0; b < cell.buckets.size(); ++b)
+            buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+        count += cell.count.load(std::memory_order_relaxed);
+        sum += cell.sum.load(std::memory_order_relaxed);
+        min = std::min(min, cell.min.load(std::memory_order_relaxed));
+        max = std::max(max, cell.max.load(std::memory_order_relaxed));
+    }
+};
+
+struct GaugeSlot {
+    std::atomic<double> value{0.0};
+    std::atomic<bool> set{false};
+};
+
+enum class Kind { counter, gauge, histogram };
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+void json_escape_into(std::string& out, const std::string& s) {
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+std::string fmt_double(double v) {
+    if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HistogramBounds
+
+HistogramBounds HistogramBounds::linear(double start, double step, std::size_t count) {
+    if (step <= 0.0 || count == 0)
+        throw std::invalid_argument("HistogramBounds::linear: bad parameters");
+    HistogramBounds b;
+    b.upper.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        b.upper.push_back(start + step * static_cast<double>(i + 1));
+    return b;
+}
+
+HistogramBounds HistogramBounds::exponential(double start, double factor,
+                                             std::size_t count) {
+    if (start <= 0.0 || factor <= 1.0 || count == 0)
+        throw std::invalid_argument("HistogramBounds::exponential: bad parameters");
+    HistogramBounds b;
+    b.upper.reserve(count);
+    double bound = start;
+    for (std::size_t i = 0; i < count; ++i) {
+        b.upper.push_back(bound);
+        bound *= factor;
+    }
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// Registry internals
+
+struct Registry::Impl {
+    std::uint64_t registry_id = g_next_registry_id.fetch_add(1);
+
+    std::mutex mu;  // guards everything below
+    std::map<std::string, std::pair<Kind, std::size_t>> by_name;
+    std::deque<Counter> counter_handles;
+    std::deque<Gauge> gauge_handles;
+    std::deque<Histogram> histogram_handles;
+    std::vector<std::string> counter_names;
+    std::vector<std::string> gauge_names;
+    std::vector<std::string> histogram_names;
+    std::deque<HistogramBounds> histogram_bounds;  // stable addresses
+    std::deque<GaugeSlot> gauge_slots;             // stable addresses
+    std::vector<std::shared_ptr<Shard>> shards;
+    std::vector<std::uint64_t> retired_counters;
+    std::vector<HistogramAccum> retired_histograms;
+
+    Shard& shard_for_this_thread();
+    CounterCell& counter_cell(std::size_t id);
+    HistogramCell& histogram_cell(std::size_t id);
+};
+
+namespace {
+/// Thread-local shard directory: one entry per registry this thread has
+/// touched. Keyed by registry id (never reused), so a registry destroyed
+/// while a thread still holds its shard cannot be confused with a new one.
+struct TlsEntry {
+    std::uint64_t registry_id;
+    std::shared_ptr<Shard> shard;
+};
+thread_local std::vector<TlsEntry> t_shards;
+}  // namespace
+
+Shard& Registry::Impl::shard_for_this_thread() {
+    for (const TlsEntry& e : t_shards)
+        if (e.registry_id == registry_id) return *e.shard;
+    auto shard = std::make_shared<Shard>();
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        shards.push_back(shard);
+    }
+    t_shards.push_back({registry_id, shard});
+    return *t_shards.back().shard;
+}
+
+CounterCell& Registry::Impl::counter_cell(std::size_t id) {
+    Shard& shard = shard_for_this_thread();
+    // Owner-only fast path: nobody else mutates this shard's structure.
+    if (id < shard.counters.size() && shard.counters[id]) return *shard.counters[id];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.counters.size() <= id) shard.counters.resize(id + 1);
+    shard.counters[id] = std::make_unique<CounterCell>();
+    return *shard.counters[id];
+}
+
+HistogramCell& Registry::Impl::histogram_cell(std::size_t id) {
+    Shard& shard = shard_for_this_thread();
+    if (id < shard.histograms.size() && shard.histograms[id]) return *shard.histograms[id];
+    const HistogramBounds* bounds;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        bounds = &histogram_bounds[id];
+    }
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.histograms.size() <= id) shard.histograms.resize(id + 1);
+    shard.histograms[id] = std::make_unique<HistogramCell>(bounds);
+    return *shard.histograms[id];
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+
+void Counter::add(std::uint64_t delta) noexcept {
+    if (!enabled()) return;
+    registry_->impl_->counter_cell(id_).value.fetch_add(delta,
+                                                        std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) noexcept {
+    if (!enabled()) return;
+    // Gauges are set on cold paths (once per solve/run); a brief registry
+    // lock keeps the slot deque access safe against concurrent registration.
+    const std::lock_guard<std::mutex> lock(registry_->impl_->mu);
+    GaugeSlot& slot = registry_->impl_->gauge_slots[id_];
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.set.store(true, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) noexcept {
+    if (!enabled()) return;
+    HistogramCell& cell = registry_->impl_->histogram_cell(id_);
+    const std::vector<double>& upper = cell.bounds->upper;
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(upper.begin(), upper.end(), value) - upper.begin());
+    cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    cell.count.fetch_add(1, std::memory_order_relaxed);
+    cell.sum.fetch_add(value, std::memory_order_relaxed);
+    double seen = cell.min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !cell.min.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+    seen = cell.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !cell.max.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->by_name.find(name);
+    if (it != impl_->by_name.end()) {
+        if (it->second.first != Kind::counter)
+            throw std::logic_error("Registry: '" + name + "' is not a counter");
+        return impl_->counter_handles[it->second.second];
+    }
+    const std::size_t id = impl_->counter_handles.size();
+    impl_->by_name[name] = {Kind::counter, id};
+    impl_->counter_names.push_back(name);
+    impl_->counter_handles.push_back(Counter(this, id));
+    return impl_->counter_handles.back();
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->by_name.find(name);
+    if (it != impl_->by_name.end()) {
+        if (it->second.first != Kind::gauge)
+            throw std::logic_error("Registry: '" + name + "' is not a gauge");
+        return impl_->gauge_handles[it->second.second];
+    }
+    const std::size_t id = impl_->gauge_handles.size();
+    impl_->by_name[name] = {Kind::gauge, id};
+    impl_->gauge_names.push_back(name);
+    impl_->gauge_slots.emplace_back();
+    impl_->gauge_handles.push_back(Gauge(this, id));
+    return impl_->gauge_handles.back();
+}
+
+Histogram& Registry::histogram(const std::string& name, const HistogramBounds& bounds) {
+    if (bounds.upper.empty())
+        throw std::invalid_argument("Registry::histogram: no buckets");
+    for (std::size_t i = 1; i < bounds.upper.size(); ++i)
+        if (bounds.upper[i] <= bounds.upper[i - 1])
+            throw std::invalid_argument("Registry::histogram: bounds not increasing");
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->by_name.find(name);
+    if (it != impl_->by_name.end()) {
+        if (it->second.first != Kind::histogram)
+            throw std::logic_error("Registry: '" + name + "' is not a histogram");
+        if (impl_->histogram_bounds[it->second.second].upper != bounds.upper)
+            throw std::logic_error("Registry: '" + name + "' re-registered with "
+                                   "different bounds");
+        return impl_->histogram_handles[it->second.second];
+    }
+    const std::size_t id = impl_->histogram_handles.size();
+    impl_->by_name[name] = {Kind::histogram, id};
+    impl_->histogram_names.push_back(name);
+    impl_->histogram_bounds.push_back(bounds);
+    impl_->histogram_handles.push_back(Histogram(this, id));
+    return impl_->histogram_handles.back();
+}
+
+MetricsSnapshot Registry::snapshot() {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const std::size_t n_counters = impl_->counter_names.size();
+    const std::size_t n_hists = impl_->histogram_names.size();
+
+    // Fold shards of exited threads (only the registry still references
+    // them) into the retired accumulator so the shard list stays bounded.
+    impl_->retired_counters.resize(n_counters, 0);
+    impl_->retired_histograms.resize(n_hists);
+    auto fold = [&](Shard& shard) {
+        const std::lock_guard<std::mutex> shard_lock(shard.mu);
+        for (std::size_t c = 0; c < shard.counters.size(); ++c)
+            if (shard.counters[c])
+                impl_->retired_counters[c] +=
+                    shard.counters[c]->value.load(std::memory_order_relaxed);
+        for (std::size_t h = 0; h < shard.histograms.size(); ++h)
+            if (shard.histograms[h])
+                impl_->retired_histograms[h].add_cell(*shard.histograms[h]);
+    };
+    std::erase_if(impl_->shards, [&](const std::shared_ptr<Shard>& shard) {
+        if (shard.use_count() > 1) return false;
+        fold(*shard);
+        return true;
+    });
+
+    std::vector<std::uint64_t> counters = impl_->retired_counters;
+    std::vector<HistogramAccum> hists = impl_->retired_histograms;
+    for (const std::shared_ptr<Shard>& shard : impl_->shards) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mu);
+        for (std::size_t c = 0; c < shard->counters.size(); ++c)
+            if (shard->counters[c])
+                counters[c] += shard->counters[c]->value.load(std::memory_order_relaxed);
+        for (std::size_t h = 0; h < shard->histograms.size(); ++h)
+            if (shard->histograms[h]) hists[h].add_cell(*shard->histograms[h]);
+    }
+
+    MetricsSnapshot snap;
+    for (std::size_t c = 0; c < n_counters; ++c)
+        snap.counters.push_back({impl_->counter_names[c], counters[c]});
+    for (std::size_t g = 0; g < impl_->gauge_names.size(); ++g) {
+        const GaugeSlot& slot = impl_->gauge_slots[g];
+        if (slot.set.load(std::memory_order_relaxed))
+            snap.gauges.push_back(
+                {impl_->gauge_names[g], slot.value.load(std::memory_order_relaxed)});
+    }
+    for (std::size_t h = 0; h < n_hists; ++h) {
+        HistogramValue v;
+        v.name = impl_->histogram_names[h];
+        v.upper = impl_->histogram_bounds[h].upper;
+        v.buckets.assign(v.upper.size() + 1, 0);
+        const HistogramAccum& acc = hists[h];
+        for (std::size_t b = 0; b < acc.buckets.size() && b < v.buckets.size(); ++b)
+            v.buckets[b] = acc.buckets[b];
+        v.count = acc.count;
+        v.sum = acc.sum;
+        v.min = acc.count > 0 ? acc.min : 0.0;
+        v.max = acc.count > 0 ? acc.max : 0.0;
+        snap.histograms.push_back(std::move(v));
+    }
+    auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+    return snap;
+}
+
+void Registry::reset() {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->retired_counters.assign(impl_->retired_counters.size(), 0);
+    for (HistogramAccum& acc : impl_->retired_histograms) acc = HistogramAccum{};
+    for (GaugeSlot& slot : impl_->gauge_slots) {
+        slot.set.store(false, std::memory_order_relaxed);
+        slot.value.store(0.0, std::memory_order_relaxed);
+    }
+    for (const std::shared_ptr<Shard>& shard : impl_->shards) {
+        const std::lock_guard<std::mutex> shard_lock(shard->mu);
+        for (auto& cell : shard->counters)
+            if (cell) cell->value.store(0, std::memory_order_relaxed);
+        for (auto& cell : shard->histograms) {
+            if (!cell) continue;
+            for (auto& b : cell->buckets) b.store(0, std::memory_order_relaxed);
+            cell->count.store(0, std::memory_order_relaxed);
+            cell->sum.store(0.0, std::memory_order_relaxed);
+            cell->min.store(kInf, std::memory_order_relaxed);
+            cell->max.store(-kInf, std::memory_order_relaxed);
+        }
+    }
+}
+
+Registry& metrics() {
+    // Intentionally leaked: worker threads and thread_local destructors may
+    // outlive main()'s statics, so the global registry is never destroyed.
+    static Registry* global = new Registry();
+    return *global;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering
+
+double HistogramValue::mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double HistogramValue::quantile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0) continue;
+        const double before = static_cast<double>(cum);
+        cum += buckets[b];
+        if (static_cast<double>(cum) >= target) {
+            // Interpolate inside this bucket, clamped to observed extremes.
+            const double lo = std::max(min, b == 0 ? min : upper[b - 1]);
+            const double hi = std::min(max, b < upper.size() ? upper[b] : max);
+            const double frac =
+                std::clamp((target - before) / static_cast<double>(buckets[b]), 0.0, 1.0);
+            return lo + frac * (hi - lo);
+        }
+    }
+    return max;
+}
+
+std::string MetricsSnapshot::to_text() const {
+    std::ostringstream out;
+    for (const CounterValue& c : counters)
+        out << "counter   " << c.name << " = " << c.value << "\n";
+    for (const GaugeValue& g : gauges)
+        out << "gauge     " << g.name << " = " << fmt_double(g.value) << "\n";
+    for (const HistogramValue& h : histograms) {
+        out << "histogram " << h.name << " count=" << h.count
+            << " mean=" << fmt_double(h.mean()) << " min=" << fmt_double(h.min)
+            << " max=" << fmt_double(h.max) << " p50=" << fmt_double(h.quantile(0.5))
+            << " p90=" << fmt_double(h.quantile(0.9))
+            << " p99=" << fmt_double(h.quantile(0.99)) << "\n";
+    }
+    return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+    std::string out = "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        out += i ? ", " : "";
+        out += "\n    \"";
+        json_escape_into(out, counters[i].name);
+        out += "\": " + std::to_string(counters[i].value);
+    }
+    out += counters.empty() ? "}" : "\n  }";
+    out += ",\n  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        out += i ? ", " : "";
+        out += "\n    \"";
+        json_escape_into(out, gauges[i].name);
+        out += "\": " + fmt_double(gauges[i].value);
+    }
+    out += gauges.empty() ? "}" : "\n  }";
+    out += ",\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramValue& h = histograms[i];
+        out += i ? ", " : "";
+        out += "\n    \"";
+        json_escape_into(out, h.name);
+        out += "\": {\"count\": " + std::to_string(h.count);
+        out += ", \"sum\": " + fmt_double(h.sum);
+        out += ", \"min\": " + fmt_double(h.min);
+        out += ", \"max\": " + fmt_double(h.max);
+        out += ", \"mean\": " + fmt_double(h.mean());
+        out += ", \"p50\": " + fmt_double(h.quantile(0.5));
+        out += ", \"p90\": " + fmt_double(h.quantile(0.9));
+        out += ", \"p99\": " + fmt_double(h.quantile(0.99));
+        out += ", \"upper\": [";
+        for (std::size_t b = 0; b < h.upper.size(); ++b)
+            out += (b ? ", " : "") + fmt_double(h.upper[b]);
+        out += "], \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b)
+            out += (b ? ", " : "") + std::to_string(h.buckets[b]);
+        out += "]}";
+    }
+    out += histograms.empty() ? "}" : "\n  }";
+    out += "\n}";
+    return out;
+}
+
+void MetricsSnapshot::write_csv(const std::string& path) const {
+    util::CsvWriter csv({"kind", "name", "count", "value", "min", "max", "p50", "p90",
+                         "p99"});
+    for (const CounterValue& c : counters)
+        csv.add_row({"counter", c.name, "1", std::to_string(c.value), "", "", "", "", ""});
+    for (const GaugeValue& g : gauges)
+        csv.add_row({"gauge", g.name, "1", fmt_double(g.value), "", "", "", "", ""});
+    for (const HistogramValue& h : histograms)
+        csv.add_row({"histogram", h.name, std::to_string(h.count), fmt_double(h.mean()),
+                     fmt_double(h.min), fmt_double(h.max), fmt_double(h.quantile(0.5)),
+                     fmt_double(h.quantile(0.9)), fmt_double(h.quantile(0.99))});
+    csv.write(path);
+}
+
+}  // namespace mvreju::obs

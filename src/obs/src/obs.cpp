@@ -1,0 +1,30 @@
+#include "mvreju/obs/obs.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mvreju::obs {
+
+namespace detail {
+
+namespace {
+int initial_enabled() {
+    const char* env = std::getenv("MVREJU_OBS");
+    if (env == nullptr) return 1;
+    const std::string_view v(env);
+    return (v == "off" || v == "0" || v == "false" || v == "no") ? 0 : 1;
+}
+}  // namespace
+
+std::atomic<int>& enabled_state() {
+    static std::atomic<int> state{initial_enabled()};
+    return state;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+    detail::enabled_state().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace mvreju::obs

@@ -1,0 +1,49 @@
+#include "mvreju/obs/session.hpp"
+
+#include <fstream>
+
+#include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/obs/log.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
+
+namespace mvreju::obs {
+
+std::string metrics_blob_json() {
+    std::string out = "{\n\"meta\": " + run_metadata_json() + ",\n\"metrics\": ";
+    out += metrics().snapshot().to_json();
+    out += "\n}\n";
+    return out;
+}
+
+Session::Session(const util::Args& args, std::string default_metrics_path)
+    : metrics_path_(args.get("metrics", default_metrics_path)),
+      trace_path_(args.get("trace", std::string())) {
+    if (!trace_path_.empty()) Tracer::global().enable();
+}
+
+void Session::flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (!metrics_path_.empty()) {
+        std::ofstream out(metrics_path_);
+        out << metrics_blob_json();
+        if (out.good())
+            log_info("wrote metrics blob to " + metrics_path_);
+        else
+            log_error("cannot write metrics blob to " + metrics_path_);
+    }
+    if (!trace_path_.empty()) {
+        try {
+            Tracer::global().write(trace_path_);
+            log_info("wrote trace to " + trace_path_ +
+                     " (load it in https://ui.perfetto.dev)");
+        } catch (const std::exception& e) {
+            log_error(e.what());
+        }
+    }
+}
+
+Session::~Session() { flush(); }
+
+}  // namespace mvreju::obs

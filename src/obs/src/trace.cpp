@@ -1,0 +1,201 @@
+#include "mvreju/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace mvreju::obs {
+
+namespace {
+
+struct Event {
+    const char* name;
+    char ph;      // 'X' complete span, 'C' counter sample
+    double ts;    // microseconds since tracer epoch
+    double dur;   // 'X' only
+    double value; // 'C' only
+    std::uint32_t tid;
+    std::array<TraceArg, 6> args;
+    std::size_t nargs;
+};
+
+/// Per-thread event track. Only the owner thread appends; flush reads under
+/// the same (uncontended) mutex.
+struct Track {
+    std::mutex mu;
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+};
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+void append_number(std::string& out, double v, const char* fmt) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, v);
+    out += buf;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+    std::uint64_t tracer_id = g_next_tracer_id.fetch_add(1);
+    std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+
+    std::mutex mu;  // guards tracks, retired and next_tid
+    std::vector<std::shared_ptr<Track>> tracks;
+    std::vector<Event> retired;
+    std::uint32_t next_tid = 0;
+
+    Track& track_for_this_thread();
+};
+
+namespace {
+struct TlsTrack {
+    std::uint64_t tracer_id;
+    std::shared_ptr<Track> track;
+};
+thread_local std::vector<TlsTrack> t_tracks;
+}  // namespace
+
+Track& Tracer::Impl::track_for_this_thread() {
+    for (const TlsTrack& e : t_tracks)
+        if (e.tracer_id == tracer_id) return *e.track;
+    auto track = std::make_shared<Track>();
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        track->tid = next_tid++;
+        tracks.push_back(track);
+    }
+    t_tracks.push_back({tracer_id, track});
+    return *t_tracks.back().track;
+}
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::global() {
+    // Leaked on purpose: spans may run from detached worker threads during
+    // process teardown.
+    static Tracer* tracer = new Tracer();
+    return *tracer;
+}
+
+void Tracer::enable() {
+    if (!obs::enabled()) return;
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double Tracer::now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     impl_->epoch)
+        .count();
+}
+
+void Tracer::complete(const char* name, double ts_us, double dur_us,
+                      const TraceArg* args, std::size_t nargs) {
+    if (!enabled()) return;
+    Track& track = impl_->track_for_this_thread();
+    Event e{};
+    e.name = name;
+    e.ph = 'X';
+    e.ts = ts_us;
+    e.dur = dur_us;
+    e.tid = track.tid;
+    e.nargs = std::min(nargs, e.args.size());
+    for (std::size_t i = 0; i < e.nargs; ++i) e.args[i] = args[i];
+    const std::lock_guard<std::mutex> lock(track.mu);
+    track.events.push_back(e);
+}
+
+void Tracer::counter(const char* name, double ts_us, double value) {
+    if (!enabled()) return;
+    Track& track = impl_->track_for_this_thread();
+    Event e{};
+    e.name = name;
+    e.ph = 'C';
+    e.ts = ts_us;
+    e.value = value;
+    e.tid = track.tid;
+    const std::lock_guard<std::mutex> lock(track.mu);
+    track.events.push_back(e);
+}
+
+void Tracer::clear() {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->retired.clear();
+    for (const std::shared_ptr<Track>& track : impl_->tracks) {
+        const std::lock_guard<std::mutex> track_lock(track->mu);
+        track->events.clear();
+    }
+}
+
+std::string Tracer::chrome_json() {
+    std::vector<Event> events;
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        events = impl_->retired;
+        // Fold tracks of exited threads into the retired list so the track
+        // vector stays bounded across many parallel_for invocations.
+        std::erase_if(impl_->tracks, [&](const std::shared_ptr<Track>& track) {
+            if (track.use_count() > 1) return false;
+            impl_->retired.insert(impl_->retired.end(), track->events.begin(),
+                                  track->events.end());
+            events.insert(events.end(), track->events.begin(), track->events.end());
+            return true;
+        });
+        for (const std::shared_ptr<Track>& track : impl_->tracks) {
+            const std::lock_guard<std::mutex> track_lock(track->mu);
+            events.insert(events.end(), track->events.begin(), track->events.end());
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+    std::string out = "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event& e = events[i];
+        out += i ? ",\n" : "\n";
+        out += "{\"name\": \"";
+        out += e.name;
+        out += "\", \"ph\": \"";
+        out += e.ph;
+        out += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid) + ", \"ts\": ";
+        append_number(out, e.ts, "%.3f");
+        if (e.ph == 'X') {
+            out += ", \"dur\": ";
+            append_number(out, e.dur, "%.3f");
+            out += ", \"args\": {";
+            for (std::size_t a = 0; a < e.nargs; ++a) {
+                out += a ? ", " : "";
+                out += "\"";
+                out += e.args[a].key;
+                out += "\": ";
+                append_number(out, e.args[a].value, "%g");
+            }
+            out += "}";
+        } else {
+            out += ", \"args\": {\"value\": ";
+            append_number(out, e.value, "%g");
+            out += "}";
+        }
+        out += "}";
+    }
+    out += events.empty() ? "]" : "\n]";
+    out += ", \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+void Tracer::write(const std::string& path) {
+    std::ofstream out(path);
+    out << chrome_json();
+    if (!out.good()) throw std::runtime_error("Tracer::write: cannot write " + path);
+}
+
+}  // namespace mvreju::obs

@@ -19,6 +19,12 @@ public:
     [[nodiscard]] double get(const std::string& key, double fallback) const;
     [[nodiscard]] int get(const std::string& key, int fallback) const;
 
+    /// Observability flag pair shared by every binary (see obs::Session):
+    /// `--trace FILE` writes a Chrome trace-event JSON of the run,
+    /// `--metrics FILE` writes a metrics snapshot blob. Empty when absent.
+    [[nodiscard]] std::string trace_path() const { return get("trace", std::string{}); }
+    [[nodiscard]] std::string metrics_path() const { return get("metrics", std::string{}); }
+
 private:
     std::map<std::string, std::string> values_;
 };

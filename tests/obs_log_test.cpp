@@ -1,0 +1,66 @@
+// Tests for the leveled stderr log facility: level parsing, threshold
+// gating, and the emitted line format.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mvreju/obs/log.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+class ObsLogTest : public ::testing::Test {
+protected:
+    void TearDown() override { obs::set_log_level(obs::LogLevel::warn); }
+};
+
+TEST_F(ObsLogTest, ParseLogLevel) {
+    using obs::LogLevel;
+    using obs::parse_log_level;
+    EXPECT_EQ(parse_log_level("off", LogLevel::warn), LogLevel::off);
+    EXPECT_EQ(parse_log_level("error", LogLevel::warn), LogLevel::error);
+    EXPECT_EQ(parse_log_level("warn", LogLevel::off), LogLevel::warn);
+    EXPECT_EQ(parse_log_level("info", LogLevel::warn), LogLevel::info);
+    EXPECT_EQ(parse_log_level("debug", LogLevel::warn), LogLevel::debug);
+    // Anything unrecognised falls back rather than guessing.
+    EXPECT_EQ(parse_log_level("verbose", LogLevel::warn), LogLevel::warn);
+    EXPECT_EQ(parse_log_level("", LogLevel::info), LogLevel::info);
+}
+
+TEST_F(ObsLogTest, ThresholdGatesLevels) {
+    obs::set_log_level(obs::LogLevel::info);
+    EXPECT_TRUE(obs::log_enabled(obs::LogLevel::error));
+    EXPECT_TRUE(obs::log_enabled(obs::LogLevel::warn));
+    EXPECT_TRUE(obs::log_enabled(obs::LogLevel::info));
+    EXPECT_FALSE(obs::log_enabled(obs::LogLevel::debug));
+
+    obs::set_log_level(obs::LogLevel::off);
+    EXPECT_FALSE(obs::log_enabled(obs::LogLevel::error));
+}
+
+TEST_F(ObsLogTest, EmitsPrefixedLineToStderr) {
+    obs::set_log_level(obs::LogLevel::warn);
+    ::testing::internal::CaptureStderr();
+    obs::log_warn("gauss_seidel did not converge");
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out, "[mvreju][warn] gauss_seidel did not converge\n");
+}
+
+TEST_F(ObsLogTest, BelowThresholdMessagesAreSuppressed) {
+    obs::set_log_level(obs::LogLevel::warn);
+    ::testing::internal::CaptureStderr();
+    obs::log_info("should not appear");
+    obs::log_debug("nor this");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(ObsLogTest, OffSilencesEverything) {
+    obs::set_log_level(obs::LogLevel::off);
+    ::testing::internal::CaptureStderr();
+    obs::log_error("silent");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+// Tests for the obs metrics registry: exact counts under parallel_for at
+// several thread counts (the shard-and-merge design must lose no updates),
+// histogram statistics cross-checked against num::stats, kind-mismatch
+// detection, the runtime kill switch, and the exporters.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mvreju/num/stats.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/obs.hpp"
+#include "mvreju/util/parallel.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+class ObsMetricsTest : public ::testing::Test {
+protected:
+    void SetUp() override { obs::set_enabled(true); }
+    void TearDown() override { obs::set_enabled(true); }
+};
+
+TEST_F(ObsMetricsTest, CounterExactUnderParallelForAtEveryThreadCount) {
+    obs::Registry reg;
+    obs::Counter& hits = reg.counter("hits");
+    obs::Counter& bulk = reg.counter("bulk");
+
+    constexpr std::size_t kIterations = 20'000;
+    std::uint64_t expected_hits = 0;
+    std::uint64_t expected_bulk = 0;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        util::parallel_for(
+            kIterations,
+            [&](std::size_t i) {
+                hits.add();
+                bulk.add(i % 7);
+            },
+            threads);
+        expected_hits += kIterations;
+        for (std::size_t i = 0; i < kIterations; ++i) expected_bulk += i % 7;
+
+        const obs::MetricsSnapshot snap = reg.snapshot();
+        ASSERT_EQ(snap.counters.size(), 2u);
+        EXPECT_EQ(snap.counters[0].name, "bulk");
+        EXPECT_EQ(snap.counters[0].value, expected_bulk);
+        EXPECT_EQ(snap.counters[1].name, "hits");
+        EXPECT_EQ(snap.counters[1].value, expected_hits);
+    }
+}
+
+TEST_F(ObsMetricsTest, HistogramExactCountSumMinMaxUnderParallelFor) {
+    obs::Registry reg;
+    obs::Histogram& h =
+        reg.histogram("h", obs::HistogramBounds::linear(0.0, 100.0, 10));
+
+    constexpr std::size_t kIterations = 10'000;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        reg.reset();
+        util::parallel_for(
+            kIterations, [&](std::size_t i) { h.record(static_cast<double>(i % 1000)); },
+            threads);
+
+        const obs::MetricsSnapshot snap = reg.snapshot();
+        ASSERT_EQ(snap.histograms.size(), 1u);
+        const obs::HistogramValue& v = snap.histograms[0];
+        EXPECT_EQ(v.count, kIterations);
+        double expected_sum = 0.0;
+        for (std::size_t i = 0; i < kIterations; ++i)
+            expected_sum += static_cast<double>(i % 1000);
+        EXPECT_NEAR(v.sum, expected_sum, 1e-6 * expected_sum);
+        EXPECT_EQ(v.min, 0.0);
+        EXPECT_EQ(v.max, 999.0);
+        // 10 in-range buckets of width 100 + overflow; 0..999 spread evenly.
+        ASSERT_EQ(v.buckets.size(), 11u);
+        std::uint64_t bucketed = 0;
+        for (std::uint64_t b : v.buckets) bucketed += b;
+        EXPECT_EQ(bucketed, kIterations);
+    }
+}
+
+TEST_F(ObsMetricsTest, HistogramMeanAndQuantilesMatchNumStats) {
+    obs::Registry reg;
+    // Buckets of width 0.5 over [0, 50): quantile estimates are exact to
+    // within one bucket width.
+    obs::Histogram& h =
+        reg.histogram("latency", obs::HistogramBounds::linear(0.0, 0.5, 100));
+
+    util::Rng rng(42);
+    num::RunningStats stats;
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform(0.0, 50.0);
+        h.record(x);
+        stats.add(x);
+        samples.push_back(x);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::HistogramValue& v = snap.histograms[0];
+    EXPECT_EQ(v.count, stats.count());
+    EXPECT_NEAR(v.mean(), stats.mean(), 1e-9);
+    EXPECT_EQ(v.min, samples.front());
+    EXPECT_EQ(v.max, samples.back());
+    const double bucket_width = 0.5;
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        const double exact = samples[static_cast<std::size_t>(
+            q * static_cast<double>(samples.size() - 1))];
+        EXPECT_NEAR(v.quantile(q), exact, bucket_width)
+            << "quantile " << q << " off by more than one bucket";
+    }
+    EXPECT_EQ(v.quantile(0.0), v.min);
+    EXPECT_EQ(v.quantile(1.0), v.max);
+}
+
+TEST_F(ObsMetricsTest, KindMismatchAndBadBoundsThrow) {
+    obs::Registry reg;
+    (void)reg.counter("name.a");
+    EXPECT_THROW((void)reg.gauge("name.a"), std::logic_error);
+    EXPECT_THROW((void)reg.histogram("name.a", obs::HistogramBounds::linear(0, 1, 4)),
+                 std::logic_error);
+
+    (void)reg.histogram("name.h", obs::HistogramBounds::linear(0, 1, 4));
+    EXPECT_THROW((void)reg.counter("name.h"), std::logic_error);
+    // Same name, different bounds: a silent merge would corrupt quantiles.
+    EXPECT_THROW((void)reg.histogram("name.h", obs::HistogramBounds::linear(0, 2, 4)),
+                 std::logic_error);
+    // Idempotent with identical bounds.
+    EXPECT_NO_THROW((void)reg.histogram("name.h", obs::HistogramBounds::linear(0, 1, 4)));
+
+    EXPECT_THROW((void)obs::HistogramBounds::linear(0, -1.0, 4), std::invalid_argument);
+    EXPECT_THROW((void)obs::HistogramBounds::exponential(0.0, 2.0, 4),
+                 std::invalid_argument);
+    EXPECT_THROW((void)reg.histogram("name.empty", obs::HistogramBounds{}),
+                 std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, GaugeLastWriteWinsAndUnsetGaugesAreOmitted) {
+    obs::Registry reg;
+    obs::Gauge& g = reg.gauge("residual");
+    (void)reg.gauge("never.set");
+    g.set(1.0);
+    g.set(0.25);
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].name, "residual");
+    EXPECT_EQ(snap.gauges[0].value, 0.25);
+}
+
+TEST_F(ObsMetricsTest, DisabledUpdatesAreDropped) {
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("c");
+    obs::Gauge& g = reg.gauge("g");
+    obs::Histogram& h = reg.histogram("h", obs::HistogramBounds::linear(0, 1, 2));
+
+    obs::set_enabled(false);
+    EXPECT_FALSE(obs::enabled());
+    c.add(100);
+    g.set(3.0);
+    h.record(0.5);
+    obs::set_enabled(true);
+
+    obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters[0].value, 0u);
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_EQ(snap.histograms[0].count, 0u);
+
+    c.add(1);  // re-enabled updates flow again
+    snap = reg.snapshot();
+    EXPECT_EQ(snap.counters[0].value, 1u);
+}
+
+TEST_F(ObsMetricsTest, ResetClearsValuesButKeepsDefinitions) {
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("c");
+    obs::Histogram& h = reg.histogram("h", obs::HistogramBounds::linear(0, 1, 2));
+    obs::Gauge& g = reg.gauge("g");
+    c.add(5);
+    h.record(0.5);
+    g.set(2.0);
+    reg.reset();
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters[0].value, 0u);
+    EXPECT_EQ(snap.histograms[0].count, 0u);
+    EXPECT_EQ(snap.histograms[0].min, 0.0);
+    EXPECT_TRUE(snap.gauges.empty());
+    c.add(3);  // handles survive reset
+    EXPECT_EQ(reg.snapshot().counters[0].value, 3u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotSurvivesThreadChurn) {
+    // parallel_for spawns fresh threads every call; dead shards must be
+    // folded, not dropped, and repeated churn must not lose counts.
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("churn");
+    for (int round = 0; round < 20; ++round)
+        util::parallel_for(100, [&](std::size_t) { c.add(); }, 4);
+    EXPECT_EQ(reg.snapshot().counters[0].value, 2000u);
+}
+
+TEST_F(ObsMetricsTest, TextJsonAndCsvExporters) {
+    obs::Registry reg;
+    reg.counter("n.solves").add(3);
+    reg.gauge("n.residual").set(1e-10);
+    obs::Histogram& h =
+        reg.histogram("n.sweeps", obs::HistogramBounds::exponential(1.0, 2.0, 4));
+    h.record(1.0);
+    h.record(3.0);
+    const obs::MetricsSnapshot snap = reg.snapshot();
+
+    const std::string text = snap.to_text();
+    EXPECT_NE(text.find("counter   n.solves = 3"), std::string::npos);
+    EXPECT_NE(text.find("gauge     n.residual"), std::string::npos);
+    EXPECT_NE(text.find("histogram n.sweeps count=2"), std::string::npos);
+
+    const std::string json = snap.to_json();
+    EXPECT_NE(json.find("\"n.solves\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\": [1, 0, 1, 0, 0]"), std::string::npos);
+
+    const std::string path = ::testing::TempDir() + "obs_metrics_test.csv";
+    snap.write_csv(path);
+    std::ifstream in(path);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header, "kind,name,count,value,min,max,p50,p90,p99");
+    std::string line;
+    int rows = 0;
+    while (std::getline(in, line))
+        if (!line.empty()) ++rows;
+    EXPECT_EQ(rows, 3);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsMetricsTest, TwoRegistriesAreIndependent) {
+    obs::Registry a;
+    obs::Registry b;
+    a.counter("x").add(1);
+    b.counter("x").add(10);
+    EXPECT_EQ(a.snapshot().counters[0].value, 1u);
+    EXPECT_EQ(b.snapshot().counters[0].value, 10u);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Tests for the obs tracer: a golden-file check of the Chrome trace-event
+// JSON exporter (fixed timestamps through the low-level complete() entry
+// point), span/counter recording semantics, the enable/disable switches, and
+// the obs::Session CLI wiring.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "mvreju/obs/obs.hpp"
+#include "mvreju/obs/session.hpp"
+#include "mvreju/obs/trace.hpp"
+#include "mvreju/util/args.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+class ObsTraceTest : public ::testing::Test {
+protected:
+    void SetUp() override { obs::set_enabled(true); }
+    void TearDown() override {
+        obs::Tracer::global().disable();
+        obs::Tracer::global().clear();
+        obs::set_enabled(true);
+    }
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST_F(ObsTraceTest, GoldenChromeJson) {
+    obs::Tracer tracer;
+    tracer.enable();
+
+    // Deterministic input: fixed timestamps, one counter sample and one
+    // complete span, recorded out of order to exercise the ts sort. The
+    // main thread is the first to touch this tracer, so its tid is 0.
+    const obs::TraceArg args[] = {{"states", 22.0}, {"residual", 1e-9}};
+    tracer.complete("dspn.steady_state", 10.0, 5.5, args, 2);
+    tracer.counter("num.gs.residual", 2.0, 0.25);
+
+    const std::string expected =
+        "{\"traceEvents\": [\n"
+        "{\"name\": \"num.gs.residual\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, "
+        "\"ts\": 2.000, \"args\": {\"value\": 0.25}},\n"
+        "{\"name\": \"dspn.steady_state\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, "
+        "\"ts\": 10.000, \"dur\": 5.500, \"args\": {\"states\": 22, \"residual\": "
+        "1e-09}}\n"
+        "], \"displayTimeUnit\": \"ms\"}\n";
+    EXPECT_EQ(tracer.chrome_json(), expected);
+    // Rendering is a read: a second export must be identical.
+    EXPECT_EQ(tracer.chrome_json(), expected);
+}
+
+TEST_F(ObsTraceTest, EmptyTracerStillRendersValidSchema) {
+    obs::Tracer tracer;
+    EXPECT_EQ(tracer.chrome_json(), "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST_F(ObsTraceTest, DisabledTracerRecordsNothing) {
+    obs::Tracer tracer;  // never enabled
+    tracer.complete("x", 0.0, 1.0);
+    tracer.counter("y", 0.0, 1.0);
+    EXPECT_EQ(tracer.chrome_json(), "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+
+    tracer.enable();
+    tracer.complete("x", 0.0, 1.0);
+    tracer.disable();
+    tracer.complete("x", 2.0, 1.0);  // dropped
+    EXPECT_NE(tracer.chrome_json().find("\"ts\": 0.000"), std::string::npos);
+    EXPECT_EQ(tracer.chrome_json().find("\"ts\": 2.000"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, ObsOffWinsOverEnable) {
+    obs::set_enabled(false);
+    obs::Tracer tracer;
+    tracer.enable();  // must be a no-op under MVREJU_OBS=off
+    EXPECT_FALSE(tracer.enabled());
+    obs::set_enabled(true);
+}
+
+TEST_F(ObsTraceTest, SpanRecordsDurationAndArgs) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable();
+    {
+        obs::Span span("unit.test.span");
+        EXPECT_TRUE(span.active());
+        span.arg("k", 3.0);
+    }
+    tracer.disable();
+    const std::string json = tracer.chrome_json();
+    EXPECT_NE(json.find("\"name\": \"unit.test.span\""), std::string::npos);
+    EXPECT_NE(json.find("\"k\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, SpanEndIsIdempotent) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable();
+    {
+        obs::Span span("ended.twice");
+        span.end();
+        EXPECT_FALSE(span.active());
+        span.end();  // second end + destructor must not re-record
+    }
+    tracer.disable();
+    const std::string json = tracer.chrome_json();
+    std::size_t occurrences = 0;
+    for (std::size_t pos = json.find("ended.twice"); pos != std::string::npos;
+         pos = json.find("ended.twice", pos + 1))
+        ++occurrences;
+    EXPECT_EQ(occurrences, 1u);
+}
+
+TEST_F(ObsTraceTest, InactiveSpanWhenTracerDisabled) {
+    obs::Tracer::global().disable();
+    obs::Span span("not.recorded");
+    EXPECT_FALSE(span.active());
+}
+
+TEST_F(ObsTraceTest, ThreadsGetDistinctTids) {
+    obs::Tracer tracer;
+    tracer.enable();
+    std::thread a([&] { tracer.complete("thread.a", 1.0, 1.0); });
+    a.join();
+    std::thread b([&] { tracer.complete("thread.b", 2.0, 1.0); });
+    b.join();
+    const std::string json = tracer.chrome_json();
+    EXPECT_NE(json.find("thread.a"), std::string::npos);
+    EXPECT_NE(json.find("thread.b"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, ClearDropsRecordedEvents) {
+    obs::Tracer tracer;
+    tracer.enable();
+    tracer.complete("gone", 1.0, 1.0);
+    tracer.clear();
+    EXPECT_EQ(tracer.chrome_json(), "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST_F(ObsTraceTest, WriteProducesLoadableFile) {
+    obs::Tracer tracer;
+    tracer.enable();
+    tracer.complete("written", 1.0, 2.0);
+    const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+    tracer.write(path);
+    const std::string content = slurp(path);
+    EXPECT_EQ(content, tracer.chrome_json());
+    EXPECT_NE(content.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, SessionWritesMetricsBlobAndTrace) {
+    const std::string metrics_path = ::testing::TempDir() + "obs_session_metrics.json";
+    const std::string trace_path = ::testing::TempDir() + "obs_session_trace.json";
+    const char* argv[] = {"prog", "--metrics", metrics_path.c_str(), "--trace",
+                          trace_path.c_str()};
+    const util::Args args(5, argv);
+    EXPECT_EQ(args.metrics_path(), metrics_path);
+    EXPECT_EQ(args.trace_path(), trace_path);
+
+    {
+        obs::Session session(args);
+        EXPECT_TRUE(obs::Tracer::global().enabled());
+        obs::Span span("session.span");
+    }  // destructor flushes
+
+    const std::string blob = slurp(metrics_path);
+    EXPECT_NE(blob.find("\"meta\": "), std::string::npos);
+    EXPECT_NE(blob.find("\"git_sha\""), std::string::npos);
+    EXPECT_NE(blob.find("\"metrics\": "), std::string::npos);
+    const std::string trace = slurp(trace_path);
+    EXPECT_NE(trace.find("session.span"), std::string::npos);
+    std::remove(metrics_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
+}  // namespace
