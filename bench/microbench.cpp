@@ -74,6 +74,28 @@ void BM_SignClassifierInference(benchmark::State& state) {
 }
 BENCHMARK(BM_SignClassifierInference);
 
+void BM_DetectorInferenceBatched(benchmark::State& state) {
+    av::SensorConfig sensor;
+    const ml::Sequential model = av::make_detector_s(sensor, 1);
+    util::Rng rng(2);
+    std::vector<ml::Tensor> grids;
+    for (int i = 0; i < 64; ++i)
+        grids.push_back(av::render_grid({{0.0, 0.0}, 2.25, 0.95, 0.0}, {}, sensor, rng));
+    for (auto _ : state) benchmark::DoNotOptimize(model.predict_batch(grids, 1));
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(grids.size()));
+}
+BENCHMARK(BM_DetectorInferenceBatched);
+
+void BM_SignClassifierInferenceBatched(benchmark::State& state) {
+    const ml::Sequential model = ml::make_tiny_lenet(3, 16, data::kSignClasses, 1);
+    std::vector<ml::Tensor> images;
+    for (int i = 0; i < 64; ++i)
+        images.push_back(data::render_sign(i % data::kSignClasses, 16, {}));
+    for (auto _ : state) benchmark::DoNotOptimize(model.predict_batch(images, 1));
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(images.size()));
+}
+BENCHMARK(BM_SignClassifierInferenceBatched);
+
 void BM_MajorityVote(benchmark::State& state) {
     core::Voter<int> voter;
     const std::vector<std::optional<int>> proposals{3, 4, 3};

@@ -72,12 +72,15 @@ int main(int argc, char** argv) {
 
         // PyTorchFI-style injection: one random weight of layer 0 replaced
         // by uniform(-10, 30) -- the paper's random_weight_inj(1, -10, 30).
+        // Injections are reversible, so the scan injects into the trained
+        // model itself and restores after each batched evaluation.
         double best_acc = -1.0;
         std::uint64_t best_seed = 0;
         for (std::uint64_t seed = spec.scan_base; seed < spec.scan_base + 200; ++seed) {
-            ml::Sequential candidate = spec.model;
-            (void)fi::random_weight_inj(candidate, 0, -10.0f, 30.0f, seed);
-            const double acc = candidate.evaluate(dataset.test).accuracy;
+            const fi::Injection injection =
+                fi::random_weight_inj(spec.model, 0, -10.0f, 30.0f, seed);
+            const double acc = spec.model.evaluate(dataset.test).accuracy;
+            fi::restore(spec.model, injection);
             if (acc >= band_lo && acc <= band_hi) {
                 best_acc = acc;
                 best_seed = seed;

@@ -55,14 +55,17 @@ int main() {
     }
 
     // 4. Wire the multi-version system: versions + voter + health process.
+    // Inference is stateless and thread-safe on a shared const model, so the
+    // behaviours capture pointers into the vectors above instead of cloning
+    // every model into its closure.
     std::vector<core::VersionSpec<ml::Tensor, int>> specs;
     for (std::size_t m = 0; m < versions.size(); ++m) {
         core::VersionSpec<ml::Tensor, int> spec;
-        spec.healthy = [model = versions[m]](const ml::Tensor& x) {
-            return model.predict(x);
+        spec.healthy = [model = &versions[m]](const ml::Tensor& x) {
+            return model->predict(x);
         };
-        spec.compromised = [model = compromised[m]](const ml::Tensor& x) {
-            return model.predict(x);
+        spec.compromised = [model = &compromised[m]](const ml::Tensor& x) {
+            return model->predict(x);
         };
         specs.push_back(std::move(spec));
     }

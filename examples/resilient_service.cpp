@@ -65,26 +65,27 @@ int main() {
         model.train(dataset.train, tc);
     }
 
-    // Module behaviours capture copies so rejuvenation can always reload a
-    // pristine version "from safe storage".
-    auto version_fn = [](ml::Sequential model) {
-        return [model = std::move(model)](const ml::Tensor& x) {
-            return model.predict(x);
-        };
+    // Module behaviours capture pointers into the pristine `models` vector
+    // ("safe storage"): inference is stateless and thread-safe on a shared
+    // const model, so the worker threads need no private copies and
+    // rejuvenation just points a replica back at pristine weights.
+    auto version_fn = [](const ml::Sequential* model) {
+        return [model](const ml::Tensor& x) { return model->predict(x); };
     };
 
     core::RuntimeSystem<ml::Tensor, int>::Options options;
     options.deadline = 100ms;
     core::RuntimeSystem<ml::Tensor, int> service(
-        {version_fn(models[0]), version_fn(models[1]), version_fn(models[2])},
+        {version_fn(&models[0]), version_fn(&models[1]), version_fn(&models[2])},
         core::Voter<int>{}, options);
 
     serve(service, dataset.test, 200, "all replicas healthy:");
 
     // Attack 1: corrupt a weight of replica 0 (it keeps answering, wrongly).
+    // `corrupted` outlives the swap below, as pointer captures require.
     ml::Sequential corrupted = models[0];
     (void)fi::random_weight_inj(corrupted, 0, -10.0f, 30.0f, 7);
-    service.rejuvenate(0, version_fn(std::move(corrupted)));  // "attack" swap
+    service.rejuvenate(0, version_fn(&corrupted));  // "attack" swap
     serve(service, dataset.test, 200, "replica 0 compromised:");
 
     // Attack 2: wedge replica 1 entirely (never answers again).
@@ -96,8 +97,8 @@ int main() {
     std::printf("  replica 1 deadline misses so far: %zu\n", service.timeouts(1));
 
     // Rejuvenation: reload both from pristine storage.
-    service.rejuvenate(0, version_fn(models[0]));
-    service.rejuvenate(1, version_fn(models[1]));
+    service.rejuvenate(0, version_fn(&models[0]));
+    service.rejuvenate(1, version_fn(&models[1]));
     serve(service, dataset.test, 200, "after rejuvenation:");
 
     std::printf("total rejuvenations performed: %zu\n", service.rejuvenations());

@@ -150,12 +150,12 @@ DetectorSet prepare_detectors(const SensorConfig& config,
     std::vector<std::size_t> hazard_scenes;
     for (std::size_t i = 0; i < eval_set.size(); ++i)
         if (eval_set.labels[i] >= 3) hazard_scenes.push_back(i);
+    std::vector<ml::Tensor> hazard_images;
+    hazard_images.reserve(hazard_scenes.size());
+    for (std::size_t i : hazard_scenes) hazard_images.push_back(eval_set.images[i]);
 
     auto hazard_predictions = [&](const ml::Sequential& model) {
-        std::vector<int> preds;
-        preds.reserve(hazard_scenes.size());
-        for (std::size_t i : hazard_scenes) preds.push_back(model.predict(eval_set.images[i]));
-        return preds;
+        return model.predict_batch(hazard_images);
     };
     auto optimistic_rate = [&](const std::vector<int>& preds) {
         std::size_t optimistic = 0;
@@ -198,25 +198,31 @@ DetectorSet prepare_detectors(const SensorConfig& config,
         const std::size_t layers = fi::injectable_layer_count(set.healthy[m]);
         std::array<bool, kSlots> filled{};
         std::size_t filled_count = 0;
+        // One worker copy serves the whole scan: injections are reversible,
+        // so each attempt injects, runs the batched evaluation, and restores;
+        // only accepted variants get cloned (at most kSlots per version).
+        ml::Sequential worker = set.healthy[m];
         for (std::uint64_t attempt = 0;
              attempt < 250 * layers && filled_count < options.variants_per_version;
              ++attempt) {
-            ml::Sequential candidate = set.healthy[m];
             const std::uint64_t inj_seed = options.seed * 1000 + m * 211 + attempt % 250;
             const std::size_t layer = attempt / 250;  // scan layer by layer
-            (void)fi::random_weight_inj(candidate, layer, options.inject_min,
-                                        options.inject_max, inj_seed);
-            const double accuracy = candidate.evaluate(eval_set).accuracy;
-            const auto preds = hazard_predictions(candidate);
+            const fi::Injection injection = fi::random_weight_inj(
+                worker, layer, options.inject_min, options.inject_max, inj_seed);
+            const double accuracy = worker.evaluate(eval_set).accuracy;
+            const auto preds = hazard_predictions(worker);
             const int slot = slot_of(preds, accuracy);
-            if (slot < 0 || filled[static_cast<std::size_t>(slot)]) continue;
-            if (slot == 0 && optimistic_rate(preds) < options.min_optimistic_rate)
-                continue;
-            CompromisedVariant variant{std::move(candidate), accuracy,
-                                       optimistic_rate(preds), inj_seed, layer};
-            set.compromised[m].push_back(std::move(variant));
-            filled[static_cast<std::size_t>(slot)] = true;
-            ++filled_count;
+            const bool accept =
+                slot >= 0 && !filled[static_cast<std::size_t>(slot)] &&
+                !(slot == 0 && optimistic_rate(preds) < options.min_optimistic_rate);
+            if (accept) {
+                CompromisedVariant variant{worker, accuracy, optimistic_rate(preds),
+                                           inj_seed, layer};
+                set.compromised[m].push_back(std::move(variant));
+                filled[static_cast<std::size_t>(slot)] = true;
+                ++filled_count;
+            }
+            fi::restore(worker, injection);
         }
         (void)pairwise_agreement;
         const std::size_t required = std::min<std::size_t>(2, options.variants_per_version);

@@ -38,6 +38,12 @@ namespace mvreju::core {
 template <typename Input, typename Output>
 class RuntimeSystem {
 public:
+    /// Per-frame behaviour of one module, invoked on that module's worker
+    /// thread. ML-backed modules can capture a `const ml::Sequential*` into a
+    /// shared pristine model — inference is stateless and thread-safe on a
+    /// shared const model (see the contract in ml/model.hpp), so replicas
+    /// need no private weight copies and rejuvenation can repoint a module
+    /// at safe storage without cloning.
     using ModuleFn = std::function<Output(const Input&)>;
 
     struct Options {

@@ -29,9 +29,11 @@ struct CampaignConfig {
     double degraded_threshold = 0.05;  ///< accuracy drop classifying `degraded`
     double critical_threshold = 0.30;  ///< accuracy drop classifying `critical`
     std::uint64_t seed = 1;
-    /// Worker threads for the per-site fan-out (0 = auto, 1 = serial). Each
-    /// site injects into its own copy of the model and draws from its own
-    /// RNG substream, so reports are identical for every thread count.
+    /// Worker threads for the batched evaluation after each injection
+    /// (0 = auto, 1 = serial). Sites run sequentially against one shared
+    /// model copy (inject → evaluate → restore); each site draws from its
+    /// own RNG substream and batched inference is bit-identical at any
+    /// thread count, so reports are identical for every setting.
     std::size_t num_threads = 0;
 };
 

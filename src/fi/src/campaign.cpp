@@ -5,7 +5,6 @@
 
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/trace.hpp"
-#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace mvreju::fi {
@@ -40,9 +39,9 @@ void account(SiteReport& report, double baseline, double faulty,
     report.worst_accuracy_drop = std::max(report.worst_accuracy_drop, drop);
 }
 
-/// Publish campaign totals once, after the parallel region: the per-site
-/// tallies live in the report itself, so telemetry is a pure read that
-/// cannot disturb the deterministic fan-out.
+/// Publish campaign totals once, after all sites: the per-site tallies live
+/// in the report itself, so telemetry is a pure read that cannot disturb
+/// the deterministic injection sequence.
 void publish_campaign_metrics(const CampaignReport& report) {
     obs::Registry& reg = obs::metrics();
     static obs::Counter& injections = reg.counter("fi.injections");
@@ -67,35 +66,34 @@ CampaignReport run_weight_campaign(ml::Sequential& model, const ml::Dataset& eva
     validate(eval, config);
     MVREJU_OBS_SPAN(span, "fi.weight_campaign");
     CampaignReport report;
-    report.baseline_accuracy = model.evaluate(eval).accuracy;
+    report.baseline_accuracy = model.evaluate(eval, config.num_threads).accuracy;
 
-    // Sites are independent, so fan them out over the task pool. Each site
-    // corrupts its own copy of the model and draws from substream site + 1;
-    // slot `site` of the report is written only by its own task, keeping the
-    // campaign deterministic for every thread count (and leaving the caller's
-    // model untouched throughout, not just restored at the end).
+    // One worker copy serves the whole campaign: every injection is reversible
+    // (inject → batched evaluate → restore), so sites run sequentially against
+    // it while the parallelism lives inside evaluate(), which fans the eval
+    // set out over the batched inference engine. Each site still draws from
+    // substream site + 1 and batched inference is bit-identical for every
+    // thread count, so reports match the old per-site fan-out exactly (and
+    // the caller's model stays untouched throughout, not just restored).
     const util::Rng root(config.seed);
     const std::size_t layers = injectable_layer_count(model);
-    report.sites.assign(layers, SiteReport{});
-    util::parallel_for(
-        layers,
-        [&](std::size_t layer) {
-            ml::Sequential worker = model;
-            util::Rng rng = root.split(layer + 1);
-            SiteReport site;
-            site.site = layer;
-            site.parameters = worker.parameter_spans()[layer].size();
-            for (std::size_t k = 0; k < config.injections_per_site; ++k) {
-                const Injection injection = random_weight_inj(
-                    worker, layer, config.value_min, config.value_max, rng());
-                const double faulty = worker.evaluate(eval).accuracy;
-                restore(worker, injection);
-                account(site, report.baseline_accuracy, faulty, config);
-            }
-            site.mean_accuracy_drop /= static_cast<double>(site.injections());
-            report.sites[layer] = site;
-        },
-        config.num_threads);
+    report.sites.reserve(layers);
+    ml::Sequential worker = model;
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        util::Rng rng = root.split(layer + 1);
+        SiteReport site;
+        site.site = layer;
+        site.parameters = worker.parameter_spans()[layer].size();
+        for (std::size_t k = 0; k < config.injections_per_site; ++k) {
+            const Injection injection = random_weight_inj(
+                worker, layer, config.value_min, config.value_max, rng());
+            const double faulty = worker.evaluate(eval, config.num_threads).accuracy;
+            restore(worker, injection);
+            account(site, report.baseline_accuracy, faulty, config);
+        }
+        site.mean_accuracy_drop /= static_cast<double>(site.injections());
+        report.sites.push_back(site);
+    }
     publish_campaign_metrics(report);
     span.arg("sites", static_cast<double>(layers));
     span.arg("injections_per_site", static_cast<double>(config.injections_per_site));
@@ -110,28 +108,27 @@ CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& ev
     MVREJU_OBS_SPAN(span, "fi.bitflip_campaign");
     span.arg("layer", static_cast<double>(layer));
     CampaignReport report;
-    report.baseline_accuracy = model.evaluate(eval).accuracy;
+    report.baseline_accuracy = model.evaluate(eval, config.num_threads).accuracy;
 
+    // Same structure as the weight campaign: one worker copy, serial bit
+    // loop, parallel batched evaluation per injection.
     const util::Rng root(config.seed);
-    report.sites.assign(32, SiteReport{});
-    util::parallel_for(
-        32,
-        [&](std::size_t bit) {
-            ml::Sequential worker = model;
-            util::Rng rng = root.split(bit + 1);
-            SiteReport site;
-            site.site = bit;
-            for (std::size_t k = 0; k < config.injections_per_site; ++k) {
-                const Injection injection =
-                    bit_flip_weight(worker, layer, static_cast<int>(bit), rng());
-                const double faulty = worker.evaluate(eval).accuracy;
-                restore(worker, injection);
-                account(site, report.baseline_accuracy, faulty, config);
-            }
-            site.mean_accuracy_drop /= static_cast<double>(site.injections());
-            report.sites[bit] = site;
-        },
-        config.num_threads);
+    report.sites.reserve(32);
+    ml::Sequential worker = model;
+    for (std::size_t bit = 0; bit < 32; ++bit) {
+        util::Rng rng = root.split(bit + 1);
+        SiteReport site;
+        site.site = bit;
+        for (std::size_t k = 0; k < config.injections_per_site; ++k) {
+            const Injection injection =
+                bit_flip_weight(worker, layer, static_cast<int>(bit), rng());
+            const double faulty = worker.evaluate(eval, config.num_threads).accuracy;
+            restore(worker, injection);
+            account(site, report.baseline_accuracy, faulty, config);
+        }
+        site.mean_accuracy_drop /= static_cast<double>(site.injections());
+        report.sites.push_back(site);
+    }
     publish_campaign_metrics(report);
     span.arg("injections_per_site", static_cast<double>(config.injections_per_site));
     return report;

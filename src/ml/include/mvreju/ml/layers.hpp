@@ -11,6 +11,7 @@
 #include <string>
 
 #include "mvreju/ml/tensor.hpp"
+#include "mvreju/ml/workspace.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace mvreju::ml {
@@ -18,12 +19,30 @@ namespace mvreju::ml {
 /// Base class of all layers. A layer caches whatever it needs from the last
 /// forward() call so that backward() can run; gradients accumulate until
 /// apply_gradients()/zero_gradients().
+///
+/// Inference has a second, stateless entry point: infer() takes a batch with
+/// a leading sample dimension ((N, F) for vectors, (N, C, H, W) for images)
+/// and an explicit Workspace, touches no mutable layer state, and is safe to
+/// call concurrently from many threads on one shared layer as long as each
+/// thread brings its own Workspace. The im2col+GEMM kernels under num/ keep
+/// one accumulator per output element in the same ascending reduction order
+/// as the naive loops, so infer() is bit-identical across thread counts and
+/// matches forward(sample, /*training=*/false) per sample bitwise (the only
+/// exception: a zero-padding tap may flip the sign of an exactly-zero
+/// accumulator, which compares equal and never changes a prediction).
 class Layer {
 public:
     virtual ~Layer() = default;
 
     /// Forward pass. When `training` is false, layers may skip caching.
     virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+    /// Stateless batched inference; see the class comment for the contract.
+    /// The returned tensor comes from `ws.take()` — callers recycle it with
+    /// `ws.give()` once consumed. `num_threads` follows util::parallel_for
+    /// conventions (0 = auto, 1 = serial inline).
+    [[nodiscard]] virtual Tensor infer(const Tensor& batch, Workspace& ws,
+                                       std::size_t num_threads) const = 0;
 
     /// Backward pass: receives dLoss/dOutput, returns dLoss/dInput and
     /// accumulates parameter gradients. Must follow a training forward().
@@ -59,6 +78,8 @@ public:
     Dense(std::size_t inputs, std::size_t outputs, util::Rng& rng);
 
     Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
     Tensor backward(const Tensor& grad_output) override;
     void apply_gradients(float learning_rate, float momentum) override;
     void zero_gradients() override;
@@ -88,6 +109,8 @@ public:
            std::size_t pad, util::Rng& rng);
 
     Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
     Tensor backward(const Tensor& grad_output) override;
     void apply_gradients(float learning_rate, float momentum) override;
     void zero_gradients() override;
@@ -117,6 +140,8 @@ private:
 class ReLU final : public Layer {
 public:
     Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string kind() const override { return "relu"; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
@@ -131,6 +156,8 @@ private:
 class MaxPool2D final : public Layer {
 public:
     Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string kind() const override { return "maxpool"; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
@@ -146,6 +173,8 @@ private:
 class Flatten final : public Layer {
 public:
     Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
     Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::string kind() const override { return "flatten"; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
@@ -154,6 +183,25 @@ public:
 
 private:
     std::vector<std::size_t> in_shape_;
+};
+
+/// Numerically stable softmax over the class dimension (max-subtracted).
+/// The reference architectures train on raw logits via softmax cross
+/// entropy, so none of them embeds this layer; it exists for heads that
+/// want calibrated probabilities out of the batched engine.
+class Softmax final : public Layer {
+public:
+    Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "softmax"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+        return std::make_unique<Softmax>(*this);
+    }
+
+private:
+    Tensor last_output_;
 };
 
 /// Residual block: output = ReLU(conv2(ReLU(conv1(x))) + x). Channel count
@@ -165,6 +213,8 @@ public:
     ResidualBlock& operator=(const ResidualBlock&) = delete;
 
     Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& batch, Workspace& ws,
+                               std::size_t num_threads) const override;
     Tensor backward(const Tensor& grad_output) override;
     void apply_gradients(float learning_rate, float momentum) override;
     void zero_gradients() override;

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,17 @@ struct TrainConfig {
 
 /// Feed-forward stack of layers with shared ownership semantics disabled:
 /// a model owns its layers exclusively and supports deep copies via clone().
+///
+/// Thread-safety contract: every const member — logits(), predict(),
+/// probabilities(), logits_batch(), predict_batch(), evaluate() — is
+/// genuinely read-only and safe to call concurrently from any number of
+/// threads on one shared model. Inference state lives in an explicit
+/// Workspace (logits_batch takes it as a parameter; the per-sample entry
+/// points use a thread_local one), never in the model or its layers.
+/// Mutators — add(), train(), load_parameters(), writes through layer() or
+/// parameter_spans() (e.g. fi:: fault injection) — must not overlap with any
+/// other access; injecting into a model while another thread runs inference
+/// on it is a data race.
 class Sequential {
 public:
     Sequential() = default;
@@ -68,11 +80,27 @@ public:
     /// Softmax probabilities over the logits.
     [[nodiscard]] std::vector<float> probabilities(const Tensor& input) const;
 
+    /// Batched inference core: run a batch with leading sample dimension
+    /// ((N, C, H, W) or (N, F)) through every layer's stateless infer()
+    /// path. The result comes from `ws.take()` — recycle it with
+    /// `ws.give()` when consumed. Bit-identical for every `num_threads`
+    /// (0 = auto, 1 = serial; see util::parallel_for).
+    [[nodiscard]] Tensor logits_batch(const Tensor& batch, Workspace& ws,
+                                      std::size_t num_threads = 1) const;
+
+    /// Class predictions for a set of equally-shaped images, chunked through
+    /// logits_batch(). Results are identical to calling predict() per image
+    /// regardless of `num_threads` or chunking.
+    [[nodiscard]] std::vector<int> predict_batch(std::span<const Tensor> images,
+                                                 std::size_t num_threads = 0) const;
+
     /// Train with softmax cross entropy; returns the mean loss per epoch.
     std::vector<double> train(const Dataset& data, const TrainConfig& config);
 
-    /// Accuracy and error set on a dataset.
-    [[nodiscard]] Evaluation evaluate(const Dataset& data) const;
+    /// Accuracy and error set on a dataset, one batched pass over the
+    /// images. The result is independent of `num_threads`.
+    [[nodiscard]] Evaluation evaluate(const Dataset& data,
+                                      std::size_t num_threads = 0) const;
 
     /// All parameter spans in layer order (composite layers contribute
     /// several). Mutable access: used by the fault injector.

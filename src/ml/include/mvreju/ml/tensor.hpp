@@ -7,6 +7,7 @@
 #include <numeric>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace mvreju::ml {
@@ -44,6 +45,27 @@ public:
         return data_[(c * shape_[1] + h) * shape_[2] + w];
     }
 
+    /// 4-D accessor for batched (N, C, H, W) views.
+    float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    }
+    [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                            std::size_t w) const {
+        return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    }
+
+    /// Reshape in place, reusing the allocation when the new element count
+    /// fits the existing capacity. Element values are unspecified after a
+    /// resize that changes the count — callers overwrite them (the Workspace
+    /// pool relies on this to recycle buffers without reallocating).
+    void resize(std::vector<std::size_t> shape) {
+        shape_ = std::move(shape);
+        data_.resize(count(shape_));
+    }
+
+    /// Allocated capacity in elements (>= size()); Workspace::bytes() sums it.
+    [[nodiscard]] std::size_t capacity() const noexcept { return data_.capacity(); }
+
     friend bool operator==(const Tensor&, const Tensor&) = default;
 
     [[nodiscard]] static std::size_t count(const std::vector<std::size_t>& shape) {
@@ -58,5 +80,8 @@ private:
 
 /// Index of the maximum element (first on ties). Requires non-empty tensor.
 [[nodiscard]] std::size_t argmax(const Tensor& t);
+
+/// "(a, b, c)" rendering of a shape, for error messages.
+[[nodiscard]] std::string shape_string(const std::vector<std::size_t>& shape);
 
 }  // namespace mvreju::ml

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+
+#include "mvreju/num/gemm.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/util/parallel.hpp"
 
 namespace mvreju::ml {
 
@@ -20,6 +25,28 @@ void sgd_momentum(std::vector<float>& params, std::vector<float>& grads,
         velocity[i] = momentum * velocity[i] - lr * grads[i];
         params[i] += velocity[i];
     }
+}
+
+/// Below this batch size the transposed-weight copy for the NN GEMM costs
+/// more than it saves; Dense::infer uses the NT kernel directly instead.
+constexpr std::size_t kDenseGemmMinBatch = 8;
+
+/// GEMM FLOPs (2·M·N·K multiply-adds) spent by the inference kernels.
+void count_gemm_flops(std::uint64_t flops) {
+    static obs::Counter& counter = obs::metrics().counter("ml.infer.gemm_flops");
+    counter.add(flops);
+}
+
+/// Run fn(sample) for every sample in [0, nb); parallel only when asked, so
+/// nested callers (Sequential already parallelises over its own chunking)
+/// can force the serial path with num_threads == 1.
+void for_each_sample(std::size_t nb, std::size_t num_threads,
+                     const std::function<void(std::size_t)>& fn) {
+    if (num_threads == 1 || nb == 1) {
+        for (std::size_t s = 0; s < nb; ++s) fn(s);
+        return;
+    }
+    util::parallel_for(nb, fn, num_threads);
 }
 
 }  // namespace
@@ -39,7 +66,10 @@ Dense::Dense(std::size_t inputs, std::size_t outputs, util::Rng& rng)
 }
 
 Tensor Dense::forward(const Tensor& input, bool training) {
-    if (input.size() != inputs_) throw std::invalid_argument("Dense: input size mismatch");
+    if (input.size() != inputs_)
+        throw std::invalid_argument("Dense: expected " + std::to_string(inputs_) +
+                                    " input elements, got shape " +
+                                    shape_string(input.shape()));
     if (training) last_input_ = input;
     Tensor out({outputs_});
     const float* w = params_.data();
@@ -75,6 +105,31 @@ Tensor Dense::backward(const Tensor& grad_output) {
     return grad_in;
 }
 
+Tensor Dense::infer(const Tensor& batch, Workspace& ws,
+                    std::size_t num_threads) const {
+    if (batch.rank() != 2 || batch.shape()[1] != inputs_)
+        throw std::invalid_argument("Dense: expected (N, " + std::to_string(inputs_) +
+                                    ") batch, got " + shape_string(batch.shape()));
+    const std::size_t nb = batch.shape()[0];
+    Tensor out = ws.take({nb, outputs_});
+    const float* w = params_.data();
+    const float* bias = w + inputs_ * outputs_;
+    num::fill_rows(nb, outputs_, bias, out.data().data());
+    if (nb >= kDenseGemmMinBatch) {
+        // Large batch: one transposed weight copy turns the product into the
+        // streaming NN kernel (vectorises over outputs).
+        std::vector<float>& wt = ws.aux(inputs_ * outputs_);
+        num::transpose(outputs_, inputs_, w, wt.data());
+        num::sgemm(nb, outputs_, inputs_, batch.data().data(), wt.data(),
+                   out.data().data(), num_threads);
+    } else {
+        num::sgemm_nt(nb, outputs_, inputs_, batch.data().data(), w,
+                      out.data().data(), num_threads);
+    }
+    count_gemm_flops(2ull * nb * outputs_ * inputs_);
+    return out;
+}
+
 void Dense::apply_gradients(float lr, float momentum) {
     sgd_momentum(params_, grads_, velocity_, lr, momentum);
 }
@@ -102,9 +157,16 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t ke
 
 Tensor Conv2D::forward(const Tensor& input, bool training) {
     if (input.rank() != 3 || input.shape()[0] != in_channels_)
-        throw std::invalid_argument("Conv2D: expected (C,H,W) input");
+        throw std::invalid_argument("Conv2D: expected (" +
+                                    std::to_string(in_channels_) +
+                                    ", H, W) input, got " +
+                                    shape_string(input.shape()));
     const std::size_t h = input.shape()[1];
     const std::size_t w = input.shape()[2];
+    if (h + 2 * pad_ < kernel_ || w + 2 * pad_ < kernel_)
+        throw std::invalid_argument(
+            "Conv2D: kernel " + std::to_string(kernel_) + " with pad " +
+            std::to_string(pad_) + " exceeds input " + shape_string(input.shape()));
     const std::size_t oh = h + 2 * pad_ - kernel_ + 1;
     const std::size_t ow = w + 2 * pad_ - kernel_ + 1;
     if (training) last_input_ = input;
@@ -184,6 +246,48 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
     return grad_in;
 }
 
+Tensor Conv2D::infer(const Tensor& batch, Workspace& ws,
+                     std::size_t num_threads) const {
+    if (batch.rank() != 4 || batch.shape()[1] != in_channels_)
+        throw std::invalid_argument("Conv2D: expected (N, " +
+                                    std::to_string(in_channels_) +
+                                    ", H, W) batch, got " +
+                                    shape_string(batch.shape()));
+    const std::size_t nb = batch.shape()[0];
+    const std::size_t h = batch.shape()[2];
+    const std::size_t w = batch.shape()[3];
+    if (h + 2 * pad_ < kernel_ || w + 2 * pad_ < kernel_)
+        throw std::invalid_argument(
+            "Conv2D: kernel " + std::to_string(kernel_) + " with pad " +
+            std::to_string(pad_) + " exceeds input " + shape_string(batch.shape()));
+    const std::size_t oh = h + 2 * pad_ - kernel_ + 1;
+    const std::size_t ow = w + 2 * pad_ - kernel_ + 1;
+    const std::size_t ckk = in_channels_ * kernel_ * kernel_;
+    const std::size_t ohow = oh * ow;
+
+    Tensor out = ws.take({nb, out_channels_, oh, ow});
+    std::vector<float>& col = ws.col(nb * ckk * ohow);
+    const float* weights = params_.data();
+    const float* bias = weights + out_channels_ * ckk;
+    const float* in = batch.data().data();
+    float* outp = out.data().data();
+    float* colp = col.data();
+
+    // One im2col + GEMM per sample; parallelism partitions samples, so every
+    // output element still has a single k-ascending accumulator (bitwise
+    // equal to forward()'s naive loops up to ±0 on padding taps).
+    for_each_sample(nb, num_threads, [&](std::size_t s) {
+        float* col_s = colp + s * ckk * ohow;
+        num::im2col(in + s * in_channels_ * h * w, in_channels_, h, w, kernel_, pad_,
+                    col_s);
+        float* out_s = outp + s * out_channels_ * ohow;
+        num::fill_cols(out_channels_, ohow, bias, out_s);
+        num::sgemm(out_channels_, ohow, ckk, weights, col_s, out_s, 1);
+    });
+    count_gemm_flops(2ull * nb * out_channels_ * ohow * ckk);
+    return out;
+}
+
 void Conv2D::apply_gradients(float lr, float momentum) {
     sgd_momentum(params_, grads_, velocity_, lr, momentum);
 }
@@ -197,6 +301,16 @@ Tensor ReLU::forward(const Tensor& input, bool training) {
     Tensor out = input;
     for (std::size_t i = 0; i < out.size(); ++i)
         if (out[i] < 0.0f) out[i] = 0.0f;
+    return out;
+}
+
+Tensor ReLU::infer(const Tensor& batch, Workspace& ws,
+                   std::size_t num_threads) const {
+    (void)num_threads;  // elementwise and memory-bound; threading never pays
+    Tensor out = ws.take(batch.shape());
+    const std::span<const float> in = batch.data();
+    const std::span<float> o = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i) o[i] = in[i] < 0.0f ? 0.0f : in[i];
     return out;
 }
 
@@ -248,6 +362,42 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
     return out;
 }
 
+Tensor MaxPool2D::infer(const Tensor& batch, Workspace& ws,
+                        std::size_t num_threads) const {
+    if (batch.rank() != 4 || batch.shape()[2] % 2 != 0 || batch.shape()[3] % 2 != 0)
+        throw std::invalid_argument(
+            "MaxPool2D: expected (N, C, H, W) batch with even H, W, got " +
+            shape_string(batch.shape()));
+    const std::size_t nb = batch.shape()[0];
+    const std::size_t c = batch.shape()[1];
+    const std::size_t h = batch.shape()[2];
+    const std::size_t w = batch.shape()[3];
+    const std::size_t oh = h / 2;
+    const std::size_t ow = w / 2;
+    Tensor out = ws.take({nb, c, oh, ow});
+    const float* in = batch.data().data();
+    float* outp = out.data().data();
+    for_each_sample(nb, num_threads, [&](std::size_t s) {
+        const float* in_s = in + s * c * h * w;
+        float* out_s = outp + s * c * oh * ow;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            for (std::size_t y = 0; y < oh; ++y) {
+                for (std::size_t x = 0; x < ow; ++x) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    for (std::size_t dy = 0; dy < 2; ++dy)
+                        for (std::size_t dx = 0; dx < 2; ++dx) {
+                            const float v =
+                                in_s[(ch * h + 2 * y + dy) * w + 2 * x + dx];
+                            if (v > best) best = v;
+                        }
+                    out_s[(ch * oh + y) * ow + x] = best;
+                }
+            }
+        }
+    });
+    return out;
+}
+
 Tensor MaxPool2D::backward(const Tensor& grad_output) {
     if (in_shape_.empty()) throw std::logic_error("MaxPool2D: backward before forward");
     Tensor grad_in(in_shape_);
@@ -263,9 +413,77 @@ Tensor Flatten::forward(const Tensor& input, bool training) {
     return Tensor({input.size()}, {input.data().begin(), input.data().end()});
 }
 
+Tensor Flatten::infer(const Tensor& batch, Workspace& ws,
+                      std::size_t num_threads) const {
+    (void)num_threads;
+    if (batch.rank() < 2)
+        throw std::invalid_argument("Flatten: expected batch of rank >= 2, got " +
+                                    shape_string(batch.shape()));
+    const std::size_t nb = batch.shape()[0];
+    Tensor out = ws.take({nb, batch.size() / nb});
+    std::memcpy(out.data().data(), batch.data().data(),
+                batch.size() * sizeof(float));
+    return out;
+}
+
 Tensor Flatten::backward(const Tensor& grad_output) {
     if (in_shape_.empty()) throw std::logic_error("Flatten: backward before forward");
     return Tensor(in_shape_, {grad_output.data().begin(), grad_output.data().end()});
+}
+
+// -------------------------------------------------------------- Softmax ---
+
+namespace {
+
+/// In-place numerically stable softmax over `values[0..n)`.
+void softmax_row(float* values, std::size_t n) {
+    float max_value = values[0];
+    for (std::size_t i = 1; i < n; ++i) max_value = std::max(max_value, values[i]);
+    float total = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        values[i] = std::exp(values[i] - max_value);
+        total += values[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) values[i] /= total;
+}
+
+}  // namespace
+
+Tensor Softmax::forward(const Tensor& input, bool training) {
+    if (input.size() == 0) throw std::invalid_argument("Softmax: empty input");
+    Tensor out = input;
+    softmax_row(out.data().data(), out.size());
+    if (training) last_output_ = out;
+    return out;
+}
+
+Tensor Softmax::infer(const Tensor& batch, Workspace& ws,
+                      std::size_t num_threads) const {
+    (void)num_threads;
+    if (batch.rank() != 2 || batch.shape()[1] == 0)
+        throw std::invalid_argument("Softmax: expected (N, classes) batch, got " +
+                                    shape_string(batch.shape()));
+    const std::size_t nb = batch.shape()[0];
+    const std::size_t classes = batch.shape()[1];
+    Tensor out = ws.take(batch.shape());
+    std::memcpy(out.data().data(), batch.data().data(),
+                batch.size() * sizeof(float));
+    float* rows = out.data().data();
+    for (std::size_t s = 0; s < nb; ++s) softmax_row(rows + s * classes, classes);
+    return out;
+}
+
+Tensor Softmax::backward(const Tensor& grad_output) {
+    if (last_output_.size() != grad_output.size())
+        throw std::logic_error("Softmax: backward without training forward");
+    // dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+    float dot = 0.0f;
+    for (std::size_t i = 0; i < grad_output.size(); ++i)
+        dot += grad_output[i] * last_output_[i];
+    Tensor grad_in(last_output_.shape());
+    for (std::size_t i = 0; i < grad_in.size(); ++i)
+        grad_in[i] = last_output_[i] * (grad_output[i] - dot);
+    return grad_in;
 }
 
 // -------------------------------------------------------- ResidualBlock ---
@@ -299,6 +517,26 @@ Tensor ResidualBlock::forward(const Tensor& input, bool training) {
     for (std::size_t i = 0; i < y.size(); ++i)
         if (y[i] < 0.0f) y[i] = 0.0f;
     if (training) last_out_ = y;
+    return y;
+}
+
+Tensor ResidualBlock::infer(const Tensor& batch, Workspace& ws,
+                            std::size_t num_threads) const {
+    Tensor hidden = conv1_->infer(batch, ws, num_threads);
+    {
+        const std::span<float> h = hidden.data();
+        for (std::size_t i = 0; i < h.size(); ++i)
+            if (h[i] < 0.0f) h[i] = 0.0f;
+    }
+    Tensor y = conv2_->infer(hidden, ws, num_threads);
+    ws.give(std::move(hidden));
+    if (y.shape() != batch.shape())
+        throw std::logic_error("ResidualBlock: shape not preserved");
+    const std::span<const float> skip = batch.data();
+    const std::span<float> out = y.data();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += skip[i];
+    for (std::size_t i = 0; i < out.size(); ++i)
+        if (out[i] < 0.0f) out[i] = 0.0f;
     return y;
 }
 

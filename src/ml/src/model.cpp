@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <numeric>
 #include <stdexcept>
 
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/util/parallel.hpp"
+
 namespace mvreju::ml {
+
+namespace {
+
+/// Per-thread workspace behind the per-sample const entry points (logits,
+/// predict, probabilities, predict_batch). Keeping it thread_local makes
+/// those methods genuinely const and thread-safe on a shared model while
+/// still amortising allocations across calls.
+Workspace& local_workspace() {
+    thread_local Workspace ws;
+    return ws;
+}
+
+/// predict_batch stacks images into batches of at most this many samples —
+/// large enough to feed the GEMM kernels, small enough to bound workspace
+/// memory (the im2col column matrix scales with the chunk).
+constexpr std::size_t kPredictChunk = 256;
+
+}  // namespace
 
 Sequential::Sequential(const Sequential& other) : name_(other.name_) {
     layers_.reserve(other.layers_.size());
@@ -27,13 +49,111 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
 }
 
 Tensor Sequential::logits(const Tensor& input) const {
+    Workspace& ws = local_workspace();
+    std::vector<std::size_t> batch_shape;
+    batch_shape.reserve(input.rank() + 1);
+    batch_shape.push_back(1);
+    for (std::size_t d : input.shape()) batch_shape.push_back(d);
+    Tensor batch = ws.take(std::move(batch_shape));
+    std::memcpy(batch.data().data(), input.data().data(),
+                input.size() * sizeof(float));
+    Tensor out = logits_batch(batch, ws, /*num_threads=*/1);
+    ws.give(std::move(batch));
+    Tensor result(
+        std::vector<std::size_t>(out.shape().begin() + 1, out.shape().end()),
+        std::vector<float>(out.data().begin(), out.data().end()));
+    ws.give(std::move(out));
+    return result;
+}
+
+Tensor Sequential::logits_batch(const Tensor& batch, Workspace& ws,
+                                std::size_t num_threads) const {
     if (layers_.empty()) throw std::logic_error("Sequential: empty model");
-    Tensor x = input;
-    // Inference does not mutate logical state; the const_cast confines the
-    // caching non-constness of Layer::forward to this one place.
-    for (const auto& layer : layers_)
-        x = const_cast<Layer&>(*layer).forward(x, /*training=*/false);
+    if (batch.rank() < 2 || batch.shape()[0] == 0)
+        throw std::invalid_argument(
+            "Sequential::logits_batch: expected non-empty batch with a leading "
+            "sample dimension, got " +
+            shape_string(batch.shape()));
+    const std::size_t nb = batch.shape()[0];
+
+    Tensor x = layers_.front()->infer(batch, ws, num_threads);
+    for (std::size_t i = 1; i < layers_.size(); ++i) {
+        Tensor y = layers_[i]->infer(x, ws, num_threads);
+        ws.give(std::move(x));
+        x = std::move(y);
+    }
+
+    static obs::Counter& images = obs::metrics().counter("ml.infer.images");
+    static obs::Histogram& batch_sizes = obs::metrics().histogram(
+        "ml.infer.batch_size", obs::HistogramBounds::exponential(1.0, 2.0, 10));
+    static obs::Gauge& workspace_bytes =
+        obs::metrics().gauge("ml.infer.workspace_bytes");
+    images.add(nb);
+    batch_sizes.record(static_cast<double>(nb));
+    workspace_bytes.set(static_cast<double>(ws.bytes()));
     return x;
+}
+
+std::vector<int> Sequential::predict_batch(std::span<const Tensor> images,
+                                           std::size_t num_threads) const {
+    std::vector<int> predictions(images.size());
+    if (images.empty()) return predictions;
+
+    const std::vector<std::size_t>& image_shape = images[0].shape();
+    const std::size_t sample_size = images[0].size();
+
+    // Parallelism lives at chunk granularity: each chunk runs the whole
+    // layer stack serially in its own thread's workspace, so one
+    // parallel_for covers the call (per-layer fan-out would respawn threads
+    // per layer per chunk). Chunking and threading never change the result:
+    // every sample's logits are bit-identical however they are batched.
+    const std::size_t workers = num_threads == 0 ? util::hardware_threads() : num_threads;
+    std::size_t chunk = kPredictChunk;
+    if (workers > 1 && images.size() > chunk)
+        chunk = std::clamp(images.size() / (workers * 4), std::size_t{16},
+                           kPredictChunk);
+    const std::size_t num_chunks = (images.size() + chunk - 1) / chunk;
+
+    auto process_chunk = [&](std::size_t c) {
+        Workspace& ws = local_workspace();
+        const std::size_t pos = c * chunk;
+        const std::size_t nb = std::min(chunk, images.size() - pos);
+        std::vector<std::size_t> batch_shape;
+        batch_shape.reserve(image_shape.size() + 1);
+        batch_shape.push_back(nb);
+        for (std::size_t d : image_shape) batch_shape.push_back(d);
+        Tensor batch = ws.take(std::move(batch_shape));
+        float* stacked = batch.data().data();
+        for (std::size_t i = 0; i < nb; ++i) {
+            const Tensor& image = images[pos + i];
+            if (image.shape() != image_shape)
+                throw std::invalid_argument(
+                    "predict_batch: image " + std::to_string(pos + i) +
+                    " has shape " + shape_string(image.shape()) + ", expected " +
+                    shape_string(image_shape));
+            std::memcpy(stacked + i * sample_size, image.data().data(),
+                        sample_size * sizeof(float));
+        }
+        Tensor out = logits_batch(batch, ws, /*num_threads=*/1);
+        const std::size_t classes = out.size() / nb;
+        const float* rows = out.data().data();
+        for (std::size_t i = 0; i < nb; ++i) {
+            const float* row = rows + i * classes;
+            std::size_t best = 0;
+            for (std::size_t j = 1; j < classes; ++j)
+                if (row[j] > row[best]) best = j;
+            predictions[pos + i] = static_cast<int>(best);
+        }
+        ws.give(std::move(batch));
+        ws.give(std::move(out));
+    };
+
+    if (workers <= 1 || num_chunks == 1) {
+        for (std::size_t c = 0; c < num_chunks; ++c) process_chunk(c);
+    } else {
+        util::parallel_for(num_chunks, process_chunk, workers);
+    }
+    return predictions;
 }
 
 int Sequential::predict(const Tensor& input) const {
@@ -136,12 +256,15 @@ std::vector<double> Sequential::train(const Dataset& data, const TrainConfig& co
     return epoch_losses;
 }
 
-Evaluation Sequential::evaluate(const Dataset& data) const {
+Evaluation Sequential::evaluate(const Dataset& data, std::size_t num_threads) const {
     if (data.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+    if (data.images.size() != data.labels.size())
+        throw std::invalid_argument("evaluate: image/label count mismatch");
     Evaluation eval;
+    const std::vector<int> predicted = predict_batch(data.images, num_threads);
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-        if (predict(data.images[i]) == data.labels[i]) {
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (predicted[i] == data.labels[i]) {
             ++correct;
         } else {
             eval.error_set.push_back(i);

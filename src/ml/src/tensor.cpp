@@ -10,4 +10,14 @@ std::size_t argmax(const Tensor& t) {
     return best;
 }
 
+std::string shape_string(const std::vector<std::size_t>& shape) {
+    std::string out = "(";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(shape[i]);
+    }
+    out += ")";
+    return out;
+}
+
 }  // namespace mvreju::ml

@@ -1,0 +1,128 @@
+#include "mvreju/num/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mvreju/util/parallel.hpp"
+
+namespace mvreju::num {
+
+namespace {
+
+/// One C row of the NN product: crow += arow · B, k ascending, one
+/// accumulator per element (the j loop carries no reduction, so the
+/// compiler vectorises it without reassociating anything).
+inline void gemm_row(std::size_t n, std::size_t k, const float* arow, const float* b,
+                     float* crow) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+}
+
+/// One C row of the NT product: plain dot products, k ascending.
+inline void gemm_nt_row(std::size_t n, std::size_t k, const float* arow, const float* b,
+                        float* crow) {
+    for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = crow[j];
+        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+    }
+}
+
+}  // namespace
+
+void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a, const float* b,
+           float* c, std::size_t num_threads) {
+    if (m == 0 || n == 0) return;
+    if (num_threads == 1 || m == 1) {
+        for (std::size_t i = 0; i < m; ++i) gemm_row(n, k, a + i * k, b, c + i * n);
+        return;
+    }
+    util::parallel_for(
+        m, [&](std::size_t i) { gemm_row(n, k, a + i * k, b, c + i * n); },
+        num_threads);
+}
+
+void sgemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, std::size_t num_threads) {
+    if (m == 0 || n == 0) return;
+    if (num_threads == 1 || m == 1) {
+        for (std::size_t i = 0; i < m; ++i) gemm_nt_row(n, k, a + i * k, b, c + i * n);
+        return;
+    }
+    util::parallel_for(
+        m, [&](std::size_t i) { gemm_nt_row(n, k, a + i * k, b, c + i * n); },
+        num_threads);
+}
+
+void fill_rows(std::size_t m, std::size_t n, const float* values, float* c) {
+    if (values == nullptr) {
+        std::memset(c, 0, m * n * sizeof(float));
+        return;
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        std::memcpy(c + i * n, values, n * sizeof(float));
+}
+
+void fill_cols(std::size_t m, std::size_t n, const float* values, float* c) {
+    if (values == nullptr) {
+        std::memset(c, 0, m * n * sizeof(float));
+        return;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        float* crow = c + i * n;
+        const float v = values[i];
+        for (std::size_t j = 0; j < n; ++j) crow[j] = v;
+    }
+}
+
+void transpose(std::size_t n, std::size_t k, const float* a, float* b) {
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk) b[kk * n + i] = a[i * k + kk];
+}
+
+void im2col(const float* image, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t pad, float* col) {
+    const std::size_t oh = height + 2 * pad - kernel + 1;
+    const std::size_t ow = width + 2 * pad - kernel + 1;
+    for (std::size_t ic = 0; ic < channels; ++ic) {
+        for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+                float* dst = col + ((ic * kernel + ky) * kernel + kx) * oh * ow;
+                const std::ptrdiff_t shift =
+                    static_cast<std::ptrdiff_t>(kx) - static_cast<std::ptrdiff_t>(pad);
+                // Valid output-x range where ix = x + shift stays in-image;
+                // everything outside is a zero tap (stride 1 keeps the valid
+                // middle contiguous, so it is one memcpy per row).
+                const std::size_t x_lo =
+                    shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+                const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(width) - shift;
+                const std::size_t x_hi =
+                    hi <= 0 ? x_lo
+                            : std::max(x_lo, std::min(ow, static_cast<std::size_t>(hi)));
+                for (std::size_t y = 0; y < oh; ++y) {
+                    float* drow = dst + y * ow;
+                    const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y + ky) -
+                                              static_cast<std::ptrdiff_t>(pad);
+                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
+                        std::memset(drow, 0, ow * sizeof(float));
+                        continue;
+                    }
+                    const float* srow =
+                        image + (ic * height + static_cast<std::size_t>(iy)) * width;
+                    if (x_lo > 0) std::memset(drow, 0, x_lo * sizeof(float));
+                    if (x_hi > x_lo)
+                        std::memcpy(drow + x_lo, srow + x_lo + shift,
+                                    (x_hi - x_lo) * sizeof(float));
+                    if (x_hi < ow)
+                        std::memset(drow + x_hi, 0, (ow - x_hi) * sizeof(float));
+                }
+            }
+        }
+    }
+}
+
+}  // namespace mvreju::num
