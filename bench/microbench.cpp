@@ -18,6 +18,7 @@
 #include "mvreju/dspn/solver.hpp"
 #include "mvreju/num/linalg.hpp"
 #include "mvreju/num/sparse_markov.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace {
@@ -153,6 +154,34 @@ void BM_EnsembleTransient(benchmark::State& state) {
             dspn::simulate_transient_reward(model.net, reward, 50.0, 400, 11, threads));
 }
 BENCHMARK(BM_EnsembleTransient)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Flight-recorder hot path. BM_FlightRecord vs BM_DetectorInference bounds
+// the per-frame cost: one record() is tens of nanoseconds against an
+// inference in the hundreds of microseconds, so even several events per
+// frame stay far below the 2% overhead budget. BM_FlightRecordDisarmed
+// measures the steady state everyone else pays: one relaxed load.
+void BM_FlightRecord(benchmark::State& state) {
+    obs::FlightRecorder recorder;
+    recorder.set_enabled(true);
+    std::uint64_t frame = 0;
+    for (auto _ : state) {
+        recorder.record(obs::EventKind::vote_decided, frame++, 0, 3.0, 3.0);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecord);
+
+void BM_FlightRecordDisarmed(benchmark::State& state) {
+    obs::FlightRecorder recorder;  // never armed
+    std::uint64_t frame = 0;
+    for (auto _ : state) {
+        recorder.record(obs::EventKind::vote_decided, frame++, 0, 3.0, 3.0);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordDisarmed);
 
 void BM_HealthEngineSecond(benchmark::State& state) {
     core::HealthEngineConfig cfg;

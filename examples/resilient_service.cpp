@@ -4,25 +4,79 @@
 // replicas one by one -- corrupt a weight, wedge a worker -- and rejuvenate
 // them back to health while the service keeps answering.
 //
+// This is also the flagship *live* observability target: with --serve the
+// embedded exporter makes the service scrapeable while it runs, and with
+// --flight every deadline miss or vote disagreement leaves a postmortem
+// dump behind.
+//
 //   ./build/examples/resilient_service
+//       [--serve <port>]       live /metrics, /healthz, /record endpoint
+//       [--flight <dir>]       arm the flight recorder, dumps into <dir>
+//       [--metrics <file>]     metrics blob on exit
+//       [--trace <file>]       Perfetto trace on exit
+//       [--hold-seconds <s>]   keep serving (and scrapeable) for <s> seconds
+//                              after the scripted phases, for live scraping
+//       [--train-count <n>] [--test-count <n>] [--epochs <n>] [--count <n>]
+//                              dataset / training / per-phase request knobs
+//                              (defaults reproduce the original demo; the CI
+//                              smoke run shrinks them)
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "mvreju/core/runtime.hpp"
 #include "mvreju/data/signs.hpp"
 #include "mvreju/fi/inject.hpp"
 #include "mvreju/ml/model.hpp"
+#include "mvreju/obs/exporter.hpp"
+#include "mvreju/obs/session.hpp"
+#include "mvreju/util/args.hpp"
 
 using namespace mvreju;
 using namespace std::chrono_literals;
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// What we *know* about each replica from the attacks we scripted; the
+/// /healthz document mirrors this (the runtime itself only sees deadline
+/// misses, it cannot distinguish a compromised replica from a healthy one).
+struct ServiceHealth {
+    std::vector<std::string> states;  // "healthy" | "compromised" | "nonfunctional"
+    Clock::time_point started = Clock::now();
+    Clock::time_point last_rejuvenation{};  // epoch: none yet
+
+    explicit ServiceHealth(std::size_t replicas) : states(replicas, "healthy") {}
+
+    void publish() const {
+        obs::Exporter& exporter = obs::Exporter::global();
+        if (!exporter.running()) return;
+        obs::HealthReport report;
+        report.module_states = states;
+        for (const std::string& s : states) {
+            if (s == "healthy")
+                ++report.healthy;
+            else if (s == "compromised")
+                ++report.compromised;
+            else if (s == "rejuvenating")
+                ++report.rejuvenating;
+            else
+                ++report.nonfunctional;
+        }
+        if (last_rejuvenation != Clock::time_point{})
+            report.last_rejuvenation_age_s =
+                std::chrono::duration<double>(Clock::now() - last_rejuvenation).count();
+        exporter.set_health(report);
+    }
+};
+
 /// Serve `count` classifications and report the outcome mix.
 void serve(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& test,
-           int count, const char* label) {
+           int count, const char* label, const ServiceHealth& health) {
     int decided = 0;
     int correct = 0;
     int skipped = 0;
@@ -38,6 +92,7 @@ void serve(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& tes
             case core::VoteKind::skipped: ++skipped; break;
             case core::VoteKind::no_output: ++silent; break;
         }
+        health.publish();  // /healthz freshness: at most one frame old
     }
     std::printf("%-34s %3d decided (%.2f correct), %d skipped, %d silent\n", label,
                 decided, decided ? static_cast<double>(correct) / decided : 0.0,
@@ -46,20 +101,26 @@ void serve(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& tes
 
 }  // namespace
 
-int main() {
-    data::SignDatasetConfig data_cfg;
-    data_cfg.train_count = 1600;
-    data_cfg.test_count = 200;
-    const auto dataset = data::make_traffic_signs(data_cfg);
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    obs::Session session(args);
 
-    std::printf("training three diverse classifiers (~20 s)...\n");
+    data::SignDatasetConfig data_cfg;
+    data_cfg.train_count = args.get("train-count", 1600);
+    data_cfg.test_count = args.get("test-count", 200);
+    const auto dataset = data::make_traffic_signs(data_cfg);
+    const int epochs = args.get("epochs", 8);
+    const int count = args.get("count", 200);
+    const double hold_seconds = args.get("hold-seconds", 0.0);
+
+    std::printf("training three diverse classifiers...\n");
     std::vector<ml::Sequential> models;
     models.push_back(ml::make_tiny_lenet(3, 16, data::kSignClasses, 38));
     models.push_back(ml::make_mini_alexnet(3, 16, data::kSignClasses, 39));
     models.push_back(ml::make_micro_resnet(3, 16, data::kSignClasses, 40));
     for (auto& model : models) {
         ml::TrainConfig tc;
-        tc.epochs = 8;
+        tc.epochs = epochs;
         tc.learning_rate = 0.025f;
         tc.lr_decay = 0.9f;
         model.train(dataset.train, tc);
@@ -79,28 +140,54 @@ int main() {
         {version_fn(&models[0]), version_fn(&models[1]), version_fn(&models[2])},
         core::Voter<int>{}, options);
 
-    serve(service, dataset.test, 200, "all replicas healthy:");
+    ServiceHealth health(3);
+    if (session.serving())
+        std::printf("serving /metrics /healthz /record on 127.0.0.1:%d\n",
+                    obs::Exporter::global().port());
+    health.publish();
+
+    serve(service, dataset.test, count, "all replicas healthy:", health);
 
     // Attack 1: corrupt a weight of replica 0 (it keeps answering, wrongly).
     // `corrupted` outlives the swap below, as pointer captures require.
     ml::Sequential corrupted = models[0];
     (void)fi::random_weight_inj(corrupted, 0, -10.0f, 30.0f, 7);
     service.rejuvenate(0, version_fn(&corrupted));  // "attack" swap
-    serve(service, dataset.test, 200, "replica 0 compromised:");
+    health.states[0] = "compromised";
+    serve(service, dataset.test, count, "replica 0 compromised:", health);
 
     // Attack 2: wedge replica 1 entirely (never answers again).
     service.rejuvenate(1, [](const ml::Tensor& x) -> int {
         std::this_thread::sleep_for(3600s);
         return static_cast<int>(x.size());  // unreachable
     });
-    serve(service, dataset.test, 100, "replica 1 wedged as well:");
+    health.states[1] = "nonfunctional";
+    serve(service, dataset.test, count / 2, "replica 1 wedged as well:", health);
     std::printf("  replica 1 deadline misses so far: %zu\n", service.timeouts(1));
 
-    // Rejuvenation: reload both from pristine storage.
-    service.rejuvenate(0, version_fn(&models[0]));
-    service.rejuvenate(1, version_fn(&models[1]));
-    serve(service, dataset.test, 200, "after rejuvenation:");
+    // Rejuvenation: reload both from pristine storage. Replica 0 is repaired
+    // reactively (we know it is compromised); replica 1 proactively (from the
+    // runtime's view it merely stopped answering).
+    service.rejuvenate(0, version_fn(&models[0]), core::RejuvenationCause::reactive);
+    service.rejuvenate(1, version_fn(&models[1]), core::RejuvenationCause::proactive);
+    health.states[0] = health.states[1] = "healthy";
+    health.last_rejuvenation = Clock::now();
+    serve(service, dataset.test, count, "after rejuvenation:", health);
 
     std::printf("total rejuvenations performed: %zu\n", service.rejuvenations());
+
+    // --hold-seconds: keep the service alive and answering so an external
+    // scraper (the CI smoke test, or a human with curl) can watch it live.
+    if (hold_seconds > 0.0) {
+        std::printf("holding for %.1f s...\n", hold_seconds);
+        const auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                                 std::chrono::duration<double>(hold_seconds));
+        std::size_t i = 0;
+        while (Clock::now() < deadline) {
+            (void)service.process(dataset.test.images[i++ % dataset.test.size()]);
+            health.publish();
+            std::this_thread::sleep_for(50ms);
+        }
+    }
     return 0;
 }

@@ -4,7 +4,10 @@
 // underneath. Prints a per-5-second health/accuracy timeline, then compares
 // end-to-end output reliability with and without proactive rejuvenation.
 //
-//   ./build/examples/traffic_sign_monitor [--seconds 120] [--no-rejuvenation]
+//   ./build/examples/traffic_sign_monitor [--seconds 120]
+//       [--serve <port>]    live /metrics and /healthz while streaming
+//       [--flight <dir>]    flight-recorder postmortem dumps into <dir>
+//       [--metrics <file>] [--trace <file>]
 
 #include <cstdio>
 
@@ -12,6 +15,8 @@
 #include "mvreju/data/signs.hpp"
 #include "mvreju/fi/inject.hpp"
 #include "mvreju/ml/model.hpp"
+#include "mvreju/obs/exporter.hpp"
+#include "mvreju/obs/session.hpp"
 #include "mvreju/util/args.hpp"
 
 using namespace mvreju;
@@ -22,6 +27,37 @@ struct StreamResult {
     double accuracy = 0.0;
     double skip_rate = 0.0;
 };
+
+/// Push the health engine's view of the module pool to the live /healthz
+/// endpoint (no-op unless --serve started the exporter).
+void publish_health(const core::HealthEngine& health) {
+    obs::Exporter& exporter = obs::Exporter::global();
+    if (!exporter.running()) return;
+    obs::HealthReport report;
+    for (int m = 0; m < health.module_count(); ++m) {
+        switch (health.state(m)) {
+            case core::ModuleState::healthy:
+                ++report.healthy;
+                report.module_states.emplace_back("healthy");
+                break;
+            case core::ModuleState::compromised:
+                ++report.compromised;
+                report.module_states.emplace_back("compromised");
+                break;
+            case core::ModuleState::nonfunctional:
+                ++report.nonfunctional;
+                report.module_states.emplace_back("nonfunctional");
+                break;
+            case core::ModuleState::rejuvenating_proactive:
+                ++report.rejuvenating;
+                report.module_states.emplace_back("rejuvenating");
+                break;
+        }
+    }
+    if (health.last_rejuvenation_time() >= 0.0)
+        report.last_rejuvenation_age_s = health.now() - health.last_rejuvenation_time();
+    exporter.set_health(report);
+}
 
 StreamResult run_stream(const std::vector<ml::Sequential>& healthy,
                         const std::vector<ml::Sequential>& compromised,
@@ -60,6 +96,7 @@ StreamResult run_stream(const std::vector<ml::Sequential>& healthy,
     for (double t = 0.0; t < seconds; t += frame_dt) {
         const std::size_t i = frames % test.size();
         const auto frame = system.process(t, test.images[i]);
+        publish_health(system.health());
         ++frames;
         ++window_total;
         if (frame.vote.decided()) {
@@ -97,7 +134,11 @@ StreamResult run_stream(const std::vector<ml::Sequential>& healthy,
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    obs::Session session(args);
     const double seconds = args.get("seconds", 120.0);
+    if (session.serving())
+        std::printf("serving /metrics /healthz /record on 127.0.0.1:%d\n",
+                    obs::Exporter::global().port());
 
     data::SignDatasetConfig data_cfg;
     data_cfg.train_count = 1600;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mvreju/core/system.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/trace.hpp"
 
@@ -108,6 +109,10 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
         frame_span.arg("frame", static_cast<double>(frame));
         const double now = frame * config.dt;
         health.advance_to(now);
+        // Flight-recorder events are stamped with the simulated clock so
+        // dumps from seeded runs replay deterministically.
+        const auto t_ns = static_cast<std::uint64_t>(now * 1e9);
+        const auto frame_id = static_cast<std::uint64_t>(frame);
 
         // --- Sense ---
         std::vector<Obb> vehicle_boxes;
@@ -151,6 +156,11 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
             if (p.has_value()) ++frame_inferences;
         tel.inferences.add(frame_inferences);
         tel.perceive_ms.record(perceive_seconds * 1e3);
+        // SLO: the perceive+vote stage must fit inside one frame period.
+        const double budget_ms = config.dt * 1e3;
+        if (perceive_seconds * 1e3 > budget_ms)
+            MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::slo_breach, frame_id, 0,
+                                perceive_seconds * 1e3, budget_ms);
         perceive_span.arg("versions", static_cast<double>(config.versions));
         perceive_span.arg("decided", vote.kind == core::VoteKind::decided ? 1.0 : 0.0);
         perceive_span.end();
@@ -163,17 +173,25 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
                     ground_truth_distance(ego.obb(), vehicle_boxes, config.sensor));
                 if (vote.value->bucket <= truth_bucket - 2)
                     ++metrics.unsafe_decided_frames;
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::hazard, frame_id, 0,
+                                    static_cast<double>(vote.value->bucket),
+                                    static_cast<double>(truth_bucket));
                 planner.update_perception(vote.value->bucket);
                 break;
             }
             case core::VoteKind::skipped:
                 ++metrics.skipped_frames;
                 tel.votes_skipped.add();
+                // Safe-skip: the planner holds its last command this frame.
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::planner_override, frame_id,
+                                    0, static_cast<double>(vote.kind), 0.0);
                 planner.update_perception(std::nullopt);
                 break;
             case core::VoteKind::no_output:
                 ++metrics.no_output_frames;
                 tel.votes_no_output.add();
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::planner_override, frame_id,
+                                    0, static_cast<double>(vote.kind), 0.0);
                 planner.update_perception(std::nullopt);
                 break;
         }
@@ -212,8 +230,10 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
         if (colliding) {
             ++metrics.collision_frames;
             tel.collision_frames.add();
-            if (metrics.first_collision_frame < 0)
-                metrics.first_collision_frame = frame;
+            const bool first = metrics.first_collision_frame < 0;
+            MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::collision, frame_id, 0,
+                                ego.speed(), first ? 1.0 : 0.0);
+            if (first) metrics.first_collision_frame = frame;
         }
 
         if (s_hint >= route.length() - 6.0) break;  // reached the destination

@@ -83,6 +83,13 @@ public:
 
     [[nodiscard]] const HealthStats& stats() const noexcept { return stats_; }
 
+    /// Completion time of the most recent rejuvenation (reactive or
+    /// proactive); negative when none has completed yet. Feeds the
+    /// last-rejuvenation age reported by /healthz.
+    [[nodiscard]] double last_rejuvenation_time() const noexcept {
+        return last_rejuvenation_time_;
+    }
+
     /// Force a module into the compromised state now (fault injection hook).
     void force_compromise(int module);
     /// Force a module crash now.
@@ -117,6 +124,7 @@ private:
     bool action_latched_ = false;   ///< Pac: trigger waiting for g2
     int reactive_active_ = -1;      ///< module under reactive repair, -1 none
     int proactive_active_ = -1;     ///< module under proactive repair, -1 none
+    double last_rejuvenation_time_ = -1.0;
     HealthStats stats_;
 };
 

@@ -30,10 +30,19 @@
 #include <vector>
 
 #include "mvreju/core/voter.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/trace.hpp"
 
 namespace mvreju::core {
+
+/// Why a module was rejuvenated; recorded with the flight-recorder event so
+/// a postmortem can tell routine maintenance from recovery under attack.
+enum class RejuvenationCause : int {
+    manual = 0,     ///< operator / application decision
+    reactive = 1,   ///< response to a detected failure
+    proactive = 2,  ///< time-triggered
+};
 
 template <typename Input, typename Output>
 class RuntimeSystem {
@@ -90,6 +99,9 @@ public:
     /// no proposal and have their timeout counter bumped.
     [[nodiscard]] VoteResult<Output> process(const Input& input) {
         MVREJU_OBS_SPAN(span, "core.runtime.process");
+        const std::uint64_t frame = frame_seq_++;
+        const double deadline_ms =
+            std::chrono::duration<double, std::milli>(options_.deadline).count();
         auto pending = std::make_shared<PendingVote>();
         pending->proposals.assign(workers_.size(), std::nullopt);
 
@@ -102,6 +114,8 @@ public:
             } else {
                 ++timeouts_[m];  // wedged since an earlier frame
                 deadline_misses_->add();
+                MVREJU_OBS_EVENT(obs::EventKind::deadline_miss, frame,
+                                 static_cast<std::uint32_t>(m), deadline_ms, 1.0);
             }
         }
 
@@ -114,13 +128,30 @@ public:
             if (was_posted[m] && !pending->proposals[m].has_value()) {
                 ++timeouts_[m];
                 deadline_misses_->add();
+                MVREJU_OBS_EVENT(obs::EventKind::deadline_miss, frame,
+                                 static_cast<std::uint32_t>(m), deadline_ms, 0.0);
             }
         }
         VoteResult<Output> result = voter_.vote(pending->proposals);
         switch (result.kind) {
-            case VoteKind::decided: votes_decided_->add(); break;
-            case VoteKind::skipped: votes_skipped_->add(); break;
-            case VoteKind::no_output: votes_no_output_->add(); break;
+            case VoteKind::decided:
+                votes_decided_->add();
+                MVREJU_OBS_EVENT(obs::EventKind::vote_decided, frame, 0,
+                                 static_cast<double>(posted),
+                                 static_cast<double>(responded));
+                break;
+            case VoteKind::skipped:
+                votes_skipped_->add();
+                MVREJU_OBS_EVENT(obs::EventKind::vote_skipped, frame, 0,
+                                 static_cast<double>(posted),
+                                 static_cast<double>(responded));
+                break;
+            case VoteKind::no_output:
+                votes_no_output_->add();
+                MVREJU_OBS_EVENT(obs::EventKind::vote_no_output, frame, 0,
+                                 static_cast<double>(posted),
+                                 static_cast<double>(responded));
+                break;
         }
         span.arg("posted", static_cast<double>(posted));
         span.arg("responded", static_cast<double>(responded));
@@ -131,17 +162,27 @@ public:
     /// Replace module `m`'s behaviour with a fresh (possibly diversified)
     /// version. If the old worker is wedged mid-request it is detached and a
     /// new worker thread takes over — exactly what the paper's rejuvenation
-    /// mechanism does by reloading a module from safe storage.
-    void rejuvenate(std::size_t module, ModuleFn fresh) {
+    /// mechanism does by reloading a module from safe storage. `cause` only
+    /// labels the flight-recorder events.
+    void rejuvenate(std::size_t module, ModuleFn fresh,
+                    RejuvenationCause cause = RejuvenationCause::manual) {
         if (module >= workers_.size())
             throw std::out_of_range("RuntimeSystem::rejuvenate: bad module index");
         if (!fresh) throw std::invalid_argument("RuntimeSystem::rejuvenate: null module");
+        const double cause_code = static_cast<double>(static_cast<int>(cause));
+        MVREJU_OBS_EVENT(obs::EventKind::rejuvenation_start, frame_seq_,
+                         static_cast<std::uint32_t>(module), cause_code, 0.0);
+        bool wedged = false;
         if (!workers_[module]->replace_fn_if_idle(fresh)) {
+            wedged = true;
             workers_[module]->abandon();
             workers_[module] = Worker::start(std::move(fresh), latency_ms_[module]);
         }
         ++rejuvenations_;
         rejuvenation_events_->add();
+        MVREJU_OBS_EVENT(obs::EventKind::rejuvenation_end, frame_seq_,
+                         static_cast<std::uint32_t>(module), cause_code,
+                         wedged ? 1.0 : 0.0);
     }
 
     /// Frames in which module m failed to respond by its deadline.
@@ -300,6 +341,7 @@ private:
     Options options_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<obs::Histogram*> latency_ms_;  ///< per-module, survives rejuvenation
+    std::uint64_t frame_seq_ = 0;  ///< frame id stamped on flight-recorder events
     std::vector<std::size_t> timeouts_;
     std::size_t rejuvenations_ = 0;
     obs::Counter* deadline_misses_ = nullptr;

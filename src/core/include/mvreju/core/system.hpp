@@ -8,10 +8,12 @@
 // R.1-R.3; reactive and time-triggered proactive rejuvenation keep the
 // module pool healthy.
 
+#include <cstdint>
 #include <functional>
 
 #include "mvreju/core/health.hpp"
 #include "mvreju/core/voter.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
 
 namespace mvreju::core {
 
@@ -50,11 +52,24 @@ public:
     /// Advance the health process to `time` and run one perception frame.
     [[nodiscard]] FrameResult<Output> process(double time, const Input& input) {
         health_.advance_to(time);
+        // Flight-recorder timestamps use the simulated clock (ns), so dumps
+        // from seeded runs are byte-deterministic.
+        const auto t_ns = static_cast<std::uint64_t>(time * 1e9);
+        const std::uint64_t frame_id = frame_seq_++;
+        if (previous_states_.size() != versions_.size())
+            previous_states_.assign(versions_.size(), ModuleState::healthy);
         std::vector<std::optional<Output>> proposals;
         proposals.reserve(versions_.size());
         FrameResult<Output> frame;
         for (std::size_t m = 0; m < versions_.size(); ++m) {
             const ModuleState s = health_.state(static_cast<int>(m));
+            if (s != previous_states_[m]) {
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::module_state, frame_id,
+                                    static_cast<std::uint32_t>(m),
+                                    static_cast<double>(s),
+                                    static_cast<double>(previous_states_[m]));
+                previous_states_[m] = s;
+            }
             if (!is_functional(s)) {
                 proposals.emplace_back(std::nullopt);
                 continue;
@@ -65,6 +80,23 @@ public:
             proposals.emplace_back(fn(input));
         }
         frame.vote = voter_.vote(proposals);
+        const auto posted = static_cast<double>(frame.functional_modules);
+        switch (frame.vote.kind) {
+            case VoteKind::decided:
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::vote_decided, frame_id, 0,
+                                    posted,
+                                    static_cast<double>(frame.vote.agreeing));
+                break;
+            case VoteKind::skipped:
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::vote_skipped, frame_id, 0,
+                                    posted,
+                                    static_cast<double>(frame.vote.agreeing));
+                break;
+            case VoteKind::no_output:
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::vote_no_output, frame_id, 0,
+                                    posted, 0.0);
+                break;
+        }
         return frame;
     }
 
@@ -76,6 +108,10 @@ private:
     std::vector<VersionSpec<Input, Output>> versions_;
     Voter<Output, Agree> voter_;
     HealthEngine health_;
+    // Flight-recorder bookkeeping: module_state events fire on transitions
+    // only, observed at frame granularity.
+    std::vector<ModuleState> previous_states_;
+    std::uint64_t frame_seq_ = 0;
 };
 
 }  // namespace mvreju::core

@@ -30,6 +30,7 @@ template <typename Output>
 struct VoteResult {
     VoteKind kind = VoteKind::no_output;
     std::optional<Output> value;  ///< set iff kind == decided
+    int agreeing = 0;             ///< proposals supporting the decision (0 unless decided)
 
     [[nodiscard]] bool decided() const noexcept { return kind == VoteKind::decided; }
 };
@@ -65,6 +66,7 @@ public:
         if (active.size() == 1) {  // R.3
             result.kind = VoteKind::decided;
             result.value = *active.front();
+            result.agreeing = 1;
             return result;
         }
 
@@ -77,6 +79,7 @@ public:
             }
             result.kind = VoteKind::decided;
             result.value = *active.front();
+            result.agreeing = static_cast<int>(active.size());
             return result;
         }
 
@@ -93,6 +96,7 @@ public:
             if (supporters >= needed) {
                 result.kind = VoteKind::decided;
                 result.value = *active[i];
+                result.agreeing = static_cast<int>(supporters);
                 return result;
             }
         }

@@ -156,6 +156,7 @@ void HealthEngine::process_next_event() {
         reactive_active_ = -1;
         reactive_done_ = kInf;
         ++stats_.reactive_rejuvenations;
+        last_rejuvenation_time_ = t;
         resample_compromise();
         start_reactive_if_possible(t);
         try_start_proactive(t);
@@ -167,6 +168,7 @@ void HealthEngine::process_next_event() {
         proactive_active_ = -1;
         proactive_done_ = kInf;
         ++stats_.proactive_rejuvenations;
+        last_rejuvenation_time_ = t;
         resample_compromise();
         return;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/trace.hpp"
 #include "mvreju/util/rng.hpp"
@@ -89,6 +90,9 @@ CampaignReport run_weight_campaign(ml::Sequential& model, const ml::Dataset& eva
                 worker, layer, config.value_min, config.value_max, rng());
             const double faulty = worker.evaluate(eval, config.num_threads).accuracy;
             restore(worker, injection);
+            MVREJU_OBS_EVENT(obs::EventKind::injection, k,
+                             static_cast<std::uint32_t>(layer),
+                             report.baseline_accuracy - faulty, faulty);
             account(site, report.baseline_accuracy, faulty, config);
         }
         site.mean_accuracy_drop /= static_cast<double>(site.injections());
@@ -124,6 +128,9 @@ CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& ev
                 bit_flip_weight(worker, layer, static_cast<int>(bit), rng());
             const double faulty = worker.evaluate(eval, config.num_threads).accuracy;
             restore(worker, injection);
+            MVREJU_OBS_EVENT(obs::EventKind::injection, k,
+                             static_cast<std::uint32_t>(bit),
+                             report.baseline_accuracy - faulty, faulty);
             account(site, report.baseline_accuracy, faulty, config);
         }
         site.mean_accuracy_drop /= static_cast<double>(site.injections());

@@ -1,0 +1,95 @@
+#pragma once
+
+// Embedded live-telemetry endpoint: a tiny HTTP/1.0 server on plain POSIX
+// sockets (no dependencies, one service thread, loopback by default) that
+// turns a long-running binary into a scrapeable service:
+//
+//   GET /metrics   the merged obs::metrics() snapshot in Prometheus text
+//                  exposition format (plus an mvreju_build_info series and,
+//                  when a health report has been published, per-state module
+//                  gauges)
+//   GET /healthz   JSON health document: overall status, run metadata
+//                  (git SHA / build type / compiler), uptime, and per-version
+//                  module states pushed by the serving loop
+//   GET /record    force a FlightRecorder postmortem dump; responds with the
+//                  dump path
+//
+// Default-off: nothing listens until start() — wired to the --serve <port>
+// flag by obs::Session. Health is *pushed* (set_health() once per frame from
+// the serving loop) rather than pulled through a callback, so the HTTP
+// thread never re-enters engine code and a scrape observes state at most one
+// frame old — the freshness contract the CI smoke test checks.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mvreju/obs/metrics.hpp"
+
+namespace mvreju::obs {
+
+/// Per-version module-state summary served by /healthz. Producers map their
+/// engine's states (core::ModuleState or ad-hoc service state) into it.
+struct HealthReport {
+    int healthy = 0;
+    int compromised = 0;
+    int nonfunctional = 0;
+    int rejuvenating = 0;
+    /// Seconds since the last completed rejuvenation; < 0 when none yet.
+    double last_rejuvenation_age_s = -1.0;
+    /// Per-version state names, index = version ("healthy", ...).
+    std::vector<std::string> module_states;
+
+    [[nodiscard]] int functional() const noexcept { return healthy + compromised; }
+};
+
+/// Render a metrics snapshot in Prometheus text exposition format (version
+/// 0.0.4): names are prefixed "mvreju_" and sanitised ('.' -> '_'),
+/// histograms emit cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// The embedded HTTP server. The process-global instance is
+/// Exporter::global(); separate instances exist for tests.
+class Exporter {
+public:
+    Exporter();
+    ~Exporter();
+    Exporter(const Exporter&) = delete;
+    Exporter& operator=(const Exporter&) = delete;
+
+    [[nodiscard]] static Exporter& global();
+
+    /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start the
+    /// service thread. Returns false when already running, the obs layer is
+    /// compiled out or disabled, or the socket cannot be bound.
+    bool start(int port);
+    /// Stop the service thread and close the socket. Idempotent.
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept;
+    /// The actually bound port (useful with start(0)); 0 when not running.
+    [[nodiscard]] int port() const noexcept;
+
+    /// Publish the current health report (typically once per frame). The
+    /// HTTP thread serves the latest published value.
+    void set_health(const HealthReport& report);
+    /// Most recently published report, if any.
+    [[nodiscard]] std::optional<HealthReport> health() const;
+
+    /// The /healthz response body for the current state (also used by tests
+    /// and by callers that want the document without a socket).
+    [[nodiscard]] std::string healthz_json() const;
+
+    /// Route one raw HTTP request ("GET /path ...") to a full HTTP/1.0
+    /// response, exactly as the service thread would. Exposed for tests.
+    [[nodiscard]] std::string handle(const std::string& request);
+
+private:
+    void serve_loop();
+
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace mvreju::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+// Postmortem tooling: load a flight-recorder dump (postmortem-*.json) back
+// into structured form and render a human-readable, per-module event
+// timeline — the analysis half of the black box. The rendering contract is
+// golden-tested (tests/obs_postmortem_test.cpp) against a dump produced by a
+// deterministic seeded run, and the tools/postmortem CLI is a thin main()
+// over these functions.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvreju::obs::postmortem {
+
+/// One event as read back from a dump (kind as its stable name).
+struct Event {
+    std::uint64_t t_ns = 0;
+    std::uint64_t frame = 0;
+    std::uint32_t module = 0;
+    std::uint64_t track = 0;  ///< recorder thread track the event came from
+    std::string kind;
+    double a = 0.0;
+    double b = 0.0;
+};
+
+/// A parsed postmortem dump.
+struct Dump {
+    std::string reason;
+    std::string git_sha;
+    std::string build_type;
+    std::string compiler;
+    std::optional<Event> trigger;
+    std::size_t thread_count = 0;
+    /// All events, merged across threads and sorted by (t_ns, track).
+    std::vector<Event> events;
+    /// Counter values from the embedded metrics snapshot, sorted by name.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Parse a dump document; throws std::runtime_error on malformed input.
+[[nodiscard]] Dump parse(const std::string& json_text);
+
+/// Read and parse a dump file; throws std::runtime_error on I/O or parse
+/// failure.
+[[nodiscard]] Dump load(const std::string& path);
+
+struct RenderOptions {
+    bool show_meta = true;     ///< build header (git SHA / build type / compiler)
+    bool show_metrics = true;  ///< counter table from the embedded snapshot
+    std::size_t max_events_per_module = 0;  ///< 0 = unlimited
+};
+
+/// Render the per-module timeline: events grouped by module with timestamps
+/// relative to the oldest retained event, the triggering event marked, and a
+/// per-kind before/after-trigger event-count table (the "metric deltas
+/// around the trigger").
+[[nodiscard]] std::string render(const Dump& dump, const RenderOptions& options = {});
+
+}  // namespace mvreju::obs::postmortem

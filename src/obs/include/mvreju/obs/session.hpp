@@ -1,15 +1,22 @@
 #pragma once
 
 // CLI wiring for the obs layer: every bench/example binary constructs one
-// obs::Session from its parsed util::Args and the standard flag pair
+// obs::Session from its parsed util::Args and the standard flags
 //
 //   --metrics <file>   write the merged metrics snapshot (+ run metadata)
 //                      as JSON on exit
 //   --trace <file>     enable the global tracer and write a Perfetto /
 //                      chrome://tracing loadable trace on exit
+//   --serve <port>     start the embedded obs::Exporter on 127.0.0.1:<port>
+//                      (/metrics, /healthz, /record; 0 = ephemeral port),
+//                      stopped when the session is destroyed
+//   --flight <dir>     arm the obs::FlightRecorder with postmortem dumps
+//                      into <dir> and the default trigger set (deadline
+//                      miss, vote disagreement/silence, collision, SLO
+//                      breach)
 //
-// does the rest. Reference usages: examples/av_drive.cpp and
-// bench/bench_solvers.cpp.
+// does the rest. Reference usages: examples/resilient_service.cpp (live
+// service with all four flags) and bench/bench_solvers.cpp.
 
 #include <string>
 
@@ -38,10 +45,14 @@ public:
         return metrics_path_;
     }
     [[nodiscard]] const std::string& trace_path() const noexcept { return trace_path_; }
+    /// True when --serve started the embedded exporter (see its port via
+    /// Exporter::global().port()).
+    [[nodiscard]] bool serving() const noexcept { return serving_; }
 
 private:
     std::string metrics_path_;
     std::string trace_path_;
+    bool serving_ = false;
     bool flushed_ = false;
 };
 

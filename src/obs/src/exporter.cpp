@@ -1,0 +1,307 @@
+#include "mvreju/obs/exporter.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
+#include "mvreju/obs/log.hpp"
+#include "mvreju/obs/obs.hpp"
+
+namespace mvreju::obs {
+
+namespace {
+
+std::string sanitize_metric_name(const std::string& name) {
+    std::string out = "mvreju_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string fmt_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+    std::string out = "HTTP/1.0 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+    std::string out;
+    const RunMetadata meta = run_metadata();
+    out += "# TYPE mvreju_build_info gauge\n";
+    out += "mvreju_build_info{git_sha=\"" + meta.git_sha + "\",build_type=\"" +
+           meta.build_type + "\",compiler=\"" + meta.compiler + "\"} 1\n";
+    for (const CounterValue& c : snapshot.counters) {
+        const std::string name = sanitize_metric_name(c.name);
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(c.value) + "\n";
+    }
+    for (const GaugeValue& g : snapshot.gauges) {
+        const std::string name = sanitize_metric_name(g.name);
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + fmt_double(g.value) + "\n";
+    }
+    for (const HistogramValue& h : snapshot.histograms) {
+        const std::string name = sanitize_metric_name(h.name);
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.upper.size(); ++b) {
+            cumulative += h.buckets[b];
+            out += name + "_bucket{le=\"" + fmt_double(h.upper[b]) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+        out += name + "_sum " + fmt_double(h.sum) + "\n";
+        out += name + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+struct Exporter::Impl {
+    const std::chrono::steady_clock::time_point started =
+        std::chrono::steady_clock::now();
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stop_requested{false};
+    std::atomic<int> port{0};
+    int listen_fd = -1;
+    std::thread thread;
+
+    mutable std::mutex health_mu;
+    std::optional<HealthReport> health;
+};
+
+Exporter::Exporter() : impl_(new Impl) {}
+
+Exporter::~Exporter() {
+    stop();
+    delete impl_;
+}
+
+Exporter& Exporter::global() {
+    // Leaked for the same reason as the metrics registry: the service thread
+    // and late flushes may outlive main()'s statics.
+    static Exporter* exporter = new Exporter();
+    return *exporter;
+}
+
+bool Exporter::running() const noexcept {
+    return impl_->running.load(std::memory_order_relaxed);
+}
+
+int Exporter::port() const noexcept {
+    return impl_->port.load(std::memory_order_relaxed);
+}
+
+void Exporter::set_health(const HealthReport& report) {
+    const std::lock_guard<std::mutex> lock(impl_->health_mu);
+    impl_->health = report;
+}
+
+std::optional<HealthReport> Exporter::health() const {
+    const std::lock_guard<std::mutex> lock(impl_->health_mu);
+    return impl_->health;
+}
+
+std::string Exporter::healthz_json() const {
+    const std::optional<HealthReport> report = health();
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - impl_->started)
+            .count();
+
+    const char* status = "ok";
+    if (report.has_value()) {
+        if (report->functional() == 0 && !report->module_states.empty())
+            status = "critical";
+        else if (report->compromised + report->nonfunctional + report->rejuvenating > 0)
+            status = "degraded";
+    }
+
+    std::string out = "{\n\"status\": \"";
+    out += status;
+    out += "\",\n\"meta\": " + run_metadata_json() + ",\n";
+    out += "\"uptime_seconds\": " + fmt_double(uptime);
+    if (report.has_value()) {
+        out += ",\n\"modules\": {\"healthy\": " + std::to_string(report->healthy);
+        out += ", \"compromised\": " + std::to_string(report->compromised);
+        out += ", \"nonfunctional\": " + std::to_string(report->nonfunctional);
+        out += ", \"rejuvenating\": " + std::to_string(report->rejuvenating);
+        out += ", \"states\": [";
+        for (std::size_t m = 0; m < report->module_states.size(); ++m) {
+            out += m ? ", " : "";
+            out += "\"" + report->module_states[m] + "\"";
+        }
+        out += "]}";
+        out += ",\n\"last_rejuvenation_age_seconds\": " +
+               fmt_double(report->last_rejuvenation_age_s);
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::string Exporter::handle(const std::string& request) {
+    // "GET /path HTTP/1.x" — anything else is a client error.
+    const std::size_t method_end = request.find(' ');
+    if (method_end == std::string::npos)
+        return http_response("400 Bad Request", "text/plain", "bad request\n");
+    const std::string method = request.substr(0, method_end);
+    if (method != "GET")
+        return http_response("405 Method Not Allowed", "text/plain",
+                             "only GET is supported\n");
+    std::size_t path_end = request.find(' ', method_end + 1);
+    if (path_end == std::string::npos) path_end = request.find('\r', method_end + 1);
+    if (path_end == std::string::npos) path_end = request.size();
+    std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+
+    if (path == "/metrics") {
+        std::string body = to_prometheus(metrics().snapshot());
+        const std::optional<HealthReport> report = health();
+        if (report.has_value()) {
+            body += "# TYPE mvreju_module_state_count gauge\n";
+            body += "mvreju_module_state_count{state=\"healthy\"} " +
+                    std::to_string(report->healthy) + "\n";
+            body += "mvreju_module_state_count{state=\"compromised\"} " +
+                    std::to_string(report->compromised) + "\n";
+            body += "mvreju_module_state_count{state=\"nonfunctional\"} " +
+                    std::to_string(report->nonfunctional) + "\n";
+            body += "mvreju_module_state_count{state=\"rejuvenating\"} " +
+                    std::to_string(report->rejuvenating) + "\n";
+        }
+        return http_response("200 OK", "text/plain; version=0.0.4", body);
+    }
+    if (path == "/healthz")
+        return http_response("200 OK", "application/json", healthz_json());
+    if (path == "/record") {
+        FlightRecorder& recorder = FlightRecorder::global();
+        if (!recorder.enabled())
+            return http_response("503 Service Unavailable", "application/json",
+                                 "{\"error\": \"flight recorder disabled\"}\n");
+        const std::string dumped = recorder.dump("forced");
+        if (dumped.empty())
+            return http_response("500 Internal Server Error", "application/json",
+                                 "{\"error\": \"dump failed\"}\n");
+        return http_response("200 OK", "application/json",
+                             "{\"dumped\": \"" + dumped + "\"}\n");
+    }
+    return http_response("404 Not Found", "text/plain",
+                         "unknown path; try /metrics, /healthz or /record\n");
+}
+
+bool Exporter::start(int port) {
+#ifdef MVREJU_OBS_DISABLED
+    (void)port;
+    log_warn("exporter: observability compiled out (MVREJU_OBS=OFF), not serving");
+    return false;
+#else
+    if (!obs::enabled()) {
+        log_warn("exporter: MVREJU_OBS=off, not serving");
+        return false;
+    }
+    if (impl_->running.load()) return false;
+    if (port < 0 || port > 65535) {
+        log_error("exporter: bad port " + std::to_string(port));
+        return false;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        log_error("exporter: socket() failed");
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 16) != 0) {
+        log_error("exporter: cannot bind 127.0.0.1:" + std::to_string(port));
+        ::close(fd);
+        return false;
+    }
+    socklen_t addr_len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0)
+        impl_->port.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+
+    impl_->listen_fd = fd;
+    impl_->stop_requested.store(false);
+    impl_->running.store(true);
+    impl_->thread = std::thread(&Exporter::serve_loop, this);
+    log_info("exporter: serving /metrics /healthz /record on 127.0.0.1:" +
+             std::to_string(this->port()));
+    return true;
+#endif
+}
+
+void Exporter::serve_loop() {
+    for (;;) {
+        pollfd pfd{impl_->listen_fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (impl_->stop_requested.load(std::memory_order_relaxed)) return;
+        if (ready <= 0) continue;
+
+        const int client = ::accept(impl_->listen_fd, nullptr, nullptr);
+        if (client < 0) continue;
+        // HTTP/1.0, one request per connection: read what the client sent
+        // (headers are ignored beyond the request line), answer, close.
+        char buf[2048];
+        const ssize_t got = ::recv(client, buf, sizeof buf - 1, 0);
+        if (got > 0) {
+            buf[got] = '\0';
+            const std::string response = handle(buf);
+            std::size_t sent = 0;
+            while (sent < response.size()) {
+                // MSG_NOSIGNAL: a client hanging up mid-response must yield
+                // EPIPE here, not SIGPIPE for the whole process.
+                const ssize_t n = ::send(client, response.data() + sent,
+                                         response.size() - sent, MSG_NOSIGNAL);
+                if (n <= 0) break;
+                sent += static_cast<std::size_t>(n);
+            }
+        }
+        ::close(client);
+    }
+}
+
+void Exporter::stop() {
+    if (!impl_->running.exchange(false)) return;
+    impl_->stop_requested.store(true);
+    if (impl_->thread.joinable()) impl_->thread.join();
+    if (impl_->listen_fd >= 0) {
+        ::close(impl_->listen_fd);
+        impl_->listen_fd = -1;
+    }
+    impl_->port.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mvreju::obs

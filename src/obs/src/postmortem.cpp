@@ -1,0 +1,161 @@
+#include "mvreju/obs/postmortem.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "mvreju/util/json.hpp"
+
+namespace mvreju::obs::postmortem {
+
+namespace {
+
+Event parse_event(const util::Json& node, std::uint64_t track) {
+    Event event;
+    event.t_ns = static_cast<std::uint64_t>(node.at("t_ns").number());
+    event.frame = static_cast<std::uint64_t>(node.at("frame").number());
+    event.module = static_cast<std::uint32_t>(node.at("module").number());
+    event.kind = node.at("kind").str();
+    event.a = node.at("a").number();
+    event.b = node.at("b").number();
+    event.track = track;
+    return event;
+}
+
+std::string fmt_ms(double ms) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%+.3fms", ms);
+    return buf;
+}
+
+std::string fmt_payload(double v) {
+    char buf[32];
+    // %g keeps integral payloads (state codes, frame counts) short while
+    // preserving fractional ones (latencies, accuracies).
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+}  // namespace
+
+Dump parse(const std::string& json_text) {
+    const util::Json doc = util::Json::parse(json_text);
+    Dump dump;
+    dump.reason = doc.at("reason").str();
+    const util::Json& meta = doc.at("meta");
+    dump.git_sha = meta.at("git_sha").str();
+    dump.build_type = meta.at("build_type").str();
+    dump.compiler = meta.at("compiler").str();
+    if (const util::Json* trigger = doc.find("trigger"))
+        dump.trigger = parse_event(*trigger, 0);
+
+    const util::Json& threads = doc.at("threads");
+    dump.thread_count = threads.size();
+    for (const util::Json& thread : threads.items()) {
+        const auto track = static_cast<std::uint64_t>(thread.at("track").number());
+        for (const util::Json& event : thread.at("events").items())
+            dump.events.push_back(parse_event(event, track));
+    }
+    std::stable_sort(dump.events.begin(), dump.events.end(),
+                     [](const Event& x, const Event& y) {
+                         return x.t_ns != y.t_ns ? x.t_ns < y.t_ns : x.track < y.track;
+                     });
+
+    if (const util::Json* metrics = doc.find("metrics"))
+        if (const util::Json* counters = metrics->find("counters"))
+            for (const auto& [name, value] : counters->members())
+                dump.counters.emplace_back(name,
+                                           static_cast<std::uint64_t>(value.number()));
+    return dump;
+}
+
+Dump load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in.good()) throw std::runtime_error("postmortem: cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+std::string render(const Dump& dump, const RenderOptions& options) {
+    std::ostringstream out;
+    out << "postmortem: reason=" << dump.reason << "  events=" << dump.events.size()
+        << "  threads=" << dump.thread_count << "\n";
+    if (options.show_meta)
+        out << "build: " << dump.git_sha << " (" << dump.build_type << ", "
+            << dump.compiler << ")\n";
+
+    const std::uint64_t epoch = dump.events.empty() ? 0 : dump.events.front().t_ns;
+    auto rel_ms = [&](std::uint64_t t_ns) {
+        return (static_cast<double>(t_ns) - static_cast<double>(epoch)) / 1e6;
+    };
+    auto is_trigger = [&](const Event& e) {
+        return dump.trigger.has_value() && e.t_ns == dump.trigger->t_ns &&
+               e.kind == dump.trigger->kind && e.frame == dump.trigger->frame &&
+               e.module == dump.trigger->module;
+    };
+
+    if (dump.trigger.has_value()) {
+        const Event& t = *dump.trigger;
+        out << "trigger: " << t.kind << " at " << fmt_ms(rel_ms(t.t_ns)) << " frame "
+            << t.frame << " module " << t.module << " (a=" << fmt_payload(t.a)
+            << ", b=" << fmt_payload(t.b) << ")\n";
+    }
+
+    // --- Per-module timeline ---
+    std::set<std::uint32_t> modules;
+    for (const Event& e : dump.events) modules.insert(e.module);
+    for (const std::uint32_t module : modules) {
+        std::vector<const Event*> events;
+        for (const Event& e : dump.events)
+            if (e.module == module) events.push_back(&e);
+        out << "\nmodule " << module << " (" << events.size() << " events):\n";
+        std::size_t start = 0;
+        if (options.max_events_per_module > 0 &&
+            events.size() > options.max_events_per_module) {
+            start = events.size() - options.max_events_per_module;
+            out << "  ... " << start << " older events elided ...\n";
+        }
+        for (std::size_t i = start; i < events.size(); ++i) {
+            const Event& e = *events[i];
+            char line[160];
+            std::snprintf(line, sizeof line, "  %-14s frame %-6llu %-19s a=%s b=%s",
+                          fmt_ms(rel_ms(e.t_ns)).c_str(),
+                          static_cast<unsigned long long>(e.frame), e.kind.c_str(),
+                          fmt_payload(e.a).c_str(), fmt_payload(e.b).c_str());
+            out << line;
+            if (is_trigger(e)) out << "   <<< TRIGGER";
+            out << "\n";
+        }
+    }
+
+    // --- Event counts around the trigger (the deltas a postmortem reads
+    // first: what changed in the black box when the trigger fired) ---
+    if (dump.trigger.has_value()) {
+        std::map<std::string, std::pair<std::size_t, std::size_t>> by_kind;
+        for (const Event& e : dump.events) {
+            auto& [before, after] = by_kind[e.kind];
+            (e.t_ns < dump.trigger->t_ns ? before : after) += 1;
+        }
+        out << "\nevent counts around trigger (before / at-or-after):\n";
+        for (const auto& [kind, counts] : by_kind) {
+            char line[96];
+            std::snprintf(line, sizeof line, "  %-19s %6zu %6zu\n", kind.c_str(),
+                          counts.first, counts.second);
+            out << line;
+        }
+    }
+
+    if (options.show_metrics && !dump.counters.empty()) {
+        out << "\nmetrics counters at dump time:\n";
+        for (const auto& [name, value] : dump.counters)
+            out << "  " << name << " = " << value << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace mvreju::obs::postmortem

@@ -3,6 +3,8 @@
 #include <fstream>
 
 #include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/obs/exporter.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/log.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/trace.hpp"
@@ -20,11 +22,34 @@ Session::Session(const util::Args& args, std::string default_metrics_path)
     : metrics_path_(args.get("metrics", default_metrics_path)),
       trace_path_(args.get("trace", std::string())) {
     if (!trace_path_.empty()) Tracer::global().enable();
+    if (args.has("flight")) {
+        FlightRecorder& recorder = FlightRecorder::global();
+        const std::string arg_dir = args.get("flight", std::string());
+        // Bare --flight: dumps into the working directory.
+        const std::string dir = arg_dir.empty() ? std::string(".") : arg_dir;
+        recorder.set_dump_dir(dir);
+        // Default trigger set: the postmortem moments of the paper's fault
+        // model. Rejuvenations are recorded but deliberately not triggers —
+        // they are routine in a healthy system and would eat the dump limit.
+        recorder.set_trigger(EventKind::deadline_miss, true);
+        recorder.set_trigger(EventKind::vote_skipped, true);
+        recorder.set_trigger(EventKind::vote_no_output, true);
+        recorder.set_trigger(EventKind::collision, true);
+        recorder.set_trigger(EventKind::slo_breach, true);
+        recorder.set_enabled(true);
+        log_info("flight recorder armed, dumps into " + dir);
+    }
+    if (args.has("serve"))
+        serving_ = Exporter::global().start(args.get("serve", 0));
 }
 
 void Session::flush() {
     if (flushed_) return;
     flushed_ = true;
+    if (serving_) {
+        Exporter::global().stop();
+        serving_ = false;
+    }
     if (!metrics_path_.empty()) {
         std::ofstream out(metrics_path_);
         out << metrics_blob_json();

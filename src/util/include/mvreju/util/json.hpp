@@ -1,0 +1,66 @@
+#pragma once
+
+// Minimal read-only JSON document model. The repo emits JSON in several
+// places (metrics blobs, traces, flight-recorder postmortem dumps, bench
+// results); this parser lets the postmortem tooling and the tests consume
+// those artifacts without an external dependency. It is a strict
+// recursive-descent parser for the JSON the repo itself produces — objects,
+// arrays, strings (with escapes), numbers, booleans, null — not a lenient
+// general-purpose one: trailing garbage, comments and unquoted keys are
+// errors.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mvreju::util {
+
+/// An immutable parsed JSON value.
+class Json {
+public:
+    enum class Type { null, boolean, number, string, array, object };
+
+    /// Parse a complete document; throws std::runtime_error (with byte
+    /// offset) on malformed input or trailing non-whitespace.
+    [[nodiscard]] static Json parse(std::string_view text);
+
+    Json() = default;
+
+    [[nodiscard]] Type type() const noexcept { return type_; }
+    [[nodiscard]] bool is_null() const noexcept { return type_ == Type::null; }
+    [[nodiscard]] bool is_boolean() const noexcept { return type_ == Type::boolean; }
+    [[nodiscard]] bool is_number() const noexcept { return type_ == Type::number; }
+    [[nodiscard]] bool is_string() const noexcept { return type_ == Type::string; }
+    [[nodiscard]] bool is_array() const noexcept { return type_ == Type::array; }
+    [[nodiscard]] bool is_object() const noexcept { return type_ == Type::object; }
+
+    /// Typed accessors; throw std::runtime_error on a type mismatch.
+    [[nodiscard]] bool boolean() const;
+    [[nodiscard]] double number() const;
+    [[nodiscard]] const std::string& str() const;
+    [[nodiscard]] const std::vector<Json>& items() const;
+    [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
+
+    /// Array length or object member count (0 for scalars).
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Object member lookup; nullptr when absent (or not an object).
+    [[nodiscard]] const Json* find(const std::string& key) const noexcept;
+    /// Object member lookup; throws std::runtime_error when absent.
+    [[nodiscard]] const Json& at(const std::string& key) const;
+    /// Array element; throws std::runtime_error when out of range.
+    [[nodiscard]] const Json& at(std::size_t index) const;
+
+private:
+    friend class JsonParser;
+    Type type_ = Type::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace mvreju::util

@@ -1,0 +1,271 @@
+#include "mvreju/util/json.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mvreju::util {
+
+namespace {
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+    throw std::runtime_error(std::string("Json: value is not a ") + wanted +
+                             " (type " + std::to_string(static_cast<int>(got)) + ")");
+}
+}  // namespace
+
+bool Json::boolean() const {
+    if (type_ != Type::boolean) type_error("boolean", type_);
+    return bool_;
+}
+
+double Json::number() const {
+    if (type_ != Type::number) type_error("number", type_);
+    return number_;
+}
+
+const std::string& Json::str() const {
+    if (type_ != Type::string) type_error("string", type_);
+    return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+    if (type_ != Type::array) type_error("array", type_);
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+    if (type_ != Type::object) type_error("object", type_);
+    return members_;
+}
+
+std::size_t Json::size() const noexcept {
+    if (type_ == Type::array) return items_.size();
+    if (type_ == Type::object) return members_.size();
+    return 0;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+    if (type_ != Type::object) return nullptr;
+    for (const auto& [name, value] : members_)
+        if (name == key) return &value;
+    return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+    const Json* value = find(key);
+    if (value == nullptr) throw std::runtime_error("Json: no member '" + key + "'");
+    return *value;
+}
+
+const Json& Json::at(std::size_t index) const {
+    if (type_ != Type::array) type_error("array", type_);
+    if (index >= items_.size())
+        throw std::runtime_error("Json: index " + std::to_string(index) +
+                                 " out of range (size " + std::to_string(items_.size()) +
+                                 ")");
+    return items_[index];
+}
+
+/// Recursive-descent parser over the raw text. Depth-limited so a hostile
+/// input cannot blow the stack.
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        Json value = parse_value(0);
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return value;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("Json: " + what + " at byte " + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Json parse_value(int depth) {
+        if (depth > kMaxDepth) fail("nesting too deep");
+        skip_ws();
+        const char c = peek();
+        Json value;
+        switch (c) {
+            case '{': parse_object(value, depth); break;
+            case '[': parse_array(value, depth); break;
+            case '"':
+                value.type_ = Json::Type::string;
+                value.string_ = parse_string();
+                break;
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                value.type_ = Json::Type::boolean;
+                value.bool_ = true;
+                break;
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                value.type_ = Json::Type::boolean;
+                value.bool_ = false;
+                break;
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                break;
+            default:
+                value.type_ = Json::Type::number;
+                value.number_ = parse_number();
+                break;
+        }
+        return value;
+    }
+
+    void parse_object(Json& value, int depth) {
+        value.type_ = Json::Type::object;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            value.members_.emplace_back(std::move(key), parse_value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    void parse_array(Json& value, int depth) {
+        value.type_ = Json::Type::array;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            value.items_.push_back(parse_value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': out += parse_unicode_escape(); break;
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    std::string parse_unicode_escape() {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') code += static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') code += static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') code += static_cast<unsigned>(c - 'A' + 10);
+            else fail("bad \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not produced
+        // by any writer in this repo; a lone surrogate encodes as-is).
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    double parse_number() {
+        // Copy the token out first: the string_view need not be
+        // null-terminated, so strtod cannot run on it directly.
+        std::size_t end_pos = pos_;
+        while (end_pos < text_.size()) {
+            const char c = text_[end_pos];
+            if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+                c == 'e' || c == 'E') {
+                ++end_pos;
+            } else {
+                break;
+            }
+        }
+        const std::string token(text_.substr(pos_, end_pos - pos_));
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || token.empty()) fail("bad number");
+        pos_ = end_pos;
+        return value;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+Json Json::parse(std::string_view text) { return JsonParser(text).parse_document(); }
+
+}  // namespace mvreju::util

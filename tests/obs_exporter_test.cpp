@@ -1,0 +1,213 @@
+// Tests for the obs exporter: Prometheus text exposition (names, types,
+// cumulative histogram buckets), the /metrics /healthz /record routing via
+// handle(), health-report freshness, error responses, the runtime kill
+// switch, and one real end-to-end HTTP GET over a loopback socket.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mvreju/obs/exporter.hpp"
+#include "mvreju/obs/flight_recorder.hpp"
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/obs.hpp"
+#include "mvreju/util/json.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+class ObsExporterTest : public ::testing::Test {
+protected:
+    void SetUp() override { obs::set_enabled(true); }
+    void TearDown() override { obs::set_enabled(true); }
+};
+
+std::string body_of(const std::string& response) {
+    const std::size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+TEST_F(ObsExporterTest, PrometheusExpositionFormat) {
+    obs::Registry reg;
+    reg.counter("av.frames").add(42);
+    reg.gauge("dspn.residual").set(1e-10);
+    obs::Histogram& h =
+        reg.histogram("solve.ms", obs::HistogramBounds::linear(0.0, 1.0, 3));
+    h.record(0.5);   // bucket le=1
+    h.record(1.5);   // bucket le=2
+    h.record(99.0);  // overflow: only visible in +Inf/_count
+
+    const std::string text = to_prometheus(reg.snapshot());
+    EXPECT_NE(text.find("# TYPE mvreju_build_info gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("mvreju_build_info{git_sha=\""), std::string::npos);
+    // Dots are sanitised to underscores; counters and gauges are typed.
+    EXPECT_NE(text.find("# TYPE mvreju_av_frames counter\nmvreju_av_frames 42\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE mvreju_dspn_residual gauge\n"), std::string::npos);
+    // Histogram buckets are cumulative and end with +Inf == _count.
+    EXPECT_NE(text.find("mvreju_solve_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("mvreju_solve_ms_bucket{le=\"2\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("mvreju_solve_ms_bucket{le=\"3\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("mvreju_solve_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("mvreju_solve_ms_count 3\n"), std::string::npos);
+    EXPECT_NE(text.find("mvreju_solve_ms_sum 101\n"), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, HealthzReflectsPublishedReportsImmediately) {
+    obs::Exporter exporter;
+
+    // No report published yet: status ok, no modules section.
+    util::Json doc = util::Json::parse(exporter.healthz_json());
+    EXPECT_EQ(doc.at("status").str(), "ok");
+    EXPECT_EQ(doc.find("modules"), nullptr);
+    EXPECT_GE(doc.at("uptime_seconds").number(), 0.0);
+    EXPECT_FALSE(doc.at("meta").at("git_sha").str().empty());
+
+    // Publish a degraded pool; the very next scrape must see it.
+    obs::HealthReport report;
+    report.healthy = 1;
+    report.compromised = 1;
+    report.rejuvenating = 1;
+    report.module_states = {"healthy", "compromised", "rejuvenating"};
+    report.last_rejuvenation_age_s = 2.5;
+    exporter.set_health(report);
+    doc = util::Json::parse(exporter.healthz_json());
+    EXPECT_EQ(doc.at("status").str(), "degraded");
+    EXPECT_EQ(doc.at("modules").at("healthy").number(), 1.0);
+    EXPECT_EQ(doc.at("modules").at("compromised").number(), 1.0);
+    EXPECT_EQ(doc.at("modules").at("rejuvenating").number(), 1.0);
+    EXPECT_EQ(doc.at("modules").at("states").size(), 3u);
+    EXPECT_EQ(doc.at("modules").at("states").at(1).str(), "compromised");
+    EXPECT_EQ(doc.at("last_rejuvenation_age_seconds").number(), 2.5);
+
+    // All modules down: critical.
+    obs::HealthReport dead;
+    dead.nonfunctional = 3;
+    dead.module_states = {"nonfunctional", "nonfunctional", "nonfunctional"};
+    exporter.set_health(dead);
+    doc = util::Json::parse(exporter.healthz_json());
+    EXPECT_EQ(doc.at("status").str(), "critical");
+
+    // Recovery: back to ok.
+    obs::HealthReport fine;
+    fine.healthy = 3;
+    fine.module_states = {"healthy", "healthy", "healthy"};
+    exporter.set_health(fine);
+    EXPECT_EQ(util::Json::parse(exporter.healthz_json()).at("status").str(), "ok");
+}
+
+TEST_F(ObsExporterTest, HandleRoutesMetricsHealthzAndErrors) {
+    obs::Exporter exporter;
+
+    const std::string metrics = exporter.handle("GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("mvreju_build_info"), std::string::npos);
+    // No health published: no module-state gauges.
+    EXPECT_EQ(metrics.find("mvreju_module_state_count"), std::string::npos);
+
+    obs::HealthReport report;
+    report.healthy = 2;
+    report.nonfunctional = 1;
+    report.module_states = {"healthy", "healthy", "nonfunctional"};
+    exporter.set_health(report);
+    const std::string with_health = exporter.handle("GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(with_health.find("mvreju_module_state_count{state=\"healthy\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(
+        with_health.find("mvreju_module_state_count{state=\"nonfunctional\"} 1\n"),
+        std::string::npos);
+
+    const std::string healthz = exporter.handle("GET /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(healthz.find("Content-Type: application/json"), std::string::npos);
+    EXPECT_EQ(util::Json::parse(body_of(healthz)).at("status").str(), "degraded");
+
+    // Query strings are stripped before routing.
+    EXPECT_NE(exporter.handle("GET /healthz?verbose=1 HTTP/1.0\r\n\r\n")
+                  .find("200 OK"),
+              std::string::npos);
+
+    EXPECT_NE(exporter.handle("GET /nope HTTP/1.0\r\n\r\n").find("404 Not Found"),
+              std::string::npos);
+    EXPECT_NE(exporter.handle("POST /metrics HTTP/1.0\r\n\r\n")
+                  .find("405 Method Not Allowed"),
+              std::string::npos);
+    EXPECT_NE(exporter.handle("garbage").find("400 Bad Request"), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, RecordEndpointForcesAFlightRecorderDump) {
+    obs::Exporter exporter;
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+
+    // Recorder disarmed: the endpoint refuses rather than writing an empty box.
+    recorder.set_enabled(false);
+    EXPECT_NE(exporter.handle("GET /record HTTP/1.0\r\n\r\n")
+                  .find("503 Service Unavailable"),
+              std::string::npos);
+
+    recorder.set_enabled(true);
+    recorder.set_dump_dir(::testing::TempDir());
+    recorder.record(obs::EventKind::custom, 1, 0, 1.0, 2.0);
+    const std::string response = exporter.handle("GET /record HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    const std::string path = util::Json::parse(body_of(response)).at("dumped").str();
+    EXPECT_NE(path.find("postmortem-"), std::string::npos);
+    std::remove(path.c_str());
+    recorder.set_enabled(false);
+}
+
+#ifndef MVREJU_OBS_DISABLED
+TEST_F(ObsExporterTest, ServesARealHttpGetOverLoopback) {
+    obs::Exporter exporter;
+    ASSERT_TRUE(exporter.start(0));  // ephemeral port
+    ASSERT_TRUE(exporter.running());
+    const int port = exporter.port();
+    ASSERT_GT(port, 0);
+    EXPECT_FALSE(exporter.start(port));  // already running
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    const char request[] = "GET /healthz HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, request, sizeof request - 1, 0),
+              static_cast<ssize_t>(sizeof request - 1));
+    std::string response;
+    char buf[4096];
+    ssize_t got;
+    while ((got = ::recv(fd, buf, sizeof buf, 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(got));
+    ::close(fd);
+
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_EQ(util::Json::parse(body_of(response)).at("status").str(), "ok");
+
+    exporter.stop();
+    EXPECT_FALSE(exporter.running());
+    EXPECT_EQ(exporter.port(), 0);
+    exporter.stop();  // idempotent
+}
+#endif  // MVREJU_OBS_DISABLED
+
+TEST_F(ObsExporterTest, StartRefusedWhenObsIsKilled) {
+    obs::Exporter exporter;
+    obs::set_enabled(false);
+    EXPECT_FALSE(exporter.start(0));
+    EXPECT_FALSE(exporter.running());
+    obs::set_enabled(true);
+}
+
+}  // namespace

@@ -120,6 +120,73 @@ TEST_F(ObsMetricsTest, HistogramMeanAndQuantilesMatchNumStats) {
     EXPECT_EQ(v.quantile(1.0), v.max);
 }
 
+TEST_F(ObsMetricsTest, QuantileEdgeCases) {
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("edge", obs::HistogramBounds::linear(0.0, 1.0, 2));
+
+    // Empty histogram: quantiles are 0, not NaN or a crash.
+    obs::HistogramValue v = reg.snapshot().histograms[0];
+    EXPECT_EQ(v.count, 0u);
+    for (double q : {0.0, 0.5, 1.0}) EXPECT_EQ(v.quantile(q), 0.0);
+    EXPECT_EQ(v.mean(), 0.0);
+
+    // Single sample: every quantile is that sample (interpolation clamps to
+    // the observed min == max, not the bucket edges).
+    h.record(0.75);
+    v = reg.snapshot().histograms[0];
+    for (double q : {0.0, 0.25, 0.5, 1.0}) EXPECT_EQ(v.quantile(q), 0.75);
+
+    // All samples in one bucket: estimates stay inside [min, max] of that
+    // bucket, with the extremes exact.
+    reg.reset();
+    h.record(0.4);
+    h.record(0.5);
+    h.record(0.6);
+    v = reg.snapshot().histograms[0];
+    EXPECT_EQ(v.quantile(0.0), 0.4);
+    EXPECT_EQ(v.quantile(1.0), 0.6);
+    EXPECT_GE(v.quantile(0.5), 0.4);
+    EXPECT_LE(v.quantile(0.5), 0.6);
+
+    // Overflow-bucket samples (above the last bound, here 2.0): quantiles
+    // interpolate between the last bound and the observed max instead of
+    // running off to infinity.
+    reg.reset();
+    h.record(5.0);
+    h.record(7.0);
+    h.record(9.0);
+    v = reg.snapshot().histograms[0];
+    ASSERT_EQ(v.buckets.back(), 3u);
+    EXPECT_EQ(v.quantile(0.0), 5.0);
+    EXPECT_EQ(v.quantile(1.0), 9.0);
+    EXPECT_GE(v.quantile(0.5), 5.0);
+    EXPECT_LE(v.quantile(0.5), 9.0);
+    // Out-of-range q values clamp instead of indexing out of bounds.
+    EXPECT_EQ(v.quantile(-1.0), v.quantile(0.0));
+    EXPECT_EQ(v.quantile(2.0), v.quantile(1.0));
+}
+
+TEST_F(ObsMetricsTest, SnapshotUnderKillSwitchPreservesPriorValues) {
+    // MVREJU_OBS=off stops *collection*, not *reporting*: a snapshot taken
+    // while disabled must still expose everything recorded before the switch
+    // (the exit-time metrics blob depends on this).
+    obs::Registry reg;
+    reg.counter("kept").add(7);
+    reg.gauge("kept.g").set(1.5);
+    reg.histogram("kept.h", obs::HistogramBounds::linear(0, 1, 2)).record(0.5);
+
+    obs::set_enabled(false);
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 7u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].value, 1.5);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+    EXPECT_NE(snap.to_json().find("\"kept\": 7"), std::string::npos);
+    obs::set_enabled(true);
+}
+
 TEST_F(ObsMetricsTest, KindMismatchAndBadBoundsThrow) {
     obs::Registry reg;
     (void)reg.counter("name.a");

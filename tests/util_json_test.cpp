@@ -1,0 +1,124 @@
+// Tests for the minimal JSON document model: scalar and container parsing,
+// escapes (including \uXXXX), the lookup helpers, strictness on malformed
+// input (with byte offsets in the message), and roundtrips over the JSON the
+// repo's own exporters emit.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "mvreju/util/json.hpp"
+
+namespace {
+
+using mvreju::util::Json;
+
+TEST(UtilJsonTest, ParsesScalars) {
+    EXPECT_TRUE(Json::parse("null").is_null());
+    EXPECT_TRUE(Json::parse("true").boolean());
+    EXPECT_FALSE(Json::parse("false").boolean());
+    EXPECT_EQ(Json::parse("42").number(), 42.0);
+    EXPECT_EQ(Json::parse("-3.5e2").number(), -350.0);
+    EXPECT_EQ(Json::parse("0.125").number(), 0.125);
+    EXPECT_EQ(Json::parse("\"hi\"").str(), "hi");
+    EXPECT_EQ(Json::parse("  \"ws\"  ").str(), "ws");
+}
+
+TEST(UtilJsonTest, ParsesStringEscapes) {
+    EXPECT_EQ(Json::parse(R"("a\"b\\c\/d")").str(), "a\"b\\c/d");
+    EXPECT_EQ(Json::parse(R"("line\nfeed\ttab")").str(), "line\nfeed\ttab");
+    EXPECT_EQ(Json::parse(R"("\u0041\u00e9")").str(), "A\xc3\xa9");  // A, é
+    EXPECT_EQ(Json::parse(R"("\u20ac")").str(), "\xe2\x82\xac");     // €
+}
+
+TEST(UtilJsonTest, ParsesArraysAndObjects) {
+    const Json arr = Json::parse("[1, \"two\", [3], {\"four\": 4}, null]");
+    ASSERT_TRUE(arr.is_array());
+    ASSERT_EQ(arr.size(), 5u);
+    EXPECT_EQ(arr.at(0).number(), 1.0);
+    EXPECT_EQ(arr.at(1).str(), "two");
+    EXPECT_EQ(arr.at(2).at(0).number(), 3.0);
+    EXPECT_EQ(arr.at(3).at("four").number(), 4.0);
+    EXPECT_TRUE(arr.at(4).is_null());
+    EXPECT_THROW((void)arr.at(5), std::runtime_error);
+
+    const Json obj = Json::parse(R"({"a": 1, "b": {"c": [true]}, "a": 2})");
+    ASSERT_TRUE(obj.is_object());
+    // Duplicate keys: members() preserves both, find/at return the first.
+    EXPECT_EQ(obj.size(), 3u);
+    EXPECT_EQ(obj.at("a").number(), 1.0);
+    EXPECT_TRUE(obj.at("b").at("c").at(0).boolean());
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    EXPECT_THROW((void)obj.at("missing"), std::runtime_error);
+    EXPECT_EQ(Json::parse("{}").size(), 0u);
+    EXPECT_EQ(Json::parse("[]").size(), 0u);
+}
+
+TEST(UtilJsonTest, MembersAndItemsIterateInDocumentOrder) {
+    const Json obj = Json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(obj.members().size(), 3u);
+    EXPECT_EQ(obj.members()[0].first, "z");
+    EXPECT_EQ(obj.members()[1].first, "a");
+    EXPECT_EQ(obj.members()[2].first, "m");
+
+    const Json arr = Json::parse("[3, 1, 2]");
+    ASSERT_EQ(arr.items().size(), 3u);
+    EXPECT_EQ(arr.items()[0].number(), 3.0);
+}
+
+TEST(UtilJsonTest, TypeMismatchesThrow) {
+    const Json num = Json::parse("1");
+    EXPECT_THROW((void)num.str(), std::runtime_error);
+    EXPECT_THROW((void)num.boolean(), std::runtime_error);
+    EXPECT_THROW((void)num.items(), std::runtime_error);
+    EXPECT_THROW((void)num.members(), std::runtime_error);
+    EXPECT_THROW((void)Json::parse("\"s\"").number(), std::runtime_error);
+    EXPECT_EQ(num.find("key"), nullptr);  // find is noexcept on non-objects
+    EXPECT_EQ(num.size(), 0u);
+}
+
+TEST(UtilJsonTest, MalformedInputThrowsWithByteOffset) {
+    for (const char* bad :
+         {"", "{", "[1,", "{\"a\" 1}", "{\"a\": }", "tru", "1.2.3", "\"unterminated",
+          "\"bad\\q\"", "\"\\u12\"", "[1] garbage", "{'a': 1}", "nan"}) {
+        EXPECT_THROW((void)Json::parse(bad), std::runtime_error) << bad;
+    }
+    try {
+        (void)Json::parse("[1, x]");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+    }
+}
+
+TEST(UtilJsonTest, DepthLimitRejectsPathologicalNesting) {
+    std::string deep;
+    for (int i = 0; i < 100; ++i) deep += "[";
+    deep += "1";
+    for (int i = 0; i < 100; ++i) deep += "]";
+    EXPECT_THROW((void)Json::parse(deep), std::runtime_error);
+
+    std::string fine = "1";
+    for (int i = 0; i < 32; ++i) fine = "[" + fine + "]";
+    EXPECT_NO_THROW((void)Json::parse(fine));
+}
+
+TEST(UtilJsonTest, ReadsTheReposOwnMetricsBlobShape) {
+    const Json blob = Json::parse(R"({
+      "meta": {"git_sha": "abc", "build_type": "Release"},
+      "metrics": {
+        "counters": {"av.frames": 1200},
+        "gauges": {"dspn.residual": 1e-12},
+        "histograms": {"solve.ms": {"count": 3, "p99": 4.5, "buckets": [1, 2, 0]}}
+      }
+    })");
+    EXPECT_EQ(blob.at("meta").at("git_sha").str(), "abc");
+    EXPECT_EQ(blob.at("metrics").at("counters").at("av.frames").number(), 1200.0);
+    EXPECT_EQ(blob.at("metrics").at("gauges").at("dspn.residual").number(), 1e-12);
+    const Json& hist = blob.at("metrics").at("histograms").at("solve.ms");
+    EXPECT_EQ(hist.at("count").number(), 3.0);
+    EXPECT_EQ(hist.at("buckets").at(1).number(), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+// postmortem: render a flight-recorder dump as a per-module event timeline.
+//
+//   ./build/tools/postmortem <postmortem-*.json> [--no-meta] [--no-metrics]
+//       [--max-events <n>]     cap the timeline at <n> events per module
+//
+// All the substance lives in mvreju/obs/postmortem.hpp (golden-tested); this
+// is argument parsing and I/O.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "mvreju/obs/postmortem.hpp"
+#include "mvreju/util/args.hpp"
+
+int main(int argc, char** argv) {
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.size() >= 2 && arg.compare(0, 2, "--") == 0) {
+            if (arg == "--max-events") ++i;  // flag value, not the path
+            continue;
+        }
+        path = arg;
+        break;
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: postmortem <postmortem-*.json> [--no-meta] "
+                     "[--no-metrics] [--max-events <n>]\n");
+        return 2;
+    }
+
+    const mvreju::util::Args args(argc, argv);
+    mvreju::obs::postmortem::RenderOptions options;
+    options.show_meta = !args.has("no-meta");
+    options.show_metrics = !args.has("no-metrics");
+    options.max_events_per_module =
+        static_cast<std::size_t>(args.get("max-events", 0));
+
+    try {
+        const auto dump = mvreju::obs::postmortem::load(path);
+        std::fputs(mvreju::obs::postmortem::render(dump, options).c_str(), stdout);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "postmortem: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
