@@ -1,0 +1,285 @@
+// Machine-readable sweep-engine benchmark: the full Fig. 4 parameter grid
+// solved cold (net + reachability + MRGP per point) versus through
+// dspn::SweepEngine (structure-hashed graph reuse, memoized solves,
+// deterministic warm starts), plus a cache-warm rerun and a warm-start
+// convergence study on a model large enough for the iterative path.
+// Emits BENCH_sweep.json stamped with run metadata.
+//
+// Three claims are checked, not just timed:
+//   * every engine grid-point distribution is bit-identical to its cold
+//     solve (the paper-model state spaces sit below the dense cutoff, where
+//     warm starts are ignored by construction);
+//   * the engine result is bit-identical across thread counts;
+//   * warm-started iterative solves agree with cold ones to 1e-10 while
+//     spending fewer Gauss-Seidel sweeps.
+//
+// Usage: bench_sweep [--out PATH] [--cache DIR] [--metrics PATH] [--trace PATH]
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/reachability.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/dspn/sweep.hpp"
+#include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/obs/session.hpp"
+#include "mvreju/util/args.hpp"
+#include "mvreju/util/parallel.hpp"
+#include "sweep_common.hpp"
+
+namespace {
+
+using namespace mvreju;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct GridResult {
+    std::size_t points = 0;
+    std::size_t unique_solves = 0;
+    std::size_t cache_hits = 0;
+    std::size_t rebuilds = 0;
+    std::size_t rebinds = 0;
+    std::size_t family_batches = 0;
+    std::size_t family_members = 0;
+    double cold_ms = 0.0;
+    double engine_ms = 0.0;
+    double speedup = 0.0;
+    double warm_rerun_ms = 0.0;
+    std::size_t warm_rerun_disk_hits = 0;
+    bool bitwise_equal_to_cold = false;
+    bool thread_counts_bit_identical = false;
+};
+
+struct WarmStartResult {
+    std::size_t states = 0;
+    std::size_t grid_points = 0;
+    std::size_t cold_sweeps_total = 0;
+    std::size_t warm_sweeps_total = 0;
+    std::size_t iters_saved = 0;
+    double max_abs_diff_vs_cold = 0.0;
+    bool within_tolerance = false;
+};
+
+/// M/M/1/cap queue as an SPN: cap+1 tangible states, comfortably above the
+/// dense cutoff so the stationary solve takes the warm-startable
+/// Gauss-Seidel path. Params: [arrival rate, per-token service rate].
+dspn::PetriNet birth_death_net(const std::vector<double>& params, int cap) {
+    dspn::PetriNet net;
+    const auto q = net.add_place("Q", 0);
+    const auto birth = net.add_exponential("birth", params[0]);
+    net.add_output_arc(birth, q);
+    net.add_inhibitor_arc(birth, q, cap);
+    const double service = params[1];
+    const auto death = net.add_exponential("death", [q, service](const dspn::Marking& m) {
+        return service * dspn::tokens(m, q);
+    });
+    net.add_input_arc(death, q);
+    return net;
+}
+
+bool write_json(const std::string& path, const GridResult& grid,
+                const WarmStartResult& warm) {
+    std::ofstream out(path);
+    out << std::setprecision(17);
+    out << "{\n";
+    out << "  \"bench\": \"sweep\",\n";
+    out << "  \"meta\": " << obs::run_metadata_json() << ",\n";
+    out << "  \"hardware_threads\": " << util::hardware_threads() << ",\n";
+    out << "  \"fig4_grid\": {\n";
+    out << "    \"points\": " << grid.points << ",\n";
+    out << "    \"unique_solves\": " << grid.unique_solves << ",\n";
+    out << "    \"cache_hits\": " << grid.cache_hits << ",\n";
+    out << "    \"rebuilds\": " << grid.rebuilds << ",\n";
+    out << "    \"rebinds\": " << grid.rebinds << ",\n";
+    out << "    \"family_batches\": " << grid.family_batches << ",\n";
+    out << "    \"family_members\": " << grid.family_members << ",\n";
+    out << "    \"cold_ms\": " << grid.cold_ms << ",\n";
+    out << "    \"engine_ms\": " << grid.engine_ms << ",\n";
+    out << "    \"speedup\": " << grid.speedup << ",\n";
+    out << "    \"warm_rerun_ms\": " << grid.warm_rerun_ms << ",\n";
+    out << "    \"warm_rerun_disk_hits\": " << grid.warm_rerun_disk_hits << ",\n";
+    out << "    \"bitwise_equal_to_cold\": "
+        << (grid.bitwise_equal_to_cold ? "true" : "false") << ",\n";
+    out << "    \"thread_counts_bit_identical\": "
+        << (grid.thread_counts_bit_identical ? "true" : "false") << "\n";
+    out << "  },\n";
+    out << "  \"warm_start\": {\n";
+    out << "    \"states\": " << warm.states << ",\n";
+    out << "    \"grid_points\": " << warm.grid_points << ",\n";
+    out << "    \"cold_sweeps_total\": " << warm.cold_sweeps_total << ",\n";
+    out << "    \"warm_sweeps_total\": " << warm.warm_sweeps_total << ",\n";
+    out << "    \"iters_saved\": " << warm.iters_saved << ",\n";
+    out << "    \"max_abs_diff_vs_cold\": " << warm.max_abs_diff_vs_cold << ",\n";
+    out << "    \"within_tolerance\": " << (warm.within_tolerance ? "true" : "false")
+        << "\n";
+    out << "  }\n";
+    out << "}\n";
+    return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const std::string out_path = args.get("out", std::string("BENCH_sweep.json"));
+    const std::string cache_dir = args.get("cache", std::string("bench_sweep_cache"));
+    obs::Session session(args, "BENCH_sweep.metrics.json");
+
+    reliability::TimingParams timing;  // Table IV defaults
+    const std::vector<std::vector<double>> grid = bench::fig4_grid(timing);
+    GridResult result;
+    result.points = grid.size();
+
+    // --- Cold baseline: net + reachability + MRGP per grid point ---------
+    std::vector<std::vector<double>> cold_pi(grid.size());
+    const auto cold_start = Clock::now();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const dspn::PetriNet net =
+            core::build_multiversion_dspn(bench::decode_config(grid[i])).net;
+        const dspn::ReachabilityGraph graph(net);
+        cold_pi[i] = dspn::dspn_steady_state(graph);
+    }
+    result.cold_ms = ms_since(cold_start);
+
+    // --- Engine pass (fresh caches) --------------------------------------
+    std::filesystem::remove_all(cache_dir);
+    dspn::SweepOptions engine_options;
+    engine_options.cache_dir = cache_dir;
+    dspn::SweepEngine engine(bench::multiversion_factory(), engine_options);
+    const auto engine_start = Clock::now();
+    const std::vector<dspn::SweepPoint> points = engine.run(grid);
+    result.engine_ms = ms_since(engine_start);
+    result.speedup = result.cold_ms / result.engine_ms;
+    result.unique_solves = engine.stats().solves;
+    result.cache_hits = engine.stats().cache_hits;
+    result.rebuilds = engine.stats().rebuilds;
+    result.rebinds = engine.stats().rebinds;
+    result.family_batches = engine.stats().family_batches;
+    result.family_members = engine.stats().family_members;
+
+    // Gate 1: bitwise equality with the cold path, every grid point.
+    result.bitwise_equal_to_cold = true;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (points[i].pi != cold_pi[i]) {
+            result.bitwise_equal_to_cold = false;
+            std::cerr << "ERROR: grid point " << i
+                      << " differs from its cold solve\n";
+            break;
+        }
+    }
+
+    // Gate 2: thread-count independence (fresh engines, memory cache only).
+    {
+        std::vector<std::vector<dspn::SweepPoint>> by_threads;
+        for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+            dspn::SweepOptions opt;
+            opt.threads = threads;
+            dspn::SweepEngine fresh(bench::multiversion_factory(), opt);
+            by_threads.push_back(fresh.run(grid));
+        }
+        result.thread_counts_bit_identical = true;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (by_threads[0][i].pi != by_threads[1][i].pi) {
+                result.thread_counts_bit_identical = false;
+                std::cerr << "ERROR: grid point " << i
+                          << " differs between 1 and 4 threads\n";
+                break;
+            }
+        }
+    }
+
+    // --- Cache-warm rerun: a new engine sharing the disk cache -----------
+    {
+        dspn::SweepEngine rerun(bench::multiversion_factory(), engine_options);
+        const auto rerun_start = Clock::now();
+        const std::vector<dspn::SweepPoint> rerun_points = rerun.run(grid);
+        result.warm_rerun_ms = ms_since(rerun_start);
+        result.warm_rerun_disk_hits = rerun.stats().disk_hits;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (rerun_points[i].pi != points[i].pi) {
+                result.bitwise_equal_to_cold = false;
+                std::cerr << "ERROR: disk-cached point " << i
+                          << " differs from the first engine pass\n";
+                break;
+            }
+        }
+    }
+
+    std::cout << "fig4_grid points=" << result.points
+              << " unique_solves=" << result.unique_solves
+              << " cache_hits=" << result.cache_hits
+              << " rebuilds=" << result.rebuilds << " rebinds=" << result.rebinds
+              << " family_batches=" << result.family_batches
+              << " family_members=" << result.family_members << "\n";
+    std::cout << "fig4_grid cold_ms=" << result.cold_ms
+              << " engine_ms=" << result.engine_ms << " speedup=" << result.speedup
+              << " warm_rerun_ms=" << result.warm_rerun_ms
+              << " disk_hits=" << result.warm_rerun_disk_hits << "\n";
+
+    // --- Warm-start study on the iterative path --------------------------
+    // 160 tangible states: well above the dense cutoff, so Gauss-Seidel
+    // runs and warm starts matter. A sweep over the arrival rate moves the
+    // stationary distribution smoothly, the ideal warm-start setting.
+    constexpr int kCap = 159;
+    WarmStartResult warm;
+    warm.states = kCap + 1;
+    std::vector<std::vector<double>> bd_grid;
+    for (int i = 0; i < 24; ++i)
+        bd_grid.push_back({40.0 + 20.0 * i / 23.0, 1.0});
+    warm.grid_points = bd_grid.size();
+    const auto bd_factory = [](const std::vector<double>& p) {
+        return birth_death_net(p, kCap);
+    };
+
+    dspn::SweepOptions cold_opt;
+    cold_opt.warm_start = false;
+    dspn::SweepEngine bd_cold(bd_factory, cold_opt);
+    const std::vector<dspn::SweepPoint> bd_cold_points = bd_cold.run(bd_grid);
+
+    dspn::SweepEngine bd_warm(bd_factory);
+    const std::vector<dspn::SweepPoint> bd_warm_points = bd_warm.run(bd_grid);
+
+    for (std::size_t i = 0; i < bd_grid.size(); ++i) {
+        warm.cold_sweeps_total += bd_cold_points[i].sweeps;
+        warm.warm_sweeps_total += bd_warm_points[i].sweeps;
+        for (std::size_t s = 0; s < bd_cold_points[i].pi.size(); ++s) {
+            warm.max_abs_diff_vs_cold =
+                std::max(warm.max_abs_diff_vs_cold,
+                         std::fabs(bd_cold_points[i].pi[s] - bd_warm_points[i].pi[s]));
+        }
+    }
+    warm.iters_saved = bd_warm.stats().warmstart_iters_saved;
+    warm.within_tolerance = warm.max_abs_diff_vs_cold <= 1e-10;
+    std::cout << "warm_start states=" << warm.states
+              << " cold_sweeps=" << warm.cold_sweeps_total
+              << " warm_sweeps=" << warm.warm_sweeps_total
+              << " iters_saved=" << warm.iters_saved
+              << " max_abs_diff=" << warm.max_abs_diff_vs_cold << "\n";
+
+    if (!write_json(out_path, result, warm)) {
+        std::cerr << "ERROR: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    if (!result.bitwise_equal_to_cold || !result.thread_counts_bit_identical) {
+        std::cerr << "ERROR: engine results are not bit-identical to cold solves\n";
+        return 1;
+    }
+    if (!warm.within_tolerance) {
+        std::cerr << "ERROR: warm-started solves drift beyond 1e-10\n";
+        return 1;
+    }
+    return 0;
+}

@@ -19,7 +19,9 @@
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/dspn/sweep.hpp"
 #include "mvreju/util/table.hpp"
+#include "sweep_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace mvreju;
@@ -35,41 +37,41 @@ int main(int argc, char** argv) {
     util::TextTable table({"Hazard", "w/o rej. (exact)", "w/ rej. (sim, 95% CI)",
                            "steady P(hazard) w/o", "w/"});
 
+    // Hazards read the canonical place layout (Pmh=0, Pmc=1); both hazards
+    // share the same two DSPNs, so the engine solves each net once and
+    // serves the second hazard from its caches.
     struct Hazard {
         const char* name;
-        std::function<bool(const core::MultiVersionDspn&, const dspn::Marking&)> holds;
+        std::function<bool(const dspn::Marking&)> holds;
     };
     const Hazard hazards[] = {
         {"compromised majority (#C >= 2)",
-         [](const core::MultiVersionDspn& m, const dspn::Marking& mk) {
-             return m.compromised(mk) >= 2;
-         }},
+         [](const dspn::Marking& mk) { return mk[1] >= 2; }},
         {"total silence (no functional module)",
-         [](const core::MultiVersionDspn& m, const dspn::Marking& mk) {
-             return m.healthy(mk) + m.compromised(mk) == 0;
-         }},
+         [](const dspn::Marking& mk) { return mk[0] + mk[1] == 0; }},
     };
 
+    dspn::SweepEngine engine(bench::multiversion_factory());
+    core::DspnConfig cfg;
+    cfg.timing = timing;
+    cfg.proactive = false;
+    const std::vector<double> nr_params = bench::encode_config(cfg);
+    cfg.proactive = true;
+    const std::vector<double> r_params = bench::encode_config(cfg);
+
     for (const Hazard& hazard : hazards) {
-        core::DspnConfig cfg;
-        cfg.timing = timing;
-
-        cfg.proactive = false;
-        const auto nr_model = core::build_multiversion_dspn(cfg);
-        const dspn::ReachabilityGraph nr_graph(nr_model.net);
-        auto nr_pred = [&](const dspn::Marking& mk) { return hazard.holds(nr_model, mk); };
-        const double exact = dspn::spn_mean_time_to(nr_graph, nr_pred);
+        const auto& nr_pred = hazard.holds;
+        const dspn::BoundGraph nr = engine.graph(nr_params);
+        const double exact = dspn::spn_mean_time_to(nr.graph(), nr_pred);
         const double p_nr =
-            dspn::probability(nr_graph, dspn::spn_steady_state(nr_graph), nr_pred);
+            dspn::probability(nr.graph(), engine.solve(nr_params).pi, nr_pred);
 
-        cfg.proactive = true;
-        const auto r_model = core::build_multiversion_dspn(cfg);
-        auto r_pred = [&](const dspn::Marking& mk) { return hazard.holds(r_model, mk); };
+        const auto& r_pred = hazard.holds;
+        const dspn::BoundGraph r = engine.graph(r_params);
         const auto sim =
-            dspn::simulate_mean_time_to(r_model.net, r_pred, max_time, replications, 41);
-        const dspn::ReachabilityGraph r_graph(r_model.net);
+            dspn::simulate_mean_time_to(r.net(), r_pred, max_time, replications, 41);
         const double p_r =
-            dspn::probability(r_graph, dspn::dspn_steady_state(r_graph), r_pred);
+            dspn::probability(r.graph(), engine.solve(r_params).pi, r_pred);
 
         std::string simulated;
         if (sim.censored == replications) {

@@ -15,7 +15,9 @@
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/dspn/sweep.hpp"
 #include "mvreju/util/table.hpp"
+#include "sweep_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace mvreju;
@@ -28,6 +30,26 @@ int main(int argc, char** argv) {
     util::TextTable table({"t (s)", "1v-NR (exact)", "1v-R (sim)", "2v-NR (exact)",
                            "2v-R (sim)", "3v-NR (exact)", "3v-R (sim)"});
 
+    // Nets and reachability graphs are hoisted out of the time loop via the
+    // sweep engine: one graph per configuration serves every sampling
+    // instant (only the transient solve depends on t).
+    dspn::SweepEngine engine(bench::multiversion_factory());
+    std::vector<dspn::BoundGraph> nr_graphs;
+    std::vector<dspn::BoundGraph> r_graphs;
+    std::vector<std::vector<double>> nr_params;
+    std::vector<std::vector<double>> r_params;
+    for (int n = 1; n <= 3; ++n) {
+        core::DspnConfig cfg;
+        cfg.modules = n;
+        cfg.timing = timing;
+        cfg.proactive = false;
+        nr_params.push_back(bench::encode_config(cfg));
+        nr_graphs.push_back(engine.graph(nr_params.back()));
+        cfg.proactive = true;
+        r_params.push_back(bench::encode_config(cfg));
+        r_graphs.push_back(engine.graph(r_params.back()));
+    }
+
     // Sampling instants deliberately avoid multiples of the 300 s
     // rejuvenation interval: the deterministic clock makes R(t) *periodic*
     // (see the phase study below), and on-phase samples catch the module
@@ -35,32 +57,21 @@ int main(int argc, char** argv) {
     for (double t : {0.0, 60.0, 350.0, 950.0, 1850.0, 3650.0, 10850.0}) {
         std::vector<std::string> row{util::fmt(t, 0)};
         for (int n = 1; n <= 3; ++n) {
-            core::DspnConfig cfg;
-            cfg.modules = n;
-            cfg.timing = timing;
-
-            cfg.proactive = false;
-            const auto nr_model = core::build_multiversion_dspn(cfg);
-            const dspn::ReachabilityGraph nr_graph(nr_model.net);
+            const std::size_t c = static_cast<std::size_t>(n - 1);
+            const dspn::ReachabilityGraph& nr_graph = nr_graphs[c].graph();
             auto nr_reward = [&](const dspn::Marking& m) {
-                return reliability::state_reliability(nr_model.healthy(m),
-                                                      nr_model.compromised(m),
-                                                      nr_model.nonfunctional(m), params);
+                return bench::marking_reliability(nr_params[c], m, params);
             };
             row.push_back(util::fmt(
                 dspn::expected_reward(
                     nr_graph, dspn::spn_transient_distribution(nr_graph, t), nr_reward),
                 6));
 
-            cfg.proactive = true;
-            const auto r_model = core::build_multiversion_dspn(cfg);
             auto r_reward = [&](const dspn::Marking& m) {
-                return reliability::state_reliability(r_model.healthy(m),
-                                                      r_model.compromised(m),
-                                                      r_model.nonfunctional(m), params);
+                return bench::marking_reliability(r_params[c], m, params);
             };
-            const auto est = dspn::simulate_transient_reward(r_model.net, r_reward, t,
-                                                             replications, 23);
+            const auto est = dspn::simulate_transient_reward(r_graphs[c].net(), r_reward,
+                                                             t, replications, 23);
             row.push_back(util::fmt(est.mean, 4) + "±" +
                           util::fmt(est.ci.half_width(), 4));
         }
@@ -77,21 +88,16 @@ int main(int argc, char** argv) {
     // This effect is invisible in steady-state (time-averaged) analyses and
     // argues for *staggering* rejuvenation clocks across vehicles.
     bench::print_header("Extension: trigger-phase oscillation of R(t), 1-version");
-    core::DspnConfig phase_cfg;
-    phase_cfg.modules = 1;
-    phase_cfg.proactive = true;
-    phase_cfg.timing = timing;
-    const auto phase_model = core::build_multiversion_dspn(phase_cfg);
+    // The 1v proactive net is already in the engine's prototype registry
+    // (first time-loop column): this graph() call is a re-rate, not a build.
     auto phase_reward = [&](const dspn::Marking& m) {
-        return reliability::state_reliability(phase_model.healthy(m),
-                                              phase_model.compromised(m),
-                                              phase_model.nonfunctional(m), params);
+        return bench::marking_reliability(r_params[0], m, params);
     };
     const double base = 10.0 * timing.rejuvenation_interval;
     util::TextTable phase({"t - 10/gamma (s)", "R(t) [CI]"});
     for (double offset : {0.1, 0.3, 1.0, 3.0, 30.0, 150.0, 299.0}) {
         const auto est = dspn::simulate_transient_reward(
-            phase_model.net, phase_reward, base + offset, replications, 29);
+            r_graphs[0].net(), phase_reward, base + offset, replications, 29);
         phase.add_row({util::fmt(offset, 1), util::fmt(est.mean, 4) + " ± " +
                                                  util::fmt(est.ci.half_width(), 4)});
     }

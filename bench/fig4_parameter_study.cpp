@@ -13,10 +13,11 @@
 
 #include "bench_util.hpp"
 #include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/sweep.hpp"
 #include "mvreju/obs/session.hpp"
 #include "mvreju/util/csv.hpp"
-#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/table.hpp"
+#include "sweep_common.hpp"
 
 namespace {
 
@@ -31,30 +32,29 @@ struct Panel {
     std::function<void(double, core::DspnConfig&, reliability::Params&)> apply;
 };
 
-std::vector<double> linspace(double lo, double hi, int n) {
-    std::vector<double> out;
-    for (int i = 0; i < n; ++i) out.push_back(lo + (hi - lo) * i / (n - 1));
-    return out;
-}
-
 void run_panel(const Panel& panel, const reliability::Params& base_params,
-               const reliability::TimingParams& base_timing,
-               util::CsvWriter* csv) {
+               const reliability::TimingParams& base_timing, util::CsvWriter* csv,
+               dspn::SweepEngine& engine) {
     bench::print_header("Fig. 4 (" + std::string(1, panel.id) + "): " + panel.title);
     util::TextTable table({panel.x_label, "1v-NR", "1v-R", "2v-NR", "2v-R", "3v-NR",
                            "3v-R"});
 
-    // The sweep grid is embarrassingly parallel: every (x, modules,
-    // proactive) cell is an independent DSPN solve. Evaluate the whole grid
-    // on the task pool (cell writes only its own slot -> deterministic
-    // output), then render the table and CSV serially.
+    // Every (x, modules, proactive) cell is an independent DSPN solve; the
+    // sweep engine fans the grid out over the task pool, reuses the tangible
+    // reachability graph across cells that only differ in rates/delays, and
+    // memoizes duplicate solves (NR columns never depend on the rejuvenation
+    // parameters; reward-parameter panels reuse one solve per column).
+    // Rewards are evaluated serially afterwards — they vary per cell even
+    // when the underlying solve is shared.
     struct Cell {
         bool ok = false;
         double value = 0.0;
     };
     constexpr std::size_t kConfigs = 6;  // 1v/2v/3v x NR/R
     std::vector<Cell> cells(panel.xs.size() * kConfigs);
-    util::parallel_for(cells.size(), [&](std::size_t idx) {
+    std::vector<std::vector<double>> grid(cells.size());
+    std::vector<reliability::Params> cell_params(cells.size());
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
         const double x = panel.xs[idx / kConfigs];
         const int n = 1 + static_cast<int>((idx % kConfigs) / 2);
         const bool proactive = (idx % 2) == 1;
@@ -64,13 +64,20 @@ void run_panel(const Panel& panel, const reliability::Params& base_params,
         cfg.timing = base_timing;
         reliability::Params params = base_params;
         panel.apply(x, cfg, params);
-        Cell cell;
-        cell.ok = reliability::params_sane(params) &&
-                  (n < 2 || reliability::within_two_version_boundary(params)) &&
-                  (n < 3 || reliability::within_three_version_boundary(params));
-        if (cell.ok) cell.value = core::steady_state_reliability(cfg, params);
-        cells[idx] = cell;
-    });
+        cells[idx].ok = reliability::params_sane(params) &&
+                        (n < 2 || reliability::within_two_version_boundary(params)) &&
+                        (n < 3 || reliability::within_three_version_boundary(params));
+        grid[idx] = bench::encode_config(cfg);
+        cell_params[idx] = params;
+    }
+    const std::vector<dspn::SweepPoint> points = engine.run(grid);
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        if (!cells[idx].ok) continue;
+        cells[idx].value = engine.expected_reward(
+            points[idx], [&](const std::vector<double>& pv, const dspn::Marking& m) {
+                return bench::marking_reliability(pv, m, cell_params[idx]);
+            });
+    }
 
     for (std::size_t xi = 0; xi < panel.xs.size(); ++xi) {
         const double x = panel.xs[xi];
@@ -102,33 +109,35 @@ int main(int argc, char** argv) {
     const std::string csv_path = args.get("csv", std::string(""));
     util::CsvWriter csv({"panel", "x", "configuration", "reliability"});
 
+    // Sweep values come from bench::fig4_xs so this study and bench_sweep
+    // (the engine benchmark) exercise exactly the same grid.
     const std::vector<Panel> panels = {
-        {'a', "rejuvenation interval 1/gamma", "interval (s)",
-         {30, 60, 120, 180, 300, 420, 600, 900, 1200, 1800},
+        {'a', "rejuvenation interval 1/gamma", "interval (s)", bench::fig4_xs('a'),
          [](double x, core::DspnConfig& cfg, reliability::Params&) {
              cfg.timing.rejuvenation_interval = x;
          }},
-        {'b', "rejuvenation duration 1/mu_r", "duration (s)",
-         {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0},
+        {'b', "rejuvenation duration 1/mu_r", "duration (s)", bench::fig4_xs('b'),
          [](double x, core::DspnConfig& cfg, reliability::Params&) {
              cfg.timing.proactive_duration = x;
          }},
-        {'c', "mean time to compromise 1/lambda_c", "MTTC (s)",
-         {100, 250, 500, 1000, 1523, 2500, 4000, 5500, 7000},
+        {'c', "mean time to compromise 1/lambda_c", "MTTC (s)", bench::fig4_xs('c'),
          [](double x, core::DspnConfig& cfg, reliability::Params&) {
              cfg.timing.mttc = x;
          }},
-        {'d', "error probability dependency alpha", "alpha", linspace(0.1, 1.0, 10),
+        {'d', "error probability dependency alpha", "alpha", bench::fig4_xs('d'),
          [](double x, core::DspnConfig&, reliability::Params& p) { p.alpha = x; }},
-        {'e', "healthy-state inaccuracy p", "p", linspace(0.01, 0.23, 12),
+        {'e', "healthy-state inaccuracy p", "p", bench::fig4_xs('e'),
          [](double x, core::DspnConfig&, reliability::Params& p) { p.p = x; }},
-        {'f', "compromised-state inaccuracy p'", "p'", linspace(0.1, 0.6, 11),
+        {'f', "compromised-state inaccuracy p'", "p'", bench::fig4_xs('f'),
          [](double x, core::DspnConfig&, reliability::Params& p) { p.p_prime = x; }},
     };
 
+    // One engine across all panels: the NR columns and the reward-parameter
+    // panels (d-f) hit the same solved points repeatedly.
+    dspn::SweepEngine engine(bench::multiversion_factory());
     for (const Panel& panel : panels) {
         if (!which.empty() && which[0] != panel.id) continue;
-        run_panel(panel, params, timing, csv_path.empty() ? nullptr : &csv);
+        run_panel(panel, params, timing, csv_path.empty() ? nullptr : &csv, engine);
     }
     if (!csv_path.empty()) {
         csv.write(csv_path);

@@ -1,0 +1,134 @@
+#pragma once
+
+// Shared plumbing between the sweep-engine benches: the canonical encoding
+// of a core::DspnConfig as a SweepEngine parameter vector, the matching net
+// factory, the per-state reliability reward over the canonical place layout,
+// and the Fig. 4 study grid (used by both fig4_parameter_study and
+// bench_sweep so the benchmarked grid is exactly the rendered one).
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/sweep.hpp"
+#include "mvreju/reliability/functions.hpp"
+
+namespace mvreju::bench {
+
+// Parameter-vector layout for the multi-version DSPN family. Everything the
+// net builder reads is encoded — a SweepEngine cache key is only sound when
+// the factory is a pure function of the vector. Reward parameters (p, p',
+// alpha) are deliberately absent: they never enter the DSPN, so panels that
+// sweep them share one solved point per timing configuration.
+enum Fig4ParamIndex : std::size_t {
+    kParamModules = 0,
+    kParamProactive = 1,
+    kParamMttc = 2,
+    kParamMttf = 3,
+    kParamReactiveDuration = 4,
+    kParamProactiveDuration = 5,
+    kParamRejuvenationInterval = 6,
+    kParamCompromiseSemantics = 7,
+    kParamFailureSemantics = 8,
+    kParamVictimWeights = 9,
+    kParamCount = 10,
+};
+
+inline std::vector<double> encode_config(const core::DspnConfig& cfg) {
+    return {static_cast<double>(cfg.modules),
+            cfg.proactive ? 1.0 : 0.0,
+            cfg.timing.mttc,
+            cfg.timing.mttf,
+            cfg.timing.reactive_duration,
+            cfg.timing.proactive_duration,
+            cfg.timing.rejuvenation_interval,
+            static_cast<double>(static_cast<int>(cfg.compromise_semantics)),
+            static_cast<double>(static_cast<int>(cfg.failure_semantics)),
+            static_cast<double>(static_cast<int>(cfg.victim_weights))};
+}
+
+inline core::DspnConfig decode_config(const std::vector<double>& v) {
+    if (v.size() != kParamCount)
+        throw std::invalid_argument("decode_config: wrong parameter count");
+    core::DspnConfig cfg;
+    cfg.modules = static_cast<int>(v[kParamModules]);
+    cfg.proactive = v[kParamProactive] != 0.0;
+    cfg.timing.mttc = v[kParamMttc];
+    cfg.timing.mttf = v[kParamMttf];
+    cfg.timing.reactive_duration = v[kParamReactiveDuration];
+    cfg.timing.proactive_duration = v[kParamProactiveDuration];
+    cfg.timing.rejuvenation_interval = v[kParamRejuvenationInterval];
+    cfg.compromise_semantics =
+        static_cast<core::ServerSemantics>(static_cast<int>(v[kParamCompromiseSemantics]));
+    cfg.failure_semantics =
+        static_cast<core::ServerSemantics>(static_cast<int>(v[kParamFailureSemantics]));
+    cfg.victim_weights =
+        static_cast<core::VictimWeights>(static_cast<int>(v[kParamVictimWeights]));
+    return cfg;
+}
+
+inline dspn::SweepEngine::Factory multiversion_factory() {
+    return [](const std::vector<double>& v) {
+        return std::move(core::build_multiversion_dspn(decode_config(v)).net);
+    };
+}
+
+/// R_{i,j,k} of a marking under the canonical place layout of
+/// build_multiversion_dspn (Pmh=0, Pmc=1, Pmf=2, and Pmr=3 when proactive):
+/// mirrors MultiVersionDspn::healthy/compromised/nonfunctional without
+/// needing the model struct (the sweep factory only keeps the net).
+inline double marking_reliability(const std::vector<double>& params,
+                                  const dspn::Marking& m,
+                                  const reliability::Params& rp) {
+    int k = m[2];
+    if (params[kParamProactive] != 0.0) k += m[3];
+    return reliability::state_reliability(m[0], m[1], k, rp);
+}
+
+/// Sweep values of each Fig. 4 panel (a: rejuvenation interval, b: proactive
+/// duration, c: MTTC, d: alpha, e: p, f: p'). Panels d-f sweep reward
+/// parameters only.
+inline std::vector<double> fig4_xs(char panel) {
+    auto linspace = [](double lo, double hi, int n) {
+        std::vector<double> out;
+        for (int i = 0; i < n; ++i) out.push_back(lo + (hi - lo) * i / (n - 1));
+        return out;
+    };
+    switch (panel) {
+        case 'a': return {30, 60, 120, 180, 300, 420, 600, 900, 1200, 1800};
+        case 'b': return {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+        case 'c': return {100, 250, 500, 1000, 1523, 2500, 4000, 5500, 7000};
+        case 'd': return linspace(0.1, 1.0, 10);
+        case 'e': return linspace(0.01, 0.23, 12);
+        case 'f': return linspace(0.1, 0.6, 11);
+    }
+    throw std::invalid_argument("fig4_xs: unknown panel");
+}
+
+/// The full Fig. 4 grid as encoded parameter vectors: for every panel, every
+/// sweep value, the six configurations (1v/2v/3v x NR/R) in table order.
+/// Reward-parameter panels (d-f) repeat the base timing, so the engine
+/// memoizes them down to the six distinct configurations.
+inline std::vector<std::vector<double>> fig4_grid(
+    const reliability::TimingParams& base) {
+    std::vector<std::vector<double>> grid;
+    for (char id : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+        for (double x : fig4_xs(id)) {
+            for (std::size_t c = 0; c < 6; ++c) {
+                core::DspnConfig cfg;
+                cfg.modules = 1 + static_cast<int>(c / 2);
+                cfg.proactive = (c % 2) == 1;
+                cfg.timing = base;
+                if (id == 'a') cfg.timing.rejuvenation_interval = x;
+                if (id == 'b') cfg.timing.proactive_duration = x;
+                if (id == 'c') cfg.timing.mttc = x;
+                grid.push_back(encode_config(cfg));
+            }
+        }
+    }
+    return grid;
+}
+
+}  // namespace mvreju::bench

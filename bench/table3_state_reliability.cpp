@@ -3,12 +3,20 @@
 // reliability functions with the paper's fitted constants (exact match to
 // all nine published decimals). Override the constants with
 // --p / --pprime / --alpha to evaluate your own fit.
+//
+// A second section weights each state's reliability with its steady-state
+// probability from the Fig. 2 / Fig. 3 DSPN (Table IV timings, solved via
+// the sweep engine), showing how much each R_{i,j,k} contributes to the
+// expected reliability of Table V.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/dspn/sweep.hpp"
 #include "mvreju/reliability/functions.hpp"
 #include "mvreju/util/table.hpp"
+#include "sweep_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace mvreju;
@@ -38,5 +46,54 @@ int main(int argc, char** argv) {
     std::printf("\nPaper values (Table III): 0.988626295 0.976732729 0.881542506 "
                 "0.937107416\n0.943896878 0.815870804 0.926682718 0.911061026 "
                 "0.759593560\n");
+
+    // --- Steady-state occupancy weighting (sweep engine) -----------------
+    // P(i,j,k) of the three-version DSPN without/with rejuvenation, plus the
+    // resulting expected reliability (the 3v row of Table V).
+    bench::print_header("Occupancy-weighted reliability, 3-version DSPN");
+    const auto timing = bench::timing_from_args(args);
+    dspn::SweepEngine engine(bench::multiversion_factory());
+    core::DspnConfig cfg;
+    cfg.modules = 3;
+    cfg.timing = timing;
+    cfg.proactive = false;
+    const std::vector<double> nr_params = bench::encode_config(cfg);
+    cfg.proactive = true;
+    const std::vector<double> r_params = bench::encode_config(cfg);
+    const std::vector<dspn::SweepPoint> points = engine.run({nr_params, r_params});
+
+    util::TextTable weighted({"System state", "P w/o rej.", "P w/ rej.",
+                              "R contribution w/o", "w/"});
+    for (const auto& s : states) {
+        char name[32];
+        std::snprintf(name, sizeof name, "(%d,%d,%d)", s[0], s[1], s[2]);
+        const double r = reliability::state_reliability(s[0], s[1], s[2], params);
+        // Occupancy of the (i,j,k) class: sum of pi over markings mapping to
+        // it (the proactive net counts modules under rejuvenation as
+        // non-functional, so several markings can share a class).
+        double occupancy[2] = {0.0, 0.0};
+        for (int v = 0; v < 2; ++v) {
+            const auto& point = points[static_cast<std::size_t>(v)];
+            occupancy[v] = engine.expected_reward(
+                point, [&](const std::vector<double>& pv, const dspn::Marking& m) {
+                    const bool proactive = pv[bench::kParamProactive] != 0.0;
+                    const int k = m[2] + (proactive ? m[3] : 0);
+                    return (m[0] == s[0] && m[1] == s[1] && k == s[2]) ? 1.0 : 0.0;
+                });
+        }
+        weighted.add_row({name, util::fmt(occupancy[0], 6), util::fmt(occupancy[1], 6),
+                          util::fmt(occupancy[0] * r, 6), util::fmt(occupancy[1] * r, 6)});
+    }
+    std::fputs(weighted.str().c_str(), stdout);
+    double expected[2] = {0.0, 0.0};
+    for (int v = 0; v < 2; ++v) {
+        expected[v] = engine.expected_reward(
+            points[static_cast<std::size_t>(v)],
+            [&](const std::vector<double>& pv, const dspn::Marking& m) {
+                return bench::marking_reliability(pv, m, params);
+            });
+    }
+    std::printf("Expected reliability (Table V, 3v): %s w/o rej., %s w/ rej.\n",
+                util::fmt(expected[0], 6).c_str(), util::fmt(expected[1], 6).c_str());
     return 0;
 }

@@ -11,10 +11,10 @@
 #include "bench_util.hpp"
 #include "mvreju/core/dspn_models.hpp"
 #include "mvreju/dspn/simulate.hpp"
-#include "mvreju/dspn/solver.hpp"
+#include "mvreju/dspn/sweep.hpp"
 #include "mvreju/obs/session.hpp"
-#include "mvreju/util/parallel.hpp"
 #include "mvreju/util/table.hpp"
+#include "sweep_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace mvreju;
@@ -49,41 +49,52 @@ int main(int argc, char** argv) {
     const char* names[] = {"Single-version (baseline)", "Two-version", "Three-version"};
 
     // All six exact MRGP solves (3 configurations x with/without
-    // rejuvenation) are independent; run them on the task pool.
-    std::vector<double> exact(6, 0.0);
-    mvreju::util::parallel_for(6, [&](std::size_t idx) {
+    // rejuvenation) go through the sweep engine, which fans them out over
+    // the task pool and reuses the reachability graph of each structure.
+    dspn::SweepEngine engine(bench::multiversion_factory());
+    std::vector<std::vector<double>> grid(6);
+    for (std::size_t idx = 0; idx < 6; ++idx) {
         core::DspnConfig cfg;
         cfg.modules = 1 + static_cast<int>(idx / 2);
         cfg.timing = timing;
         cfg.proactive = (idx % 2) == 1;
-        exact[idx] = core::steady_state_reliability(cfg, params);
-    });
+        grid[idx] = bench::encode_config(cfg);
+    }
+    const std::vector<dspn::SweepPoint> points = engine.run(grid);
+    std::vector<double> exact(6, 0.0);
+    for (std::size_t idx = 0; idx < 6; ++idx) {
+        exact[idx] = engine.expected_reward(
+            points[idx], [&](const std::vector<double>& pv, const dspn::Marking& m) {
+                return bench::marking_reliability(pv, m, params);
+            });
+    }
+
+    // Cross-check with batch-means simulation of the proactive nets: one
+    // RNG substream per grid point, bit-identical at any thread count.
+    std::vector<dspn::SimulationEstimate> simulated;
+    if (simulate) {
+        dspn::SimulationOptions opt;
+        opt.horizon = 2.0e6;
+        opt.warmup = 5.0e4;
+        opt.batches = 20;
+        opt.seed = 7;
+        const std::vector<std::vector<double>> sim_grid{grid[1], grid[3], grid[5]};
+        simulated = engine.run_simulated(
+            sim_grid,
+            [&](const std::vector<double>& pv, const dspn::Marking& m) {
+                return bench::marking_reliability(pv, m, params);
+            },
+            opt);
+    }
 
     for (int n = 1; n <= 3; ++n) {
-        core::DspnConfig cfg;
-        cfg.modules = n;
-        cfg.timing = timing;
-        cfg.proactive = true;
         const double without = exact[static_cast<std::size_t>(n - 1) * 2];
         const double with = exact[static_cast<std::size_t>(n - 1) * 2 + 1];
 
         std::vector<std::string> row{names[n - 1], util::fmt(without, 6),
                                      util::fmt(with, 6)};
         if (simulate) {
-            auto model = core::build_multiversion_dspn(cfg);
-            dspn::SimulationOptions opt;
-            opt.horizon = 2.0e6;
-            opt.warmup = 5.0e4;
-            opt.batches = 20;
-            opt.seed = 7;
-            const auto est = dspn::simulate_steady_state_reward(
-                model.net,
-                [&](const dspn::Marking& m) {
-                    return reliability::state_reliability(
-                        model.healthy(m), model.compromised(m), model.nonfunctional(m),
-                        params);
-                },
-                opt);
+            const auto& est = simulated[static_cast<std::size_t>(n - 1)];
             row.push_back("[" + util::fmt(est.ci.lower, 6) + ", " +
                           util::fmt(est.ci.upper, 6) + "]");
         }

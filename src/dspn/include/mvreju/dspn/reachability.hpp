@@ -22,10 +22,14 @@ struct Branch {
 
 /// An exponential edge of the tangible graph. `rate` already folds in the
 /// branching probability of any vanishing chain crossed after the firing
-/// (effective rate = transition rate x resolution probability).
+/// (effective rate = transition rate x resolution probability). The
+/// resolution probability is also kept separately so a structurally
+/// identical net with different rates can re-rate the edge in place
+/// (rebind) without re-resolving the vanishing chain.
 struct ExpEdge {
     std::size_t target = 0;
     double rate = 0.0;
+    double probability = 1.0;
     TransitionId via{};
 };
 
@@ -37,9 +41,29 @@ public:
     /// cycle of immediate transitions is encountered.
     explicit ReachabilityGraph(const PetriNet& net, std::size_t max_states = 200'000);
 
-    [[nodiscard]] const PetriNet& net() const noexcept { return net_; }
+    /// Re-point this graph at a *structurally identical* net whose rates
+    /// and/or deterministic delays differ, re-rating every exponential edge
+    /// in place (new rate x stored resolution probability) instead of
+    /// re-exploring the state space. Validity conditions (the sweep engine
+    /// checks them via the net's structure hash, and this method re-validates
+    /// what it cheaply can):
+    ///   - same places, initial marking, transition kinds/arcs/priorities;
+    ///   - guards and immediate weights must not depend on the swept
+    ///     parameters (branch probabilities are reused, not recomputed);
+    ///   - every re-rated edge must stay enabled (rate > 0) in its marking.
+    /// Returns false — leaving the graph unchanged — when a check fails; the
+    /// caller must then fall back to a full rebuild. The new net must
+    /// outlive the graph.
+    [[nodiscard]] bool rebind(const PetriNet& net);
+
+    [[nodiscard]] const PetriNet& net() const noexcept { return *net_; }
     [[nodiscard]] std::size_t state_count() const noexcept { return markings_.size(); }
     [[nodiscard]] const Marking& marking(std::size_t state) const;
+    /// All tangible markings, indexed by state. Stable across rebind(), so
+    /// reward functions evaluated over a sweep can capture it once.
+    [[nodiscard]] const std::vector<Marking>& markings() const noexcept {
+        return markings_;
+    }
 
     /// Index of a tangible marking, if reachable.
     [[nodiscard]] std::optional<std::size_t> find(const Marking& marking) const;
@@ -68,7 +92,9 @@ private:
     std::size_t intern(const Marking& marking);
     std::vector<Branch> resolve(const Marking& marking, std::vector<Marking>& path);
 
-    const PetriNet& net_;
+    // Pointer, not reference: rebind() swaps the net and the sweep engine
+    // copies prototype graphs before re-rating them (copies are memberwise).
+    const PetriNet* net_;
     std::size_t max_states_;
     std::vector<Marking> markings_;
     std::map<Marking, std::size_t> index_;

@@ -16,15 +16,69 @@
 // Both return the steady-state probability of each tangible state, from
 // which expected rewards (Eq. 3 of the paper) are evaluated.
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
 #include "mvreju/dspn/reachability.hpp"
+#include "mvreju/num/sparse_markov.hpp"
 
 namespace mvreju::dspn {
 
 /// Reward assigned to a tangible marking (e.g. the state reliability R_ijk).
 using RewardFn = std::function<double(const Marking&)>;
+
+/// Controls for dspn_solve. Defaults reproduce spn_steady_state /
+/// dspn_steady_state bit-for-bit.
+struct DspnSolveOptions {
+    /// Tolerances and cutoffs forwarded to the stationary solver. The
+    /// `initial` / `sweeps_out` members are overwritten internally — use the
+    /// warm-start fields below instead.
+    num::StationaryOptions stationary{};
+    /// Warm start for the purely exponential path (CTMC steady state);
+    /// non-owning, used when the size matches the tangible state count.
+    /// Ignored below stationary.dense_cutoff, where the dense LU path keeps
+    /// results bit-identical to a cold solve.
+    const std::vector<double>* warm_pi = nullptr;
+    /// Warm start for the MRGP path's embedded-chain stationary solve
+    /// (same matching and dense-cutoff rules as warm_pi).
+    const std::vector<double>* warm_nu = nullptr;
+};
+
+/// Full result of a steady-state solve, exposing what sweep drivers need to
+/// warm-start neighbouring grid points and to account for savings.
+struct DspnSolution {
+    /// Steady-state distribution over tangible states.
+    std::vector<double> pi;
+    /// Stationary distribution of the embedded Markov chain (MRGP path
+    /// only; empty when the net is purely exponential).
+    std::vector<double> nu;
+    /// Gauss-Seidel sweeps used by the stationary solve (0 when the dense
+    /// LU path was taken).
+    std::size_t sweeps = 0;
+};
+
+/// Steady-state solve dispatching on the net class: purely exponential nets
+/// take the CTMC path, nets with deterministic transitions the MRGP path
+/// (same solvability class as dspn_steady_state). Warm starts seed the
+/// Gauss-Seidel iteration from a neighbouring grid point's solution.
+[[nodiscard]] DspnSolution dspn_solve(const ReachabilityGraph& graph,
+                                      const DspnSolveOptions& options = {});
+
+/// Steady-state solve of a *delay family*: graphs that share the same
+/// structure (state space, edges, branch probabilities) and the same
+/// exponential rates, differing only in deterministic delays. The expensive
+/// subordinated-CTMC power pass of the MRGP method does not depend on the
+/// delay — only the Poisson re-weighting does — so one pass per regeneration
+/// period serves every member (num::transient_rows). Result f is
+/// bit-identical to dspn_solve(*graphs[f], options[f]); cost is roughly one
+/// solve at the largest delay instead of one per member. The caller is
+/// responsible for the sharing preconditions (the sweep engine checks them
+/// via structure and graph-rate hashes); violating them silently corrupts
+/// results. Throws std::invalid_argument on size mismatches.
+[[nodiscard]] std::vector<DspnSolution> dspn_solve_family(
+    const std::vector<const ReachabilityGraph*>& graphs,
+    const std::vector<DspnSolveOptions>& options);
 
 /// Steady-state distribution over the tangible states of `graph`.
 /// Requires the net to have no reachable deterministic transitions.

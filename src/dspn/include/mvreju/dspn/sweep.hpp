@@ -1,0 +1,241 @@
+#pragma once
+
+// Parameter-sweep engine over DSPN steady-state solves.
+//
+// Benches and studies evaluate the same net family at hundreds of grid
+// points that differ only in rates, deterministic delays and reward
+// parameters. Solving every point cold repeats three kinds of work the
+// engine reuses instead:
+//
+//  1. Reachability. The tangible graph depends only on the enabling
+//     structure (places, initial marking, arcs, inhibitors, guards,
+//     priorities, immediate weights) — not on exponential rates or
+//     deterministic delays. The engine builds one prototype graph per
+//     distinct structure hash and re-rates a copy in place per grid point
+//     (ReachabilityGraph::rebind), falling back to a full rebuild when the
+//     hash or rebind validation disagrees.
+//
+//  2. Iteration. Neighbouring grid points have neighbouring solutions, so
+//     Gauss-Seidel solves are warm-started from the nearest already-solved
+//     point of the same structure. Points are released in deterministic
+//     wavefront chunks (the anchor set a point may warm-start from is fixed
+//     by grid order, never by thread timing), so results are bit-identical
+//     at every thread count. Solves at or below the dense cutoff take the
+//     direct LU path, which ignores warm starts entirely — those results
+//     are bit-identical to cold solves by construction.
+//
+//  3. The solve itself. Results are memoized in memory and, when a cache
+//     directory is configured, in an on-disk content-addressed store keyed
+//     by structure hash + the re-rated graph's numeric content (edge rates,
+//     branch probabilities, deterministic delays) + solver tolerances.
+//     Content addressing is what the solve actually depends on, so grid
+//     points that differ only in reward parameters — or in parameters a
+//     given structure ignores, like the rejuvenation interval of a
+//     no-rejuvenation configuration — solve once.
+//
+//  4. Delay families. Grid points whose graphs share structure and
+//     exponential rates and differ only in deterministic delays are solved
+//     as one batch (dspn_solve_family): the subordinated-CTMC power pass of
+//     the MRGP method is delay-independent, so a delay sweep pays for its
+//     largest delay once instead of per point, bit-identically.
+//
+// Caveat on cached iterative solves: above the dense cutoff a warm-started
+// Gauss-Seidel result is tolerance-accurate but not a bit-canonical
+// function of the key (it depends on the warm-start anchor). Within one
+// run() call results are still bit-identical across thread counts; across
+// differently-shaped grids or cache states they agree to solver tolerance.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mvreju/dspn/reachability.hpp"
+#include "mvreju/dspn/simulate.hpp"
+#include "mvreju/dspn/solver.hpp"
+#include "mvreju/num/sparse_markov.hpp"
+
+namespace mvreju::dspn {
+
+/// Hash of a net's enabling structure: places, names, initial marking,
+/// transition kinds/priorities/arcs/inhibitors, guard presence and immediate
+/// constant weights. Exponential rates and deterministic delays are
+/// deliberately excluded — they are the re-ratable dimension of a sweep.
+/// Marking-dependent *rates* are invisible here but surface in the re-rated
+/// graph (and thus in graph_rates_hash and the cache key); marking-dependent
+/// *immediate weights* shape the reused branch probabilities, so the factory
+/// must not vary them with the swept parameters.
+[[nodiscard]] std::uint64_t structure_hash(const PetriNet& net);
+
+/// Hash of a net's numeric (re-ratable) content: exponential/immediate
+/// constants and deterministic delays. Informational (cheap change
+/// detection on the net itself); the cache key hashes the re-rated graph
+/// instead, which also sees marking-dependent rates evaluated per marking.
+[[nodiscard]] std::uint64_t numeric_hash(const PetriNet& net);
+
+/// Hash of a reachability graph's delay-independent numeric content: per
+/// state, the exponential edges (target, effective rate, branch
+/// probability), enabled deterministic transitions and their branch
+/// distributions, plus the initial distribution. Everything a steady-state
+/// solve depends on except deterministic delays — the cache key adds those
+/// separately, and delay-family grouping deliberately omits them.
+[[nodiscard]] std::uint64_t graph_rates_hash(const ReachabilityGraph& graph);
+
+struct SweepOptions {
+    /// Tolerances forwarded to every stationary solve.
+    num::StationaryOptions stationary{};
+    /// Warm-start Gauss-Seidel solves from the nearest solved neighbour.
+    bool warm_start = true;
+    /// Directory for the on-disk result cache; empty disables it. Must be
+    /// dedicated to one net family (the factory is not part of the key).
+    std::string cache_dir;
+    /// Grid points released per wavefront chunk (after a serial first
+    /// point); 0 picks max(8, 2 x worker threads).
+    std::size_t chunk = 0;
+    /// Worker threads for the per-chunk fan-out (0 = auto, 1 = serial).
+    std::size_t threads = 0;
+    /// Base seed for run_simulated substreams (split per grid index).
+    std::uint64_t seed = 42;
+};
+
+/// One solved grid point.
+struct SweepPoint {
+    std::vector<double> params;
+    std::vector<double> pi;          ///< steady-state tangible distribution
+    std::uint64_t structure = 0;     ///< structure hash (markings() lookup key)
+    std::size_t sweeps = 0;          ///< Gauss-Seidel sweeps (0 = dense/cached)
+    bool cache_hit = false;          ///< served from memory or disk
+    bool disk_hit = false;           ///< served from the on-disk cache
+    bool rebuilt = false;            ///< needed a cold reachability build
+    bool warm_started = false;
+};
+
+/// Cumulative engine counters (also mirrored to obs metrics
+/// dspn.sweep.{points,cache_hits,rebuilds,warmstart_iters_saved}).
+struct SweepStats {
+    std::size_t points = 0;
+    std::size_t solves = 0;        ///< unique keys that ran a numeric solve
+    std::size_t cache_hits = 0;    ///< memory + disk hits (incl. in-run aliases)
+    std::size_t disk_hits = 0;
+    std::size_t rebuilds = 0;      ///< cold reachability builds
+    std::size_t rebinds = 0;       ///< graphs served by re-rating a prototype
+    std::size_t family_batches = 0;   ///< delay-family solves (>= 2 members)
+    std::size_t family_members = 0;   ///< solves served by those batches
+    std::size_t warm_started = 0;
+    std::size_t warmstart_iters_saved = 0;  ///< vs the structure's cold solve
+};
+
+/// Reward evaluated at a grid point: reward parameters live in `params`,
+/// state occupancy in the marking.
+using SweepRewardFn = std::function<double(const std::vector<double>& params,
+                                           const Marking&)>;
+
+/// A reachability graph re-rated (or rebuilt) for one parameter vector,
+/// owning the net it is bound to. Movable, not copyable.
+class BoundGraph {
+public:
+    BoundGraph(std::unique_ptr<PetriNet> net, ReachabilityGraph graph)
+        : net_(std::move(net)), graph_(std::move(graph)) {}
+    [[nodiscard]] const PetriNet& net() const noexcept { return *net_; }
+    [[nodiscard]] const ReachabilityGraph& graph() const noexcept { return graph_; }
+
+private:
+    std::unique_ptr<PetriNet> net_;  // stable address; graph_ points at it
+    ReachabilityGraph graph_;
+};
+
+class SweepEngine {
+public:
+    /// Builds the net for one parameter vector. Must be a pure function of
+    /// its argument: everything that varies across the grid has to be
+    /// derived from `params` (the cache key covers params and the net's
+    /// numeric constants, nothing else).
+    using Factory = std::function<PetriNet(const std::vector<double>&)>;
+
+    explicit SweepEngine(Factory factory, SweepOptions options = {});
+
+    /// Solve every grid point. Deterministic for any thread count: identical
+    /// grids yield bit-identical pi vectors whether run serially, with the
+    /// engine's fan-out, or split across processes sharing a cache_dir.
+    [[nodiscard]] std::vector<SweepPoint> run(
+        const std::vector<std::vector<double>>& grid);
+
+    /// Solve a single point (serial shortcut for run({params}).front()).
+    [[nodiscard]] SweepPoint solve(const std::vector<double>& params);
+
+    /// Monte-Carlo counterpart of run(): per-point batch-means simulation
+    /// with an RNG substream split per grid index (bit-identical at any
+    /// thread count). Bypasses the caches — estimates are stochastic.
+    [[nodiscard]] std::vector<SimulationEstimate> run_simulated(
+        const std::vector<std::vector<double>>& grid, const SweepRewardFn& reward,
+        const SimulationOptions& base);
+
+    /// Expected steady-state reward of a solved point (paper Eq. 3),
+    /// evaluated over the markings of the point's structure prototype.
+    [[nodiscard]] double expected_reward(const SweepPoint& point,
+                                         const SweepRewardFn& reward) const;
+
+    /// Tangible markings of the structure prototype serving `params`
+    /// (building the prototype if this structure was never seen). Indexing
+    /// matches SweepPoint::pi for every point of the same structure.
+    [[nodiscard]] const std::vector<Marking>& markings(
+        const std::vector<double>& params);
+
+    /// Reachability graph re-rated for `params`, for analyses beyond the
+    /// steady state (first passage, transient). Reuses the structure
+    /// prototype via rebind when valid.
+    [[nodiscard]] BoundGraph graph(const std::vector<double>& params);
+
+    [[nodiscard]] const SweepStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const SweepOptions& options() const noexcept { return options_; }
+
+private:
+    struct Prototype {
+        std::unique_ptr<PetriNet> net;   // the graph points at this net
+        std::unique_ptr<ReachabilityGraph> graph;
+        std::size_t cold_sweeps = 0;     // sweeps of the first cold solve
+        bool cold_sweeps_known = false;
+    };
+
+    struct Solution {
+        std::vector<double> pi;
+        std::vector<double> nu;
+        std::size_t sweeps = 0;
+    };
+
+    struct Anchor {
+        std::vector<double> params;
+        std::uint64_t structure = 0;
+        const Solution* solution = nullptr;  // owned by memory_
+    };
+
+    /// Content-addressed key: structure hash + the re-rated graph's numeric
+    /// content + its deterministic delays + the solver tolerances.
+    [[nodiscard]] std::uint64_t cache_key(std::uint64_t structure, std::uint64_t rates,
+                                          const ReachabilityGraph& graph) const;
+    /// Prototype for a structure, built cold from `net` on first sight.
+    /// Returns (prototype, created-now). Thread-safe.
+    std::pair<Prototype*, bool> prototype_for(std::uint64_t structure,
+                                              const PetriNet& net);
+    [[nodiscard]] const Anchor* nearest_anchor(const std::vector<double>& params,
+                                               std::uint64_t structure) const;
+    [[nodiscard]] bool disk_load(std::uint64_t key, std::size_t expected_states,
+                                 Solution& out) const;
+    void disk_store(std::uint64_t key, const std::vector<double>& params,
+                    std::uint64_t structure, const Solution& solution) const;
+
+    Factory factory_;
+    SweepOptions options_;
+    SweepStats stats_;
+    mutable std::mutex prototypes_mutex_;
+    std::map<std::uint64_t, Prototype> prototypes_;
+    // Key -> solution. Pointers into this map stay valid (node-based).
+    std::map<std::uint64_t, Solution> memory_;
+    std::vector<Anchor> anchors_;  // completed chunks, grid order
+};
+
+}  // namespace mvreju::dspn

@@ -10,30 +10,30 @@
 namespace mvreju::dspn {
 
 ReachabilityGraph::ReachabilityGraph(const PetriNet& net, std::size_t max_states)
-    : net_(net), max_states_(max_states) {
+    : net_(&net), max_states_(max_states) {
     MVREJU_OBS_SPAN(span, "dspn.reachability");
     std::vector<Marking> path;
-    initial_ = resolve(net_.initial_marking(), path);
+    initial_ = resolve(net_->initial_marking(), path);
 
     // Exhaustive exploration. intern() appends new states to markings_, so a
     // simple index-based sweep acts as the BFS worklist.
     for (std::size_t state = 0; state < markings_.size(); ++state) {
         const Marking current = markings_[state];  // copy: vectors may reallocate
 
-        for (TransitionId t : net_.enabled_of_kind(current, TransitionKind::exponential)) {
-            const double rate = net_.rate(t, current);
+        for (TransitionId t : net_->enabled_of_kind(current, TransitionKind::exponential)) {
+            const double rate = net_->rate(t, current);
             path.clear();
-            for (const Branch& b : resolve(net_.fire(t, current), path)) {
-                exp_edges_[state].push_back({b.target, rate * b.probability, t});
+            for (const Branch& b : resolve(net_->fire(t, current), path)) {
+                exp_edges_[state].push_back({b.target, rate * b.probability, b.probability, t});
             }
         }
 
         for (TransitionId t :
-             net_.enabled_of_kind(current, TransitionKind::deterministic)) {
+             net_->enabled_of_kind(current, TransitionKind::deterministic)) {
             has_deterministic_ = true;
             det_enabled_[state].push_back(t);
             path.clear();
-            det_branches_[{state, t.index}] = resolve(net_.fire(t, current), path);
+            det_branches_[{state, t.index}] = resolve(net_->fire(t, current), path);
         }
     }
 
@@ -47,6 +47,44 @@ ReachabilityGraph::ReachabilityGraph(const PetriNet& net, std::size_t max_states
         "dspn.reachability.states", obs::HistogramBounds::exponential(1.0, 4.0, 12));
     builds.add();
     states_hist.record(static_cast<double>(markings_.size()));
+}
+
+bool ReachabilityGraph::rebind(const PetriNet& net) {
+    // Cheap structural re-validation. The full enabling structure (arcs,
+    // guards, priorities) is vouched for by the caller's structure hash;
+    // here we catch the mistakes that are detectable without re-exploring.
+    if (net.place_count() != net_->place_count() ||
+        net.transition_count() != net_->transition_count())
+        return false;
+    for (std::size_t t = 0; t < net.transition_count(); ++t)
+        if (net.kind({t}) != net_->kind({t})) return false;
+    if (net.initial_marking() != net_->initial_marking()) return false;
+
+    // Recompute every exponential edge's rate in the new net before touching
+    // the graph: a rate that dropped to zero (or a guard that now rejects the
+    // marking) means the enabling structure actually changed and the edge
+    // list is stale — report failure with the graph intact.
+    std::vector<std::vector<double>> new_rates(exp_edges_.size());
+    for (std::size_t s = 0; s < exp_edges_.size(); ++s) {
+        new_rates[s].reserve(exp_edges_[s].size());
+        for (const ExpEdge& e : exp_edges_[s]) {
+            const double rate = net.rate(e.via, markings_[s]);
+            if (rate <= 0.0) return false;
+            new_rates[s].push_back(rate);
+        }
+    }
+    for (std::size_t s = 0; s < exp_edges_.size(); ++s) {
+        for (std::size_t k = 0; k < exp_edges_[s].size(); ++k) {
+            ExpEdge& e = exp_edges_[s][k];
+            // Same product as a cold build: rate(t, marking) * resolution
+            // probability — re-rated graphs stay bit-identical to rebuilt ones.
+            e.rate = new_rates[s][k] * e.probability;
+        }
+    }
+    net_ = &net;
+    static obs::Counter& rebinds = obs::metrics().counter("dspn.reachability.rebinds");
+    rebinds.add();
+    return true;
 }
 
 const Marking& ReachabilityGraph::marking(std::size_t state) const {
@@ -90,23 +128,23 @@ std::size_t ReachabilityGraph::intern(const Marking& marking) {
 
 std::vector<Branch> ReachabilityGraph::resolve(const Marking& marking,
                                                std::vector<Marking>& path) {
-    if (!net_.is_vanishing(marking)) return {{intern(marking), 1.0}};
+    if (!net_->is_vanishing(marking)) return {{intern(marking), 1.0}};
 
     if (std::find(path.begin(), path.end(), marking) != path.end())
         throw std::runtime_error("ReachabilityGraph: cycle of immediate transitions");
     path.push_back(marking);
 
-    const auto firable = net_.firable_immediates(marking);
+    const auto firable = net_->firable_immediates(marking);
     double total_weight = 0.0;
-    for (TransitionId t : firable) total_weight += net_.weight(t, marking);
+    for (TransitionId t : firable) total_weight += net_->weight(t, marking);
     if (total_weight <= 0.0)
         throw std::runtime_error("ReachabilityGraph: non-positive immediate weights");
 
     // Accumulate branches by target to keep distributions compact.
     std::map<std::size_t, double> acc;
     for (TransitionId t : firable) {
-        const double prob = net_.weight(t, marking) / total_weight;
-        for (const Branch& b : resolve(net_.fire(t, marking), path))
+        const double prob = net_->weight(t, marking) / total_weight;
+        for (const Branch& b : resolve(net_->fire(t, marking), path))
             acc[b.target] += prob * b.probability;
     }
 

@@ -81,38 +81,44 @@ struct RegenerationRow {
     std::vector<Triplet> conv;
 };
 
-RegenerationRow analyze_regeneration_period(const ReachabilityGraph& graph,
-                                            std::size_t i) {
+/// Regeneration row of a purely exponential tangible state: regeneration at
+/// the first firing.
+RegenerationRow exponential_row(const ReachabilityGraph& graph, std::size_t i) {
     RegenerationRow row;
+    double total_rate = 0.0;
+    for (const ExpEdge& e : graph.exponential_edges(i)) total_rate += e.rate;
+    if (total_rate <= 0.0)
+        throw std::runtime_error("dspn_steady_state: dead tangible marking");
+    for (const ExpEdge& e : graph.exponential_edges(i))
+        row.emc.push_back({i, e.target, e.rate / total_rate});
+    row.conv.push_back({i, i, 1.0 / total_rate});
+    return row;
+}
+
+/// Subordinated CTMC of the deterministic enabling period started in state
+/// i: the transient block (det stays enabled), the absorbing regeneration
+/// targets (det disabled on entry), and the local generator. Depends only on
+/// the graph's structure and exponential rates — not on the delay — so a
+/// delay sweep can reuse it across grid points.
+struct SubordinatedPeriod {
+    std::vector<std::size_t> sub;        // transient states (det enabled)
+    std::vector<std::size_t> absorbing;  // det disabled on entry
+    SparseMatrix q;
+    std::size_t start = 0;  // local index of the period's start state
+};
+
+SubordinatedPeriod subordinated_period(const ReachabilityGraph& graph, std::size_t i,
+                                       TransitionId det) {
+    SubordinatedPeriod period;
     const std::size_t n = graph.state_count();
-    const auto& dets = graph.deterministic_enabled(i);
-    if (dets.size() > 1)
-        throw std::runtime_error(
-            "dspn_steady_state: more than one deterministic transition enabled");
-
-    if (dets.empty()) {
-        // Purely exponential state: regeneration at the first firing.
-        double total_rate = 0.0;
-        for (const ExpEdge& e : graph.exponential_edges(i)) total_rate += e.rate;
-        if (total_rate <= 0.0)
-            throw std::runtime_error("dspn_steady_state: dead tangible marking");
-        for (const ExpEdge& e : graph.exponential_edges(i))
-            row.emc.push_back({i, e.target, e.rate / total_rate});
-        row.conv.push_back({i, i, 1.0 / total_rate});
-        return row;
-    }
-
-    // Deterministic enabling period: subordinated CTMC analysis.
-    const TransitionId det = dets.front();
-    const double tau = graph.net().delay(det);
 
     // Subordinated set: tangible states reachable from i through exponential
     // firings while `det` stays enabled. States where det is disabled (or a
     // different deterministic transition shows up) become absorbing
     // regeneration targets.
-    std::vector<std::size_t> sub;        // transient states (det enabled)
-    std::vector<std::size_t> absorbing;  // det disabled on entry
-    std::vector<int> local(n, -1);       // global -> local index, -1 unknown
+    std::vector<std::size_t>& sub = period.sub;
+    std::vector<std::size_t>& absorbing = period.absorbing;
+    std::vector<int> local(n, -1);  // global -> local index, -1 unknown
     auto classify = [&](std::size_t s) {
         if (local[s] != -1) return;
         const auto& s_dets = graph.deterministic_enabled(s);
@@ -152,14 +158,20 @@ RegenerationRow analyze_regeneration_period(const ReachabilityGraph& graph,
         }
     }
     // Absorbing rows stay zero.
-    const SparseMatrix q = SparseMatrix::from_triplets(m, m, std::move(q_triplets));
+    period.q = SparseMatrix::from_triplets(m, m, std::move(q_triplets));
+    period.start = static_cast<std::size_t>(local[i]);
+    return period;
+}
 
-    // Only the start state's omega/psi rows are ever read, so iterate a
-    // single row vector through the uniformized chain instead of computing
-    // the full e^{Q tau} matrix (O(nnz) per Poisson term, not O(n^3)).
-    const std::size_t i_loc = static_cast<std::size_t>(local[i]);
-    const num::TransientRow tr = num::transient_row(q, i_loc, tau);
-
+/// Convert the uniformization result of one regeneration period into its
+/// EMC/conversion row contributions.
+RegenerationRow assemble_regeneration_row(const ReachabilityGraph& graph, std::size_t i,
+                                          TransitionId det,
+                                          const SubordinatedPeriod& period,
+                                          const num::TransientRow& tr) {
+    RegenerationRow row;
+    const auto& sub = period.sub;
+    const auto& absorbing = period.absorbing;
     // Survived to tau in subordinated state s: det fires there.
     for (std::size_t k = 0; k < sub.size(); ++k) {
         const double p_here = tr.omega[k];
@@ -180,14 +192,64 @@ RegenerationRow analyze_regeneration_period(const ReachabilityGraph& graph,
     return row;
 }
 
-}  // namespace
+const TransitionId* single_deterministic(const ReachabilityGraph& graph, std::size_t i) {
+    const auto& dets = graph.deterministic_enabled(i);
+    if (dets.size() > 1)
+        throw std::runtime_error(
+            "dspn_steady_state: more than one deterministic transition enabled");
+    return dets.empty() ? nullptr : &dets.front();
+}
 
-std::vector<double> spn_steady_state(const ReachabilityGraph& graph) {
-    if (graph.has_deterministic())
-        throw std::invalid_argument(
-            "spn_steady_state: net has deterministic transitions; use dspn_steady_state");
-    if (graph.state_count() == 0) return {};
-    if (graph.state_count() == 1) return {1.0};
+RegenerationRow analyze_regeneration_period(const ReachabilityGraph& graph,
+                                            std::size_t i) {
+    const TransitionId* det = single_deterministic(graph, i);
+    if (det == nullptr) return exponential_row(graph, i);
+
+    // Deterministic enabling period: subordinated CTMC analysis. Only the
+    // start state's omega/psi rows are ever read, so iterate a single row
+    // vector through the uniformized chain instead of computing the full
+    // e^{Q tau} matrix (O(nnz) per Poisson term, not O(n^3)).
+    const SubordinatedPeriod period = subordinated_period(graph, i, *det);
+    const num::TransientRow tr =
+        num::transient_row(period.q, period.start, graph.net().delay(*det));
+    return assemble_regeneration_row(graph, i, *det, period, tr);
+}
+
+/// Per-member regeneration rows of state i for a family of graphs that share
+/// structure and exponential rates and differ only in deterministic delays:
+/// one subordinated-CTMC power pass (num::transient_rows) serves every
+/// member. Bit-identical to analyze_regeneration_period on each member.
+std::vector<RegenerationRow> analyze_regeneration_period_family(
+    const std::vector<const ReachabilityGraph*>& graphs, std::size_t i) {
+    const ReachabilityGraph& g0 = *graphs.front();
+    const TransitionId* det = single_deterministic(g0, i);
+    if (det == nullptr) {
+        // Exponential rates are shared, so every member gets the same row.
+        std::vector<RegenerationRow> rows(graphs.size(), exponential_row(g0, i));
+        return rows;
+    }
+    const SubordinatedPeriod period = subordinated_period(g0, i, *det);
+    std::vector<double> taus;
+    taus.reserve(graphs.size());
+    for (const ReachabilityGraph* g : graphs) taus.push_back(g->net().delay(*det));
+    const std::vector<num::TransientRow> trs =
+        num::transient_rows(period.q, period.start, taus);
+    std::vector<RegenerationRow> rows;
+    rows.reserve(graphs.size());
+    for (std::size_t f = 0; f < graphs.size(); ++f)
+        rows.push_back(assemble_regeneration_row(g0, i, *det, period, trs[f]));
+    return rows;
+}
+
+/// Purely exponential path of dspn_solve: assemble the tangible generator
+/// and solve the CTMC stationary system, optionally warm-started.
+DspnSolution solve_spn(const ReachabilityGraph& graph, const DspnSolveOptions& options) {
+    DspnSolution out;
+    if (graph.state_count() == 0) return out;
+    if (graph.state_count() == 1) {
+        out.pi = {1.0};
+        return out;
+    }
     MVREJU_OBS_SPAN(span, "dspn.steady_state");
     check_irreducible(graph);
     const num::SparseMatrix q = build_generator(graph);
@@ -195,28 +257,19 @@ std::vector<double> spn_steady_state(const ReachabilityGraph& graph) {
     span.arg("nnz", static_cast<double>(q.nnz()));
     static obs::Counter& solves = obs::metrics().counter("dspn.steady_state.solves");
     solves.add();
-    return num::ctmc_steady_state(q);
+    num::StationaryOptions stat = options.stationary;
+    stat.initial = options.warm_pi;
+    stat.sweeps_out = &out.sweeps;
+    out.pi = num::ctmc_steady_state(q, stat);
+    return out;
 }
 
-std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
-    if (!graph.has_deterministic()) return spn_steady_state(graph);
-    const std::size_t n = graph.state_count();
-    if (n == 1) return {1.0};
-    MVREJU_OBS_SPAN(span, "dspn.steady_state");
-    span.arg("states", static_cast<double>(n));
-    check_irreducible(graph);
-
-    // Embedded Markov chain P over tangible states (regeneration points) and
-    // conversion matrix C: C(i, m) = expected time spent in tangible marking
-    // m during one regeneration period started in i. Periods are analysed
-    // independently per start state, so fan the rows out over the task pool;
-    // each index writes only its own slot, keeping the result deterministic.
-    // Small graphs stay serial: thread spawn would dominate, and callers
-    // (parameter sweeps) may already be running many solves concurrently.
-    std::vector<RegenerationRow> rows(n);
-    util::parallel_for(
-        n, [&](std::size_t i) { rows[i] = analyze_regeneration_period(graph, i); },
-        n >= 512 ? 0 : 1);
+/// EMC assembly, embedded stationary solve, and conversion back to time
+/// averages — the tail shared by the single and the family MRGP paths, so
+/// both produce bit-identical results from equal rows.
+DspnSolution solve_mrgp_from_rows(std::size_t n, const std::vector<RegenerationRow>& rows,
+                                  const DspnSolveOptions& options) {
+    DspnSolution out;
 
     // Regeneration fan-out: how many EMC targets each regeneration period
     // reaches — the width of the MRGP coupling and a direct driver of the
@@ -235,26 +288,128 @@ std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
 
     std::vector<Triplet> emc_triplets;
     std::vector<Triplet> conv_triplets;
-    for (RegenerationRow& row : rows) {
+    for (const RegenerationRow& row : rows) {
         emc_triplets.insert(emc_triplets.end(), row.emc.begin(), row.emc.end());
         conv_triplets.insert(conv_triplets.end(), row.conv.begin(), row.conv.end());
     }
     const SparseMatrix emc = SparseMatrix::from_triplets(n, n, std::move(emc_triplets));
     const SparseMatrix conv = SparseMatrix::from_triplets(n, n, std::move(conv_triplets));
-    span.arg("emc_nnz", static_cast<double>(emc.nnz()));
-    span.arg("conv_nnz", static_cast<double>(conv.nnz()));
 
-    const std::vector<double> nu = num::dtmc_stationary(emc);
+    num::StationaryOptions stat = options.stationary;
+    stat.initial = options.warm_nu;
+    stat.sweeps_out = &out.sweeps;
+    out.nu = num::dtmc_stationary(emc, stat);
 
     std::vector<double> pi(n, 0.0);
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-        for (const SparseMatrix::Entry& e : conv.row(i)) pi[e.col] += nu[i] * e.value;
+        for (const SparseMatrix::Entry& e : conv.row(i)) pi[e.col] += out.nu[i] * e.value;
     }
     for (double v : pi) total += v;
     if (total <= 0.0) throw std::runtime_error("dspn_steady_state: zero total time");
     for (double& v : pi) v /= total;
-    return pi;
+    out.pi = std::move(pi);
+    return out;
+}
+
+/// MRGP path of dspn_solve: embedded Markov chain + conversion matrix, with
+/// the embedded stationary solve optionally warm-started from a neighbouring
+/// grid point's nu vector.
+DspnSolution solve_mrgp(const ReachabilityGraph& graph, const DspnSolveOptions& options) {
+    const std::size_t n = graph.state_count();
+    if (n == 1) {
+        DspnSolution out;
+        out.pi = {1.0};
+        return out;
+    }
+    MVREJU_OBS_SPAN(span, "dspn.steady_state");
+    span.arg("states", static_cast<double>(n));
+    check_irreducible(graph);
+
+    // Embedded Markov chain P over tangible states (regeneration points) and
+    // conversion matrix C: C(i, m) = expected time spent in tangible marking
+    // m during one regeneration period started in i. Periods are analysed
+    // independently per start state, so fan the rows out over the task pool;
+    // each index writes only its own slot, keeping the result deterministic.
+    // Small graphs stay serial: thread spawn would dominate, and callers
+    // (parameter sweeps) may already be running many solves concurrently.
+    std::vector<RegenerationRow> rows(n);
+    util::parallel_for(
+        n, [&](std::size_t i) { rows[i] = analyze_regeneration_period(graph, i); },
+        n >= 512 ? 0 : 1);
+    return solve_mrgp_from_rows(n, rows, options);
+}
+
+}  // namespace
+
+DspnSolution dspn_solve(const ReachabilityGraph& graph, const DspnSolveOptions& options) {
+    if (!graph.has_deterministic()) return solve_spn(graph, options);
+    return solve_mrgp(graph, options);
+}
+
+std::vector<DspnSolution> dspn_solve_family(
+    const std::vector<const ReachabilityGraph*>& graphs,
+    const std::vector<DspnSolveOptions>& options) {
+    if (graphs.size() != options.size())
+        throw std::invalid_argument("dspn_solve_family: graphs/options size mismatch");
+    if (graphs.empty()) return {};
+    if (graphs.size() == 1) return {dspn_solve(*graphs[0], options[0])};
+
+    const std::size_t n = graphs[0]->state_count();
+    for (const ReachabilityGraph* g : graphs) {
+        if (g == nullptr) throw std::invalid_argument("dspn_solve_family: null graph");
+        if (g->state_count() != n)
+            throw std::invalid_argument(
+                "dspn_solve_family: members have different state spaces");
+    }
+    // Without a deterministic transition there is no delay to share; the
+    // precondition (equal rates) makes the members equal, but solve each one
+    // anyway to honour the per-member warm-start options.
+    if (!graphs[0]->has_deterministic()) {
+        std::vector<DspnSolution> out;
+        out.reserve(graphs.size());
+        for (std::size_t f = 0; f < graphs.size(); ++f)
+            out.push_back(dspn_solve(*graphs[f], options[f]));
+        return out;
+    }
+    if (n == 1) {
+        std::vector<DspnSolution> out(graphs.size());
+        for (DspnSolution& s : out) s.pi = {1.0};
+        return out;
+    }
+
+    MVREJU_OBS_SPAN(span, "dspn.solve_family");
+    span.arg("states", static_cast<double>(n));
+    span.arg("members", static_cast<double>(graphs.size()));
+    check_irreducible(*graphs[0]);
+
+    // rows[i][f]: regeneration row of state i for family member f, all
+    // members served by one subordinated power pass per state.
+    std::vector<std::vector<RegenerationRow>> rows(n);
+    util::parallel_for(
+        n,
+        [&](std::size_t i) { rows[i] = analyze_regeneration_period_family(graphs, i); },
+        n >= 512 ? 0 : 1);
+
+    std::vector<DspnSolution> out;
+    out.reserve(graphs.size());
+    std::vector<RegenerationRow> member_rows(n);
+    for (std::size_t f = 0; f < graphs.size(); ++f) {
+        for (std::size_t i = 0; i < n; ++i) member_rows[i] = std::move(rows[i][f]);
+        out.push_back(solve_mrgp_from_rows(n, member_rows, options[f]));
+    }
+    return out;
+}
+
+std::vector<double> spn_steady_state(const ReachabilityGraph& graph) {
+    if (graph.has_deterministic())
+        throw std::invalid_argument(
+            "spn_steady_state: net has deterministic transitions; use dspn_steady_state");
+    return solve_spn(graph, {}).pi;
+}
+
+std::vector<double> dspn_steady_state(const ReachabilityGraph& graph) {
+    return dspn_solve(graph, {}).pi;
 }
 
 double expected_reward(const ReachabilityGraph& graph, const std::vector<double>& pi,

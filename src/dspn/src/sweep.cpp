@@ -1,0 +1,601 @@
+#include "mvreju/dspn/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/trace.hpp"
+#include "mvreju/util/json.hpp"
+#include "mvreju/util/parallel.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::dspn {
+
+namespace {
+
+// Bump when the cache file format or the key recipe changes: stale entries
+// then miss instead of being misread.
+constexpr std::uint64_t kCacheVersion = 1;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) { mix_bytes(h, &v, sizeof v); }
+
+void mix_double(std::uint64_t& h, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix_u64(h, bits);
+}
+
+void mix_string(std::uint64_t& h, const std::string& s) {
+    mix_u64(h, s.size());
+    mix_bytes(h, s.data(), s.size());
+}
+
+void mix_arcs(std::uint64_t& h, const std::vector<PetriNet::ArcView>& arcs) {
+    mix_u64(h, arcs.size());
+    for (const PetriNet::ArcView& a : arcs) {
+        mix_u64(h, a.place.index);
+        mix_u64(h, static_cast<std::uint64_t>(a.multiplicity));
+    }
+}
+
+std::string hex16(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+// %.17g (max_digits10) round-trips every finite double exactly through a
+// correctly-rounded strtod, which is what util::Json uses — so cached
+// solutions come back bit-identical.
+std::string fmt_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void append_array(std::string& out, const std::vector<double>& values) {
+    out += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out += ',';
+        out += fmt_double(values[i]);
+    }
+    out += ']';
+}
+
+}  // namespace
+
+std::uint64_t structure_hash(const PetriNet& net) {
+    std::uint64_t h = kFnvOffset;
+    mix_u64(h, net.place_count());
+    const Marking initial = net.initial_marking();
+    for (std::size_t p = 0; p < net.place_count(); ++p) {
+        mix_string(h, net.place_name({p}));
+        mix_u64(h, static_cast<std::uint64_t>(initial[p]));
+    }
+    mix_u64(h, net.transition_count());
+    for (std::size_t i = 0; i < net.transition_count(); ++i) {
+        const TransitionId t{i};
+        mix_string(h, net.transition_name(t));
+        mix_u64(h, static_cast<std::uint64_t>(net.kind(t)));
+        mix_u64(h, static_cast<std::uint64_t>(net.priority(t)));
+        mix_u64(h, net.has_guard(t) ? 1 : 0);
+        if (net.kind(t) == TransitionKind::immediate) {
+            // Immediate weights shape the vanishing-resolution probabilities
+            // that rebind() reuses, so constant weights are structural.
+            // Marking-dependent weights hash as a sentinel; the factory must
+            // not vary them with the swept parameters.
+            const std::optional<double> w = net.constant_value(t);
+            if (w.has_value())
+                mix_double(h, *w);
+            else
+                mix_u64(h, 0x776569676874666eULL);  // "weightfn"
+        }
+        mix_arcs(h, net.input_arcs(t));
+        mix_arcs(h, net.output_arcs(t));
+        mix_arcs(h, net.inhibitor_arcs(t));
+    }
+    return h;
+}
+
+std::uint64_t numeric_hash(const PetriNet& net) {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < net.transition_count(); ++i) {
+        const TransitionId t{i};
+        switch (net.kind(t)) {
+            case TransitionKind::deterministic:
+                mix_double(h, net.delay(t));
+                break;
+            case TransitionKind::exponential:
+            case TransitionKind::immediate: {
+                const std::optional<double> c = net.constant_value(t);
+                if (c.has_value())
+                    mix_double(h, *c);
+                else
+                    mix_u64(h, 0x726174656673ULL);  // marking-dependent
+                break;
+            }
+        }
+    }
+    return h;
+}
+
+std::uint64_t graph_rates_hash(const ReachabilityGraph& graph) {
+    std::uint64_t h = kFnvOffset;
+    const std::size_t n = graph.state_count();
+    mix_u64(h, n);
+    for (const Branch& b : graph.initial_distribution()) {
+        mix_u64(h, b.target);
+        mix_double(h, b.probability);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+        const auto& exp_edges = graph.exponential_edges(s);
+        mix_u64(h, exp_edges.size());
+        for (const ExpEdge& e : exp_edges) {
+            mix_u64(h, e.target);
+            mix_u64(h, e.via.index);
+            mix_double(h, e.rate);
+            mix_double(h, e.probability);
+        }
+        const auto& dets = graph.deterministic_enabled(s);
+        mix_u64(h, dets.size());
+        for (TransitionId t : dets) {
+            mix_u64(h, t.index);
+            const auto& branches = graph.deterministic_branches(s, t);
+            mix_u64(h, branches.size());
+            for (const Branch& b : branches) {
+                mix_u64(h, b.target);
+                mix_double(h, b.probability);
+            }
+        }
+    }
+    return h;
+}
+
+SweepEngine::SweepEngine(Factory factory, SweepOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {
+    if (!factory_) throw std::invalid_argument("SweepEngine: null net factory");
+}
+
+std::uint64_t SweepEngine::cache_key(std::uint64_t structure, std::uint64_t rates,
+                                     const ReachabilityGraph& graph) const {
+    std::uint64_t h = kFnvOffset;
+    mix_u64(h, kCacheVersion);
+    mix_u64(h, structure);
+    mix_u64(h, rates);
+    // Deterministic delays are the one numeric input graph_rates_hash leaves
+    // out (so delay families can group on it); fold them in here.
+    const PetriNet& net = graph.net();
+    for (std::size_t i = 0; i < net.transition_count(); ++i) {
+        const TransitionId t{i};
+        if (net.kind(t) == TransitionKind::deterministic) {
+            mix_u64(h, i);
+            mix_double(h, net.delay(t));
+        }
+    }
+    mix_double(h, options_.stationary.tolerance);
+    mix_u64(h, options_.stationary.max_sweeps);
+    mix_u64(h, options_.stationary.dense_cutoff);
+    return h;
+}
+
+std::pair<SweepEngine::Prototype*, bool> SweepEngine::prototype_for(
+    std::uint64_t structure, const PetriNet& net) {
+    std::lock_guard<std::mutex> lock(prototypes_mutex_);
+    auto it = prototypes_.find(structure);
+    if (it != prototypes_.end()) return {&it->second, false};
+    // Build inside the lock: a structure is explored cold exactly once, so
+    // the rebuild count is deterministic (concurrent first sights of the
+    // same structure serialise here instead of racing to build).
+    Prototype proto;
+    proto.net = std::make_unique<PetriNet>(net);
+    proto.graph = std::make_unique<ReachabilityGraph>(*proto.net);
+    ++stats_.rebuilds;
+    static obs::Counter& rebuilds = obs::metrics().counter("dspn.sweep.rebuilds");
+    rebuilds.add();
+    auto [pos, inserted] = prototypes_.emplace(structure, std::move(proto));
+    (void)inserted;
+    return {&pos->second, true};
+}
+
+const SweepEngine::Anchor* SweepEngine::nearest_anchor(
+    const std::vector<double>& params, std::uint64_t structure) const {
+    const Anchor* best = nullptr;
+    double best_dist = 0.0;
+    for (const Anchor& a : anchors_) {
+        if (a.structure != structure || a.params.size() != params.size()) continue;
+        double dist = 0.0;
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            const double d = params[i] - a.params[i];
+            dist += d * d;
+        }
+        // Strict < keeps the earliest (lowest grid index) anchor on ties,
+        // independent of thread count.
+        if (best == nullptr || dist < best_dist) {
+            best = &a;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+bool SweepEngine::disk_load(std::uint64_t key, std::size_t expected_states,
+                            Solution& out) const {
+    if (options_.cache_dir.empty()) return false;
+    const std::string path = options_.cache_dir + "/sweep-" + hex16(key) + ".json";
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const util::Json doc = util::Json::parse(text.str());
+        if (doc.at("version").number() != static_cast<double>(kCacheVersion))
+            return false;
+        if (doc.at("key").str() != hex16(key)) return false;
+        if (doc.at("pi").size() != expected_states) return false;
+        out.sweeps = static_cast<std::size_t>(doc.at("sweeps").number());
+        out.pi.clear();
+        for (const util::Json& v : doc.at("pi").items()) out.pi.push_back(v.number());
+        out.nu.clear();
+        for (const util::Json& v : doc.at("nu").items()) out.nu.push_back(v.number());
+        return !out.pi.empty();
+    } catch (const std::exception&) {
+        // Truncated or foreign file: treat as a miss and re-solve.
+        return false;
+    }
+}
+
+void SweepEngine::disk_store(std::uint64_t key, const std::vector<double>& params,
+                             std::uint64_t structure, const Solution& solution) const {
+    if (options_.cache_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(options_.cache_dir, ec);
+    if (ec) return;  // cache is best-effort; the solve already succeeded
+    const std::string path = options_.cache_dir + "/sweep-" + hex16(key) + ".json";
+    const std::string tmp = path + ".tmp";
+    std::string body;
+    body += "{\n  \"version\": " + std::to_string(kCacheVersion) + ",\n";
+    body += "  \"key\": \"" + hex16(key) + "\",\n";
+    body += "  \"structure\": \"" + hex16(structure) + "\",\n";
+    body += "  \"params\": ";
+    append_array(body, params);
+    body += ",\n  \"sweeps\": " + std::to_string(solution.sweeps) + ",\n";
+    body += "  \"pi\": ";
+    append_array(body, solution.pi);
+    body += ",\n  \"nu\": ";
+    append_array(body, solution.nu);
+    body += "\n}\n";
+    {
+        std::ofstream outf(tmp, std::ios::trunc);
+        if (!outf) return;
+        outf << body;
+        if (!outf) return;
+    }
+    // Atomic publish: readers only ever see complete files.
+    std::rename(tmp.c_str(), path.c_str());
+}
+
+std::vector<SweepPoint> SweepEngine::run(const std::vector<std::vector<double>>& grid) {
+    MVREJU_OBS_SPAN(span, "dspn.sweep.run");
+    const std::size_t n = grid.size();
+    std::vector<SweepPoint> out(n);
+    if (n == 0) return out;
+
+    obs::Registry& reg = obs::metrics();
+    static obs::Counter& points_ctr = reg.counter("dspn.sweep.points");
+    static obs::Counter& cache_hits_ctr = reg.counter("dspn.sweep.cache_hits");
+    static obs::Counter& disk_hits_ctr = reg.counter("dspn.sweep.disk_hits");
+    static obs::Counter& rebinds_ctr = reg.counter("dspn.sweep.rebinds");
+    static obs::Counter& rebuilds_ctr = reg.counter("dspn.sweep.rebuilds");
+    static obs::Counter& saved_ctr = reg.counter("dspn.sweep.warmstart_iters_saved");
+
+    const std::size_t threads =
+        options_.threads != 0 ? options_.threads : util::hardware_threads();
+    const std::size_t chunk =
+        options_.chunk != 0 ? options_.chunk : std::max<std::size_t>(8, 2 * threads);
+
+    struct Claim {
+        std::uint64_t key = 0;
+        std::uint64_t family = 0;       // 0: no delay-family grouping
+        std::unique_ptr<PetriNet> net;  // owners only; graph points at it
+        std::unique_ptr<ReachabilityGraph> graph;  // owners only
+        Solution solution;                         // filled by the solve
+        bool owner = false;   // first grid index of its key: runs the solve
+        bool queued = false;  // already part of a solve unit
+        bool warm_started = false;
+    };
+
+    // ---- Claim pass (serial, whole grid) -------------------------------
+    // Rebind a prototype copy per point, derive the content-addressed key,
+    // resolve memory/disk hits, pick one owner per unique key, and group
+    // owners whose graphs differ only in deterministic delays into families.
+    // Doing this for the full grid up front (rebinding is microseconds; the
+    // solves are the cost) lets a family batch span wavefront chunks.
+    std::vector<Claim> claims(n);
+    std::map<std::uint64_t, std::size_t> owner_of;  // key -> claim index
+    std::map<std::uint64_t, std::vector<std::size_t>> families;  // grid order
+    for (std::size_t i = 0; i < n; ++i) {
+        SweepPoint& point = out[i];
+        Claim& claim = claims[i];
+        point.params = grid[i];
+        auto net = std::make_unique<PetriNet>(factory_(grid[i]));
+        const std::uint64_t structure = structure_hash(*net);
+        point.structure = structure;
+        auto [proto, created] = prototype_for(structure, *net);
+        auto graph = std::make_unique<ReachabilityGraph>(*proto->graph);
+        bool family_eligible = true;
+        if (graph->rebind(*net)) {
+            point.rebuilt = created;
+            if (!created) {
+                ++stats_.rebinds;
+                rebinds_ctr.add();
+            }
+        } else {
+            // Structure-hash collision or a guard that depends on the swept
+            // parameters: the prototype is unusable for this net. Build
+            // cold, and keep the point out of delay families (its state
+            // space is not known to match theirs).
+            *graph = ReachabilityGraph(*net);
+            point.rebuilt = true;
+            family_eligible = false;
+            ++stats_.rebuilds;
+            rebuilds_ctr.add();
+        }
+        const std::uint64_t rates = graph_rates_hash(*graph);
+        claim.key = cache_key(structure, rates, *graph);
+        if (auto it = memory_.find(claim.key); it != memory_.end()) {
+            point.pi = it->second.pi;
+            point.sweeps = it->second.sweeps;
+            point.cache_hit = true;
+            continue;
+        }
+        Solution from_disk;
+        if (disk_load(claim.key, graph->state_count(), from_disk)) {
+            const Solution& stored =
+                memory_.emplace(claim.key, std::move(from_disk)).first->second;
+            point.pi = stored.pi;
+            point.sweeps = stored.sweeps;
+            point.cache_hit = true;
+            point.disk_hit = true;
+            continue;
+        }
+        if (owner_of.find(claim.key) != owner_of.end()) continue;  // in-run alias
+        claim.owner = true;
+        owner_of.emplace(claim.key, i);
+        claim.net = std::move(net);
+        claim.graph = std::move(graph);
+        if (family_eligible && claim.graph->has_deterministic()) {
+            std::uint64_t fam = kFnvOffset;
+            mix_u64(fam, structure);
+            mix_u64(fam, rates);
+            claim.family = fam;
+            families[fam].push_back(i);
+        }
+    }
+
+    // ---- Solve pass: deterministic wavefront ---------------------------
+    // A serial first point seeds the anchor set, then chunks of `chunk`
+    // points. A point may warm-start only from anchors committed by earlier
+    // chunks — a set fixed by grid order, so results are bit-identical for
+    // every thread count. A chunk's units are its unsolved owners; an owner
+    // with a delay family pulls the whole family into one batch (members in
+    // later chunks are solved ahead and committed when their chunk arrives).
+    std::size_t next = 0;
+    bool first_chunk = true;
+    while (next < n) {
+        const std::size_t begin = next;
+        const std::size_t end = std::min(n, begin + (first_chunk ? 1 : chunk));
+        first_chunk = false;
+        next = end;
+
+        std::vector<std::vector<std::size_t>> units;  // claim indices, grid order
+        for (std::size_t i = begin; i < end; ++i) {
+            Claim& claim = claims[i];
+            if (!claim.owner || claim.queued) continue;
+            if (claim.family != 0) {
+                std::vector<std::size_t>& members = families.at(claim.family);
+                for (std::size_t m : members) claims[m].queued = true;
+                if (members.size() >= 2) {
+                    ++stats_.family_batches;
+                    stats_.family_members += members.size();
+                }
+                units.push_back(members);
+            } else {
+                claim.queued = true;
+                units.push_back({i});
+            }
+        }
+
+        // Parallel solves. anchors_ and memory_ are read-only here; units
+        // touch disjoint claims.
+        util::parallel_for(
+            units.size(),
+            [&](std::size_t u) {
+                const std::vector<std::size_t>& members = units[u];
+                std::vector<const ReachabilityGraph*> graphs;
+                std::vector<DspnSolveOptions> solve_options(members.size());
+                graphs.reserve(members.size());
+                for (std::size_t f = 0; f < members.size(); ++f) {
+                    Claim& claim = claims[members[f]];
+                    graphs.push_back(claim.graph.get());
+                    solve_options[f].stationary = options_.stationary;
+                    const Anchor* anchor =
+                        options_.warm_start
+                            ? nearest_anchor(out[members[f]].params,
+                                             out[members[f]].structure)
+                            : nullptr;
+                    if (anchor != nullptr) {
+                        solve_options[f].warm_pi = &anchor->solution->pi;
+                        if (!anchor->solution->nu.empty())
+                            solve_options[f].warm_nu = &anchor->solution->nu;
+                        claim.warm_started = true;
+                    }
+                }
+                std::vector<DspnSolution> solved =
+                    members.size() == 1
+                        ? std::vector<DspnSolution>{dspn_solve(*graphs[0],
+                                                               solve_options[0])}
+                        : dspn_solve_family(graphs, solve_options);
+                for (std::size_t f = 0; f < members.size(); ++f) {
+                    Claim& claim = claims[members[f]];
+                    claim.solution.pi = std::move(solved[f].pi);
+                    claim.solution.nu = std::move(solved[f].nu);
+                    claim.solution.sweeps = solved[f].sweeps;
+                }
+            },
+            options_.threads);
+
+        // Serial commit pass, grid order: publish solutions, account stats
+        // deterministically, extend the anchor set.
+        for (std::size_t i = begin; i < end; ++i) {
+            Claim& claim = claims[i];
+            SweepPoint& point = out[i];
+            if (claim.owner) {
+                point.sweeps = claim.solution.sweeps;
+                point.warm_started = claim.warm_started;
+                ++stats_.solves;
+                {
+                    std::lock_guard<std::mutex> lock(prototypes_mutex_);
+                    Prototype& proto = prototypes_.at(point.structure);
+                    if (claim.warm_started) {
+                        ++stats_.warm_started;
+                        if (proto.cold_sweeps_known &&
+                            proto.cold_sweeps > claim.solution.sweeps) {
+                            const std::size_t saved =
+                                proto.cold_sweeps - claim.solution.sweeps;
+                            stats_.warmstart_iters_saved += saved;
+                            saved_ctr.add(saved);
+                        }
+                    } else if (!proto.cold_sweeps_known) {
+                        proto.cold_sweeps = claim.solution.sweeps;
+                        proto.cold_sweeps_known = true;
+                    }
+                }
+                disk_store(claim.key, point.params, point.structure, claim.solution);
+                const Solution& stored =
+                    memory_.insert_or_assign(claim.key, std::move(claim.solution))
+                        .first->second;
+                point.pi = stored.pi;
+                claim.graph.reset();  // batches referencing it have completed
+                claim.net.reset();
+            } else if (!point.cache_hit) {
+                // In-run alias: its owner has a smaller grid index, so the
+                // solution is committed by now.
+                const Solution& stored = memory_.at(claim.key);
+                point.pi = stored.pi;
+                point.sweeps = stored.sweeps;
+                point.cache_hit = true;
+            }
+            ++stats_.points;
+            points_ctr.add();
+            if (point.cache_hit) {
+                ++stats_.cache_hits;
+                cache_hits_ctr.add();
+            }
+            if (point.disk_hit) {
+                ++stats_.disk_hits;
+                disk_hits_ctr.add();
+            }
+            // Every completed point is a warm-start anchor for later chunks.
+            anchors_.push_back({point.params, point.structure, &memory_.at(claim.key)});
+        }
+    }
+
+    span.arg("points", static_cast<double>(stats_.points));
+    span.arg("cache_hits", static_cast<double>(stats_.cache_hits));
+    span.arg("rebuilds", static_cast<double>(stats_.rebuilds));
+    span.arg("family_batches", static_cast<double>(stats_.family_batches));
+    return out;
+}
+
+SweepPoint SweepEngine::solve(const std::vector<double>& params) {
+    return run({params}).front();
+}
+
+std::vector<SimulationEstimate> SweepEngine::run_simulated(
+    const std::vector<std::vector<double>>& grid, const SweepRewardFn& reward,
+    const SimulationOptions& base) {
+    MVREJU_OBS_SPAN(span, "dspn.sweep.run_simulated");
+    span.arg("points", static_cast<double>(grid.size()));
+    std::vector<SimulationEstimate> out(grid.size());
+    const util::Rng root(options_.seed);
+    util::parallel_for(
+        grid.size(),
+        [&](std::size_t i) {
+            const PetriNet net = factory_(grid[i]);
+            SimulationOptions local = base;
+            // Substream per grid index: bit-identical at any thread count,
+            // and adding a point never perturbs the draws of another.
+            util::Rng stream = root.split(i);
+            local.seed = stream();
+            out[i] = simulate_steady_state_reward(
+                net, [&](const Marking& m) { return reward(grid[i], m); }, local);
+        },
+        options_.threads);
+    return out;
+}
+
+double SweepEngine::expected_reward(const SweepPoint& point,
+                                    const SweepRewardFn& reward) const {
+    const std::vector<Marking>* markings = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(prototypes_mutex_);
+        auto it = prototypes_.find(point.structure);
+        if (it == prototypes_.end())
+            throw std::invalid_argument(
+                "SweepEngine::expected_reward: unknown structure (point not solved "
+                "by this engine)");
+        markings = &it->second.graph->markings();
+    }
+    if (markings->size() != point.pi.size())
+        throw std::invalid_argument(
+            "SweepEngine::expected_reward: distribution size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < point.pi.size(); ++i)
+        acc += point.pi[i] * reward(point.params, (*markings)[i]);
+    return acc;
+}
+
+const std::vector<Marking>& SweepEngine::markings(const std::vector<double>& params) {
+    const PetriNet net = factory_(params);
+    auto [proto, created] = prototype_for(structure_hash(net), net);
+    (void)created;
+    return proto->graph->markings();
+}
+
+BoundGraph SweepEngine::graph(const std::vector<double>& params) {
+    auto net = std::make_unique<PetriNet>(factory_(params));
+    auto [proto, created] = prototype_for(structure_hash(*net), *net);
+    (void)created;
+    ReachabilityGraph graph = *proto->graph;
+    if (graph.rebind(*net)) {
+        if (!created) {
+            ++stats_.rebinds;
+            static obs::Counter& rebinds =
+                obs::metrics().counter("dspn.sweep.rebinds");
+            rebinds.add();
+        }
+    } else {
+        graph = ReachabilityGraph(*net);
+        ++stats_.rebuilds;
+    }
+    return BoundGraph(std::move(net), std::move(graph));
+}
+
+}  // namespace mvreju::dspn

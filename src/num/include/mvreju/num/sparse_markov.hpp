@@ -28,6 +28,17 @@ struct StationaryOptions {
     /// Problems at or below this order are forwarded to the dense LU
     /// stationary solver: exact, and faster than iterating at small n.
     std::size_t dense_cutoff = 64;
+    /// Optional warm start for the Gauss-Seidel iteration (non-owning; must
+    /// outlive the call). Used when its size matches the problem order: the
+    /// vector is copied, clamped to >= 0 and renormalised before iterating.
+    /// Ignored by the dense LU path, which is direct — so warm-started solves
+    /// below dense_cutoff stay bit-identical to cold ones. Parameter sweeps
+    /// pass the nearest already-solved grid point's solution here.
+    const std::vector<double>* initial = nullptr;
+    /// When set, receives the number of Gauss-Seidel sweeps the solve used
+    /// (0 for the dense path). Lets sweep drivers report warm-start savings
+    /// without reading the global metrics registry.
+    std::size_t* sweeps_out = nullptr;
 };
 
 /// Steady-state distribution of an irreducible CTMC with sparse generator q.
@@ -55,6 +66,21 @@ struct TransientRow {
 };
 [[nodiscard]] TransientRow transient_row(const SparseMatrix& q, std::size_t start,
                                          double tau, double epsilon = 1e-12);
+
+/// transient_row for several horizons at once, sharing one pass through the
+/// uniformized power sequence v P^k (the cost driver — the sequence does not
+/// depend on tau, only the Poisson weights do). Result `i` is bit-identical
+/// to `transient_row(q, start, taus[i], epsilon)`: each horizon's
+/// accumulations run in the same term order with the same weights, and below
+/// its Poisson window the survival weight is exactly 1.0, so those prefix
+/// sums are shared verbatim. Cost ~ one transient_row at max(taus) plus an
+/// O(sqrt(lambda tau) n) window per extra horizon. This is what makes
+/// sweeping a deterministic delay cheap: grid points that differ only in the
+/// delay reuse the whole power pass.
+[[nodiscard]] std::vector<TransientRow> transient_rows(const SparseMatrix& q,
+                                                       std::size_t start,
+                                                       const std::vector<double>& taus,
+                                                       double epsilon = 1e-12);
 
 /// Transient distribution pi0 e^{Q t} for a sparse generator.
 [[nodiscard]] std::vector<double> ctmc_transient(const SparseMatrix& q,

@@ -101,7 +101,23 @@ std::vector<double> gauss_seidel_stationary(const SparseMatrix& qt,
     GsTelemetry& telemetry = stationary_telemetry();
     obs::Tracer& tracer = obs::Tracer::global();
 
+    // Initial iterate: uniform, or the caller's warm start (a nearby grid
+    // point's solution) cleaned up into a proper distribution. A degenerate
+    // warm start (non-positive mass) falls back to uniform rather than
+    // poisoning the iteration.
     std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    if (options.initial != nullptr && options.initial->size() == n) {
+        double total = 0.0;
+        for (double v : *options.initial) total += std::max(v, 0.0);
+        if (total > 0.0) {
+            for (std::size_t j = 0; j < n; ++j)
+                pi[j] = std::max((*options.initial)[j], 0.0) / total;
+            static obs::Counter& warm_starts =
+                obs::metrics().counter("num.gs.warm_starts");
+            warm_starts.add();
+            span.arg("warm_start", 1.0);
+        }
+    }
     for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
         for (std::size_t j = 0; j < n; ++j) {
             double acc = 0.0;
@@ -134,6 +150,7 @@ std::vector<double> gauss_seidel_stationary(const SparseMatrix& qt,
             telemetry.sweeps.add(sweep + 1);
             telemetry.sweeps_per_solve.record(static_cast<double>(sweep + 1));
             telemetry.last_residual.set(residual);
+            if (options.sweeps_out != nullptr) *options.sweeps_out = sweep + 1;
             span.arg("sweeps", static_cast<double>(sweep + 1));
             span.arg("residual", residual);
             return pi;
@@ -171,6 +188,7 @@ std::vector<double> ctmc_steady_state(const SparseMatrix& q,
                                       const StationaryOptions& options) {
     check_generator(q);
     const std::size_t n = q.rows();
+    if (options.sweeps_out != nullptr) *options.sweeps_out = 0;
     if (n == 0) return {};
     if (n == 1) return {1.0};
     if (n <= options.dense_cutoff) return solve_stationary(q.to_dense());
@@ -181,6 +199,7 @@ std::vector<double> dtmc_stationary(const SparseMatrix& p,
                                     const StationaryOptions& options) {
     const std::size_t n = p.rows();
     if (p.cols() != n) throw std::invalid_argument("dtmc_stationary: non-square");
+    if (options.sweeps_out != nullptr) *options.sweeps_out = 0;
     if (n == 0) return {};
     if (n == 1) return {1.0};
 
@@ -244,6 +263,86 @@ TransientRow transient_row(const SparseMatrix& q, std::size_t start, double tau,
         }
     }
     for (double& t : out.psi) t /= u.lambda;
+    return out;
+}
+
+std::vector<TransientRow> transient_rows(const SparseMatrix& q, std::size_t start,
+                                         const std::vector<double>& taus,
+                                         double epsilon) {
+    check_generator(q);
+    const std::size_t n = q.rows();
+    if (start >= n) throw std::out_of_range("transient_rows: start out of range");
+    for (double tau : taus) {
+        if (tau < 0.0) throw std::invalid_argument("transient_rows: negative horizon");
+    }
+    std::vector<TransientRow> out(taus.size());
+    if (taus.empty()) return out;
+
+    MVREJU_OBS_SPAN(span, "num.transient_rows");
+    span.arg("states", static_cast<double>(n));
+    span.arg("horizons", static_cast<double>(taus.size()));
+    const Uniformized u = uniformized_dtmc(q);
+
+    // One accumulation slot per positive horizon; tau == 0 is the identity.
+    struct Slot {
+        std::size_t index = 0;  // position in taus/out
+        PoissonWeights pw;
+        std::size_t k_max = 0;
+        double cdf = 0.0;
+    };
+    std::vector<Slot> slots;
+    std::size_t k_global = 0;
+    std::size_t max_left = 0;
+    for (std::size_t i = 0; i < taus.size(); ++i) {
+        out[i].omega.assign(n, 0.0);
+        out[i].psi.assign(n, 0.0);
+        if (taus[i] == 0.0) {
+            out[i].omega[start] = 1.0;
+            continue;
+        }
+        Slot slot;
+        slot.index = i;
+        slot.pw = poisson_weights(u.lambda * taus[i], epsilon);
+        slot.k_max = slot.pw.left + slot.pw.weights.size() - 1;
+        uniformization_terms_histogram().record(static_cast<double>(slot.k_max + 1));
+        k_global = std::max(k_global, slot.k_max);
+        max_left = std::max(max_left, slot.pw.left);
+        slots.push_back(std::move(slot));
+    }
+    if (slots.empty()) return out;
+    span.arg("terms", static_cast<double>(k_global + 1));
+
+    // Below its Poisson window a horizon's cdf is exactly 0, so its psi
+    // accumulation adds survival * v = 1.0 * v = v — the same running prefix
+    // for every horizon. Snapshot it when a window opens, then replay the
+    // windowed terms with the exact per-term weights and guards of
+    // transient_row: bit-identical results, one shared power pass.
+    std::vector<double> v(n, 0.0);
+    v[start] = 1.0;
+    std::vector<double> next;
+    std::vector<double> prefix(n, 0.0);
+    for (std::size_t k = 0; k <= k_global; ++k) {
+        if (k < max_left)
+            for (std::size_t j = 0; j < n; ++j) prefix[j] += v[j];
+        for (Slot& slot : slots) {
+            if (slot.pw.left > 0 && k + 1 == slot.pw.left) out[slot.index].psi = prefix;
+            if (k < slot.pw.left || k > slot.k_max) continue;
+            const double pois_k = slot.pw.weights[k - slot.pw.left];
+            slot.cdf += pois_k;
+            const double survival = std::max(0.0, 1.0 - slot.cdf);
+            if (pois_k > 0.0)
+                for (std::size_t j = 0; j < n; ++j) out[slot.index].omega[j] += pois_k * v[j];
+            if (survival > epsilon / 10.0)
+                for (std::size_t j = 0; j < n; ++j) out[slot.index].psi[j] += survival * v[j];
+        }
+        if (k < k_global) {
+            vec_mat(v, u.p, next);
+            v.swap(next);
+        }
+    }
+    for (Slot& slot : slots) {
+        for (double& t : out[slot.index].psi) t /= u.lambda;
+    }
     return out;
 }
 

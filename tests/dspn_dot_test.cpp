@@ -1,0 +1,79 @@
+#include "mvreju/dspn/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mvreju::dspn {
+namespace {
+
+// Golden renderings: the exporter's output is consumed verbatim by docs and
+// debugging scripts, so any change to node shapes, labels or edge styles must
+// show up here as an intentional diff.
+
+TEST(Dot, NetGoldenRendering) {
+    // All three transition kinds, a marked place, an arc multiplicity and an
+    // inhibitor arc — one of everything the exporter draws.
+    PetriNet net;
+    auto a = net.add_place("a", 2);
+    auto b = net.add_place("b");
+    auto ti = net.add_immediate("ti", 1.0);
+    net.add_input_arc(ti, a);
+    net.add_output_arc(ti, b);
+    auto te = net.add_exponential("te", 1.0);
+    net.add_input_arc(te, b);
+    net.add_output_arc(te, a, 2);
+    auto td = net.add_deterministic("td", 5.0);
+    net.add_input_arc(td, b);
+    net.add_output_arc(td, a);
+    net.add_inhibitor_arc(td, a);
+
+    const std::string expected =
+        "digraph dspn {\n"
+        "  rankdir=LR;\n"
+        "  p0 [shape=circle,label=\"a\\n(2)\"];\n"
+        "  p1 [shape=circle,label=\"b\"];\n"
+        "  t0 [shape=box,height=0.1,style=filled,fillcolor=black,fontcolor=white,"
+        "label=\"ti\"];\n"
+        "  t1 [shape=box,style=\"\",label=\"te\"];\n"
+        "  t2 [shape=box,style=filled,fillcolor=gray30,fontcolor=white,"
+        "label=\"td\"];\n"
+        "  p0 -> t0;\n"
+        "  t0 -> p1;\n"
+        "  p1 -> t1;\n"
+        "  t1 -> p0 [label=\"2\"];\n"
+        "  p1 -> t2;\n"
+        "  t2 -> p0;\n"
+        "  p0 -> t2 [arrowhead=odot,style=dotted];\n"
+        "}\n";
+    EXPECT_EQ(to_dot(net), expected);
+}
+
+TEST(Dot, ReachabilityGraphGoldenRendering) {
+    // Two tangible states: an exponential edge forward, a deterministic
+    // (dashed) branch back.
+    PetriNet net;
+    auto a = net.add_place("a", 1);
+    auto b = net.add_place("b");
+    auto te = net.add_exponential("te", 1.0);
+    net.add_input_arc(te, a);
+    net.add_output_arc(te, b);
+    auto td = net.add_deterministic("td", 5.0);
+    net.add_input_arc(td, b);
+    net.add_output_arc(td, a);
+
+    ReachabilityGraph graph(net);
+    ASSERT_EQ(graph.state_count(), 2u);
+
+    const std::string expected =
+        "digraph tangible {\n"
+        "  s0 [shape=ellipse,label=\"1,0\"];\n"
+        "  s1 [shape=ellipse,label=\"0,1\"];\n"
+        "  s0 -> s1 [label=\"te\"];\n"
+        "  s1 -> s0 [style=dashed,label=\"td\"];\n"
+        "}\n";
+    EXPECT_EQ(to_dot(graph), expected);
+}
+
+}  // namespace
+}  // namespace mvreju::dspn

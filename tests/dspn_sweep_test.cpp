@@ -1,0 +1,235 @@
+#include "mvreju/dspn/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mvreju/dspn/solver.hpp"
+
+namespace mvreju::dspn {
+namespace {
+
+// A paper-sized DSPN: failure/rejuvenation cycle with one deterministic
+// transition. params = {failure rate, rejuvenation interval}. Small enough
+// (3 states) for the dense LU path, so engine results must be bit-identical
+// to cold solves.
+PetriNet small_dspn(const std::vector<double>& params) {
+    PetriNet net;
+    auto up = net.add_place("up", 1);
+    auto down = net.add_place("down");
+    auto fail = net.add_exponential("fail", params[0]);
+    net.add_input_arc(fail, up);
+    net.add_output_arc(fail, down);
+    auto repair = net.add_exponential("repair", 2.0);
+    net.add_input_arc(repair, down);
+    net.add_output_arc(repair, up);
+    auto clock = net.add_place("clock", 1);
+    auto armed = net.add_place("armed");
+    auto arm = net.add_exponential("arm", 1.0 / params[1]);
+    net.add_input_arc(arm, clock);
+    net.add_output_arc(arm, armed);
+    auto rejuvenate = net.add_deterministic("rejuvenate", 0.5);
+    net.add_input_arc(rejuvenate, armed);
+    net.add_output_arc(rejuvenate, clock);
+    return net;
+}
+
+// Birth-death chain with a marking-dependent death rate and `cap`+1 states —
+// big enough to take the Gauss-Seidel path, where warm starts actually
+// iterate. params = {arrival rate}.
+PetriNet birth_death(const std::vector<double>& params, int cap = 100) {
+    PetriNet net;
+    auto queue = net.add_place("queue");
+    auto free_slots = net.add_place("free", cap);
+    auto arrive = net.add_exponential("arrive", params[0]);
+    net.add_input_arc(arrive, free_slots);
+    net.add_output_arc(arrive, queue);
+    auto serve = net.add_exponential(
+        "serve", [queue](const Marking& m) { return 50.0 * m[queue.index]; });
+    net.add_input_arc(serve, queue);
+    net.add_output_arc(serve, free_slots);
+    return net;
+}
+
+std::vector<std::vector<double>> small_grid() {
+    std::vector<std::vector<double>> grid;
+    for (double rate : {0.5, 1.0, 1.5})
+        for (double interval : {10.0, 20.0, 40.0}) grid.push_back({rate, interval});
+    return grid;
+}
+
+std::vector<double> cold_solve(const std::vector<double>& params) {
+    PetriNet net = small_dspn(params);
+    ReachabilityGraph graph(net);
+    return dspn_steady_state(graph);
+}
+
+TEST(SweepEngine, MatchesColdSolvesBitwise) {
+    SweepEngine engine(small_dspn);
+    const auto grid = small_grid();
+    const auto points = engine.run(grid);
+    ASSERT_EQ(points.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(points[i].pi, cold_solve(grid[i])) << "grid point " << i;
+        EXPECT_EQ(points[i].params, grid[i]);
+    }
+    // One prototype build, everything else re-rated in place.
+    EXPECT_EQ(engine.stats().rebuilds, 1u);
+    EXPECT_EQ(engine.stats().points, grid.size());
+}
+
+TEST(SweepEngine, ThreadCountsAreBitIdentical) {
+    const auto grid = small_grid();
+    std::vector<std::vector<std::vector<double>>> results;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SweepOptions options;
+        options.threads = threads;
+        SweepEngine engine(small_dspn, options);
+        std::vector<std::vector<double>> pis;
+        for (const auto& point : engine.run(grid)) pis.push_back(point.pi);
+        results.push_back(std::move(pis));
+    }
+    EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(SweepEngine, DiskCacheServesARestartedEngine) {
+    const auto cache_dir =
+        (std::filesystem::temp_directory_path() / "dspn_sweep_test_cache").string();
+    std::filesystem::remove_all(cache_dir);
+    const auto grid = small_grid();
+
+    SweepOptions options;
+    options.cache_dir = cache_dir;
+    SweepEngine first(small_dspn, options);
+    const auto cold_points = first.run(grid);
+    EXPECT_GT(first.stats().solves, 0u);
+    EXPECT_EQ(first.stats().disk_hits, 0u);
+
+    // A fresh engine sharing the directory simulates a process restart:
+    // every point must come off disk, bit-identical, with zero solves.
+    SweepEngine second(small_dspn, options);
+    const auto warm_points = second.run(grid);
+    EXPECT_EQ(second.stats().solves, 0u);
+    EXPECT_EQ(second.stats().disk_hits, first.stats().solves);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_TRUE(warm_points[i].cache_hit);
+        EXPECT_EQ(warm_points[i].pi, cold_points[i].pi) << "grid point " << i;
+    }
+    std::filesystem::remove_all(cache_dir);
+}
+
+TEST(SweepEngine, StructureChangeForcesRebuildPerStructure) {
+    // The third parameter changes the net's capacity — a structural change
+    // the rebind path must not paper over.
+    auto factory = [](const std::vector<double>& params) {
+        return birth_death({params[0]}, static_cast<int>(params[1]));
+    };
+    SweepEngine engine(factory);
+    const std::vector<std::vector<double>> grid = {
+        {40.0, 8.0}, {45.0, 8.0}, {40.0, 12.0}, {45.0, 12.0}};
+    const auto points = engine.run(grid);
+    EXPECT_EQ(engine.stats().rebuilds, 2u);  // one prototype per capacity
+    EXPECT_NE(points[0].structure, points[2].structure);
+    EXPECT_EQ(points[0].structure, points[1].structure);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        PetriNet net = factory(grid[i]);
+        ReachabilityGraph graph(net);
+        EXPECT_EQ(points[i].pi, dspn_steady_state(graph)) << "grid point " << i;
+    }
+}
+
+TEST(SweepEngine, WarmStartSavesSweepsWithinTolerance) {
+    std::vector<std::vector<double>> grid;
+    for (int i = 0; i < 12; ++i) grid.push_back({40.0 + i});
+
+    const auto factory = [](const std::vector<double>& params) {
+        return birth_death(params);
+    };
+    SweepOptions cold_options;
+    cold_options.warm_start = false;
+    SweepEngine cold(factory, cold_options);
+    const auto cold_points = cold.run(grid);
+
+    SweepEngine warm(factory);
+    const auto warm_points = warm.run(grid);
+    EXPECT_GT(warm.stats().warm_started, 0u);
+    EXPECT_GT(warm.stats().warmstart_iters_saved, 0u);
+
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        for (std::size_t s = 0; s < cold_points[i].pi.size(); ++s)
+            max_diff = std::max(max_diff, std::abs(cold_points[i].pi[s] -
+                                                   warm_points[i].pi[s]));
+    EXPECT_LE(max_diff, 1e-8);
+}
+
+TEST(SweepEngine, RewardParametersShareCacheEntries) {
+    // Content addressing: appending a reward-only parameter the net ignores
+    // must not multiply the solves.
+    auto factory = [](const std::vector<double>& params) {
+        return small_dspn({params[0], params[1]});
+    };
+    SweepEngine engine(factory);
+    std::vector<std::vector<double>> grid;
+    for (double reward : {1.0, 2.0, 3.0}) grid.push_back({1.0, 20.0, reward});
+    const auto points = engine.run(grid);
+    EXPECT_EQ(engine.stats().solves, 1u);
+    EXPECT_EQ(engine.stats().cache_hits, 2u);
+    EXPECT_EQ(points[0].pi, points[1].pi);
+    EXPECT_EQ(points[0].pi, points[2].pi);
+}
+
+TEST(StructureHash, SeesStructureNotRates) {
+    PetriNet base = small_dspn({1.0, 20.0});
+    PetriNet rerated = small_dspn({2.0, 35.0});
+    EXPECT_EQ(structure_hash(base), structure_hash(rerated));
+    EXPECT_NE(numeric_hash(base), numeric_hash(rerated));
+
+    PetriNet bigger = small_dspn({1.0, 20.0});
+    auto extra = bigger.add_place("extra");
+    auto leak = bigger.add_exponential("leak", 1.0);
+    bigger.add_input_arc(leak, extra);
+    EXPECT_NE(structure_hash(base), structure_hash(bigger));
+}
+
+TEST(DspnSolveFamily, BitIdenticalToIndividualSolves) {
+    // Delay family on the Gauss-Seidel path: same chain, three deterministic
+    // delays, solved as one batch. Each member must match its own cold solve
+    // bit for bit.
+    auto family_net = [](double delay) {
+        PetriNet net;
+        auto queue = net.add_place("queue");
+        auto free_slots = net.add_place("free", 80);
+        auto arrive = net.add_exponential("arrive", 30.0);
+        net.add_input_arc(arrive, free_slots);
+        net.add_output_arc(arrive, queue);
+        auto drain = net.add_deterministic("drain", delay);
+        net.add_input_arc(drain, queue);
+        net.add_output_arc(drain, free_slots);
+        return net;
+    };
+    const std::vector<double> delays = {0.01, 0.02, 0.05};
+    std::vector<PetriNet> nets;
+    std::vector<ReachabilityGraph> graphs;
+    for (double d : delays) nets.push_back(family_net(d));
+    for (const PetriNet& net : nets) graphs.emplace_back(net);
+
+    std::vector<const ReachabilityGraph*> pointers;
+    for (const ReachabilityGraph& g : graphs) pointers.push_back(&g);
+    const std::vector<DspnSolveOptions> options(delays.size());
+    const auto family = dspn_solve_family(pointers, options);
+    ASSERT_EQ(family.size(), delays.size());
+    for (std::size_t f = 0; f < delays.size(); ++f) {
+        const DspnSolution solo = dspn_solve(graphs[f], options[f]);
+        EXPECT_EQ(family[f].pi, solo.pi) << "family member " << f;
+        EXPECT_EQ(family[f].nu, solo.nu) << "family member " << f;
+        EXPECT_EQ(family[f].sweeps, solo.sweeps) << "family member " << f;
+    }
+}
+
+}  // namespace
+}  // namespace mvreju::dspn

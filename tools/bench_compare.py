@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate benchmark JSON files against checked-in baselines.
+
+Each BENCH_<name>.json produced by a bench binary is compared against
+bench/baselines/BENCH_<name>.json, which lists gates over dotted metric
+paths (array indices as [i]):
+
+    {"path": "fig4_grid.bitwise_equal_to_cold", "equals": true}
+        exact equality — a flipped correctness gate fails the build
+    {"path": "fig4_grid.speedup", "min": 3.0}            hard floor
+    {"path": "fig4_grid.unique_solves", "max": 102}      hard ceiling
+    {"path": "min_speedup_1thread", "baseline": 4.5, "tolerance": 0.2}
+        regression gate: current >= baseline * (1 - tolerance); pass
+        "direction": "lower" for lower-is-better metrics
+    {"path": "...", "ratio_of": ["num.path", "den.path"], "baseline": ...}
+        same, over a quotient of two metrics (machine-robust speedups)
+
+Exit status 0 when every gate in every file passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+_INDEX = re.compile(r"^(.*)\[(\d+)\]$")
+
+
+def lookup(blob, path):
+    """Resolve a dotted path with optional [i] array indices."""
+    value = blob
+    for part in path.split("."):
+        match = _INDEX.match(part)
+        if match:
+            value = value[match.group(1)][int(match.group(2))]
+        else:
+            value = value[part]
+    return value
+
+
+def check_gate(blob, gate):
+    """Return (passed, message) for one gate."""
+    if "ratio_of" in gate:
+        num_path, den_path = gate["ratio_of"]
+        current = lookup(blob, num_path) / lookup(blob, den_path)
+        label = f"{num_path} / {den_path}"
+    else:
+        current = lookup(blob, gate["path"])
+        label = gate["path"]
+
+    if "equals" in gate:
+        expected = gate["equals"]
+        ok = current == expected
+        return ok, f"{label} == {expected!r} (got {current!r})"
+    if "min" in gate:
+        ok = current >= gate["min"]
+        return ok, f"{label} >= {gate['min']} (got {current})"
+    if "max" in gate:
+        ok = current <= gate["max"]
+        return ok, f"{label} <= {gate['max']} (got {current})"
+    if "baseline" in gate:
+        baseline = gate["baseline"]
+        tolerance = gate.get("tolerance", 0.2)
+        if gate.get("direction", "higher") == "lower":
+            bound = baseline * (1.0 + tolerance)
+            ok = current <= bound
+            return ok, (f"{label} <= {bound:g} "
+                        f"(baseline {baseline:g} +{tolerance:.0%}, got {current})")
+        bound = baseline * (1.0 - tolerance)
+        ok = current >= bound
+        return ok, (f"{label} >= {bound:g} "
+                    f"(baseline {baseline:g} -{tolerance:.0%}, got {current})")
+    raise ValueError(f"gate has no comparison: {gate}")
+
+
+def compare(current_path, baseline_path):
+    with open(current_path) as f:
+        blob = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if blob.get("bench") != baseline.get("bench"):
+        print(f"FAIL {current_path}: bench name {blob.get('bench')!r} "
+              f"!= baseline {baseline.get('bench')!r}")
+        return False
+
+    failures = 0
+    for gate in baseline["gates"]:
+        try:
+            ok, message = check_gate(blob, gate)
+        except (KeyError, IndexError, TypeError) as error:
+            ok, message = False, f"{gate.get('path', gate)}: unresolvable ({error!r})"
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status} {message}")
+        failures += 0 if ok else 1
+    verdict = "pass" if failures == 0 else f"{failures} gate(s) failed"
+    print(f"{current_path}: {verdict}")
+    return failures == 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory holding baseline BENCH_*.json files")
+    parser.add_argument("current", nargs="+",
+                        help="benchmark JSON files produced by this run")
+    args = parser.parse_args(argv)
+
+    all_ok = True
+    for current in args.current:
+        baseline = Path(args.baseline_dir) / Path(current).name
+        if not baseline.exists():
+            print(f"FAIL {current}: no baseline at {baseline}")
+            all_ok = False
+            continue
+        print(f"== {current} vs {baseline}")
+        all_ok &= compare(current, baseline)
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
