@@ -20,6 +20,19 @@
 //                              dataset / training / per-phase request knobs
 //                              (defaults reproduce the original demo; the CI
 //                              smoke run shrinks them)
+//
+// Fleet mode — a thin wrapper over serve::Server, replacing the scripted
+// single-loop demo with a multi-stream socket front end (see DESIGN.md §10):
+//
+//   ./build/examples/resilient_service --serve-streams
+//       [--host <ip>]            bind address     (default 127.0.0.1)
+//       [--port <p>]             TCP port, 0 = ephemeral, printed on stdout
+//       [--max-streams <n>]      admission cap    (default 1024)
+//       [--batch-max <n>]        cross-stream batch size cap (default 64)
+//       [--batch-delay-us <us>]  batching window  (default 2000)
+//       [--hold-seconds <s>]     serve for <s> seconds, 0 = until killed
+//
+// Drive it with examples/stream_client.
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +46,8 @@
 #include "mvreju/ml/model.hpp"
 #include "mvreju/obs/exporter.hpp"
 #include "mvreju/obs/session.hpp"
+#include "mvreju/serve/server.hpp"
+#include "mvreju/serve/session.hpp"
 #include "mvreju/util/args.hpp"
 
 using namespace mvreju;
@@ -75,7 +90,7 @@ struct ServiceHealth {
 };
 
 /// Serve `count` classifications and report the outcome mix.
-void serve(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& test,
+void serve_phase(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& test,
            int count, const char* label, const ServiceHealth& health) {
     int decided = 0;
     int correct = 0;
@@ -99,11 +114,69 @@ void serve(core::RuntimeSystem<ml::Tensor, int>& service, const ml::Dataset& tes
                 skipped, silent);
 }
 
+/// --serve-streams: host a fleet of concurrent perception streams over the
+/// length-prefixed frame protocol, batching inference across streams. The
+/// whole single-loop demo above collapses into configuring serve::Server.
+int serve_streams(const util::Args& args) {
+    serve::Server::Options options;
+    options.host = args.host();
+    options.port = args.port(0);
+    options.max_streams = args.max_streams(1024);
+    options.batch_max = args.batch_max(64);
+    options.batch_delay_us =
+        static_cast<std::uint64_t>(args.batch_delay_us(2000));
+    const double hold_seconds = args.get("hold-seconds", 0.0);
+
+    const serve::ModelSet set = serve::make_model_set();
+    serve::Server server(set, options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "error: cannot start server: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("serving perception streams on %s:%d "
+                "(max-streams %d, batch-max %d, batch-delay %llu us)\n",
+                options.host.c_str(), server.port(), options.max_streams,
+                options.batch_max,
+                static_cast<unsigned long long>(options.batch_delay_us));
+    std::fflush(stdout);
+
+    const auto report = [&server] {
+        const serve::Server::Stats stats = server.stats();
+        std::printf("streams=%llu frames=%llu decided=%llu skipped=%llu "
+                    "no_output=%llu degraded=%llu dropped=%llu "
+                    "slo_breaches=%llu protocol_errors=%llu refusals=%llu\n",
+                    static_cast<unsigned long long>(stats.active_streams),
+                    static_cast<unsigned long long>(stats.frames),
+                    static_cast<unsigned long long>(stats.decided),
+                    static_cast<unsigned long long>(stats.skipped),
+                    static_cast<unsigned long long>(stats.no_output),
+                    static_cast<unsigned long long>(stats.degraded),
+                    static_cast<unsigned long long>(stats.dropped),
+                    static_cast<unsigned long long>(stats.slo_breaches),
+                    static_cast<unsigned long long>(stats.protocol_errors),
+                    static_cast<unsigned long long>(stats.admission_refusals));
+        std::fflush(stdout);
+    };
+
+    const auto started = Clock::now();
+    while (hold_seconds <= 0.0 ||
+           std::chrono::duration<double>(Clock::now() - started).count() <
+               hold_seconds) {
+        std::this_thread::sleep_for(1s);
+        report();
+    }
+    server.stop();
+    report();
+    return 0;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     const util::Args args(argc, argv);
     obs::Session session(args);
+    if (args.has("serve-streams")) return serve_streams(args);
 
     data::SignDatasetConfig data_cfg;
     data_cfg.train_count = args.get("train-count", 1600);
@@ -146,7 +219,7 @@ int main(int argc, char** argv) {
                     obs::Exporter::global().port());
     health.publish();
 
-    serve(service, dataset.test, count, "all replicas healthy:", health);
+    serve_phase(service, dataset.test, count, "all replicas healthy:", health);
 
     // Attack 1: corrupt a weight of replica 0 (it keeps answering, wrongly).
     // `corrupted` outlives the swap below, as pointer captures require.
@@ -154,7 +227,7 @@ int main(int argc, char** argv) {
     (void)fi::random_weight_inj(corrupted, 0, -10.0f, 30.0f, 7);
     service.rejuvenate(0, version_fn(&corrupted));  // "attack" swap
     health.states[0] = "compromised";
-    serve(service, dataset.test, count, "replica 0 compromised:", health);
+    serve_phase(service, dataset.test, count, "replica 0 compromised:", health);
 
     // Attack 2: wedge replica 1 entirely (never answers again).
     service.rejuvenate(1, [](const ml::Tensor& x) -> int {
@@ -162,7 +235,7 @@ int main(int argc, char** argv) {
         return static_cast<int>(x.size());  // unreachable
     });
     health.states[1] = "nonfunctional";
-    serve(service, dataset.test, count / 2, "replica 1 wedged as well:", health);
+    serve_phase(service, dataset.test, count / 2, "replica 1 wedged as well:", health);
     std::printf("  replica 1 deadline misses so far: %zu\n", service.timeouts(1));
 
     // Rejuvenation: reload both from pristine storage. Replica 0 is repaired
@@ -172,7 +245,7 @@ int main(int argc, char** argv) {
     service.rejuvenate(1, version_fn(&models[1]), core::RejuvenationCause::proactive);
     health.states[0] = health.states[1] = "healthy";
     health.last_rejuvenation = Clock::now();
-    serve(service, dataset.test, count, "after rejuvenation:", health);
+    serve_phase(service, dataset.test, count, "after rejuvenation:", health);
 
     std::printf("total rejuvenations performed: %zu\n", service.rejuvenations());
 
@@ -190,4 +263,7 @@ int main(int argc, char** argv) {
         }
     }
     return 0;
+} catch (const mvreju::util::ArgError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
 }

@@ -1,0 +1,121 @@
+// Sample client for the fleet serving layer: opens one perception stream
+// to a `resilient_service --serve-streams` (or any serve::Server), sends
+// seeded random frames over the length-prefixed protocol, and prints each
+// response — frame id, vote outcome, label, agreeing and functional module
+// counts, and whether the server degraded the frame under load.
+//
+//   ./build/examples/stream_client
+//       [--host <ip>]     server address   (default 127.0.0.1)
+//       [--port <p>]      server port      (required)
+//       [--frames <n>]    frames to send   (default 10)
+//       [--seed <s>]      frame contents   (default 1)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mvreju/serve/protocol.hpp"
+#include "mvreju/util/args.hpp"
+#include "mvreju/util/rng.hpp"
+
+using namespace mvreju;
+
+namespace {
+
+const char* status_name(serve::ResponseStatus status) {
+    switch (status) {
+        case serve::ResponseStatus::decided: return "decided";
+        case serve::ResponseStatus::skipped: return "skipped";
+        case serve::ResponseStatus::no_output: return "no_output";
+        case serve::ResponseStatus::shed: return "shed";
+        case serve::ResponseStatus::error: return "error";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::Args args(argc, argv);
+    const std::string host = args.host();
+    const int port = args.port(0);
+    const int frames = args.get_int("frames", 10, 1, 1'000'000);
+    const int seed = args.get_int("seed", 1, 0, 1 << 30);
+    if (port == 0) {
+        std::fprintf(stderr, "usage: stream_client --port <p> [--host <ip>] "
+                             "[--frames <n>] [--seed <s>]\n");
+        return 2;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("socket");
+        return 1;
+    }
+    timeval timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        std::perror("connect");
+        ::close(fd);
+        return 1;
+    }
+
+    // The server's model geometry (channels x side x side) is fixed by
+    // serve::ModelSetConfig; a frame of any other size is a protocol error.
+    constexpr std::size_t kSampleSize = 3 * 16 * 16;
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    int failures = 0;
+    for (int i = 1; i <= frames; ++i) {
+        serve::RequestFrame request;
+        request.frame_id = static_cast<std::uint64_t>(i);
+        request.image.resize(kSampleSize);
+        for (float& v : request.image) v = static_cast<float>(rng.uniform());
+        const std::string wire = serve::encode_request(request);
+        if (::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL) !=
+            static_cast<ssize_t>(wire.size())) {
+            std::perror("send");
+            ::close(fd);
+            return 1;
+        }
+
+        std::string received;
+        char buf[256];
+        while (received.size() < 24) {
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n <= 0) {
+                std::fprintf(stderr, "server closed the stream\n");
+                ::close(fd);
+                return 1;
+            }
+            received.append(buf, static_cast<std::size_t>(n));
+        }
+        serve::ResponseFrame response;
+        if (!serve::decode_response(received.data() + 4, received.size() - 4,
+                                    response)) {
+            std::fprintf(stderr, "malformed response frame\n");
+            ::close(fd);
+            return 1;
+        }
+        std::printf("frame %llu: %s label=%d agreeing=%u functional=%u%s\n",
+                    static_cast<unsigned long long>(response.frame_id),
+                    status_name(response.status), response.label,
+                    static_cast<unsigned>(response.agreeing),
+                    static_cast<unsigned>(response.functional_modules),
+                    response.degraded ? " (degraded)" : "");
+        failures += response.status == serve::ResponseStatus::error;
+    }
+    ::close(fd);
+    return failures == 0 ? 0 : 1;
+} catch (const mvreju::util::ArgError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+}

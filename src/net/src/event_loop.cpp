@@ -1,0 +1,196 @@
+#include "mvreju/net/event_loop.hpp"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define MVREJU_NET_HAVE_EPOLL 1
+#endif
+
+namespace mvreju::net {
+
+namespace {
+
+#if MVREJU_NET_HAVE_EPOLL
+std::uint32_t to_epoll(std::uint32_t interest) {
+    std::uint32_t ev = 0;
+    if (interest & kReadable) ev |= EPOLLIN;
+    if (interest & kWritable) ev |= EPOLLOUT;
+    return ev;
+}
+
+std::uint32_t from_epoll(std::uint32_t ev) {
+    std::uint32_t ready = 0;
+    if (ev & (EPOLLIN | EPOLLPRI)) ready |= kReadable;
+    if (ev & EPOLLOUT) ready |= kWritable;
+    if (ev & (EPOLLERR | EPOLLHUP)) ready |= kError | kReadable;
+    return ready;
+}
+#endif
+
+short to_poll(std::uint32_t interest) {
+    short ev = 0;
+    if (interest & kReadable) ev |= POLLIN;
+    if (interest & kWritable) ev |= POLLOUT;
+    return ev;
+}
+
+std::uint32_t from_poll(short revents) {
+    std::uint32_t ready = 0;
+    if (revents & (POLLIN | POLLPRI)) ready |= kReadable;
+    if (revents & POLLOUT) ready |= kWritable;
+    // POLLHUP/POLLERR/POLLNVAL: surface as error *and* readable so byte-stream
+    // consumers observe EOF through their normal read path.
+    if (revents & (POLLERR | POLLHUP | POLLNVAL)) ready |= kError | kReadable;
+    return ready;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Backend backend) {
+#if MVREJU_NET_HAVE_EPOLL
+    if (backend == Backend::automatic) epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+#else
+    (void)backend;
+#endif
+    if (::pipe(wake_pipe_) == 0) {
+        // Self-pipe: stop() writes a token, the loop drains. Both ends are
+        // non-blocking so neither a stop() burst nor the drain can park.
+        for (int fd : wake_pipe_)
+            ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        add(wake_pipe_[0], kReadable, [this](std::uint32_t) {
+            char sink[64];
+            while (::read(wake_pipe_[0], sink, sizeof sink) > 0) {
+            }
+        });
+    }
+}
+
+EventLoop::~EventLoop() {
+#if MVREJU_NET_HAVE_EPOLL
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+    for (int fd : wake_pipe_)
+        if (fd >= 0) ::close(fd);
+}
+
+bool EventLoop::backend_add(int fd, std::uint32_t interest) {
+#if MVREJU_NET_HAVE_EPOLL
+    if (epoll_fd_ >= 0) {
+        epoll_event ev{};
+        ev.events = to_epoll(interest);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+#endif
+    (void)fd;
+    (void)interest;
+    return true;  // poll backend builds its fd set per call
+}
+
+bool EventLoop::backend_modify(int fd, std::uint32_t interest) {
+#if MVREJU_NET_HAVE_EPOLL
+    if (epoll_fd_ >= 0) {
+        epoll_event ev{};
+        ev.events = to_epoll(interest);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+    }
+#endif
+    (void)fd;
+    (void)interest;
+    return true;
+}
+
+void EventLoop::backend_remove(int fd) {
+#if MVREJU_NET_HAVE_EPOLL
+    if (epoll_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+    (void)fd;
+}
+
+bool EventLoop::add(int fd, std::uint32_t interest, IoCallback callback) {
+    if (fd < 0 || !callback || entries_.contains(fd)) return false;
+    if (!backend_add(fd, interest)) return false;
+    entries_.emplace(fd, Entry{interest, std::move(callback), ++generation_});
+    return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t interest) {
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) return false;
+    if (!backend_modify(fd, interest)) return false;
+    it->second.interest = interest;
+    return true;
+}
+
+void EventLoop::remove(int fd) {
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) return;
+    backend_remove(fd);
+    entries_.erase(it);
+}
+
+void EventLoop::dispatch(const std::vector<std::pair<int, std::uint32_t>>& ready) {
+    for (const auto& [fd, bits] : ready) {
+        // A previous callback may have removed this fd (or closed it and a
+        // new registration reused the number): invoke only the entry that
+        // was registered when readiness was observed.
+        auto it = entries_.find(fd);
+        if (it == entries_.end()) continue;
+        // Copy the callback: it may remove itself (erasing the entry) while
+        // running.
+        IoCallback callback = it->second.callback;
+        callback(bits);
+    }
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+#if MVREJU_NET_HAVE_EPOLL
+    if (epoll_fd_ >= 0) {
+        epoll_event events[64];
+        const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+        if (n < 0) return errno == EINTR ? 0 : -1;
+        std::vector<std::pair<int, std::uint32_t>> ready;
+        ready.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;  // copy out of the packed union
+            ready.emplace_back(fd, from_epoll(events[i].events));
+        }
+        dispatch(ready);
+        return n;
+    }
+#endif
+    std::vector<pollfd> fds;
+    fds.reserve(entries_.size());
+    for (const auto& [fd, entry] : entries_)
+        fds.push_back(pollfd{fd, to_poll(entry.interest), 0});
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    if (n == 0) return 0;
+    std::vector<std::pair<int, std::uint32_t>> ready;
+    ready.reserve(static_cast<std::size_t>(n));
+    for (const pollfd& p : fds)
+        if (p.revents != 0) ready.emplace_back(p.fd, from_poll(p.revents));
+    dispatch(ready);
+    return n;
+}
+
+void EventLoop::run(int tick_ms) {
+    while (!stop_requested()) {
+        if (poll_once(tick_ms) < 0) break;
+    }
+}
+
+void EventLoop::stop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+    if (wake_pipe_[1] >= 0) {
+        const char token = 's';
+        [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &token, 1);
+    }
+}
+
+}  // namespace mvreju::net

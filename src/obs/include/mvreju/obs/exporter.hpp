@@ -1,8 +1,8 @@
 #pragma once
 
-// Embedded live-telemetry endpoint: a tiny HTTP/1.0 server on plain POSIX
-// sockets (no dependencies, one service thread, loopback by default) that
-// turns a long-running binary into a scrapeable service:
+// Embedded live-telemetry endpoint: a tiny HTTP/1.0 server riding the
+// shared net::EventLoop (no dependencies, one service thread, loopback
+// only) that turns a long-running binary into a scrapeable service:
 //
 //   GET /metrics   the merged obs::metrics() snapshot in Prometheus text
 //                  exposition format (plus an mvreju_build_info series and,
@@ -53,7 +53,19 @@ struct HealthReport {
 /// Exporter::global(); separate instances exist for tests.
 class Exporter {
 public:
+    /// Serving knobs, now that the exporter rides the shared net layer.
+    /// Defaults reproduce the historical hardcoded behaviour exactly.
+    struct Options {
+        /// Event-loop tick: the upper bound on how long stop() waits for a
+        /// parked service thread (the net::EventLoop self-pipe usually wakes
+        /// it immediately).
+        int poll_timeout_ms = 200;
+        /// listen(2) backlog for the accept queue.
+        int listen_backlog = 16;
+    };
+
     Exporter();
+    explicit Exporter(const Options& options);
     ~Exporter();
     Exporter(const Exporter&) = delete;
     Exporter& operator=(const Exporter&) = delete;
@@ -87,6 +99,7 @@ public:
 
 private:
     void serve_loop();
+    void accept_client(int fd);
 
     struct Impl;
     Impl* impl_;

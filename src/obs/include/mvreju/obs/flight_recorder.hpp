@@ -63,6 +63,7 @@ enum class EventKind : std::uint16_t {
     injection,           ///< fi: fault injected; a = accuracy drop, b = faulty accuracy
     slo_breach,          ///< latency above budget; a = observed ms, b = budget ms
     custom,              ///< application-defined
+    load_shed,           ///< serve: frame degraded/dropped; a = 1 shed, 2 dropped
     kCount,
 };
 

@@ -4,15 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include "mvreju/net/conn.hpp"
+#include "mvreju/net/event_loop.hpp"
+#include "mvreju/net/listener.hpp"
 #include "mvreju/obs/buildinfo.hpp"
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/log.hpp"
@@ -88,17 +87,28 @@ struct Exporter::Impl {
     const std::chrono::steady_clock::time_point started =
         std::chrono::steady_clock::now();
 
+    Options options;
     std::atomic<bool> running{false};
-    std::atomic<bool> stop_requested{false};
     std::atomic<int> port{0};
-    int listen_fd = -1;
     std::thread thread;
+
+    // Networking state lives on the shared net layer: the loop is created by
+    // start() on the caller's thread (so bind failures are synchronous) and
+    // driven by the service thread. Accepted connections are tracked so
+    // stop() can close stragglers before tearing the loop down.
+    std::unique_ptr<net::EventLoop> loop;
+    std::unique_ptr<net::Listener> listener;
+    std::vector<std::weak_ptr<net::Conn>> conns;
 
     mutable std::mutex health_mu;
     std::optional<HealthReport> health;
 };
 
-Exporter::Exporter() : impl_(new Impl) {}
+Exporter::Exporter() : Exporter(Options{}) {}
+
+Exporter::Exporter(const Options& options) : impl_(new Impl) {
+    impl_->options = options;
+}
 
 Exporter::~Exporter() {
     stop();
@@ -232,29 +242,21 @@ bool Exporter::start(int port) {
         return false;
     }
 
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-        log_error("exporter: socket() failed");
+    impl_->loop = std::make_unique<net::EventLoop>();
+    net::ListenerOptions listen_opts;
+    listen_opts.host = "127.0.0.1";
+    listen_opts.port = port;
+    listen_opts.backlog = impl_->options.listen_backlog;
+    std::string error;
+    impl_->listener = net::Listener::open(
+        *impl_->loop, listen_opts, [this](int fd) { accept_client(fd); }, &error);
+    if (!impl_->listener) {
+        log_error("exporter: " + error);
+        impl_->loop.reset();
         return false;
     }
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-        ::listen(fd, 16) != 0) {
-        log_error("exporter: cannot bind 127.0.0.1:" + std::to_string(port));
-        ::close(fd);
-        return false;
-    }
-    socklen_t addr_len = sizeof addr;
-    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0)
-        impl_->port.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+    impl_->port.store(impl_->listener->port(), std::memory_order_relaxed);
 
-    impl_->listen_fd = fd;
-    impl_->stop_requested.store(false);
     impl_->running.store(true);
     impl_->thread = std::thread(&Exporter::serve_loop, this);
     log_info("exporter: serving /metrics /healthz /record on 127.0.0.1:" +
@@ -263,44 +265,42 @@ bool Exporter::start(int port) {
 #endif
 }
 
-void Exporter::serve_loop() {
-    for (;;) {
-        pollfd pfd{impl_->listen_fd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 200);
-        if (impl_->stop_requested.load(std::memory_order_relaxed)) return;
-        if (ready <= 0) continue;
-
-        const int client = ::accept(impl_->listen_fd, nullptr, nullptr);
-        if (client < 0) continue;
-        // HTTP/1.0, one request per connection: read what the client sent
-        // (headers are ignored beyond the request line), answer, close.
-        char buf[2048];
-        const ssize_t got = ::recv(client, buf, sizeof buf - 1, 0);
-        if (got > 0) {
-            buf[got] = '\0';
-            const std::string response = handle(buf);
-            std::size_t sent = 0;
-            while (sent < response.size()) {
-                // MSG_NOSIGNAL: a client hanging up mid-response must yield
-                // EPIPE here, not SIGPIPE for the whole process.
-                const ssize_t n = ::send(client, response.data() + sent,
-                                         response.size() - sent, MSG_NOSIGNAL);
-                if (n <= 0) break;
-                sent += static_cast<std::size_t>(n);
-            }
+void Exporter::accept_client(int fd) {
+    // HTTP/1.0, one request per connection: accumulate until the header
+    // terminator (or the historical 2 KiB request cap), answer, close.
+    auto conn = net::Conn::adopt(*impl_->loop, fd, [this](net::Conn& c) {
+        // handle() only parses the request line, so a complete first line is
+        // enough to answer; the 2 KiB cap matches the historical single-recv
+        // buffer and bounds what a hostile client can make us hold.
+        if (c.rx().find("\r\n") == std::string::npos && c.rx().size() < 2048)
+            return;  // request line still incomplete
+        c.send(handle(c.rx()));
+        c.close_after_send();
+    });
+    if (!conn) return;
+    // Track for shutdown; recycle slots left by finished connections.
+    for (auto& slot : impl_->conns) {
+        if (slot.expired()) {
+            slot = conn;
+            return;
         }
-        ::close(client);
     }
+    impl_->conns.push_back(conn);
 }
+
+void Exporter::serve_loop() { impl_->loop->run(impl_->options.poll_timeout_ms); }
 
 void Exporter::stop() {
     if (!impl_->running.exchange(false)) return;
-    impl_->stop_requested.store(true);
+    impl_->loop->stop();
     if (impl_->thread.joinable()) impl_->thread.join();
-    if (impl_->listen_fd >= 0) {
-        ::close(impl_->listen_fd);
-        impl_->listen_fd = -1;
-    }
+    // Close any connection that outlived the loop thread *before* the loop
+    // is destroyed: Conn::close unregisters from the loop.
+    for (auto& weak : impl_->conns)
+        if (auto conn = weak.lock()) conn->close();
+    impl_->conns.clear();
+    impl_->listener.reset();
+    impl_->loop.reset();
     impl_->port.store(0, std::memory_order_relaxed);
 }
 

@@ -1,0 +1,65 @@
+#pragma once
+
+// Admission control for the serving layer: a breach-rate window with
+// hysteresis. Every completed frame reports whether it breached its SLO
+// budget; when the breach fraction over the last `window` frames crosses
+// the enter threshold the server goes into load shedding (degraded
+// single-version responses), and it leaves only once the fraction falls
+// below the (lower) exit threshold — the gap keeps the controller from
+// flapping at the boundary. Purely arithmetic and clock-free, so the
+// deterministic fleet and the socket server shed identically for identical
+// latency sequences.
+
+#include <cstddef>
+#include <vector>
+
+namespace mvreju::serve {
+
+class OverloadControl {
+public:
+    struct Options {
+        double enter_breach_fraction = 0.5;  ///< start shedding at/above this
+        double exit_breach_fraction = 0.1;   ///< stop shedding at/below this
+        int window = 64;                     ///< frames in the sliding window
+    };
+
+    explicit OverloadControl(const Options& options)
+        : options_(options), ring_(static_cast<std::size_t>(
+                                 options.window > 0 ? options.window : 1)) {}
+
+    /// Record one completed frame's SLO verdict and update the shed state.
+    void record(bool breached) {
+        if (filled_ == ring_.size()) breaches_ -= ring_[head_];
+        else ++filled_;
+        ring_[head_] = breached ? 1 : 0;
+        breaches_ += ring_[head_];
+        head_ = (head_ + 1) % ring_.size();
+        const double fraction = breach_fraction();
+        if (!overloaded_) {
+            // Enter only on at least half a window of evidence, so a couple
+            // of slow warm-up frames cannot trip the shedder.
+            if (filled_ * 2 >= ring_.size() &&
+                fraction >= options_.enter_breach_fraction)
+                overloaded_ = true;
+        } else if (fraction <= options_.exit_breach_fraction) {
+            overloaded_ = false;
+        }
+    }
+
+    [[nodiscard]] bool overloaded() const noexcept { return overloaded_; }
+    [[nodiscard]] double breach_fraction() const noexcept {
+        return filled_ == 0 ? 0.0
+                            : static_cast<double>(breaches_) /
+                                  static_cast<double>(filled_);
+    }
+
+private:
+    Options options_;
+    std::vector<char> ring_;
+    std::size_t head_ = 0;
+    std::size_t filled_ = 0;
+    int breaches_ = 0;
+    bool overloaded_ = false;
+};
+
+}  // namespace mvreju::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+// Wire protocol of the multi-stream serving layer: length-prefixed binary
+// frames over a byte stream (TCP). Every frame is
+//
+//   u32 payload_length (little endian) | payload
+//
+// Request payload (client -> server), fixed size for a given model geometry:
+//   u64 frame_id | f32 image[sample_size]
+//
+// Response payload (server -> client), 20 bytes:
+//   u64 frame_id | u8 status | u8 degraded | u16 agreeing
+//   | i32 label | u32 functional_modules
+//
+// The parser is deliberately strict: a frame whose length is not exactly the
+// request size for the configured geometry, or above kMaxFrameBytes, is a
+// protocol error — the server answers with one `error` response and closes
+// the connection. Strictness is what makes the robustness guarantee simple:
+// garbage can waste one connection, never a thread or the process (see
+// tests/serve_protocol_test.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvreju::serve {
+
+/// Hard cap on a single frame's payload; anything larger is a protocol
+/// error, so a hostile 4 GiB length prefix cannot balloon the rx buffer.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// One perception request: a client-chosen frame id (echoed back, never
+/// interpreted) and one flattened image in the pool's input geometry.
+struct RequestFrame {
+    std::uint64_t frame_id = 0;
+    std::vector<float> image;
+};
+
+enum class ResponseStatus : std::uint8_t {
+    decided = 0,    ///< voter produced a label
+    skipped = 1,    ///< functional versions disagreed: safe skip
+    no_output = 2,  ///< no functional version this frame
+    shed = 3,       ///< dropped at the overload hard cap; no inference ran
+    error = 4,      ///< protocol violation or admission refusal; conn closes
+};
+
+struct ResponseFrame {
+    std::uint64_t frame_id = 0;
+    ResponseStatus status = ResponseStatus::error;
+    /// True when overload forced the degraded single-version path: the label
+    /// comes from the primary version alone, without the voter's cross-check.
+    bool degraded = false;
+    std::uint16_t agreeing = 0;
+    std::int32_t label = -1;
+    std::uint32_t functional_modules = 0;
+};
+
+/// Serialized frame (length prefix included) for each direction.
+[[nodiscard]] std::string encode_request(const RequestFrame& request);
+[[nodiscard]] std::string encode_response(const ResponseFrame& response);
+
+/// Decode one response *payload* (length prefix already stripped). Returns
+/// false on a malformed payload.
+[[nodiscard]] bool decode_response(const void* payload, std::size_t size,
+                                   ResponseFrame& out);
+
+/// Incremental request-stream parser for one connection. Feed it the rx
+/// buffer after every read; it erases what it consumed and appends complete
+/// requests. Once it reports an error it stays failed — the connection is
+/// done.
+class FrameParser {
+public:
+    /// `sample_size` is the flat element count of one image (C*H*W); the
+    /// only accepted request payload length is 8 + 4 * sample_size.
+    explicit FrameParser(std::size_t sample_size);
+
+    /// Consume as many complete frames from `buffer` as are present.
+    /// Returns false (and sets error()) on the first malformed frame;
+    /// `buffer` then still holds the offending bytes.
+    bool consume(std::string& buffer, std::vector<RequestFrame>& out);
+
+    [[nodiscard]] bool failed() const noexcept { return !error_.empty(); }
+    [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+private:
+    std::size_t sample_size_;
+    std::string error_;
+};
+
+}  // namespace mvreju::serve

@@ -1,0 +1,96 @@
+#pragma once
+
+// The fleet-scale serving front end: a serve::Server accepts any number of
+// client connections (one perception stream each) on a net::EventLoop,
+// parses length-prefixed request frames, routes every functional version's
+// inference through the shared cross-stream DynamicBatcher, and answers
+// with the voter's decision. One service thread owns everything — loop,
+// sessions, batcher, overload control — so there is no locking on the
+// serving path; parallelism comes from logits_batch fanning a coalesced
+// batch across worker threads.
+//
+// Admission and overload policy:
+//  - beyond max_streams, new connections get one `error` response and are
+//    closed (admission refusal);
+//  - when the SLO breach rate trips the OverloadControl, frames are served
+//    degraded — the primary version only, no cross-check — and each one
+//    leaves a load_shed flight event and a serve.shed.degraded count;
+//  - beyond max_inflight staged frames, requests are answered `shed`
+//    without running inference at all (dropped).
+//
+// The deterministic twin of this class is synthetic.hpp's fleet; the socket
+// server trades its virtual clock for the steady clock and its outcome hash
+// for live clients, but shares every policy component.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mvreju/core/health.hpp"
+#include "mvreju/core/voter.hpp"
+#include "mvreju/serve/overload.hpp"
+#include "mvreju/serve/session.hpp"
+
+namespace mvreju::serve {
+
+class Server {
+public:
+    struct Options {
+        std::string host = "127.0.0.1";
+        int port = 0;  ///< 0 picks an ephemeral port (see port())
+        int backlog = 64;
+        int max_streams = 1024;
+
+        int batch_max = 64;
+        std::uint64_t batch_delay_us = 2000;
+        std::size_t infer_threads = 1;
+
+        double slo_budget_ms = 50.0;
+        bool shedding = true;
+        OverloadControl::Options overload;
+        std::size_t max_inflight = 4096;
+
+        int tick_ms = 20;  ///< loop wake cadence when no batch deadline is due
+
+        core::HealthEngineConfig health;  ///< per-stream seed base
+        core::VotingScheme scheme = core::VotingScheme::majority;
+    };
+
+    struct Stats {
+        std::uint64_t frames = 0;
+        std::uint64_t decided = 0;
+        std::uint64_t skipped = 0;
+        std::uint64_t no_output = 0;
+        std::uint64_t degraded = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t slo_breaches = 0;
+        std::uint64_t protocol_errors = 0;
+        std::uint64_t admission_refusals = 0;
+        std::uint64_t connections = 0;  ///< accepted (admitted) in total
+        std::size_t active_streams = 0;
+    };
+
+    /// `set` must outlive the server; it is shared const across streams.
+    Server(const ModelSet& set, const Options& options);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind and start the service thread. False (with a reason in *error)
+    /// when already running or the socket cannot be bound.
+    bool start(std::string* error = nullptr);
+    /// Stop the service thread and close every connection. Idempotent.
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept;
+    /// The actually bound port; 0 when not running.
+    [[nodiscard]] int port() const noexcept;
+
+    [[nodiscard]] Stats stats() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mvreju::serve

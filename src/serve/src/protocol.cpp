@@ -1,0 +1,119 @@
+#include "mvreju/serve/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mvreju::serve {
+
+namespace {
+
+// All integers travel little endian, written byte by byte so the encoding is
+// identical on any host. Floats travel as the LE bytes of their IEEE-754
+// bit pattern — bit-exact round trip, which the determinism gates rely on.
+
+void put_u16(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+constexpr std::size_t kResponsePayload = 8 + 1 + 1 + 2 + 4 + 4;
+
+}  // namespace
+
+std::string encode_request(const RequestFrame& request) {
+    const std::size_t payload = 8 + 4 * request.image.size();
+    std::string out;
+    out.reserve(4 + payload);
+    put_u32(out, static_cast<std::uint32_t>(payload));
+    put_u64(out, request.frame_id);
+    for (const float f : request.image) put_u32(out, std::bit_cast<std::uint32_t>(f));
+    return out;
+}
+
+std::string encode_response(const ResponseFrame& response) {
+    std::string out;
+    out.reserve(4 + kResponsePayload);
+    put_u32(out, static_cast<std::uint32_t>(kResponsePayload));
+    put_u64(out, response.frame_id);
+    out.push_back(static_cast<char>(response.status));
+    out.push_back(static_cast<char>(response.degraded ? 1 : 0));
+    put_u16(out, response.agreeing);
+    put_u32(out, std::bit_cast<std::uint32_t>(response.label));
+    put_u32(out, response.functional_modules);
+    return out;
+}
+
+bool decode_response(const void* payload, std::size_t size, ResponseFrame& out) {
+    if (size != kResponsePayload) return false;
+    const auto* p = static_cast<const unsigned char*>(payload);
+    out.frame_id = get_u64(p);
+    const std::uint8_t status = p[8];
+    if (status > static_cast<std::uint8_t>(ResponseStatus::error)) return false;
+    out.status = static_cast<ResponseStatus>(status);
+    out.degraded = p[9] != 0;
+    out.agreeing = get_u16(p + 10);
+    out.label = std::bit_cast<std::int32_t>(get_u32(p + 12));
+    out.functional_modules = get_u32(p + 16);
+    return true;
+}
+
+FrameParser::FrameParser(std::size_t sample_size) : sample_size_(sample_size) {}
+
+bool FrameParser::consume(std::string& buffer, std::vector<RequestFrame>& out) {
+    if (failed()) return false;
+    const std::size_t expected = 8 + 4 * sample_size_;
+    std::size_t consumed = 0;
+    while (buffer.size() - consumed >= 4) {
+        const auto* base =
+            reinterpret_cast<const unsigned char*>(buffer.data()) + consumed;
+        const std::uint32_t length = get_u32(base);
+        if (length > kMaxFrameBytes) {
+            error_ = "frame length " + std::to_string(length) + " exceeds cap " +
+                     std::to_string(kMaxFrameBytes);
+            break;
+        }
+        if (length != expected) {
+            error_ = "request payload must be " + std::to_string(expected) +
+                     " bytes for this model geometry, got " + std::to_string(length);
+            break;
+        }
+        if (buffer.size() - consumed < 4 + static_cast<std::size_t>(length))
+            break;  // incomplete frame: wait for more bytes
+        RequestFrame frame;
+        frame.frame_id = get_u64(base + 4);
+        frame.image.resize(sample_size_);
+        for (std::size_t i = 0; i < sample_size_; ++i)
+            frame.image[i] =
+                std::bit_cast<float>(get_u32(base + 12 + 4 * i));
+        out.push_back(std::move(frame));
+        consumed += 4 + length;
+    }
+    buffer.erase(0, consumed);
+    return !failed();
+}
+
+}  // namespace mvreju::serve

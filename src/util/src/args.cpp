@@ -1,9 +1,33 @@
 #include "mvreju/util/args.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
 namespace mvreju::util {
+
+namespace {
+
+/// Parse the *entire* string as a long; nullopt on empty/junk/overflow.
+std::optional<long> parse_long(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0') return std::nullopt;
+    return value;
+}
+
+std::optional<double> parse_double(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0') return std::nullopt;
+    return value;
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
@@ -36,6 +60,54 @@ int Args::get(const std::string& key, int fallback) const {
     return it == values_.end() || it->second.empty()
                ? fallback
                : static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+int Args::get_int(const std::string& key, int fallback, int min, int max) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::optional<long> parsed = parse_long(it->second);
+    if (!parsed.has_value() || *parsed < min || *parsed > max)
+        throw ArgError("--" + key + ": expected an integer in [" +
+                       std::to_string(min) + ", " + std::to_string(max) +
+                       "], got '" + it->second + "'");
+    return static_cast<int>(*parsed);
+}
+
+double Args::get_double(const std::string& key, double fallback, double min,
+                        double max) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::optional<double> parsed = parse_double(it->second);
+    if (!parsed.has_value() || *parsed < min || *parsed > max)
+        throw ArgError("--" + key + ": expected a number in [" +
+                       std::to_string(min) + ", " + std::to_string(max) +
+                       "], got '" + it->second + "'");
+    return *parsed;
+}
+
+std::string Args::host(const std::string& fallback) const {
+    auto it = values_.find("host");
+    if (it == values_.end()) return fallback;
+    const std::string& value = it->second;
+    // Dotted-quad IPv4 only (the net layer binds AF_INET): four dot-
+    // separated integers in [0, 255].
+    int dots = 0;
+    std::size_t start = 0;
+    bool ok = !value.empty();
+    for (std::size_t i = 0; ok && i <= value.size(); ++i) {
+        if (i == value.size() || value[i] == '.') {
+            const std::optional<long> octet = parse_long(value.substr(start, i - start));
+            ok = octet.has_value() && *octet >= 0 && *octet <= 255;
+            dots += (i < value.size());
+            start = i + 1;
+        } else if (value[i] < '0' || value[i] > '9') {
+            ok = false;
+        }
+    }
+    if (!ok || dots != 3)
+        throw ArgError("--host: expected a dotted-quad IPv4 address, got '" +
+                       value + "'");
+    return value;
 }
 
 }  // namespace mvreju::util

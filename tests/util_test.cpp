@@ -177,5 +177,68 @@ TEST(Args, FlagFollowedByFlag) {
     EXPECT_EQ(args.get("b", std::string("def")), "x");
 }
 
+TEST(Args, TypedAccessorsValidateRangeAndText) {
+    const char* argv[] = {"prog", "--port", "8080", "--rate", "2.5"};
+    Args args(5, argv);
+    EXPECT_EQ(args.get_int("port", 0, 0, 65535), 8080);
+    EXPECT_EQ(args.get_int("missing", 42, 0, 100), 42);
+    EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0, 0.0, 10.0), 2.5);
+    EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5, 0.0, 10.0), 1.5);
+    // Out of range: present-but-invalid throws instead of silently falling
+    // back (the lenient get() would have returned garbage here).
+    EXPECT_THROW((void)args.get_int("port", 0, 0, 1024), ArgError);
+    EXPECT_THROW((void)args.get_double("rate", 0.0, 3.0, 10.0), ArgError);
+}
+
+TEST(Args, TypedAccessorsRejectJunk) {
+    const char* argv[] = {"prog", "--port", "http", "--count", "12x",
+                          "--rate", "fast"};
+    Args args(7, argv);
+    try {
+        (void)args.get_int("port", 0, 0, 65535);
+        FAIL() << "expected ArgError";
+    } catch (const ArgError& e) {
+        // The message names the flag, the range and the offending text.
+        const std::string message = e.what();
+        EXPECT_NE(message.find("--port"), std::string::npos);
+        EXPECT_NE(message.find("[0, 65535]"), std::string::npos);
+        EXPECT_NE(message.find("'http'"), std::string::npos);
+    }
+    EXPECT_THROW((void)args.get_int("count", 0, 0, 100), ArgError);   // trailing junk
+    EXPECT_THROW((void)args.get_double("rate", 0.0, 0.0, 9.0), ArgError);
+}
+
+TEST(Args, ServingFlagHelpers) {
+    const char* argv[] = {"prog",          "--host",       "10.0.0.1",
+                          "--port",        "9000",         "--max-streams",
+                          "128",           "--batch-max",  "32",
+                          "--batch-delay-us", "1500"};
+    Args args(11, argv);
+    EXPECT_EQ(args.host(), "10.0.0.1");
+    EXPECT_EQ(args.port(0), 9000);
+    EXPECT_EQ(args.max_streams(1), 128);
+    EXPECT_EQ(args.batch_max(1), 32);
+    EXPECT_EQ(args.batch_delay_us(0), 1500);
+
+    // Defaults apply when flags are absent.
+    const char* none[] = {"prog"};
+    Args empty(1, none);
+    EXPECT_EQ(empty.host(), "127.0.0.1");
+    EXPECT_EQ(empty.host("0.0.0.0"), "0.0.0.0");
+    EXPECT_EQ(empty.port(7070), 7070);
+}
+
+TEST(Args, HostValidatesDottedQuad) {
+    for (const char* bad : {"localhost", "1.2.3", "1.2.3.4.5", "256.0.0.1",
+                            "1.2.3.x", "", "..."}) {
+        const char* argv[] = {"prog", "--host", bad};
+        Args args(3, argv);
+        EXPECT_THROW((void)args.host(), ArgError) << "accepted '" << bad << "'";
+    }
+    const char* argv[] = {"prog", "--host", "0.0.0.0"};
+    Args args(3, argv);
+    EXPECT_EQ(args.host(), "0.0.0.0");
+}
+
 }  // namespace
 }  // namespace mvreju::util
