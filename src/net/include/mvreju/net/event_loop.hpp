@@ -82,10 +82,18 @@ private:
         std::uint64_t generation = 0;  ///< guards against fd-number reuse
     };
 
+    /// One ready fd with the generation of the entry that was registered
+    /// when readiness was captured, so dispatch can detect fd-number reuse.
+    struct ReadyEvent {
+        int fd = -1;
+        std::uint32_t bits = 0;
+        std::uint64_t generation = 0;
+    };
+
     bool backend_add(int fd, std::uint32_t interest);
     bool backend_modify(int fd, std::uint32_t interest);
     void backend_remove(int fd);
-    void dispatch(const std::vector<std::pair<int, std::uint32_t>>& ready);
+    void dispatch(const std::vector<ReadyEvent>& ready);
 
     std::unordered_map<int, Entry> entries_;
     std::uint64_t generation_ = 0;

@@ -134,17 +134,20 @@ void EventLoop::remove(int fd) {
     entries_.erase(it);
 }
 
-void EventLoop::dispatch(const std::vector<std::pair<int, std::uint32_t>>& ready) {
-    for (const auto& [fd, bits] : ready) {
-        // A previous callback may have removed this fd (or closed it and a
-        // new registration reused the number): invoke only the entry that
-        // was registered when readiness was observed.
-        auto it = entries_.find(fd);
-        if (it == entries_.end()) continue;
+void EventLoop::dispatch(const std::vector<ReadyEvent>& ready) {
+    for (const ReadyEvent& event : ready) {
+        // A previous callback may have removed this fd — or closed it and a
+        // later callback reused the number (accept handing out the same fd).
+        // The generation stamped when readiness was captured detects both:
+        // invoke only the entry that was registered when the backend
+        // reported the fd ready, never a newer registration.
+        auto it = entries_.find(event.fd);
+        if (it == entries_.end() || it->second.generation != event.generation)
+            continue;
         // Copy the callback: it may remove itself (erasing the entry) while
         // running.
         IoCallback callback = it->second.callback;
-        callback(bits);
+        callback(event.bits);
     }
 }
 
@@ -154,11 +157,14 @@ int EventLoop::poll_once(int timeout_ms) {
         epoll_event events[64];
         const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
         if (n < 0) return errno == EINTR ? 0 : -1;
-        std::vector<std::pair<int, std::uint32_t>> ready;
+        std::vector<ReadyEvent> ready;
         ready.reserve(static_cast<std::size_t>(n));
         for (int i = 0; i < n; ++i) {
             const int fd = events[i].data.fd;  // copy out of the packed union
-            ready.emplace_back(fd, from_epoll(events[i].events));
+            const auto it = entries_.find(fd);
+            if (it == entries_.end()) continue;  // unregistered straggler
+            ready.push_back(
+                ReadyEvent{fd, from_epoll(events[i].events), it->second.generation});
         }
         dispatch(ready);
         return n;
@@ -171,10 +177,12 @@ int EventLoop::poll_once(int timeout_ms) {
     const int n = ::poll(fds.data(), fds.size(), timeout_ms);
     if (n < 0) return errno == EINTR ? 0 : -1;
     if (n == 0) return 0;
-    std::vector<std::pair<int, std::uint32_t>> ready;
+    std::vector<ReadyEvent> ready;
     ready.reserve(static_cast<std::size_t>(n));
     for (const pollfd& p : fds)
-        if (p.revents != 0) ready.emplace_back(p.fd, from_poll(p.revents));
+        if (p.revents != 0)
+            ready.push_back(
+                ReadyEvent{p.fd, from_poll(p.revents), entries_.at(p.fd).generation});
     dispatch(ready);
     return n;
 }

@@ -50,28 +50,36 @@ std::optional<std::uint64_t> DynamicBatcher::next_deadline_us() const {
 }
 
 std::size_t DynamicBatcher::flush_due(std::uint64_t now_us) {
+    // Index-based iteration: completions running inside flush_queue may
+    // re-submit, and a submit for a model the batcher has not seen yet grows
+    // queues_, invalidating iterators and references. Re-reading size() each
+    // pass also gives queues appended mid-loop their own deadline check.
     std::size_t completed = 0;
-    for (Queue& q : queues_) {
-        if (q.done.empty() || q.oldest_us + options_.max_delay_us > now_us) continue;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (queues_[i].done.empty() ||
+            queues_[i].oldest_us + options_.max_delay_us > now_us)
+            continue;
         static obs::Counter& deadline =
             obs::metrics().counter("serve.batch.flushes_deadline");
         deadline.add(1);
-        completed += flush_queue(q);
+        completed += flush_queue(queues_[i]);
     }
     return completed;
 }
 
 std::size_t DynamicBatcher::flush_all() {
     std::size_t completed = 0;
-    for (Queue& q : queues_)
-        if (!q.done.empty()) completed += flush_queue(q);
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+        if (!queues_[i].done.empty()) completed += flush_queue(queues_[i]);
     return completed;
 }
 
 std::size_t DynamicBatcher::flush_queue(Queue& queue) {
     const std::size_t n = queue.done.size();
-    // Steal the staged batch first: completions may re-submit to this very
-    // queue (a session's next frame) without corrupting the flush.
+    const ml::Sequential* model = queue.model;
+    // Steal the staged batch first: completions may re-submit — including
+    // for an unseen model, which reallocates queues_ and dangles `queue` —
+    // so nothing below may touch the Queue reference again.
     std::vector<float> staged = std::move(queue.staging);
     std::vector<Completion> done = std::move(queue.done);
     queue.staging.clear();
@@ -99,7 +107,7 @@ std::size_t DynamicBatcher::flush_queue(Queue& queue) {
         ml::Tensor batch = ws.take(std::move(shape));
         std::memcpy(batch.data().data(), staged.data() + pos * sample_size_,
                     nb * sample_size_ * sizeof(float));
-        ml::Tensor logits = queue.model->logits_batch(batch, ws, 1);
+        ml::Tensor logits = model->logits_batch(batch, ws, 1);
         const std::size_t classes = logits.size() / nb;
         const float* rows = logits.data().data();
         for (std::size_t i = 0; i < nb; ++i) {

@@ -95,6 +95,19 @@ struct Server::Impl {
         client.conn->send(encode_response(response));
     }
 
+    /// Track a refused conn for shutdown, recycling slots left by conns
+    /// that already drained (same idiom as obs::Exporter) so a sustained
+    /// flood past max_streams cannot grow the vector without bound.
+    void track_refused(const std::shared_ptr<net::Conn>& conn) {
+        for (auto& slot : refused) {
+            if (slot.expired()) {
+                slot = conn;
+                return;
+            }
+        }
+        refused.push_back(conn);
+    }
+
     void on_accept(int fd) {
         if (clients.size() >= static_cast<std::size_t>(options.max_streams)) {
             // Admission refusal: one error frame, then close. The conn is
@@ -103,7 +116,7 @@ struct Server::Impl {
             if (conn) {
                 conn->send(encode_response(ResponseFrame{}));
                 conn->close_after_send();
-                refused.push_back(conn);
+                track_refused(conn);
             }
             static obs::Counter& refusals =
                 obs::metrics().counter("serve.admission_refusals");

@@ -6,6 +6,7 @@
 #include <optional>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
@@ -182,6 +183,19 @@ private:
         }
 
         const bool degrade = options_.shedding && overload_.overloaded();
+        const int primary = Session::primary_version(plan);
+
+        // Resolve the models up front (mirrors server.cpp): once the first
+        // submit happens a full batch may flush synchronously, run on_label,
+        // and erase this frame — so nothing below may touch inflight_[key]
+        // across a submit (operator[] would default-insert a leaked entry).
+        std::vector<std::pair<std::size_t, const ml::Sequential*>> to_submit;
+        for (std::size_t m = 0; m < plan.states.size(); ++m) {
+            if (degrade && static_cast<int>(m) != primary) continue;
+            const ml::Sequential* model = session.model_for(m, plan.states[m]);
+            if (model != nullptr) to_submit.emplace_back(m, model);
+        }
+
         const std::uint64_t key = frame_seq_++;
         InFlight& inflight = inflight_[key];
         inflight.stream = arrival.stream;
@@ -189,16 +203,7 @@ private:
         inflight.proposals.assign(plan.states.size(), std::nullopt);
         inflight.arrival_us = arrival.t_us;
         inflight.degraded = degrade;
-
-        const int primary = Session::primary_version(plan);
-        int submitted = 0;
-        for (std::size_t m = 0; m < plan.states.size(); ++m) {
-            if (degrade && static_cast<int>(m) != primary) continue;
-            const ml::Sequential* model = session.model_for(m, plan.states[m]);
-            if (model == nullptr) continue;
-            ++submitted;
-        }
-        inflight.remaining = submitted;
+        inflight.remaining = static_cast<int>(to_submit.size());
         inflight.plan = std::move(plan);
         if (degrade) {
             static obs::Counter& shed = obs::metrics().counter("serve.shed.degraded");
@@ -208,15 +213,20 @@ private:
                                 overload_.breach_fraction());
         }
 
+        if (to_submit.empty()) {
+            // Every eligible module was non-functional: vote over an empty
+            // proposal set right away instead of leaking the entry.
+            inflight.completed_us = arrival.t_us;
+            finalize(inflight);
+            inflight_.erase(key);
+            return;
+        }
+
         // A full queue flushes inside submit(): stamp the flush time first.
         flush_time_us_ = arrival.t_us;
-        for (std::size_t m = 0; m < inflight_[key].plan.states.size(); ++m) {
-            if (degrade && static_cast<int>(m) != primary) continue;
-            const core::ModuleState state = inflight_[key].plan.states[m];
-            const ml::Sequential* model = session.model_for(m, state);
-            if (model == nullptr) continue;
+        for (const auto& [m, model] : to_submit) {
             batcher_.submit(model, sample_.data(), arrival.t_us,
-                            [this, key, m](int label, const BatchStamp& stamp) {
+                            [this, key, m = m](int label, const BatchStamp& stamp) {
                                 on_label(key, m, label, stamp);
                             });
         }

@@ -123,6 +123,21 @@ TEST(ServeFleetTest, HardCapDropsFrames) {
               result.frames);
 }
 
+TEST(ServeFleetTest, SynchronousCompletionDoesNotLeakInflight) {
+    // With batch_max = 1 every frame completes synchronously inside its own
+    // submit loop — the arrangement that once default-inserted an empty
+    // inflight entry per frame via operator[] after the erase. The genuine
+    // inflight population never exceeds one here, so a small hard cap must
+    // never trip over hundreds of frames; leaked entries would saturate it
+    // and drop nearly everything.
+    serve::FleetOptions options = small_fleet();
+    options.batch_max = 1;
+    options.max_inflight = 8;
+    const serve::FleetResult result = serve::run_fleet(shared_set(), options);
+    EXPECT_EQ(result.dropped, 0u);
+    EXPECT_EQ(result.decided + result.skipped + result.no_output, result.frames);
+}
+
 TEST(ServeOverloadControlTest, HysteresisEntersAndExits) {
     serve::OverloadControl::Options options;
     options.window = 10;
