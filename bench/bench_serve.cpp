@@ -30,6 +30,7 @@
 
 #include "mvreju/obs/buildinfo.hpp"
 #include "mvreju/obs/session.hpp"
+#include "mvreju/serve/fleet_stats.hpp"
 #include "mvreju/serve/session.hpp"
 #include "mvreju/serve/synthetic.hpp"
 #include "mvreju/util/args.hpp"
@@ -157,6 +158,48 @@ int main(int argc, char** argv) {
     std::cout << "recovery: shed_rate=" << recovery.shed_rate
               << " slo_breaches=" << recovery.slo_breaches << "\n";
 
+    // --- Telemetry: tracing + FleetStats must not perturb or cost --------
+    // Same fleet with and without the telemetry out-param, interleaved
+    // best-of-N so machine noise hits both sides equally. Three claims:
+    // the output hash is identical (stamping never feeds back into the
+    // control path), the rendered /fleet document is byte-identical across
+    // reruns (virtual-time determinism), and the wall-clock overhead of
+    // stamping + digest folding stays under the 2% CI gate.
+    const serve::FleetOptions tel = nominal();
+    // Render time: any virtual instant past the last completion keeps every
+    // digest slot in-window; 8 frames at 30 Hz end well before 1 s.
+    const std::uint64_t tel_render_us = 1'000'000;
+    double plain_ms = std::numeric_limits<double>::infinity();
+    double traced_ms = std::numeric_limits<double>::infinity();
+    std::uint64_t plain_hash = 0;
+    std::uint64_t traced_hash = 0;
+    std::string fleet_json;
+    bool fleet_json_deterministic = true;
+    std::uint64_t fleet_frames = 0;
+    for (int r = 0; r < 3; ++r) {
+        const serve::FleetResult plain = serve::run_fleet(set, tel);
+        plain_ms = std::min(plain_ms, plain.wall_ms);
+        plain_hash = plain.output_hash;
+        serve::FleetStats stats;
+        const serve::FleetResult traced = serve::run_fleet(set, tel, &stats);
+        traced_ms = std::min(traced_ms, traced.wall_ms);
+        traced_hash = traced.output_hash;
+        const std::string rendered =
+            stats.to_json(tel_render_us, /*include_meta=*/false);
+        if (!fleet_json.empty() && rendered != fleet_json)
+            fleet_json_deterministic = false;
+        fleet_json = rendered;
+        fleet_frames = stats.frames();
+    }
+    const bool telemetry_hash_match = plain_hash == traced_hash;
+    const double overhead_percent = 100.0 * (traced_ms - plain_ms) / plain_ms;
+    std::cout << "telemetry: plain_ms=" << plain_ms
+              << " traced_ms=" << traced_ms
+              << " overhead_percent=" << overhead_percent
+              << " hash_match=" << (telemetry_hash_match ? "yes" : "no")
+              << " fleet_json_deterministic="
+              << (fleet_json_deterministic ? "yes" : "no") << "\n";
+
     // --- Sweep: streams x frame rate -> p99 / shed rate ------------------
     struct SweepRow {
         int streams;
@@ -214,6 +257,15 @@ int main(int argc, char** argv) {
     out << "  \"recovery\": {";
     emit_fleet(out, recovery);
     out << "},\n";
+    out << "  \"telemetry\": {\"hash_match_traced\": "
+        << (telemetry_hash_match ? "true" : "false")
+        << ", \"fleet_json_deterministic\": "
+        << (fleet_json_deterministic ? "true" : "false")
+        << ", \"fleet_frames\": " << fleet_frames
+        << ", \"fleet_json_bytes\": " << fleet_json.size()
+        << ", \"plain_wall_ms\": " << plain_ms
+        << ", \"traced_wall_ms\": " << traced_ms
+        << ", \"overhead_percent\": " << overhead_percent << "},\n";
     out << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
         out << "    {\"streams\": " << sweep[i].streams
@@ -235,6 +287,14 @@ int main(int argc, char** argv) {
     }
     if (!deterministic) {
         std::cerr << "ERROR: two identical runs produced different output hashes\n";
+        return 1;
+    }
+    if (!telemetry_hash_match) {
+        std::cerr << "ERROR: attaching FleetStats changed the fleet output hash\n";
+        return 1;
+    }
+    if (!fleet_json_deterministic) {
+        std::cerr << "ERROR: /fleet document differs across identical runs\n";
         return 1;
     }
     if (overload.shed_rate <= 0.0)

@@ -32,7 +32,13 @@
 //       [--batch-delay-us <us>]  batching window  (default 2000)
 //       [--hold-seconds <s>]     serve for <s> seconds, 0 = until killed
 //
-// Drive it with examples/stream_client.
+// Combine with --serve <port> to watch the fleet live: the server pushes
+// its per-stream health aggregate into /healthz and the FleetStats
+// telemetry document into /fleet (stage percentiles, worst streams, breach
+// attribution — tools/fleet_top renders it as a dashboard).
+//
+// Drive it with examples/stream_client (add --trace to see each frame's
+// server-side stage breakdown).
 
 #include <chrono>
 #include <cstdio>
@@ -139,6 +145,11 @@ int serve_streams(const util::Args& args) {
                 options.host.c_str(), server.port(), options.max_streams,
                 options.batch_max,
                 static_cast<unsigned long long>(options.batch_delay_us));
+    if (obs::Exporter::global().running())
+        std::printf("fleet telemetry on 127.0.0.1:%d/fleet "
+                    "(tools/fleet_top --port %d)\n",
+                    obs::Exporter::global().port(),
+                    obs::Exporter::global().port());
     std::fflush(stdout);
 
     const auto report = [&server] {

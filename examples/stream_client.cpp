@@ -9,6 +9,8 @@
 //       [--port <p>]      server port      (required)
 //       [--frames <n>]    frames to send   (default 10)
 //       [--seed <s>]      frame contents   (default 1)
+//       [--trace]         request the server-side stage breakdown annex
+//                         (version-gated flags byte) and print it per frame
 
 #include <cstdio>
 #include <string>
@@ -20,6 +22,7 @@
 #include <unistd.h>
 
 #include "mvreju/serve/protocol.hpp"
+#include "mvreju/serve/trace.hpp"
 #include "mvreju/util/args.hpp"
 #include "mvreju/util/rng.hpp"
 
@@ -46,9 +49,10 @@ int main(int argc, char** argv) try {
     const int port = args.port(0);
     const int frames = args.get_int("frames", 10, 1, 1'000'000);
     const int seed = args.get_int("seed", 1, 0, 1 << 30);
+    const bool want_trace = args.has("trace");
     if (port == 0) {
         std::fprintf(stderr, "usage: stream_client --port <p> [--host <ip>] "
-                             "[--frames <n>] [--seed <s>]\n");
+                             "[--frames <n>] [--seed <s>] [--trace]\n");
         return 2;
     }
 
@@ -77,6 +81,7 @@ int main(int argc, char** argv) try {
     for (int i = 1; i <= frames; ++i) {
         serve::RequestFrame request;
         request.frame_id = static_cast<std::uint64_t>(i);
+        request.want_trace = want_trace;
         request.image.resize(kSampleSize);
         for (float& v : request.image) v = static_cast<float>(rng.uniform());
         const std::string wire = serve::encode_request(request);
@@ -87,20 +92,36 @@ int main(int argc, char** argv) try {
             return 1;
         }
 
+        // Length-prefix-aware read: the response payload is 20 bytes, or 48
+        // with the requested stage annex — read the prefix first, then
+        // exactly the advertised payload.
         std::string received;
         char buf[256];
-        while (received.size() < 24) {
-            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-            if (n <= 0) {
-                std::fprintf(stderr, "server closed the stream\n");
-                ::close(fd);
-                return 1;
+        auto read_until = [&](std::size_t need) {
+            while (received.size() < need) {
+                const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+                if (n <= 0) return false;
+                received.append(buf, static_cast<std::size_t>(n));
             }
-            received.append(buf, static_cast<std::size_t>(n));
+            return true;
+        };
+        if (!read_until(4)) {
+            std::fprintf(stderr, "server closed the stream\n");
+            ::close(fd);
+            return 1;
+        }
+        const auto* p = reinterpret_cast<const unsigned char*>(received.data());
+        const std::uint32_t payload = static_cast<std::uint32_t>(p[0]) |
+                                      (static_cast<std::uint32_t>(p[1]) << 8) |
+                                      (static_cast<std::uint32_t>(p[2]) << 16) |
+                                      (static_cast<std::uint32_t>(p[3]) << 24);
+        if (payload > 1024 || !read_until(4 + payload)) {
+            std::fprintf(stderr, "server closed the stream\n");
+            ::close(fd);
+            return 1;
         }
         serve::ResponseFrame response;
-        if (!serve::decode_response(received.data() + 4, received.size() - 4,
-                                    response)) {
+        if (!serve::decode_response(received.data() + 4, payload, response)) {
             std::fprintf(stderr, "malformed response frame\n");
             ::close(fd);
             return 1;
@@ -111,6 +132,14 @@ int main(int argc, char** argv) try {
                     static_cast<unsigned>(response.agreeing),
                     static_cast<unsigned>(response.functional_modules),
                     response.degraded ? " (degraded)" : "");
+        if (response.has_trace) {
+            std::printf("  stages:");
+            for (std::size_t s = 0; s < serve::kStageCount; ++s)
+                std::printf(" %s=%uus",
+                            serve::stage_name(static_cast<serve::Stage>(s)),
+                            static_cast<unsigned>(response.stage_us[s]));
+            std::printf("\n");
+        }
         failures += response.status == serve::ResponseStatus::error;
     }
     ::close(fd);

@@ -11,6 +11,9 @@
 //   GET /healthz   JSON health document: overall status, run metadata
 //                  (git SHA / build type / compiler), uptime, and per-version
 //                  module states pushed by the serving loop
+//   GET /fleet     the latest fleet-telemetry JSON document pushed by the
+//                  serving layer (serve::FleetStats::to_json); 503 until one
+//                  has been published
 //   GET /record    force a FlightRecorder postmortem dump; responds with the
 //                  dump path
 //
@@ -88,6 +91,13 @@ public:
     void set_health(const HealthReport& report);
     /// Most recently published report, if any.
     [[nodiscard]] std::optional<HealthReport> health() const;
+
+    /// Publish the latest fleet-telemetry document (the /fleet body).
+    /// Push-model like set_health: the HTTP thread serves the stored bytes
+    /// and never calls back into the serving layer.
+    void set_fleet_json(std::string json);
+    /// Most recently published fleet document; "" when none yet.
+    [[nodiscard]] std::string fleet_json() const;
 
     /// The /healthz response body for the current state (also used by tests
     /// and by callers that want the document without a socket).

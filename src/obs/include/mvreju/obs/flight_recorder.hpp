@@ -64,6 +64,8 @@ enum class EventKind : std::uint16_t {
     slo_breach,          ///< latency above budget; a = observed ms, b = budget ms
     custom,              ///< application-defined
     load_shed,           ///< serve: frame degraded/dropped; a = 1 shed, 2 dropped
+    breach_stage,        ///< serve: SLO breach attributed to a pipeline stage;
+                         ///< a = serve::Stage index, b = that stage's ms
     kCount,
 };
 

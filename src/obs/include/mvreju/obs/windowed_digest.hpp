@@ -1,0 +1,95 @@
+#pragma once
+
+// Windowed latency digest: a ring of fixed-bucket histograms keyed by a
+// coarse time slot, giving "the last W seconds" percentiles with O(1)
+// record cost and exact time decay (whole slots age out, nothing is
+// approximated with floating-point decay factors).
+//
+// Built for the serving layer's fleet telemetry, so two properties are
+// load-bearing:
+//
+//  - Deterministic merges. Every accumulator is integral — bucket counts,
+//    sample count, and a fixed-point sum/min/max (value * 2^20, rounded
+//    once at record time) — so merging shards is associative and
+//    commutative: any merge order, any shard count, bit-identical result.
+//    tests/obs_windowed_digest_test.cpp pins 1/2/4/8-way shard splits to
+//    the single-digest bytes.
+//  - Clock-agnostic. Like the DynamicBatcher, a digest never reads a
+//    clock: callers stamp record() and window() with their own microsecond
+//    time (virtual in the synthetic fleet, steady in the socket server),
+//    which is what keeps /fleet renders byte-deterministic under a seed.
+//
+// A digest is single-owner (no internal locking). The lock-cheap pattern
+// of the metrics registry applies one level up: give each writer thread
+// its own digest and merge() them at read time.
+
+#include <cstdint>
+#include <vector>
+
+#include "mvreju/obs/metrics.hpp"
+
+namespace mvreju::obs {
+
+class WindowedDigest {
+public:
+    /// Fixed-point scale for sum/min/max accumulators: values are rounded
+    /// to 1/2^20 once at record time, then handled exactly.
+    static constexpr double kScale = 1048576.0;
+
+    struct Options {
+        /// Width of one ring slot; the window spans slots * slot_width_us.
+        std::uint64_t slot_width_us = 1'000'000;
+        std::size_t slots = 8;
+        /// Bucket upper bounds; empty selects the serving default
+        /// (exponential 0.25 ms .. 512 ms, 12 buckets).
+        HistogramBounds bounds;
+    };
+
+    WindowedDigest() : WindowedDigest(Options{}) {}
+    explicit WindowedDigest(const Options& options);
+
+    /// Record one sample at caller time `t_us`. Samples older than the
+    /// slot currently resident at their ring position are dropped (the
+    /// window has moved on); newer samples evict the stale slot.
+    void record(std::uint64_t t_us, double value);
+
+    /// Fold another digest (same geometry, same time base) into this one.
+    /// Per slot: the larger epoch wins outright, equal epochs add —
+    /// associative and commutative, so shard merge order cannot matter.
+    /// Throws std::logic_error on mismatched geometry.
+    void merge(const WindowedDigest& other);
+
+    /// Merged view over every slot still inside the window at `now_us`,
+    /// as a HistogramValue (count/sum/min/max/buckets + quantile()).
+    [[nodiscard]] HistogramValue window(std::uint64_t now_us) const;
+
+    /// Samples inside the window at `now_us` (cheaper than window()).
+    [[nodiscard]] std::uint64_t count(std::uint64_t now_us) const;
+
+    /// Drop every recorded sample; geometry is retained.
+    void clear();
+
+    [[nodiscard]] const Options& options() const noexcept { return options_; }
+    /// Window span covered: slots * slot_width_us.
+    [[nodiscard]] std::uint64_t window_us() const noexcept {
+        return options_.slot_width_us * static_cast<std::uint64_t>(slots_.size());
+    }
+
+private:
+    struct Slot {
+        std::uint64_t epoch = 0;  ///< t_us / slot_width of resident samples
+        std::uint64_t count = 0;
+        std::int64_t sum_scaled = 0;
+        std::int64_t min_scaled = 0;
+        std::int64_t max_scaled = 0;
+        std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, overflow last
+    };
+
+    void reset_slot(Slot& slot, std::uint64_t epoch);
+    [[nodiscard]] bool in_window(const Slot& slot, std::uint64_t now_epoch) const;
+
+    Options options_;
+    std::vector<Slot> slots_;
+};
+
+}  // namespace mvreju::obs

@@ -102,6 +102,7 @@ struct Exporter::Impl {
 
     mutable std::mutex health_mu;
     std::optional<HealthReport> health;
+    std::string fleet_json;  ///< latest /fleet document; empty = none yet
 };
 
 Exporter::Exporter() : Exporter(Options{}) {}
@@ -138,6 +139,16 @@ void Exporter::set_health(const HealthReport& report) {
 std::optional<HealthReport> Exporter::health() const {
     const std::lock_guard<std::mutex> lock(impl_->health_mu);
     return impl_->health;
+}
+
+void Exporter::set_fleet_json(std::string json) {
+    const std::lock_guard<std::mutex> lock(impl_->health_mu);
+    impl_->fleet_json = std::move(json);
+}
+
+std::string Exporter::fleet_json() const {
+    const std::lock_guard<std::mutex> lock(impl_->health_mu);
+    return impl_->fleet_json;
 }
 
 std::string Exporter::healthz_json() const {
@@ -210,6 +221,13 @@ std::string Exporter::handle(const std::string& request) {
     }
     if (path == "/healthz")
         return http_response("200 OK", "application/json", healthz_json());
+    if (path == "/fleet") {
+        const std::string body = fleet_json();
+        if (body.empty())
+            return http_response("503 Service Unavailable", "application/json",
+                                 "{\"error\": \"no fleet telemetry published\"}\n");
+        return http_response("200 OK", "application/json", body);
+    }
     if (path == "/record") {
         FlightRecorder& recorder = FlightRecorder::global();
         if (!recorder.enabled())
@@ -223,7 +241,7 @@ std::string Exporter::handle(const std::string& request) {
                              "{\"dumped\": \"" + dumped + "\"}\n");
     }
     return http_response("404 Not Found", "text/plain",
-                         "unknown path; try /metrics, /healthz or /record\n");
+                         "unknown path; try /metrics, /healthz, /fleet or /record\n");
 }
 
 bool Exporter::start(int port) {
@@ -259,7 +277,7 @@ bool Exporter::start(int port) {
 
     impl_->running.store(true);
     impl_->thread = std::thread(&Exporter::serve_loop, this);
-    log_info("exporter: serving /metrics /healthz /record on 127.0.0.1:" +
+    log_info("exporter: serving /metrics /healthz /fleet /record on 127.0.0.1:" +
              std::to_string(this->port()));
     return true;
 #endif

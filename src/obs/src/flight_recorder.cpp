@@ -72,6 +72,7 @@ const char* event_kind_name(EventKind kind) noexcept {
         case EventKind::slo_breach: return "slo_breach";
         case EventKind::custom: return "custom";
         case EventKind::load_shed: return "load_shed";
+        case EventKind::breach_stage: return "breach_stage";
         case EventKind::kCount: break;
     }
     return "unknown";

@@ -1,0 +1,123 @@
+#include "mvreju/obs/windowed_digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mvreju::obs {
+
+WindowedDigest::WindowedDigest(const Options& options) : options_(options) {
+    if (options_.slot_width_us == 0)
+        throw std::invalid_argument("WindowedDigest: slot_width_us must be > 0");
+    if (options_.slots == 0)
+        throw std::invalid_argument("WindowedDigest: slots must be > 0");
+    if (options_.bounds.upper.empty())
+        options_.bounds = HistogramBounds::exponential(0.25, 2.0, 12);
+    for (std::size_t b = 1; b < options_.bounds.upper.size(); ++b)
+        if (options_.bounds.upper[b] <= options_.bounds.upper[b - 1])
+            throw std::invalid_argument(
+                "WindowedDigest: bucket bounds must be strictly increasing");
+    slots_.resize(options_.slots);
+    for (Slot& slot : slots_) slot.buckets.resize(options_.bounds.upper.size() + 1);
+}
+
+void WindowedDigest::reset_slot(Slot& slot, std::uint64_t epoch) {
+    slot.epoch = epoch;
+    slot.count = 0;
+    slot.sum_scaled = 0;
+    slot.min_scaled = std::numeric_limits<std::int64_t>::max();
+    slot.max_scaled = std::numeric_limits<std::int64_t>::min();
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+}
+
+void WindowedDigest::record(std::uint64_t t_us, double value) {
+    const std::uint64_t epoch = t_us / options_.slot_width_us;
+    Slot& slot = slots_[epoch % slots_.size()];
+    if (slot.epoch != epoch) {
+        // Same ring position, different slot: either the window moved past
+        // this sample (drop it) or the slot is stale (evict and reuse).
+        if (slot.count != 0 && slot.epoch > epoch) return;
+        reset_slot(slot, epoch);
+    } else if (slot.count == 0) {
+        reset_slot(slot, epoch);  // normalise min/max sentinels
+    }
+    const std::int64_t scaled = static_cast<std::int64_t>(std::llround(
+        std::clamp(value * kScale, -9.0e18, 9.0e18)));
+    ++slot.count;
+    slot.sum_scaled += scaled;
+    slot.min_scaled = std::min(slot.min_scaled, scaled);
+    slot.max_scaled = std::max(slot.max_scaled, scaled);
+    const auto& upper = options_.bounds.upper;
+    std::size_t b = 0;
+    while (b < upper.size() && value > upper[b]) ++b;
+    ++slot.buckets[b];
+}
+
+void WindowedDigest::merge(const WindowedDigest& other) {
+    if (other.slots_.size() != slots_.size() ||
+        other.options_.slot_width_us != options_.slot_width_us ||
+        other.options_.bounds.upper != options_.bounds.upper)
+        throw std::logic_error("WindowedDigest::merge: mismatched geometry");
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& theirs = other.slots_[i];
+        if (theirs.count == 0) continue;
+        Slot& ours = slots_[i];
+        if (ours.count == 0 || theirs.epoch > ours.epoch) {
+            ours = theirs;
+            continue;
+        }
+        if (theirs.epoch < ours.epoch) continue;
+        ours.count += theirs.count;
+        ours.sum_scaled += theirs.sum_scaled;
+        ours.min_scaled = std::min(ours.min_scaled, theirs.min_scaled);
+        ours.max_scaled = std::max(ours.max_scaled, theirs.max_scaled);
+        for (std::size_t b = 0; b < ours.buckets.size(); ++b)
+            ours.buckets[b] += theirs.buckets[b];
+    }
+}
+
+bool WindowedDigest::in_window(const Slot& slot, std::uint64_t now_epoch) const {
+    if (slot.count == 0) return false;
+    if (slot.epoch > now_epoch) return false;  // caller clock ran backwards
+    return slot.epoch + slots_.size() > now_epoch;
+}
+
+HistogramValue WindowedDigest::window(std::uint64_t now_us) const {
+    const std::uint64_t now_epoch = now_us / options_.slot_width_us;
+    HistogramValue out;
+    out.upper = options_.bounds.upper;
+    out.buckets.assign(out.upper.size() + 1, 0);
+    std::int64_t sum_scaled = 0;
+    std::int64_t min_scaled = std::numeric_limits<std::int64_t>::max();
+    std::int64_t max_scaled = std::numeric_limits<std::int64_t>::min();
+    for (const Slot& slot : slots_) {
+        if (!in_window(slot, now_epoch)) continue;
+        out.count += slot.count;
+        sum_scaled += slot.sum_scaled;
+        min_scaled = std::min(min_scaled, slot.min_scaled);
+        max_scaled = std::max(max_scaled, slot.max_scaled);
+        for (std::size_t b = 0; b < out.buckets.size(); ++b)
+            out.buckets[b] += slot.buckets[b];
+    }
+    if (out.count > 0) {
+        out.sum = static_cast<double>(sum_scaled) / kScale;
+        out.min = static_cast<double>(min_scaled) / kScale;
+        out.max = static_cast<double>(max_scaled) / kScale;
+    }
+    return out;
+}
+
+std::uint64_t WindowedDigest::count(std::uint64_t now_us) const {
+    const std::uint64_t now_epoch = now_us / options_.slot_width_us;
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots_)
+        if (in_window(slot, now_epoch)) total += slot.count;
+    return total;
+}
+
+void WindowedDigest::clear() {
+    for (Slot& slot : slots_) reset_slot(slot, 0);
+}
+
+}  // namespace mvreju::obs

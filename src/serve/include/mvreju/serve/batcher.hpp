@@ -29,12 +29,22 @@
 
 namespace mvreju::serve {
 
-/// Identity of one flush: which flush it was and how many samples it
-/// carried. Completions receive it so a virtual-time owner can cost the
-/// batch (service time grows with size) exactly once per flush.
+/// Identity of one flush: which flush it was, how many samples it carried,
+/// and where its stage boundaries fell. Completions receive it so a
+/// virtual-time owner can cost the batch (service time grows with size)
+/// exactly once per flush, and so the owner can stamp each frame's
+/// formed/infer trace points without the batcher owning a clock.
 struct BatchStamp {
     std::uint64_t seq = 0;   ///< flush sequence number, 1-based
     std::uint32_t size = 0;  ///< samples in the flushed batch
+    /// Caller time at which the flush was triggered (the `now_us` of the
+    /// submit or flush_due/flush_all call that caused it).
+    std::uint64_t formed_us = 0;
+    /// Inference interval, read from Options::now_fn around the
+    /// logits_batch call; both equal formed_us when no clock is provided
+    /// (the virtual-time fleet substitutes its own service model).
+    std::uint64_t infer_start_us = 0;
+    std::uint64_t infer_end_us = 0;
 };
 
 class DynamicBatcher {
@@ -48,6 +58,12 @@ public:
         std::uint64_t max_delay_us = 2000;  ///< oldest-sample wait bound
         std::size_t num_threads = 1;      ///< logits_batch parallelism
         std::vector<std::size_t> input_shape = {3, 16, 16};  ///< per-sample
+        /// Optional clock for the BatchStamp infer interval (the batcher
+        /// stays clock-agnostic on the control path: deadlines still come
+        /// from the caller's `now_us` stamps). Null keeps the stamp's
+        /// infer boundaries at formed_us — what the virtual-time fleet
+        /// wants, since it costs inference with its own service model.
+        std::function<std::uint64_t()> now_fn;
     };
 
     explicit DynamicBatcher(Options options);
@@ -66,8 +82,9 @@ public:
     /// completed.
     std::size_t flush_due(std::uint64_t now_us);
 
-    /// Flush everything regardless of deadlines (shutdown, end of run).
-    std::size_t flush_all();
+    /// Flush everything regardless of deadlines (shutdown, end of run);
+    /// `now_us` only stamps the resulting batches' formed_us.
+    std::size_t flush_all(std::uint64_t now_us = 0);
 
     [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
     [[nodiscard]] std::size_t sample_size() const noexcept { return sample_size_; }
@@ -82,7 +99,7 @@ private:
     };
 
     Queue& queue_for(const ml::Sequential* model);
-    std::size_t flush_queue(Queue& queue);
+    std::size_t flush_queue(Queue& queue, std::uint64_t formed_us);
 
     Options options_;
     std::size_t sample_size_;

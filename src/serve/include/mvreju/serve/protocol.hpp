@@ -6,23 +6,36 @@
 //   u32 payload_length (little endian) | payload
 //
 // Request payload (client -> server), fixed size for a given model geometry:
-//   u64 frame_id | f32 image[sample_size]
+//   u64 frame_id | f32 image[sample_size] [| u8 flags]
+//
+// The trailing flags byte is the protocol's version gate: a v1 client omits
+// it and everything behaves exactly as before; a client that appends it may
+// set kRequestFlagTrace to ask for the server-side stage breakdown of this
+// frame. Unknown flag bits are a protocol error (strictness, below).
 //
 // Response payload (server -> client), 20 bytes:
 //   u64 frame_id | u8 status | u8 degraded | u16 agreeing
 //   | i32 label | u32 functional_modules
+//   [| u32 stage_us[kStageCount]]        (only when the request asked for it)
 //
-// The parser is deliberately strict: a frame whose length is not exactly the
-// request size for the configured geometry, or above kMaxFrameBytes, is a
-// protocol error — the server answers with one `error` response and closes
-// the connection. Strictness is what makes the robustness guarantee simple:
-// garbage can waste one connection, never a thread or the process (see
-// tests/serve_protocol_test.cpp).
+// The stage annex carries the serve::Stage durations (parse, queue,
+// dispatch, infer, vote, tx, total) in microseconds; a v1 client never sets
+// the flag and never sees it.
+//
+// The parser is deliberately strict: a frame whose length is not exactly a
+// request size for the configured geometry (with or without the flags
+// byte), or above kMaxFrameBytes, is a protocol error — the server answers
+// with one `error` response and closes the connection. Strictness is what
+// makes the robustness guarantee simple: garbage can waste one connection,
+// never a thread or the process (see tests/serve_protocol_test.cpp).
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "mvreju/serve/trace.hpp"
 
 namespace mvreju::serve {
 
@@ -30,11 +43,19 @@ namespace mvreju::serve {
 /// error, so a hostile 4 GiB length prefix cannot balloon the rx buffer.
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
+/// Request flag bits (the trailing optional flags byte). Any other bit is
+/// a protocol error.
+inline constexpr std::uint8_t kRequestFlagTrace = 0x01;
+
 /// One perception request: a client-chosen frame id (echoed back, never
 /// interpreted) and one flattened image in the pool's input geometry.
 struct RequestFrame {
     std::uint64_t frame_id = 0;
     std::vector<float> image;
+    /// Ask the server to append its per-stage latency annex to the
+    /// response. Encoded as the optional flags byte, so a false value
+    /// produces a byte-identical v1 request.
+    bool want_trace = false;
 };
 
 enum class ResponseStatus : std::uint8_t {
@@ -54,6 +75,10 @@ struct ResponseFrame {
     std::uint16_t agreeing = 0;
     std::int32_t label = -1;
     std::uint32_t functional_modules = 0;
+    /// Stage annex (only on the wire when has_trace): per-stage durations in
+    /// microseconds, order = serve::Stage.
+    bool has_trace = false;
+    std::array<std::uint32_t, kStageCount> stage_us{};
 };
 
 /// Serialized frame (length prefix included) for each direction.

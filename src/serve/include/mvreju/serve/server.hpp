@@ -52,6 +52,13 @@ public:
 
         int tick_ms = 20;  ///< loop wake cadence when no batch deadline is due
 
+        /// Fold every finished frame into serve::FleetStats and push the
+        /// rendered /fleet document plus the aggregated health report to
+        /// obs::Exporter::global() (no-op unless an exporter is serving).
+        bool publish_telemetry = true;
+        /// Minimum spacing between exporter pushes.
+        std::uint64_t publish_interval_us = 250'000;
+
         core::HealthEngineConfig health;  ///< per-stream seed base
         core::VotingScheme scheme = core::VotingScheme::majority;
     };

@@ -28,6 +28,8 @@
 
 namespace mvreju::serve {
 
+class FleetStats;
+
 struct FleetOptions {
     int streams = 64;
     double frame_rate_hz = 30.0;   ///< per-stream arrival rate
@@ -76,6 +78,11 @@ struct FleetResult {
 };
 
 /// Run the fleet to completion. `set` is shared const across all streams.
-[[nodiscard]] FleetResult run_fleet(const ModelSet& set, const FleetOptions& options);
+/// When `stats` is non-null every finished frame is folded into it with
+/// virtual-time FrameTrace stamps, so a seeded run renders a byte-identical
+/// FleetStats::to_json document — and the output hash is unchanged either
+/// way (telemetry never feeds back into the control path).
+[[nodiscard]] FleetResult run_fleet(const ModelSet& set, const FleetOptions& options,
+                                    FleetStats* stats = nullptr);
 
 }  // namespace mvreju::serve

@@ -35,7 +35,7 @@ void DynamicBatcher::submit(const ml::Sequential* model, const float* sample,
     if (queue.done.size() >= static_cast<std::size_t>(options_.max_batch)) {
         static obs::Counter& full = obs::metrics().counter("serve.batch.flushes_full");
         full.add(1);
-        flush_queue(queue);
+        flush_queue(queue, now_us);
     }
 }
 
@@ -62,19 +62,19 @@ std::size_t DynamicBatcher::flush_due(std::uint64_t now_us) {
         static obs::Counter& deadline =
             obs::metrics().counter("serve.batch.flushes_deadline");
         deadline.add(1);
-        completed += flush_queue(queues_[i]);
+        completed += flush_queue(queues_[i], now_us);
     }
     return completed;
 }
 
-std::size_t DynamicBatcher::flush_all() {
+std::size_t DynamicBatcher::flush_all(std::uint64_t now_us) {
     std::size_t completed = 0;
     for (std::size_t i = 0; i < queues_.size(); ++i)
-        if (!queues_[i].done.empty()) completed += flush_queue(queues_[i]);
+        if (!queues_[i].done.empty()) completed += flush_queue(queues_[i], now_us);
     return completed;
 }
 
-std::size_t DynamicBatcher::flush_queue(Queue& queue) {
+std::size_t DynamicBatcher::flush_queue(Queue& queue, std::uint64_t formed_us) {
     const std::size_t n = queue.done.size();
     const ml::Sequential* model = queue.model;
     // Steal the staged batch first: completions may re-submit — including
@@ -98,6 +98,8 @@ std::size_t DynamicBatcher::flush_queue(Queue& queue) {
     workers = std::min(workers, n / kMinChunk);
 
     std::vector<int> labels(n);
+    const std::uint64_t infer_start_us =
+        options_.now_fn ? options_.now_fn() : formed_us;
     auto run_chunk = [&](ml::Workspace& ws, std::size_t pos, std::size_t nb) {
         std::vector<std::size_t> shape;
         shape.reserve(options_.input_shape.size() + 1);
@@ -145,7 +147,10 @@ std::size_t DynamicBatcher::flush_queue(Queue& queue) {
     frames.add(n);
     sizes.record(static_cast<double>(n));
 
-    const BatchStamp stamp{++flush_seq_, static_cast<std::uint32_t>(n)};
+    const std::uint64_t infer_end_us =
+        options_.now_fn ? options_.now_fn() : formed_us;
+    const BatchStamp stamp{++flush_seq_, static_cast<std::uint32_t>(n), formed_us,
+                           infer_start_us, infer_end_us};
     for (std::size_t i = 0; i < n; ++i) done[i](labels[i], stamp);
     return n;
 }

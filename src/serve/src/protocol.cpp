@@ -41,34 +41,44 @@ std::uint64_t get_u64(const unsigned char* p) {
 }
 
 constexpr std::size_t kResponsePayload = 8 + 1 + 1 + 2 + 4 + 4;
+constexpr std::size_t kTraceAnnexBytes = 4 * kStageCount;
 
 }  // namespace
 
 std::string encode_request(const RequestFrame& request) {
-    const std::size_t payload = 8 + 4 * request.image.size();
+    const std::size_t payload =
+        8 + 4 * request.image.size() + (request.want_trace ? 1 : 0);
     std::string out;
     out.reserve(4 + payload);
     put_u32(out, static_cast<std::uint32_t>(payload));
     put_u64(out, request.frame_id);
     for (const float f : request.image) put_u32(out, std::bit_cast<std::uint32_t>(f));
+    // The flags byte is appended only when needed, so a trace-less request
+    // stays byte-identical to the v1 encoding.
+    if (request.want_trace) out.push_back(static_cast<char>(kRequestFlagTrace));
     return out;
 }
 
 std::string encode_response(const ResponseFrame& response) {
+    const std::size_t payload =
+        kResponsePayload + (response.has_trace ? kTraceAnnexBytes : 0);
     std::string out;
-    out.reserve(4 + kResponsePayload);
-    put_u32(out, static_cast<std::uint32_t>(kResponsePayload));
+    out.reserve(4 + payload);
+    put_u32(out, static_cast<std::uint32_t>(payload));
     put_u64(out, response.frame_id);
     out.push_back(static_cast<char>(response.status));
     out.push_back(static_cast<char>(response.degraded ? 1 : 0));
     put_u16(out, response.agreeing);
     put_u32(out, std::bit_cast<std::uint32_t>(response.label));
     put_u32(out, response.functional_modules);
+    if (response.has_trace)
+        for (const std::uint32_t stage : response.stage_us) put_u32(out, stage);
     return out;
 }
 
 bool decode_response(const void* payload, std::size_t size, ResponseFrame& out) {
-    if (size != kResponsePayload) return false;
+    if (size != kResponsePayload && size != kResponsePayload + kTraceAnnexBytes)
+        return false;
     const auto* p = static_cast<const unsigned char*>(payload);
     out.frame_id = get_u64(p);
     const std::uint8_t status = p[8];
@@ -78,6 +88,11 @@ bool decode_response(const void* payload, std::size_t size, ResponseFrame& out) 
     out.agreeing = get_u16(p + 10);
     out.label = std::bit_cast<std::int32_t>(get_u32(p + 12));
     out.functional_modules = get_u32(p + 16);
+    out.has_trace = size == kResponsePayload + kTraceAnnexBytes;
+    out.stage_us.fill(0);
+    if (out.has_trace)
+        for (std::size_t s = 0; s < kStageCount; ++s)
+            out.stage_us[s] = get_u32(p + kResponsePayload + 4 * s);
     return true;
 }
 
@@ -96,15 +111,26 @@ bool FrameParser::consume(std::string& buffer, std::vector<RequestFrame>& out) {
                      std::to_string(kMaxFrameBytes);
             break;
         }
-        if (length != expected) {
+        // Two valid sizes per geometry: the v1 request, and the v2 request
+        // carrying one trailing flags byte. Anything else is garbage.
+        if (length != expected && length != expected + 1) {
             error_ = "request payload must be " + std::to_string(expected) +
-                     " bytes for this model geometry, got " + std::to_string(length);
+                     " (+1 with flags) bytes for this model geometry, got " +
+                     std::to_string(length);
             break;
         }
         if (buffer.size() - consumed < 4 + static_cast<std::size_t>(length))
             break;  // incomplete frame: wait for more bytes
         RequestFrame frame;
         frame.frame_id = get_u64(base + 4);
+        if (length == expected + 1) {
+            const std::uint8_t flags = base[4 + expected];
+            if ((flags & ~kRequestFlagTrace) != 0) {
+                error_ = "unknown request flags 0x" + std::to_string(flags);
+                break;
+            }
+            frame.want_trace = (flags & kRequestFlagTrace) != 0;
+        }
         frame.image.resize(sample_size_);
         for (std::size_t i = 0; i < sample_size_; ++i)
             frame.image[i] =

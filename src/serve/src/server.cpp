@@ -1,6 +1,7 @@
 #include "mvreju/serve/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <mutex>
 #include <optional>
@@ -11,10 +12,13 @@
 #include "mvreju/net/conn.hpp"
 #include "mvreju/net/event_loop.hpp"
 #include "mvreju/net/listener.hpp"
+#include "mvreju/obs/exporter.hpp"
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/serve/batcher.hpp"
+#include "mvreju/serve/fleet_stats.hpp"
 #include "mvreju/serve/protocol.hpp"
+#include "mvreju/serve/trace.hpp"
 
 namespace mvreju::serve {
 
@@ -50,10 +54,14 @@ struct Server::Impl {
         int remaining = 0;
         std::uint64_t arrival_us = 0;
         bool degraded = false;
+        bool want_trace = false;  ///< client asked for the stage annex
+        FrameTrace trace;
     };
 
     DynamicBatcher batcher;
     OverloadControl overload;
+    FleetStats fleet_stats;
+    std::uint64_t last_publish_us = 0;
     std::unordered_map<std::uint64_t, Client> clients;
     std::unordered_map<std::uint64_t, InFlight> inflight;
     /// Clients whose connection closed mid-callback. on_close() extracts the
@@ -74,7 +82,8 @@ struct Server::Impl {
           batcher(DynamicBatcher::Options{server_options.batch_max,
                                           server_options.batch_delay_us,
                                           server_options.infer_threads,
-                                          model_set.input_shape}),
+                                          model_set.input_shape,
+                                          [this] { return now_us(); }}),
           overload(server_options.overload) {}
 
     [[nodiscard]] std::uint64_t now_us() const {
@@ -190,7 +199,17 @@ struct Server::Impl {
             response.agreeing = static_cast<std::uint16_t>(result.agreeing);
             overload.record(false);
             bump([](Stats& s) { ++s.no_output; });
+            FrameTrace trace;
+            trace.stamp(TracePoint::rx, arrival);
+            trace.stamp(TracePoint::vote, now_us());
+            trace.stamp(TracePoint::tx, now_us());
+            if (request.want_trace) {
+                response.has_trace = true;
+                response.stage_us = trace.breakdown_us();
+            }
             respond(client, response);
+            observe_frame(client.conn->tag, request.frame_id, trace,
+                          response.status, false);
             return;
         }
 
@@ -205,7 +224,16 @@ struct Server::Impl {
             overload.record(true);
             response.status = ResponseStatus::shed;
             bump([](Stats& s) { ++s.dropped; });
+            FrameTrace trace;
+            trace.stamp(TracePoint::rx, arrival);
+            trace.stamp(TracePoint::tx, now_us());
+            if (request.want_trace) {
+                response.has_trace = true;
+                response.stage_us = trace.breakdown_us();
+            }
             respond(client, response);
+            observe_frame(client.conn->tag, request.frame_id, trace,
+                          response.status, false);
             return;
         }
 
@@ -232,8 +260,10 @@ struct Server::Impl {
         frame.proposals.assign(plan.states.size(), std::nullopt);
         frame.arrival_us = arrival;
         frame.degraded = degrade;
+        frame.want_trace = request.want_trace;
         frame.remaining = static_cast<int>(to_submit.size());
         frame.plan = std::move(plan);
+        frame.trace.stamp(TracePoint::rx, arrival);
 
         if (degrade) {
             static obs::Counter& shed =
@@ -253,19 +283,28 @@ struct Server::Impl {
             inflight.erase(key);
             return;
         }
+        // enqueue closes the parse stage: plan + model resolution above,
+        // batcher staging below.
+        frame.trace.stamp(TracePoint::enqueue, now_us());
         for (const auto& [m, model] : to_submit) {
             batcher.submit(model, request.image.data(), arrival,
-                           [this, key, m = m](int label, const BatchStamp&) {
-                               on_label(key, m, label);
+                           [this, key, m = m](int label, const BatchStamp& stamp) {
+                               on_label(key, m, label, stamp);
                            });
         }
     }
 
-    void on_label(std::uint64_t key, std::size_t module, int label) {
+    void on_label(std::uint64_t key, std::size_t module, int label,
+                  const BatchStamp& stamp) {
         auto it = inflight.find(key);
         if (it == inflight.end()) return;
         InFlight& frame = it->second;
         frame.proposals[module] = label;
+        // Monotone stamps: a frame fanned over several batches keeps the
+        // boundaries of the last flush that carried one of its versions.
+        frame.trace.stamp(TracePoint::formed, stamp.formed_us);
+        frame.trace.stamp(TracePoint::infer_start, stamp.infer_start_us);
+        frame.trace.stamp(TracePoint::infer_end, stamp.infer_end_us);
         if (--frame.remaining > 0) return;
         finalize(frame);
         inflight.erase(it);
@@ -277,6 +316,7 @@ struct Server::Impl {
         Client& client = it->second;
         const SessionResult result =
             client.session->complete_frame(frame.plan, std::move(frame.proposals));
+        frame.trace.stamp(TracePoint::vote, now_us());
 
         const double latency_ms =
             static_cast<double>(now_us() - frame.arrival_us) / 1000.0;
@@ -308,7 +348,99 @@ struct Server::Impl {
                 case core::VoteKind::no_output: ++s.no_output; break;
             }
         });
+        // The wire annex is stamped just before serialisation — it cannot
+        // include its own send; FleetStats sees the same trace.
+        frame.trace.stamp(TracePoint::tx, now_us());
+        if (frame.want_trace) {
+            response.has_trace = true;
+            response.stage_us = frame.trace.breakdown_us();
+        }
         respond(client, response);
+        observe_frame(frame.stream_id, frame.request_id, frame.trace,
+                      response.status, frame.degraded, latency_ms,
+                      options.slo_budget_ms);
+    }
+
+    /// Fold one finished frame into the fleet telemetry and refresh the
+    /// exporter documents when the publish interval has elapsed. Runs on
+    /// the service thread; the exporter only ever sees rendered strings.
+    void observe_frame(std::uint64_t stream, std::uint64_t frame_id,
+                       const FrameTrace& trace, ResponseStatus status,
+                       bool degraded, double latency_ms = 0.0,
+                       double slo_budget_ms = 0.0) {
+        if (!options.publish_telemetry) return;
+        const std::uint64_t now = now_us();
+        FrameObservation fo;
+        fo.stream = static_cast<std::uint32_t>(stream);
+        fo.frame = frame_id;
+        fo.trace = trace;
+        fo.status = status;
+        fo.degraded = degraded;
+        fo.latency_ms = latency_ms;
+        fo.slo_budget_ms = slo_budget_ms;
+        fleet_stats.observe(fo, now);
+        maybe_publish(now);
+    }
+
+    /// Throttled push of /fleet JSON and the aggregated health report to
+    /// the global exporter (no-op unless one is serving).
+    void maybe_publish(std::uint64_t now) {
+        if (now - last_publish_us < options.publish_interval_us &&
+            last_publish_us != 0)
+            return;
+        obs::Exporter& exporter = obs::Exporter::global();
+        if (!exporter.running()) return;
+        last_publish_us = now;
+        exporter.set_fleet_json(fleet_stats.to_json(now));
+        exporter.set_health(aggregate_health(now));
+    }
+
+    /// Fold every live stream's health process into one exporter report:
+    /// counts sum over streams x versions, per-version states are the modal
+    /// state across streams, and the rejuvenation age comes from the most
+    /// recent completion anywhere in the fleet.
+    [[nodiscard]] obs::HealthReport aggregate_health(std::uint64_t now) const {
+        obs::HealthReport report;
+        const double now_s = static_cast<double>(now) * 1e-6;
+        double last_rejuvenation_s = -1.0;
+        // state_votes[v][s]: streams whose version v is in state s.
+        std::vector<std::array<std::size_t, 4>> state_votes;
+        for (const auto& [id, client] : clients) {
+            const core::HealthEngine& health = client.session->health();
+            const int modules = health.module_count();
+            if (state_votes.size() < static_cast<std::size_t>(modules))
+                state_votes.resize(static_cast<std::size_t>(modules));
+            for (int m = 0; m < modules; ++m) {
+                const core::ModuleState state = health.state(m);
+                ++state_votes[static_cast<std::size_t>(m)]
+                             [static_cast<std::size_t>(state)];
+                switch (state) {
+                    case core::ModuleState::healthy: ++report.healthy; break;
+                    case core::ModuleState::compromised:
+                        ++report.compromised;
+                        break;
+                    case core::ModuleState::nonfunctional:
+                        ++report.nonfunctional;
+                        break;
+                    case core::ModuleState::rejuvenating_proactive:
+                        ++report.rejuvenating;
+                        break;
+                }
+            }
+            last_rejuvenation_s =
+                std::max(last_rejuvenation_s, health.last_rejuvenation_time());
+        }
+        static constexpr const char* kStateNames[4] = {
+            "healthy", "compromised", "nonfunctional", "rejuvenating"};
+        for (const auto& votes : state_votes) {
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < votes.size(); ++s)
+                if (votes[s] > votes[best]) best = s;
+            report.module_states.emplace_back(kStateNames[best]);
+        }
+        report.last_rejuvenation_age_s =
+            last_rejuvenation_s < 0.0 ? -1.0 : now_s - last_rejuvenation_s;
+        return report;
     }
 
     void serve_loop() {
@@ -324,6 +456,8 @@ struct Server::Impl {
             }
             if (loop->poll_once(timeout) < 0) break;
             batcher.flush_due(now_us());
+            // Keep the exporter documents fresh even when no frames flow.
+            if (options.publish_telemetry) maybe_publish(now_us());
         }
     }
 };

@@ -11,6 +11,8 @@
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/serve/batcher.hpp"
+#include "mvreju/serve/fleet_stats.hpp"
+#include "mvreju/serve/trace.hpp"
 #include "mvreju/util/rng.hpp"
 
 namespace mvreju::serve {
@@ -62,18 +64,23 @@ struct InFlight {
     std::uint64_t arrival_us = 0;
     std::uint64_t completed_us = 0;
     bool degraded = false;
+    FrameTrace trace;
 };
 
 class FleetRun {
 public:
-    FleetRun(const ModelSet& set, const FleetOptions& options)
+    FleetRun(const ModelSet& set, const FleetOptions& options, FleetStats* stats)
         : set_(set),
           options_(options),
+          stats_(stats),
           overload_(options.overload),
+          // now_fn stays null: the fleet costs inference with its own
+          // virtual service model and substitutes those stamps itself.
           batcher_(DynamicBatcher::Options{options.batch_max,
                                            options.batch_delay_us,
                                            options.infer_threads,
-                                           set.input_shape}),
+                                           set.input_shape,
+                                           {}}),
           outcomes_(static_cast<std::size_t>(options.streams) *
                     static_cast<std::size_t>(options.frames_per_stream)) {
         Session::Options session_options;
@@ -112,7 +119,7 @@ public:
         }
         if (batcher_.pending() > 0) {
             flush_time_us_ = last_arrival_us_;
-            batcher_.flush_all();
+            batcher_.flush_all(last_arrival_us_);
         }
         const auto wall_end = std::chrono::steady_clock::now();
 
@@ -164,6 +171,16 @@ private:
             outcome.status = 2;  // no_output
             outcome.agreeing = static_cast<std::uint16_t>(result.agreeing);
             overload_.record(false);
+            if (stats_ != nullptr) {
+                FrameObservation fo;
+                fo.stream = static_cast<std::uint32_t>(arrival.stream);
+                fo.frame = static_cast<std::uint64_t>(arrival.frame);
+                fo.trace.stamp(TracePoint::rx, arrival.t_us);
+                fo.trace.stamp(TracePoint::vote, arrival.t_us);
+                fo.trace.stamp(TracePoint::tx, arrival.t_us);
+                fo.status = ResponseStatus::no_output;
+                stats_->observe(fo, arrival.t_us);
+            }
             return;
         }
 
@@ -179,6 +196,15 @@ private:
             outcome.status = 3;  // shed
             overload_.record(true);
             ++frame_seq_;
+            if (stats_ != nullptr) {
+                FrameObservation fo;
+                fo.stream = static_cast<std::uint32_t>(arrival.stream);
+                fo.frame = static_cast<std::uint64_t>(arrival.frame);
+                fo.trace.stamp(TracePoint::rx, arrival.t_us);
+                fo.trace.stamp(TracePoint::tx, arrival.t_us);
+                fo.status = ResponseStatus::shed;
+                stats_->observe(fo, arrival.t_us);
+            }
             return;
         }
 
@@ -205,6 +231,11 @@ private:
         inflight.degraded = degrade;
         inflight.remaining = static_cast<int>(to_submit.size());
         inflight.plan = std::move(plan);
+        // Virtual-time trace: arrival is both rx and enqueue (parsing is
+        // instantaneous in the synthetic model); the batcher/engine stamps
+        // land in on_label, the vote/tx stamps in finalize.
+        inflight.trace.stamp(TracePoint::rx, arrival.t_us);
+        inflight.trace.stamp(TracePoint::enqueue, arrival.t_us);
         if (degrade) {
             static obs::Counter& shed = obs::metrics().counter("serve.shed.degraded");
             shed.add(1);
@@ -240,8 +271,8 @@ private:
             last_stamp_seq_ = stamp.seq;
             const double busy = options_.service_base_us +
                                 options_.service_per_frame_us * stamp.size;
-            const std::uint64_t start = std::max(flush_time_us_, engine_busy_us_);
-            engine_busy_us_ = start + stamp_us(busy);
+            flush_start_us_ = std::max(flush_time_us_, engine_busy_us_);
+            engine_busy_us_ = flush_start_us_ + stamp_us(busy);
             ++flushes_;
             flushed_frames_ += stamp.size;
         }
@@ -250,6 +281,13 @@ private:
         InFlight& inflight = it->second;
         inflight.proposals[module] = label;
         inflight.completed_us = std::max(inflight.completed_us, engine_busy_us_);
+        // Monotone stamps: a frame fanned over several flushes keeps the
+        // boundaries of the last batch that carried one of its versions —
+        // formed is the batcher's virtual flush time, the infer interval is
+        // the virtual engine occupancy computed above.
+        inflight.trace.stamp(TracePoint::formed, stamp.formed_us);
+        inflight.trace.stamp(TracePoint::infer_start, flush_start_us_);
+        inflight.trace.stamp(TracePoint::infer_end, engine_busy_us_);
         if (--inflight.remaining == 0) {
             finalize(inflight);
             inflight_.erase(it);
@@ -285,6 +323,22 @@ private:
                                 latency_ms, options_.slo_budget_ms);
         }
         overload_.record(breach);
+
+        if (stats_ != nullptr) {
+            // Voting and response hand-off are instantaneous in virtual
+            // time, so both close at the completion stamp.
+            inflight.trace.stamp(TracePoint::vote, inflight.completed_us);
+            inflight.trace.stamp(TracePoint::tx, inflight.completed_us);
+            FrameObservation fo;
+            fo.stream = static_cast<std::uint32_t>(inflight.stream);
+            fo.frame = static_cast<std::uint64_t>(inflight.frame);
+            fo.trace = inflight.trace;
+            fo.status = static_cast<ResponseStatus>(result.kind);
+            fo.degraded = inflight.degraded;
+            fo.latency_ms = latency_ms;
+            fo.slo_budget_ms = options_.slo_budget_ms;
+            stats_->observe(fo, inflight.completed_us);
+        }
     }
 
     [[nodiscard]] FleetResult tally() const {
@@ -332,6 +386,7 @@ private:
 
     const ModelSet& set_;
     const FleetOptions& options_;
+    FleetStats* stats_ = nullptr;
     OverloadControl overload_;
     DynamicBatcher batcher_;
     std::vector<Session> sessions_;
@@ -345,6 +400,7 @@ private:
     std::uint64_t frame_seq_ = 0;
     std::uint64_t last_arrival_us_ = 0;
     std::uint64_t flush_time_us_ = 0;
+    std::uint64_t flush_start_us_ = 0;
     std::uint64_t engine_busy_us_ = 0;
     std::uint64_t last_stamp_seq_ = 0;
     std::uint64_t slo_breaches_ = 0;
@@ -354,8 +410,9 @@ private:
 
 }  // namespace
 
-FleetResult run_fleet(const ModelSet& set, const FleetOptions& options) {
-    FleetRun run(set, options);
+FleetResult run_fleet(const ModelSet& set, const FleetOptions& options,
+                      FleetStats* stats) {
+    FleetRun run(set, options, stats);
     return run.run();
 }
 

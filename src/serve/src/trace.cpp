@@ -1,0 +1,69 @@
+#include "mvreju/serve/trace.hpp"
+
+#include <algorithm>
+
+namespace mvreju::serve {
+
+namespace {
+
+/// Boundary pair of each derived stage, index = Stage.
+constexpr TracePoint kStageFrom[kStageCount] = {
+    TracePoint::rx,          TracePoint::enqueue, TracePoint::formed,
+    TracePoint::infer_start, TracePoint::infer_end, TracePoint::vote,
+    TracePoint::rx,
+};
+constexpr TracePoint kStageTo[kStageCount] = {
+    TracePoint::enqueue,   TracePoint::formed, TracePoint::infer_start,
+    TracePoint::infer_end, TracePoint::vote,   TracePoint::tx,
+    TracePoint::tx,
+};
+
+constexpr const char* kStageNames[kStageCount] = {
+    "parse", "queue", "dispatch", "infer", "vote", "tx", "total",
+};
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+    const auto index = static_cast<std::size_t>(stage);
+    return index < kStageCount ? kStageNames[index] : "?";
+}
+
+std::uint64_t FrameTrace::stage_us(Stage stage) const noexcept {
+    const auto index = static_cast<std::size_t>(stage);
+    if (index >= kStageCount) return 0;
+    const std::uint64_t from = at(kStageFrom[index]);
+    const std::uint64_t to = at(kStageTo[index]);
+    return (from == 0 || to <= from) ? 0 : to - from;
+}
+
+bool FrameTrace::stage_bounded(Stage stage) const noexcept {
+    const auto index = static_cast<std::size_t>(stage);
+    if (index >= kStageCount) return false;
+    const std::uint64_t from = at(kStageFrom[index]);
+    const std::uint64_t to = at(kStageTo[index]);
+    return from != 0 && to != 0 && to >= from;
+}
+
+std::array<std::uint32_t, kStageCount> FrameTrace::breakdown_us() const noexcept {
+    std::array<std::uint32_t, kStageCount> out{};
+    for (std::size_t s = 0; s < kStageCount; ++s)
+        out[s] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            stage_us(static_cast<Stage>(s)), 0xffffffffull));
+    return out;
+}
+
+Stage FrameTrace::dominant_stage() const noexcept {
+    Stage best = Stage::parse;
+    std::uint64_t best_us = stage_us(Stage::parse);
+    for (std::size_t s = 1; s + 1 < kStageCount; ++s) {  // exclude total
+        const std::uint64_t d = stage_us(static_cast<Stage>(s));
+        if (d > best_us) {
+            best = static_cast<Stage>(s);
+            best_us = d;
+        }
+    }
+    return best;
+}
+
+}  // namespace mvreju::serve

@@ -1,0 +1,176 @@
+// Tests for the windowed latency digest behind fleet telemetry. The
+// load-bearing property is deterministic merging: every accumulator is
+// integral (fixed-point sum/min/max), so splitting a sample stream over
+// any number of shards and merging in any order must reproduce the
+// single-digest result bit for bit. The rest pins the exact time-decay
+// semantics: whole slots age out of the window, stale samples at a reused
+// ring position are dropped, newer ones evict.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "mvreju/obs/windowed_digest.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+obs::WindowedDigest::Options geometry() {
+    obs::WindowedDigest::Options options;
+    options.slot_width_us = 1'000'000;
+    options.slots = 4;
+    return options;
+}
+
+struct Sample {
+    std::uint64_t t_us = 0;
+    double value = 0.0;
+};
+
+/// Seeded samples spanning the whole window but never wrapping the ring,
+/// so record order cannot change which samples survive.
+std::vector<Sample> make_samples(std::size_t n) {
+    util::Rng rng(42);
+    std::vector<Sample> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Sample s;
+        s.t_us = static_cast<std::uint64_t>(rng.uniform(0.0, 3'999'999.0));
+        s.value = rng.uniform(0.0, 600.0);  // spills into the overflow bucket
+        out.push_back(s);
+    }
+    return out;
+}
+
+void expect_identical(const obs::HistogramValue& got,
+                      const obs::HistogramValue& want) {
+    EXPECT_EQ(got.count, want.count);
+    // Fixed-point accumulators make these exact equalities, not tolerances.
+    EXPECT_EQ(got.sum, want.sum);
+    EXPECT_EQ(got.min, want.min);
+    EXPECT_EQ(got.max, want.max);
+    EXPECT_EQ(got.buckets, want.buckets);
+    EXPECT_EQ(got.quantile(0.5), want.quantile(0.5));
+    EXPECT_EQ(got.quantile(0.99), want.quantile(0.99));
+}
+
+TEST(WindowedDigestTest, ShardSplitsMergeBitIdentical) {
+    const std::vector<Sample> samples = make_samples(1000);
+    const std::uint64_t now_us = 3'999'999;
+
+    obs::WindowedDigest reference(geometry());
+    for (const Sample& s : samples) reference.record(s.t_us, s.value);
+    const obs::HistogramValue want = reference.window(now_us);
+    ASSERT_EQ(want.count, samples.size());
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}, std::size_t{8}}) {
+        std::vector<obs::WindowedDigest> shard(shards,
+                                               obs::WindowedDigest(geometry()));
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            shard[i % shards].record(samples[i].t_us, samples[i].value);
+
+        obs::WindowedDigest forward(geometry());
+        for (const obs::WindowedDigest& s : shard) forward.merge(s);
+        expect_identical(forward.window(now_us), want);
+
+        // Merge order must not matter (associative + commutative folds).
+        obs::WindowedDigest backward(geometry());
+        for (std::size_t i = shard.size(); i-- > 0;) backward.merge(shard[i]);
+        expect_identical(backward.window(now_us), want);
+    }
+}
+
+TEST(WindowedDigestTest, WholeSlotsAgeOutOfTheWindow) {
+    obs::WindowedDigest digest(geometry());
+    digest.record(500'000, 1.0);    // epoch 0
+    digest.record(1'500'000, 2.0);  // epoch 1
+    digest.record(2'500'000, 3.0);  // epoch 2
+    digest.record(3'500'000, 4.0);  // epoch 3
+    EXPECT_EQ(digest.count(3'999'999), 4u);
+    EXPECT_EQ(digest.window(3'999'999).min, 1.0);
+
+    // One epoch later the oldest whole slot leaves; nothing is scaled.
+    EXPECT_EQ(digest.count(4'500'000), 3u);
+    EXPECT_EQ(digest.window(4'500'000).min, 2.0);
+    EXPECT_EQ(digest.window(4'500'000).max, 4.0);
+
+    // A slot is visible for exactly `slots` epochs: the epoch-3 sample is
+    // still in-window through epoch 6...
+    EXPECT_EQ(digest.count(6'999'999), 1u);
+    EXPECT_EQ(digest.window(6'999'999).min, 4.0);
+    // ...and gone the instant epoch 7 starts.
+    EXPECT_EQ(digest.count(7'000'000), 0u);
+    EXPECT_EQ(digest.window(7'000'000).count, 0u);
+}
+
+TEST(WindowedDigestTest, StaleSamplesDropNewerSamplesEvict) {
+    obs::WindowedDigest digest(geometry());
+    digest.record(5'500'000, 10.0);  // epoch 5 -> ring position 1
+
+    // Same position, older epoch: the window has moved past it — dropped.
+    digest.record(1'200'000, 99.0);  // epoch 1 -> ring position 1
+    EXPECT_EQ(digest.count(5'999'999), 1u);
+    EXPECT_EQ(digest.window(5'999'999).max, 10.0);
+
+    // Same position, newer epoch: evicts the resident slot.
+    digest.record(9'100'000, 7.0);  // epoch 9 -> ring position 1
+    EXPECT_EQ(digest.count(9'999'999), 1u);
+    EXPECT_EQ(digest.window(9'999'999).min, 7.0);
+}
+
+TEST(WindowedDigestTest, MergeRefusesMismatchedGeometry) {
+    obs::WindowedDigest digest(geometry());
+
+    obs::WindowedDigest::Options more_slots = geometry();
+    more_slots.slots = 8;
+    EXPECT_THROW(digest.merge(obs::WindowedDigest(more_slots)), std::logic_error);
+
+    obs::WindowedDigest::Options wider_slots = geometry();
+    wider_slots.slot_width_us = 2'000'000;
+    EXPECT_THROW(digest.merge(obs::WindowedDigest(wider_slots)), std::logic_error);
+
+    obs::WindowedDigest::Options other_bounds = geometry();
+    other_bounds.bounds = obs::HistogramBounds::linear(1.0, 1.0, 4);
+    EXPECT_THROW(digest.merge(obs::WindowedDigest(other_bounds)), std::logic_error);
+}
+
+TEST(WindowedDigestTest, MergeTakesTheNewerEpochPerSlot) {
+    // Two shards whose ring position 0 holds different epochs: the merge
+    // must keep the newer slot outright, not add a stale one in.
+    obs::WindowedDigest old_shard(geometry());
+    old_shard.record(500'000, 1.0);  // epoch 0 -> position 0
+    obs::WindowedDigest new_shard(geometry());
+    new_shard.record(4'500'000, 2.0);  // epoch 4 -> position 0
+
+    obs::WindowedDigest a(geometry());
+    a.merge(old_shard);
+    a.merge(new_shard);
+    obs::WindowedDigest b(geometry());
+    b.merge(new_shard);
+    b.merge(old_shard);
+
+    expect_identical(a.window(4'999'999), b.window(4'999'999));
+    EXPECT_EQ(a.count(4'999'999), 1u);
+    EXPECT_EQ(a.window(4'999'999).max, 2.0);
+}
+
+TEST(WindowedDigestTest, ClearRetainsGeometry) {
+    obs::WindowedDigest digest(geometry());
+    digest.record(500'000, 1.0);
+    digest.clear();
+    EXPECT_EQ(digest.count(500'000), 0u);
+    digest.record(600'000, 3.0);
+    EXPECT_EQ(digest.count(999'999), 1u);
+
+    obs::WindowedDigest other(geometry());
+    other.record(700'000, 4.0);
+    digest.merge(other);  // geometry intact: merge still accepted
+    EXPECT_EQ(digest.count(999'999), 2u);
+}
+
+}  // namespace

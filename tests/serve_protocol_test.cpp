@@ -123,6 +123,73 @@ TEST(ServeProtocolTest, WrongGeometryIsAnError) {
     EXPECT_NE(parser.error().find("model geometry"), std::string::npos);
 }
 
+TEST(ServeProtocolTest, TraceFlagRoundTripsAndStaysV1Compatible) {
+    serve::RequestFrame plain = make_request(11, 0.5f);
+    serve::RequestFrame traced = make_request(11, 0.5f);
+    traced.want_trace = true;
+    const std::string v1 = serve::encode_request(plain);
+    const std::string v2 = serve::encode_request(traced);
+    // The flags byte is strictly additive: same body, one trailing byte.
+    ASSERT_EQ(v2.size(), v1.size() + 1);
+    EXPECT_EQ(v2.substr(4, v1.size() - 4), v1.substr(4));
+    EXPECT_EQ(static_cast<std::uint8_t>(v2.back()), serve::kRequestFlagTrace);
+
+    serve::FrameParser parser(kSampleSize);
+    std::string buffer = v2 + v1;  // both generations on one connection
+    std::vector<serve::RequestFrame> out;
+    ASSERT_TRUE(parser.consume(buffer, out));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].want_trace);
+    EXPECT_FALSE(out[1].want_trace);
+    EXPECT_EQ(out[0].image[0], 0.5f);
+}
+
+TEST(ServeProtocolTest, UnknownFlagBitsAreAnError) {
+    serve::RequestFrame request = make_request(1, 0.0f);
+    request.want_trace = true;
+    std::string buffer = serve::encode_request(request);
+    buffer.back() = static_cast<char>(0x02);  // an undefined flag bit
+    serve::FrameParser parser(kSampleSize);
+    std::vector<serve::RequestFrame> out;
+    EXPECT_FALSE(parser.consume(buffer, out));
+    EXPECT_TRUE(parser.failed());
+    EXPECT_NE(parser.error().find("unknown request flags"), std::string::npos);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ServeProtocolTest, ResponseStageAnnexRoundTrip) {
+    serve::ResponseFrame response;
+    response.frame_id = 77;
+    response.status = serve::ResponseStatus::decided;
+    response.agreeing = 3;
+    response.label = 2;
+    response.functional_modules = 3;
+    response.has_trace = true;
+    for (std::size_t s = 0; s < serve::kStageCount; ++s)
+        response.stage_us[s] = static_cast<std::uint32_t>(100 * (s + 1));
+    const std::string wire = serve::encode_response(response);
+    ASSERT_EQ(wire.size(), 4u + 20u + 4u * serve::kStageCount);
+
+    serve::ResponseFrame decoded;
+    ASSERT_TRUE(serve::decode_response(wire.data() + 4, wire.size() - 4, decoded));
+    EXPECT_TRUE(decoded.has_trace);
+    EXPECT_EQ(decoded.stage_us, response.stage_us);
+    EXPECT_EQ(decoded.frame_id, 77u);
+
+    // A trace-less response is the unchanged 20-byte v1 frame, and decoding
+    // it zeroes the annex fields.
+    serve::ResponseFrame bare;
+    bare.frame_id = 78;
+    const std::string v1 = serve::encode_response(bare);
+    ASSERT_EQ(v1.size(), 4u + 20u);
+    ASSERT_TRUE(serve::decode_response(v1.data() + 4, v1.size() - 4, decoded));
+    EXPECT_FALSE(decoded.has_trace);
+    EXPECT_EQ(decoded.stage_us[0], 0u);
+
+    // A truncated annex is malformed, not partially decoded.
+    EXPECT_FALSE(serve::decode_response(wire.data() + 4, wire.size() - 8, decoded));
+}
+
 TEST(ServeProtocolTest, SeededGarbageNeverCrashesTheParser) {
     util::Rng rng(1234);
     for (int round = 0; round < 200; ++round) {
@@ -227,6 +294,50 @@ TEST(ServeProtocolTest, GarbageOverSocketGetsErrorAndClose) {
     }
     const serve::Server::Stats stats = server.stats();
     EXPECT_GE(stats.protocol_errors, 1u);
+    server.stop();
+}
+
+TEST(ServeProtocolTest, TraceRequestGetsStageAnnexOverSocket) {
+    const serve::ModelSet set = serve::make_model_set();
+    serve::Server::Options options;
+    options.batch_delay_us = 500;
+    options.tick_ms = 5;
+    serve::Server server(set, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const int fd = connect_to(server.port());
+    serve::RequestFrame request;
+    request.frame_id = 9;
+    request.want_trace = true;
+    request.image.assign(set.sample_size(), 0.25f);
+    const std::string wire = serve::encode_request(request);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+
+    const std::size_t want = 4 + 20 + 4 * serve::kStageCount;
+    std::string received;
+    char buf[256];
+    while (received.size() < want) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        ASSERT_GT(n, 0);
+        received.append(buf, static_cast<std::size_t>(n));
+    }
+    serve::ResponseFrame response;
+    ASSERT_TRUE(
+        serve::decode_response(received.data() + 4, received.size() - 4, response));
+    EXPECT_EQ(response.frame_id, 9u);
+    EXPECT_NE(response.status, serve::ResponseStatus::error);
+    EXPECT_TRUE(response.has_trace);
+#ifndef MVREJU_OBS_DISABLED  // stamps compile out with observability off
+    const auto total =
+        response.stage_us[static_cast<std::size_t>(serve::Stage::total)];
+    const auto infer =
+        response.stage_us[static_cast<std::size_t>(serve::Stage::infer)];
+    EXPECT_GT(total, 0u);   // real steady-clock time elapsed rx -> tx
+    EXPECT_GE(total, infer);
+#endif
+    ::close(fd);
     server.stop();
 }
 

@@ -1,0 +1,145 @@
+// fleet_top: live fleet-telemetry dashboard over the exporter's /fleet
+// endpoint.
+//
+//   ./build/tools/fleet_top [--host 127.0.0.1] --port <exporter port>
+//       [--interval-ms 1000]   poll period for the live screen
+//       [--once]               fetch + render one screen, no loop
+//       [--from <file>]        render a saved /fleet document (no sockets)
+//
+// All the substance lives in mvreju/serve/dashboard.hpp (golden-tested);
+// this is argument parsing, a tiny HTTP/1.0 GET and the refresh loop.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "mvreju/serve/dashboard.hpp"
+#include "mvreju/util/args.hpp"
+
+namespace {
+
+/// One-shot HTTP/1.0 GET; returns the response body. Throws on connect or
+/// protocol failure, including non-200 status (the exporter answers 503
+/// until a fleet document has been published).
+std::string http_get(const std::string& host, int port, const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket: " + std::string(strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad host " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                                 ": " + strerror(errno));
+    }
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    for (std::size_t sent = 0; sent < request.size();) {
+        const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            throw std::runtime_error("send failed");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            ::close(fd);
+            throw std::runtime_error("recv failed");
+        }
+        if (n == 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const std::size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        throw std::runtime_error("malformed HTTP response");
+    const std::size_t status_at = response.find(' ');
+    if (status_at == std::string::npos ||
+        response.compare(status_at + 1, 3, "200") != 0)
+        throw std::runtime_error(
+            "HTTP " + response.substr(status_at + 1,
+                                      response.find('\r') - status_at - 1));
+    return response.substr(header_end + 4);
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const mvreju::util::Args args(argc, argv);
+    const std::string from = args.get("from", std::string{});
+    const bool once = args.has("once");
+
+    try {
+        if (!from.empty()) {
+            const auto doc = mvreju::serve::dashboard::parse(read_file(from));
+            std::fputs(mvreju::serve::dashboard::render(doc).c_str(), stdout);
+            return 0;
+        }
+
+        const std::string host = args.host();
+        const int port = args.port(0);
+        if (port == 0) {
+            std::fprintf(stderr,
+                         "usage: fleet_top --port <exporter port> [--host H] "
+                         "[--interval-ms N] [--once] | --from <file>\n");
+            return 2;
+        }
+        const int interval_ms = args.get_int("interval-ms", 1000, 10, 60000);
+
+        for (;;) {
+            std::string screen;
+            try {
+                const std::string body = http_get(host, port, "/fleet");
+                screen = mvreju::serve::dashboard::render(
+                    mvreju::serve::dashboard::parse(body));
+            } catch (const std::exception& poll_error) {
+                screen = std::string("fleet_top: ") + poll_error.what() + "\n";
+                if (once) {
+                    std::fputs(screen.c_str(), stderr);
+                    return 1;
+                }
+            }
+            if (once) {
+                std::fputs(screen.c_str(), stdout);
+                return 0;
+            }
+            // Home + clear-to-end keeps the screen steady between refreshes.
+            std::fputs("\x1b[H\x1b[J", stdout);
+            std::fputs(screen.c_str(), stdout);
+            std::fflush(stdout);
+            std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+        }
+    } catch (const mvreju::util::ArgError& e) {
+        std::fprintf(stderr, "fleet_top: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleet_top: %s\n", e.what());
+        return 1;
+    }
+}
