@@ -86,7 +86,13 @@ int main(int argc, char** argv) {
     const std::string out_path = args.get("out", std::string("BENCH_serve.json"));
     obs::Session session(args, "BENCH_serve.metrics.json");
 
-    const serve::ModelSet set = serve::make_model_set();
+    // --backend selects the kernel backend for the whole fleet (scalar by
+    // default); the emitted table carries it so baselines from different
+    // backends are never compared against each other silently.
+    serve::ModelSetConfig set_config;
+    set_config.backend = args.backend();
+    const serve::ModelSet set = serve::make_model_set(set_config);
+    std::cout << "backend: " << set.backend_name << "\n";
 
     // --- Equivalence + determinism -------------------------------------
     const serve::FleetOptions eq = nominal();
@@ -200,6 +206,25 @@ int main(int argc, char** argv) {
               << " fleet_json_deterministic="
               << (fleet_json_deterministic ? "yes" : "no") << "\n";
 
+    // --- int8 replica: 3x float32 + 1x int8 voting at fleet scale --------
+    // The quantized fourth version shares version 0's Sequential and differs
+    // only in backend, so this configuration is the live regression surface
+    // for the batcher's (model, backend) queue keying: a mixed-backend flush
+    // would run half the batch through the wrong arithmetic and break the
+    // run-to-run hash. Two runs must hash identically, and every frame must
+    // see 4 planned versions.
+    serve::ModelSetConfig quad_config;
+    quad_config.backend = args.backend();
+    quad_config.int8_replica = true;
+    const serve::ModelSet quad = serve::make_model_set(quad_config);
+    const serve::FleetOptions quad_opts = nominal();
+    const serve::FleetResult quad_a = serve::run_fleet(quad, quad_opts);
+    const serve::FleetResult quad_b = serve::run_fleet(quad, quad_opts);
+    const bool quad_deterministic = quad_a.output_hash == quad_b.output_hash;
+    std::cout << "int8_replica: versions=" << quad.pointers.size()
+              << " frames=" << quad_a.frames << " decided=" << quad_a.decided
+              << " deterministic=" << (quad_deterministic ? "yes" : "no") << "\n";
+
     // --- Sweep: streams x frame rate -> p99 / shed rate ------------------
     struct SweepRow {
         int streams;
@@ -235,6 +260,7 @@ int main(int argc, char** argv) {
     out << "{\n";
     out << "  \"bench\": \"serve\",\n";
     out << "  \"meta\": " << obs::run_metadata_json() << ",\n";
+    out << "  \"backend\": \"" << set.backend_name << "\",\n";
     out << "  \"hardware_threads\": " << util::hardware_threads() << ",\n";
     out << "  \"equivalence\": {\"streams\": " << eq.streams
         << ", \"hash_match_unbatched\": " << (hash_match ? "true" : "false")
@@ -266,6 +292,11 @@ int main(int argc, char** argv) {
         << ", \"plain_wall_ms\": " << plain_ms
         << ", \"traced_wall_ms\": " << traced_ms
         << ", \"overhead_percent\": " << overhead_percent << "},\n";
+    out << "  \"int8_replica\": {\"versions\": " << quad.pointers.size()
+        << ", \"deterministic\": " << (quad_deterministic ? "true" : "false")
+        << ", ";
+    emit_fleet(out, quad_a);
+    out << "},\n";
     out << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
         out << "    {\"streams\": " << sweep[i].streams
@@ -295,6 +326,10 @@ int main(int argc, char** argv) {
     }
     if (!fleet_json_deterministic) {
         std::cerr << "ERROR: /fleet document differs across identical runs\n";
+        return 1;
+    }
+    if (!quad_deterministic) {
+        std::cerr << "ERROR: int8-replica fleet is not run-to-run deterministic\n";
         return 1;
     }
     if (overload.shed_rate <= 0.0)

@@ -16,6 +16,8 @@
 #include "mvreju/data/signs.hpp"
 #include "mvreju/dspn/simulate.hpp"
 #include "mvreju/dspn/solver.hpp"
+#include "mvreju/ml/workspace.hpp"
+#include "mvreju/num/backend.hpp"
 #include "mvreju/num/linalg.hpp"
 #include "mvreju/num/sparse_markov.hpp"
 #include "mvreju/obs/flight_recorder.hpp"
@@ -96,6 +98,43 @@ void BM_SignClassifierInferenceBatched(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(images.size()));
 }
 BENCHMARK(BM_SignClassifierInferenceBatched);
+
+/// The pooled-im2col guarantee, asserted, per backend: after one warm-up
+/// batch sizes the Workspace pool, repeated same-shape conv inference
+/// performs zero heap growth (Workspace::allocation_count() is flat). A
+/// regression here silently turns the batched hot loop into an allocation
+/// storm, so the bench fails rather than just reporting a slower number.
+void BM_ConvBatchSteadyState(benchmark::State& state) {
+    const std::size_t index = static_cast<std::size_t>(state.range(0));
+    if (index >= num::backends().size()) {
+        state.SkipWithError("backend not compiled in");
+        return;
+    }
+    const num::KernelBackend& kb = *num::backends()[index];
+    if (!kb.supported()) {
+        state.SkipWithError("backend not supported on this host");
+        return;
+    }
+    state.SetLabel(std::string(kb.name()));
+    const ml::Sequential model = ml::make_mini_alexnet(3, 16, data::kSignClasses, 1);
+    std::vector<std::size_t> shape{32, 3, 16, 16};
+    ml::Tensor batch(shape);
+    util::Rng rng(3);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        batch[i] = static_cast<float>(rng.uniform());
+
+    ml::Workspace ws;
+    ws.give(model.logits_batch(batch, ws, 4, kb));  // warm-up sizes the pool
+    const std::size_t steady = ws.allocation_count();
+    for (auto _ : state) {
+        ws.give(model.logits_batch(batch, ws, 4, kb));
+        benchmark::ClobberMemory();
+    }
+    if (ws.allocation_count() != steady)
+        state.SkipWithError("conv path allocated in steady state");
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ConvBatchSteadyState)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
 
 void BM_MajorityVote(benchmark::State& state) {
     core::Voter<int> voter;

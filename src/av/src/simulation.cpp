@@ -42,8 +42,8 @@ namespace mvreju::av {
 
 RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
                         const ScenarioConfig& config) {
-    if (config.versions != 1 && config.versions != 3 && config.versions != 5)
-        throw std::invalid_argument("run_scenario: versions must be 1, 3 or 5");
+    if (config.versions < 1 || config.versions > 5)
+        throw std::invalid_argument("run_scenario: versions must be in [1, 5]");
     if (detectors.healthy.size() < static_cast<std::size_t>(config.versions) ||
         detectors.compromised.size() < static_cast<std::size_t>(config.versions))
         throw std::invalid_argument("run_scenario: not enough detector versions");

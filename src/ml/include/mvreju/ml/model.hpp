@@ -11,6 +11,7 @@
 
 #include "mvreju/ml/layers.hpp"
 #include "mvreju/ml/tensor.hpp"
+#include "mvreju/num/backend.hpp"
 
 namespace mvreju::ml {
 
@@ -71,11 +72,34 @@ public:
     [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
     [[nodiscard]] Layer& layer(std::size_t index) { return *layers_.at(index); }
 
+    /// Bind the kernel backend every inference entry point dispatches
+    /// through (load-time binding: the hot loop never branches on backend
+    /// choice). nullptr restores the scalar oracle. Copies inherit the
+    /// binding. Like the other mutators, must not overlap with inference.
+    void bind_backend(const num::KernelBackend* backend) noexcept {
+        backend_ = backend;
+    }
+
+    /// The bound backend (scalar when none was bound).
+    [[nodiscard]] const num::KernelBackend& backend() const noexcept {
+        return backend_ == nullptr ? num::scalar_backend() : *backend_;
+    }
+
     /// Inference pass (no gradient caching).
     [[nodiscard]] Tensor logits(const Tensor& input) const;
 
+    /// logits() through an explicit backend, overriding the bound one for
+    /// this call only — how a quantized replica shares float32 weights with
+    /// its sibling version without cloning them.
+    [[nodiscard]] Tensor logits(const Tensor& input,
+                                const num::KernelBackend& kernels) const;
+
     /// Class prediction: argmax over logits.
     [[nodiscard]] int predict(const Tensor& input) const;
+
+    /// predict() through an explicit backend (see logits() overload).
+    [[nodiscard]] int predict(const Tensor& input,
+                              const num::KernelBackend& kernels) const;
 
     /// Softmax probabilities over the logits.
     [[nodiscard]] std::vector<float> probabilities(const Tensor& input) const;
@@ -87,6 +111,13 @@ public:
     /// (0 = auto, 1 = serial; see util::parallel_for).
     [[nodiscard]] Tensor logits_batch(const Tensor& batch, Workspace& ws,
                                       std::size_t num_threads = 1) const;
+
+    /// logits_batch() through an explicit backend, overriding the bound one
+    /// for this call — the serving batcher uses this to flush each
+    /// (model, backend) queue through the backend the queue is keyed on.
+    [[nodiscard]] Tensor logits_batch(const Tensor& batch, Workspace& ws,
+                                      std::size_t num_threads,
+                                      const num::KernelBackend& kernels) const;
 
     /// Class predictions for a set of equally-shaped images, chunked through
     /// logits_batch(). Results are identical to calling predict() per image
@@ -116,6 +147,7 @@ public:
 private:
     std::string name_;
     std::vector<std::unique_ptr<Layer>> layers_;
+    const num::KernelBackend* backend_ = nullptr;  ///< nullptr == scalar
 };
 
 /// Softmax cross-entropy loss value for logits vs a target class.

@@ -13,21 +13,28 @@
 #include <vector>
 
 #include "mvreju/ml/tensor.hpp"
+#include "mvreju/num/backend.hpp"
 
 namespace mvreju::ml {
 
-/// Arena of recycled Tensors plus two raw float scratch buffers. Not
-/// thread-safe — use one Workspace per thread (see the thread-safety
-/// contract in model.hpp).
+/// Arena of recycled Tensors plus two raw float scratch buffers, doubling
+/// as the execution context that carries the kernel backend the layers
+/// dispatch through. Not thread-safe — use one Workspace per thread (see
+/// the thread-safety contract in model.hpp).
 class Workspace {
 public:
     /// A tensor of `shape`, recycled from the pool when one is available.
     /// Element values are unspecified; the caller overwrites them.
     [[nodiscard]] Tensor take(std::vector<std::size_t> shape) {
-        if (pool_.empty()) return Tensor(std::move(shape));
+        if (pool_.empty()) {
+            ++allocations_;
+            return Tensor(std::move(shape));
+        }
         Tensor t = std::move(pool_.back());
         pool_.pop_back();
+        const std::size_t cap = t.capacity();
         t.resize(std::move(shape));
+        if (t.capacity() > cap) ++allocations_;
         return t;
     }
 
@@ -36,14 +43,34 @@ public:
 
     /// im2col column-matrix scratch, resized to at least `n` elements.
     [[nodiscard]] std::vector<float>& col(std::size_t n) {
-        if (col_.size() < n) col_.resize(n);
+        grow(col_, n);
         return col_;
     }
 
     /// Auxiliary scratch (transposed Dense weights), at least `n` elements.
     [[nodiscard]] std::vector<float>& aux(std::size_t n) {
-        if (aux_.size() < n) aux_.resize(n);
+        grow(aux_, n);
         return aux_;
+    }
+
+    /// Bind the kernel backend layers dispatch through; nullptr means the
+    /// scalar oracle. Sequential::logits_batch re-binds this on every call
+    /// from the model's own binding, so the hot loop never branches on it.
+    void bind_kernels(const num::KernelBackend* kernels) noexcept {
+        kernels_ = kernels;
+    }
+
+    /// The bound backend (scalar when none was bound).
+    [[nodiscard]] const num::KernelBackend& kernels() const noexcept {
+        return kernels_ == nullptr ? num::scalar_backend() : *kernels_;
+    }
+
+    /// Number of heap growth events (new pooled tensor, tensor capacity
+    /// growth, scratch capacity growth) since construction. In the steady
+    /// state — same shapes batch after batch — this must stay constant;
+    /// bench/microbench.cpp asserts it.
+    [[nodiscard]] std::size_t allocation_count() const noexcept {
+        return allocations_;
     }
 
     /// Total bytes currently held (pooled tensor capacity + scratch
@@ -55,9 +82,18 @@ public:
     }
 
 private:
+    void grow(std::vector<float>& buffer, std::size_t n) {
+        if (buffer.size() >= n) return;
+        const std::size_t cap = buffer.capacity();
+        buffer.resize(n);
+        if (buffer.capacity() > cap) ++allocations_;
+    }
+
     std::vector<Tensor> pool_;
     std::vector<float> col_;
     std::vector<float> aux_;
+    const num::KernelBackend* kernels_ = nullptr;
+    std::size_t allocations_ = 0;
 };
 
 }  // namespace mvreju::ml

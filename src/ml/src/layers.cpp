@@ -112,6 +112,7 @@ Tensor Dense::infer(const Tensor& batch, Workspace& ws,
                                     ") batch, got " + shape_string(batch.shape()));
     const std::size_t nb = batch.shape()[0];
     Tensor out = ws.take({nb, outputs_});
+    const num::KernelBackend& kb = ws.kernels();
     const float* w = params_.data();
     const float* bias = w + inputs_ * outputs_;
     num::fill_rows(nb, outputs_, bias, out.data().data());
@@ -120,11 +121,11 @@ Tensor Dense::infer(const Tensor& batch, Workspace& ws,
         // streaming NN kernel (vectorises over outputs).
         std::vector<float>& wt = ws.aux(inputs_ * outputs_);
         num::transpose(outputs_, inputs_, w, wt.data());
-        num::sgemm(nb, outputs_, inputs_, batch.data().data(), wt.data(),
-                   out.data().data(), num_threads);
+        kb.sgemm(nb, outputs_, inputs_, batch.data().data(), wt.data(),
+                 out.data().data(), num_threads);
     } else {
-        num::sgemm_nt(nb, outputs_, inputs_, batch.data().data(), w,
-                      out.data().data(), num_threads);
+        kb.sgemm_nt(nb, outputs_, inputs_, batch.data().data(), w,
+                    out.data().data(), num_threads);
     }
     count_gemm_flops(2ull * nb * outputs_ * inputs_);
     return out;
@@ -266,24 +267,47 @@ Tensor Conv2D::infer(const Tensor& batch, Workspace& ws,
     const std::size_t ohow = oh * ow;
 
     Tensor out = ws.take({nb, out_channels_, oh, ow});
-    std::vector<float>& col = ws.col(nb * ckk * ohow);
+    const num::KernelBackend& kb = ws.kernels();
     const float* weights = params_.data();
     const float* bias = weights + out_channels_ * ckk;
     const float* in = batch.data().data();
     float* outp = out.data().data();
+
+    // The column matrix is a *lane* buffer, not a whole-batch unfold: each
+    // lane owns one col slice and reuses it for every sample it processes,
+    // so scratch scales with the worker count instead of the batch and the
+    // steady state allocates nothing (bench/microbench.cpp asserts this).
+    // One im2col + GEMM per sample; parallelism partitions samples into
+    // contiguous per-lane ranges, so every output element still has a single
+    // k-ascending accumulator (bitwise equal to forward()'s naive loops up
+    // to ±0 on padding taps) regardless of the lane count.
+    const std::size_t workers =
+        num_threads == 0 ? util::hardware_threads() : num_threads;
+    const std::size_t lanes = nb == 1 ? 1 : std::min(workers, nb);
+    std::vector<float>& col = ws.col(lanes * ckk * ohow);
     float* colp = col.data();
 
-    // One im2col + GEMM per sample; parallelism partitions samples, so every
-    // output element still has a single k-ascending accumulator (bitwise
-    // equal to forward()'s naive loops up to ±0 on padding taps).
-    for_each_sample(nb, num_threads, [&](std::size_t s) {
-        float* col_s = colp + s * ckk * ohow;
-        num::im2col(in + s * in_channels_ * h * w, in_channels_, h, w, kernel_, pad_,
-                    col_s);
+    auto run_sample = [&](std::size_t s, float* col_s) {
+        kb.im2col(in + s * in_channels_ * h * w, in_channels_, h, w, kernel_, pad_,
+                  col_s);
         float* out_s = outp + s * out_channels_ * ohow;
         num::fill_cols(out_channels_, ohow, bias, out_s);
-        num::sgemm(out_channels_, ohow, ckk, weights, col_s, out_s, 1);
-    });
+        kb.sgemm(out_channels_, ohow, ckk, weights, col_s, out_s, 1);
+    };
+    if (lanes == 1) {
+        for (std::size_t s = 0; s < nb; ++s) run_sample(s, colp);
+    } else {
+        const std::size_t per_lane = (nb + lanes - 1) / lanes;
+        util::parallel_for(
+            lanes,
+            [&](std::size_t lane) {
+                float* col_s = colp + lane * ckk * ohow;
+                const std::size_t lo = lane * per_lane;
+                const std::size_t hi = std::min(nb, lo + per_lane);
+                for (std::size_t s = lo; s < hi; ++s) run_sample(s, col_s);
+            },
+            lanes);
+    }
     count_gemm_flops(2ull * nb * out_channels_ * ohow * ckk);
     return out;
 }

@@ -30,7 +30,8 @@ constexpr std::size_t kPredictChunk = 256;
 
 }  // namespace
 
-Sequential::Sequential(const Sequential& other) : name_(other.name_) {
+Sequential::Sequential(const Sequential& other)
+    : name_(other.name_), backend_(other.backend_) {
     layers_.reserve(other.layers_.size());
     for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
 }
@@ -49,6 +50,11 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
 }
 
 Tensor Sequential::logits(const Tensor& input) const {
+    return logits(input, backend());
+}
+
+Tensor Sequential::logits(const Tensor& input,
+                          const num::KernelBackend& kernels) const {
     Workspace& ws = local_workspace();
     std::vector<std::size_t> batch_shape;
     batch_shape.reserve(input.rank() + 1);
@@ -57,7 +63,7 @@ Tensor Sequential::logits(const Tensor& input) const {
     Tensor batch = ws.take(std::move(batch_shape));
     std::memcpy(batch.data().data(), input.data().data(),
                 input.size() * sizeof(float));
-    Tensor out = logits_batch(batch, ws, /*num_threads=*/1);
+    Tensor out = logits_batch(batch, ws, /*num_threads=*/1, kernels);
     ws.give(std::move(batch));
     Tensor result(
         std::vector<std::size_t>(out.shape().begin() + 1, out.shape().end()),
@@ -68,7 +74,14 @@ Tensor Sequential::logits(const Tensor& input) const {
 
 Tensor Sequential::logits_batch(const Tensor& batch, Workspace& ws,
                                 std::size_t num_threads) const {
+    return logits_batch(batch, ws, num_threads, backend());
+}
+
+Tensor Sequential::logits_batch(const Tensor& batch, Workspace& ws,
+                                std::size_t num_threads,
+                                const num::KernelBackend& kernels) const {
     if (layers_.empty()) throw std::logic_error("Sequential: empty model");
+    ws.bind_kernels(&kernels);
     if (batch.rank() < 2 || batch.shape()[0] == 0)
         throw std::invalid_argument(
             "Sequential::logits_batch: expected non-empty batch with a leading "
@@ -88,9 +101,16 @@ Tensor Sequential::logits_batch(const Tensor& batch, Workspace& ws,
         "ml.infer.batch_size", obs::HistogramBounds::exponential(1.0, 2.0, 10));
     static obs::Gauge& workspace_bytes =
         obs::metrics().gauge("ml.infer.workspace_bytes");
+    static obs::Gauge& backend_gauge = obs::metrics().gauge("ml.backend.name");
     images.add(nb);
     batch_sizes.record(static_cast<double>(nb));
     workspace_bytes.set(static_cast<double>(ws.bytes()));
+    // Which backend served: the gauge holds the registry index of the most
+    // recent dispatch, the per-backend counters tally dispatches by name.
+    backend_gauge.set(static_cast<double>(num::backend_index(kernels)));
+    obs::metrics()
+        .counter("ml.backend.dispatches." + std::string(kernels.name()))
+        .add(1);
     return x;
 }
 
@@ -158,6 +178,11 @@ std::vector<int> Sequential::predict_batch(std::span<const Tensor> images,
 
 int Sequential::predict(const Tensor& input) const {
     return static_cast<int>(argmax(logits(input)));
+}
+
+int Sequential::predict(const Tensor& input,
+                        const num::KernelBackend& kernels) const {
+    return static_cast<int>(argmax(logits(input, kernels)));
 }
 
 std::vector<float> Sequential::probabilities(const Tensor& input) const {

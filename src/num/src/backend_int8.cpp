@@ -1,0 +1,156 @@
+// int8 quantized kernel backend: symmetric group-wise quantization (blocks
+// of 32 along the reduction dimension, the Q8_0 idiom), int32 accumulation
+// within each block, float dequantize-accumulate into C.
+//
+// Calibration is dynamic, from the live activation ranges of each call:
+// every (row of A, k-block) gets its own scale max|.|/127, and every
+// (logical column of B, k-block) likewise — for sgemm a column of B is one
+// im2col receptive field in the conv path; for sgemm_nt it is a row of the
+// (n x k) weight matrix, i.e. one output neuron. Group-wise scales adapt to
+// the local dynamic range, which roughly quarters the logit drift versus
+// per-tensor scales — the margin that keeps argmax agreement above the
+// gate's floor even on weakly-separated logits.
+//
+// Per-row activation scales are what keep the backend batch-composition
+// independent — a sample's quantized logits never depend on which
+// batch-mates it was coalesced with, which the serving layer's
+// bit-identical-to-predict invariant requires. The int32 dot product is
+// exact within each block (no rounding during accumulation) and the block
+// sum runs in a fixed order, so results are bitwise identical for every
+// thread count. Accuracy is gated on bounded logit drift + an argmax
+// agreement floor against the scalar oracle
+// (see tests/ml_backend_equivalence_test.cpp).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mvreju/num/backend.hpp"
+#include "mvreju/util/parallel.hpp"
+
+namespace mvreju::num {
+
+namespace {
+
+constexpr float kQmax = 127.0f;
+constexpr std::size_t kGroup = 32;  ///< k-block size sharing one scale
+
+/// Number of k-blocks for a reduction of length k.
+inline std::size_t blocks_of(std::size_t k) { return (k + kGroup - 1) / kGroup; }
+
+/// Round-half-away-from-zero to the symmetric int8 grid. lroundf is
+/// rounding-mode independent, so quantization is deterministic.
+inline std::int8_t quantize_one(float value, float inv_scale) {
+    const long q = std::lroundf(value * inv_scale);
+    return static_cast<std::int8_t>(q > 127 ? 127 : (q < -127 ? -127 : q));
+}
+
+/// Quantize one contiguous k-span group-wise: per-block scales into
+/// `scales` (0 marks an all-zero block the dot loop skips), int8 values
+/// into `out`.
+void quantize_groups(const float* values, std::size_t k, std::int8_t* out,
+                     float* scales) {
+    for (std::size_t g = 0, kk = 0; kk < k; ++g, kk += kGroup) {
+        const std::size_t len = kk + kGroup < k ? kGroup : k - kk;
+        float peak = 0.0f;
+        for (std::size_t i = 0; i < len; ++i) {
+            const float mag = std::fabs(values[kk + i]);
+            if (mag > peak) peak = mag;
+        }
+        const float scale = peak / kQmax;
+        scales[g] = scale;
+        if (scale == 0.0f) continue;
+        const float inv = 1.0f / scale;
+        for (std::size_t i = 0; i < len; ++i)
+            out[kk + i] = quantize_one(values[kk + i], inv);
+    }
+}
+
+class Int8Backend final : public KernelBackend {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "int8"; }
+    [[nodiscard]] bool bit_exact() const noexcept override { return false; }
+
+    void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+               const float* b, float* c, std::size_t num_threads) const override {
+        if (m == 0 || n == 0 || k == 0) return;
+        // Gather-transpose then quantize B once on the calling thread so
+        // the inner loop reads contiguous columns; workers read through
+        // the pointers.
+        const std::size_t nb = blocks_of(k);
+        thread_local std::vector<std::int8_t> tl_qbt;
+        thread_local std::vector<float> tl_sb;
+        thread_local std::vector<float> tl_col;
+        tl_qbt.resize(n * k);
+        tl_sb.resize(n * nb);
+        tl_col.resize(k);
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t kk = 0; kk < k; ++kk) tl_col[kk] = b[kk * n + j];
+            quantize_groups(tl_col.data(), k, tl_qbt.data() + j * k,
+                            tl_sb.data() + j * nb);
+        }
+        run_rows(m, n, k, a, tl_qbt.data(), tl_sb.data(), c, num_threads);
+    }
+
+    void sgemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                  const float* b, float* c, std::size_t num_threads) const override {
+        if (m == 0 || n == 0 || k == 0) return;
+        // B is already (n x k) row-major — row j is logical column j.
+        const std::size_t nb = blocks_of(k);
+        thread_local std::vector<std::int8_t> tl_qb;
+        thread_local std::vector<float> tl_sb;
+        tl_qb.resize(n * k);
+        tl_sb.resize(n * nb);
+        for (std::size_t j = 0; j < n; ++j)
+            quantize_groups(b + j * k, k, tl_qb.data() + j * k, tl_sb.data() + j * nb);
+        run_rows(m, n, k, a, tl_qb.data(), tl_sb.data(), c, num_threads);
+    }
+
+private:
+    /// Shared row loop: group-quantize each activation row, block int32 dot
+    /// products against the pre-quantized (n x k) operand, dequantized
+    /// accumulate with per-block row × column scales in fixed block order.
+    static void run_rows(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                         const std::int8_t* qb, const float* sb, float* c,
+                         std::size_t num_threads) {
+        const std::size_t nb = blocks_of(k);
+        auto run_row = [&](std::size_t i) {
+            // Per-worker scratch: each task quantizes its own row.
+            thread_local std::vector<std::int8_t> qa;
+            thread_local std::vector<float> sa;
+            qa.resize(k);
+            sa.resize(nb);
+            quantize_groups(a + i * k, k, qa.data(), sa.data());
+            float* crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::int8_t* qcol = qb + j * k;
+                const float* scol = sb + j * nb;
+                float sum = 0.0f;
+                for (std::size_t g = 0, kk = 0; kk < k; ++g, kk += kGroup) {
+                    const float scale = sa[g] * scol[g];
+                    if (scale == 0.0f) continue;  // an all-zero block adds 0
+                    const std::size_t len = kk + kGroup < k ? kGroup : k - kk;
+                    std::int32_t acc = 0;
+                    for (std::size_t x = 0; x < len; ++x)
+                        acc += static_cast<std::int32_t>(qa[kk + x]) *
+                               static_cast<std::int32_t>(qcol[kk + x]);
+                    sum += scale * static_cast<float>(acc);
+                }
+                crow[j] += sum;
+            }
+        };
+        if (num_threads == 1 || m == 1) {
+            for (std::size_t i = 0; i < m; ++i) run_row(i);
+            return;
+        }
+        util::parallel_for(m, run_row, num_threads);
+    }
+};
+
+const Int8Backend g_int8;
+
+}  // namespace
+
+const KernelBackend& int8_backend() noexcept { return g_int8; }
+
+}  // namespace mvreju::num

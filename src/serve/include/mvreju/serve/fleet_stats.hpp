@@ -92,6 +92,12 @@ public:
         return breach_by_stage_;
     }
 
+    /// Name of the kernel backend serving the fleet's float32 versions
+    /// (ModelSet::backend_name); rendered into the /fleet document so
+    /// fleet_top can show which arithmetic served each stream.
+    void set_backend(std::string backend) { backend_ = std::move(backend); }
+    [[nodiscard]] const std::string& backend() const noexcept { return backend_; }
+
     [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
     [[nodiscard]] std::size_t stream_count() const noexcept {
         return streams_.size();
@@ -122,6 +128,7 @@ private:
                                           std::uint64_t now_us) const;
 
     Options options_;
+    std::string backend_ = "scalar";
     obs::WindowedDigest::Options digest_options_;
     std::vector<StreamState> streams_;  ///< sorted by stream id
     std::uint64_t frames_ = 0;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -84,7 +85,9 @@ struct Server::Impl {
                                           server_options.infer_threads,
                                           model_set.input_shape,
                                           [this] { return now_us(); }}),
-          overload(server_options.overload) {}
+          overload(server_options.overload) {
+        fleet_stats.set_backend(model_set.backend_name);
+    }
 
     [[nodiscard]] std::uint64_t now_us() const {
         return static_cast<std::uint64_t>(
@@ -245,12 +248,15 @@ struct Server::Impl {
         // batch may flush synchronously, run on_label, and erase this frame
         // from `inflight` — so nothing below may hold references into it
         // across a submit.
-        std::vector<std::pair<std::size_t, const ml::Sequential*>> to_submit;
+        std::vector<std::tuple<std::size_t, const ml::Sequential*,
+                               const num::KernelBackend*>>
+            to_submit;
         for (std::size_t m = 0; m < plan.states.size(); ++m) {
             if (degrade && static_cast<int>(m) != primary) continue;
             const ml::Sequential* model =
                 client.session->model_for(m, plan.states[m]);
-            if (model != nullptr) to_submit.emplace_back(m, model);
+            if (model != nullptr)
+                to_submit.emplace_back(m, model, &client.session->backend_for(m));
         }
 
         const std::uint64_t key = next_frame_key++;
@@ -286,11 +292,13 @@ struct Server::Impl {
         // enqueue closes the parse stage: plan + model resolution above,
         // batcher staging below.
         frame.trace.stamp(TracePoint::enqueue, now_us());
-        for (const auto& [m, model] : to_submit) {
-            batcher.submit(model, request.image.data(), arrival,
-                           [this, key, m = m](int label, const BatchStamp& stamp) {
-                               on_label(key, m, label, stamp);
-                           });
+        for (const auto& [m, model, backend] : to_submit) {
+            batcher.submit(
+                model, request.image.data(), arrival,
+                [this, key, m = m](int label, const BatchStamp& stamp) {
+                    on_label(key, m, label, stamp);
+                },
+                backend);
         }
     }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <optional>
 #include <queue>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -215,11 +216,14 @@ private:
         // submit happens a full batch may flush synchronously, run on_label,
         // and erase this frame — so nothing below may touch inflight_[key]
         // across a submit (operator[] would default-insert a leaked entry).
-        std::vector<std::pair<std::size_t, const ml::Sequential*>> to_submit;
+        std::vector<std::tuple<std::size_t, const ml::Sequential*,
+                               const num::KernelBackend*>>
+            to_submit;
         for (std::size_t m = 0; m < plan.states.size(); ++m) {
             if (degrade && static_cast<int>(m) != primary) continue;
             const ml::Sequential* model = session.model_for(m, plan.states[m]);
-            if (model != nullptr) to_submit.emplace_back(m, model);
+            if (model != nullptr)
+                to_submit.emplace_back(m, model, &session.backend_for(m));
         }
 
         const std::uint64_t key = frame_seq_++;
@@ -255,11 +259,13 @@ private:
 
         // A full queue flushes inside submit(): stamp the flush time first.
         flush_time_us_ = arrival.t_us;
-        for (const auto& [m, model] : to_submit) {
-            batcher_.submit(model, sample_.data(), arrival.t_us,
-                            [this, key, m = m](int label, const BatchStamp& stamp) {
-                                on_label(key, m, label, stamp);
-                            });
+        for (const auto& [m, model, backend] : to_submit) {
+            batcher_.submit(
+                model, sample_.data(), arrival.t_us,
+                [this, key, m = m](int label, const BatchStamp& stamp) {
+                    on_label(key, m, label, stamp);
+                },
+                backend);
         }
     }
 
@@ -412,6 +418,7 @@ private:
 
 FleetResult run_fleet(const ModelSet& set, const FleetOptions& options,
                       FleetStats* stats) {
+    if (stats != nullptr) stats->set_backend(set.backend_name);
     FleetRun run(set, options, stats);
     return run.run();
 }

@@ -57,6 +57,12 @@ public:
         return get_int("batch-delay-us", fallback, 0, 10000000);
     }
 
+    /// `--backend NAME` selects the kernel backend models bind at load time
+    /// ("scalar", "avx2", "int8"); empty means "resolve the MVREJU_BACKEND
+    /// environment variable, then scalar" — pass the result through
+    /// num::select_backend(), which owns that fallback chain.
+    [[nodiscard]] std::string backend() const { return get("backend", std::string{}); }
+
     /// Observability flag pair shared by every binary (see obs::Session):
     /// `--trace FILE` writes a Chrome trace-event JSON of the run,
     /// `--metrics FILE` writes a metrics snapshot blob. Empty when absent.

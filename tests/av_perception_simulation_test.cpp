@@ -75,7 +75,9 @@ TEST(RunScenario, ValidatesConfig) {
     const auto towns = make_towns();
     const DetectorSet& set = test_detectors();
     ScenarioConfig cfg;
-    cfg.versions = 2;
+    cfg.versions = 0;
+    EXPECT_THROW((void)run_scenario(towns[0].routes[0], set, cfg), std::invalid_argument);
+    cfg.versions = 4;  // valid range, but only 3 versions prepared
     EXPECT_THROW((void)run_scenario(towns[0].routes[0], set, cfg), std::invalid_argument);
     cfg.versions = 3;
     cfg.dt = 0.0;
@@ -195,8 +197,12 @@ TEST(Detectors, FiveVersionPoolPreparable) {
     cfg.seed = 31;
     const RunMetrics m = run_scenario(towns[0].routes[0], set, cfg);
     EXPECT_EQ(m.total_frames, 120);
+    // Even fleet sizes are legal too (the 3xfloat32 + 1xint8 experiment).
+    ScenarioConfig four = cfg;
+    four.versions = 4;
+    EXPECT_EQ(run_scenario(towns[0].routes[0], set, four).total_frames, 120);
     ScenarioConfig invalid = cfg;
-    invalid.versions = 4;
+    invalid.versions = 6;
     EXPECT_THROW((void)run_scenario(towns[0].routes[0], set, invalid),
                  std::invalid_argument);
 }

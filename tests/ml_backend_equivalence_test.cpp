@@ -1,0 +1,364 @@
+// Gate suite for the kernel-backend registry (ROADMAP item 2): every
+// non-scalar backend must earn its place against the scalar oracle on the
+// full Table II eval workload before the serving layer may dispatch to it.
+//
+//  - "avx2": argmax-identical to scalar on every eval image (the FMA tiling
+//    reorders float summation, so logits may drift in the last ulps, but a
+//    prediction flip would be a silent diversity violation).
+//  - "int8": a deliberately diverse replica — logit drift is bounded by an
+//    explicit declared tolerance and argmax agreement has a hard floor.
+//  - select_backend(): unknown names throw, compiled-but-unsupported avx2
+//    falls back to scalar with a warning instead of crashing.
+//  - determinism: each backend is bit-identical to itself across thread
+//    counts and under an 8-thread shared-model hammer (TSan job runs this).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "mvreju/data/signs.hpp"
+#include "mvreju/ml/model.hpp"
+#include "mvreju/ml/workspace.hpp"
+#include "mvreju/num/backend.hpp"
+#include "mvreju/num/gemm.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::ml {
+namespace {
+
+// ---- Declared int8 accuracy contract (mirrored by the BENCH_ml gates) ----
+//
+// Measured on the full 1000-image signs eval set with the briefly-trained
+// trio below (960 train images, 5 epochs): max |logit drift| 0.31, argmax
+// agreement 99.2/99.3/99.3% per model, 99.3% pooled. The bounds leave
+// headroom for toolchain variation while staying tight enough that a broken
+// quantizer cannot hide. The headline per-model >= 99% gate runs against
+// the fully-trained Table II weights in bench_ml + bench_compare (agreement
+// there: 99.5-99.9%); briefly-trained models keep this binary fast but
+// carry weakly-separated logits, so the pooled floor is the stable
+// statistic (3000 comparisons) and the per-model floor is a safety net.
+constexpr float kInt8LogitTolerance = 0.5f;
+constexpr double kInt8PooledAgreementFloor = 0.99;
+constexpr double kInt8PerModelAgreementFloor = 0.98;
+
+const data::SignDataset& signs() {
+    static const data::SignDataset dataset = [] {
+        data::SignDatasetConfig cfg;
+        cfg.train_count = 1;  // the test set is independent of train_count
+        return data::make_traffic_signs(cfg);
+    }();
+    return dataset;
+}
+
+/// The int8 accuracy contract is defined over *trained* models: untrained
+/// random weights produce near-tie logits whose argmax flips under any
+/// perturbation, which measures tie-breaking, not quantization quality.
+/// Serving only ever dispatches trained models. Trained once per binary.
+const std::vector<Sequential>& trained_models() {
+    static const std::vector<Sequential> models = [] {
+        data::SignDatasetConfig cfg;
+        cfg.train_count = 960;
+        const data::SignDataset ds = data::make_traffic_signs(cfg);
+        std::vector<Sequential> out;
+        out.push_back(make_mini_alexnet(3, 16, data::kSignClasses, 38));
+        out.push_back(make_micro_resnet(3, 16, data::kSignClasses, 38));
+        out.push_back(make_tiny_lenet(3, 16, data::kSignClasses, 38));
+        for (Sequential& model : out) {
+            TrainConfig tc;
+            tc.epochs = 5;
+            tc.learning_rate = 0.03f;
+            tc.lr_decay = 0.9f;
+            model.train(ds.train, tc);
+        }
+        return out;
+    }();
+    return models;
+}
+
+std::vector<Sequential> reference_models() {
+    std::vector<Sequential> models;
+    models.push_back(make_mini_alexnet(3, 16, data::kSignClasses, 38));
+    models.push_back(make_micro_resnet(3, 16, data::kSignClasses, 38));
+    models.push_back(make_tiny_lenet(3, 16, data::kSignClasses, 38));
+    return models;
+}
+
+Tensor stack(const std::vector<Tensor>& images) {
+    std::vector<std::size_t> shape;
+    shape.push_back(images.size());
+    for (std::size_t d : images.front().shape()) shape.push_back(d);
+    Tensor batch(shape);
+    const std::size_t sample = images.front().size();
+    for (std::size_t i = 0; i < images.size(); ++i)
+        std::memcpy(batch.data().data() + i * sample, images[i].data().data(),
+                    sample * sizeof(float));
+    return batch;
+}
+
+/// Full-eval-set logits for `model` through an explicit backend.
+Tensor eval_logits(const Sequential& model, const num::KernelBackend& kb,
+                   std::size_t threads = 1) {
+    Workspace ws;
+    return model.logits_batch(stack(signs().test.images), ws, threads, kb);
+}
+
+/// Argmax per row of a (n, classes) logits tensor.
+std::vector<int> row_argmax(const Tensor& logits, std::size_t classes) {
+    std::vector<int> preds;
+    for (std::size_t r = 0; r < logits.size() / classes; ++r) {
+        const float* row = logits.data().data() + r * classes;
+        int best = 0;
+        for (std::size_t c = 1; c < classes; ++c)
+            if (row[c] > row[best]) best = static_cast<int>(c);
+        preds.push_back(best);
+    }
+    return preds;
+}
+
+TEST(BackendRegistry, ScalarIsAlwaysPresentAndFirst) {
+    const auto& all = num::backends();
+    ASSERT_FALSE(all.empty());
+    EXPECT_EQ(all[0], &num::scalar_backend());
+    EXPECT_EQ(num::scalar_backend().name(), "scalar");
+    EXPECT_TRUE(num::scalar_backend().bit_exact());
+    EXPECT_TRUE(num::scalar_backend().supported());
+    EXPECT_EQ(num::backend_index(num::scalar_backend()), 0u);
+    // int8 is pure C++ and always compiled in.
+    ASSERT_NE(num::find_backend("int8"), nullptr);
+    EXPECT_FALSE(num::find_backend("int8")->bit_exact());
+}
+
+TEST(BackendRegistry, SelectBackendResolvesAndThrows) {
+    EXPECT_EQ(&num::select_backend(), &num::scalar_backend());
+    EXPECT_EQ(&num::select_backend("scalar"), &num::scalar_backend());
+    EXPECT_EQ(num::select_backend("int8").name(), "int8");
+    EXPECT_THROW((void)num::select_backend("cuda"), std::invalid_argument);
+    EXPECT_THROW((void)num::select_backend("AVX2"), std::invalid_argument);
+}
+
+TEST(BackendRegistry, Avx2RequestNeverCrashes) {
+    // Compiled in + supported host: resolves to avx2. Compiled in but
+    // unsupported host, or not compiled in at all: logged fallback to
+    // scalar. All three cases must resolve — never throw, never crash.
+    const num::KernelBackend& kb = num::select_backend("avx2");
+    if (num::find_backend("avx2") != nullptr && num::avx2_supported())
+        EXPECT_EQ(kb.name(), "avx2");
+    else
+        EXPECT_EQ(&kb, &num::scalar_backend());
+}
+
+TEST(BackendRegistry, UnsupportedBackendsAreNeverDispatchable) {
+    for (const num::KernelBackend* kb : num::backends()) {
+        if (kb->supported()) continue;
+        EXPECT_EQ(&num::select_backend(kb->name()), &num::scalar_backend());
+    }
+}
+
+/// Raw-kernel oracle check: C += A·B (and A·Bᵀ) against the scalar kernels
+/// on awkward shapes (panel tails, k tails, m tails for the tiled kernel).
+TEST(BackendKernels, GemmMatchesScalarOracleOnAwkwardShapes) {
+    util::Rng rng(99);
+    const struct { std::size_t m, n, k; } shapes[] = {
+        {1, 1, 1}, {3, 17, 5}, {4, 16, 32}, {5, 33, 7}, {64, 100, 27}, {7, 8, 128},
+    };
+    for (const num::KernelBackend* kb : num::backends()) {
+        if (kb == &num::scalar_backend() || !kb->supported()) continue;
+        SCOPED_TRACE(std::string(kb->name()));
+        // int8 quantization error scales with |A|·|B|; these inputs are in
+        // [-1, 1] so a per-element bound of k * 2/127 is comfortably loose.
+        const bool quantized = kb->name() == "int8";
+        for (const auto& s : shapes) {
+            std::vector<float> a(s.m * s.k), b(s.k * s.n), bt(s.n * s.k);
+            for (float& v : a) v = rng.uniform(-1.0f, 1.0f);
+            for (float& v : b) v = rng.uniform(-1.0f, 1.0f);
+            for (std::size_t i = 0; i < s.n; ++i)
+                for (std::size_t j = 0; j < s.k; ++j) bt[i * s.k + j] = b[j * s.n + i];
+            const float tol = quantized
+                ? static_cast<float>(s.k) * 2.0f / 127.0f
+                : 1e-4f;
+
+            std::vector<float> want(s.m * s.n, 0.5f), got(s.m * s.n, 0.5f);
+            num::sgemm(s.m, s.n, s.k, a.data(), b.data(), want.data(), 1);
+            kb->sgemm(s.m, s.n, s.k, a.data(), b.data(), got.data(), 1);
+            for (std::size_t i = 0; i < want.size(); ++i)
+                ASSERT_NEAR(got[i], want[i], tol)
+                    << "sgemm " << s.m << "x" << s.n << "x" << s.k << " elem " << i;
+
+            std::vector<float> want_nt(s.m * s.n, -0.25f), got_nt(s.m * s.n, -0.25f);
+            num::sgemm_nt(s.m, s.n, s.k, a.data(), bt.data(), want_nt.data(), 1);
+            kb->sgemm_nt(s.m, s.n, s.k, a.data(), bt.data(), got_nt.data(), 1);
+            for (std::size_t i = 0; i < want_nt.size(); ++i)
+                ASSERT_NEAR(got_nt[i], want_nt[i], tol)
+                    << "sgemm_nt " << s.m << "x" << s.n << "x" << s.k << " elem " << i;
+        }
+    }
+}
+
+TEST(BackendEquivalence, Avx2ArgmaxIdenticalOnFullEvalSet) {
+    const num::KernelBackend* avx2 = num::find_backend("avx2");
+    if (avx2 == nullptr || !avx2->supported())
+        GTEST_SKIP() << "avx2 backend not available on this host";
+    for (Sequential& model : reference_models()) {
+        SCOPED_TRACE(model.name());
+        const Tensor scalar = eval_logits(model, num::scalar_backend());
+        const Tensor vec = eval_logits(model, *avx2);
+        ASSERT_EQ(vec.size(), scalar.size());
+        EXPECT_EQ(row_argmax(vec, data::kSignClasses),
+                  row_argmax(scalar, data::kSignClasses));
+    }
+}
+
+TEST(BackendEquivalence, Int8DriftBoundedAndArgmaxAgreementAboveFloor) {
+    const num::KernelBackend* int8 = num::find_backend("int8");
+    ASSERT_NE(int8, nullptr);
+    std::size_t agree_total = 0;
+    std::size_t compared_total = 0;
+    for (const Sequential& model : trained_models()) {
+        SCOPED_TRACE(model.name());
+        const Tensor scalar = eval_logits(model, num::scalar_backend());
+        const Tensor quant = eval_logits(model, *int8);
+        ASSERT_EQ(quant.size(), scalar.size());
+
+        float max_drift = 0.0f;
+        for (std::size_t i = 0; i < scalar.size(); ++i)
+            max_drift = std::max(max_drift, std::fabs(quant[i] - scalar[i]));
+        EXPECT_LE(max_drift, kInt8LogitTolerance);
+
+        const std::vector<int> want = row_argmax(scalar, data::kSignClasses);
+        const std::vector<int> got = row_argmax(quant, data::kSignClasses);
+        std::size_t agree = 0;
+        for (std::size_t i = 0; i < want.size(); ++i) agree += (want[i] == got[i]);
+        agree_total += agree;
+        compared_total += want.size();
+        const double agreement =
+            static_cast<double>(agree) / static_cast<double>(want.size());
+        RecordProperty("int8_max_drift", std::to_string(max_drift));
+        RecordProperty("int8_argmax_agreement", std::to_string(agreement));
+        EXPECT_GE(agreement, kInt8PerModelAgreementFloor)
+            << "agreement " << agreement << " on " << want.size() << " images";
+    }
+    const double pooled =
+        static_cast<double>(agree_total) / static_cast<double>(compared_total);
+    EXPECT_GE(pooled, kInt8PooledAgreementFloor)
+        << "pooled agreement " << pooled << " on " << compared_total << " comparisons";
+}
+
+TEST(BackendEquivalence, Int8IndependentOfBatchComposition) {
+    // Per-row activation scales: a sample's quantized logits must not
+    // depend on its batch-mates, or serving's batched path would diverge
+    // from the per-frame predict() path.
+    const num::KernelBackend& int8 = *num::find_backend("int8");
+    Sequential model = make_tiny_lenet(3, 16, data::kSignClasses, 38);
+    const std::vector<Tensor>& images = signs().test.images;
+
+    Workspace ws;
+    const Tensor full = model.logits_batch(stack(images), ws, 1, int8);
+    for (std::size_t i : {std::size_t{0}, std::size_t{17}, images.size() - 1}) {
+        const Tensor solo = model.logits(images[i], int8);
+        const float* row = full.data().data() + i * data::kSignClasses;
+        EXPECT_EQ(std::memcmp(solo.data().data(), row,
+                              data::kSignClasses * sizeof(float)),
+                  0)
+            << "sample " << i;
+    }
+}
+
+TEST(BackendEquivalence, EachBackendBitIdenticalAcrossThreadCounts) {
+    const Tensor batch = stack(signs().test.images);
+    Sequential model = make_mini_alexnet(3, 16, data::kSignClasses, 38);
+    for (const num::KernelBackend* kb : num::backends()) {
+        if (!kb->supported()) continue;
+        SCOPED_TRACE(std::string(kb->name()));
+        Workspace ws;
+        const Tensor reference = model.logits_batch(batch, ws, 1, *kb);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{5}, std::size_t{8}}) {
+            Tensor logits = model.logits_batch(batch, ws, threads, *kb);
+            ASSERT_EQ(logits.size(), reference.size());
+            EXPECT_EQ(std::memcmp(logits.data().data(), reference.data().data(),
+                                  reference.size() * sizeof(float)),
+                      0)
+                << "threads=" << threads;
+            ws.give(std::move(logits));
+        }
+    }
+}
+
+TEST(BackendEquivalence, BoundBackendFlowsThroughPredictPaths) {
+    // A model bound at load time dispatches every public inference path
+    // (predict, predict_batch, logits_batch) through its backend.
+    const num::KernelBackend& int8 = *num::find_backend("int8");
+    Sequential bound = make_tiny_lenet(3, 16, data::kSignClasses, 38);
+    bound.bind_backend(&int8);
+    EXPECT_EQ(&bound.backend(), &int8);
+
+    Sequential pristine = make_tiny_lenet(3, 16, data::kSignClasses, 38);
+    const std::vector<Tensor>& images = signs().test.images;
+    for (std::size_t i : {std::size_t{0}, std::size_t{42}}) {
+        EXPECT_EQ(bound.predict(images[i]), pristine.predict(images[i], int8));
+    }
+    // Copies inherit the binding (the serving layer's twin-pool relies on it).
+    Sequential copy = bound;
+    EXPECT_EQ(&copy.backend(), &int8);
+}
+
+TEST(BackendHammer, SharedModelEightThreadsPerBackend) {
+    // One const model shared by 8 threads per backend: inference must be
+    // data-race free (the TSan CI job runs this case) and every thread must
+    // see bit-identical logits.
+    const std::vector<Tensor>& images = signs().test.images;
+    std::vector<Tensor> subset(images.begin(), images.begin() + 64);
+    const Tensor batch = stack(subset);
+    Sequential model = make_micro_resnet(3, 16, data::kSignClasses, 38);
+
+    for (const num::KernelBackend* kb : num::backends()) {
+        if (!kb->supported()) continue;
+        SCOPED_TRACE(std::string(kb->name()));
+        Workspace ws;
+        const Tensor reference = model.logits_batch(batch, ws, 1, *kb);
+
+        std::atomic<int> mismatches{0};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 8; ++t) {
+            threads.emplace_back([&, t] {
+                Workspace local;
+                for (int round = 0; round < 3; ++round) {
+                    const Tensor logits =
+                        model.logits_batch(batch, local, 1 + (t % 3), *kb);
+                    if (logits.size() != reference.size() ||
+                        std::memcmp(logits.data().data(), reference.data().data(),
+                                    reference.size() * sizeof(float)) != 0)
+                        mismatches.fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+        EXPECT_EQ(mismatches.load(), 0);
+    }
+}
+
+TEST(BackendWorkspace, ConvPathReachesAllocationSteadyState) {
+    // Satellite guarantee behind the pooled im2col buffer: after a warm-up
+    // batch, repeated same-shape inference performs zero heap growth.
+    Sequential model = make_mini_alexnet(3, 16, data::kSignClasses, 38);
+    std::vector<Tensor> subset(signs().test.images.begin(),
+                               signs().test.images.begin() + 32);
+    const Tensor batch = stack(subset);
+    for (const num::KernelBackend* kb : num::backends()) {
+        if (!kb->supported()) continue;
+        SCOPED_TRACE(std::string(kb->name()));
+        Workspace ws;
+        ws.give(model.logits_batch(batch, ws, 4, *kb));  // warm-up sizes the pool
+        const std::size_t warm = ws.allocation_count();
+        for (int round = 0; round < 5; ++round)
+            ws.give(model.logits_batch(batch, ws, 4, *kb));
+        EXPECT_EQ(ws.allocation_count(), warm) << "steady-state allocations";
+    }
+}
+
+}  // namespace
+}  // namespace mvreju::ml

@@ -14,6 +14,11 @@ paths (array indices as [i]):
         "direction": "lower" for lower-is-better metrics
     {"path": "...", "ratio_of": ["num.path", "den.path"], "baseline": ...}
         same, over a quotient of two metrics (machine-robust speedups)
+    {"path": "avx2_gemm_speedup", "min": 2.0, "when": "avx2_supported"}
+        conditional gate: only checked when the "when" path resolves truthy
+        in the *current* blob — skipped (not failed) otherwise. Used for
+        per-backend rows that depend on host capabilities, e.g. the avx2
+        kernels on a CPU without AVX2.
 
 Exit status 0 when every gate in every file passes, 1 otherwise.
 """
@@ -86,6 +91,15 @@ def compare(current_path, baseline_path):
 
     failures = 0
     for gate in baseline["gates"]:
+        if "when" in gate:
+            try:
+                condition = lookup(blob, gate["when"])
+            except (KeyError, IndexError, TypeError):
+                condition = False
+            if not condition:
+                print(f"  skip {gate.get('path', gate)} "
+                      f"(condition {gate['when']!r} not met)")
+                continue
         try:
             ok, message = check_gate(blob, gate)
         except (KeyError, IndexError, TypeError) as error:
