@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/obs/profiler.hpp"
 #include "mvreju/obs/session.hpp"
 #include "mvreju/serve/fleet_stats.hpp"
 #include "mvreju/serve/session.hpp"
@@ -206,6 +207,74 @@ int main(int argc, char** argv) {
               << " fleet_json_deterministic="
               << (fleet_json_deterministic ? "yes" : "no") << "\n";
 
+    // --- Profiler: continuous sampling must not perturb or cost ----------
+    // Interleaved plain/sampled pairs at the production ~100 Hz interval:
+    // the outcome hash must be bit-identical with SIGPROF landing
+    // mid-inference (EINTR hardening + signal-safety), and the wall-clock
+    // overhead stays under the same 2% gate as telemetry. Overhead is the
+    // best per-pair ratio rather than a ratio of independent minima:
+    // adjacent runs share machine state, so pairing cancels bursty
+    // background load that min-of-N over unpaired runs does not (a fast
+    // plain outlier against a never-lucky sampled set reads as phantom
+    // overhead). A second run at a fast interval checks attribution:
+    // >= 90% of samples must carry a known stage tag (parse/infer/vote/tx),
+    // i.e. the serving path is covered by MVREJU_PROFILE_STAGE scopes.
+    // Under -DMVREJU_OBS=OFF (or with another profiler already running)
+    // the stub start() refuses; `ran` then gates the overhead check and
+    // `sampled_enough` the attribution check.
+    const serve::FleetOptions prof_cfg = nominal();
+    obs::Profiler profiler;  // default interval: the production rate
+    double prof_plain_ms = std::numeric_limits<double>::infinity();
+    double prof_on_ms = std::numeric_limits<double>::infinity();
+    double prof_best_ratio = std::numeric_limits<double>::infinity();
+    std::uint64_t prof_plain_hash = 0;
+    std::uint64_t prof_on_hash = 0;
+    bool profiler_ran = false;
+    for (int r = 0; r < 5; ++r) {
+        const serve::FleetResult plain = serve::run_fleet(set, prof_cfg);
+        prof_plain_ms = std::min(prof_plain_ms, plain.wall_ms);
+        prof_plain_hash = plain.output_hash;
+        const bool on = profiler.start();
+        profiler_ran = profiler_ran || on;
+        const serve::FleetResult sampled = serve::run_fleet(set, prof_cfg);
+        if (on) profiler.stop();
+        prof_on_ms = std::min(prof_on_ms, sampled.wall_ms);
+        prof_on_hash = sampled.output_hash;
+        prof_best_ratio =
+            std::min(prof_best_ratio, sampled.wall_ms / plain.wall_ms);
+    }
+    const bool profiler_hash_match = prof_plain_hash == prof_on_hash;
+    const double profiler_overhead_percent = 100.0 * (prof_best_ratio - 1.0);
+
+    // Attribution run: fast sampling, single-thread inference (run_chunk
+    // inline keeps thread-spawn plumbing out of the untagged bucket), more
+    // frames so even a short wall-clock run lands a usable sample count.
+    obs::Profiler::Options fast_options;
+    fast_options.interval_us = 250;
+    obs::Profiler attribution(fast_options);
+    serve::FleetOptions attr_cfg = nominal();
+    attr_cfg.infer_threads = 1;
+    attr_cfg.frames_per_stream = 16;
+    const bool attr_on = attribution.start();
+    (void)serve::run_fleet(set, attr_cfg);
+    if (attr_on) attribution.stop();
+    const std::uint64_t attr_samples = attribution.stats().samples;
+    double tagged_fraction = 0.0;
+    for (const obs::StageCpu& share : attribution.stage_cpu()) {
+        if (share.stage == "parse" || share.stage == "infer" ||
+            share.stage == "vote" || share.stage == "tx")
+            tagged_fraction += share.fraction;
+    }
+    // Below ~100 samples one stray untagged hit swings the fraction by
+    // whole points; the gate only binds when the estimate is stable.
+    const bool sampled_enough = attr_on && attr_samples >= 100;
+    std::cout << "profiler: ran=" << (profiler_ran ? "yes" : "no")
+              << " plain_ms=" << prof_plain_ms << " sampled_ms=" << prof_on_ms
+              << " overhead_percent=" << profiler_overhead_percent
+              << " hash_match=" << (profiler_hash_match ? "yes" : "no")
+              << " attr_samples=" << attr_samples
+              << " tagged_fraction=" << tagged_fraction << "\n";
+
     // --- int8 replica: 3x float32 + 1x int8 voting at fleet scale --------
     // The quantized fourth version shares version 0's Sequential and differs
     // only in backend, so this configuration is the live regression surface
@@ -292,6 +361,15 @@ int main(int argc, char** argv) {
         << ", \"plain_wall_ms\": " << plain_ms
         << ", \"traced_wall_ms\": " << traced_ms
         << ", \"overhead_percent\": " << overhead_percent << "},\n";
+    out << "  \"profiler\": {\"ran\": " << (profiler_ran ? "true" : "false")
+        << ", \"hash_match_profiled\": " << (profiler_hash_match ? "true" : "false")
+        << ", \"plain_wall_ms\": " << prof_plain_ms
+        << ", \"profiled_wall_ms\": " << prof_on_ms
+        << ", \"overhead_percent\": " << profiler_overhead_percent
+        << ", \"attr_samples\": " << attr_samples
+        << ", \"tagged_fraction\": " << tagged_fraction
+        << ", \"sampled_enough\": " << (sampled_enough ? "true" : "false")
+        << "},\n";
     out << "  \"int8_replica\": {\"versions\": " << quad.pointers.size()
         << ", \"deterministic\": " << (quad_deterministic ? "true" : "false")
         << ", ";
@@ -322,6 +400,10 @@ int main(int argc, char** argv) {
     }
     if (!telemetry_hash_match) {
         std::cerr << "ERROR: attaching FleetStats changed the fleet output hash\n";
+        return 1;
+    }
+    if (!profiler_hash_match) {
+        std::cerr << "ERROR: sampling profiler changed the fleet output hash\n";
         return 1;
     }
     if (!fleet_json_deterministic) {

@@ -84,6 +84,10 @@ void Conn::flush_tx() {
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        // A signal (e.g. the sampling profiler's SIGPROF) may interrupt a
+        // blocked send even with SA_RESTART; retrying is the only correct
+        // reaction — closing would drop the connection under profiling load.
+        if (n < 0 && errno == EINTR) continue;
         close();  // peer gone or hard error
         return;
     }
@@ -129,6 +133,7 @@ void Conn::on_ready(std::uint32_t ready) {
                 break;
             }
             if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;  // signal-interrupted: retry, not hangup
             peer_closed = true;  // hard error: treat as hangup
             break;
         }

@@ -14,6 +14,10 @@
 //   GET /fleet     the latest fleet-telemetry JSON document pushed by the
 //                  serving layer (serve::FleetStats::to_json); 503 until one
 //                  has been published
+//   GET /profile   folded call stacks ("stage;frame;...;frame count" lines,
+//                  the collapsed-flamegraph format) from the continuous
+//                  obs::Profiler; ?seconds=N bounds the window. 503 until
+//                  the profiler is started (--profile / MVREJU_PROFILE)
 //   GET /record    force a FlightRecorder postmortem dump; responds with the
 //                  dump path
 //

@@ -1,0 +1,54 @@
+#pragma once
+
+// Pure-text analysis of folded-stacks profiles ("stage;root;...;leaf N"
+// lines, the collapsed-flamegraph format obs::Profiler::folded() emits and
+// GET /profile serves). No profiler dependency — this compiles and runs
+// even under -DMVREJU_OBS=OFF, so tools/profile_render can digest a profile
+// captured elsewhere regardless of how the local binary was built.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvreju::obs {
+
+/// One parsed folded line. frames are root-first, as written.
+struct FoldedStack {
+    std::string stage;                 ///< leading stage tag ("untagged", "infer", ...)
+    std::vector<std::string> frames;   ///< root ... leaf
+    std::uint64_t count = 0;
+};
+
+/// Parse folded text, skipping blank and malformed lines. A line is
+/// "stage;frame;frame;... count"; a line with no ';' is treated as a
+/// stage-only sample (stack walk produced nothing).
+[[nodiscard]] std::vector<FoldedStack> parse_folded(const std::string& text);
+
+/// Per-frame CPU attribution over a parsed profile: `self` counts samples
+/// where the frame is the leaf, `total` counts samples where it appears
+/// anywhere (each frame counted once per stack, so recursion does not
+/// inflate totals).
+struct Hotspot {
+    std::string frame;
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+};
+
+/// All frames ranked by self count (then total, then name).
+[[nodiscard]] std::vector<Hotspot> hotspots(const std::vector<FoldedStack>& stacks);
+
+/// Per-stage totals (stage tag -> samples), "untagged" last, else by count.
+struct StageTotal {
+    std::string stage;
+    std::uint64_t samples = 0;
+    double fraction = 0.0;
+};
+[[nodiscard]] std::vector<StageTotal> stage_totals(
+    const std::vector<FoldedStack>& stacks);
+
+/// Human-readable hotspot table (top `top_n` frames by self samples) plus a
+/// stage-summary footer — what tools/profile_render prints by default.
+[[nodiscard]] std::string render_hotspots(const std::vector<FoldedStack>& stacks,
+                                          std::size_t top_n = 20);
+
+}  // namespace mvreju::obs

@@ -1,0 +1,205 @@
+#pragma once
+
+// In-process continuous sampling profiler: answers "where does the CPU go"
+// on a live fleet with zero dependencies and zero cost when off, on the same
+// default-off / -DMVREJU_OBS=OFF-erasable terms as the rest of src/obs.
+//
+// Mechanism (see DESIGN.md "Sampling profiler" for the full contract):
+//  - A SIGPROF handler driven by setitimer(ITIMER_PROF) fires every
+//    Options::interval_us of *process CPU time*, landing on whichever thread
+//    is burning cycles — the gprof/gperftools sampling model, so idle
+//    threads cost nothing and hot threads are sampled in proportion.
+//  - The handler walks the interrupted thread's frame-pointer chain
+//    (ucontext PC + rbp) into a per-thread seqlock ring — the flight
+//    recorder idiom: no allocation, no locks, only relaxed/release atomic
+//    stores, drop-counting on overflow. Every frame dereference goes through
+//    process_vm_readv(2), which returns EFAULT on garbage pointers instead
+//    of faulting, so a torn rbp (leaf frames, libc trampolines) ends the
+//    walk instead of the process.
+//  - A collector thread drains the rings every ~100 ms into one-second
+//    aggregation buckets (stack hash -> count) and publishes obs.profiler.*
+//    self-metrics; symbolization (dladdr + demangle, /proc maps fallback)
+//    happens only when someone asks for a report, never on the hot path.
+//
+// Stage attribution: serving code brackets its pipeline stages with
+// MVREJU_PROFILE_STAGE("infer") scopes; the handler snapshots the calling
+// thread's current tag into each sample, so reports can split CPU by stage
+// (queue vs infer vs vote) next to the FrameTrace latency percentiles.
+//
+// Consumers: `GET /profile?seconds=N` on obs::Exporter (folded stacks, the
+// collapsed-flamegraph text format), serve::FleetStats cpu_by_stage, and
+// tools/profile_render (hotspot table).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mvreju/obs/obs.hpp"
+
+namespace mvreju::obs {
+
+/// CPU share of one stage tag over a report window.
+struct StageCpu {
+    std::string stage;        ///< tag string ("infer", ...); "untagged" bucket last
+    std::uint64_t samples = 0;
+    double fraction = 0.0;    ///< samples / total samples in the window
+};
+
+/// Profiler self-accounting (also published as obs.profiler.* metrics).
+struct ProfilerStats {
+    std::uint64_t samples = 0;      ///< stacks committed to rings
+    std::uint64_t drops = 0;        ///< samples lost: ring overwrite before drain or ring exhaustion
+    std::uint64_t truncated = 0;    ///< stacks cut at Options::max_depth
+    std::uint64_t handler_ns = 0;   ///< total wall ns spent inside the signal handler
+    std::uint32_t rings_claimed = 0;///< distinct ring slots ever claimed by threads
+};
+
+#ifndef MVREJU_OBS_DISABLED
+
+/// Signal-based sampling profiler. The process-global instance is
+/// Profiler::global(); separate instances exist for tests, but only one can
+/// be running at a time (there is one ITIMER_PROF per process).
+class Profiler {
+public:
+    struct Options {
+        /// Sampling interval in microseconds of process CPU time. The
+        /// default is a prime-ish ~100 Hz so sampling cannot phase-lock
+        /// with frame-periodic work.
+        int interval_us = 9973;
+        /// Seconds of one-second aggregation buckets retained for reports.
+        int window_seconds = 60;
+        /// Per-thread sample rings available (claimed on first sample or
+        /// prepare_thread(); recycled when a prepared thread exits).
+        int max_threads = 64;
+        /// Samples per ring between collector drains (power of two).
+        int ring_slots = 128;
+        /// Frames kept per stack; deeper stacks are truncation-counted.
+        int max_depth = 20;
+    };
+
+    Profiler();
+    explicit Profiler(const Options& options);
+    ~Profiler();
+    Profiler(const Profiler&) = delete;
+    Profiler& operator=(const Profiler&) = delete;
+
+    [[nodiscard]] static Profiler& global();
+
+    /// The profiler currently running (at most one per process — there is
+    /// one ITIMER_PROF), or nullptr. The exporter's /profile route and the
+    /// serving layer's CPU-by-stage publisher report through this, so a
+    /// session-owned profiler (custom interval) is just as visible as
+    /// global().
+    [[nodiscard]] static Profiler* active() noexcept;
+
+    /// Install the SIGPROF handler, arm the CPU-time interval timer and
+    /// start the collector thread. Returns false when the obs layer is
+    /// disabled, this (or another) profiler is already running, or the
+    /// platform lacks what the stack walker needs.
+    bool start();
+    /// Disarm the timer, restore the previous SIGPROF disposition, drain
+    /// outstanding samples and stop the collector. Idempotent.
+    void stop();
+    [[nodiscard]] bool running() const noexcept;
+
+    /// Folded-stacks report over the last `seconds` of samples (clamped to
+    /// the retention window; <= 0 means everything retained). One line per
+    /// unique stack: "stage;root;caller;...;leaf <count>\n", sorted by
+    /// count descending — the collapsed format flamegraph.pl and speedscope
+    /// ingest directly. Symbolization happens here, off the sampling path.
+    [[nodiscard]] std::string folded(int seconds = 0);
+
+    /// Per-stage CPU attribution over the same window, sorted by samples
+    /// descending with the "untagged" bucket always last.
+    [[nodiscard]] std::vector<StageCpu> stage_cpu(int seconds = 0);
+
+    [[nodiscard]] ProfilerStats stats() const noexcept;
+
+    /// Drop all retained samples and zero the stats (rings and thread
+    /// claims persist). For back-to-back bench sections.
+    void clear();
+
+    /// Claim a sample ring for the calling thread from normal (non-signal)
+    /// context and register an exit hook that recycles it. Called by
+    /// StageTagScope, so any stage-tagged thread — including the fresh
+    /// threads util::parallel_for spawns per call — reuses ring slots
+    /// instead of exhausting them. Threads never prepared still get a ring
+    /// lazily on their first sample, but that claim is permanent.
+    static void prepare_thread();
+
+    /// The active profiler's options (start()-time copy), for reports.
+    [[nodiscard]] const Options& options() const noexcept;
+
+    /// Implementation detail, public so file-scope helpers in profiler.cpp
+    /// (the signal handler, the thread-exit ring recycler) can name it.
+    struct Impl;
+
+private:
+    Impl* impl_;
+};
+
+/// RAII stage tag: samples taken on this thread while the scope is alive
+/// are attributed to `tag`. Scopes nest (inner tag wins, outer restored).
+/// `tag` must outlive the profiler — use string literals.
+class StageTagScope {
+public:
+    explicit StageTagScope(const char* tag) noexcept;
+    ~StageTagScope() noexcept;
+    StageTagScope(const StageTagScope&) = delete;
+    StageTagScope& operator=(const StageTagScope&) = delete;
+
+private:
+    const char* prev_;
+};
+
+#else  // MVREJU_OBS_DISABLED
+
+/// With the obs layer compiled out the profiler is an inert stub: start()
+/// refuses, reports are empty, and stage scopes are empty objects the
+/// optimizer deletes.
+class Profiler {
+public:
+    struct Options {
+        int interval_us = 9973;
+        int window_seconds = 60;
+        int max_threads = 64;
+        int ring_slots = 128;
+        int max_depth = 20;
+    };
+
+    Profiler() = default;
+    explicit Profiler(const Options& options) : options_(options) {}
+    [[nodiscard]] static Profiler& global() {
+        static Profiler instance;
+        return instance;
+    }
+    [[nodiscard]] static Profiler* active() noexcept { return nullptr; }
+    bool start() { return false; }
+    void stop() {}
+    [[nodiscard]] bool running() const noexcept { return false; }
+    [[nodiscard]] std::string folded(int = 0) { return {}; }
+    [[nodiscard]] std::vector<StageCpu> stage_cpu(int = 0) { return {}; }
+    [[nodiscard]] ProfilerStats stats() const noexcept { return {}; }
+    void clear() {}
+    static void prepare_thread() {}
+    [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+private:
+    Options options_;
+};
+
+class StageTagScope {
+public:
+    explicit StageTagScope(const char* tag) noexcept { (void)tag; }
+};
+
+#endif  // MVREJU_OBS_DISABLED
+
+}  // namespace mvreju::obs
+
+// Stage-attribution macro for serving code: a scoped tag object `var`
+// marking CPU burned in this scope as belonging to pipeline stage `tag`
+// (a string literal). Compiles to an empty object under -DMVREJU_OBS=OFF;
+// two thread-local pointer writes otherwise.
+#define MVREJU_PROFILE_STAGE(var, tag) ::mvreju::obs::StageTagScope var(tag)

@@ -14,15 +14,24 @@
 //                      into <dir> and the default trigger set (deadline
 //                      miss, vote disagreement/silence, collision, SLO
 //                      breach)
+//   --profile [us]     start the continuous sampling profiler (obs::Profiler,
+//                      reports via GET /profile and obs.profiler.* metrics);
+//                      the optional value overrides the ~100 Hz sampling
+//                      interval in microseconds. The MVREJU_PROFILE
+//                      environment variable (on|<interval_us>) does the same
+//                      without a flag, stopped when the session flushes
 //
 // does the rest. Reference usages: examples/resilient_service.cpp (live
 // service with all four flags) and bench/bench_solvers.cpp.
 
+#include <memory>
 #include <string>
 
 #include "mvreju/util/args.hpp"
 
 namespace mvreju::obs {
+
+class Profiler;
 
 class Session {
 public:
@@ -48,12 +57,18 @@ public:
     /// True when --serve started the embedded exporter (see its port via
     /// Exporter::global().port()).
     [[nodiscard]] bool serving() const noexcept { return serving_; }
+    /// True when --profile / MVREJU_PROFILE started the sampling profiler.
+    [[nodiscard]] bool profiling() const noexcept { return profiling_; }
 
 private:
     std::string metrics_path_;
     std::string trace_path_;
     bool serving_ = false;
+    bool profiling_ = false;
     bool flushed_ = false;
+    /// Owned only when a custom sampling interval was requested; the default
+    /// interval uses Profiler::global().
+    std::unique_ptr<Profiler> profiler_;
 };
 
 /// The metrics snapshot wrapped with run metadata:

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/log.hpp"
 #include "mvreju/obs/obs.hpp"
+#include "mvreju/obs/profiler.hpp"
 
 namespace mvreju::obs {
 
@@ -200,8 +202,12 @@ std::string Exporter::handle(const std::string& request) {
     if (path_end == std::string::npos) path_end = request.find('\r', method_end + 1);
     if (path_end == std::string::npos) path_end = request.size();
     std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+    std::string query_string;
     const std::size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
+    if (query != std::string::npos) {
+        query_string = path.substr(query + 1);
+        path.resize(query);
+    }
 
     if (path == "/metrics") {
         std::string body = to_prometheus(metrics().snapshot());
@@ -228,6 +234,27 @@ std::string Exporter::handle(const std::string& request) {
                                  "{\"error\": \"no fleet telemetry published\"}\n");
         return http_response("200 OK", "application/json", body);
     }
+    if (path == "/profile") {
+        Profiler* profiler_ptr = Profiler::active();
+        if (!profiler_ptr)
+            return http_response(
+                "503 Service Unavailable", "application/json",
+                "{\"error\": \"profiler not running; start with --profile or "
+                "MVREJU_PROFILE=on\"}\n");
+        Profiler& profiler = *profiler_ptr;
+        // ?seconds=N bounds the report window (0 / absent = whole retained
+        // window). The profiler samples *continuously* — the endpoint only
+        // renders already-aggregated buckets, so a scrape costs
+        // symbolization of new PCs and never blocks the sampled threads.
+        int seconds = 0;
+        const std::size_t key = query_string.find("seconds=");
+        if (key != std::string::npos) {
+            seconds = std::atoi(query_string.c_str() + key + 8);
+            if (seconds < 0) seconds = 0;
+            seconds = std::min(seconds, profiler.options().window_seconds);
+        }
+        return http_response("200 OK", "text/plain", profiler.folded(seconds));
+    }
     if (path == "/record") {
         FlightRecorder& recorder = FlightRecorder::global();
         if (!recorder.enabled())
@@ -241,7 +268,8 @@ std::string Exporter::handle(const std::string& request) {
                              "{\"dumped\": \"" + dumped + "\"}\n");
     }
     return http_response("404 Not Found", "text/plain",
-                         "unknown path; try /metrics, /healthz, /fleet or /record\n");
+                         "unknown path; try /metrics, /healthz, /fleet, /profile "
+                         "or /record\n");
 }
 
 bool Exporter::start(int port) {
@@ -277,7 +305,7 @@ bool Exporter::start(int port) {
 
     impl_->running.store(true);
     impl_->thread = std::thread(&Exporter::serve_loop, this);
-    log_info("exporter: serving /metrics /healthz /fleet /record on 127.0.0.1:" +
+    log_info("exporter: serving /metrics /healthz /fleet /profile /record on 127.0.0.1:" +
              std::to_string(this->port()));
     return true;
 #endif

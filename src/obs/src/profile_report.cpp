@@ -1,0 +1,135 @@
+#include "mvreju/obs/profile_report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mvreju::obs {
+
+std::vector<FoldedStack> parse_folded(const std::string& text) {
+    std::vector<FoldedStack> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty()) continue;
+
+        // Count = the digits after the last space; everything before is the
+        // ';'-separated stack.
+        const std::size_t space = line.rfind(' ');
+        if (space == std::string::npos || space + 1 >= line.size()) continue;
+        std::uint64_t count = 0;
+        bool numeric = true;
+        for (std::size_t i = space + 1; i < line.size(); ++i) {
+            if (line[i] < '0' || line[i] > '9') {
+                numeric = false;
+                break;
+            }
+            count = count * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        }
+        if (!numeric || count == 0) continue;
+
+        FoldedStack stack;
+        stack.count = count;
+        std::size_t from = 0;
+        const std::string path = line.substr(0, space);
+        while (from <= path.size()) {
+            std::size_t semi = path.find(';', from);
+            if (semi == std::string::npos) semi = path.size();
+            std::string part = path.substr(from, semi - from);
+            if (stack.stage.empty() && from == 0)
+                stack.stage = part.empty() ? "untagged" : std::move(part);
+            else if (!part.empty())
+                stack.frames.push_back(std::move(part));
+            from = semi + 1;
+        }
+        out.push_back(std::move(stack));
+    }
+    return out;
+}
+
+std::vector<Hotspot> hotspots(const std::vector<FoldedStack>& stacks) {
+    std::unordered_map<std::string, Hotspot> by_frame;
+    for (const FoldedStack& stack : stacks) {
+        if (stack.frames.empty()) continue;
+        std::unordered_set<std::string> seen;  // count each frame once per stack
+        for (const std::string& frame : stack.frames) {
+            if (!seen.insert(frame).second) continue;
+            Hotspot& spot = by_frame[frame];
+            spot.frame = frame;
+            spot.total += stack.count;
+        }
+        by_frame[stack.frames.back()].self += stack.count;
+    }
+    std::vector<Hotspot> out;
+    out.reserve(by_frame.size());
+    for (auto& [frame, spot] : by_frame) {
+        (void)frame;
+        out.push_back(std::move(spot));
+    }
+    std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
+        if (a.self != b.self) return a.self > b.self;
+        if (a.total != b.total) return a.total > b.total;
+        return a.frame < b.frame;
+    });
+    return out;
+}
+
+std::vector<StageTotal> stage_totals(const std::vector<FoldedStack>& stacks) {
+    std::unordered_map<std::string, std::uint64_t> by_stage;
+    std::uint64_t total = 0;
+    for (const FoldedStack& stack : stacks) {
+        by_stage[stack.stage] += stack.count;
+        total += stack.count;
+    }
+    std::vector<StageTotal> out;
+    for (const auto& [stage, samples] : by_stage)
+        out.push_back({stage, samples,
+                       total ? static_cast<double>(samples) / total : 0.0});
+    std::sort(out.begin(), out.end(), [](const StageTotal& a, const StageTotal& b) {
+        const bool a_untagged = a.stage == "untagged";
+        const bool b_untagged = b.stage == "untagged";
+        if (a_untagged != b_untagged) return b_untagged;
+        if (a.samples != b.samples) return a.samples > b.samples;
+        return a.stage < b.stage;
+    });
+    return out;
+}
+
+std::string render_hotspots(const std::vector<FoldedStack>& stacks,
+                            std::size_t top_n) {
+    std::uint64_t total = 0;
+    for (const FoldedStack& stack : stacks) total += stack.count;
+
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " samples, %zu unique stacks\n\n",
+                  total, stacks.size());
+    out += buf;
+
+    out += "  self%  total%   self  frame\n";
+    const std::vector<Hotspot> spots = hotspots(stacks);
+    const double denom = total ? static_cast<double>(total) : 1.0;
+    for (std::size_t i = 0; i < spots.size() && i < top_n; ++i) {
+        const Hotspot& spot = spots[i];
+        std::snprintf(buf, sizeof buf, "%6.1f%% %6.1f%% %6" PRIu64 "  %s\n",
+                      100.0 * static_cast<double>(spot.self) / denom,
+                      100.0 * static_cast<double>(spot.total) / denom, spot.self,
+                      spot.frame.c_str());
+        out += buf;
+    }
+
+    out += "\nby stage:\n";
+    for (const StageTotal& stage : stage_totals(stacks)) {
+        std::snprintf(buf, sizeof buf, "%6.1f%% %6" PRIu64 "  %s\n",
+                      100.0 * stage.fraction, stage.samples, stage.stage.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace mvreju::obs

@@ -1,0 +1,753 @@
+// obs::Profiler — signal-based continuous sampling profiler.
+//
+// Safety model, in one paragraph: the SIGPROF handler is the only code that
+// runs in signal context, and it touches nothing but (a) POD thread_locals,
+// (b) preallocated per-thread seqlock rings owned by Impl, (c) relaxed
+// atomic counters and (d) async-signal-safe syscalls (clock_gettime,
+// process_vm_readv). No allocation, no locks, no C++ thread_local with a
+// destructor, no metrics registry (its first-touch path takes a mutex).
+// Everything else — ring claims with recycling, aggregation, symbolization,
+// metric publication — happens in normal context on the collector thread or
+// the reporting caller. The handler stays installed (as an inert no-op)
+// after stop(): restoring SIG_DFL would turn one straggler SIGPROF, pended
+// between the final timer tick and sigaction(), into process death.
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // REG_RIP et al. in <ucontext.h>, process_vm_readv
+#endif
+
+#include "mvreju/obs/profiler.hpp"
+
+#ifndef MVREJU_OBS_DISABLED
+
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <sys/uio.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cxxabi.h>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mvreju/obs/log.hpp"
+#include "mvreju/obs/metrics.hpp"
+
+namespace mvreju::obs {
+
+namespace {
+
+/// Compile-time ceiling on Options::max_depth (slot payload is fixed-size).
+constexpr int kDepthCap = 32;
+
+/// One committed stack sample. seq is the per-slot seqlock: for the ring's
+/// i-th sample (0-based) the writer stores 2i+1 (writing) then 2i+2
+/// (committed, release); a reader accepts the payload only when it observes
+/// 2i+2 both before and after copying.
+struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> tag{nullptr};
+    std::atomic<std::uint32_t> depth{0};
+    std::atomic<std::uintptr_t> pcs[kDepthCap];
+};
+
+/// One thread's ring: the owner (in signal context) bumps head, the
+/// collector advances drained. Samples between them live in the slots.
+struct alignas(64) Ring {
+    std::atomic<std::uint64_t> head{0};
+    std::uint64_t drained = 0;  ///< collector-only cursor
+};
+
+/// A unique stack within one aggregation bucket.
+struct StackEntry {
+    const char* tag = nullptr;  ///< stage tag string literal (may be null)
+    std::vector<std::uintptr_t> pcs;  ///< leaf first
+    std::uint64_t count = 0;
+};
+
+struct Bucket {
+    std::chrono::steady_clock::time_point end{};
+    std::unordered_map<std::uint64_t, StackEntry> entries;
+    std::uint64_t total = 0;
+};
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/// Thread-local ring claim. Plain constant-initialized atomics (no dynamic
+/// TLS init, no destructor) so they are touchable from the signal handler;
+/// t_owner is the claiming profiler's id, so a stale claim from a stopped
+/// test instance can never alias a new profiler's rings.
+thread_local std::atomic<std::uint64_t> t_owner{0};
+thread_local std::atomic<int> t_ring{-1};
+thread_local std::atomic<const char*> t_stage{nullptr};
+
+std::atomic<std::uint64_t> g_next_id{1};
+
+}  // namespace
+
+struct Profiler::Impl {
+    const std::uint64_t id = g_next_id.fetch_add(1);
+    Profiler* owner = nullptr;
+    Options opts;
+
+    // Preallocated sampling state (ctor), touched from signal context.
+    std::vector<Ring> rings;
+    std::vector<Slot> slots;  ///< max_threads * ring_slots, ring-major
+    std::atomic<std::uint32_t> ring_tail{0};  ///< next never-claimed ring
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> truncated{0};
+    std::atomic<std::uint64_t> handler_ns{0};
+    std::atomic<std::uint64_t> samples_base{0};  ///< clear() offset for stats()
+
+    std::atomic<bool> active{false};
+
+    // Recycled ring indices from exited prepared threads (under g_reg_mu).
+    std::vector<int> free_rings;
+
+    // Collector thread + aggregation (normal context only).
+    std::thread collector;
+    std::mutex cv_mu;
+    std::condition_variable cv;
+    bool stop_requested = false;
+
+    std::mutex mu;  ///< guards drain (sole ring reader), buckets, symbols
+    Bucket current;
+    std::deque<Bucket> history;
+    std::chrono::steady_clock::time_point bucket_start{};
+    std::unordered_map<std::uintptr_t, std::string> symbols;
+
+    // Metric-publication baselines (collector thread / stop() only).
+    std::uint64_t pub_samples = 0, pub_drops = 0, pub_truncated = 0, pub_ns = 0;
+
+    Slot& slot(int ring, std::uint64_t index) {
+        return slots[static_cast<std::size_t>(ring) * opts.ring_slots +
+                     index % opts.ring_slots];
+    }
+
+    void sample(void* uc_void) noexcept;          // signal context
+    void drain_locked();                           // mu held
+    void publish_metrics_locked();                 // mu held
+    void collector_loop();
+    [[nodiscard]] std::uint64_t committed() const noexcept;
+    [[nodiscard]] std::vector<Bucket*> window_locked(int seconds);
+    [[nodiscard]] const std::string& symbolize_locked(std::uintptr_t pc);
+};
+
+namespace {
+
+/// Live Impl registry: lets a thread-exit hook return a recycled ring to a
+/// profiler that may or may not still exist. Normal context only.
+std::mutex g_reg_mu;
+std::vector<Profiler::Impl*>& registry() {
+    static std::vector<Profiler::Impl*>* reg = new std::vector<Profiler::Impl*>();
+    return *reg;
+}
+
+/// The profiler the signal handler samples for (at most one per process —
+/// there is exactly one ITIMER_PROF).
+std::atomic<Profiler::Impl*> g_active{nullptr};
+/// Handlers currently executing; stop() waits for zero before returning so
+/// the caller may destroy the profiler.
+std::atomic<int> g_inflight{0};
+
+void sigprof_handler(int, siginfo_t*, void* uc_void) {
+    const int saved_errno = errno;
+    g_inflight.fetch_add(1, std::memory_order_acquire);
+    Profiler::Impl* impl = g_active.load(std::memory_order_acquire);
+    if (impl) impl->sample(uc_void);
+    g_inflight.fetch_sub(1, std::memory_order_release);
+    errno = saved_errno;
+}
+
+/// Read `size` bytes at `addr` in our own address space without faulting:
+/// process_vm_readv reports EFAULT for garbage addresses where a plain
+/// dereference would SIGSEGV. Async-signal-safe (it is a raw syscall).
+bool safe_read(std::uintptr_t addr, void* out, std::size_t size) noexcept {
+    struct iovec local { out, size };
+    struct iovec remote { reinterpret_cast<void*>(addr), size };
+    return process_vm_readv(getpid(), &local, 1, &remote, 1, 0) ==
+           static_cast<ssize_t>(size);
+}
+
+/// Per-thread exit hook releasing prepared ring claims back to their
+/// profiler. Non-POD thread_local: only ever touched from normal context
+/// (prepare_thread), never from the signal handler.
+struct RingReleaser {
+    std::vector<std::pair<std::uint64_t, int>> claims;
+    ~RingReleaser() {
+        const std::lock_guard<std::mutex> lock(g_reg_mu);
+        for (const auto& [id, ring] : claims)
+            for (Profiler::Impl* impl : registry())
+                if (impl->id == id) impl->free_rings.push_back(ring);
+    }
+};
+thread_local RingReleaser t_releaser;
+
+}  // namespace
+
+// ---------------------------------------------------------------- sampling
+
+void Profiler::Impl::sample(void* uc_void) noexcept {
+    timespec t0;
+    clock_gettime(CLOCK_MONOTONIC, &t0);
+
+    // Resolve this thread's ring; claim one from the tail on first sample.
+    // (prepare_thread() claims earlier, with recycling — this path is the
+    // fallback for threads that were never stage-tagged.)
+    if (t_owner.load(std::memory_order_relaxed) != id) {
+        const std::uint32_t idx = ring_tail.fetch_add(1, std::memory_order_relaxed);
+        const int claimed =
+            idx < static_cast<std::uint32_t>(opts.max_threads) ? static_cast<int>(idx) : -2;
+        t_ring.store(claimed, std::memory_order_relaxed);
+        std::atomic_signal_fence(std::memory_order_release);
+        t_owner.store(id, std::memory_order_relaxed);
+    }
+    std::atomic_signal_fence(std::memory_order_acquire);
+    const int ring_idx = t_ring.load(std::memory_order_relaxed);
+    if (ring_idx < 0) {  // ring table exhausted for this thread
+        drops.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    // Interrupted PC + frame pointer from the signal ucontext.
+    const ucontext_t* uc = static_cast<const ucontext_t*>(uc_void);
+#if defined(__x86_64__)
+    std::uintptr_t pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    std::uintptr_t fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+    std::uintptr_t pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+    std::uintptr_t fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+    (void)uc;
+    drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+#endif
+
+    Ring& ring = rings[ring_idx];
+    const std::uint64_t index = ring.head.load(std::memory_order_relaxed);
+    Slot& s = slot(ring_idx, index);
+
+    s.seq.store(2 * index + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);  // odd visible first
+
+    s.tag.store(t_stage.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    int depth = 0;
+    s.pcs[depth++].store(pc, std::memory_order_relaxed);
+    // Frame-pointer walk: [fp] = caller's fp, [fp+8] = return address. Every
+    // read goes through process_vm_readv, so a scrambled chain (leaf frames
+    // mid-prologue, libc without frame pointers) ends the walk, never the
+    // process. Monotonic growth with a <1 MiB stride bounds the loop.
+    bool chain_continues = false;
+    while (fp != 0) {
+        if (depth >= opts.max_depth) {
+            chain_continues = true;
+            break;
+        }
+        std::uintptr_t frame[2];
+        if ((fp & (sizeof(void*) - 1)) != 0 || !safe_read(fp, frame, sizeof frame))
+            break;
+        const std::uintptr_t next_fp = frame[0];
+        const std::uintptr_t ret = frame[1];
+        if (ret < 4096) break;
+        // Return addresses point after the call; step back one byte so the
+        // frame symbolizes to the caller even when the call is its last
+        // instruction.
+        s.pcs[depth++].store(ret - 1, std::memory_order_relaxed);
+        if (next_fp <= fp || next_fp - fp > (1u << 20)) break;
+        fp = next_fp;
+    }
+    if (chain_continues) truncated.fetch_add(1, std::memory_order_relaxed);
+    s.depth.store(static_cast<std::uint32_t>(depth), std::memory_order_relaxed);
+
+    s.seq.store(2 * index + 2, std::memory_order_release);  // commit
+    ring.head.store(index + 1, std::memory_order_release);
+
+    timespec t1;
+    clock_gettime(CLOCK_MONOTONIC, &t1);
+    const std::uint64_t ns =
+        static_cast<std::uint64_t>(t1.tv_sec - t0.tv_sec) * 1000000000ULL +
+        static_cast<std::uint64_t>(t1.tv_nsec - t0.tv_nsec);
+    handler_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- collection
+
+std::uint64_t Profiler::Impl::committed() const noexcept {
+    const std::uint32_t claimed =
+        std::min(ring_tail.load(std::memory_order_relaxed),
+                 static_cast<std::uint32_t>(opts.max_threads));
+    std::uint64_t total = 0;
+    for (std::uint32_t r = 0; r < claimed; ++r)
+        total += rings[r].head.load(std::memory_order_relaxed);
+    return total;
+}
+
+void Profiler::Impl::drain_locked() {
+    const auto now = std::chrono::steady_clock::now();
+    if (bucket_start == std::chrono::steady_clock::time_point{}) bucket_start = now;
+
+    const std::uint32_t claimed =
+        std::min(ring_tail.load(std::memory_order_relaxed),
+                 static_cast<std::uint32_t>(opts.max_threads));
+    std::uint64_t lost = 0;
+    for (std::uint32_t r = 0; r < claimed; ++r) {
+        Ring& ring = rings[r];
+        const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+        std::uint64_t from = ring.drained;
+        const std::uint64_t slots_n = opts.ring_slots;
+        if (head - from > slots_n) {  // writer lapped the collector
+            lost += head - from - slots_n;
+            from = head - slots_n;
+        }
+        for (std::uint64_t i = from; i < head; ++i) {
+            Slot& s = slot(static_cast<int>(r), i);
+            const std::uint64_t want = 2 * i + 2;
+            if (s.seq.load(std::memory_order_acquire) != want) {
+                ++lost;  // overwritten (or mid-write) before we got here
+                continue;
+            }
+            const char* tag = s.tag.load(std::memory_order_relaxed);
+            int depth = static_cast<int>(s.depth.load(std::memory_order_relaxed));
+            depth = std::min(depth, kDepthCap);
+            std::uintptr_t pcs[kDepthCap];
+            for (int d = 0; d < depth; ++d)
+                pcs[d] = s.pcs[d].load(std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s.seq.load(std::memory_order_relaxed) != want) {
+                ++lost;
+                continue;
+            }
+            std::uint64_t hash = fnv1a(14695981039346656037ULL, &tag, sizeof tag);
+            hash = fnv1a(hash, pcs, sizeof(pcs[0]) * static_cast<std::size_t>(depth));
+            StackEntry& entry = current.entries[hash];
+            if (entry.count == 0) {
+                entry.tag = tag;
+                entry.pcs.assign(pcs, pcs + depth);
+            }
+            ++entry.count;
+            ++current.total;
+        }
+        ring.drained = head;
+    }
+    if (lost) drops.fetch_add(lost, std::memory_order_relaxed);
+
+    if (now - bucket_start >= std::chrono::seconds(1) && current.total > 0) {
+        current.end = now;
+        history.push_back(std::move(current));
+        current = Bucket{};
+        while (history.size() > static_cast<std::size_t>(opts.window_seconds))
+            history.pop_front();
+    }
+    if (now - bucket_start >= std::chrono::seconds(1)) bucket_start = now;
+}
+
+void Profiler::Impl::publish_metrics_locked() {
+    static Counter& samples_c = metrics().counter("obs.profiler.samples");
+    static Counter& drops_c = metrics().counter("obs.profiler.drops");
+    static Counter& truncated_c = metrics().counter("obs.profiler.truncated");
+    static Counter& handler_ns_c = metrics().counter("obs.profiler.handler_ns");
+    static Gauge& rings_g = metrics().gauge("obs.profiler.rings_claimed");
+
+    const std::uint64_t samples_now = committed();
+    const std::uint64_t drops_now = drops.load(std::memory_order_relaxed);
+    const std::uint64_t trunc_now = truncated.load(std::memory_order_relaxed);
+    const std::uint64_t ns_now = handler_ns.load(std::memory_order_relaxed);
+    if (samples_now > pub_samples) samples_c.add(samples_now - pub_samples);
+    if (drops_now > pub_drops) drops_c.add(drops_now - pub_drops);
+    if (trunc_now > pub_truncated) truncated_c.add(trunc_now - pub_truncated);
+    if (ns_now > pub_ns) handler_ns_c.add(ns_now - pub_ns);
+    pub_samples = samples_now;
+    pub_drops = drops_now;
+    pub_truncated = trunc_now;
+    pub_ns = ns_now;
+    rings_g.set(static_cast<double>(
+        std::min(ring_tail.load(std::memory_order_relaxed),
+                 static_cast<std::uint32_t>(opts.max_threads))));
+}
+
+void Profiler::Impl::collector_loop() {
+    // The collector burns (a little) CPU too; keep SIGPROF out of this
+    // thread so drains and symbolization never show up as samples.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGPROF);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+    std::unique_lock<std::mutex> lk(cv_mu);
+    while (!stop_requested) {
+        cv.wait_for(lk, std::chrono::milliseconds(100));
+        if (stop_requested) break;
+        lk.unlock();
+        {
+            const std::lock_guard<std::mutex> lock(mu);
+            drain_locked();
+            publish_metrics_locked();
+        }
+        lk.lock();
+    }
+}
+
+// ----------------------------------------------------------- symbolization
+
+namespace {
+
+/// /proc/self/maps fallback for PCs dladdr cannot place (e.g. a JIT-free
+/// static region without symbols): resolves to "object+0xoffset".
+struct MapsRegion {
+    std::uintptr_t begin = 0, end = 0;
+    std::string name;
+};
+
+std::vector<MapsRegion> read_self_maps() {
+    std::vector<MapsRegion> regions;
+    std::ifstream maps("/proc/self/maps");
+    std::string line;
+    while (std::getline(maps, line)) {
+        std::uintptr_t begin = 0, end = 0;
+        char perms[8] = {0};
+        int consumed = 0;
+        if (std::sscanf(line.c_str(), "%zx-%zx %7s %*s %*s %*s %n", &begin, &end,
+                        perms, &consumed) < 3)
+            continue;
+        if (perms[2] != 'x') continue;  // only executable mappings matter
+        std::string name = consumed < static_cast<int>(line.size())
+                               ? line.substr(static_cast<std::size_t>(consumed))
+                               : std::string();
+        const std::size_t slash = name.rfind('/');
+        if (slash != std::string::npos) name.erase(0, slash + 1);
+        regions.push_back({begin, end, std::move(name)});
+    }
+    return regions;
+}
+
+/// Folded-format hygiene: the stack separator is ';' and the count
+/// separator is ' ', so neither may appear inside a frame name. Parameter
+/// lists are dropped — "ns::func(int, float)" folds as "ns::func".
+std::string clean_symbol(std::string name) {
+    const std::size_t paren = name.find('(');
+    if (paren != std::string::npos && paren > 0) name.resize(paren);
+    for (char& c : name)
+        if (c == ';' || c == ' ') c = '_';
+    return name.empty() ? std::string("??") : name;
+}
+
+std::string hex_frame(const char* prefix, std::uintptr_t offset) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s+0x%zx", prefix, offset);
+    return buf;
+}
+
+}  // namespace
+
+const std::string& Profiler::Impl::symbolize_locked(std::uintptr_t pc) {
+    auto it = symbols.find(pc);
+    if (it != symbols.end()) return it->second;
+
+    std::string name;
+    Dl_info info;
+    if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 && info.dli_sname) {
+        int status = 0;
+        char* demangled =
+            abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+        name = clean_symbol(status == 0 && demangled ? demangled : info.dli_sname);
+        std::free(demangled);
+    } else if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 && info.dli_fname) {
+        std::string base = info.dli_fname;
+        const std::size_t slash = base.rfind('/');
+        if (slash != std::string::npos) base.erase(0, slash + 1);
+        name = hex_frame(clean_symbol(std::move(base)).c_str(),
+                         pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase));
+    } else {
+        static std::vector<MapsRegion> regions = read_self_maps();
+        for (const MapsRegion& region : regions)
+            if (pc >= region.begin && pc < region.end) {
+                name = hex_frame(clean_symbol(region.name).c_str(), pc - region.begin);
+                break;
+            }
+        if (name.empty()) name = hex_frame("", pc);
+    }
+    return symbols.emplace(pc, std::move(name)).first->second;
+}
+
+// ------------------------------------------------------------------ public
+
+Profiler::Profiler() : Profiler(Options{}) {}
+
+Profiler::Profiler(const Options& options) : impl_(new Impl) {
+    impl_->owner = this;
+    impl_->opts = options;
+    impl_->opts.interval_us = std::clamp(impl_->opts.interval_us, 100, 1000000);
+    impl_->opts.window_seconds = std::clamp(impl_->opts.window_seconds, 1, 3600);
+    impl_->opts.max_threads = std::clamp(impl_->opts.max_threads, 1, 4096);
+    impl_->opts.ring_slots = std::clamp(impl_->opts.ring_slots, 8, 65536);
+    impl_->opts.max_depth = std::clamp(impl_->opts.max_depth, 2, kDepthCap);
+    impl_->rings = std::vector<Ring>(impl_->opts.max_threads);
+    impl_->slots = std::vector<Slot>(static_cast<std::size_t>(impl_->opts.max_threads) *
+                                     impl_->opts.ring_slots);
+    const std::lock_guard<std::mutex> lock(g_reg_mu);
+    registry().push_back(impl_);
+}
+
+Profiler::~Profiler() {
+    stop();
+    {
+        const std::lock_guard<std::mutex> lock(g_reg_mu);
+        auto& reg = registry();
+        reg.erase(std::remove(reg.begin(), reg.end(), impl_), reg.end());
+    }
+    delete impl_;
+}
+
+Profiler& Profiler::global() {
+    // Leaked like the metrics registry: the collector and late reporters
+    // may outlive main()'s statics.
+    static Profiler* profiler = new Profiler();
+    return *profiler;
+}
+
+const Profiler::Options& Profiler::options() const noexcept { return impl_->opts; }
+
+Profiler* Profiler::active() noexcept {
+    Impl* impl = g_active.load(std::memory_order_acquire);
+    return impl ? impl->owner : nullptr;
+}
+
+bool Profiler::running() const noexcept {
+    return impl_->active.load(std::memory_order_relaxed);
+}
+
+ProfilerStats Profiler::stats() const noexcept {
+    ProfilerStats out;
+    const std::uint64_t base = impl_->samples_base.load(std::memory_order_relaxed);
+    const std::uint64_t committed = impl_->committed();
+    out.samples = committed > base ? committed - base : 0;
+    out.drops = impl_->drops.load(std::memory_order_relaxed);
+    out.truncated = impl_->truncated.load(std::memory_order_relaxed);
+    out.handler_ns = impl_->handler_ns.load(std::memory_order_relaxed);
+    out.rings_claimed =
+        std::min(impl_->ring_tail.load(std::memory_order_relaxed),
+                 static_cast<std::uint32_t>(impl_->opts.max_threads));
+    return out;
+}
+
+bool Profiler::start() {
+    if (!obs::enabled()) {
+        log_warn("profiler: MVREJU_OBS=off, not sampling");
+        return false;
+    }
+#if !defined(__x86_64__) && !defined(__aarch64__)
+    log_warn("profiler: no frame-pointer walker for this architecture");
+    return false;
+#endif
+    Impl* expected = nullptr;
+    if (!g_active.compare_exchange_strong(expected, impl_,
+                                          std::memory_order_acq_rel)) {
+        log_warn("profiler: another profiler is already running (one ITIMER_PROF "
+                 "per process)");
+        return false;
+    }
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_sigaction = &sigprof_handler;
+    sa.sa_flags = SA_RESTART | SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+        g_active.store(nullptr, std::memory_order_release);
+        log_error("profiler: sigaction(SIGPROF) failed");
+        return false;
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(impl_->cv_mu);
+        impl_->stop_requested = false;
+    }
+    impl_->bucket_start = {};
+    impl_->collector = std::thread([this] { impl_->collector_loop(); });
+
+    itimerval timer;
+    timer.it_interval.tv_sec = impl_->opts.interval_us / 1000000;
+    timer.it_interval.tv_usec = impl_->opts.interval_us % 1000000;
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+        g_active.store(nullptr, std::memory_order_release);
+        {
+            const std::lock_guard<std::mutex> lock(impl_->cv_mu);
+            impl_->stop_requested = true;
+        }
+        impl_->cv.notify_all();
+        impl_->collector.join();
+        log_error("profiler: setitimer(ITIMER_PROF) failed");
+        return false;
+    }
+
+    impl_->active.store(true, std::memory_order_relaxed);
+    static Gauge& interval_g = metrics().gauge("obs.profiler.interval_us");
+    interval_g.set(impl_->opts.interval_us);
+    log_info("profiler: sampling every " + std::to_string(impl_->opts.interval_us) +
+             "us of CPU time (~" +
+             std::to_string(1000000 / impl_->opts.interval_us) + " Hz)");
+    return true;
+}
+
+void Profiler::stop() {
+    if (!impl_->active.exchange(false, std::memory_order_acq_rel)) return;
+
+    itimerval off;
+    std::memset(&off, 0, sizeof off);
+    setitimer(ITIMER_PROF, &off, nullptr);
+    g_active.store(nullptr, std::memory_order_release);
+    // Let in-flight handlers retire before anyone may destroy us. The
+    // handler itself stays installed as an inert no-op (see file comment).
+    while (g_inflight.load(std::memory_order_acquire) != 0) sched_yield();
+
+    {
+        const std::lock_guard<std::mutex> lock(impl_->cv_mu);
+        impl_->stop_requested = true;
+    }
+    impl_->cv.notify_all();
+    if (impl_->collector.joinable()) impl_->collector.join();
+
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->drain_locked();
+    impl_->publish_metrics_locked();
+}
+
+void Profiler::clear() {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->drain_locked();  // consume outstanding samples into (discarded) buckets
+    impl_->current = Bucket{};
+    impl_->history.clear();
+    impl_->samples_base.store(impl_->committed(), std::memory_order_relaxed);
+    impl_->drops.store(0, std::memory_order_relaxed);
+    impl_->truncated.store(0, std::memory_order_relaxed);
+    impl_->handler_ns.store(0, std::memory_order_relaxed);
+    impl_->pub_drops = impl_->pub_truncated = impl_->pub_ns = 0;
+}
+
+std::vector<Bucket*> Profiler::Impl::window_locked(int seconds) {
+    drain_locked();
+    std::vector<Bucket*> out;
+    const auto now = std::chrono::steady_clock::now();
+    for (Bucket& bucket : history) {
+        if (seconds > 0 && now - bucket.end > std::chrono::seconds(seconds)) continue;
+        out.push_back(&bucket);
+    }
+    out.push_back(&current);
+    return out;
+}
+
+std::string Profiler::folded(int seconds) {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    // Merge the window's buckets into folded lines; distinct stacks can
+    // symbolize to the same line (inlining, nearby PCs), so merge by text.
+    std::unordered_map<std::string, std::uint64_t> lines;
+    for (Bucket* bucket : impl_->window_locked(seconds)) {
+        for (const auto& [hash, entry] : bucket->entries) {
+            (void)hash;
+            std::string line = entry.tag ? entry.tag : "untagged";
+            for (std::size_t d = entry.pcs.size(); d-- > 0;) {  // root first
+                line += ';';
+                line += impl_->symbolize_locked(entry.pcs[d]);
+            }
+            lines[line] += entry.count;
+        }
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> sorted(lines.begin(),
+                                                              lines.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    std::string out;
+    for (const auto& [line, count] : sorted)
+        out += line + " " + std::to_string(count) + "\n";
+    return out;
+}
+
+std::vector<StageCpu> Profiler::stage_cpu(int seconds) {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    std::unordered_map<const char*, std::uint64_t> by_tag;
+    std::uint64_t total = 0;
+    for (Bucket* bucket : impl_->window_locked(seconds)) {
+        for (const auto& [hash, entry] : bucket->entries) {
+            (void)hash;
+            by_tag[entry.tag] += entry.count;
+            total += entry.count;
+        }
+    }
+    std::vector<StageCpu> out;
+    for (const auto& [tag, count] : by_tag) {
+        StageCpu stage;
+        stage.stage = tag ? tag : "untagged";
+        stage.samples = count;
+        stage.fraction = total ? static_cast<double>(count) / total : 0.0;
+        out.push_back(std::move(stage));
+    }
+    std::sort(out.begin(), out.end(), [](const StageCpu& a, const StageCpu& b) {
+        const bool a_untagged = a.stage == "untagged";
+        const bool b_untagged = b.stage == "untagged";
+        if (a_untagged != b_untagged) return b_untagged;  // untagged last
+        return a.samples != b.samples ? a.samples > b.samples : a.stage < b.stage;
+    });
+    return out;
+}
+
+void Profiler::prepare_thread() {
+    Impl* impl = g_active.load(std::memory_order_acquire);
+    if (!impl) return;
+    if (t_owner.load(std::memory_order_relaxed) == impl->id) return;
+
+    const std::lock_guard<std::mutex> lock(g_reg_mu);
+    int claimed;
+    if (!impl->free_rings.empty()) {
+        claimed = impl->free_rings.back();
+        impl->free_rings.pop_back();
+    } else {
+        const std::uint32_t idx =
+            impl->ring_tail.fetch_add(1, std::memory_order_relaxed);
+        claimed = idx < static_cast<std::uint32_t>(impl->opts.max_threads)
+                      ? static_cast<int>(idx)
+                      : -2;
+    }
+    if (claimed >= 0) t_releaser.claims.emplace_back(impl->id, claimed);
+    t_ring.store(claimed, std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_release);
+    t_owner.store(impl->id, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- stage scope
+
+StageTagScope::StageTagScope(const char* tag) noexcept
+    : prev_(t_stage.load(std::memory_order_relaxed)) {
+    t_stage.store(tag, std::memory_order_relaxed);
+    Profiler::prepare_thread();
+}
+
+StageTagScope::~StageTagScope() noexcept {
+    t_stage.store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace mvreju::obs
+
+#endif  // MVREJU_OBS_DISABLED

@@ -26,6 +26,14 @@ struct StageRow {
     std::uint64_t breaches = 0;  ///< SLO breaches attributed to this stage
 };
 
+/// One stage tag's CPU share from the optional "cpu_by_stage" block (only
+/// present when the serving process ran with the sampling profiler on).
+struct CpuRow {
+    std::string stage;  ///< profiler tag ("parse", "infer", ..., "untagged")
+    std::uint64_t samples = 0;
+    double fraction = 0.0;  ///< share of all profile samples, in [0, 1]
+};
+
 /// One entry of the worst-streams ranking.
 struct StreamRow {
     std::uint32_t stream = 0;
@@ -52,6 +60,7 @@ struct FleetDoc {
     std::uint64_t degraded = 0;
     std::uint64_t slo_breaches = 0;
     std::vector<StageRow> stages;      ///< document order (pipeline order)
+    std::vector<CpuRow> cpu_by_stage;  ///< empty when profiling was off
     std::vector<StreamRow> worst;      ///< ranking order
 };
 

@@ -98,6 +98,27 @@ public:
     void set_backend(std::string backend) { backend_ = std::move(backend); }
     [[nodiscard]] const std::string& backend() const noexcept { return backend_; }
 
+    /// CPU share of one pipeline stage over the profiler's recent window.
+    /// Mirrors obs::StageCpu without depending on the profiler — FleetStats
+    /// stays a pure fold of pushed observations.
+    struct StageCpuShare {
+        std::string stage;
+        std::uint64_t samples = 0;
+        double fraction = 0.0;
+    };
+
+    /// Publish per-stage CPU attribution (from obs::Profiler::stage_cpu,
+    /// pushed by the serving loop when profiling is on). Rendered as the
+    /// optional "cpu_by_stage" block of the /fleet document; an empty vector
+    /// (the default) omits the block, keeping unprofiled documents — and the
+    /// byte-determinism golden tests — unchanged.
+    void set_cpu_by_stage(std::vector<StageCpuShare> shares) {
+        cpu_by_stage_ = std::move(shares);
+    }
+    [[nodiscard]] const std::vector<StageCpuShare>& cpu_by_stage() const noexcept {
+        return cpu_by_stage_;
+    }
+
     [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
     [[nodiscard]] std::size_t stream_count() const noexcept {
         return streams_.size();
@@ -105,8 +126,11 @@ public:
     [[nodiscard]] const Options& options() const noexcept { return options_; }
 
     /// Render the /fleet JSON document ("mvreju.fleet.v1"). Deterministic:
-    /// depends only on the observations and `now_us`. `include_meta` adds
-    /// the run-metadata block (git SHA, build type) — off in golden tests.
+    /// depends only on the observations, `now_us` and the build (a "build"
+    /// {git_sha, build_type} block is always stamped in, so dumps and fleet
+    /// snapshots correlate post-hoc; it is constant within one binary, so
+    /// golden tests stay byte-stable). `include_meta` adds the full
+    /// run-metadata block (compiler, hardware threads) on top.
     [[nodiscard]] std::string to_json(std::uint64_t now_us,
                                       bool include_meta = true) const;
 
@@ -129,6 +153,7 @@ private:
 
     Options options_;
     std::string backend_ = "scalar";
+    std::vector<StageCpuShare> cpu_by_stage_;
     obs::WindowedDigest::Options digest_options_;
     std::vector<StreamState> streams_;  ///< sorted by stream id
     std::uint64_t frames_ = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/profiler.hpp"
 #include "mvreju/util/parallel.hpp"
 
 namespace mvreju::serve {
@@ -105,6 +106,10 @@ std::size_t DynamicBatcher::flush_queue(Queue& queue, std::uint64_t formed_us) {
     const std::uint64_t infer_start_us =
         options_.now_fn ? options_.now_fn() : formed_us;
     auto run_chunk = [&](ml::Workspace& ws, std::size_t pos, std::size_t nb) {
+        // CPU attribution for the sampling profiler: inference dominates a
+        // serving process, and the scope also registers the (fresh, per
+        // flush) parallel_for workers with the profiler's recycled rings.
+        MVREJU_PROFILE_STAGE(profile_scope, "infer");
         std::vector<std::size_t> shape;
         shape.reserve(options_.input_shape.size() + 1);
         shape.push_back(nb);

@@ -72,6 +72,18 @@ FleetDoc parse(const std::string& json_text) {
         out.stages.push_back(std::move(row));
     }
 
+    // Optional: only serving processes running the sampling profiler
+    // publish CPU attribution.
+    if (const util::Json* cpu = doc.find("cpu_by_stage")) {
+        for (const auto& [name, share] : cpu->members()) {
+            CpuRow row;
+            row.stage = name;
+            row.samples = as_u64(share.at("samples"));
+            row.fraction = share.at("fraction").number();
+            out.cpu_by_stage.push_back(std::move(row));
+        }
+    }
+
     for (const util::Json& entry : doc.at("worst_streams").items()) {
         StreamRow row;
         row.stream = static_cast<std::uint32_t>(as_u64(entry.at("stream")));
@@ -100,10 +112,21 @@ std::string render(const FleetDoc& doc) {
     out += "        degraded " + std::to_string(doc.degraded) +
            "  slo_breaches " + std::to_string(doc.slo_breaches) + "\n";
 
+    // The cpu% column (share of profile samples charged to the stage's tag)
+    // appears only when the document carries CPU attribution, so renders of
+    // unprofiled documents — and their goldens — keep the classic layout.
+    const bool with_cpu = !doc.cpu_by_stage.empty();
+    auto cpu_for = [&doc](const std::string& stage) -> const CpuRow* {
+        for (const CpuRow& c : doc.cpu_by_stage)
+            if (c.stage == stage) return &c;
+        return nullptr;
+    };
+
     out += "\n";
     out += padded("stage", 10) + right("count", 8) + right("mean_ms", 10) +
            right("p50_ms", 10) + right("p90_ms", 10) + right("p99_ms", 10) +
-           right("max_ms", 10) + right("breaches", 10) + "\n";
+           right("max_ms", 10) + right("breaches", 10) +
+           (with_cpu ? right("cpu%", 8) : "") + "\n";
     for (const StageRow& s : doc.stages) {
         out += padded(s.name, 10) + right(std::to_string(s.count), 8);
         if (s.count > 0) {
@@ -113,7 +136,26 @@ std::string render(const FleetDoc& doc) {
         } else {
             for (int c = 0; c < 5; ++c) out += right("-", 10);
         }
-        out += right(std::to_string(s.breaches), 10) + "\n";
+        out += right(std::to_string(s.breaches), 10);
+        if (with_cpu) {
+            const CpuRow* cpu = cpu_for(s.name);
+            out += cpu ? fixed(cpu->fraction * 100.0, 8, 1) : right("-", 8);
+        }
+        out += "\n";
+    }
+    if (with_cpu) {
+        // Tags with no latency row of their own (e.g. "untagged" — samples
+        // landing outside every stage scope) still deserve a line.
+        std::string extras;
+        for (const CpuRow& c : doc.cpu_by_stage) {
+            bool matched = false;
+            for (const StageRow& s : doc.stages)
+                if (s.name == c.stage) { matched = true; break; }
+            if (matched) continue;
+            if (!extras.empty()) extras += "  ";
+            extras += c.stage + " " + fixed(c.fraction * 100.0, 0, 1) + "%";
+        }
+        if (!extras.empty()) out += "cpu other: " + extras + "\n";
     }
 
     out += "\n";

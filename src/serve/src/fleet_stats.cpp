@@ -189,6 +189,18 @@ std::string FleetStats::to_json(std::uint64_t now_us, bool include_meta) const {
     }
     out += "}";
 
+    if (!cpu_by_stage_.empty()) {
+        out += ",\n\"cpu_by_stage\": {";
+        for (std::size_t i = 0; i < cpu_by_stage_.size(); ++i) {
+            const StageCpuShare& share = cpu_by_stage_[i];
+            if (i) out += ", ";
+            out += "\"" + share.stage + "\": {\"fraction\": " +
+                   fmt_double(share.fraction) +
+                   ", \"samples\": " + std::to_string(share.samples) + "}";
+        }
+        out += "}";
+    }
+
     out += ",\n\"worst_streams\": [";
     const std::vector<StreamSummary> worst = worst_streams(now_us);
     for (std::size_t i = 0; i < worst.size(); ++i) {
@@ -203,6 +215,13 @@ std::string FleetStats::to_json(std::uint64_t now_us, bool include_meta) const {
         out += "}";
     }
     out += "\n]";
+
+    // Build stamp: always present (unlike the fuller "meta" block) so every
+    // fleet snapshot — including golden-test renders — names the binary that
+    // produced it. Constant within a build, so byte-determinism holds.
+    const obs::RunMetadata build = obs::run_metadata();
+    out += ",\n\"build\": {\"git_sha\": \"" + build.git_sha +
+           "\", \"build_type\": \"" + build.build_type + "\"}";
 
     if (include_meta) out += ",\n\"meta\": " + obs::run_metadata_json();
     out += "\n}\n";

@@ -16,6 +16,7 @@
 #include "mvreju/obs/exporter.hpp"
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/profiler.hpp"
 #include "mvreju/serve/batcher.hpp"
 #include "mvreju/serve/fleet_stats.hpp"
 #include "mvreju/serve/protocol.hpp"
@@ -103,6 +104,7 @@ struct Server::Impl {
     }
 
     void respond(Client& client, const ResponseFrame& response) {
+        MVREJU_PROFILE_STAGE(profile_scope, "tx");
         if (!client.conn || client.conn->closed()) return;
         client.conn->send(encode_response(response));
     }
@@ -164,6 +166,11 @@ struct Server::Impl {
     }
 
     void on_data(std::uint64_t id) {
+        // Stage tags scope the sampling profiler's CPU attribution: samples
+        // landing while a scope is live are charged to its stage, so /fleet's
+        // cpu_by_stage mirrors the FrameTrace stage names. Nested scopes
+        // (finalize -> respond) charge the innermost stage.
+        MVREJU_PROFILE_STAGE(profile_scope, "parse");
         auto it = clients.find(id);
         if (it == clients.end()) return;
         Client& client = it->second;
@@ -319,6 +326,7 @@ struct Server::Impl {
     }
 
     void finalize(InFlight& frame) {
+        MVREJU_PROFILE_STAGE(profile_scope, "vote");
         auto it = clients.find(frame.stream_id);
         if (it == clients.end()) return;  // stream disconnected mid-flight
         Client& client = it->second;
@@ -399,6 +407,17 @@ struct Server::Impl {
         obs::Exporter& exporter = obs::Exporter::global();
         if (!exporter.running()) return;
         last_publish_us = now;
+#ifndef MVREJU_OBS_DISABLED
+        // When the sampling profiler is armed, fold its per-stage CPU
+        // attribution (last 10 s) into the fleet document so fleet_top can
+        // put a CPU% column next to the stage latency rows.
+        if (obs::Profiler* profiler = obs::Profiler::active()) {
+            std::vector<FleetStats::StageCpuShare> shares;
+            for (const obs::StageCpu& cpu : profiler->stage_cpu(10))
+                shares.push_back({cpu.stage, cpu.samples, cpu.fraction});
+            fleet_stats.set_cpu_by_stage(std::move(shares));
+        }
+#endif
         exporter.set_fleet_json(fleet_stats.to_json(now));
         exporter.set_health(aggregate_health(now));
     }

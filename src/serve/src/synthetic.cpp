@@ -11,6 +11,7 @@
 
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
+#include "mvreju/obs/profiler.hpp"
 #include "mvreju/serve/batcher.hpp"
 #include "mvreju/serve/fleet_stats.hpp"
 #include "mvreju/serve/trace.hpp"
@@ -141,6 +142,12 @@ private:
     }
 
     void handle_arrival(const Arrival& arrival) {
+        // Profiler stage tag: everything between arrival and submit is
+        // "parse" work (sample synthesis, planning); the batcher's own
+        // "infer" scope takes over inside a synchronous flush, and
+        // finalize's "vote" scope covers completion — so the bench's CPU
+        // attribution exercises the same tag set as the socket server.
+        MVREJU_PROFILE_STAGE(profile_scope, "parse");
         last_arrival_us_ = arrival.t_us;
         StreamState& stream = streams_[static_cast<std::size_t>(arrival.stream)];
         if (arrival.frame + 1 < options_.frames_per_stream) {
@@ -301,6 +308,7 @@ private:
     }
 
     void finalize(InFlight& inflight) {
+        MVREJU_PROFILE_STAGE(profile_scope, "vote");
         Session& session = sessions_[static_cast<std::size_t>(inflight.stream)];
         const SessionResult result =
             session.complete_frame(inflight.plan, std::move(inflight.proposals));

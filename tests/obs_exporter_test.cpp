@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,6 +19,7 @@
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/obs.hpp"
+#include "mvreju/obs/profiler.hpp"
 #include "mvreju/util/json.hpp"
 
 namespace {
@@ -200,6 +202,100 @@ TEST_F(ObsExporterTest, ServesARealHttpGetOverLoopback) {
     EXPECT_EQ(exporter.port(), 0);
     exporter.stop();  // idempotent
 }
+#endif  // MVREJU_OBS_DISABLED
+
+#ifndef MVREJU_OBS_DISABLED
+
+TEST_F(ObsExporterTest, ProfileRouteRefusesWithoutARunningProfiler) {
+    obs::Exporter exporter;
+    // No profiler running: 503 with a hint, not a hang or an empty 200.
+    const std::string off = exporter.handle("GET /profile HTTP/1.0\r\n\r\n");
+    EXPECT_NE(off.find("503 Service Unavailable"), std::string::npos);
+    EXPECT_NE(off.find("profiler not running"), std::string::npos);
+    // The 404 hint names the route so operators can discover it.
+    EXPECT_NE(exporter.handle("GET /nope HTTP/1.0\r\n\r\n").find("/profile"),
+              std::string::npos);
+}
+
+TEST_F(ObsExporterTest, ProfileRouteServesFoldedStacks) {
+    obs::Profiler::Options options;
+    options.interval_us = 500;
+    obs::Profiler profiler(options);
+    ASSERT_TRUE(profiler.start());
+    // Burn CPU so the scrape has samples to fold.
+    volatile double sink = 0.0;
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(150);
+    while (std::chrono::steady_clock::now() < until)
+        for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+
+    obs::Exporter exporter;
+    const std::string ok = exporter.handle("GET /profile HTTP/1.0\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(ok.find("Content-Type: text/plain"), std::string::npos);
+    EXPECT_FALSE(body_of(ok).empty());
+    // ?seconds=N is accepted (clamped to the retention window).
+    EXPECT_NE(exporter.handle("GET /profile?seconds=1 HTTP/1.0\r\n\r\n")
+                  .find("200 OK"),
+              std::string::npos);
+    profiler.stop();
+}
+
+// A scraper that dribbles its request one byte at a time (or stalls
+// mid-request forever) must neither lose its response nor wedge the
+// exporter loop for everyone else — the serving thread stays event-driven.
+TEST_F(ObsExporterTest, SlowAndStalledClientsDoNotBlockTheLoop) {
+    obs::Exporter exporter;
+    ASSERT_TRUE(exporter.start(0));
+    const int port = exporter.port();
+    ASSERT_GT(port, 0);
+
+    auto dial = [port]() {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+                  0);
+        return fd;
+    };
+
+    // A stalled client: half a request line, then silence. Keep it open for
+    // the whole test — the loop must serve others around it.
+    const int stalled = dial();
+    ASSERT_EQ(::send(stalled, "GET /hea", 8, MSG_NOSIGNAL), 8);
+
+    // A byte-at-a-time client: the exporter must buffer across reads and
+    // answer once the blank line lands.
+    const int slow = dial();
+    const char request[] = "GET /healthz HTTP/1.0\r\n\r\n";
+    for (std::size_t i = 0; i + 1 < sizeof request; ++i)
+        ASSERT_EQ(::send(slow, request + i, 1, MSG_NOSIGNAL), 1);
+    std::string slow_response;
+    char buf[4096];
+    ssize_t got;
+    while ((got = ::recv(slow, buf, sizeof buf, 0)) > 0)
+        slow_response.append(buf, static_cast<std::size_t>(got));
+    ::close(slow);
+    EXPECT_NE(slow_response.find("HTTP/1.0 200 OK"), std::string::npos);
+
+    // A normal client connecting *while* the stalled one sits mid-request
+    // still gets served promptly.
+    const int fresh = dial();
+    ASSERT_EQ(::send(fresh, request, sizeof request - 1, MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof request - 1));
+    std::string fresh_response;
+    while ((got = ::recv(fresh, buf, sizeof buf, 0)) > 0)
+        fresh_response.append(buf, static_cast<std::size_t>(got));
+    ::close(fresh);
+    EXPECT_NE(fresh_response.find("HTTP/1.0 200 OK"), std::string::npos);
+
+    ::close(stalled);
+    exporter.stop();
+}
+
 #endif  // MVREJU_OBS_DISABLED
 
 TEST_F(ObsExporterTest, StartRefusedWhenObsIsKilled) {

@@ -1,0 +1,97 @@
+// obs/profile_report: pure-text folded-stacks analysis. Runs identically
+// with and without MVREJU_OBS — the report library has no profiler
+// dependency, by design (tools/profile_render must digest profiles captured
+// on other builds).
+
+#include "mvreju/obs/profile_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mvreju::obs {
+namespace {
+
+const char kSample[] =
+    "infer;main;serve::flush;num::sgemm 60\n"
+    "infer;main;serve::flush;num::im2col 25\n"
+    "vote;main;serve::finalize;core::vote 10\n"
+    "untagged;main;idle_wait 5\n";
+
+TEST(ProfileReportTest, ParsesStageFramesAndCounts) {
+    const std::vector<FoldedStack> stacks = parse_folded(kSample);
+    ASSERT_EQ(stacks.size(), 4u);
+    EXPECT_EQ(stacks[0].stage, "infer");
+    ASSERT_EQ(stacks[0].frames.size(), 3u);
+    EXPECT_EQ(stacks[0].frames[0], "main");
+    EXPECT_EQ(stacks[0].frames[2], "num::sgemm");
+    EXPECT_EQ(stacks[0].count, 60u);
+    EXPECT_EQ(stacks[3].stage, "untagged");
+}
+
+TEST(ProfileReportTest, SkipsMalformedLines) {
+    const std::vector<FoldedStack> stacks = parse_folded(
+        "\n"
+        "no_count_here\n"
+        "stage;frame notanumber\n"
+        "stage;frame 0\n"
+        "ok;frame 3\n");
+    ASSERT_EQ(stacks.size(), 1u);
+    EXPECT_EQ(stacks[0].stage, "ok");
+    EXPECT_EQ(stacks[0].count, 3u);
+}
+
+TEST(ProfileReportTest, StageOnlyLineParses) {
+    const std::vector<FoldedStack> stacks = parse_folded("lonely_stage 7\n");
+    ASSERT_EQ(stacks.size(), 1u);
+    EXPECT_EQ(stacks[0].stage, "lonely_stage");
+    EXPECT_TRUE(stacks[0].frames.empty());
+}
+
+TEST(ProfileReportTest, HotspotsSelfVsTotal) {
+    const std::vector<Hotspot> spots = hotspots(parse_folded(kSample));
+    ASSERT_FALSE(spots.empty());
+    // num::sgemm leads by self samples.
+    EXPECT_EQ(spots[0].frame, "num::sgemm");
+    EXPECT_EQ(spots[0].self, 60u);
+    EXPECT_EQ(spots[0].total, 60u);
+    // main appears in every stack: total 100, self 0.
+    for (const Hotspot& spot : spots)
+        if (spot.frame == "main") {
+            EXPECT_EQ(spot.total, 100u);
+            EXPECT_EQ(spot.self, 0u);
+        }
+}
+
+TEST(ProfileReportTest, RecursionCountedOncePerStack) {
+    const std::vector<Hotspot> spots =
+        hotspots(parse_folded("s;rec;rec;rec 9\n"));
+    ASSERT_EQ(spots.size(), 1u);
+    EXPECT_EQ(spots[0].total, 9u) << "recursive frame must not triple-count";
+    EXPECT_EQ(spots[0].self, 9u);
+}
+
+TEST(ProfileReportTest, StageTotalsFractionsAndOrder) {
+    const std::vector<StageTotal> stages = stage_totals(parse_folded(kSample));
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[0].stage, "infer");
+    EXPECT_EQ(stages[0].samples, 85u);
+    EXPECT_NEAR(stages[0].fraction, 0.85, 1e-12);
+    EXPECT_EQ(stages.back().stage, "untagged") << "untagged sorts last";
+}
+
+TEST(ProfileReportTest, RenderMentionsTopFrameAndStages) {
+    const std::string table = render_hotspots(parse_folded(kSample), 5);
+    EXPECT_NE(table.find("num::sgemm"), std::string::npos);
+    EXPECT_NE(table.find("by stage:"), std::string::npos);
+    EXPECT_NE(table.find("infer"), std::string::npos);
+    EXPECT_NE(table.find("100 samples"), std::string::npos);
+}
+
+TEST(ProfileReportTest, EmptyInputRendersEmptyReport) {
+    const std::vector<FoldedStack> stacks = parse_folded("");
+    EXPECT_TRUE(stacks.empty());
+    const std::string table = render_hotspots(stacks, 5);
+    EXPECT_NE(table.find("0 samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvreju::obs

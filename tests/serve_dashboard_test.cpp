@@ -198,6 +198,38 @@ TEST(ServeDashboardTest, UnreachedStagesRenderDashes) {
               std::string::npos);
 }
 
+TEST(ServeDashboardTest, CpuAttributionAddsColumnOnlyWhenPresent) {
+    serve::FleetStats stats(local_options());
+
+    // No cpu_by_stage block: the classic layout — no cpu% header cell.
+    const std::string plain = serve::dashboard::render(
+        serve::dashboard::parse(stats.to_json(10'000, false)));
+    EXPECT_EQ(plain.find("cpu%"), std::string::npos);
+
+    // With attribution: a cpu% column keyed by stage name, "-" for stages
+    // the profiler never tagged, and a footer for tags with no latency row.
+    stats.set_cpu_by_stage(
+        {{"infer", 90, 0.75}, {"parse", 18, 0.15}, {"untagged", 12, 0.1}});
+    const serve::dashboard::FleetDoc doc =
+        serve::dashboard::parse(stats.to_json(10'000, false));
+    ASSERT_EQ(doc.cpu_by_stage.size(), 3u);
+    EXPECT_EQ(doc.cpu_by_stage[0].stage, "infer");
+    EXPECT_EQ(doc.cpu_by_stage[0].samples, 90u);
+    EXPECT_DOUBLE_EQ(doc.cpu_by_stage[0].fraction, 0.75);
+
+    const std::string render = serve::dashboard::render(doc);
+    EXPECT_NE(render.find(pad_left("cpu%", 8) + "\n"), std::string::npos);
+    EXPECT_NE(render.find(pad_left("75.0", 8)), std::string::npos);   // infer
+    EXPECT_NE(render.find(pad_left("15.0", 8)), std::string::npos);   // parse
+    // queue has latency cells but no CPU tag: dash in the cpu column.
+    const std::size_t queue_at = render.find("\nqueue");
+    ASSERT_NE(queue_at, std::string::npos);
+    const std::size_t queue_end = render.find('\n', queue_at + 1);
+    EXPECT_EQ(render.substr(queue_end - 8, 8), pad_left("-", 8));
+    // untagged samples have no stage row: reported in the footer instead.
+    EXPECT_NE(render.find("cpu other: untagged 10.0%"), std::string::npos);
+}
+
 #endif  // MVREJU_OBS_DISABLED
 
 TEST(ServeDashboardTest, ParseRejectsForeignDocuments) {

@@ -106,6 +106,39 @@ TEST(ServeFleetStatsTest, SeededFleetDocumentByteIdentical) {
     EXPECT_EQ(ra.output_hash, rb.output_hash);
 }
 
+TEST(ServeFleetStatsTest, BuildStampIsAlwaysPresent) {
+    // The "build" block names the binary in every document — including the
+    // meta-less renders the golden tests use — and is constant within one
+    // build, so byte-determinism is unaffected.
+    serve::FleetStats stats(local_options());
+    const std::string doc = stats.to_json(1'000, /*include_meta=*/false);
+    EXPECT_NE(doc.find("\"build\": {\"git_sha\": \""), std::string::npos);
+    EXPECT_NE(doc.find("\"build_type\": \""), std::string::npos);
+}
+
+TEST(ServeFleetStatsTest, CpuByStageBlockIsOptIn) {
+    serve::FleetStats stats(local_options());
+    stats.observe(clean_frame(0, 1), 2'000);
+
+    // Default: no profiler attribution pushed, no block — so unprofiled
+    // documents (and their goldens) are unchanged.
+    const std::string without = stats.to_json(3'000, /*include_meta=*/false);
+    EXPECT_EQ(without.find("cpu_by_stage"), std::string::npos);
+
+    stats.set_cpu_by_stage({{"infer", 90, 0.75}, {"parse", 30, 0.25}});
+    const std::string with = stats.to_json(3'000, /*include_meta=*/false);
+    EXPECT_NE(with.find("\"cpu_by_stage\": {\"infer\": {\"fraction\": 0.75, "
+                        "\"samples\": 90}, \"parse\": {\"fraction\": 0.25, "
+                        "\"samples\": 30}}"),
+              std::string::npos);
+
+    // Clearing the attribution removes the block again (a serving loop
+    // whose profiler stopped goes back to the classic document).
+    stats.set_cpu_by_stage({});
+    const std::string cleared = stats.to_json(3'000, /*include_meta=*/false);
+    EXPECT_EQ(cleared.find("cpu_by_stage"), std::string::npos);
+}
+
 // Stage-trace-dependent behaviour: under -DMVREJU_OBS=OFF stamp() is a
 // no-op and every digest stays empty, so these suites only run with the
 // observability layer compiled in (same pattern as the obs tests).

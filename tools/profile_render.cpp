@@ -1,0 +1,90 @@
+// profile_render: digest a folded-stacks CPU profile (the format
+// obs::Profiler::folded() emits and GET /profile serves) into a hotspot
+// table, or re-emit it folded for flamegraph tooling.
+//
+//   ./build/tools/profile_render [file]            hotspot table from a file
+//   curl -s localhost:9100/profile | ./build/tools/profile_render
+//       [--top N]      rows in the hotspot table (default 20)
+//       [--folded]     pass the parsed profile back out folded (sorted,
+//                      merged) instead of rendering the table — pipe this
+//                      into flamegraph.pl or speedscope
+//
+// Pure text in, pure text out: the parsing/ranking lives in
+// mvreju/obs/profile_report.hpp (golden-tested, builds even under
+// -DMVREJU_OBS=OFF), so this tool works on profiles captured anywhere.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "mvreju/obs/profile_report.hpp"
+#include "mvreju/util/args.hpp"
+
+namespace {
+
+std::string read_input(const std::string& path) {
+    if (path.empty() || path == "-") {
+        std::ostringstream out;
+        out << std::cin.rdbuf();
+        return out.str();
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const mvreju::util::Args args(argc, argv);
+    try {
+        // First non-flag positional is the input file; default is stdin.
+        std::string path;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--top") { ++i; continue; }
+            if (a.rfind("--", 0) == 0) continue;
+            path = a;
+            break;
+        }
+        const auto top_n = static_cast<std::size_t>(
+            args.get_int("top", 20, 1, 10000));
+
+        const std::string text = read_input(path);
+        const auto stacks = mvreju::obs::parse_folded(text);
+        if (stacks.empty()) {
+            std::fprintf(stderr,
+                         "profile_render: no folded samples in input (is the "
+                         "profiler running? start with --profile or "
+                         "MVREJU_PROFILE=on)\n");
+            return 1;
+        }
+
+        if (args.has("folded")) {
+            // Canonical re-emission: parse_folded already merged and the
+            // stacks keep their root-first order, so this output feeds
+            // straight into flamegraph.pl / speedscope.
+            for (const auto& stack : stacks) {
+                std::string line = stack.stage;
+                for (const auto& frame : stack.frames) line += ";" + frame;
+                std::printf("%s %llu\n", line.c_str(),
+                            static_cast<unsigned long long>(stack.count));
+            }
+            return 0;
+        }
+
+        std::fputs(mvreju::obs::render_hotspots(stacks, top_n).c_str(), stdout);
+        return 0;
+    } catch (const mvreju::util::ArgError& e) {
+        std::fprintf(stderr, "profile_render: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "profile_render: %s\n", e.what());
+        return 1;
+    }
+}
