@@ -1,0 +1,377 @@
+// Extension: sensor-failure scenario matrix with the degraded-mode policy
+// ladder (ROADMAP item 3). The paper's campaigns corrupt model *weights*;
+// this suite corrupts the *input* — frozen, blank, salt-and-pepper,
+// low-light and occluded frames, plus a compound class that overlaps sensor
+// corruption with weight faults aimed at the layer a small fi campaign
+// ranks most critical. Every scenario class runs with the trust-driven
+// policy ladder off (baseline) and on, reporting the empirical
+// E[R_sys] = 1 - unsafe_decided/total and hazard rates per cell.
+//
+// The whole grid is replayed serially and under 4- and 8-thread
+// parallel_for; an FNV-1a hash over every run's outcome record must match
+// across all three (the repo-wide bit-determinism contract). A DSPN with a
+// two-state sensor channel (core::build_degraded_dspn) provides the
+// analytic counterpart per class, with the sensor duty cycle matched to the
+// scenario's corruption windows.
+//
+//   ./build/bench/extension_sensor_scenarios
+//       [--runs <n>]   runs per (class, policy) cell   (default 6)
+//       [--out <f>]    result JSON                     (default BENCH_scenarios.json)
+//       [--cache <d>]  detector parameter cache        (default .mvreju_cache)
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "av_common.hpp"
+#include "bench_util.hpp"
+#include "mvreju/core/dspn_models.hpp"
+#include "mvreju/fi/campaign.hpp"
+#include "mvreju/obs/buildinfo.hpp"
+#include "mvreju/util/parallel.hpp"
+#include "mvreju/util/table.hpp"
+
+namespace {
+
+using namespace mvreju;
+
+/// Everything that can differ between two replays of one run, bit-packed
+/// for hashing. Trust is folded in via min_trust scaled to an integer so
+/// float formatting never enters the hash.
+struct RunRecord {
+    int total_frames = 0;
+    int unsafe_decided = 0;
+    int decided = 0;
+    int skipped = 0;
+    int no_output = 0;
+    int collision_frames = 0;
+    int first_collision = -1;
+    int sensor_fault_frames = 0;
+    int stop_frames = 0;
+    int reduced_frames = 0;
+    int dropped = 0;
+    int degraded_transitions = 0;
+    std::int64_t min_trust_micro = 1000000;
+};
+
+RunRecord record_of(const av::RunMetrics& m) {
+    RunRecord r;
+    r.total_frames = m.total_frames;
+    r.unsafe_decided = m.unsafe_decided_frames;
+    r.decided = m.decided_frames;
+    r.skipped = m.skipped_frames;
+    r.no_output = m.no_output_frames;
+    r.collision_frames = m.collision_frames;
+    r.first_collision = m.first_collision_frame;
+    r.sensor_fault_frames = m.sensor_fault_frames;
+    r.stop_frames = m.stop_frames;
+    r.reduced_frames = m.reduced_frames;
+    r.dropped = static_cast<int>(m.dropped_proposals);
+    r.degraded_transitions = m.degraded_transitions;
+    r.min_trust_micro = static_cast<std::int64_t>(m.min_trust * 1e6);
+    return r;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xffu;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t hash_records(const std::vector<RunRecord>& records) {
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const RunRecord& r : records) {
+        for (const int v :
+             {r.total_frames, r.unsafe_decided, r.decided, r.skipped,
+              r.no_output, r.collision_frames, r.first_collision,
+              r.sensor_fault_frames, r.stop_frames, r.reduced_frames,
+              r.dropped, r.degraded_transitions})
+            hash = fnv1a(hash, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+        hash = fnv1a(hash, static_cast<std::uint64_t>(r.min_trust_micro));
+    }
+    return hash;
+}
+
+/// Fraction of the horizon covered by sensor-corruption windows.
+double fault_duty(const av::Scenario& scenario, double horizon) {
+    // Windows of the built-in classes do not overlap; clamp to the horizon.
+    double covered = 0.0;
+    for (const av::SensorFault& f : scenario.sensor_faults) {
+        const double end = std::min(f.end, horizon);
+        if (end > f.begin) covered += end - f.begin;
+    }
+    return std::min(1.0, covered / horizon);
+}
+
+struct CellAggregate {
+    long long frames = 0;
+    long long unsafe = 0;
+    long long decided = 0;
+    long long collision_frames = 0;
+    long long stop_frames = 0;
+    long long reduced_frames = 0;
+    long long dropped = 0;
+    long long sensor_fault_frames = 0;
+    int collided_runs = 0;
+    double skip = 0.0;
+    double min_trust = 1.0;
+
+    void add(const RunRecord& r) {
+        frames += r.total_frames;
+        unsafe += r.unsafe_decided;
+        decided += r.decided;
+        collision_frames += r.collision_frames;
+        stop_frames += r.stop_frames;
+        reduced_frames += r.reduced_frames;
+        dropped += r.dropped;
+        sensor_fault_frames += r.sensor_fault_frames;
+        collided_runs += r.first_collision >= 0 ? 1 : 0;
+        skip += r.total_frames > 0
+                    ? static_cast<double>(r.skipped + r.no_output) / r.total_frames
+                    : 0.0;
+        min_trust = std::min(
+            min_trust, static_cast<double>(r.min_trust_micro) * 1e-6);
+    }
+
+    [[nodiscard]] double ersys() const {
+        return frames == 0 ? 1.0
+                           : 1.0 - static_cast<double>(unsafe) /
+                                       static_cast<double>(frames);
+    }
+    [[nodiscard]] double hazard_rate() const {
+        return frames == 0 ? 0.0
+                           : static_cast<double>(collision_frames) /
+                                 static_cast<double>(frames);
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const int runs = args.get("runs", 6);
+    const std::string out_path = args.get("out", std::string("BENCH_scenarios.json"));
+
+    av::SensorConfig sensor;
+    const av::DetectorSet detectors = bench::prepare_case_study_detectors(args, sensor);
+
+    // Compound-class composition: a small weight campaign on version 1's
+    // healthy detector ranks injectable layers by criticality; the compound
+    // scenario aims its `inject` directive at the top-ranked layer, so the
+    // suite composes input corruption with the *worst* weight fault the fi
+    // machinery knows about.
+    fi::CampaignConfig campaign_cfg;
+    campaign_cfg.injections_per_site = 6;
+    campaign_cfg.value_min = -100.0f;
+    campaign_cfg.value_max = 300.0f;
+    campaign_cfg.seed = 11;
+    const ml::Dataset campaign_eval = av::make_detector_dataset(160, sensor, 77);
+    ml::Sequential campaign_model = detectors.healthy[1];
+    const fi::CampaignReport campaign =
+        fi::run_weight_campaign(campaign_model, campaign_eval, campaign_cfg);
+    const std::vector<std::size_t> ranked = fi::most_critical_sites(campaign);
+    const std::size_t critical_layer = ranked.empty() ? 0 : ranked.front();
+    std::printf("fi campaign: %zu sites, most critical layer %zu\n",
+                campaign.sites.size(), critical_layer);
+
+    // The scenario classes. `compound` gets the campaign-derived injection
+    // appended on top of its built-in compromise + corruption script.
+    std::vector<av::Scenario> scenarios;
+    for (const std::string& name : av::builtin_scenario_names()) {
+        std::string text = av::builtin_scenario_text(name);
+        if (name == "compound")
+            text += "at 10 inject 1 " + std::to_string(critical_layer) + " 7\n";
+        scenarios.push_back(av::parse_scenario(text));
+    }
+
+    const auto towns = av::make_towns();
+    const auto refs = av::evaluation_routes(towns);
+    const av::Route& route = towns[refs[0].town].routes[refs[0].route];
+
+    // Grid runner: every (class, policy, run) cell is one independent
+    // run_scenario with its own player and RNG substreams, so distributing
+    // cells over threads cannot perturb any cell's outcome.
+    const std::size_t cells = scenarios.size() * 2 * static_cast<std::size_t>(runs);
+    const auto run_grid = [&](std::size_t threads) {
+        std::vector<RunRecord> records(cells);
+        util::parallel_for(
+            cells,
+            [&](std::size_t i) {
+                const std::size_t cls = i / (2 * static_cast<std::size_t>(runs));
+                const std::size_t rest = i % (2 * static_cast<std::size_t>(runs));
+                const bool policy = rest / static_cast<std::size_t>(runs) == 1;
+                const int run = static_cast<int>(rest % static_cast<std::size_t>(runs));
+                av::ScenarioConfig cfg;
+                cfg.sensor = sensor;
+                cfg.scenario = &scenarios[cls];
+                cfg.trust_policy = policy;
+                cfg.seed = 4200 + 100 * static_cast<std::uint64_t>(cls) +
+                           static_cast<std::uint64_t>(run);
+                records[i] = record_of(av::run_scenario(route, detectors, cfg));
+            },
+            threads);
+        return records;
+    };
+
+    bench::print_header("Extension: sensor-failure scenario matrix + degraded-mode policy");
+    std::printf("%d runs per cell, route %s/0, %zu scenario classes x {baseline, policy}\n",
+                runs, towns[refs[0].town].name.c_str(), scenarios.size());
+
+    const std::vector<RunRecord> serial = run_grid(1);
+    const std::vector<RunRecord> four = run_grid(4);
+    const std::vector<RunRecord> eight = run_grid(8);
+    const std::uint64_t hash1 = hash_records(serial);
+    const std::uint64_t hash4 = hash_records(four);
+    const std::uint64_t hash8 = hash_records(eight);
+    const bool hash_threads_equal = hash1 == hash4 && hash1 == hash8;
+    std::printf("replay determinism: serial %016llx, 4 threads %016llx, "
+                "8 threads %016llx -> %s\n",
+                static_cast<unsigned long long>(hash1),
+                static_cast<unsigned long long>(hash4),
+                static_cast<unsigned long long>(hash8),
+                hash_threads_equal ? "bit-identical" : "MISMATCH");
+
+    // Aggregate per cell and compare policy vs baseline per class.
+    struct ClassRow {
+        std::string name;
+        CellAggregate baseline;
+        CellAggregate policy;
+        double analytic_baseline = 0.0;
+        double analytic_policy = 0.0;
+    };
+    std::vector<ClassRow> rows;
+    const double horizon = av::ScenarioConfig{}.horizon;
+    for (std::size_t cls = 0; cls < scenarios.size(); ++cls) {
+        ClassRow row;
+        row.name = scenarios[cls].name;
+        for (int run = 0; run < runs; ++run) {
+            const std::size_t base = cls * 2 * static_cast<std::size_t>(runs);
+            row.baseline.add(serial[base + static_cast<std::size_t>(run)]);
+            row.policy.add(serial[base + static_cast<std::size_t>(runs + run)]);
+        }
+
+        // Analytic counterpart: the degraded DSPN with the sensor duty
+        // cycle matched to this scenario's corruption windows (20 s mean
+        // fault cycle, split by the duty fraction).
+        const double duty = fault_duty(scenarios[cls], horizon);
+        if (duty > 0.0 && duty < 1.0) {
+            core::DegradedDspnConfig dcfg;
+            dcfg.sensor_mttf = 20.0 * (1.0 - duty);
+            dcfg.sensor_repair = 20.0 * duty;
+            const auto params = bench::params_from_args(args);
+            row.analytic_baseline =
+                core::degraded_steady_state_reliability(dcfg, params, false);
+            row.analytic_policy =
+                core::degraded_steady_state_reliability(dcfg, params, true);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    util::TextTable table({"Scenario", "E[R] base", "E[R] policy", "Margin",
+                           "Hazard base", "Hazard policy", "Stop fr.", "Min trust"});
+    double min_margin = 1.0;
+    bool all_recover = true;
+    long long base_collisions = 0;
+    long long policy_collisions = 0;
+    for (const ClassRow& row : rows) {
+        const double margin = row.policy.ersys() - row.baseline.ersys();
+        min_margin = std::min(min_margin, margin);
+        all_recover = all_recover && margin >= 0.0;
+        base_collisions += row.baseline.collision_frames;
+        policy_collisions += row.policy.collision_frames;
+        char b0[24], b1[24], b2[24], b3[24], b4[24], b5[24];
+        std::snprintf(b0, sizeof b0, "%.6f", row.baseline.ersys());
+        std::snprintf(b1, sizeof b1, "%.6f", row.policy.ersys());
+        std::snprintf(b2, sizeof b2, "%+.6f", margin);
+        std::snprintf(b3, sizeof b3, "%.4f", row.baseline.hazard_rate());
+        std::snprintf(b4, sizeof b4, "%.4f", row.policy.hazard_rate());
+        std::snprintf(b5, sizeof b5, "%.3f", row.policy.min_trust);
+        table.add_row({row.name, b0, b1, b2, b3, b4,
+                       std::to_string(row.policy.stop_frames), b5});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("min policy margin %.6f; collisions baseline %lld vs policy %lld\n",
+                min_margin, base_collisions, policy_collisions);
+
+    // Analytic sanity on the generic configuration.
+    core::DegradedDspnConfig generic;
+    const auto params = bench::params_from_args(args);
+    const double analytic_base =
+        core::degraded_steady_state_reliability(generic, params, false);
+    const double analytic_policy =
+        core::degraded_steady_state_reliability(generic, params, true);
+    std::printf("analytic (generic duty): baseline %.6f, policy %.6f\n",
+                analytic_base, analytic_policy);
+
+    std::ofstream out(out_path);
+    out << std::setprecision(17);
+    out << "{\n";
+    out << "  \"bench\": \"scenarios\",\n";
+    out << "  \"meta\": " << obs::run_metadata_json() << ",\n";
+    out << "  \"runs_per_cell\": " << runs << ",\n";
+    out << "  \"campaign\": {\"sites\": " << campaign.sites.size()
+        << ", \"critical_layer\": " << critical_layer
+        << ", \"baseline_accuracy\": " << campaign.baseline_accuracy << "},\n";
+    out << "  \"classes\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ClassRow& row = rows[i];
+        const double margin = row.policy.ersys() - row.baseline.ersys();
+        const auto emit_cell = [&](const char* key, const CellAggregate& cell) {
+            out << "\"" << key << "\": {\"ersys\": " << cell.ersys()
+                << ", \"hazard_rate\": " << cell.hazard_rate()
+                << ", \"collided_runs\": " << cell.collided_runs
+                << ", \"frames\": " << cell.frames
+                << ", \"unsafe\": " << cell.unsafe
+                << ", \"decided\": " << cell.decided
+                << ", \"skip_rate\": " << cell.skip / runs
+                << ", \"sensor_fault_frames\": " << cell.sensor_fault_frames
+                << ", \"stop_frames\": " << cell.stop_frames
+                << ", \"reduced_frames\": " << cell.reduced_frames
+                << ", \"dropped_proposals\": " << cell.dropped
+                << ", \"min_trust\": " << cell.min_trust << "}";
+        };
+        out << "    {\"name\": \"" << row.name << "\", ";
+        emit_cell("baseline", row.baseline);
+        out << ", ";
+        emit_cell("policy", row.policy);
+        out << ", \"margin\": " << margin
+            << ", \"policy_recovers\": " << (margin >= 0.0 ? "true" : "false")
+            << ", \"analytic_baseline\": " << row.analytic_baseline
+            << ", \"analytic_policy\": " << row.analytic_policy << "}"
+            << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    out << "  \"summary\": {\"min_policy_margin\": " << min_margin
+        << ", \"all_policy_recovers\": " << (all_recover ? "true" : "false")
+        << ", \"baseline_collision_frames\": " << base_collisions
+        << ", \"policy_collision_frames\": " << policy_collisions
+        << ", \"policy_collisions_leq_baseline\": "
+        << (policy_collisions <= base_collisions ? "true" : "false") << "},\n";
+    out << "  \"determinism\": {\"hash_serial\": \"" << std::hex << hash1
+        << "\", \"hash_threads4\": \"" << hash4 << "\", \"hash_threads8\": \""
+        << hash8 << std::dec
+        << "\", \"hash_threads_equal\": " << (hash_threads_equal ? "true" : "false")
+        << "},\n";
+    out << "  \"analytic\": {\"baseline\": " << analytic_base
+        << ", \"policy\": " << analytic_policy << ", \"policy_geq_baseline\": "
+        << (analytic_policy >= analytic_base ? "true" : "false") << "}\n";
+    out << "}\n";
+    if (!out.good()) {
+        std::fprintf(stderr, "ERROR: cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!hash_threads_equal) {
+        std::fprintf(stderr, "ERROR: replay is not bit-identical across thread counts\n");
+        return 1;
+    }
+    if (!all_recover)
+        std::fprintf(stderr, "WARNING: policy ladder below baseline on some class "
+                             "(min margin %.6f)\n", min_margin);
+    return 0;
+}

@@ -39,6 +39,21 @@
 //
 // Drive it with examples/stream_client (add --trace to see each frame's
 // server-side stage breakdown).
+//
+// Scenario replay mode — feed a sensor-failure scenario (built-in name or
+// DSL file, see src/av/scenario.hpp) through the closed-loop AV simulation
+// with the trust monitor + degraded-mode policy ladder engaged:
+//
+//   ./build/examples/resilient_service --scenario <name|file>
+//       [--seed <n>]             replay seed         (default 1)
+//       [--no-policy]            disable the policy ladder (baseline run)
+//       [--train-count <n>] [--epochs <n>] [--cache <dir>]
+//                                detector training knobs (CI shrinks them)
+//       [--hold-seconds <s>]     keep replaying (fresh seeds) so /metrics
+//                                stays live for scraping
+//
+// Combine with --serve to watch av.trust.* / av.degraded.* live and with
+// --flight to capture sensor_fault / degraded_mode events in a postmortem.
 
 #include <chrono>
 #include <cstdio>
@@ -46,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "mvreju/av/simulation.hpp"
 #include "mvreju/core/runtime.hpp"
 #include "mvreju/data/signs.hpp"
 #include "mvreju/fi/inject.hpp"
@@ -188,12 +204,81 @@ int serve_streams(const util::Args& args) {
     return 0;
 }
 
+/// --scenario: replay a sensor-failure scenario through the closed-loop AV
+/// simulation with the trust monitor + degraded-mode policy engaged. The
+/// av.trust.* / av.degraded.* gauges update every frame, and sensor_fault /
+/// degraded_mode events land in the flight recorder — so with --serve and
+/// --flight this is the live smoke target for the degraded-mode machinery.
+int replay_scenario(const util::Args& args) {
+    const std::string spec = args.get("scenario", std::string());
+    av::Scenario scenario;
+    try {
+        scenario = av::builtin_scenario(spec);
+    } catch (const std::invalid_argument&) {
+        scenario = av::parse_scenario_file(spec);
+    }
+    std::printf("scenario '%s': %zu sensor faults, %zu weight faults\n",
+                scenario.name.c_str(), scenario.sensor_faults.size(),
+                scenario.weight_faults.size());
+
+    av::SensorConfig sensor;
+    av::DetectorTrainOptions opts;
+    opts.train_samples = static_cast<std::size_t>(args.get("train-count", 4000));
+    opts.eval_samples = opts.train_samples / 5;
+    opts.epochs = args.get("epochs", 8);
+    opts.cache_dir = args.get("cache", std::string(".mvreju_cache"));
+    std::printf("preparing detectors (%zu samples, %d epochs)...\n",
+                opts.train_samples, opts.epochs);
+    const av::DetectorSet detectors = av::prepare_detectors(sensor, opts);
+
+    const auto towns = av::make_towns();
+    const auto refs = av::evaluation_routes(towns);
+    const av::Route& route = towns[refs[0].town].routes[refs[0].route];
+
+    av::ScenarioConfig cfg;
+    cfg.sensor = sensor;
+    cfg.scenario = &scenario;
+    cfg.trust_policy = !args.has("no-policy");
+    cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1));
+
+    const auto replay_once = [&](std::uint64_t seed) {
+        cfg.seed = seed;
+        const av::RunMetrics m = av::run_scenario(route, detectors, cfg);
+        std::printf("seed %llu: %d frames, %d decided, %d unsafe, %d flagged, "
+                    "%d stop, %d reduced, %d mode changes, min trust %.3f%s\n",
+                    static_cast<unsigned long long>(seed), m.total_frames,
+                    m.decided_frames, m.unsafe_decided_frames,
+                    m.sensor_fault_frames, m.stop_frames, m.reduced_frames,
+                    m.degraded_transitions, m.min_trust,
+                    m.collided() ? " [collision]" : "");
+        std::fflush(stdout);
+    };
+    replay_once(cfg.seed);
+
+    // --hold-seconds: keep replaying under fresh seeds so the exporter has
+    // live av.trust.* / av.degraded.* values for as long as a scraper needs.
+    const double hold_seconds = args.get("hold-seconds", 0.0);
+    if (hold_seconds > 0.0) {
+        if (obs::Exporter::global().running())
+            std::printf("replaying for %.1f s; /metrics on 127.0.0.1:%d\n",
+                        hold_seconds, obs::Exporter::global().port());
+        std::fflush(stdout);
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(hold_seconds));
+        std::uint64_t seed = cfg.seed;
+        while (Clock::now() < deadline) replay_once(++seed);
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
     const util::Args args(argc, argv);
     obs::Session session(args);
     if (args.has("serve-streams")) return serve_streams(args);
+    if (args.has("scenario")) return replay_scenario(args);
 
     data::SignDatasetConfig data_cfg;
     data_cfg.train_count = args.get("train-count", 1600);

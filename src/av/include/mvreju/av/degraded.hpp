@@ -1,0 +1,86 @@
+#pragma once
+
+// Degraded-mode policy ladder driven by the input-trust score (trust.hpp)
+// and voter health. Mirrors the graceful-degradation ladders of published
+// AV safety cases: as confidence in perception falls the system first drops
+// persistently disagreeing versions, then trades resolution for robustness,
+// and finally executes a minimal-risk stop rather than act on inputs it
+// cannot trust.
+//
+// Escalation is immediate (one bad reading can warrant caution); recovery is
+// hysteretic (reliability must hold above the threshold plus a margin for a
+// dwell period) so the ladder never oscillates at a threshold boundary.
+
+#include <cstddef>
+#include <vector>
+
+#include "mvreju/ml/tensor.hpp"
+
+namespace mvreju::av {
+
+/// Policy rungs, ordered by severity.
+enum class DegradedMode {
+    normal = 0,
+    drop_versions = 1,        ///< exclude persistently dissenting versions
+    reduced_resolution = 2,   ///< denoise input by 2x2 mean pooling
+    minimal_risk_stop = 3,    ///< skip inference, brake to a stop
+};
+
+[[nodiscard]] const char* degraded_mode_name(DegradedMode mode) noexcept;
+
+struct DegradedPolicyConfig {
+    // Reliability thresholds for entering each rung.
+    double drop_below = 0.8;
+    double reduce_below = 0.5;
+    double stop_below = 0.25;
+
+    // Hysteresis: de-escalate one rung only after reliability has held above
+    // the rung's entry threshold plus this margin for `recover_dwell`
+    // consecutive frames.
+    double recover_margin = 0.1;
+    int recover_dwell = 10;
+
+    // Per-version dissent tracking: EWMA of "this version disagreed with the
+    // decided vote", with a version dropped while its EWMA exceeds the
+    // threshold (only applied at rung >= drop_versions).
+    double dissent_alpha = 0.15;
+    double dissent_drop = 0.6;
+};
+
+/// Stateful policy ladder for one perception stream.
+class DegradedModeController {
+public:
+    DegradedModeController(int versions, DegradedPolicyConfig config = {});
+
+    /// Advance the ladder one frame from the current reliability score.
+    /// Returns the mode to apply to *this* frame.
+    DegradedMode update(double reliability);
+
+    /// Record each version's agreement with a decided vote (flags from
+    /// core::dissenting_proposals). Non-decided frames record nothing: with
+    /// no majority there is no reference to dissent from.
+    void observe_votes(const std::vector<bool>& dissented);
+
+    /// True when version m should be excluded from voting this frame.
+    [[nodiscard]] bool version_dropped(int m) const;
+
+    [[nodiscard]] DegradedMode mode() const noexcept { return mode_; }
+    [[nodiscard]] double dissent(int m) const;
+    [[nodiscard]] int transitions() const noexcept { return transitions_; }
+
+private:
+    DegradedPolicyConfig config_;
+    DegradedMode mode_ = DegradedMode::normal;
+    std::vector<double> dissent_;
+    int recovery_frames_ = 0;
+    int transitions_ = 0;
+};
+
+/// 2x2 mean-pool then nearest-neighbour upsample back to the input shape:
+/// the reduced-resolution rung. Averaging four pixels suppresses impulse
+/// noise at the cost of spatial detail — the classic robustness/fidelity
+/// trade of degraded operation. Odd trailing rows/columns pool over the
+/// smaller remaining window.
+[[nodiscard]] ml::Tensor reduced_resolution(const ml::Tensor& frame);
+
+}  // namespace mvreju::av

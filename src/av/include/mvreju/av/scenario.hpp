@@ -1,0 +1,155 @@
+#pragma once
+
+// Sensor-failure scenario DSL and deterministic replay (ROADMAP item 3).
+//
+// The paper injects faults into model *weights*; real perception also fails
+// at the *input*: frozen, blank, corrupted, low-light and occluded frames.
+// A scenario is a small text program describing timed sensor corruptions,
+// composable with the weight-fault machinery (forced compromises/failures of
+// the health process and direct fi:: weight injections), replayed bit-
+// identically for a given (scenario, seed) at any thread count.
+//
+// Format (line-based; '#' starts a comment; whitespace separates tokens):
+//
+//   scenario <name>                       # required first directive
+//   seed <uint>                           # default replay seed (optional)
+//   at <t> [until <t>] freeze             # repeat the last delivered frame
+//   at <t> [until <t>] blank [<level>]    # every pixel = level (default 0)
+//   at <t> [until <t>] saltpepper <frac>  # impulse noise on <frac> of pixels
+//   at <t> [until <t>] lowlight <gain>    # multiply every pixel by gain < 1
+//   at <t> [until <t>] occlude <start> <height>  # zero a horizontal band
+//                                         # (fractions of the grid height)
+//   at <t> compromise <module>            # force a health-process compromise
+//   at <t> fail <module>                  # force a module crash
+//   at <t> inject <module> <layer> <seed> # fi::random_weight_inj on the
+//                                         # module's healthy weights
+//
+// Omitting `until` keeps a corruption active to the end of the run. Parse
+// errors carry the byte offset of the offending token.
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mvreju/ml/tensor.hpp"
+#include "mvreju/util/rng.hpp"
+
+namespace mvreju::av {
+
+/// Sensor-level corruption kinds (the VISION_FROZEN/BLANK/CORRUPTED failure
+/// modes of camera pipelines, plus low-light and partial occlusion).
+enum class CorruptionKind { freeze, blank, salt_pepper, low_light, occlusion };
+
+/// Stable lower-case name ("freeze", "salt_pepper", ...).
+[[nodiscard]] const char* corruption_kind_name(CorruptionKind kind) noexcept;
+
+/// One timed sensor corruption, active on frames with begin <= t < end.
+struct SensorFault {
+    double begin = 0.0;
+    double end = std::numeric_limits<double>::infinity();
+    CorruptionKind kind = CorruptionKind::freeze;
+    /// Kind-specific parameters: blank level / salt-pepper fraction /
+    /// low-light gain / occlusion band start (fraction of grid height).
+    double a = 0.0;
+    /// Occlusion band height as a fraction of the grid height.
+    double b = 0.0;
+};
+
+enum class WeightFaultKind {
+    compromise,  ///< force the module compromised in the health process
+    fail,        ///< force the module non-functional
+    inject,      ///< fi::random_weight_inj on the module's healthy weights
+};
+
+/// One scheduled weight-fault event (instantaneous, composes the sensor
+/// scenario with the fi campaign fault models).
+struct WeightFault {
+    double at = 0.0;
+    int module = 0;
+    WeightFaultKind kind = WeightFaultKind::compromise;
+    std::size_t layer = 0;   ///< inject only
+    std::uint64_t seed = 0;  ///< inject only
+};
+
+struct Scenario {
+    std::string name;
+    std::uint64_t seed = 1;  ///< default replay seed (overridable per run)
+    std::vector<SensorFault> sensor_faults;
+    std::vector<WeightFault> weight_faults;
+
+    /// True when any sensor corruption is active at time t.
+    [[nodiscard]] bool any_sensor_fault(double t) const noexcept;
+};
+
+/// Parse failure with the byte offset of the offending token in the input.
+class ScenarioParseError : public std::runtime_error {
+public:
+    ScenarioParseError(const std::string& what, std::size_t offset)
+        : std::runtime_error(what + " (byte " + std::to_string(offset) + ")"),
+          offset_(offset) {}
+    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+private:
+    std::size_t offset_;
+};
+
+/// Parse a scenario program; throws ScenarioParseError on malformed input.
+[[nodiscard]] Scenario parse_scenario(std::string_view text);
+
+/// Parse a scenario file; throws std::runtime_error when unreadable.
+[[nodiscard]] Scenario parse_scenario_file(const std::filesystem::path& path);
+
+/// Canonical text rendering (parses back to an identical scenario).
+[[nodiscard]] std::string to_text(const Scenario& scenario);
+
+/// Names of the built-in scenario classes exercised by the benchmark matrix:
+/// "clear", "freeze", "blank", "salt_pepper", "low_light", "occlusion",
+/// "compound".
+[[nodiscard]] const std::vector<std::string>& builtin_scenario_names();
+
+/// A built-in scenario by name; throws std::invalid_argument for unknown
+/// names. `builtin_scenario_text` returns its DSL source.
+[[nodiscard]] Scenario builtin_scenario(const std::string& name);
+[[nodiscard]] std::string builtin_scenario_text(const std::string& name);
+
+/// Seeded deterministic replay of a scenario's sensor corruptions.
+///
+/// `apply` is called once per frame, in frame order, with the clean sensor
+/// tensor; it returns the corrupted frame. All randomness (salt-and-pepper
+/// impulse positions) derives from (seed, frame index) alone, so replays are
+/// bit-identical for a given (scenario, seed) regardless of thread count or
+/// how many other players run concurrently — each replay owns its player.
+class ScenarioPlayer {
+public:
+    explicit ScenarioPlayer(Scenario scenario);
+    ScenarioPlayer(Scenario scenario, std::uint64_t seed);
+
+    /// Corrupt the clean frame for time t. Frames must be fed in order.
+    [[nodiscard]] ml::Tensor apply(const ml::Tensor& clean, double t);
+
+    /// Corruption kinds active at time t, in event order.
+    [[nodiscard]] std::vector<CorruptionKind> active(double t) const;
+
+    /// Weight-fault events due at or before t and not yet delivered.
+    /// Each event is returned exactly once across the whole replay.
+    [[nodiscard]] std::vector<WeightFault> due_weight_faults(double t);
+
+    [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+private:
+    Scenario scenario_;
+    std::uint64_t seed_ = 1;
+    util::Rng impulse_base_;      ///< split per frame for salt-and-pepper
+    std::size_t frame_index_ = 0; ///< frames delivered so far
+    std::size_t next_weight_ = 0; ///< cursor into sorted weight_faults
+    bool frozen_ = false;
+    ml::Tensor last_output_;      ///< most recent delivered frame (for freeze)
+    bool has_output_ = false;
+};
+
+}  // namespace mvreju::av

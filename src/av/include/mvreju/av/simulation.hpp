@@ -8,10 +8,13 @@
 // (collision frames / total frames), first-collision frame, skipped frames
 // and perception timing.
 
+#include "mvreju/av/degraded.hpp"
 #include "mvreju/av/localization.hpp"
 #include "mvreju/av/perception.hpp"
 #include "mvreju/av/planner.hpp"
 #include "mvreju/av/route.hpp"
+#include "mvreju/av/scenario.hpp"
+#include "mvreju/av/trust.hpp"
 #include "mvreju/core/health.hpp"
 #include "mvreju/core/voter.hpp"
 
@@ -43,6 +46,20 @@ struct ScenarioConfig {
     SensorConfig sensor;
     PlannerConfig planner;
     std::uint64_t seed = 1;
+
+    /// Optional sensor-failure scenario (scenario.hpp) replayed ahead of
+    /// perception; its weight-fault events are delivered to the health
+    /// engine / detector weights as they fall due. Null: clean sensor.
+    /// The replay stream is derived from `seed`, so a (scenario, seed) pair
+    /// is bit-identical regardless of thread count.
+    const Scenario* scenario = nullptr;
+
+    /// Run the input-trust monitor and degraded-mode policy ladder
+    /// (trust.hpp / degraded.hpp). Off by default: the paper's case study
+    /// evaluates the bare multi-version system.
+    bool trust_policy = false;
+    TrustConfig trust;
+    DegradedPolicyConfig policy;
 };
 
 struct RunMetrics {
@@ -59,6 +76,15 @@ struct RunMetrics {
 
     double perception_wall_seconds = 0.0;  ///< time spent in inference+vote
     std::size_t inferences = 0;            ///< total model invocations
+
+    // Scenario / degraded-mode accounting (zero when trust_policy is off).
+    int sensor_fault_frames = 0;  ///< frames the input monitor flagged non-ok
+    int stop_frames = 0;          ///< frames spent in minimal-risk stop
+    int reduced_frames = 0;       ///< frames inferred at reduced resolution
+    std::size_t dropped_proposals = 0;  ///< proposals excluded by drop_versions
+    int degraded_transitions = 0;       ///< policy-ladder mode changes
+    double min_trust = 1.0;             ///< lowest reliability score seen
+    double mean_trust = 1.0;            ///< mean reliability over the run
 
     core::HealthStats health_stats;
 

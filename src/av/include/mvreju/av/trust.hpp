@@ -1,0 +1,96 @@
+#pragma once
+
+// Rule-based input-trust monitor for the perception sensor stream.
+//
+// Production vision pipelines guard their models with cheap frame-statistics
+// monitors (frozen-frame, blank-frame and corruption detectors) because a
+// model fed garbage fails silently — all N diverse versions agree on the
+// same wrong answer when the *input* is wrong, defeating voting entirely.
+// This monitor classifies each frame from four statistics and integrates the
+// verdicts into a continuous reliability score in [0, 1] that the
+// degraded-mode controller (degraded.hpp) thresholds into its policy ladder.
+//
+// Signals, against the sensor contract of sensor.cpp:
+//  - frame delta: mean |pixel difference| vs the previous frame. The clean
+//    sensor adds sigma≈0.06 Gaussian dither, so consecutive frames always
+//    differ by ≈0.05-0.08; a delta near zero means a frozen pipeline.
+//  - luma: mean pixel value. Near-zero means a blank (dead) sensor.
+//  - entropy: 8-bin histogram entropy. A blank frame at any level has ≈0.
+//  - ramp deviation: channel 1 is a deterministic forward-distance ramp
+//    (row value 1 - row/n); mean |observed - expected| is a reference-
+//    channel integrity check that impulse noise, occlusion bands and gain
+//    errors all violate.
+//  - impulse fraction: pixels >= 0.98 across the frame; salt noise pushes
+//    this far above the clean occupancy level.
+
+#include <cstddef>
+
+#include "mvreju/ml/tensor.hpp"
+
+namespace mvreju::av {
+
+/// Per-frame verdict of the input monitor.
+enum class SensorStatus { ok, frozen, blank, corrupted };
+
+[[nodiscard]] const char* sensor_status_name(SensorStatus status) noexcept;
+
+struct TrustConfig {
+    // Classification thresholds (see header comment for calibration).
+    double freeze_delta = 1e-3;   ///< frame delta below => frozen
+    double blank_luma = 0.12;     ///< mean below => blank
+    double blank_entropy = 0.2;   ///< entropy (nats) below => blank
+    double ramp_deviation = 0.08; ///< reference-channel error above => corrupt
+    double impulse_fraction = 0.10;  ///< saturated-pixel share above => corrupt
+
+    // Reliability dynamics (per second). Decay is much faster than recovery:
+    // trust is lost in a few frames and regained over many — the asymmetry
+    // that makes the policy ladder react before a fault propagates.
+    double fault_decay = 6.0;     ///< while the frame is not ok
+    double vote_decay = 0.8;      ///< while the voter skips / has no output
+    double recovery = 0.35;       ///< while the frame is ok
+};
+
+/// Frame statistics computed by TrustMonitor::update (exposed for tests
+/// and telemetry).
+struct FrameStats {
+    double delta = 0.0;      ///< mean |pixel - previous pixel|
+    double luma = 0.0;       ///< mean pixel value
+    double entropy = 0.0;    ///< 8-bin histogram entropy, nats
+    double ramp_dev = 0.0;   ///< mean |channel 1 - expected ramp|
+    double impulse = 0.0;    ///< fraction of pixels >= 0.98
+};
+
+/// Stateful per-stream trust monitor. Feed every frame in order via
+/// `update`, then voter outcomes via `observe_vote`; read `reliability`.
+class TrustMonitor {
+public:
+    explicit TrustMonitor(TrustConfig config = {});
+
+    /// Classify one frame and integrate the reliability score over dt
+    /// seconds. Frames must arrive in replay order.
+    SensorStatus update(const ml::Tensor& frame, double dt);
+
+    /// Fold the voter outcome for the same frame into the score: skipped or
+    /// no-output frames erode trust even when the input itself looks fine
+    /// (weight faults manifest here, not in frame statistics).
+    void observe_vote(bool decided, double dt);
+
+    [[nodiscard]] double reliability() const noexcept { return reliability_; }
+    [[nodiscard]] SensorStatus status() const noexcept { return status_; }
+    [[nodiscard]] const FrameStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const TrustConfig& config() const noexcept { return config_; }
+
+    /// Statistics for one frame without touching monitor state.
+    [[nodiscard]] static FrameStats compute_stats(const ml::Tensor& frame,
+                                                  const ml::Tensor* previous);
+
+private:
+    TrustConfig config_;
+    double reliability_ = 1.0;
+    SensorStatus status_ = SensorStatus::ok;
+    FrameStats stats_;
+    ml::Tensor previous_;
+    bool has_previous_ = false;
+};
+
+}  // namespace mvreju::av

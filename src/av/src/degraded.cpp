@@ -1,0 +1,127 @@
+#include "mvreju/av/degraded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvreju::av {
+
+const char* degraded_mode_name(DegradedMode mode) noexcept {
+    switch (mode) {
+        case DegradedMode::normal: return "normal";
+        case DegradedMode::drop_versions: return "drop_versions";
+        case DegradedMode::reduced_resolution: return "reduced_resolution";
+        case DegradedMode::minimal_risk_stop: return "minimal_risk_stop";
+    }
+    return "unknown";
+}
+
+namespace {
+
+DegradedMode target_mode(double reliability, const DegradedPolicyConfig& cfg) {
+    if (reliability < cfg.stop_below) return DegradedMode::minimal_risk_stop;
+    if (reliability < cfg.reduce_below) return DegradedMode::reduced_resolution;
+    if (reliability < cfg.drop_below) return DegradedMode::drop_versions;
+    return DegradedMode::normal;
+}
+
+/// Entry threshold of a rung (the level reliability must clear, plus
+/// margin, to leave it).
+double entry_threshold(DegradedMode mode, const DegradedPolicyConfig& cfg) {
+    switch (mode) {
+        case DegradedMode::minimal_risk_stop: return cfg.stop_below;
+        case DegradedMode::reduced_resolution: return cfg.reduce_below;
+        case DegradedMode::drop_versions: return cfg.drop_below;
+        case DegradedMode::normal: return 0.0;
+    }
+    return 0.0;
+}
+
+}  // namespace
+
+DegradedModeController::DegradedModeController(int versions,
+                                               DegradedPolicyConfig config)
+    : config_(config), dissent_(static_cast<std::size_t>(versions), 0.0) {
+    if (versions < 1)
+        throw std::invalid_argument("DegradedModeController: versions < 1");
+}
+
+DegradedMode DegradedModeController::update(double reliability) {
+    const DegradedMode target = target_mode(reliability, config_);
+    if (target > mode_) {
+        // Escalate immediately, possibly several rungs at once.
+        mode_ = target;
+        recovery_frames_ = 0;
+        ++transitions_;
+        return mode_;
+    }
+    if (target < mode_) {
+        // De-escalate one rung at a time, and only after a sustained
+        // recovery above the current rung's entry threshold.
+        if (reliability > entry_threshold(mode_, config_) + config_.recover_margin) {
+            if (++recovery_frames_ >= config_.recover_dwell) {
+                mode_ = static_cast<DegradedMode>(static_cast<int>(mode_) - 1);
+                recovery_frames_ = 0;
+                ++transitions_;
+            }
+        } else {
+            recovery_frames_ = 0;
+        }
+    } else {
+        recovery_frames_ = 0;
+    }
+    return mode_;
+}
+
+void DegradedModeController::observe_votes(const std::vector<bool>& dissented) {
+    const std::size_t n = std::min(dissented.size(), dissent_.size());
+    for (std::size_t m = 0; m < n; ++m) {
+        const double sample = dissented[m] ? 1.0 : 0.0;
+        dissent_[m] += config_.dissent_alpha * (sample - dissent_[m]);
+    }
+}
+
+bool DegradedModeController::version_dropped(int m) const {
+    if (mode_ < DegradedMode::drop_versions) return false;
+    const auto mu = static_cast<std::size_t>(m);
+    if (mu >= dissent_.size()) return false;
+    // Never drop below a voting majority: keep at least two versions (or
+    // one, in a single-version system).
+    if (dissent_[mu] <= config_.dissent_drop) return false;
+    std::size_t kept = 0;
+    for (const double d : dissent_) kept += d <= config_.dissent_drop ? 1 : 0;
+    return kept >= std::min<std::size_t>(2, dissent_.size());
+}
+
+double DegradedModeController::dissent(int m) const {
+    const auto mu = static_cast<std::size_t>(m);
+    return mu < dissent_.size() ? dissent_[mu] : 0.0;
+}
+
+ml::Tensor reduced_resolution(const ml::Tensor& frame) {
+    if (frame.rank() != 3)
+        throw std::invalid_argument("reduced_resolution: expected (C, H, W)");
+    const std::size_t channels = frame.shape()[0];
+    const std::size_t height = frame.shape()[1];
+    const std::size_t width = frame.shape()[2];
+    ml::Tensor out(frame.shape());
+    for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t h = 0; h < height; h += 2) {
+            for (std::size_t w = 0; w < width; w += 2) {
+                const std::size_t h1 = std::min(h + 2, height);
+                const std::size_t w1 = std::min(w + 2, width);
+                float sum = 0.0f;
+                for (std::size_t hh = h; hh < h1; ++hh)
+                    for (std::size_t ww = w; ww < w1; ++ww)
+                        sum += frame.at3(c, hh, ww);
+                const float mean =
+                    sum / static_cast<float>((h1 - h) * (w1 - w));
+                for (std::size_t hh = h; hh < h1; ++hh)
+                    for (std::size_t ww = w; ww < w1; ++ww)
+                        out.at3(c, hh, ww) = mean;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace mvreju::av

@@ -1,0 +1,433 @@
+#include "mvreju/av/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+namespace mvreju::av {
+
+namespace {
+
+/// One whitespace-delimited token plus its byte offset in the source text.
+struct Token {
+    std::string_view text;
+    std::size_t offset = 0;
+};
+
+/// Lexer over the scenario text: skips whitespace and '#' comments, tracks
+/// byte offsets so parse errors point at the offending token.
+class Lexer {
+public:
+    explicit Lexer(std::string_view text) : text_(text) {}
+
+    /// Next token, or std::nullopt at end of input.
+    std::optional<Token> next() {
+        for (;;) {
+            while (pos_ < text_.size() &&
+                   std::isspace(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ < text_.size() && text_[pos_] == '#') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+                continue;
+            }
+            break;
+        }
+        if (pos_ >= text_.size()) return std::nullopt;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '#' &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        return Token{text_.substr(start, pos_ - start), start};
+    }
+
+    [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset) {
+    throw ScenarioParseError(what, offset);
+}
+
+Token expect(Lexer& lexer, const char* what) {
+    auto token = lexer.next();
+    if (!token) fail(std::string("expected ") + what + ", got end of input",
+                     lexer.offset());
+    return *token;
+}
+
+double parse_number(const Token& token, const char* what) {
+    double value = 0.0;
+    const char* begin = token.text.data();
+    const char* end = begin + token.text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+        fail(std::string("expected ") + what + " number, got '" +
+                 std::string(token.text) + "'",
+             token.offset);
+    return value;
+}
+
+std::uint64_t parse_uint(const Token& token, const char* what) {
+    std::uint64_t value = 0;
+    const char* begin = token.text.data();
+    const char* end = begin + token.text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end)
+        fail(std::string("expected ") + what + " integer, got '" +
+                 std::string(token.text) + "'",
+             token.offset);
+    return value;
+}
+
+double parse_fraction(const Token& token, const char* what) {
+    const double value = parse_number(token, what);
+    if (value < 0.0 || value > 1.0)
+        fail(std::string(what) + " must be in [0, 1], got '" +
+                 std::string(token.text) + "'",
+             token.offset);
+    return value;
+}
+
+/// Compact canonical number rendering ("6", "0.18").
+std::string format_number(double value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+}  // namespace
+
+const char* corruption_kind_name(CorruptionKind kind) noexcept {
+    switch (kind) {
+        case CorruptionKind::freeze: return "freeze";
+        case CorruptionKind::blank: return "blank";
+        case CorruptionKind::salt_pepper: return "salt_pepper";
+        case CorruptionKind::low_light: return "low_light";
+        case CorruptionKind::occlusion: return "occlusion";
+    }
+    return "unknown";
+}
+
+bool Scenario::any_sensor_fault(double t) const noexcept {
+    for (const SensorFault& fault : sensor_faults)
+        if (t >= fault.begin && t < fault.end) return true;
+    return false;
+}
+
+Scenario parse_scenario(std::string_view text) {
+    Lexer lexer(text);
+    Scenario scenario;
+
+    const auto header = lexer.next();
+    if (!header || header->text != "scenario")
+        fail("scenario file must start with 'scenario <name>'",
+             header ? header->offset : 0);
+    scenario.name = std::string(expect(lexer, "scenario name").text);
+
+    for (auto token = lexer.next(); token; token = lexer.next()) {
+        if (token->text == "seed") {
+            scenario.seed = parse_uint(expect(lexer, "seed"), "seed");
+            continue;
+        }
+        if (token->text != "at")
+            fail("unknown directive '" + std::string(token->text) + "'",
+                 token->offset);
+
+        const Token at_token = expect(lexer, "start time");
+        const double at = parse_number(at_token, "start time");
+        Token op = expect(lexer, "directive");
+        double until = std::numeric_limits<double>::infinity();
+        bool has_until = false;
+        std::size_t until_offset = 0;
+        if (op.text == "until") {
+            const Token until_token = expect(lexer, "end time");
+            until = parse_number(until_token, "end time");
+            until_offset = until_token.offset;
+            has_until = true;
+            if (until <= at)
+                fail("'until' time must be after the 'at' time", until_offset);
+            op = expect(lexer, "directive");
+        }
+
+        if (op.text == "freeze" || op.text == "blank" ||
+            op.text == "saltpepper" || op.text == "lowlight" ||
+            op.text == "occlude") {
+            SensorFault fault;
+            fault.begin = at;
+            fault.end = until;
+            if (op.text == "freeze") {
+                fault.kind = CorruptionKind::freeze;
+            } else if (op.text == "blank") {
+                fault.kind = CorruptionKind::blank;
+                // Optional level: peek — a following "at"/"seed" token means
+                // the level was omitted and defaults to 0.
+                Lexer peek = lexer;
+                if (auto level = peek.next();
+                    level && level->text != "at" && level->text != "seed") {
+                    fault.a = parse_fraction(*level, "blank level");
+                    lexer = peek;
+                }
+            } else if (op.text == "saltpepper") {
+                fault.kind = CorruptionKind::salt_pepper;
+                fault.a = parse_fraction(expect(lexer, "saltpepper fraction"),
+                                         "saltpepper fraction");
+            } else if (op.text == "lowlight") {
+                fault.kind = CorruptionKind::low_light;
+                fault.a = parse_fraction(expect(lexer, "lowlight gain"),
+                                         "lowlight gain");
+            } else {
+                fault.kind = CorruptionKind::occlusion;
+                fault.a = parse_fraction(expect(lexer, "occlusion start"),
+                                         "occlusion start");
+                fault.b = parse_fraction(expect(lexer, "occlusion height"),
+                                         "occlusion height");
+            }
+            scenario.sensor_faults.push_back(fault);
+            continue;
+        }
+
+        if (op.text == "compromise" || op.text == "fail" ||
+            op.text == "inject") {
+            if (has_until)
+                fail("'until' is only valid on sensor corruptions",
+                     until_offset);
+            WeightFault fault;
+            fault.at = at;
+            fault.module = static_cast<int>(
+                parse_uint(expect(lexer, "module index"), "module index"));
+            if (op.text == "compromise") {
+                fault.kind = WeightFaultKind::compromise;
+            } else if (op.text == "fail") {
+                fault.kind = WeightFaultKind::fail;
+            } else {
+                fault.kind = WeightFaultKind::inject;
+                fault.layer = static_cast<std::size_t>(
+                    parse_uint(expect(lexer, "layer index"), "layer index"));
+                fault.seed = parse_uint(expect(lexer, "inject seed"),
+                                        "inject seed");
+            }
+            scenario.weight_faults.push_back(fault);
+            continue;
+        }
+
+        fail("unknown directive '" + std::string(op.text) + "'", op.offset);
+    }
+
+    // due_weight_faults walks a cursor, so keep events in delivery order.
+    std::stable_sort(scenario.weight_faults.begin(),
+                     scenario.weight_faults.end(),
+                     [](const WeightFault& a, const WeightFault& b) {
+                         return a.at < b.at;
+                     });
+    return scenario;
+}
+
+Scenario parse_scenario_file(const std::filesystem::path& path) {
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("parse_scenario_file: cannot open " +
+                                 path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_scenario(buffer.str());
+}
+
+std::string to_text(const Scenario& scenario) {
+    std::ostringstream out;
+    out << "scenario " << scenario.name << "\n";
+    out << "seed " << scenario.seed << "\n";
+    for (const SensorFault& fault : scenario.sensor_faults) {
+        out << "at " << format_number(fault.begin);
+        if (fault.end != std::numeric_limits<double>::infinity())
+            out << " until " << format_number(fault.end);
+        switch (fault.kind) {
+            case CorruptionKind::freeze:
+                out << " freeze";
+                break;
+            case CorruptionKind::blank:
+                out << " blank " << format_number(fault.a);
+                break;
+            case CorruptionKind::salt_pepper:
+                out << " saltpepper " << format_number(fault.a);
+                break;
+            case CorruptionKind::low_light:
+                out << " lowlight " << format_number(fault.a);
+                break;
+            case CorruptionKind::occlusion:
+                out << " occlude " << format_number(fault.a) << ' '
+                    << format_number(fault.b);
+                break;
+        }
+        out << "\n";
+    }
+    for (const WeightFault& fault : scenario.weight_faults) {
+        out << "at " << format_number(fault.at);
+        switch (fault.kind) {
+            case WeightFaultKind::compromise:
+                out << " compromise " << fault.module;
+                break;
+            case WeightFaultKind::fail:
+                out << " fail " << fault.module;
+                break;
+            case WeightFaultKind::inject:
+                out << " inject " << fault.module << ' ' << fault.layer << ' '
+                    << fault.seed;
+                break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+namespace {
+
+/// The benchmark matrix's scenario classes. Windows sit inside the default
+/// 33 s horizon; magnitudes are calibrated so each class measurably degrades
+/// perception while staying physically plausible (see DESIGN.md).
+const std::pair<const char*, const char*> kBuiltins[] = {
+    {"clear",
+     "scenario clear\n"
+     "seed 1\n"},
+    {"freeze",
+     "scenario freeze\n"
+     "seed 1\n"
+     "at 6 until 16 freeze\n"
+     "at 22 until 27 freeze\n"},
+    {"blank",
+     "scenario blank\n"
+     "seed 1\n"
+     "at 5 until 12 blank 0\n"
+     "at 18 until 24 blank 0.05\n"},
+    {"salt_pepper",
+     "scenario salt_pepper\n"
+     "seed 1\n"
+     "at 4 until 26 saltpepper 0.18\n"},
+    {"low_light",
+     "scenario low_light\n"
+     "seed 1\n"
+     "at 5 until 25 lowlight 0.22\n"},
+    {"occlusion",
+     "scenario occlusion\n"
+     "seed 1\n"
+     "at 5 until 25 occlude 0.25 0.45\n"},
+    {"compound",
+     // Sensor corruption on top of an early forced compromise: the
+     // worst-case overlap of input- and weight-level faults.
+     "scenario compound\n"
+     "seed 1\n"
+     "at 3 compromise 0\n"
+     "at 6 until 18 freeze\n"
+     "at 20 until 26 saltpepper 0.15\n"},
+};
+
+}  // namespace
+
+const std::vector<std::string>& builtin_scenario_names() {
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto& [name, text] : kBuiltins) out.emplace_back(name);
+        return out;
+    }();
+    return names;
+}
+
+std::string builtin_scenario_text(const std::string& name) {
+    for (const auto& [builtin, text] : kBuiltins)
+        if (name == builtin) return text;
+    throw std::invalid_argument("unknown built-in scenario '" + name + "'");
+}
+
+Scenario builtin_scenario(const std::string& name) {
+    return parse_scenario(builtin_scenario_text(name));
+}
+
+ScenarioPlayer::ScenarioPlayer(Scenario scenario)
+    : ScenarioPlayer(std::move(scenario), 0) {
+    seed_ = scenario_.seed;
+    impulse_base_ = util::Rng(seed_);
+}
+
+ScenarioPlayer::ScenarioPlayer(Scenario scenario, std::uint64_t seed)
+    : scenario_(std::move(scenario)), seed_(seed), impulse_base_(seed) {}
+
+std::vector<CorruptionKind> ScenarioPlayer::active(double t) const {
+    std::vector<CorruptionKind> kinds;
+    for (const SensorFault& fault : scenario_.sensor_faults)
+        if (t >= fault.begin && t < fault.end) kinds.push_back(fault.kind);
+    return kinds;
+}
+
+ml::Tensor ScenarioPlayer::apply(const ml::Tensor& clean, double t) {
+    const std::size_t frame = frame_index_++;
+    ml::Tensor out = clean;
+    bool freeze = false;
+    for (const SensorFault& fault : scenario_.sensor_faults) {
+        if (t < fault.begin || t >= fault.end) continue;
+        switch (fault.kind) {
+            case CorruptionKind::freeze:
+                // Applied last: a frozen pipeline re-emits its previous
+                // output regardless of what else corrupts the new frame.
+                freeze = true;
+                break;
+            case CorruptionKind::blank: {
+                const auto level = static_cast<float>(fault.a);
+                for (std::size_t i = 0; i < out.size(); ++i) out[i] = level;
+                break;
+            }
+            case CorruptionKind::salt_pepper: {
+                // Per-frame substream: impulse positions depend only on
+                // (seed, frame index), never on other consumers' draws.
+                util::Rng rng = impulse_base_.split(frame);
+                for (std::size_t i = 0; i < out.size(); ++i)
+                    if (rng.bernoulli(fault.a))
+                        out[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+                break;
+            }
+            case CorruptionKind::low_light: {
+                const auto gain = static_cast<float>(fault.a);
+                for (std::size_t i = 0; i < out.size(); ++i) out[i] *= gain;
+                break;
+            }
+            case CorruptionKind::occlusion: {
+                // Zero a horizontal band across every channel: a smear or
+                // physical obstruction over part of the field of view.
+                const std::size_t channels = out.shape()[0];
+                const std::size_t height = out.shape()[1];
+                const std::size_t width = out.shape()[2];
+                const auto row0 = static_cast<std::size_t>(fault.a * height);
+                const auto rows = static_cast<std::size_t>(fault.b * height);
+                const std::size_t row1 = std::min(row0 + rows, height);
+                for (std::size_t c = 0; c < channels; ++c)
+                    for (std::size_t h = row0; h < row1; ++h)
+                        for (std::size_t w = 0; w < width; ++w)
+                            out.at3(c, h, w) = 0.0f;
+                break;
+            }
+        }
+    }
+    if (freeze && has_output_) {
+        if (!frozen_) frozen_ = true;
+        return last_output_;
+    }
+    frozen_ = false;
+    last_output_ = out;
+    has_output_ = true;
+    return out;
+}
+
+std::vector<WeightFault> ScenarioPlayer::due_weight_faults(double t) {
+    std::vector<WeightFault> due;
+    while (next_weight_ < scenario_.weight_faults.size() &&
+           scenario_.weight_faults[next_weight_].at <= t)
+        due.push_back(scenario_.weight_faults[next_weight_++]);
+    return due;
+}
+
+}  // namespace mvreju::av

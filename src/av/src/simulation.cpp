@@ -1,9 +1,11 @@
 #include "mvreju/av/simulation.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
 #include "mvreju/core/system.hpp"
+#include "mvreju/fi/inject.hpp"
 #include "mvreju/obs/flight_recorder.hpp"
 #include "mvreju/obs/metrics.hpp"
 #include "mvreju/obs/trace.hpp"
@@ -20,6 +22,13 @@ struct AvTelemetry {
     mvreju::obs::Counter& votes_no_output;
     mvreju::obs::Counter& collision_frames;
     mvreju::obs::Histogram& perceive_ms;
+    mvreju::obs::Gauge& trust_reliability;
+    mvreju::obs::Gauge& trust_status;
+    mvreju::obs::Counter& trust_sensor_faults;
+    mvreju::obs::Gauge& degraded_mode;
+    mvreju::obs::Counter& degraded_transitions;
+    mvreju::obs::Counter& degraded_stop_frames;
+    mvreju::obs::Counter& degraded_dropped;
 };
 
 AvTelemetry& av_telemetry() {
@@ -32,7 +41,14 @@ AvTelemetry& av_telemetry() {
         reg.counter("av.votes.no_output"),
         reg.counter("av.collision_frames"),
         reg.histogram("av.perceive_vote.latency_ms",
-                      mvreju::obs::HistogramBounds::exponential(0.01, 2.0, 16))};
+                      mvreju::obs::HistogramBounds::exponential(0.01, 2.0, 16)),
+        reg.gauge("av.trust.reliability"),
+        reg.gauge("av.trust.status"),
+        reg.counter("av.trust.sensor_faults"),
+        reg.gauge("av.degraded.mode"),
+        reg.counter("av.degraded.transitions"),
+        reg.counter("av.degraded.stop_frames"),
+        reg.counter("av.degraded.dropped_proposals")};
     return t;
 }
 
@@ -97,6 +113,22 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
     core::Voter<Detection, DetectionNear> voter(config.voting);
     double s_hint = 0.0;
 
+    // Scenario replay and the degraded-mode machinery (ROADMAP item 3). The
+    // player's impulse stream derives from the run seed, so a (scenario,
+    // seed) pair replays bit-identically at any thread count — each run owns
+    // its player and never shares RNG state.
+    std::optional<ScenarioPlayer> player;
+    if (config.scenario != nullptr)
+        player.emplace(*config.scenario, root.split(6)());
+    TrustMonitor trust(config.trust);
+    DegradedModeController degraded(config.versions, config.policy);
+    // Healthy weights corrupted by scenario `inject` events (lazily deep-
+    // copied); reset when the module completes rejuvenation, which models
+    // reloading pristine weights from safe storage.
+    std::vector<std::optional<ml::Sequential>> injected(
+        static_cast<std::size_t>(config.versions));
+    double trust_sum = 0.0;
+
     RunMetrics metrics;
     using Clock = std::chrono::steady_clock;
     MVREJU_OBS_SPAN(scenario_span, "av.run_scenario");
@@ -118,82 +150,179 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
         std::vector<Obb> vehicle_boxes;
         vehicle_boxes.reserve(npcs.size());
         for (const NpcVehicle& npc : npcs) vehicle_boxes.push_back(npc.obb());
-        const ml::Tensor grid =
+        ml::Tensor grid =
             render_grid(ego.obb(), vehicle_boxes, config.sensor, sensor_rng);
-
-        // --- Perceive (N versions) and vote ---
-        MVREJU_OBS_SPAN(perceive_span, "av.perceive_vote");
-        const auto t0 = Clock::now();
-        std::vector<std::optional<Detection>> proposals;
-        proposals.reserve(static_cast<std::size_t>(config.versions));
-        for (int m = 0; m < config.versions; ++m) {
-            const auto mu = static_cast<std::size_t>(m);
-            const core::ModuleState state = health.state(m);
-            if (state == core::ModuleState::compromised &&
-                previous_state[mu] != core::ModuleState::compromised) {
-                // Fresh compromise: draw which corruption this attack causes.
-                active_variant[mu] =
-                    variant_rng.uniform_int(detectors.compromised[mu].size());
+        if (player) {
+            grid = player->apply(grid, now);
+            for (const WeightFault& fault : player->due_weight_faults(now)) {
+                if (fault.module < 0 || fault.module >= config.versions) continue;
+                const auto mu = static_cast<std::size_t>(fault.module);
+                switch (fault.kind) {
+                    case WeightFaultKind::compromise:
+                        // The stochastic health process may have beaten the
+                        // script to it; an already-degraded module stays put.
+                        if (health.state(fault.module) == core::ModuleState::healthy)
+                            health.force_compromise(fault.module);
+                        break;
+                    case WeightFaultKind::fail:
+                        if (core::is_functional(health.state(fault.module)))
+                            health.force_failure(fault.module);
+                        break;
+                    case WeightFaultKind::inject: {
+                        if (!injected[mu]) injected[mu] = detectors.healthy[mu];
+                        const std::size_t layers =
+                            fi::injectable_layer_count(*injected[mu]);
+                        // Detector corruption range of Section VII-A.
+                        fi::random_weight_inj(*injected[mu],
+                                              fault.layer % layers, -100.0f,
+                                              300.0f, fault.seed);
+                        break;
+                    }
+                }
             }
-            previous_state[mu] = state;
-            if (!core::is_functional(state)) {
-                proposals.emplace_back(std::nullopt);
-                continue;
-            }
-            const auto& model =
-                (state == core::ModuleState::healthy)
-                    ? detectors.healthy[mu]
-                    : detectors.compromised[mu][active_variant[mu]].model;
-            proposals.emplace_back(detect(model, grid));
-            ++metrics.inferences;
         }
-        const auto vote = voter.vote(proposals);
-        const double perceive_seconds =
-            std::chrono::duration<double>(Clock::now() - t0).count();
-        metrics.perception_wall_seconds += perceive_seconds;
-        std::uint64_t frame_inferences = 0;
-        for (const auto& p : proposals)
-            if (p.has_value()) ++frame_inferences;
-        tel.inferences.add(frame_inferences);
-        tel.perceive_ms.record(perceive_seconds * 1e3);
-        // SLO: the perceive+vote stage must fit inside one frame period.
-        const double budget_ms = config.dt * 1e3;
-        if (perceive_seconds * 1e3 > budget_ms)
-            MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::slo_breach, frame_id, 0,
-                                perceive_seconds * 1e3, budget_ms);
-        perceive_span.arg("versions", static_cast<double>(config.versions));
-        perceive_span.arg("decided", vote.kind == core::VoteKind::decided ? 1.0 : 0.0);
-        perceive_span.end();
 
-        switch (vote.kind) {
-            case core::VoteKind::decided: {
-                ++metrics.decided_frames;
-                tel.votes_decided.add();
-                const int truth_bucket = distance_to_bucket(
-                    ground_truth_distance(ego.obb(), vehicle_boxes, config.sensor));
-                if (vote.value->bucket <= truth_bucket - 2)
-                    ++metrics.unsafe_decided_frames;
-                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::hazard, frame_id, 0,
-                                    static_cast<double>(vote.value->bucket),
-                                    static_cast<double>(truth_bucket));
-                planner.update_perception(vote.value->bucket);
-                break;
+        // --- Input trust and policy ladder ---
+        DegradedMode mode = DegradedMode::normal;
+        if (config.trust_policy) {
+            const SensorStatus status = trust.update(grid, config.dt);
+            tel.trust_reliability.set(trust.reliability());
+            tel.trust_status.set(static_cast<double>(status));
+            if (status != SensorStatus::ok) {
+                ++metrics.sensor_fault_frames;
+                tel.trust_sensor_faults.add();
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::sensor_fault, frame_id,
+                                    0, static_cast<double>(status),
+                                    trust.reliability());
             }
-            case core::VoteKind::skipped:
-                ++metrics.skipped_frames;
-                tel.votes_skipped.add();
-                // Safe-skip: the planner holds its last command this frame.
-                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::planner_override, frame_id,
-                                    0, static_cast<double>(vote.kind), 0.0);
-                planner.update_perception(std::nullopt);
-                break;
-            case core::VoteKind::no_output:
-                ++metrics.no_output_frames;
-                tel.votes_no_output.add();
-                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::planner_override, frame_id,
-                                    0, static_cast<double>(vote.kind), 0.0);
-                planner.update_perception(std::nullopt);
-                break;
+            const DegradedMode before = degraded.mode();
+            mode = degraded.update(trust.reliability());
+            tel.degraded_mode.set(static_cast<double>(mode));
+            if (mode != before) {
+                tel.degraded_transitions.add();
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::degraded_mode, frame_id,
+                                    0, static_cast<double>(mode),
+                                    static_cast<double>(before));
+            }
+        }
+
+        if (mode == DegradedMode::minimal_risk_stop) {
+            // Minimal-risk manoeuvre: perception cannot be trusted at all,
+            // so do not act on it — command the planner as if a hazard were
+            // imminent and brake to a stop. No decided output this frame.
+            ++metrics.stop_frames;
+            tel.degraded_stop_frames.add();
+            planner.update_perception(kDistanceBuckets - 1);
+        } else {
+            // --- Perceive (N versions) and vote ---
+            MVREJU_OBS_SPAN(perceive_span, "av.perceive_vote");
+            const auto t0 = Clock::now();
+            const ml::Tensor* input = &grid;
+            ml::Tensor pooled;
+            if (mode == DegradedMode::reduced_resolution) {
+                // Trade detail for robustness: mean pooling suppresses the
+                // impulse noise that corrupts individual cells.
+                pooled = reduced_resolution(grid);
+                input = &pooled;
+                ++metrics.reduced_frames;
+            }
+            std::vector<std::optional<Detection>> proposals;
+            proposals.reserve(static_cast<std::size_t>(config.versions));
+            for (int m = 0; m < config.versions; ++m) {
+                const auto mu = static_cast<std::size_t>(m);
+                const core::ModuleState state = health.state(m);
+                if (state == core::ModuleState::compromised &&
+                    previous_state[mu] != core::ModuleState::compromised) {
+                    // Fresh compromise: draw which corruption this attack causes.
+                    active_variant[mu] =
+                        variant_rng.uniform_int(detectors.compromised[mu].size());
+                }
+                if (state == core::ModuleState::healthy &&
+                    !core::is_functional(previous_state[mu]))
+                    injected[mu].reset();  // rejuvenated: pristine weights
+                previous_state[mu] = state;
+                if (!core::is_functional(state)) {
+                    proposals.emplace_back(std::nullopt);
+                    continue;
+                }
+                if (config.trust_policy && degraded.version_dropped(m)) {
+                    // Policy rung 1: a persistently dissenting version is
+                    // excluded from the vote until its dissent decays.
+                    proposals.emplace_back(std::nullopt);
+                    ++metrics.dropped_proposals;
+                    tel.degraded_dropped.add();
+                    continue;
+                }
+                const auto& model =
+                    (state == core::ModuleState::healthy)
+                        ? (injected[mu] ? *injected[mu] : detectors.healthy[mu])
+                        : detectors.compromised[mu][active_variant[mu]].model;
+                proposals.emplace_back(detect(model, *input));
+                ++metrics.inferences;
+            }
+            const auto vote = voter.vote(proposals);
+            const double perceive_seconds =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            metrics.perception_wall_seconds += perceive_seconds;
+            std::uint64_t frame_inferences = 0;
+            for (const auto& p : proposals)
+                if (p.has_value()) ++frame_inferences;
+            tel.inferences.add(frame_inferences);
+            tel.perceive_ms.record(perceive_seconds * 1e3);
+            // SLO: the perceive+vote stage must fit inside one frame period.
+            const double budget_ms = config.dt * 1e3;
+            if (perceive_seconds * 1e3 > budget_ms)
+                MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::slo_breach, frame_id, 0,
+                                    perceive_seconds * 1e3, budget_ms);
+            perceive_span.arg("versions", static_cast<double>(config.versions));
+            perceive_span.arg("decided", vote.kind == core::VoteKind::decided ? 1.0 : 0.0);
+            perceive_span.end();
+
+            switch (vote.kind) {
+                case core::VoteKind::decided: {
+                    ++metrics.decided_frames;
+                    tel.votes_decided.add();
+                    const int truth_bucket = distance_to_bucket(
+                        ground_truth_distance(ego.obb(), vehicle_boxes, config.sensor));
+                    if (vote.value->bucket <= truth_bucket - 2)
+                        ++metrics.unsafe_decided_frames;
+                    MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::hazard, frame_id, 0,
+                                        static_cast<double>(vote.value->bucket),
+                                        static_cast<double>(truth_bucket));
+                    planner.update_perception(vote.value->bucket);
+                    break;
+                }
+                case core::VoteKind::skipped:
+                    ++metrics.skipped_frames;
+                    tel.votes_skipped.add();
+                    // Safe-skip: the planner holds its last command this frame.
+                    MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::planner_override, frame_id,
+                                        0, static_cast<double>(vote.kind), 0.0);
+                    planner.update_perception(std::nullopt);
+                    break;
+                case core::VoteKind::no_output:
+                    ++metrics.no_output_frames;
+                    tel.votes_no_output.add();
+                    MVREJU_OBS_EVENT_AT(t_ns, obs::EventKind::planner_override, frame_id,
+                                        0, static_cast<double>(vote.kind), 0.0);
+                    planner.update_perception(std::nullopt);
+                    break;
+            }
+
+            if (config.trust_policy) {
+                // Voter outcomes feed back into trust (weight faults show up
+                // as skips, not as bad frame statistics) and per-version
+                // dissent drives the drop rung.
+                trust.observe_vote(vote.kind == core::VoteKind::decided,
+                                   config.dt);
+                degraded.observe_votes(
+                    core::dissenting_proposals(proposals, vote, DetectionNear{}));
+            }
+        }
+
+        if (config.trust_policy) {
+            trust_sum += trust.reliability();
+            metrics.min_trust = std::min(metrics.min_trust, trust.reliability());
         }
 
         // --- Plan and act ---
@@ -241,6 +370,9 @@ RunMetrics run_scenario(const Route& route, const DetectorSet& detectors,
 
     metrics.route_completed = s_hint / route.length();
     metrics.health_stats = health.stats();
+    metrics.degraded_transitions = degraded.transitions();
+    if (config.trust_policy && metrics.total_frames > 0)
+        metrics.mean_trust = trust_sum / metrics.total_frames;
     scenario_span.arg("frames", static_cast<double>(metrics.total_frames));
     scenario_span.arg("route_completed", metrics.route_completed);
     return metrics;

@@ -1,0 +1,109 @@
+#include "mvreju/av/trust.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mvreju::av {
+
+const char* sensor_status_name(SensorStatus status) noexcept {
+    switch (status) {
+        case SensorStatus::ok: return "ok";
+        case SensorStatus::frozen: return "frozen";
+        case SensorStatus::blank: return "blank";
+        case SensorStatus::corrupted: return "corrupted";
+    }
+    return "unknown";
+}
+
+TrustMonitor::TrustMonitor(TrustConfig config) : config_(config) {}
+
+FrameStats TrustMonitor::compute_stats(const ml::Tensor& frame,
+                                       const ml::Tensor* previous) {
+    FrameStats stats;
+    const std::span<const float> data = frame.data();
+    if (data.empty()) return stats;
+    const double count = static_cast<double>(data.size());
+
+    double sum = 0.0;
+    double impulses = 0.0;
+    std::array<double, 8> histogram{};
+    for (const float v : data) {
+        sum += v;
+        if (v >= 0.98f) impulses += 1.0;
+        const auto bin = static_cast<std::size_t>(
+            std::clamp(static_cast<int>(v * 8.0f), 0, 7));
+        histogram[bin] += 1.0;
+    }
+    stats.luma = sum / count;
+    stats.impulse = impulses / count;
+    for (const double n : histogram) {
+        if (n <= 0.0) continue;
+        const double p = n / count;
+        stats.entropy -= p * std::log(p);
+    }
+
+    if (previous != nullptr && previous->shape() == frame.shape()) {
+        double delta = 0.0;
+        const std::span<const float> prev = previous->data();
+        for (std::size_t i = 0; i < data.size(); ++i)
+            delta += std::abs(static_cast<double>(data[i]) - prev[i]);
+        stats.delta = delta / count;
+    } else {
+        // First frame: no reference yet; report a clean-looking delta so a
+        // run never starts in the frozen state.
+        stats.delta = 1.0;
+    }
+
+    // Reference-channel check: channel 1 of the sensor tensor is the
+    // deterministic forward-distance ramp (row h carries 1 - h/n), so its
+    // deviation flags any corruption that touches pixel values.
+    if (frame.rank() == 3 && frame.shape()[0] >= 2) {
+        const std::size_t height = frame.shape()[1];
+        const std::size_t width = frame.shape()[2];
+        double deviation = 0.0;
+        for (std::size_t h = 0; h < height; ++h) {
+            const double expected =
+                1.0 - static_cast<double>(h) / static_cast<double>(height);
+            for (std::size_t w = 0; w < width; ++w)
+                deviation += std::abs(frame.at3(1, h, w) - expected);
+        }
+        stats.ramp_dev = deviation / static_cast<double>(height * width);
+    }
+    return stats;
+}
+
+SensorStatus TrustMonitor::update(const ml::Tensor& frame, double dt) {
+    stats_ = compute_stats(frame, has_previous_ ? &previous_ : nullptr);
+    previous_ = frame;
+    has_previous_ = true;
+
+    // Order matters: a frozen frame trivially passes the blank and
+    // corruption checks (it is a copy of a once-valid frame), so the
+    // zero-delta test must run first; a blank frame has a tiny ramp
+    // deviation signature too, so blank precedes corrupted.
+    if (stats_.delta < config_.freeze_delta) {
+        status_ = SensorStatus::frozen;
+    } else if (stats_.luma < config_.blank_luma ||
+               stats_.entropy < config_.blank_entropy) {
+        status_ = SensorStatus::blank;
+    } else if (stats_.ramp_dev > config_.ramp_deviation ||
+               stats_.impulse > config_.impulse_fraction) {
+        status_ = SensorStatus::corrupted;
+    } else {
+        status_ = SensorStatus::ok;
+    }
+
+    if (status_ == SensorStatus::ok)
+        reliability_ = std::min(1.0, reliability_ + config_.recovery * dt);
+    else
+        reliability_ = std::max(0.0, reliability_ - config_.fault_decay * dt);
+    return status_;
+}
+
+void TrustMonitor::observe_vote(bool decided, double dt) {
+    if (!decided)
+        reliability_ = std::max(0.0, reliability_ - config_.vote_decay * dt);
+}
+
+}  // namespace mvreju::av

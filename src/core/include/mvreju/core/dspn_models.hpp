@@ -90,4 +90,54 @@ struct MultiVersionDspn {
                                               const std::vector<double>& pi,
                                               const reliability::Params& params);
 
+// --- Degraded-state extension (sensor faults + trust-driven policy) ---
+//
+// The scenario suite (av/scenario.hpp) corrupts the *input*, a fault class
+// the Fig. 2/3 models cannot express: all modules stay healthy while every
+// version computes on garbage. The extension composes the module-health net
+// with an independent two-state sensor channel
+//
+//   Pso --Tsf(exp 1/sensor_mttf)--> Psf --Tsr(exp 1/sensor_repair)--> Pso
+//
+// and moves the input-fault handling into the *reward*: in sensor-ok states
+// the system earns the usual (i, j, k) reliability; in sensor-faulted
+// states an unmonitored system earns only `blind_reliability` (diverse
+// versions agree on the same wrong answer — voting is defeated), while the
+// trust-monitored policy earns 1.0 whenever the monitor catches the fault
+// (a minimal-risk stop produces no unsafe output, Eq. 3 counts it as safe)
+// and `blind_reliability` on the missed fraction.
+
+struct DegradedDspnConfig {
+    DspnConfig base;
+    double sensor_mttf = 12.0;   ///< mean time between sensor faults (s)
+    double sensor_repair = 8.0;  ///< mean sensor fault duration (s)
+    /// Probability the trust monitor flags a faulted-sensor state in time
+    /// (the policy ladder then suppresses decided outputs).
+    double detection = 0.95;
+    /// Output reliability while computing on an undetected bad input.
+    double blind_reliability = 0.0;
+};
+
+/// The composed net plus the sensor-channel place handles.
+struct DegradedDspn {
+    MultiVersionDspn base;
+    dspn::PlaceId pso{};  ///< sensor ok
+    dspn::PlaceId psf{};  ///< sensor faulted
+
+    [[nodiscard]] bool sensor_faulted(const dspn::Marking& m) const {
+        return dspn::tokens(m, psf) > 0;
+    }
+};
+
+/// Build the module-health DSPN composed with the sensor channel.
+[[nodiscard]] DegradedDspn build_degraded_dspn(const DegradedDspnConfig& config);
+
+/// Steady-state E[R_sys] of the composed model, with (`policy` = true) or
+/// without the trust-driven degraded-mode policy. For any detection > 0 the
+/// policy value dominates the no-policy value — the analytic counterpart of
+/// the benchmark's per-scenario-class gate.
+[[nodiscard]] double degraded_steady_state_reliability(
+    const DegradedDspnConfig& config, const reliability::Params& params,
+    bool policy);
+
 }  // namespace mvreju::core

@@ -109,4 +109,23 @@ private:
     Agree agree_;
 };
 
+/// Per-module dissent flags for a decided vote: true when the module posted
+/// a proposal that does NOT agree with the decided value. Non-posting
+/// modules and agreeing modules are false; every module is false when the
+/// vote was not decided (with no majority there is nothing to dissent from).
+/// The degraded-mode controller feeds these into its per-version dissent
+/// EWMA to pick which version to drop.
+template <typename Output, typename Agree>
+[[nodiscard]] std::vector<bool> dissenting_proposals(
+    const std::vector<std::optional<Output>>& proposals,
+    const VoteResult<Output>& result, const Agree& agree) {
+    std::vector<bool> dissented(proposals.size(), false);
+    if (result.kind != VoteKind::decided || !result.value.has_value())
+        return dissented;
+    for (std::size_t m = 0; m < proposals.size(); ++m)
+        if (proposals[m].has_value() && !agree(*proposals[m], *result.value))
+            dissented[m] = true;
+    return dissented;
+}
+
 }  // namespace mvreju::core

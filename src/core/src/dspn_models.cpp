@@ -167,4 +167,51 @@ double steady_state_reliability(const DspnConfig& config,
     return steady_state_reliability(model, graph, pi, params);
 }
 
+DegradedDspn build_degraded_dspn(const DegradedDspnConfig& config) {
+    if (config.sensor_mttf <= 0 || config.sensor_repair <= 0)
+        throw std::invalid_argument("build_degraded_dspn: non-positive sensor timing");
+    if (config.detection < 0 || config.detection > 1)
+        throw std::invalid_argument("build_degraded_dspn: detection not in [0, 1]");
+
+    DegradedDspn model;
+    model.base = build_multiversion_dspn(config.base);
+    PetriNet& net = model.base.net;
+
+    // Independent two-state sensor channel alongside the module-health net.
+    model.pso = net.add_place("Pso", 1);
+    model.psf = net.add_place("Psf");
+
+    auto tsf = net.add_exponential("Tsf", 1.0 / config.sensor_mttf);
+    net.add_input_arc(tsf, model.pso);
+    net.add_output_arc(tsf, model.psf);
+
+    auto tsr = net.add_exponential("Tsr", 1.0 / config.sensor_repair);
+    net.add_input_arc(tsr, model.psf);
+    net.add_output_arc(tsr, model.pso);
+
+    return model;
+}
+
+double degraded_steady_state_reliability(const DegradedDspnConfig& config,
+                                         const reliability::Params& params,
+                                         bool policy) {
+    const DegradedDspn model = build_degraded_dspn(config);
+    const dspn::ReachabilityGraph graph(model.base.net);
+    const std::vector<double> pi = dspn::dspn_steady_state(graph);
+    return dspn::expected_reward(graph, pi, [&](const Marking& m) {
+        if (model.sensor_faulted(m)) {
+            // Input fault: every functional version computes on the same
+            // bad frame, so module diversity earns nothing. With the policy
+            // the detected fraction yields a minimal-risk stop (no unsafe
+            // output => safe under Eq. 3); missed faults stay blind.
+            return policy ? config.detection +
+                                (1.0 - config.detection) * config.blind_reliability
+                          : config.blind_reliability;
+        }
+        return reliability::state_reliability(model.base.healthy(m),
+                                              model.base.compromised(m),
+                                              model.base.nonfunctional(m), params);
+    });
+}
+
 }  // namespace mvreju::core

@@ -70,6 +70,14 @@ struct CampaignReport {
                                                  const ml::Dataset& eval,
                                                  const CampaignConfig& config);
 
+/// Site indices of a campaign ordered by decreasing severity: most critical
+/// outcomes first, ties broken by mean accuracy drop (descending) then site
+/// index (ascending) so the ranking is deterministic. The scenario suite
+/// uses this to aim its composed `inject` directives at the weakest layer
+/// a campaign found.
+[[nodiscard]] std::vector<std::size_t> most_critical_sites(
+    const CampaignReport& report);
+
 /// Per-bit campaign with the transient bit-flip fault model on one layer:
 /// for every bit position 0..31, `injections_per_site` random weights get
 /// that bit flipped (one at a time). Shows the classic pattern: exponent

@@ -141,4 +141,21 @@ CampaignReport run_bitflip_campaign(ml::Sequential& model, const ml::Dataset& ev
     return report;
 }
 
+std::vector<std::size_t> most_critical_sites(const CampaignReport& report) {
+    std::vector<std::size_t> order(report.sites.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const SiteReport& sa = report.sites[a];
+        const SiteReport& sb = report.sites[b];
+        if (sa.critical != sb.critical) return sa.critical > sb.critical;
+        if (sa.mean_accuracy_drop != sb.mean_accuracy_drop)
+            return sa.mean_accuracy_drop > sb.mean_accuracy_drop;
+        return sa.site < sb.site;
+    });
+    std::vector<std::size_t> sites;
+    sites.reserve(order.size());
+    for (const std::size_t i : order) sites.push_back(report.sites[i].site);
+    return sites;
+}
+
 }  // namespace mvreju::fi

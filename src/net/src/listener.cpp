@@ -78,7 +78,15 @@ void Listener::on_readable() {
     // may announce several pending connections.
     for (;;) {
         const int client = ::accept(fd_, nullptr, nullptr);
-        if (client < 0) return;  // EAGAIN/EWOULDBLOCK or transient error
+        if (client < 0) {
+            // Same EINTR discipline as Conn's send/recv paths: a signal
+            // (SIGPROF from the sampling profiler most likely — accept() is
+            // not restarted by SA_RESTART on all kernels) must not end the
+            // drain early, or connections already queued behind the
+            // interrupted call would wait for a wakeup that never comes.
+            if (errno == EINTR) continue;
+            return;  // EAGAIN/EWOULDBLOCK or transient error
+        }
         set_nonblocking(client);
         on_accept_(client);
     }

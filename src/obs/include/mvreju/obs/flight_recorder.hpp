@@ -66,6 +66,10 @@ enum class EventKind : std::uint16_t {
     load_shed,           ///< serve: frame degraded/dropped; a = 1 shed, 2 dropped
     breach_stage,        ///< serve: SLO breach attributed to a pipeline stage;
                          ///< a = serve::Stage index, b = that stage's ms
+    sensor_fault,        ///< av: input monitor flagged a frame; a =
+                         ///< SensorStatus, b = trust reliability score
+    degraded_mode,       ///< av: policy ladder transition; a = new mode,
+                         ///< b = old mode
     kCount,
 };
 

@@ -73,6 +73,8 @@ const char* event_kind_name(EventKind kind) noexcept {
         case EventKind::custom: return "custom";
         case EventKind::load_shed: return "load_shed";
         case EventKind::breach_stage: return "breach_stage";
+        case EventKind::sensor_fault: return "sensor_fault";
+        case EventKind::degraded_mode: return "degraded_mode";
         case EventKind::kCount: break;
     }
     return "unknown";
